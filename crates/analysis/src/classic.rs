@@ -1,0 +1,197 @@
+//! A deliberately independent, textbook implementation of single-processor
+//! fixed-priority response-time analysis (Joseph & Pandya / Audsley), used
+//! as a cross-check oracle: on a dedicated `(1, 0, 0)` platform with
+//! independent single-task transactions, the paper's general machinery must
+//! reproduce these numbers exactly. The regression bench
+//! `classic_regression` exercises this on randomized task sets.
+
+use hsched_numeric::{Cycles, Rational, Time};
+
+/// A classic independent periodic task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassicTask {
+    /// Worst-case execution time.
+    pub wcet: Cycles,
+    /// Period (= minimum inter-arrival time).
+    pub period: Time,
+    /// Priority, greater = higher.
+    pub priority: u32,
+}
+
+/// Worst-case response times of independent tasks on one preemptive
+/// fixed-priority processor:
+///
+/// `w = C_i + Σ_{j ∈ hp(i)} ⌈w / T_j⌉ · C_j`
+///
+/// Returns `None` for a task whose recurrence diverges (utilization ≥ 1 at
+/// its priority level); other tasks still get their values.
+pub fn response_times(tasks: &[ClassicTask]) -> Vec<Option<Time>> {
+    tasks
+        .iter()
+        .map(|task| {
+            let hp: Vec<&ClassicTask> = tasks
+                .iter()
+                .filter(|t| !std::ptr::eq(*t, task) && t.priority >= task.priority)
+                .collect();
+            // Divergence bound: a busy period can't be longer than the point
+            // where level-i utilization 1 is provably exceeded; cap
+            // generously instead of solving for it.
+            let bound = tasks
+                .iter()
+                .map(|t| t.period)
+                .fold(Time::ZERO, |a, b| a + b)
+                * Rational::from_integer(64)
+                + task.period * Rational::from_integer(64);
+            let mut w = task.wcet;
+            for _ in 0..1_000_000 {
+                let demand: Cycles = task.wcet
+                    + hp.iter()
+                        .map(|t| Rational::from_integer((w / t.period).ceil().max(0)) * t.wcet)
+                        .sum::<Cycles>();
+                if demand == w {
+                    return Some(w);
+                }
+                if demand > bound {
+                    return None;
+                }
+                w = demand;
+            }
+            None
+        })
+        .collect()
+}
+
+/// Level-`i` utilization check: `Σ_{p_j ≥ p_i} C_j/T_j ≤ 1` is necessary for
+/// task `i` to converge.
+pub fn level_utilization(tasks: &[ClassicTask], i: usize) -> Rational {
+    tasks
+        .iter()
+        .filter(|t| t.priority >= tasks[i].priority)
+        .map(|t| t.wcet / t.period)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsched_numeric::rat;
+
+    #[test]
+    fn textbook_example() {
+        // Liu & Layland-style set: (C=1,T=4,p=3), (C=2,T=6,p=2), (C=3,T=13,p=1).
+        let tasks = [
+            ClassicTask {
+                wcet: rat(1, 1),
+                period: rat(4, 1),
+                priority: 3,
+            },
+            ClassicTask {
+                wcet: rat(2, 1),
+                period: rat(6, 1),
+                priority: 2,
+            },
+            ClassicTask {
+                wcet: rat(3, 1),
+                period: rat(13, 1),
+                priority: 1,
+            },
+        ];
+        let r = response_times(&tasks);
+        assert_eq!(r[0], Some(rat(1, 1)));
+        // w = 2 + ⌈w/4⌉·1 → 3.
+        assert_eq!(r[1], Some(rat(3, 1)));
+        // w = 3 + ⌈w/4⌉·1 + ⌈w/6⌉·2 → 3+1+2=6 → 3+2+2=7 → 3+2+4=9 →
+        // 3+3+4=10 → 3+3+4=10.
+        assert_eq!(r[2], Some(rat(10, 1)));
+    }
+
+    #[test]
+    fn overload_returns_none() {
+        // hp task saturates the CPU (U = 1): the low task's recurrence
+        // gains at least its own WCET every round and never settles.
+        let tasks = [
+            ClassicTask {
+                wcet: rat(4, 1),
+                period: rat(4, 1),
+                priority: 2,
+            },
+            ClassicTask {
+                wcet: rat(1, 1),
+                period: rat(10, 1),
+                priority: 1,
+            },
+        ];
+        let r = response_times(&tasks);
+        assert_eq!(r[0], Some(rat(4, 1)));
+        assert_eq!(r[1], None);
+        assert_eq!(level_utilization(&tasks, 1), rat(11, 10));
+    }
+
+    #[test]
+    fn equal_priorities_interfere_both_ways() {
+        let tasks = [
+            ClassicTask {
+                wcet: rat(1, 1),
+                period: rat(10, 1),
+                priority: 1,
+            },
+            ClassicTask {
+                wcet: rat(2, 1),
+                period: rat(10, 1),
+                priority: 1,
+            },
+        ];
+        let r = response_times(&tasks);
+        assert_eq!(r[0], Some(rat(3, 1)));
+        assert_eq!(r[1], Some(rat(3, 1)));
+    }
+
+    #[test]
+    fn general_machinery_agrees_on_dedicated_platform() {
+        // The same task set through the full transactional analysis on a
+        // (1,0,0) platform must give identical numbers.
+        use crate::analyze;
+        use hsched_platform::{Platform, PlatformSet};
+        use hsched_transaction::{Task, Transaction, TransactionSet};
+
+        let classic = [
+            ClassicTask {
+                wcet: rat(1, 1),
+                period: rat(4, 1),
+                priority: 3,
+            },
+            ClassicTask {
+                wcet: rat(2, 1),
+                period: rat(6, 1),
+                priority: 2,
+            },
+            ClassicTask {
+                wcet: rat(3, 1),
+                period: rat(13, 1),
+                priority: 1,
+            },
+        ];
+        let expected = response_times(&classic);
+
+        let mut platforms = PlatformSet::new();
+        let p = platforms.add(Platform::dedicated("cpu"));
+        let txs = classic
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                Transaction::new(
+                    format!("t{i}"),
+                    t.period,
+                    t.period,
+                    vec![Task::new(format!("c{i}"), t.wcet, t.wcet, t.priority, p)],
+                )
+                .unwrap()
+            })
+            .collect();
+        let set = TransactionSet::new(platforms, txs).unwrap();
+        let report = analyze(&set);
+        for (i, want) in expected.iter().enumerate() {
+            assert_eq!(report.response(i, 0), want.unwrap(), "task {i}");
+        }
+    }
+}

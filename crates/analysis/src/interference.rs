@@ -1,0 +1,218 @@
+//! Worst-case interference of a transaction on a busy period
+//! (Eqs. 7–11 and 15 of the paper).
+
+use crate::state::TaskState;
+use hsched_numeric::{Cycles, Rational, Time};
+use hsched_transaction::{TaskRef, TransactionSet};
+
+/// The set `hpi(τa,b)` of Eq. (17): tasks of transaction `i` with priority
+/// ≥ `p_{a,b}` mapped on the *same platform* as τa,b, excluding τa,b itself.
+pub(crate) fn hp_tasks(set: &TransactionSet, i: usize, under: TaskRef) -> Vec<usize> {
+    let target = set.task(under);
+    set.transactions()[i]
+        .tasks()
+        .iter()
+        .enumerate()
+        .filter(|(j, t)| {
+            !(i == under.tx && *j == under.idx)
+                && t.platform == target.platform
+                && t.priority >= target.priority
+        })
+        .map(|(j, _)| j)
+        .collect()
+}
+
+/// Phase `ϕ^k_{i,j}` of Eq. (10): the first activation of τi,j after the
+/// busy period starts with τi,k's maximally-delayed release.
+///
+/// `ϕ^k_{i,j} = Ti − (φik + Jik − φij) mod Ti`, in `(0, Ti]`.
+pub(crate) fn phase(
+    period: Time,
+    starter: &TaskState, // τi,k
+    other_phi: Time,     // φi,j
+) -> Time {
+    period - (starter.latest_release() - other_phi).rem_euclid(period)
+}
+
+/// Number of jobs of a task with phase `ϕ`, jitter `J` and period `T`
+/// contributing to a busy period of length `t` (the bracketed factor of
+/// Eq. 8/11): pending jobs `⌊(J + ϕ)/T⌋` plus arrivals `⌈(t − ϕ)/T⌉`.
+pub(crate) fn job_count(jitter: Time, phi_k: Time, period: Time, t: Time) -> i128 {
+    let pending = ((jitter + phi_k) / period).floor();
+    // For t > 0 the arrivals term is never negative (ϕ ≤ T); clamping makes
+    // the t = 0 evaluation equal to its right-limit, which is what the busy
+    // period fixpoint iteration needs to get off the ground.
+    let arrivals = ((t - phi_k) / period).ceil().max(0);
+    pending + arrivals
+}
+
+/// `W^k_i(τa,b, t)` of Eq. (11), in **cycles** (not divided by α — the
+/// caller inverts the platform supply on the total demand): the worst-case
+/// demand of the hp tasks of Γi in a busy period of length `t`, when the
+/// busy period starts with τi,k's critical release.
+pub(crate) fn w_scenario(
+    set: &TransactionSet,
+    states: &[Vec<TaskState>],
+    i: usize,
+    k: usize,
+    hp: &[usize],
+    t: Time,
+) -> Cycles {
+    let tx = &set.transactions()[i];
+    let period = tx.period;
+    let starter = &states[i][k];
+    let mut total = Cycles::ZERO;
+    for &j in hp {
+        let st = &states[i][j];
+        let phi_k = phase(period, starter, st.phi);
+        let n = job_count(st.jitter, phi_k, period, t);
+        if n > 0 {
+            total += Rational::from_integer(n) * tx.tasks()[j].wcet;
+        }
+    }
+    total
+}
+
+/// `W*_i(τa,b, t)` of Eq. (15): the pointwise maximum of `W^k_i` over all
+/// candidate starters `k ∈ hpi(τa,b)`, in cycles. Zero when `hp` is empty.
+pub(crate) fn w_star(
+    set: &TransactionSet,
+    states: &[Vec<TaskState>],
+    i: usize,
+    hp: &[usize],
+    t: Time,
+) -> Cycles {
+    hp.iter()
+        .map(|&k| w_scenario(set, states, i, k, hp, t))
+        .max()
+        .unwrap_or(Cycles::ZERO)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::initial_states;
+    use crate::ServiceTimeMode;
+    use hsched_numeric::rat;
+    use hsched_transaction::paper_example;
+
+    fn paper() -> (TransactionSet, Vec<Vec<TaskState>>) {
+        let set = paper_example::transactions();
+        let states = initial_states(&set, ServiceTimeMode::LinearBounds);
+        (set, states)
+    }
+
+    #[test]
+    fn hp_sets_follow_eq17() {
+        let (set, _) = paper();
+        // τ1,1 (Π3, p=2): hp in Γ1 = {τ1,4} (Π3, p=3); τ4,1 has p=1 < 2.
+        let under = TaskRef { tx: 0, idx: 0 };
+        assert_eq!(hp_tasks(&set, 0, under), vec![3]);
+        assert_eq!(hp_tasks(&set, 3, under), Vec::<usize>::new());
+        // τ1,4 (Π3, p=3): nothing qualifies anywhere.
+        let under = TaskRef { tx: 0, idx: 3 };
+        assert_eq!(hp_tasks(&set, 0, under), Vec::<usize>::new());
+        assert_eq!(hp_tasks(&set, 3, under), Vec::<usize>::new());
+        // τ1,2 (Π1, p=1): hp in Γ2 = {τ2,1} (Π1, p=3).
+        let under = TaskRef { tx: 0, idx: 1 };
+        assert_eq!(hp_tasks(&set, 1, under), vec![0]);
+        assert_eq!(hp_tasks(&set, 2, under), Vec::<usize>::new()); // Π2
+        // τ4,1 (Π3, p=1): hp in Γ1 = {τ1,1, τ1,4}.
+        let under = TaskRef { tx: 3, idx: 0 };
+        assert_eq!(hp_tasks(&set, 0, under), vec![0, 3]);
+    }
+
+    #[test]
+    fn phase_convention_matches_paper() {
+        // Self-started scenario with zero jitter: ϕ = T (the job released at
+        // the critical instant is counted by the pending-floor term).
+        let s = TaskState {
+            phi: rat(0, 1),
+            jitter: rat(0, 1),
+        };
+        assert_eq!(phase(rat(50, 1), &s, rat(0, 1)), rat(50, 1));
+        // τ1,4 relative to τ1,1 starting: φ1,4 = 5 → ϕ = 50 − (0−5) mod 50 = 5.
+        assert_eq!(phase(rat(50, 1), &s, rat(5, 1)), rat(5, 1));
+        // With jitter 19 on the starter (τ1,4 at iteration 3): ϕ for itself
+        // = 50 − 19 = 31.
+        let s = TaskState {
+            phi: rat(5, 1),
+            jitter: rat(19, 1),
+        };
+        assert_eq!(phase(rat(50, 1), &s, rat(5, 1)), rat(31, 1));
+    }
+
+    #[test]
+    fn phase_always_in_half_open_interval() {
+        let t = rat(50, 1);
+        for phi_k in 0..50 {
+            for j in 0..30 {
+                for phi_j in 0..50 {
+                    let s = TaskState {
+                        phi: rat(phi_k, 1),
+                        jitter: rat(j, 1),
+                    };
+                    let p = phase(t, &s, rat(phi_j, 1));
+                    assert!(p > rat(0, 1) && p <= t, "phase {p} out of (0, {t}]");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn job_count_basics() {
+        // ϕ = T, J = 0: exactly the critical-instant job for t ∈ (0, T].
+        assert_eq!(job_count(rat(0, 1), rat(50, 1), rat(50, 1), rat(1, 1)), 1);
+        assert_eq!(job_count(rat(0, 1), rat(50, 1), rat(50, 1), rat(50, 1)), 1);
+        // Just past T: second job.
+        assert_eq!(job_count(rat(0, 1), rat(50, 1), rat(50, 1), rat(51, 1)), 2);
+        // ϕ = 5: no job until t > 5... the ceil counts arrivals at 5 within
+        // busy period length ≥ 5^+ — at t = 5 exactly, ⌈0⌉ = 0; at 5.5, 1.
+        assert_eq!(job_count(rat(0, 1), rat(5, 1), rat(50, 1), rat(5, 1)), 0);
+        assert_eq!(job_count(rat(0, 1), rat(5, 1), rat(50, 1), rat(11, 2)), 1);
+        // Jitter adds pending jobs: J = 100, ϕ = 50, T = 50 → nominal
+        // releases at 0, −50, −100 can all be delayed to the critical
+        // instant: ⌊(J+ϕ)/T⌋ = 3 pending.
+        assert_eq!(
+            job_count(rat(100, 1), rat(50, 1), rat(50, 1), rat(1, 1)),
+            3
+        );
+        // At t = 0 the count equals its right-limit (the pending job is
+        // visible to the fixpoint seed).
+        assert_eq!(job_count(rat(0, 1), rat(50, 1), rat(50, 1), rat(0, 1)), 1);
+    }
+
+    #[test]
+    fn w_scenario_matches_hand_computation() {
+        let (set, states) = paper();
+        // Interference of Γ2 (τ2,1: C=1, T=15, J=0, φ=0) on τ1,2, scenario
+        // started by τ2,1 itself: ϕ = 15; demand over t:
+        //   t ∈ (0, 15]: 1 cycle; t ∈ (15, 30]: 2 cycles.
+        let under = TaskRef { tx: 0, idx: 1 };
+        let hp = hp_tasks(&set, 1, under);
+        assert_eq!(
+            w_scenario(&set, &states, 1, 0, &hp, rat(6, 1)),
+            rat(1, 1)
+        );
+        assert_eq!(
+            w_scenario(&set, &states, 1, 0, &hp, rat(16, 1)),
+            rat(2, 1)
+        );
+    }
+
+    #[test]
+    fn w_star_is_pointwise_max() {
+        let (set, states) = paper();
+        let under = TaskRef { tx: 3, idx: 0 }; // τ4,1 on Π3, p=1
+        let hp = hp_tasks(&set, 0, under); // {τ1,1, τ1,4}
+        let t = rat(10, 1);
+        let w1 = w_scenario(&set, &states, 0, hp[0], &hp, t);
+        let w4 = w_scenario(&set, &states, 0, hp[1], &hp, t);
+        assert_eq!(w_star(&set, &states, 0, &hp, t), w1.max(w4));
+        // Empty hp → zero.
+        assert_eq!(
+            w_star(&set, &states, 0, &[], t),
+            Cycles::ZERO
+        );
+    }
+}

@@ -1,0 +1,196 @@
+//! Schedulability analysis on abstract computing platforms (§3 of the
+//! paper): a generalization of holistic / offset-based response-time
+//! analysis (Tindell & Clark; Palencia & González Harbour) to tasks served
+//! by `(α, Δ, β)` platforms.
+//!
+//! # Structure
+//!
+//! * `state` — per-task analysis state: offsets φ (from best-case response
+//!   times, Eq. 18) and jitters J;
+//! * `interference` — the worst-case contribution `W^k_i` of a transaction
+//!   to a busy period (Eqs. 8–11) and the reduced upper bound `W*_i`
+//!   (Eq. 15);
+//! * `rta` — the per-task static-offset analysis: exact scenario
+//!   enumeration (§3.1.1, Eqs. 12–14) and the reduced-scenario
+//!   approximation (§3.1.2, Eq. 16);
+//! * `holistic` — the outer dynamic-offset (holistic) fixpoint of §3.2:
+//!   jitter propagation `J_{i,j} = R_{i,j−1} − Rbest_{i,j−1}` iterated to
+//!   convergence, in parallel across tasks;
+//! * `report` — the [`SchedulabilityReport`] with the full iteration
+//!   trace (reproducing Table 3) and per-transaction verdicts;
+//! * [`classic`] — an independent, textbook single-processor
+//!   response-time analysis used as a cross-check oracle for the
+//!   degenerate `(1, 0, 0)` platform.
+//!
+//! # Modes
+//!
+//! The completion-time recurrences of the paper have the shape
+//! `w = Δ + demand/α` (Eq. 13): the platform's minimum supply inverted at
+//! the accumulated demand. [`ServiceTimeMode::LinearBounds`] reproduces the
+//! paper exactly; [`ServiceTimeMode::ExactCurve`] instead inverts the
+//! platform's real supply staircase (periodic server, TDMA, …), quantifying
+//! the pessimism the paper's §2.3 closing remark concedes — the ablation
+//! benchmark `ablation_linear_vs_exact` measures the difference.
+//!
+//! # Example: the paper's §4 analysis
+//!
+//! ```
+//! use hsched_analysis::analyze;
+//! use hsched_transaction::paper_example;
+//! use hsched_numeric::rat;
+//!
+//! let system = paper_example::transactions();
+//! let report = analyze(&system);
+//! assert!(report.schedulable());
+//! // Γ1's end-to-end response: the paper's equations converge to 31
+//! // (Table 3 prints 39 for the last iterate; see EXPERIMENTS.md).
+//! assert_eq!(report.response(0, 3), rat(31, 1));
+//! ```
+
+pub mod classic;
+mod holistic;
+mod interference;
+mod par;
+mod report;
+mod rta;
+mod state;
+
+pub use holistic::{analyze, analyze_with, AnalysisError};
+pub use report::{IterationRecord, SchedulabilityReport, TaskResult, TransactionVerdict};
+pub use state::{best_case_offsets, TaskState};
+
+use hsched_numeric::{Cycles, Time};
+use hsched_platform::Platform;
+use hsched_supply::SupplyCurve;
+
+/// How the platform's service is inverted in the completion-time
+/// recurrences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServiceTimeMode {
+    /// The paper's linear model: worst case `Δ + demand/α`, best case
+    /// `max(0, demand/α − β)`.
+    #[default]
+    LinearBounds,
+    /// Invert the platform's exact supply curves (`Zmin`/`Zmax` of the
+    /// underlying mechanism). Less pessimistic for platforms constructed
+    /// from a concrete mechanism; identical to `LinearBounds` for platforms
+    /// specified directly as `(α, Δ, β)`.
+    ExactCurve,
+}
+
+/// Scenario treatment for the per-task analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScenarioMode {
+    /// §3.1.2: upper-bound every other transaction's contribution by
+    /// `W*_i` (Eq. 15) and enumerate only the scenarios of the task's own
+    /// transaction. Polynomial, slightly pessimistic. The default.
+    #[default]
+    Approximate,
+    /// §3.1.1: enumerate the full cartesian scenario space of Eq. (12).
+    /// Exponential; fails if the scenario count exceeds the given cap.
+    Exact {
+        /// Upper bound on the number of scenarios per task (Eq. 12) before
+        /// the analysis refuses to run.
+        max_scenarios: u64,
+    },
+}
+
+
+/// Order in which the holistic iteration consumes freshly computed
+/// response times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UpdateOrder {
+    /// All tasks analyzed against the previous iteration's jitters, then all
+    /// jitters updated together. Reproduces the paper's Table 3 column by
+    /// column and parallelizes perfectly.
+    #[default]
+    Jacobi,
+    /// Each task's fresh response immediately feeds its successor's jitter
+    /// within the same sweep. Converges to the same fixpoint (the iteration
+    /// is monotone) in fewer sweeps; runs sequentially.
+    GaussSeidel,
+}
+
+/// Analysis configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalysisConfig {
+    /// Linear `(α, Δ, β)` bounds (the paper) or exact supply inversion.
+    pub service_mode: ServiceTimeMode,
+    /// Approximate (reduced scenarios) or exact analysis.
+    pub scenario_mode: ScenarioMode,
+    /// Jacobi (paper-faithful trace) or Gauss-Seidel (faster convergence).
+    pub update_order: UpdateOrder,
+    /// Cap on outer holistic iterations before declaring divergence.
+    pub max_outer_iterations: usize,
+    /// Cap on inner fixpoint iterations (busy period / completion time).
+    pub max_inner_iterations: usize,
+    /// Declare a task unschedulable (and stop iterating its growth) once its
+    /// response exceeds `divergence_factor ×` its transaction deadline.
+    pub divergence_factor: u32,
+    /// Analyze tasks of one holistic iteration in parallel worker threads.
+    /// `1` = sequential. The result is identical regardless (Jacobi
+    /// iteration reads only the previous iteration's state).
+    pub threads: usize,
+    /// Per-task blocking terms `B_{a,b}` (time units), indexed like the
+    /// transaction set; empty means all zero. The paper carries `B` through
+    /// Eq. (13)/(16) without prescribing a protocol; this hook lets callers
+    /// plug in blocking from e.g. SRP on each platform.
+    pub blocking: Vec<Vec<Time>>,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> AnalysisConfig {
+        AnalysisConfig {
+            service_mode: ServiceTimeMode::LinearBounds,
+            scenario_mode: ScenarioMode::Approximate,
+            update_order: UpdateOrder::Jacobi,
+            max_outer_iterations: 256,
+            max_inner_iterations: 100_000,
+            divergence_factor: 64,
+            threads: 1,
+            blocking: Vec::new(),
+        }
+    }
+}
+
+impl AnalysisConfig {
+    /// The paper's configuration (linear bounds, reduced scenarios).
+    pub fn paper() -> AnalysisConfig {
+        AnalysisConfig::default()
+    }
+
+    /// Exact scenario enumeration with the given cap.
+    pub fn exact(max_scenarios: u64) -> AnalysisConfig {
+        AnalysisConfig {
+            scenario_mode: ScenarioMode::Exact { max_scenarios },
+            ..AnalysisConfig::default()
+        }
+    }
+
+    /// Blocking term for task `(tx, idx)`; zero when not configured.
+    pub(crate) fn blocking_of(&self, tx: usize, idx: usize) -> Time {
+        self.blocking
+            .get(tx)
+            .and_then(|row| row.get(idx))
+            .copied()
+            .unwrap_or(Time::ZERO)
+    }
+}
+
+/// Worst-case time for `platform` to serve `demand` cycles from the start
+/// of a busy interval (pseudo-inverse of Zmin), under the chosen mode.
+pub(crate) fn service_time(platform: &Platform, demand: Cycles, mode: ServiceTimeMode) -> Time {
+    match mode {
+        ServiceTimeMode::LinearBounds => platform.linear_model().worst_case_service(demand),
+        ServiceTimeMode::ExactCurve => platform.time_to_supply_min(demand),
+    }
+}
+
+/// Best-case time for `platform` to serve `demand` cycles (pseudo-inverse of
+/// Zmax), under the chosen mode.
+pub(crate) fn best_service_time(platform: &Platform, demand: Cycles, mode: ServiceTimeMode) -> Time {
+    match mode {
+        ServiceTimeMode::LinearBounds => platform.linear_model().best_case_service(demand),
+        ServiceTimeMode::ExactCurve => platform.time_to_supply_max(demand),
+    }
+}

@@ -1,0 +1,179 @@
+//! Analysis results: per-task numbers, per-transaction verdicts, and the
+//! full holistic iteration trace (the data behind the paper's Table 3).
+
+use hsched_numeric::Time;
+use std::fmt;
+
+/// Final numbers for one task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskResult {
+    /// Task name.
+    pub name: String,
+    /// Worst-case response time `Ri,j`, from the transaction's activation.
+    pub response: Time,
+    /// Best-case response bound `Rbest_i,j`.
+    pub best_response: Time,
+    /// Offset `φi,j` (= predecessor best-case completion).
+    pub phi: Time,
+    /// Final jitter `Ji,j`.
+    pub jitter: Time,
+}
+
+/// Deadline verdict for one transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransactionVerdict {
+    /// Transaction name.
+    pub name: String,
+    /// Response time of the last task (end-to-end).
+    pub end_to_end: Time,
+    /// The transaction deadline `Di`.
+    pub deadline: Time,
+    /// `end_to_end ≤ deadline`, the analysis converged, and no task
+    /// diverged.
+    pub schedulable: bool,
+}
+
+/// State of one holistic iteration: the jitters used and the responses
+/// computed (one Table 3 column).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IterationRecord {
+    /// `jitters[i][j]` = Ji,j at the start of the iteration.
+    pub jitters: Vec<Vec<Time>>,
+    /// `responses[i][j]` = Ri,j computed in the iteration.
+    pub responses: Vec<Vec<Time>>,
+}
+
+/// Complete output of [`crate::analyze`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedulabilityReport {
+    /// Per-task results, indexed like the transaction set.
+    pub tasks: Vec<Vec<TaskResult>>,
+    /// Per-transaction verdicts.
+    pub verdicts: Vec<TransactionVerdict>,
+    /// One record per holistic iteration, in order.
+    pub trace: Vec<IterationRecord>,
+    /// The jitter vector reached a fixpoint.
+    pub converged: bool,
+    /// Some task's demand outgrew its platform (busy period diverged).
+    pub diverged: bool,
+}
+
+impl SchedulabilityReport {
+    /// The system is schedulable: converged, bounded, all deadlines met.
+    pub fn schedulable(&self) -> bool {
+        self.converged && !self.diverged && self.verdicts.iter().all(|v| v.schedulable)
+    }
+
+    /// Response time of task `(tx, idx)`.
+    pub fn response(&self, tx: usize, idx: usize) -> Time {
+        self.tasks[tx][idx].response
+    }
+
+    /// Number of holistic iterations performed.
+    pub fn iterations(&self) -> usize {
+        self.trace.len()
+    }
+
+    /// Renders the iteration trace of one transaction in the layout of the
+    /// paper's Table 3: one row per task, `J^(k)`/`R^(k)` columns per
+    /// iteration.
+    pub fn trace_table(&self, tx: usize) -> String {
+        let mut out = String::new();
+        let n = self.tasks[tx].len();
+        out.push_str("task      ");
+        for k in 0..self.trace.len() {
+            out.push_str(&format!("| J({k})    R({k})   "));
+        }
+        out.push('\n');
+        for j in 0..n {
+            out.push_str(&format!("τ{},{:<7}", tx + 1, j + 1));
+            for rec in &self.trace {
+                out.push_str(&format!(
+                    "| {:<7} {:<7}",
+                    rec.jitters[tx][j].to_string(),
+                    rec.responses[tx][j].to_string()
+                ));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for SchedulabilityReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "schedulability: {}{}",
+            if self.schedulable() { "OK" } else { "FAILED" },
+            if self.diverged {
+                " (diverged: demand exceeds platform capacity)"
+            } else if !self.converged {
+                " (iteration cap reached before convergence)"
+            } else {
+                ""
+            }
+        )?;
+        writeln!(f, "iterations: {}", self.iterations())?;
+        for (i, v) in self.verdicts.iter().enumerate() {
+            writeln!(
+                f,
+                "  Γ{} {:<28} R = {:<8} D = {:<8} [{}]",
+                i + 1,
+                v.name,
+                v.end_to_end.to_string(),
+                v.deadline.to_string(),
+                if v.schedulable { "ok" } else { "MISS" }
+            )?;
+            for (j, t) in self.tasks[i].iter().enumerate() {
+                writeln!(
+                    f,
+                    "    τ{},{} {:<32} R = {:<8} φ = {:<6} J = {:<6}",
+                    i + 1,
+                    j + 1,
+                    t.name,
+                    t.response.to_string(),
+                    t.phi.to_string(),
+                    t.jitter.to_string()
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::analyze;
+    use hsched_transaction::paper_example;
+
+    #[test]
+    fn display_contains_verdicts_and_tasks() {
+        let report = analyze(&paper_example::transactions());
+        let text = report.to_string();
+        assert!(text.contains("schedulability: OK"));
+        assert!(text.contains("Integrator.Thread2"));
+        assert!(text.contains("τ1,4"));
+        assert!(text.contains("[ok]"));
+    }
+
+    #[test]
+    fn trace_table_shape() {
+        let report = analyze(&paper_example::transactions());
+        let table = report.trace_table(0);
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 5); // header + 4 tasks
+        assert!(lines[0].contains("J(0)"));
+        assert!(lines[0].contains("R(3)"));
+        assert!(lines[1].starts_with("τ1,1"));
+        assert!(lines[4].starts_with("τ1,4"));
+    }
+
+    #[test]
+    fn accessors() {
+        let report = analyze(&paper_example::transactions());
+        assert_eq!(report.iterations(), 4);
+        assert_eq!(report.tasks[0][3].name, "compute");
+        assert!(report.tasks[0][3].best_response < report.tasks[0][3].response);
+    }
+}

@@ -1,0 +1,586 @@
+//! Per-task static-offset response-time analysis (§3.1): completion-time
+//! and busy-period fixpoints over scenarios.
+
+use crate::interference::{hp_tasks, phase, w_scenario, w_star};
+use crate::state::TaskState;
+use crate::{service_time, AnalysisConfig, ScenarioMode};
+use hsched_numeric::{Cycles, Rational, Time};
+use hsched_transaction::{TaskRef, TransactionSet};
+
+/// Errors that abort the analysis (as opposed to an *unschedulable* verdict,
+/// which is a result).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalysisError {
+    /// Exact mode: the scenario space of Eq. (12) exceeds the configured cap.
+    TooManyScenarios {
+        /// The task whose analysis exploded.
+        task: TaskRef,
+        /// Number of scenarios required.
+        count: u128,
+        /// The configured maximum.
+        max: u64,
+    },
+    /// An inner fixpoint failed to settle within the iteration cap — in
+    /// practice a sign of numeric runaway from degenerate parameters.
+    InnerIterationCap {
+        /// The task being analyzed.
+        task: TaskRef,
+    },
+}
+
+impl std::fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnalysisError::TooManyScenarios { task, count, max } => write!(
+                f,
+                "exact analysis of {task} needs {count} scenarios (cap {max}); use the approximate mode"
+            ),
+            AnalysisError::InnerIterationCap { task } => {
+                write!(f, "inner fixpoint for {task} hit the iteration cap")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+/// Result of analyzing one task at fixed offsets/jitters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct TaskAnalysis {
+    /// The worst-case response time found (measured from the transaction's
+    /// activation, like the paper's `Ri,j`).
+    pub response: Time,
+    /// `false` when the busy period or completion time grew past the
+    /// divergence bound — the platform cannot sustain the demand and the
+    /// task is unschedulable (response is then the value at bail-out).
+    pub bounded: bool,
+}
+
+/// Analyzes task `under` given the current offset/jitter state of every
+/// task (§3.1.2 approximate or §3.1.1 exact, per config).
+pub(crate) fn analyze_task(
+    set: &TransactionSet,
+    states: &[Vec<TaskState>],
+    under: TaskRef,
+    config: &AnalysisConfig,
+) -> Result<TaskAnalysis, AnalysisError> {
+    let ctx = TaskContext::new(set, states, under, config);
+    match config.scenario_mode {
+        ScenarioMode::Approximate => ctx.analyze_approximate(),
+        ScenarioMode::Exact { max_scenarios } => ctx.analyze_exact(max_scenarios),
+    }
+}
+
+/// Precomputed context for one task's analysis.
+struct TaskContext<'a> {
+    set: &'a TransactionSet,
+    states: &'a [Vec<TaskState>],
+    under: TaskRef,
+    config: &'a AnalysisConfig,
+    /// `hpi(τa,b)` per transaction (Eq. 17).
+    hp: Vec<Vec<usize>>,
+    /// Period of the task's own transaction.
+    period: Time,
+    /// WCET of the task under analysis.
+    wcet: Cycles,
+    /// Offset φa,b.
+    phi: Time,
+    /// Jitter Ja,b.
+    jitter: Time,
+    /// Blocking Ba,b (time units).
+    blocking: Time,
+    /// Bail-out bound for busy periods / completion times.
+    bound: Time,
+}
+
+impl<'a> TaskContext<'a> {
+    fn new(
+        set: &'a TransactionSet,
+        states: &'a [Vec<TaskState>],
+        under: TaskRef,
+        config: &'a AnalysisConfig,
+    ) -> TaskContext<'a> {
+        let tx = &set.transactions()[under.tx];
+        let hp = (0..set.transactions().len())
+            .map(|i| hp_tasks(set, i, under))
+            .collect();
+        let st = states[under.tx][under.idx];
+        let bound = (tx.deadline + tx.period + st.jitter)
+            * Rational::from_integer(config.divergence_factor as i128);
+        TaskContext {
+            set,
+            states,
+            under,
+            config,
+            hp,
+            period: tx.period,
+            wcet: tx.tasks()[under.idx].wcet,
+            phi: st.phi,
+            jitter: st.jitter,
+            blocking: config.blocking_of(under.tx, under.idx),
+            bound,
+        }
+    }
+
+    fn platform(&self) -> &hsched_platform::Platform {
+        let id = self.set.task(self.under).platform;
+        &self.set.platforms()[id]
+    }
+
+    /// Worst-case time to serve `demand` cycles plus the blocking term:
+    /// the `Δ + B + …/α` prefix of Eqs. (13)/(16).
+    fn completion(&self, demand: Cycles) -> Time {
+        self.blocking + service_time(self.platform(), demand, self.config.service_mode)
+    }
+
+    /// §3.1.2: other transactions bounded by `W*`, own transaction's
+    /// scenarios enumerated.
+    fn analyze_approximate(&self) -> Result<TaskAnalysis, AnalysisError> {
+        let mut scenarios: Vec<usize> = self.hp[self.under.tx].clone();
+        scenarios.push(self.under.idx); // τa,b itself starts the busy period
+        let mut best = TaskAnalysis {
+            response: Time::ZERO,
+            bounded: true,
+        };
+        for &c in &scenarios {
+            let interference = |t: Time| -> Cycles {
+                let mut total = Cycles::ZERO;
+                for i in 0..self.set.transactions().len() {
+                    if i == self.under.tx || self.hp[i].is_empty() {
+                        continue;
+                    }
+                    total += w_star(self.set, self.states, i, &self.hp[i], t);
+                }
+                total += w_scenario(
+                    self.set,
+                    self.states,
+                    self.under.tx,
+                    c,
+                    &self.hp[self.under.tx],
+                    t,
+                );
+                total
+            };
+            let outcome = self.analyze_scenario(c, &interference)?;
+            best.response = best.response.max(outcome.response);
+            best.bounded &= outcome.bounded;
+            if !best.bounded {
+                return Ok(best);
+            }
+        }
+        Ok(best)
+    }
+
+    /// §3.1.1: full cartesian enumeration of scenario vectors ν (Eq. 12).
+    fn analyze_exact(&self, max_scenarios: u64) -> Result<TaskAnalysis, AnalysisError> {
+        // Candidate starters per transaction: hpi for i ≠ a (skipped when
+        // empty — no contribution), hpa ∪ {τa,b} for the own transaction.
+        let mut axes: Vec<(usize, Vec<usize>)> = Vec::new();
+        let mut count: u128 = 1;
+        for i in 0..self.set.transactions().len() {
+            let mut candidates = self.hp[i].clone();
+            if i == self.under.tx {
+                candidates.push(self.under.idx);
+            }
+            if candidates.is_empty() {
+                continue;
+            }
+            count = count.saturating_mul(candidates.len() as u128);
+            axes.push((i, candidates));
+        }
+        if count > max_scenarios as u128 {
+            return Err(AnalysisError::TooManyScenarios {
+                task: self.under,
+                count,
+                max: max_scenarios,
+            });
+        }
+
+        let mut best = TaskAnalysis {
+            response: Time::ZERO,
+            bounded: true,
+        };
+        // Iterate the cartesian product with an odometer.
+        let mut odo = vec![0usize; axes.len()];
+        loop {
+            // The own transaction's starter determines ϕ^c_{a,b}; when the
+            // own transaction has no axis (impossible — we always add τa,b),
+            // fall back to self-start.
+            let own_axis = axes
+                .iter()
+                .position(|(i, _)| *i == self.under.tx)
+                .expect("own transaction always contributes an axis");
+            let c = axes[own_axis].1[odo[own_axis]];
+            let interference = |t: Time| -> Cycles {
+                let mut total = Cycles::ZERO;
+                for (axis, &(i, ref candidates)) in axes.iter().enumerate() {
+                    if self.hp[i].is_empty() {
+                        continue;
+                    }
+                    let k = candidates[odo[axis]];
+                    total += w_scenario(self.set, self.states, i, k, &self.hp[i], t);
+                }
+                total
+            };
+            let outcome = self.analyze_scenario(c, &interference)?;
+            best.response = best.response.max(outcome.response);
+            best.bounded &= outcome.bounded;
+            if !best.bounded {
+                return Ok(best);
+            }
+            // Advance the odometer.
+            let mut pos = 0;
+            loop {
+                if pos == odo.len() {
+                    return Ok(best);
+                }
+                odo[pos] += 1;
+                if odo[pos] < axes[pos].1.len() {
+                    break;
+                }
+                odo[pos] = 0;
+                pos += 1;
+            }
+        }
+    }
+
+    /// Analyzes one scenario: busy period started by τa,c's critical
+    /// release (`c` may be the task itself). `interference(t)` yields the
+    /// total hp demand in cycles for a busy period of length `t`.
+    fn analyze_scenario(
+        &self,
+        c: usize,
+        interference: &dyn Fn(Time) -> Cycles,
+    ) -> Result<TaskAnalysis, AnalysisError> {
+        let starter = &self.states[self.under.tx][c];
+        let phi_c = phase(self.period, starter, self.phi);
+        // p0 = 1 − ⌊(Ja,b + ϕ)/Ta⌋ — index of the oldest pending job.
+        let p0 = 1 - ((self.jitter + phi_c) / self.period).floor();
+
+        // Busy period length L (the paper's iterative expression after
+        // Eq. 16); monotone non-decreasing iteration from 0.
+        let mut len = Time::ZERO;
+        let mut iterations = 0usize;
+        let busy_len = loop {
+            // Arrivals clamped at 0 so the L = 0 seed sees the pending jobs
+            // (right-limit semantics, as in `job_count`).
+            let own_arrivals = ((len - phi_c) / self.period).ceil().max(0);
+            let own_jobs = (own_arrivals - p0 + 1).max(0);
+            let demand = Rational::from_integer(own_jobs) * self.wcet + interference(len);
+            let next = self.completion(demand);
+            if next == len {
+                break len;
+            }
+            if next > self.bound {
+                return Ok(TaskAnalysis {
+                    response: next,
+                    bounded: false,
+                });
+            }
+            len = next;
+            iterations += 1;
+            if iterations > self.config.max_inner_iterations {
+                return Err(AnalysisError::InnerIterationCap { task: self.under });
+            }
+        };
+        // Last job inside the busy period (Eq. 14).
+        let p_last = ((busy_len - phi_c) / self.period).ceil();
+
+        let mut best = Time::ZERO;
+        let mut p = p0;
+        while p <= p_last {
+            let mut w = Time::ZERO;
+            let jobs = Rational::from_integer(p - p0 + 1);
+            let mut iterations = 0usize;
+            let completion = loop {
+                let demand = jobs * self.wcet + interference(w);
+                let next = self.completion(demand);
+                if next == w {
+                    break w;
+                }
+                if next > self.bound {
+                    return Ok(TaskAnalysis {
+                        response: next,
+                        bounded: false,
+                    });
+                }
+                w = next;
+                iterations += 1;
+                if iterations > self.config.max_inner_iterations {
+                    return Err(AnalysisError::InnerIterationCap { task: self.under });
+                }
+            };
+            // R = w − (ϕ + (p−1)T − φ): completion minus the transaction's
+            // activation instant.
+            let activation = phi_c + self.period * Rational::from_integer(p - 1) - self.phi;
+            best = best.max(completion - activation);
+            p += 1;
+        }
+        Ok(TaskAnalysis {
+            response: best,
+            bounded: true,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::initial_states;
+    use crate::ServiceTimeMode;
+    use hsched_numeric::rat;
+    use hsched_transaction::paper_example;
+
+    fn setup() -> (TransactionSet, Vec<Vec<TaskState>>, AnalysisConfig) {
+        let set = paper_example::transactions();
+        let states = initial_states(&set, ServiceTimeMode::LinearBounds);
+        (set, states, AnalysisConfig::default())
+    }
+
+    #[test]
+    fn iteration0_matches_table3_column0() {
+        let (set, states, config) = setup();
+        // Table 3, k = 0: R(0) = [12, 9, 10, 12] for Γ1.
+        let expected = [rat(12, 1), rat(9, 1), rat(10, 1), rat(12, 1)];
+        for (idx, want) in expected.into_iter().enumerate() {
+            let r = analyze_task(&set, &states, TaskRef { tx: 0, idx }, &config).unwrap();
+            assert!(r.bounded);
+            assert_eq!(r.response, want, "τ1,{} at iteration 0", idx + 1);
+        }
+    }
+
+    #[test]
+    fn independent_transactions_iteration0() {
+        let (set, states, config) = setup();
+        // τ2,1 on Π1 (p=3, no interference): Δ + C/α = 1 + 2.5 = 3.5.
+        let r = analyze_task(&set, &states, TaskRef { tx: 1, idx: 0 }, &config).unwrap();
+        assert_eq!(r.response, rat(7, 2));
+        // τ3,1 symmetric.
+        let r = analyze_task(&set, &states, TaskRef { tx: 2, idx: 0 }, &config).unwrap();
+        assert_eq!(r.response, rat(7, 2));
+        // τ4,1 on Π3 (p=1): interference from τ1,1 and τ1,4 (one job each in
+        // its busy period): 2 + (7 + 1 + 1)/0.2 = 47.
+        let r = analyze_task(&set, &states, TaskRef { tx: 3, idx: 0 }, &config).unwrap();
+        assert_eq!(r.response, rat(47, 1));
+    }
+
+    #[test]
+    fn jitter_19_gives_tau14_response_31() {
+        // The disputed Table 3 cell: with J1,4 = 19 (the converged jitter),
+        // the paper's equations yield R = w + J + φ = 7 + 19 + 5 = 31
+        // (the paper prints 39; see EXPERIMENTS.md).
+        let (set, mut states, config) = setup();
+        states[0][1].jitter = rat(9, 1); // converged J1,2
+        states[0][2].jitter = rat(14, 1); // converged J1,3
+        states[0][3].jitter = rat(19, 1); // converged J1,4
+        let r = analyze_task(&set, &states, TaskRef { tx: 0, idx: 3 }, &config).unwrap();
+        assert_eq!(r.response, rat(31, 1));
+    }
+
+    #[test]
+    fn exact_equals_approximate_on_paper_example() {
+        // With at most one hp task per foreign transaction, W* degenerates
+        // to the single scenario and both modes agree.
+        let (set, states, _) = setup();
+        let approx = AnalysisConfig::default();
+        let exact = AnalysisConfig::exact(10_000);
+        for r in set.task_refs() {
+            let a = analyze_task(&set, &states, r, &approx).unwrap();
+            let e = analyze_task(&set, &states, r, &exact).unwrap();
+            assert_eq!(a.response, e.response, "mismatch at {r}");
+        }
+    }
+
+    #[test]
+    fn exact_never_exceeds_approximate() {
+        // Construct a case with several hp tasks in a foreign transaction so
+        // that W* genuinely maximizes over scenarios.
+        use hsched_platform::{Platform, PlatformSet};
+        use hsched_transaction::{Task, Transaction, TransactionSet};
+        let mut platforms = PlatformSet::new();
+        let p = platforms.add(Platform::linear("cpu", rat(1, 2), rat(1, 1), rat(0, 1)).unwrap());
+        let noisy = Transaction::new(
+            "noisy",
+            rat(20, 1),
+            rat(20, 1),
+            vec![
+                Task::new("n1", rat(1, 1), rat(1, 1), 5, p),
+                Task::new("n2", rat(2, 1), rat(1, 1), 5, p),
+                Task::new("n3", rat(1, 1), rat(1, 2), 5, p),
+            ],
+        )
+        .unwrap();
+        let victim = Transaction::new(
+            "victim",
+            rat(40, 1),
+            rat(40, 1),
+            vec![Task::new("v", rat(3, 1), rat(3, 1), 1, p)],
+        )
+        .unwrap();
+        let set = TransactionSet::new(platforms, vec![noisy, victim]).unwrap();
+        let states = initial_states(&set, ServiceTimeMode::LinearBounds);
+        let under = TaskRef { tx: 1, idx: 0 };
+        let approx =
+            analyze_task(&set, &states, under, &AnalysisConfig::default()).unwrap();
+        let exact =
+            analyze_task(&set, &states, under, &AnalysisConfig::exact(1_000_000)).unwrap();
+        assert!(
+            exact.response <= approx.response,
+            "exact {} > approx {}",
+            exact.response,
+            approx.response
+        );
+    }
+
+    #[test]
+    fn scenario_cap_enforced() {
+        let (set, states, _) = setup();
+        let tight = AnalysisConfig::exact(0);
+        let err = analyze_task(&set, &states, TaskRef { tx: 0, idx: 0 }, &tight).unwrap_err();
+        assert!(matches!(err, AnalysisError::TooManyScenarios { .. }));
+    }
+
+    #[test]
+    fn overload_detected_as_unbounded() {
+        use hsched_platform::{Platform, PlatformSet};
+        use hsched_transaction::{Task, Transaction, TransactionSet};
+        let mut platforms = PlatformSet::new();
+        // Platform rate 0.1 with a task demanding 2 cycles every 10: U = 0.2 > α.
+        let p = platforms.add(Platform::linear("tiny", rat(1, 10), rat(0, 1), rat(0, 1)).unwrap());
+        let hog = Transaction::new(
+            "hog",
+            rat(10, 1),
+            rat(10, 1),
+            vec![Task::new("h", rat(2, 1), rat(2, 1), 2, p)],
+        )
+        .unwrap();
+        let victim = Transaction::new(
+            "victim",
+            rat(100, 1),
+            rat(100, 1),
+            vec![Task::new("v", rat(1, 1), rat(1, 1), 1, p)],
+        )
+        .unwrap();
+        let set = TransactionSet::new(platforms, vec![hog, victim]).unwrap();
+        let states = initial_states(&set, ServiceTimeMode::LinearBounds);
+        let r = analyze_task(
+            &set,
+            &states,
+            TaskRef { tx: 1, idx: 0 },
+            &AnalysisConfig::default(),
+        )
+        .unwrap();
+        assert!(!r.bounded, "expected overload detection");
+    }
+
+    #[test]
+    fn multi_job_busy_period_analyzed() {
+        // hi (C=3.5, T=5) + lo (C=2, T=8) on a dedicated CPU: level-lo busy
+        // period is 14.5 and contains TWO lo jobs. Job 1: w = 9, R = 9;
+        // job 2: w = 14.5, R = 14.5 − 8 = 6.5. The analysis must walk both
+        // and report max = 9.
+        use hsched_platform::{Platform, PlatformSet};
+        use hsched_transaction::{Task, Transaction, TransactionSet};
+        let mut platforms = PlatformSet::new();
+        let p = platforms.add(Platform::dedicated("cpu"));
+        let hi = Transaction::new(
+            "hi",
+            rat(5, 1),
+            rat(5, 1),
+            vec![Task::new("h", rat(7, 2), rat(7, 2), 2, p)],
+        )
+        .unwrap();
+        let lo = Transaction::new(
+            "lo",
+            rat(8, 1),
+            rat(30, 1),
+            vec![Task::new("l", rat(2, 1), rat(2, 1), 1, p)],
+        )
+        .unwrap();
+        let set = TransactionSet::new(platforms, vec![hi, lo]).unwrap();
+        let states = initial_states(&set, ServiceTimeMode::LinearBounds);
+        let r = analyze_task(
+            &set,
+            &states,
+            TaskRef { tx: 1, idx: 0 },
+            &AnalysisConfig::default(),
+        )
+        .unwrap();
+        assert!(r.bounded);
+        assert_eq!(r.response, rat(9, 1));
+    }
+
+    #[test]
+    fn jitter_induced_pending_jobs_analyzed() {
+        // A task whose own jitter exceeds its period: two pending jobs at
+        // the critical instant (p0 = −1). With C = 1, T = 5, J = 12 on a
+        // dedicated CPU: ⌊(12+ϕ)/5⌋ with ϕ = 5 − (12 mod 5) = 3 → 3 pending
+        // jobs, so p0 = −2; the busy period serves them back to back and the
+        // oldest job's response is w(−2) − (ϕ − 3T) = 1 − (3 − 15) = 13.
+        use hsched_platform::{Platform, PlatformSet};
+        use hsched_transaction::{Task, Transaction, TransactionSet};
+        let mut platforms = PlatformSet::new();
+        let p = platforms.add(Platform::dedicated("cpu"));
+        let tx = Transaction::new(
+            "bursty",
+            rat(5, 1),
+            rat(40, 1),
+            vec![Task::new("b", rat(1, 1), rat(1, 1), 1, p)],
+        )
+        .unwrap()
+        .with_release_jitter(rat(12, 1));
+        let set = TransactionSet::new(platforms, vec![tx]).unwrap();
+        let states = initial_states(&set, ServiceTimeMode::LinearBounds);
+        assert_eq!(states[0][0].jitter, rat(12, 1));
+        let r = analyze_task(
+            &set,
+            &states,
+            TaskRef { tx: 0, idx: 0 },
+            &AnalysisConfig::default(),
+        )
+        .unwrap();
+        assert!(r.bounded);
+        assert_eq!(r.response, rat(13, 1));
+    }
+
+    #[test]
+    fn blocking_term_adds_directly() {
+        let (set, states, mut config) = setup();
+        // Add B = 2 to τ2,1 (otherwise interference-free): R = 3.5 + 2.
+        config.blocking = vec![vec![], vec![rat(2, 1)], vec![], vec![]];
+        let r = analyze_task(&set, &states, TaskRef { tx: 1, idx: 0 }, &config).unwrap();
+        assert_eq!(r.response, rat(11, 2));
+    }
+
+    #[test]
+    fn dedicated_platform_reduces_to_classic_response() {
+        // α=1, Δ=0, β=0: two independent single-task transactions, RM-style.
+        use hsched_platform::{Platform, PlatformSet};
+        use hsched_transaction::{Task, Transaction, TransactionSet};
+        let mut platforms = PlatformSet::new();
+        let p = platforms.add(Platform::dedicated("cpu"));
+        let hi = Transaction::new(
+            "hi",
+            rat(5, 1),
+            rat(5, 1),
+            vec![Task::new("h", rat(2, 1), rat(2, 1), 2, p)],
+        )
+        .unwrap();
+        let lo = Transaction::new(
+            "lo",
+            rat(14, 1),
+            rat(14, 1),
+            vec![Task::new("l", rat(3, 1), rat(3, 1), 1, p)],
+        )
+        .unwrap();
+        let set = TransactionSet::new(platforms, vec![hi, lo]).unwrap();
+        let states = initial_states(&set, ServiceTimeMode::LinearBounds);
+        let config = AnalysisConfig::default();
+        let r_hi = analyze_task(&set, &states, TaskRef { tx: 0, idx: 0 }, &config).unwrap();
+        assert_eq!(r_hi.response, rat(2, 1));
+        // lo: w = 3 + ⌈w/5⌉·2 → w = 5 (classic RTA fixpoint; the second job
+        // of `hi` arrives exactly at 5 and is outside the busy window).
+        let r_lo = analyze_task(&set, &states, TaskRef { tx: 1, idx: 0 }, &config).unwrap();
+        assert_eq!(r_lo.response, rat(5, 1));
+    }
+}

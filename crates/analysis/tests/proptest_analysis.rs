@@ -1,0 +1,267 @@
+//! Property tests for the holistic analysis on randomized small systems:
+//! ordering and monotonicity laws that must hold whatever the workload.
+
+use hsched_analysis::{analyze_with, AnalysisConfig, UpdateOrder};
+use hsched_numeric::{rat, Rational};
+use hsched_platform::{Platform, PlatformId, PlatformSet};
+use hsched_transaction::{Task, Transaction, TransactionSet};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RawTask {
+    wcet_tenths: i128,
+    bcet_pct: i128,
+    priority: u32,
+    platform: usize,
+}
+
+#[derive(Debug, Clone)]
+struct RawSystem {
+    alphas: Vec<i128>, // tenths, 1..=10
+    deltas: Vec<i128>,
+    txs: Vec<(i128, Vec<RawTask>)>, // (period index, tasks)
+}
+
+const PERIODS: [i128; 5] = [25, 40, 50, 80, 100];
+
+fn raw_system() -> impl Strategy<Value = RawSystem> {
+    let task = (1i128..=10, 25i128..=100, 1u32..=4, 0usize..2).prop_map(
+        |(wcet_tenths, bcet_pct, priority, platform)| RawTask {
+            wcet_tenths,
+            bcet_pct,
+            priority,
+            platform,
+        },
+    );
+    let tx = (0i128..5, proptest::collection::vec(task, 1..=3));
+    (
+        proptest::collection::vec(3i128..=10, 2..=2),
+        proptest::collection::vec(0i128..=2, 2..=2),
+        proptest::collection::vec(tx, 1..=3),
+    )
+        .prop_map(|(alphas, deltas, txs)| RawSystem { alphas, deltas, txs })
+}
+
+fn build(raw: &RawSystem) -> TransactionSet {
+    let mut platforms = PlatformSet::new();
+    for (k, (&a, &d)) in raw.alphas.iter().zip(&raw.deltas).enumerate() {
+        platforms.add(
+            Platform::linear(format!("P{k}"), rat(a, 10), rat(d, 1), rat(0, 1)).expect("valid"),
+        );
+    }
+    let txs = raw
+        .txs
+        .iter()
+        .enumerate()
+        .map(|(i, (p_idx, tasks))| {
+            let period = rat(PERIODS[(*p_idx as usize) % PERIODS.len()], 1);
+            let tasks = tasks
+                .iter()
+                .enumerate()
+                .map(|(j, t)| {
+                    let wcet = rat(t.wcet_tenths, 10);
+                    Task::new(
+                        format!("t{i}_{j}"),
+                        wcet,
+                        wcet * rat(t.bcet_pct, 100),
+                        t.priority,
+                        PlatformId(t.platform % 2),
+                    )
+                })
+                .collect();
+            Transaction::new(format!("tx{i}"), period, period * rat(4, 1), tasks).expect("valid")
+        })
+        .collect();
+    TransactionSet::new(platforms, txs).expect("valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn responses_dominate_best_case_chain(raw in raw_system()) {
+        let set = build(&raw);
+        let report = analyze_with(&set, &AnalysisConfig::default()).unwrap();
+        prop_assume!(!report.diverged && report.converged);
+        for (i, row) in report.tasks.iter().enumerate() {
+            for (j, t) in row.iter().enumerate() {
+                prop_assert!(
+                    t.response >= t.best_response,
+                    "R < Rbest at τ{},{}", i + 1, j + 1
+                );
+                prop_assert!(t.response.is_positive());
+                prop_assert!(!t.jitter.is_negative());
+                // Responses grow along the chain (precedence).
+                if j > 0 {
+                    prop_assert!(
+                        t.response >= row[j - 1].response,
+                        "chain response not monotone at τ{},{}", i + 1, j + 1
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trace_responses_monotone_across_iterations(raw in raw_system()) {
+        let set = build(&raw);
+        let report = analyze_with(&set, &AnalysisConfig::default()).unwrap();
+        prop_assume!(!report.diverged);
+        for k in 1..report.trace.len() {
+            for (i, row) in report.trace[k].responses.iter().enumerate() {
+                for (j, &r) in row.iter().enumerate() {
+                    prop_assert!(
+                        r >= report.trace[k - 1].responses[i][j],
+                        "iteration {k} shrank R at τ{},{}", i + 1, j + 1
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gauss_seidel_matches_jacobi_fixpoint(raw in raw_system()) {
+        let set = build(&raw);
+        let jacobi = analyze_with(&set, &AnalysisConfig::default()).unwrap();
+        let gs = analyze_with(
+            &set,
+            &AnalysisConfig {
+                update_order: UpdateOrder::GaussSeidel,
+                ..AnalysisConfig::default()
+            },
+        )
+        .unwrap();
+        prop_assume!(jacobi.converged && gs.converged);
+        for r in set.task_refs() {
+            prop_assert_eq!(
+                jacobi.response(r.tx, r.idx),
+                gs.response(r.tx, r.idx),
+                "fixpoints differ at {}", r
+            );
+        }
+        prop_assert!(gs.iterations() <= jacobi.iterations());
+    }
+
+    #[test]
+    fn inflating_a_wcet_never_shrinks_any_response(raw in raw_system()) {
+        let set = build(&raw);
+        let base = analyze_with(&set, &AnalysisConfig::default()).unwrap();
+        prop_assume!(base.converged && !base.diverged);
+        // Double the first task's WCET.
+        let mut txs: Vec<Transaction> = set.transactions().to_vec();
+        let mut tasks = txs[0].tasks().to_vec();
+        tasks[0].wcet *= rat(2, 1);
+        tasks[0].bcet = tasks[0].bcet.min(tasks[0].wcet);
+        txs[0] = Transaction::new(
+            txs[0].name.clone(),
+            txs[0].period,
+            txs[0].deadline,
+            tasks,
+        )
+        .unwrap();
+        let heavier = TransactionSet::new(set.platforms().clone(), txs).unwrap();
+        let inflated = analyze_with(&heavier, &AnalysisConfig::default()).unwrap();
+        prop_assume!(!inflated.diverged);
+        for r in set.task_refs() {
+            prop_assert!(
+                inflated.response(r.tx, r.idx) >= base.response(r.tx, r.idx),
+                "heavier load shrank response at {}", r
+            );
+        }
+    }
+
+    #[test]
+    fn threads_do_not_change_results(raw in raw_system()) {
+        let set = build(&raw);
+        let seq = analyze_with(&set, &AnalysisConfig::default()).unwrap();
+        let par = analyze_with(
+            &set,
+            &AnalysisConfig {
+                threads: 3,
+                ..AnalysisConfig::default()
+            },
+        )
+        .unwrap();
+        for r in set.task_refs() {
+            prop_assert_eq!(seq.response(r.tx, r.idx), par.response(r.tx, r.idx));
+        }
+    }
+
+    #[test]
+    fn utilization_overflow_always_detected(raw in raw_system()) {
+        // Scale all WCETs so that some platform's demand exceeds its rate:
+        // the analysis must report divergence rather than fabricate bounds.
+        let set = build(&raw);
+        let u = set.platform_utilization();
+        let alpha0 = set.platforms()[PlatformId(0)].alpha();
+        prop_assume!(u[0].is_positive());
+        // Factor pushing platform 0 to 1.5× its capacity.
+        let factor = alpha0 / u[0] * rat(3, 2);
+        let txs: Vec<Transaction> = set
+            .transactions()
+            .iter()
+            .map(|tx| {
+                let tasks = tx
+                    .tasks()
+                    .iter()
+                    .map(|t| {
+                        let mut t = t.clone();
+                        if t.platform == PlatformId(0) {
+                            t.wcet *= factor;
+                            t.bcet = t.bcet.min(t.wcet);
+                        }
+                        t
+                    })
+                    .collect();
+                Transaction::new(tx.name.clone(), tx.period, tx.deadline, tasks).unwrap()
+            })
+            .collect();
+        let overloaded = TransactionSet::new(set.platforms().clone(), txs).unwrap();
+        prop_assert!(!overloaded.overloaded_platforms().is_empty());
+        let report = analyze_with(&overloaded, &AnalysisConfig::default()).unwrap();
+        prop_assert!(report.diverged || !report.schedulable());
+    }
+}
+
+/// Non-proptest determinism anchor: the same raw system analyzed twice gives
+/// byte-identical reports.
+#[test]
+fn analysis_is_deterministic() {
+    let raw = RawSystem {
+        alphas: vec![4, 7],
+        deltas: vec![1, 2],
+        txs: vec![
+            (
+                0,
+                vec![
+                    RawTask {
+                        wcet_tenths: 8,
+                        bcet_pct: 50,
+                        priority: 2,
+                        platform: 0,
+                    },
+                    RawTask {
+                        wcet_tenths: 5,
+                        bcet_pct: 100,
+                        priority: 1,
+                        platform: 1,
+                    },
+                ],
+            ),
+            (
+                2,
+                vec![RawTask {
+                    wcet_tenths: 10,
+                    bcet_pct: 75,
+                    priority: 3,
+                    platform: 0,
+                }],
+            ),
+        ],
+    };
+    let set = build(&raw);
+    let a = analyze_with(&set, &AnalysisConfig::default()).unwrap();
+    let b = analyze_with(&set, &AnalysisConfig::default()).unwrap();
+    assert_eq!(a, b);
+    assert_eq!(Rational::ONE, rat(1, 1));
+}

@@ -1,0 +1,63 @@
+//! Criterion bench: the holistic analysis — the paper example (Table 3),
+//! scaling in system size, exact vs approximate scenario handling, and the
+//! parallel Jacobi step.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hsched_analysis::{analyze_with, AnalysisConfig};
+use hsched_bench::{random_system, WorkloadSpec};
+use hsched_transaction::paper_example;
+
+fn bench_paper_example(c: &mut Criterion) {
+    let set = paper_example::transactions();
+    c.bench_function("analysis/paper_example_table3", |b| {
+        b.iter(|| black_box(analyze_with(black_box(&set), &AnalysisConfig::default())))
+    });
+    c.bench_function("analysis/paper_example_exact", |b| {
+        b.iter(|| black_box(analyze_with(black_box(&set), &AnalysisConfig::exact(100_000))))
+    });
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis/scaling_transactions");
+    group.sample_size(10);
+    for n in [4usize, 8, 16, 32] {
+        let set = random_system(&WorkloadSpec {
+            platforms: 4,
+            transactions: n,
+            max_tasks_per_tx: 4,
+            seed: 42,
+            ..WorkloadSpec::default()
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(n), &set, |b, set| {
+            b.iter(|| black_box(analyze_with(set, &AnalysisConfig::default())))
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let set = random_system(&WorkloadSpec {
+        platforms: 4,
+        transactions: 24,
+        max_tasks_per_tx: 4,
+        seed: 7,
+        ..WorkloadSpec::default()
+    });
+    let mut group = c.benchmark_group("analysis/threads");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        let config = AnalysisConfig {
+            threads,
+            ..AnalysisConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &config,
+            |b, config| b.iter(|| black_box(analyze_with(&set, config))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_paper_example, bench_scaling, bench_parallel);
+criterion_main!(benches);

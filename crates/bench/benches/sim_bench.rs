@@ -1,0 +1,41 @@
+//! Criterion bench: simulator throughput on the paper example and on
+//! generated workloads.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hsched_bench::{random_system, WorkloadSpec};
+use hsched_numeric::rat;
+use hsched_sim::{simulate, SimConfig};
+use hsched_transaction::paper_example;
+
+fn bench_sim(c: &mut Criterion) {
+    let set = paper_example::transactions();
+    c.bench_function("sim/paper_example_1000ms_worst", |b| {
+        b.iter(|| black_box(simulate(&set, &SimConfig::worst_case(rat(1000, 1)))))
+    });
+    c.bench_function("sim/paper_example_1000ms_random", |b| {
+        b.iter(|| black_box(simulate(&set, &SimConfig::randomized(rat(1000, 1), 3))))
+    });
+
+    let mut group = c.benchmark_group("sim/horizon_scaling");
+    group.sample_size(10);
+    for h in [500i128, 1000, 2000, 4000] {
+        group.bench_with_input(BenchmarkId::from_parameter(h), &h, |b, &h| {
+            b.iter(|| black_box(simulate(&set, &SimConfig::worst_case(rat(h, 1)))))
+        });
+    }
+    group.finish();
+
+    let big = random_system(&WorkloadSpec {
+        platforms: 4,
+        transactions: 16,
+        max_tasks_per_tx: 4,
+        seed: 11,
+        ..WorkloadSpec::default()
+    });
+    c.bench_function("sim/generated_16tx_1000ms", |b| {
+        b.iter(|| black_box(simulate(&big, &SimConfig::worst_case(rat(1000, 1)))))
+    });
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

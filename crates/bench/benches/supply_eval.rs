@@ -1,0 +1,76 @@
+//! Criterion bench: supply-function evaluation and inversion across the
+//! curve implementations (backs Figure 3's machinery).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hsched_numeric::rat;
+use hsched_supply::{
+    extract_linear_bounds, BoundedDelay, PeriodicServer, QuantizedFluid, SupplyCurve, TdmaSupply,
+};
+
+fn bench_eval(c: &mut Criterion) {
+    let server = PeriodicServer::new(rat(2, 1), rat(5, 1)).unwrap();
+    let linear = BoundedDelay::new(rat(2, 5), rat(6, 1), rat(6, 1)).unwrap();
+    let tdma = TdmaSupply::new(
+        rat(10, 1),
+        vec![(rat(1, 1), rat(2, 1)), (rat(6, 1), rat(1, 1))],
+    )
+    .unwrap();
+    let fluid = QuantizedFluid::new(rat(2, 5), rat(1, 1)).unwrap();
+
+    let mut group = c.benchmark_group("zmin_eval");
+    let ts: Vec<_> = (0..100).map(|k| rat(k, 4)).collect();
+    group.bench_function("periodic_server", |b| {
+        b.iter(|| {
+            for &t in &ts {
+                black_box(server.zmin(black_box(t)));
+            }
+        })
+    });
+    group.bench_function("linear", |b| {
+        b.iter(|| {
+            for &t in &ts {
+                black_box(linear.zmin(black_box(t)));
+            }
+        })
+    });
+    group.bench_function("tdma", |b| {
+        b.iter(|| {
+            for &t in &ts {
+                black_box(tdma.zmin(black_box(t)));
+            }
+        })
+    });
+    group.bench_function("quantized_fluid", |b| {
+        b.iter(|| {
+            for &t in &ts {
+                black_box(fluid.zmin(black_box(t)));
+            }
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("inverse_zmin");
+    let cs: Vec<_> = (1..50).map(|k| rat(k, 4)).collect();
+    group.bench_function("periodic_server", |b| {
+        b.iter(|| {
+            for &x in &cs {
+                black_box(server.time_to_supply_min(black_box(x)));
+            }
+        })
+    });
+    group.bench_function("tdma", |b| {
+        b.iter(|| {
+            for &x in &cs {
+                black_box(tdma.time_to_supply_min(black_box(x)));
+            }
+        })
+    });
+    group.finish();
+
+    c.bench_function("extract_linear_bounds/tdma", |b| {
+        b.iter(|| black_box(extract_linear_bounds(&tdma, rat(40, 1))))
+    });
+}
+
+criterion_group!(benches, bench_eval);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Soundness sweep: simulated response times never exceed analytic bounds.
+//!
+//! Runs randomized workloads through the analysis; every schedulable system
+//! is then simulated under adversarial (worst-case, synchronous) and
+//! randomized regimes, and the observed per-task maxima are compared to the
+//! bounds. Also reports the tightness ratio (observed/bound), i.e. how
+//! pessimistic the holistic analysis is in practice.
+//!
+//! Run with: `cargo run -p hsched-bench --release --bin analysis_vs_sim`
+
+use hsched_analysis::analyze;
+use hsched_bench::{random_system, WorkloadSpec};
+use hsched_numeric::rat;
+use hsched_sim::{simulate, SimConfig};
+
+fn main() {
+    let horizon = rat(3000, 1);
+    let mut checked = 0usize;
+    let mut skipped = 0usize;
+    let mut worst_tightness = 0.0f64;
+    println!("seed  schedulable  tasks  max(observed/bound)");
+    for seed in 0..20u64 {
+        let set = random_system(&WorkloadSpec {
+            platforms: 3,
+            transactions: 5,
+            max_tasks_per_tx: 3,
+            load_fraction: rat(2, 5),
+            priority_levels: 5,
+            seed,
+        });
+        let report = analyze(&set);
+        if !report.schedulable() {
+            skipped += 1;
+            println!("{seed:<5} no (skipped)");
+            continue;
+        }
+        let mut tightness: f64 = 0.0;
+        for config in [
+            SimConfig::worst_case(horizon),
+            SimConfig::randomized(horizon, seed.wrapping_mul(7919)),
+        ] {
+            let sim = simulate(&set, &config);
+            for r in set.task_refs() {
+                let bound = report.response(r.tx, r.idx);
+                if let Some(observed) = sim.task_stats(r.tx, r.idx).max_response {
+                    assert!(
+                        observed <= bound,
+                        "seed {seed}: {r} observed {observed} > bound {bound}"
+                    );
+                    tightness = tightness.max((observed / bound).to_f64());
+                }
+            }
+        }
+        worst_tightness = worst_tightness.max(tightness);
+        checked += 1;
+        println!("{seed:<5} yes          {:<6} {tightness:.3}", set.num_tasks());
+    }
+    println!(
+        "\nchecked {checked} schedulable systems ({skipped} skipped); \
+         bounds held everywhere; worst tightness {worst_tightness:.3}"
+    );
+    assert!(checked > 0, "the sweep must exercise at least one system");
+}

@@ -1,0 +1,63 @@
+//! Extended experiment: §3.1.1 exact analysis vs §3.1.2 reduced scenarios.
+//!
+//! Sweeps generated workloads, counting scenarios (Eq. 12 vs the reduced
+//! set) and measuring the tightness gap of the approximation.
+//!
+//! Run with: `cargo run -p hsched-bench --release --bin exact_vs_approx`
+
+use hsched_analysis::{analyze_with, AnalysisConfig};
+use hsched_bench::{random_system, total_scenarios, WorkloadSpec};
+use hsched_numeric::Rational;
+
+fn main() {
+    println!("workload  tasks  scenarios_exact  scenarios_reduced  max_gap  mean_gap");
+    let mut any_gap = false;
+    for seed in 0..12u64 {
+        let set = random_system(&WorkloadSpec {
+            platforms: 2,
+            transactions: 4,
+            max_tasks_per_tx: 3,
+            // Few priority levels: dense hp sets, so W* genuinely maximizes
+            // over several candidate scenarios.
+            priority_levels: 2,
+            seed,
+            ..WorkloadSpec::default()
+        });
+        let (exact_n, reduced_n) = total_scenarios(&set);
+        let approx = analyze_with(&set, &AnalysisConfig::default()).expect("approx runs");
+        let exact = match analyze_with(&set, &AnalysisConfig::exact(200_000)) {
+            Ok(r) => r,
+            Err(e) => {
+                println!("seed {seed}: exact analysis refused: {e}");
+                continue;
+            }
+        };
+        let mut max_gap = Rational::ZERO;
+        let mut sum_gap = Rational::ZERO;
+        let mut n = 0i128;
+        for r in set.task_refs() {
+            let a = approx.response(r.tx, r.idx);
+            let e = exact.response(r.tx, r.idx);
+            assert!(
+                e <= a,
+                "exact must never exceed approximate: {e} > {a} at {r} (seed {seed})"
+            );
+            let gap = a - e;
+            max_gap = max_gap.max(gap);
+            sum_gap += gap;
+            n += 1;
+        }
+        if max_gap.is_positive() {
+            any_gap = true;
+        }
+        println!(
+            "{seed:<9} {:<6} {exact_n:<16} {reduced_n:<18} {:<8} {}",
+            set.num_tasks(),
+            max_gap.to_string(),
+            (sum_gap / Rational::from_integer(n)).to_f64()
+        );
+    }
+    eprintln!(
+        "exact_vs_approx: exact ≤ approximate everywhere ✓ (observable gap on some seeds: {any_gap})"
+    );
+}

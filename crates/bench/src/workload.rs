@@ -1,0 +1,121 @@
+//! Randomized transaction-set generation for scalability and soundness
+//! experiments.
+
+use hsched_numeric::{rat, Cycles, Rational, Time};
+use hsched_platform::{Platform, PlatformId, PlatformSet};
+use hsched_transaction::{Task, Transaction, TransactionSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a random workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Number of abstract platforms.
+    pub platforms: usize,
+    /// Number of transactions.
+    pub transactions: usize,
+    /// Maximum chain length per transaction (≥ 1).
+    pub max_tasks_per_tx: usize,
+    /// Target demand utilization of each platform, as a fraction of its
+    /// rate α (e.g. 1/2 loads each platform to half its reserved capacity).
+    pub load_fraction: Rational,
+    /// Number of distinct priority levels tasks are drawn from (≥ 1).
+    /// Fewer levels mean more mutual interference and larger scenario
+    /// spaces for the exact analysis.
+    pub priority_levels: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> WorkloadSpec {
+        WorkloadSpec {
+            platforms: 3,
+            transactions: 4,
+            max_tasks_per_tx: 4,
+            load_fraction: rat(1, 2),
+            priority_levels: 5,
+            seed: 0,
+        }
+    }
+}
+
+/// Periods drawn from a small harmonic-ish menu (keeps hyperperiods sane).
+const PERIOD_MENU: [i128; 8] = [20, 30, 40, 50, 60, 80, 100, 150];
+/// Platform rate menu.
+const ALPHA_MENU: [(i128, i128); 5] = [(1, 5), (3, 10), (2, 5), (1, 2), (7, 10)];
+
+/// Generates a random transaction set.
+///
+/// Guarantees by construction: every task has `0 < bcet ≤ wcet`, every
+/// platform's demand utilization stays at or below
+/// `load_fraction × α` (so the necessary condition always holds — whether
+/// the set is *schedulable* is for the analysis to decide), and the same
+/// seed reproduces the same system.
+pub fn random_system(spec: &WorkloadSpec) -> TransactionSet {
+    assert!(spec.platforms > 0 && spec.transactions > 0 && spec.max_tasks_per_tx > 0);
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+
+    let mut platforms = PlatformSet::new();
+    let mut capacity: Vec<Rational> = Vec::new(); // remaining demand budget
+    for k in 0..spec.platforms {
+        let (n, d) = ALPHA_MENU[rng.gen_range(0..ALPHA_MENU.len())];
+        let alpha = rat(n, d);
+        let delta = rat(rng.gen_range(0..=3), 1);
+        let beta = rat(rng.gen_range(0..=1), 1);
+        platforms.add(Platform::linear(format!("P{k}"), alpha, delta, beta).expect("valid"));
+        capacity.push(alpha * spec.load_fraction);
+    }
+    let initial = capacity.clone();
+
+    let mut transactions = Vec::new();
+    for i in 0..spec.transactions {
+        let period: Time = rat(PERIOD_MENU[rng.gen_range(0..PERIOD_MENU.len())], 1);
+        let n_tasks = rng.gen_range(1..=spec.max_tasks_per_tx);
+        let mut tasks = Vec::with_capacity(n_tasks);
+        for j in 0..n_tasks {
+            let p = rng.gen_range(0..spec.platforms);
+            // Spend a random share of the platform's *initial* budget (so
+            // denominators stay fixed instead of compounding per task —
+            // repeated `remaining × share` multiplications overflow i128
+            // after a few dozen tasks).
+            let share_milli = rng.gen_range(5..=40); // 0.5% … 4% of capacity per task
+            let spend = (initial[p] * rat(share_milli, 1000)).max(rat(1, 100) / period);
+            let u = spend.min(capacity[p]);
+            if !u.is_positive() {
+                continue;
+            }
+            capacity[p] -= u;
+            let wcet: Cycles = u * period;
+            let bcet = wcet * rat(rng.gen_range(25..=100), 100);
+            let priority = rng.gen_range(1..=spec.priority_levels.max(1));
+            tasks.push(Task::new(
+                format!("t{i}_{j}"),
+                wcet,
+                bcet.max(rat(1, 1000)),
+                priority,
+                PlatformId(p),
+            ));
+        }
+        if tasks.is_empty() {
+            // Budget exhausted: emit a minimal task on the emptiest platform.
+            let p = (0..spec.platforms)
+                .max_by_key(|&k| capacity[k])
+                .expect("non-empty");
+            tasks.push(Task::new(
+                format!("t{i}_min"),
+                rat(1, 100),
+                rat(1, 100),
+                1,
+                PlatformId(p),
+            ));
+            capacity[p] = (capacity[p] - rat(1, 100) / period).max(Rational::ZERO);
+        }
+        // Deadline between 1× and 2× the period.
+        let deadline = period * rat(rng.gen_range(100..=200), 100);
+        transactions.push(
+            Transaction::new(format!("tx{i}"), period, deadline, tasks).expect("valid"),
+        );
+    }
+    TransactionSet::new(platforms, transactions).expect("valid workload")
+}

@@ -1,0 +1,646 @@
+//! The `hsched` command-line front end.
+//!
+//! ```text
+//! hsched check    spec.hsc                 parse + validate, print warnings
+//! hsched analyze  spec.hsc [opts]          schedulability report + trace
+//! hsched simulate spec.hsc [opts]          run the DES, report stats/Gantt
+//! hsched optimize spec.hsc [opts]          minimize Σα, synthesize servers
+//! hsched fmt      spec.hsc                 canonical pretty-print
+//! ```
+//!
+//! The command logic lives in this library (returning the rendered output as
+//! a `String`) so it is unit-testable; `main.rs` is a thin shim.
+
+use hsched_analysis::{analyze_with, AnalysisConfig, ScenarioMode, ServiceTimeMode, UpdateOrder};
+use hsched_design::{minimize_bandwidth, sensitivity_report, synthesize_server, DesignConfig};
+use hsched_numeric::{rat, Rational, Time};
+use hsched_sim::{render_gantt, simulate, SimConfig};
+use hsched_spec::{parse_and_validate, parse_str, to_source};
+use hsched_transaction::{flatten, FlattenOptions, TransactionSet};
+use std::fmt::Write as _;
+
+/// Entry point: interprets `args` (without the program name) and returns the
+/// text to print, or an error message (exit code 1).
+pub fn run(args: &[String]) -> Result<String, String> {
+    let Some(command) = args.first() else {
+        return Err(usage());
+    };
+    match command.as_str() {
+        "check" => cmd_check(&args[1..]),
+        "analyze" => cmd_analyze(&args[1..]),
+        "simulate" => cmd_simulate(&args[1..]),
+        "optimize" => cmd_optimize(&args[1..]),
+        "headroom" => cmd_headroom(&args[1..]),
+        "compare" => cmd_compare(&args[1..]),
+        "fmt" => cmd_fmt(&args[1..]),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(format!("unknown command `{other}`\n\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "\
+hsched — hierarchical scheduling for component-based real-time systems
+
+USAGE:
+    hsched <COMMAND> <SPEC.hsc> [OPTIONS]
+
+COMMANDS:
+    check       parse and validate a specification
+    analyze     holistic schedulability analysis (§3 of the paper)
+    simulate    discrete-event simulation
+    optimize    platform bandwidth minimization (§5 future work)
+    headroom    per-task WCET sensitivity (largest schedulable scale factor)
+    compare     analysis bounds vs simulated maxima with tightness ratios
+    fmt         canonical pretty-print of the specification
+
+ANALYZE OPTIONS:
+    --exact <N>       exact scenario analysis, capped at N scenarios
+    --exact-supply    invert exact supply staircases instead of (α,Δ,β) bounds
+    --gauss-seidel    Gauss-Seidel jitter propagation (default: Jacobi)
+    --threads <N>     parallel per-task analysis (0 = all cores)
+    --trace <TX>      print the iteration trace of transaction index TX
+    --no-external     do not generate transactions for unbound provided methods
+
+SIMULATE OPTIONS:
+    --horizon <T>     simulated time (default 1000)
+    --seed <S>        RNG seed (default 0; implies randomized execution)
+    --worst           adversarial worst-case regime (default when no --seed)
+    --gantt <W>       render an ASCII Gantt chart of the first W time units
+    --no-external     as above
+"
+    .to_string()
+}
+
+/// Pulls `--flag value` out of an option list.
+fn opt_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => match args.get(i + 1) {
+            Some(v) => Ok(Some(v.as_str())),
+            None => Err(format!("{flag} needs a value")),
+        },
+    }
+}
+
+fn opt_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+fn parse_time(text: &str, what: &str) -> Result<Time, String> {
+    text.parse::<Rational>()
+        .map_err(|e| format!("bad {what} `{text}`: {e}"))
+}
+
+fn load(args: &[String]) -> Result<(String, TransactionSet), String> {
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        return Err("expected a .hsc file path".to_string());
+    };
+    let source =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let (system, platforms) =
+        parse_and_validate(&source).map_err(|e| format!("{path}:{e}"))?;
+    let options = FlattenOptions {
+        external_stimuli: !opt_flag(args, "--no-external"),
+    };
+    let set = flatten(&system, &platforms, options).map_err(|e| e.to_string())?;
+    Ok((path.clone(), set))
+}
+
+fn cmd_check(args: &[String]) -> Result<String, String> {
+    let Some(path) = args.first() else {
+        return Err("expected a .hsc file path".to_string());
+    };
+    let source =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let (system, platforms) = parse_str(&source).map_err(|e| format!("{path}:{e}"))?;
+    let report = system.validate();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{path}: {} classes, {} instances, {} bindings, {} platforms",
+        system.classes.len(),
+        system.instances.len(),
+        system.bindings.len(),
+        platforms.len()
+    );
+    for w in &report.warnings {
+        let _ = writeln!(out, "warning: {w}");
+    }
+    if report.is_ok() {
+        let _ = writeln!(out, "ok");
+        Ok(out)
+    } else {
+        for e in &report.errors {
+            let _ = writeln!(out, "error: {e}");
+        }
+        Err(out)
+    }
+}
+
+fn cmd_analyze(args: &[String]) -> Result<String, String> {
+    let (path, set) = load(args)?;
+    let mut config = AnalysisConfig::default();
+    if let Some(n) = opt_value(args, "--exact")? {
+        let cap: u64 = n.parse().map_err(|_| format!("bad scenario cap `{n}`"))?;
+        config.scenario_mode = ScenarioMode::Exact { max_scenarios: cap };
+    }
+    if opt_flag(args, "--gauss-seidel") {
+        config.update_order = UpdateOrder::GaussSeidel;
+    }
+    if opt_flag(args, "--exact-supply") {
+        config.service_mode = ServiceTimeMode::ExactCurve;
+    }
+    if let Some(n) = opt_value(args, "--threads")? {
+        config.threads = n.parse().map_err(|_| format!("bad thread count `{n}`"))?;
+    }
+    let report = analyze_with(&set, &config).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(out, "{path}: {} transactions, {} tasks", set.transactions().len(), set.num_tasks());
+    let _ = write!(out, "{report}");
+    if let Some(tx) = opt_value(args, "--trace")? {
+        let i: usize = tx.parse().map_err(|_| format!("bad transaction index `{tx}`"))?;
+        if i >= set.transactions().len() {
+            return Err(format!("transaction index {i} out of range"));
+        }
+        let _ = writeln!(out, "\niteration trace of Γ{}:", i + 1);
+        let _ = write!(out, "{}", report.trace_table(i));
+    }
+    if report.schedulable() {
+        Ok(out)
+    } else {
+        Err(out)
+    }
+}
+
+fn cmd_simulate(args: &[String]) -> Result<String, String> {
+    let (path, set) = load(args)?;
+    let horizon = match opt_value(args, "--horizon")? {
+        Some(t) => parse_time(t, "horizon")?,
+        None => rat(1000, 1),
+    };
+    let mut config = match opt_value(args, "--seed")? {
+        Some(s) => {
+            let seed: u64 = s.parse().map_err(|_| format!("bad seed `{s}`"))?;
+            SimConfig::randomized(horizon, seed)
+        }
+        None => SimConfig::worst_case(horizon),
+    };
+    if opt_flag(args, "--worst") {
+        config = SimConfig::worst_case(horizon);
+    }
+    let gantt_window = match opt_value(args, "--gantt")? {
+        Some(w) => {
+            config.record_trace = true;
+            Some(parse_time(w, "gantt window")?)
+        }
+        None => None,
+    };
+    let result = simulate(&set, &config);
+    let mut out = String::new();
+    let _ = writeln!(out, "{path}: simulated to t = {}", result.end_time);
+    let _ = writeln!(out, "transaction                      releases  done  misses  max-end-to-end");
+    for (i, tx) in set.transactions().iter().enumerate() {
+        let s = result.transaction_stats(i);
+        let _ = writeln!(
+            out,
+            "Γ{} {:<28} {:<9} {:<5} {:<7} {}",
+            i + 1,
+            tx.name,
+            s.releases,
+            s.completions,
+            s.deadline_misses,
+            s.max_end_to_end
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "-".into())
+        );
+        for (j, task) in tx.tasks().iter().enumerate() {
+            let ts = result.task_stats(i, j);
+            let _ = writeln!(
+                out,
+                "  τ{},{} {:<30} max {:<8} mean {}",
+                i + 1,
+                j + 1,
+                task.name,
+                ts.max_response
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "-".into()),
+                ts.mean_response()
+                    .map(|t| t.to_f64().to_string())
+                    .unwrap_or_else(|| "-".into()),
+            );
+        }
+    }
+    if let Some(window) = gantt_window {
+        let _ = writeln!(out);
+        let _ = write!(
+            out,
+            "{}",
+            render_gantt(
+                &result.trace,
+                set.platforms().len(),
+                rat(0, 1),
+                window,
+                100
+            )
+        );
+    }
+    Ok(out)
+}
+
+fn cmd_optimize(args: &[String]) -> Result<String, String> {
+    let (path, set) = load(args)?;
+    let plan = minimize_bandwidth(&set, &DesignConfig::default())
+        .ok_or_else(|| format!("{path}: system is not schedulable as provisioned"))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{path}: total bandwidth {} -> {} ({:.1}% saved)",
+        plan.before,
+        plan.after,
+        (plan.before - plan.after).to_f64() / plan.before.to_f64() * 100.0
+    );
+    for (id, p) in plan.platforms.iter() {
+        let _ = write!(out, "  {id} {:<14} α = {}", p.name(), p.alpha());
+        if p.alpha() < rat(1, 1) && p.delta().is_positive() {
+            if let Some(server) = synthesize_server(p.alpha(), p.delta()) {
+                let _ = write!(
+                    out,
+                    "   server: Q = {}, P = {}",
+                    server.budget(),
+                    server.period()
+                );
+            }
+        }
+        let _ = writeln!(out);
+    }
+    Ok(out)
+}
+
+fn cmd_compare(args: &[String]) -> Result<String, String> {
+    let (path, set) = load(args)?;
+    let horizon = match opt_value(args, "--horizon")? {
+        Some(t) => parse_time(t, "horizon")?,
+        None => rat(2000, 1),
+    };
+    let report = analyze_with(&set, &AnalysisConfig::default()).map_err(|e| e.to_string())?;
+    if report.diverged {
+        return Err(format!("{path}: demand exceeds platform capacity; nothing to compare"));
+    }
+    let sim = simulate(&set, &SimConfig::worst_case(horizon));
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{path}: analysis vs worst-case simulation over {horizon} time units"
+    );
+    let _ = writeln!(out, "  task   bound      observed   tightness");
+    let mut violations = 0u32;
+    for r in set.task_refs() {
+        let bound = report.response(r.tx, r.idx);
+        match sim.task_stats(r.tx, r.idx).max_response {
+            Some(observed) => {
+                if observed > bound {
+                    violations += 1;
+                }
+                let _ = writeln!(
+                    out,
+                    "  {r}   {:<10} {:<10} {:.3}{}",
+                    bound.to_string(),
+                    observed.to_string(),
+                    (observed / bound).to_f64(),
+                    if observed > bound { "  ← BOUND VIOLATED" } else { "" }
+                );
+            }
+            None => {
+                let _ = writeln!(out, "  {r}   {:<10} (no completions)", bound.to_string());
+            }
+        }
+    }
+    if violations > 0 {
+        let _ = writeln!(out, "
+{violations} bound violation(s) — this indicates a bug");
+        return Err(out);
+    }
+    let _ = writeln!(out, "
+all observed maxima within analytic bounds");
+    Ok(out)
+}
+
+fn cmd_headroom(args: &[String]) -> Result<String, String> {
+    let (path, set) = load(args)?;
+    let ceiling = match opt_value(args, "--ceiling")? {
+        Some(c) => c
+            .parse::<Rational>()
+            .map_err(|e| format!("bad ceiling `{c}`: {e}"))?,
+        None => rat(16, 1),
+    };
+    let report = sensitivity_report(&set, ceiling, &DesignConfig::default());
+    let mut out = String::new();
+    let _ = writeln!(out, "{path}: WCET headroom (most critical first)");
+    for s in &report {
+        let scale = match &s.max_scale {
+            Some(x) if *x >= ceiling => format!(">= {}x", ceiling),
+            Some(x) => format!("{:.2}x", x.to_f64()),
+            None => "unschedulable as-is".to_string(),
+        };
+        let _ = writeln!(out, "  {} {:<36} {scale}", s.task, s.name);
+    }
+    Ok(out)
+}
+
+fn cmd_fmt(args: &[String]) -> Result<String, String> {
+    let Some(path) = args.first() else {
+        return Err("expected a .hsc file path".to_string());
+    };
+    let source =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let (system, platforms) = parse_str(&source).map_err(|e| format!("{path}:{e}"))?;
+    Ok(to_source(&system, &platforms))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    const SPEC: &str = r#"
+class SensorReading {
+    provided read() mit 50;
+    thread Thread1 periodic period 15 priority 2 { task acquire wcet 1 bcet 0.25; }
+    thread Thread2 realizes read priority 1 { task serve_read wcet 1 bcet 0.8; }
+}
+class SensorIntegration {
+    provided read() mit 70;
+    required readSensor1();
+    required readSensor2();
+    thread Thread1 realizes read priority 1 { task serve_read wcet 7 bcet 5; }
+    thread Thread2 periodic period 50 priority 2 {
+        task init wcet 1 bcet 0.8;
+        call readSensor1;
+        call readSensor2;
+        task compute wcet 1 bcet 0.8;
+    }
+}
+platform Pi1 cpu alpha 0.4 delta 1 beta 1;
+platform Pi2 cpu alpha 0.4 delta 1 beta 1;
+platform Pi3 cpu alpha 0.2 delta 2 beta 1;
+instance Sensor1 : SensorReading on Pi1 node 0;
+instance Sensor2 : SensorReading on Pi2 node 0;
+instance Integrator : SensorIntegration on Pi3 node 0;
+bind Integrator.readSensor1 -> Sensor1.read;
+bind Integrator.readSensor2 -> Sensor2.read;
+"#;
+
+    fn spec_file() -> tempfile::TempPath {
+        let mut f = tempfile::Builder::new()
+            .suffix(".hsc")
+            .tempfile()
+            .expect("tempfile");
+        f.write_all(SPEC.as_bytes()).unwrap();
+        f.into_temp_path()
+    }
+
+    // A minimal tempfile shim (no external dependency): write into a unique
+    // path under the target dir.
+    mod tempfile {
+        use std::path::PathBuf;
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+        pub struct Builder {
+            suffix: String,
+        }
+
+        pub struct NamedFile {
+            file: std::fs::File,
+            path: PathBuf,
+        }
+
+        pub struct TempPath(PathBuf);
+
+        impl Builder {
+            pub fn new() -> Builder {
+                Builder {
+                    suffix: String::new(),
+                }
+            }
+            pub fn suffix(mut self, s: &str) -> Builder {
+                self.suffix = s.to_string();
+                self
+            }
+            pub fn tempfile(self) -> std::io::Result<NamedFile> {
+                let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+                let path = std::env::temp_dir().join(format!(
+                    "hsched-cli-test-{}-{n}{}",
+                    std::process::id(),
+                    self.suffix
+                ));
+                let file = std::fs::File::create(&path)?;
+                Ok(NamedFile { file, path })
+            }
+        }
+
+        impl NamedFile {
+            pub fn into_temp_path(self) -> TempPath {
+                TempPath(self.path)
+            }
+        }
+
+        impl std::io::Write for NamedFile {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                std::io::Write::write(&mut self.file, buf)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                std::io::Write::flush(&mut self.file)
+            }
+        }
+
+        impl Drop for TempPath {
+            fn drop(&mut self) {
+                let _ = std::fs::remove_file(&self.0);
+            }
+        }
+
+        impl std::ops::Deref for TempPath {
+            type Target = std::path::Path;
+            fn deref(&self) -> &std::path::Path {
+                &self.0
+            }
+        }
+    }
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn help_and_unknown() {
+        assert!(run(&args(&["help"])).unwrap().contains("USAGE"));
+        let err = run(&args(&["frobnicate"])).unwrap_err();
+        assert!(err.contains("unknown command"));
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn check_command() {
+        let path = spec_file();
+        let out = run(&args(&["check", path.to_str().unwrap()])).unwrap();
+        assert!(out.contains("2 classes"));
+        assert!(out.contains("ok"));
+        // The Integrator's own read() is unbound: a warning, not an error.
+        assert!(out.contains("warning"));
+    }
+
+    #[test]
+    fn analyze_command_reports_table3_fixpoint() {
+        let path = spec_file();
+        let out = run(&args(&[
+            "analyze",
+            path.to_str().unwrap(),
+            "--trace",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("schedulability: OK"));
+        assert!(out.contains("iteration trace of Γ3"));
+    }
+
+    #[test]
+    fn analyze_exact_supply_mode() {
+        // A spec with a server-backed platform: the exact staircase mode
+        // must succeed (and is generally tighter).
+        let mut f = tempfile::Builder::new().suffix(".hsc").tempfile().unwrap();
+        f.write_all(
+            br#"
+class W {
+    thread T periodic period 50 priority 1 { task a wcet 2 bcet 1; }
+}
+platform S cpu server budget 2 period 5;
+instance I : W on S node 0;
+"#,
+        )
+        .unwrap();
+        let path = f.into_temp_path();
+        let exact = run(&args(&["analyze", path.to_str().unwrap(), "--exact-supply"])).unwrap();
+        assert!(exact.contains("schedulability: OK"));
+    }
+
+    #[test]
+    fn analyze_gauss_seidel_and_threads() {
+        let path = spec_file();
+        let out = run(&args(&[
+            "analyze",
+            path.to_str().unwrap(),
+            "--gauss-seidel",
+            "--threads",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("schedulability: OK"));
+    }
+
+    #[test]
+    fn simulate_command_with_gantt() {
+        let path = spec_file();
+        let out = run(&args(&[
+            "simulate",
+            path.to_str().unwrap(),
+            "--horizon",
+            "500",
+            "--gantt",
+            "100",
+        ]))
+        .unwrap();
+        assert!(out.contains("simulated to t = 500"));
+        assert!(out.contains("Π1 |"));
+        assert!(out.contains("legend"));
+        assert!(out.contains("misses"));
+    }
+
+    #[test]
+    fn optimize_command() {
+        let path = spec_file();
+        let out = run(&args(&["optimize", path.to_str().unwrap()])).unwrap();
+        assert!(out.contains("total bandwidth"));
+        assert!(out.contains("saved"));
+    }
+
+    #[test]
+    fn headroom_command() {
+        let path = spec_file();
+        let out = run(&args(&["headroom", path.to_str().unwrap(), "--ceiling", "8"])).unwrap();
+        assert!(out.contains("WCET headroom"));
+        assert!(out.contains("x"));
+        // All seven tasks listed.
+        assert_eq!(out.lines().count(), 8);
+    }
+
+    #[test]
+    fn fmt_round_trips() {
+        let path = spec_file();
+        let out = run(&args(&["fmt", path.to_str().unwrap()])).unwrap();
+        let (sys1, plat1) = parse_str(SPEC).unwrap();
+        let (sys2, plat2) = parse_str(&out).unwrap();
+        assert_eq!(sys1, sys2);
+        assert_eq!(plat1, plat2);
+    }
+
+    #[test]
+    fn compare_command() {
+        let path = spec_file();
+        let out = run(&args(&[
+            "compare",
+            path.to_str().unwrap(),
+            "--horizon",
+            "1500",
+        ]))
+        .unwrap();
+        assert!(out.contains("tightness"));
+        assert!(out.contains("all observed maxima within analytic bounds"));
+        assert!(!out.contains("BOUND VIOLATED"));
+    }
+
+    #[test]
+    fn unschedulable_spec_exits_nonzero() {
+        // Starve the platform so the deadline cannot be met: analyze must
+        // return Err (exit code 1) while still rendering the report.
+        let mut f = tempfile::Builder::new().suffix(".hsc").tempfile().unwrap();
+        f.write_all(
+            br#"
+class W {
+    thread T periodic period 10 priority 1 { task a wcet 2 bcet 1; }
+}
+platform S cpu alpha 0.25 delta 3 beta 0;
+instance I : W on S node 0;
+"#,
+        )
+        .unwrap();
+        let path = f.into_temp_path();
+        // R = 3 + 2/0.25 = 11 > D = 10.
+        let err = run(&args(&["analyze", path.to_str().unwrap()])).unwrap_err();
+        assert!(err.contains("schedulability: FAILED"));
+        assert!(err.contains("[MISS]"));
+    }
+
+    #[test]
+    fn missing_file_is_reported() {
+        let err = run(&args(&["analyze", "/nonexistent/x.hsc"])).unwrap_err();
+        assert!(err.contains("cannot read"));
+    }
+
+    #[test]
+    fn bad_option_values() {
+        let path = spec_file();
+        let err = run(&args(&["analyze", path.to_str().unwrap(), "--threads"])).unwrap_err();
+        assert!(err.contains("needs a value"));
+        let err = run(&args(&[
+            "simulate",
+            path.to_str().unwrap(),
+            "--horizon",
+            "banana",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("bad horizon"));
+    }
+}

@@ -1,0 +1,15 @@
+//! `hsched` binary: thin shim over [`hsched_cli::run`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match hsched_cli::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(message) => {
+            eprint!("{message}");
+            if !message.ends_with('\n') {
+                eprintln!();
+            }
+            std::process::exit(1);
+        }
+    }
+}

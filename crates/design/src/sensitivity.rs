@@ -1,0 +1,190 @@
+//! Sensitivity analysis: how fragile is a schedulable design?
+//!
+//! For each task, the largest factor by which its WCET can grow — everything
+//! else fixed — before the system stops being schedulable. Designers read
+//! this as per-task headroom; a factor close to 1 marks the critical path.
+
+use crate::DesignConfig;
+use hsched_analysis::analyze_with;
+use hsched_numeric::{Rational, Time};
+use hsched_transaction::{TaskRef, Transaction, TransactionSet};
+
+/// Headroom of one task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskSlack {
+    /// The task.
+    pub task: TaskRef,
+    /// Task name (copied for reporting).
+    pub name: String,
+    /// Largest schedulable WCET scale factor found (≥ 1), bracketed to the
+    /// configured precision. `None` when even the current WCET is
+    /// unschedulable.
+    pub max_scale: Option<Rational>,
+}
+
+/// Builds a copy of the set with one task's WCET scaled by `factor`
+/// (BCET is capped at the new WCET).
+fn scaled(set: &TransactionSet, target: TaskRef, factor: Rational) -> TransactionSet {
+    let txs: Vec<Transaction> = set
+        .transactions()
+        .iter()
+        .enumerate()
+        .map(|(i, tx)| {
+            if i != target.tx {
+                return tx.clone();
+            }
+            let tasks = tx
+                .tasks()
+                .iter()
+                .enumerate()
+                .map(|(j, t)| {
+                    let mut t = t.clone();
+                    if j == target.idx {
+                        t.wcet *= factor;
+                        t.bcet = t.bcet.min(t.wcet);
+                    }
+                    t
+                })
+                .collect();
+            Transaction::new(tx.name.clone(), tx.period, tx.deadline, tasks)
+                .expect("scaling preserves validity")
+                .with_release_jitter(tx.release_jitter)
+        })
+        .collect();
+    set.with_platforms(set.platforms().clone())
+        .and_then(|_| TransactionSet::new(set.platforms().clone(), txs))
+        .expect("same platforms")
+}
+
+fn schedulable(set: &TransactionSet, config: &DesignConfig) -> bool {
+    matches!(analyze_with(set, &config.analysis), Ok(r) if r.schedulable())
+}
+
+/// The largest WCET scale factor for `task` (searched in `[1, ceiling]`,
+/// bracketed to `config.precision`).
+pub fn wcet_headroom(
+    set: &TransactionSet,
+    task: TaskRef,
+    ceiling: Rational,
+    config: &DesignConfig,
+) -> Option<Rational> {
+    if !schedulable(set, config) {
+        return None;
+    }
+    if schedulable(&scaled(set, task, ceiling), config) {
+        return Some(ceiling);
+    }
+    let mut lo = Rational::ONE; // schedulable
+    let mut hi = ceiling; // unschedulable
+    while hi - lo > config.precision {
+        let mid = (lo + hi) / Rational::from_integer(2);
+        if schedulable(&scaled(set, task, mid), config) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(lo)
+}
+
+/// WCET headroom for every task, worst (most critical) first.
+pub fn sensitivity_report(
+    set: &TransactionSet,
+    ceiling: Rational,
+    config: &DesignConfig,
+) -> Vec<TaskSlack> {
+    let mut out: Vec<TaskSlack> = set
+        .task_refs()
+        .map(|task| TaskSlack {
+            task,
+            name: set.task(task).name.clone(),
+            max_scale: wcet_headroom(set, task, ceiling, config),
+        })
+        .collect();
+    out.sort_by(|a, b| match (&a.max_scale, &b.max_scale) {
+        (None, None) => std::cmp::Ordering::Equal,
+        (None, Some(_)) => std::cmp::Ordering::Less,
+        (Some(_), None) => std::cmp::Ordering::Greater,
+        (Some(x), Some(y)) => x.cmp(y),
+    });
+    out
+}
+
+/// End-to-end slack of each transaction: `D − R` at the current design.
+pub fn deadline_slack(set: &TransactionSet, config: &DesignConfig) -> Option<Vec<Time>> {
+    let report = analyze_with(set, &config.analysis).ok()?;
+    if report.diverged {
+        return None;
+    }
+    Some(
+        report
+            .verdicts
+            .iter()
+            .map(|v| v.deadline - v.end_to_end)
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsched_numeric::rat;
+    use hsched_transaction::paper_example;
+
+    #[test]
+    fn headroom_exists_and_is_tight() {
+        let set = paper_example::transactions();
+        let config = DesignConfig::default();
+        let task = TaskRef { tx: 0, idx: 3 }; // compute, the chain tail
+        let h = wcet_headroom(&set, task, rat(20, 1), &config).unwrap();
+        assert!(h > Rational::ONE, "some headroom must exist");
+        assert!(h < rat(20, 1), "the deadline must bite eventually");
+        // Tightness: scaling a bit beyond breaks schedulability.
+        let beyond = scaled(&set, task, h + rat(1, 2));
+        assert!(!schedulable(&beyond, &config));
+        // And at the found factor it still holds.
+        assert!(schedulable(&scaled(&set, task, h), &config));
+    }
+
+    #[test]
+    fn report_sorted_most_critical_first() {
+        let set = paper_example::transactions();
+        let report = sensitivity_report(&set, rat(16, 1), &DesignConfig::default());
+        assert_eq!(report.len(), set.num_tasks());
+        for w in report.windows(2) {
+            match (&w[0].max_scale, &w[1].max_scale) {
+                (Some(a), Some(b)) => assert!(a <= b),
+                (None, _) => {}
+                (Some(_), None) => panic!("None must sort first"),
+            }
+        }
+        // The big τ4,1 (C = 7 of D = 70 on the slow Π3) should be among the
+        // most constrained tasks.
+        let tau41 = report
+            .iter()
+            .position(|s| s.task == TaskRef { tx: 3, idx: 0 })
+            .unwrap();
+        assert!(tau41 <= 2, "τ4,1 should rank critical, got position {tau41}");
+    }
+
+    #[test]
+    fn unschedulable_design_yields_none() {
+        let set = paper_example::transactions();
+        // Break it: scale compute by 100.
+        let broken = scaled(&set, TaskRef { tx: 0, idx: 3 }, rat(100, 1));
+        assert_eq!(
+            wcet_headroom(&broken, TaskRef { tx: 0, idx: 0 }, rat(4, 1), &DesignConfig::default()),
+            None
+        );
+    }
+
+    #[test]
+    fn deadline_slack_matches_analysis() {
+        let set = paper_example::transactions();
+        let slack = deadline_slack(&set, &DesignConfig::default()).unwrap();
+        // Γ1: 50 − 31 = 19; Γ2/Γ3: 15 − 3.5; Γ4: 70 − 52.
+        assert_eq!(slack[0], rat(19, 1));
+        assert_eq!(slack[1], rat(23, 2));
+        assert_eq!(slack[3], rat(18, 1));
+    }
+}

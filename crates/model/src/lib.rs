@@ -1,0 +1,44 @@
+//! The component model of §2.1–§2.2: components with provided/required
+//! interfaces, implemented by threads under a local scheduler, composed into
+//! a system architecture by binding required to provided methods.
+//!
+//! The model mirrors the paper's vocabulary one-to-one:
+//!
+//! * a **component class** ([`ComponentClass`]) declares *provided methods*
+//!   (with a minimum inter-arrival time, MIT), *required methods*, a local
+//!   scheduler, and an implementation made of **threads**;
+//! * a **thread** ([`ThreadSpec`]) is *time-triggered* (periodic, with period
+//!   and relative deadline) or *event-triggered* (it *realizes* a provided
+//!   method and inherits the method's MIT as its activation bound); its body
+//!   is a sequence of [`Action`]s — internal *tasks* with best/worst-case
+//!   execution times, and synchronous *calls* to required methods;
+//! * a **system** ([`System`]) instantiates classes into named
+//!   [`ComponentInstance`]s, places each instance on an abstract computing
+//!   platform and a physical node, and **binds** every required method to a
+//!   provided method of another instance; bindings that cross nodes carry an
+//!   [`RpcLink`] describing the request/response messages on a network
+//!   platform.
+//!
+//! [`System::validate`] checks the structural rules the paper assumes:
+//! complete bindings, acyclic synchronous call graph, MIT consistency
+//! between callers and callees, and positive timing parameters.
+//!
+//! The flattening of a validated system into real-time transactions (§2.4)
+//! lives in the `hsched-transaction` crate.
+
+mod component;
+mod system;
+mod validate;
+
+pub use component::{
+    sensor_integration_class, sensor_reading_class, Action, ComponentClass, LocalScheduler,
+    MethodRef, ProvidedMethod, RequiredMethod, ThreadActivation, ThreadSpec,
+};
+pub use system::{
+    Binding, ComponentInstance, InstanceId, NodeId, RpcLink, System, SystemBuilder,
+};
+pub use validate::{ValidationError, ValidationReport, Warning};
+
+/// Task / thread priority: **greater value means higher priority**, as in
+/// the paper ("a greater `pi,j` corresponds to a higher priority").
+pub type Priority = u32;

@@ -1,0 +1,276 @@
+//! System architecture: instances, placement, and RPC bindings (§2.2.1).
+
+use crate::component::ComponentClass;
+use hsched_numeric::Cycles;
+use hsched_platform::PlatformId;
+use std::collections::HashMap;
+
+/// Index of a component instance within a [`System`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct InstanceId(pub usize);
+
+/// Index of a physical computational node. Components on the same node call
+/// each other with no messaging; calls across nodes go through a network
+/// platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct NodeId(pub usize);
+
+/// A named instantiation of a component class, placed on an abstract
+/// platform (for its threads) and a physical node (for RPC locality).
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ComponentInstance {
+    /// Instance name, unique in the system (e.g. `Sensor1`).
+    pub name: String,
+    /// Index into [`System::classes`].
+    pub class: usize,
+    /// The abstract computing platform all threads of this instance run on.
+    pub platform: PlatformId,
+    /// The physical node hosting the platform.
+    pub node: NodeId,
+}
+
+/// Messaging parameters for a binding that crosses nodes: the RPC middleware
+/// sends a request message before the callee runs and a response message
+/// after it completes, both scheduled on a network platform (§2.2.1 — "the
+/// network is similar to a computational node").
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RpcLink {
+    /// The network platform carrying both messages.
+    pub network: PlatformId,
+    /// Worst-case transmission time of the request message.
+    pub request_wcet: Cycles,
+    /// Best-case transmission time of the request message.
+    pub request_bcet: Cycles,
+    /// Worst-case transmission time of the response message.
+    pub response_wcet: Cycles,
+    /// Best-case transmission time of the response message.
+    pub response_bcet: Cycles,
+    /// Priority of the messages on the network (greater = higher).
+    pub priority: crate::Priority,
+}
+
+/// A connection from one instance's required method to another instance's
+/// provided method.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Binding {
+    /// The calling instance.
+    pub from: InstanceId,
+    /// Name of the required method on the caller.
+    pub required: String,
+    /// The serving instance.
+    pub to: InstanceId,
+    /// Name of the provided method on the callee.
+    pub provided: String,
+    /// Messaging, for cross-node bindings. `None` means a local call with
+    /// zero overhead (the binding must then be node-local; validation
+    /// enforces this).
+    pub link: Option<RpcLink>,
+}
+
+/// A complete system: classes, instances, and bindings. Build one with
+/// [`SystemBuilder`].
+#[derive(Debug, Clone, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct System {
+    /// Component classes (templates).
+    pub classes: Vec<ComponentClass>,
+    /// Component instances.
+    pub instances: Vec<ComponentInstance>,
+    /// RPC bindings.
+    pub bindings: Vec<Binding>,
+}
+
+impl System {
+    /// The class of an instance.
+    pub fn class_of(&self, id: InstanceId) -> &ComponentClass {
+        &self.classes[self.instances[id.0].class]
+    }
+
+    /// Instance lookup by name.
+    pub fn instance_by_name(&self, name: &str) -> Option<(InstanceId, &ComponentInstance)> {
+        self.instances
+            .iter()
+            .enumerate()
+            .find(|(_, inst)| inst.name == name)
+            .map(|(i, inst)| (InstanceId(i), inst))
+    }
+
+    /// The binding serving `required` on instance `from`, if any.
+    pub fn binding_for(&self, from: InstanceId, required: &str) -> Option<&Binding> {
+        self.bindings
+            .iter()
+            .find(|b| b.from == from && b.required == required)
+    }
+
+    /// Iterates instances with their ids.
+    pub fn instances(&self) -> impl Iterator<Item = (InstanceId, &ComponentInstance)> {
+        self.instances
+            .iter()
+            .enumerate()
+            .map(|(i, inst)| (InstanceId(i), inst))
+    }
+}
+
+/// Fluent builder for a [`System`].
+///
+/// ```
+/// use hsched_model::{SystemBuilder, ComponentClass, ThreadSpec, Action, ProvidedMethod};
+/// use hsched_numeric::rat;
+/// use hsched_platform::PlatformId;
+///
+/// let server = ComponentClass::new("Server")
+///     .provides(ProvidedMethod::new("get", rat(20, 1)))
+///     .thread(ThreadSpec::realizes("T", "get", 1,
+///         vec![Action::task("serve", rat(1, 1), rat(1, 2))]));
+///
+/// let mut b = SystemBuilder::new();
+/// let class = b.add_class(server);
+/// let inst = b.instantiate("S1", class, PlatformId(0), 0);
+/// let system = b.build();
+/// assert_eq!(system.instances.len(), 1);
+/// # let _ = inst;
+/// ```
+#[derive(Debug, Default)]
+pub struct SystemBuilder {
+    system: System,
+    class_names: HashMap<String, usize>,
+}
+
+impl SystemBuilder {
+    /// An empty builder.
+    pub fn new() -> SystemBuilder {
+        SystemBuilder::default()
+    }
+
+    /// Registers a component class, returning its index.
+    pub fn add_class(&mut self, class: ComponentClass) -> usize {
+        let idx = self.system.classes.len();
+        self.class_names.insert(class.name.clone(), idx);
+        self.system.classes.push(class);
+        idx
+    }
+
+    /// Looks up a previously added class by name.
+    pub fn class_by_name(&self, name: &str) -> Option<usize> {
+        self.class_names.get(name).copied()
+    }
+
+    /// Instantiates a class on a platform and node, returning the instance id.
+    pub fn instantiate(
+        &mut self,
+        name: impl Into<String>,
+        class: usize,
+        platform: PlatformId,
+        node: usize,
+    ) -> InstanceId {
+        self.system.instances.push(ComponentInstance {
+            name: name.into(),
+            class,
+            platform,
+            node: NodeId(node),
+        });
+        InstanceId(self.system.instances.len() - 1)
+    }
+
+    /// Binds `from.required` to `to.provided` as a node-local call.
+    pub fn bind(
+        &mut self,
+        from: InstanceId,
+        required: impl Into<String>,
+        to: InstanceId,
+        provided: impl Into<String>,
+    ) -> &mut SystemBuilder {
+        self.system.bindings.push(Binding {
+            from,
+            required: required.into(),
+            to,
+            provided: provided.into(),
+            link: None,
+        });
+        self
+    }
+
+    /// Binds `from.required` to `to.provided` across nodes via `link`.
+    pub fn bind_remote(
+        &mut self,
+        from: InstanceId,
+        required: impl Into<String>,
+        to: InstanceId,
+        provided: impl Into<String>,
+        link: RpcLink,
+    ) -> &mut SystemBuilder {
+        self.system.bindings.push(Binding {
+            from,
+            required: required.into(),
+            to,
+            provided: provided.into(),
+            link: Some(link),
+        });
+        self
+    }
+
+    /// Finishes building. Call [`System::validate`] on the result before
+    /// flattening to transactions.
+    pub fn build(self) -> System {
+        self.system
+    }
+}
+
+#[cfg(test)]
+pub(crate) use tests::paper_system;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::{sensor_integration_class, sensor_reading_class};
+
+    /// Builds the paper's three-component system of §2.2.1:
+    /// `Sensor1`, `Sensor2` (class `SensorReading`) and `Integrator`
+    /// (class `SensorIntegration`), each on its own platform/node with
+    /// local bindings (the paper's example ignores messages).
+    pub(crate) fn paper_system() -> System {
+        let mut b = SystemBuilder::new();
+        let reading = b.add_class(sensor_reading_class());
+        let integration = b.add_class(sensor_integration_class());
+        let s1 = b.instantiate("Sensor1", reading, PlatformId(0), 0);
+        let s2 = b.instantiate("Sensor2", reading, PlatformId(1), 0);
+        let it = b.instantiate("Integrator", integration, PlatformId(2), 0);
+        b.bind(it, "readSensor1", s1, "read");
+        b.bind(it, "readSensor2", s2, "read");
+        b.build()
+    }
+
+    #[test]
+    fn paper_system_structure() {
+        let sys = paper_system();
+        assert_eq!(sys.classes.len(), 2);
+        assert_eq!(sys.instances.len(), 3);
+        assert_eq!(sys.bindings.len(), 2);
+        let (it, _) = sys.instance_by_name("Integrator").unwrap();
+        assert_eq!(sys.class_of(it).name, "SensorIntegration");
+        let b = sys.binding_for(it, "readSensor1").unwrap();
+        assert_eq!(sys.instances[b.to.0].name, "Sensor1");
+        assert!(b.link.is_none());
+        assert!(sys.binding_for(it, "nope").is_none());
+    }
+
+    #[test]
+    fn builder_lookups() {
+        let mut b = SystemBuilder::new();
+        let idx = b.add_class(sensor_reading_class());
+        assert_eq!(b.class_by_name("SensorReading"), Some(idx));
+        assert_eq!(b.class_by_name("Missing"), None);
+    }
+
+    #[test]
+    fn instances_iterator() {
+        let sys = paper_system();
+        let names: Vec<&str> = sys.instances().map(|(_, i)| i.name.as_str()).collect();
+        assert_eq!(names, ["Sensor1", "Sensor2", "Integrator"]);
+    }
+}

@@ -1,0 +1,842 @@
+//! Structural validation of a [`System`] before transaction flattening.
+
+use crate::component::{Action, MethodRef, ThreadActivation};
+use crate::system::{InstanceId, System};
+use hsched_numeric::Rational;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// A fatal inconsistency: the system cannot be flattened or analyzed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// Two instances share a name.
+    DuplicateInstanceName(String),
+    /// An instance references a class index that does not exist.
+    BadClassIndex { instance: String, class: usize },
+    /// A binding references a nonexistent instance.
+    BadBindingEndpoint { binding: usize },
+    /// A binding's required method is not declared by the caller's class.
+    UnknownRequiredMethod { instance: String, method: String },
+    /// A binding's provided method is not declared by the callee's class.
+    UnknownProvidedMethod { instance: String, method: String },
+    /// A required method is bound more than once.
+    DoubleBinding { instance: String, method: String },
+    /// A required method of an instance has no binding.
+    UnboundRequired { instance: String, method: String },
+    /// A thread's `Call` action names a method not in the class's required
+    /// interface.
+    CallToUndeclaredMethod {
+        class: String,
+        thread: String,
+        method: String,
+    },
+    /// A bound provided method has no realizing thread in the callee class.
+    NoRealizer { instance: String, method: String },
+    /// A provided method has more than one realizing thread.
+    MultipleRealizers { class: String, method: String },
+    /// An event-triggered thread realizes a method its class doesn't provide.
+    RealizesUnknownMethod { class: String, thread: String },
+    /// The synchronous call graph has a cycle (deadlock under synchronous
+    /// RPC, and the flattening would not terminate).
+    CallCycle { description: String },
+    /// A binding crosses nodes but declares no network link.
+    MissingLink { binding: usize },
+    /// Non-positive period, deadline or MIT; or `bcet > wcet`; or
+    /// non-positive wcet.
+    BadTiming { context: String, detail: String },
+    /// Aggregate invocation rate of a provided method exceeds its declared
+    /// MIT contract.
+    MitViolation {
+        instance: String,
+        method: String,
+        /// Declared minimum inter-arrival time.
+        declared_mit: Rational,
+        /// The tightest inter-arrival time implied by the bound callers.
+        implied_mit: Rational,
+    },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::DuplicateInstanceName(n) => {
+                write!(f, "duplicate instance name `{n}`")
+            }
+            ValidationError::BadClassIndex { instance, class } => {
+                write!(f, "instance `{instance}` references unknown class #{class}")
+            }
+            ValidationError::BadBindingEndpoint { binding } => {
+                write!(f, "binding #{binding} references a nonexistent instance")
+            }
+            ValidationError::UnknownRequiredMethod { instance, method } => {
+                write!(f, "`{instance}` does not require a method `{method}`")
+            }
+            ValidationError::UnknownProvidedMethod { instance, method } => {
+                write!(f, "`{instance}` does not provide a method `{method}`")
+            }
+            ValidationError::DoubleBinding { instance, method } => {
+                write!(f, "`{instance}.{method}` is bound more than once")
+            }
+            ValidationError::UnboundRequired { instance, method } => {
+                write!(f, "required method `{instance}.{method}` is not bound")
+            }
+            ValidationError::CallToUndeclaredMethod {
+                class,
+                thread,
+                method,
+            } => write!(
+                f,
+                "thread `{class}.{thread}` calls `{method}`, which is not in the required interface"
+            ),
+            ValidationError::NoRealizer { instance, method } => {
+                write!(f, "no thread of `{instance}` realizes provided `{method}`")
+            }
+            ValidationError::MultipleRealizers { class, method } => {
+                write!(f, "class `{class}` has multiple realizers for `{method}`")
+            }
+            ValidationError::RealizesUnknownMethod { class, thread } => {
+                write!(f, "thread `{class}.{thread}` realizes an undeclared method")
+            }
+            ValidationError::CallCycle { description } => {
+                write!(f, "synchronous call cycle: {description}")
+            }
+            ValidationError::MissingLink { binding } => {
+                write!(f, "binding #{binding} crosses nodes without a network link")
+            }
+            ValidationError::BadTiming { context, detail } => {
+                write!(f, "bad timing in {context}: {detail}")
+            }
+            ValidationError::MitViolation {
+                instance,
+                method,
+                declared_mit,
+                implied_mit,
+            } => write!(
+                f,
+                "`{instance}.{method}` declares MIT {declared_mit} but callers can invoke it every {implied_mit}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// A suspicious but non-fatal condition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Warning {
+    /// Two threads of one class share a priority (interference analysis
+    /// treats equal priority as mutually interfering — allowed but often
+    /// unintended).
+    DuplicatePriority { class: String, priority: u32 },
+    /// A node-local binding declares a network link (it will be honored,
+    /// but same-node calls are usually free).
+    LinkOnLocalBinding { binding: usize },
+    /// A provided method is never bound by anyone (dead interface).
+    UnusedProvided { instance: String, method: String },
+}
+
+impl fmt::Display for Warning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Warning::DuplicatePriority { class, priority } => {
+                write!(f, "class `{class}` has two threads at priority {priority}")
+            }
+            Warning::LinkOnLocalBinding { binding } => {
+                write!(f, "binding #{binding} is node-local but declares a link")
+            }
+            Warning::UnusedProvided { instance, method } => {
+                write!(f, "provided method `{instance}.{method}` is never bound")
+            }
+        }
+    }
+}
+
+/// Outcome of [`System::validate`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ValidationReport {
+    /// Fatal problems; the system must not be flattened if non-empty.
+    pub errors: Vec<ValidationError>,
+    /// Non-fatal observations.
+    pub warnings: Vec<Warning>,
+}
+
+impl ValidationReport {
+    /// `true` when no errors were found.
+    pub fn is_ok(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    /// Converts into `Result`, keeping warnings on success.
+    pub fn into_result(self) -> Result<Vec<Warning>, Vec<ValidationError>> {
+        if self.errors.is_empty() {
+            Ok(self.warnings)
+        } else {
+            Err(self.errors)
+        }
+    }
+}
+
+impl System {
+    /// Checks all structural rules the transaction flattening (§2.4) and the
+    /// analysis (§3) rely on. See [`ValidationError`] for the rules.
+    pub fn validate(&self) -> ValidationReport {
+        let mut report = ValidationReport::default();
+        self.check_instances(&mut report);
+        self.check_classes(&mut report);
+        self.check_bindings(&mut report);
+        // The call graph and rate analysis only make sense on a structurally
+        // sound system; skip them if anything fundamental is broken.
+        if report.errors.is_empty() {
+            self.check_call_cycles(&mut report);
+        }
+        if report.errors.is_empty() {
+            self.check_mit_contracts(&mut report);
+        }
+        report
+    }
+
+    fn check_instances(&self, report: &mut ValidationReport) {
+        let mut seen = HashSet::new();
+        for inst in &self.instances {
+            if !seen.insert(inst.name.as_str()) {
+                report
+                    .errors
+                    .push(ValidationError::DuplicateInstanceName(inst.name.clone()));
+            }
+            if inst.class >= self.classes.len() {
+                report.errors.push(ValidationError::BadClassIndex {
+                    instance: inst.name.clone(),
+                    class: inst.class,
+                });
+            }
+        }
+    }
+
+    fn check_classes(&self, report: &mut ValidationReport) {
+        for class in &self.classes {
+            let mut priorities = HashMap::new();
+            let mut realized = HashMap::<&str, usize>::new();
+            for thread in &class.threads {
+                if let Some(prev) = priorities.insert(thread.priority, &thread.name) {
+                    let _ = prev;
+                    report.warnings.push(Warning::DuplicatePriority {
+                        class: class.name.clone(),
+                        priority: thread.priority,
+                    });
+                }
+                match &thread.activation {
+                    ThreadActivation::Periodic { period, deadline } => {
+                        if !period.is_positive() {
+                            report.errors.push(ValidationError::BadTiming {
+                                context: format!("{}.{}", class.name, thread.name),
+                                detail: format!("period {period} must be positive"),
+                            });
+                        }
+                        if !deadline.is_positive() {
+                            report.errors.push(ValidationError::BadTiming {
+                                context: format!("{}.{}", class.name, thread.name),
+                                detail: format!("deadline {deadline} must be positive"),
+                            });
+                        }
+                    }
+                    ThreadActivation::Realizes(MethodRef(m)) => {
+                        if class.provided_method(m).is_none() {
+                            report.errors.push(ValidationError::RealizesUnknownMethod {
+                                class: class.name.clone(),
+                                thread: thread.name.clone(),
+                            });
+                        }
+                        *realized.entry(m.as_str()).or_insert(0) += 1;
+                    }
+                }
+                for action in &thread.body {
+                    match action {
+                        Action::Execute { name, wcet, bcet } => {
+                            if !wcet.is_positive() {
+                                report.errors.push(ValidationError::BadTiming {
+                                    context: format!("{}.{}.{}", class.name, thread.name, name),
+                                    detail: format!("wcet {wcet} must be positive"),
+                                });
+                            }
+                            if bcet.is_negative() || bcet > wcet {
+                                report.errors.push(ValidationError::BadTiming {
+                                    context: format!("{}.{}.{}", class.name, thread.name, name),
+                                    detail: format!("bcet {bcet} must be in [0, wcet]"),
+                                });
+                            }
+                        }
+                        Action::Call(MethodRef(m)) => {
+                            if class.required_method(m).is_none() {
+                                report.errors.push(ValidationError::CallToUndeclaredMethod {
+                                    class: class.name.clone(),
+                                    thread: thread.name.clone(),
+                                    method: m.clone(),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            for (method, count) in realized {
+                if count > 1 {
+                    report.errors.push(ValidationError::MultipleRealizers {
+                        class: class.name.clone(),
+                        method: method.to_string(),
+                    });
+                }
+            }
+            for p in &class.provided {
+                if !p.mit.is_positive() {
+                    report.errors.push(ValidationError::BadTiming {
+                        context: format!("{}.provided.{}", class.name, p.name),
+                        detail: format!("MIT {} must be positive", p.mit),
+                    });
+                }
+            }
+        }
+    }
+
+    fn check_bindings(&self, report: &mut ValidationReport) {
+        let mut bound = HashSet::new();
+        for (i, b) in self.bindings.iter().enumerate() {
+            if b.from.0 >= self.instances.len() || b.to.0 >= self.instances.len() {
+                report
+                    .errors
+                    .push(ValidationError::BadBindingEndpoint { binding: i });
+                continue;
+            }
+            let from = &self.instances[b.from.0];
+            let to = &self.instances[b.to.0];
+            if from.class >= self.classes.len() || to.class >= self.classes.len() {
+                continue; // reported by check_instances
+            }
+            let from_class = &self.classes[from.class];
+            let to_class = &self.classes[to.class];
+            if from_class.required_method(&b.required).is_none() {
+                report.errors.push(ValidationError::UnknownRequiredMethod {
+                    instance: from.name.clone(),
+                    method: b.required.clone(),
+                });
+            }
+            if to_class.provided_method(&b.provided).is_none() {
+                report.errors.push(ValidationError::UnknownProvidedMethod {
+                    instance: to.name.clone(),
+                    method: b.provided.clone(),
+                });
+            } else if to_class.realizer_of(&b.provided).is_none() {
+                report.errors.push(ValidationError::NoRealizer {
+                    instance: to.name.clone(),
+                    method: b.provided.clone(),
+                });
+            }
+            if !bound.insert((b.from, b.required.clone())) {
+                report.errors.push(ValidationError::DoubleBinding {
+                    instance: from.name.clone(),
+                    method: b.required.clone(),
+                });
+            }
+            match (&b.link, from.node == to.node) {
+                (None, false) => report
+                    .errors
+                    .push(ValidationError::MissingLink { binding: i }),
+                (Some(_), true) => report
+                    .warnings
+                    .push(Warning::LinkOnLocalBinding { binding: i }),
+                _ => {}
+            }
+            if let Some(link) = &b.link {
+                for (what, wcet, bcet) in [
+                    ("request", link.request_wcet, link.request_bcet),
+                    ("response", link.response_wcet, link.response_bcet),
+                ] {
+                    if !wcet.is_positive() {
+                        report.errors.push(ValidationError::BadTiming {
+                            context: format!("binding #{i} {what} message"),
+                            detail: format!("wcet {wcet} must be positive"),
+                        });
+                    }
+                    if bcet.is_negative() || bcet > wcet {
+                        report.errors.push(ValidationError::BadTiming {
+                            context: format!("binding #{i} {what} message"),
+                            detail: format!("bcet {bcet} must be in [0, wcet]"),
+                        });
+                    }
+                }
+            }
+        }
+        // Every required method of every instance must be bound exactly once.
+        for (id, inst) in self.instances() {
+            if inst.class >= self.classes.len() {
+                continue;
+            }
+            for r in &self.classes[inst.class].required {
+                if !bound.contains(&(id, r.name.clone())) {
+                    report.errors.push(ValidationError::UnboundRequired {
+                        instance: inst.name.clone(),
+                        method: r.name.clone(),
+                    });
+                }
+            }
+        }
+        // Dead provided interfaces (warning only).
+        let used: HashSet<(InstanceId, &str)> = self
+            .bindings
+            .iter()
+            .map(|b| (b.to, b.provided.as_str()))
+            .collect();
+        for (id, inst) in self.instances() {
+            if inst.class >= self.classes.len() {
+                continue;
+            }
+            for p in &self.classes[inst.class].provided {
+                if !used.contains(&(id, p.name.as_str())) {
+                    report.warnings.push(Warning::UnusedProvided {
+                        instance: inst.name.clone(),
+                        method: p.name.clone(),
+                    });
+                }
+            }
+        }
+    }
+
+    /// DFS over the (instance, thread) call graph following bindings.
+    fn check_call_cycles(&self, report: &mut ValidationReport) {
+        // Node = (instance index, thread index).
+        #[derive(Clone, Copy, PartialEq)]
+        enum Mark {
+            White,
+            Grey,
+            Black,
+        }
+        let mut marks: HashMap<(usize, usize), Mark> = HashMap::new();
+        let mut stack_desc: Vec<String> = Vec::new();
+
+        fn dfs(
+            sys: &System,
+            node: (usize, usize),
+            marks: &mut HashMap<(usize, usize), Mark>,
+            stack_desc: &mut Vec<String>,
+            report: &mut ValidationReport,
+        ) {
+            match marks.get(&node).copied().unwrap_or(Mark::White) {
+                Mark::Black => return,
+                Mark::Grey => {
+                    report.errors.push(ValidationError::CallCycle {
+                        description: format!(
+                            "{} -> {}",
+                            stack_desc.join(" -> "),
+                            describe(sys, node)
+                        ),
+                    });
+                    return;
+                }
+                Mark::White => {}
+            }
+            marks.insert(node, Mark::Grey);
+            stack_desc.push(describe(sys, node));
+            let (inst_idx, thread_idx) = node;
+            let inst = &sys.instances[inst_idx];
+            let thread = &sys.classes[inst.class].threads[thread_idx];
+            for method in thread.calls() {
+                if let Some(binding) = sys.binding_for(InstanceId(inst_idx), method) {
+                    let callee_inst = binding.to.0;
+                    let callee_class = &sys.classes[sys.instances[callee_inst].class];
+                    if let Some(pos) = callee_class
+                        .threads
+                        .iter()
+                        .position(|t| t.realized_method() == Some(binding.provided.as_str()))
+                    {
+                        dfs(sys, (callee_inst, pos), marks, stack_desc, report);
+                    }
+                }
+            }
+            stack_desc.pop();
+            marks.insert(node, Mark::Black);
+        }
+
+        fn describe(sys: &System, (i, t): (usize, usize)) -> String {
+            let inst = &sys.instances[i];
+            format!(
+                "{}.{}",
+                inst.name, sys.classes[inst.class].threads[t].name
+            )
+        }
+
+        for (i, inst) in self.instances.iter().enumerate() {
+            for (t, _) in self.classes[inst.class].threads.iter().enumerate() {
+                dfs(self, (i, t), &mut marks, &mut stack_desc, report);
+            }
+        }
+    }
+
+    /// Computes the aggregate invocation rate of each bound provided method
+    /// and compares it against the declared MIT. Runs only on acyclic
+    /// systems (guaranteed by `check_call_cycles` running first).
+    fn check_mit_contracts(&self, report: &mut ValidationReport) {
+        // rate of thread activation, memoized per (instance, thread).
+        let mut memo: HashMap<(usize, usize), Rational> = HashMap::new();
+
+        fn thread_rate(
+            sys: &System,
+            node: (usize, usize),
+            memo: &mut HashMap<(usize, usize), Rational>,
+        ) -> Rational {
+            if let Some(&r) = memo.get(&node) {
+                return r;
+            }
+            let (inst_idx, thread_idx) = node;
+            let inst = &sys.instances[inst_idx];
+            let thread = &sys.classes[inst.class].threads[thread_idx];
+            let rate = match &thread.activation {
+                ThreadActivation::Periodic { period, .. } => Rational::ONE / *period,
+                ThreadActivation::Realizes(MethodRef(m)) => {
+                    // Sum of the rates of every caller bound to this method.
+                    let mut total = Rational::ZERO;
+                    for b in &sys.bindings {
+                        if b.to.0 != inst_idx || b.provided != *m {
+                            continue;
+                        }
+                        let caller_inst = b.from.0;
+                        let caller_class = &sys.classes[sys.instances[caller_inst].class];
+                        for (t_idx, t) in caller_class.threads.iter().enumerate() {
+                            let calls = t.calls().filter(|c| *c == b.required).count();
+                            if calls > 0 {
+                                let r = thread_rate(sys, (caller_inst, t_idx), memo);
+                                total += r * Rational::from_integer(calls as i128);
+                            }
+                        }
+                    }
+                    total
+                }
+            };
+            memo.insert(node, rate);
+            rate
+        }
+
+        for (inst_idx, inst) in self.instances.iter().enumerate() {
+            let class = &self.classes[inst.class];
+            for p in &class.provided {
+                // Aggregate rate over all bindings to this provided method.
+                let mut total = Rational::ZERO;
+                for b in &self.bindings {
+                    if b.to.0 != inst_idx || b.provided != p.name {
+                        continue;
+                    }
+                    let caller_inst = b.from.0;
+                    let caller_class = &self.classes[self.instances[caller_inst].class];
+                    for (t_idx, t) in caller_class.threads.iter().enumerate() {
+                        let calls = t.calls().filter(|c| *c == b.required).count();
+                        if calls > 0 {
+                            let r = thread_rate(self, (caller_inst, t_idx), &mut memo);
+                            total += r * Rational::from_integer(calls as i128);
+                        }
+                    }
+                }
+                if total.is_positive() {
+                    let implied_mit = Rational::ONE / total;
+                    if implied_mit < p.mit {
+                        report.errors.push(ValidationError::MitViolation {
+                            instance: inst.name.clone(),
+                            method: p.name.clone(),
+                            declared_mit: p.mit,
+                            implied_mit,
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::{
+        sensor_integration_class, sensor_reading_class, Action, ComponentClass, ProvidedMethod,
+        RequiredMethod, ThreadSpec,
+    };
+    use crate::system::{paper_system, RpcLink, SystemBuilder};
+    use hsched_numeric::rat;
+    use hsched_platform::PlatformId;
+
+    #[test]
+    fn paper_system_validates_clean() {
+        let report = paper_system().validate();
+        assert!(report.is_ok(), "unexpected errors: {:?}", report.errors);
+        // The Integrator's own provided `read` is never bound: one warning.
+        assert!(report
+            .warnings
+            .iter()
+            .any(|w| matches!(w, Warning::UnusedProvided { instance, method }
+                if instance == "Integrator" && method == "read")));
+    }
+
+    #[test]
+    fn unbound_required_is_error() {
+        let mut b = SystemBuilder::new();
+        let integration = b.add_class(sensor_integration_class());
+        b.instantiate("I", integration, PlatformId(0), 0);
+        let report = b.build().validate();
+        assert!(report
+            .errors
+            .iter()
+            .any(|e| matches!(e, ValidationError::UnboundRequired { .. })));
+    }
+
+    #[test]
+    fn duplicate_instance_names_rejected() {
+        let mut b = SystemBuilder::new();
+        let reading = b.add_class(sensor_reading_class());
+        b.instantiate("S", reading, PlatformId(0), 0);
+        b.instantiate("S", reading, PlatformId(1), 0);
+        let report = b.build().validate();
+        assert!(report
+            .errors
+            .iter()
+            .any(|e| matches!(e, ValidationError::DuplicateInstanceName(n) if n == "S")));
+    }
+
+    #[test]
+    fn cross_node_binding_needs_link() {
+        let mut b = SystemBuilder::new();
+        let reading = b.add_class(sensor_reading_class());
+        let integration = b.add_class(sensor_integration_class());
+        let s1 = b.instantiate("S1", reading, PlatformId(0), 0);
+        let s2 = b.instantiate("S2", reading, PlatformId(1), 0);
+        let it = b.instantiate("I", integration, PlatformId(2), 1); // other node
+        b.bind(it, "readSensor1", s1, "read"); // missing link!
+        b.bind_remote(
+            it,
+            "readSensor2",
+            s2,
+            "read",
+            RpcLink {
+                network: PlatformId(3),
+                request_wcet: rat(1, 2),
+                request_bcet: rat(1, 4),
+                response_wcet: rat(1, 2),
+                response_bcet: rat(1, 4),
+                priority: 1,
+            },
+        );
+        let report = b.build().validate();
+        assert!(report
+            .errors
+            .iter()
+            .any(|e| matches!(e, ValidationError::MissingLink { binding: 0 })));
+        // The remote one is fine.
+        assert_eq!(
+            report
+                .errors
+                .iter()
+                .filter(|e| matches!(e, ValidationError::MissingLink { .. }))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn call_cycle_detected() {
+        // A.calls m (bound to B), B's realizer calls n (bound back to A).
+        let a = ComponentClass::new("A")
+            .provides(ProvidedMethod::new("pa", rat(100, 1)))
+            .requires(RequiredMethod::derived("m"))
+            .thread(ThreadSpec::periodic(
+                "P",
+                rat(10, 1),
+                2,
+                vec![Action::call("m")],
+            ))
+            .thread(ThreadSpec::realizes(
+                "RA",
+                "pa",
+                1,
+                vec![Action::task("w", rat(1, 1), rat(1, 1)), Action::call("m")],
+            ));
+        let b_class = ComponentClass::new("B")
+            .provides(ProvidedMethod::new("pb", rat(100, 1)))
+            .requires(RequiredMethod::derived("n"))
+            .thread(ThreadSpec::realizes(
+                "RB",
+                "pb",
+                1,
+                vec![Action::call("n")],
+            ));
+        let mut builder = SystemBuilder::new();
+        let ca = builder.add_class(a);
+        let cb = builder.add_class(b_class);
+        let ia = builder.instantiate("IA", ca, PlatformId(0), 0);
+        let ib = builder.instantiate("IB", cb, PlatformId(1), 0);
+        builder.bind(ia, "m", ib, "pb");
+        builder.bind(ib, "n", ia, "pa");
+        let report = builder.build().validate();
+        assert!(
+            report
+                .errors
+                .iter()
+                .any(|e| matches!(e, ValidationError::CallCycle { .. })),
+            "expected a cycle error, got {:?}",
+            report.errors
+        );
+    }
+
+    #[test]
+    fn mit_violation_detected() {
+        // Caller with period 10 calls a method promising MIT 50.
+        let server = ComponentClass::new("Server")
+            .provides(ProvidedMethod::new("get", rat(50, 1)))
+            .thread(ThreadSpec::realizes(
+                "R",
+                "get",
+                1,
+                vec![Action::task("s", rat(1, 1), rat(1, 1))],
+            ));
+        let client = ComponentClass::new("Client")
+            .requires(RequiredMethod::derived("get"))
+            .thread(ThreadSpec::periodic(
+                "C",
+                rat(10, 1),
+                1,
+                vec![Action::call("get")],
+            ));
+        let mut b = SystemBuilder::new();
+        let cs = b.add_class(server);
+        let cc = b.add_class(client);
+        let is = b.instantiate("S", cs, PlatformId(0), 0);
+        let ic = b.instantiate("C", cc, PlatformId(1), 0);
+        b.bind(ic, "get", is, "get");
+        let report = b.build().validate();
+        match report
+            .errors
+            .iter()
+            .find(|e| matches!(e, ValidationError::MitViolation { .. }))
+        {
+            Some(ValidationError::MitViolation {
+                declared_mit,
+                implied_mit,
+                ..
+            }) => {
+                assert_eq!(*declared_mit, rat(50, 1));
+                assert_eq!(*implied_mit, rat(10, 1));
+            }
+            other => panic!("expected MitViolation, got {other:?} in {:?}", report.errors),
+        }
+    }
+
+    #[test]
+    fn mit_respected_through_event_chain() {
+        // Two clients at period 50 each call `get` (MIT 20): aggregate
+        // implied MIT = 25 ≥ 20, OK.
+        let server = ComponentClass::new("Server")
+            .provides(ProvidedMethod::new("get", rat(20, 1)))
+            .thread(ThreadSpec::realizes(
+                "R",
+                "get",
+                1,
+                vec![Action::task("s", rat(1, 1), rat(1, 1))],
+            ));
+        let client = ComponentClass::new("Client")
+            .requires(RequiredMethod::derived("get"))
+            .thread(ThreadSpec::periodic(
+                "C",
+                rat(50, 1),
+                1,
+                vec![Action::call("get")],
+            ));
+        let mut b = SystemBuilder::new();
+        let cs = b.add_class(server);
+        let cc = b.add_class(client);
+        let is = b.instantiate("S", cs, PlatformId(0), 0);
+        let c1 = b.instantiate("C1", cc, PlatformId(1), 0);
+        let c2 = b.instantiate("C2", cc, PlatformId(2), 0);
+        b.bind(c1, "get", is, "get");
+        b.bind(c2, "get", is, "get");
+        let report = b.build().validate();
+        assert!(report.is_ok(), "{:?}", report.errors);
+    }
+
+    #[test]
+    fn bad_timing_rejected() {
+        let c = ComponentClass::new("X").thread(ThreadSpec::periodic(
+            "T",
+            rat(0, 1), // zero period
+            1,
+            vec![Action::task("a", rat(0, 1), rat(1, 1))], // zero wcet, bcet > wcet
+        ));
+        let mut b = SystemBuilder::new();
+        let cx = b.add_class(c);
+        b.instantiate("I", cx, PlatformId(0), 0);
+        let report = b.build().validate();
+        let timing_errors = report
+            .errors
+            .iter()
+            .filter(|e| matches!(e, ValidationError::BadTiming { .. }))
+            .count();
+        assert!(timing_errors >= 3, "got {:?}", report.errors);
+    }
+
+    #[test]
+    fn no_realizer_is_error() {
+        let server = ComponentClass::new("Server")
+            .provides(ProvidedMethod::new("get", rat(50, 1)));
+        let client = ComponentClass::new("Client")
+            .requires(RequiredMethod::derived("get"))
+            .thread(ThreadSpec::periodic(
+                "C",
+                rat(100, 1),
+                1,
+                vec![Action::call("get")],
+            ));
+        let mut b = SystemBuilder::new();
+        let cs = b.add_class(server);
+        let cc = b.add_class(client);
+        let is = b.instantiate("S", cs, PlatformId(0), 0);
+        let ic = b.instantiate("C", cc, PlatformId(1), 0);
+        b.bind(ic, "get", is, "get");
+        let report = b.build().validate();
+        assert!(report
+            .errors
+            .iter()
+            .any(|e| matches!(e, ValidationError::NoRealizer { .. })));
+    }
+
+    #[test]
+    fn duplicate_priority_warns() {
+        let c = ComponentClass::new("X")
+            .thread(ThreadSpec::periodic(
+                "A",
+                rat(10, 1),
+                1,
+                vec![Action::task("a", rat(1, 1), rat(1, 1))],
+            ))
+            .thread(ThreadSpec::periodic(
+                "B",
+                rat(20, 1),
+                1,
+                vec![Action::task("b", rat(1, 1), rat(1, 1))],
+            ));
+        let mut b = SystemBuilder::new();
+        let cx = b.add_class(c);
+        b.instantiate("I", cx, PlatformId(0), 0);
+        let report = b.build().validate();
+        assert!(report.is_ok());
+        assert!(report
+            .warnings
+            .iter()
+            .any(|w| matches!(w, Warning::DuplicatePriority { .. })));
+    }
+
+    #[test]
+    fn error_display_messages() {
+        let e = ValidationError::UnboundRequired {
+            instance: "I".into(),
+            method: "m".into(),
+        };
+        assert_eq!(e.to_string(), "required method `I.m` is not bound");
+        let w = Warning::UnusedProvided {
+            instance: "I".into(),
+            method: "p".into(),
+        };
+        assert!(w.to_string().contains("never bound"));
+    }
+}

@@ -1,0 +1,729 @@
+//! The [`Rational`] type: a normalized `i128` fraction.
+
+use crate::gcd;
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Rem, Sub, SubAssign};
+use std::str::FromStr;
+
+/// An exact rational number `num / den` with `den > 0` and
+/// `gcd(|num|, den) == 1` as an invariant.
+///
+/// The invariant is established by every constructor and maintained by every
+/// operation, so `==` is structural equality and hashing is consistent.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: i128,
+    den: i128, // invariant: den > 0, gcd(|num|, den) == 1
+}
+
+/// Error produced when parsing a [`Rational`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRationalError {
+    msg: String,
+}
+
+impl fmt::Display for ParseRationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid rational: {}", self.msg)
+    }
+}
+
+impl std::error::Error for ParseRationalError {}
+
+impl Rational {
+    /// Zero.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// One.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Creates `num / den`, normalizing sign and common factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    #[inline]
+    pub fn new(num: i128, den: i128) -> Rational {
+        assert!(den != 0, "Rational with zero denominator");
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = gcd(num.unsigned_abs(), den.unsigned_abs()) as i128;
+        if g == 0 {
+            return Rational { num: 0, den: 1 };
+        }
+        Rational {
+            num: sign * (num / g),
+            den: (den / g).abs(),
+        }
+    }
+
+    /// Creates a rational from an integer.
+    #[inline]
+    pub const fn from_integer(n: i128) -> Rational {
+        Rational { num: n, den: 1 }
+    }
+
+    /// Numerator (after normalization; carries the sign).
+    #[inline]
+    pub const fn numer(self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (after normalization; always positive).
+    #[inline]
+    pub const fn denom(self) -> i128 {
+        self.den
+    }
+
+    /// `true` if the value is exactly zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    /// `true` if the value is an integer.
+    #[inline]
+    pub const fn is_integer(self) -> bool {
+        self.den == 1
+    }
+
+    /// `true` if strictly positive.
+    #[inline]
+    pub const fn is_positive(self) -> bool {
+        self.num > 0
+    }
+
+    /// `true` if strictly negative.
+    #[inline]
+    pub const fn is_negative(self) -> bool {
+        self.num < 0
+    }
+
+    /// Absolute value.
+    #[inline]
+    pub fn abs(self) -> Rational {
+        Rational {
+            num: self.num.abs(),
+            den: self.den,
+        }
+    }
+
+    /// Largest integer `<= self`.
+    #[inline]
+    pub fn floor(self) -> i128 {
+        self.num.div_euclid(self.den)
+    }
+
+    /// Smallest integer `>= self`.
+    #[inline]
+    pub fn ceil(self) -> i128 {
+        -(-self.num).div_euclid(self.den)
+    }
+
+    /// Truncation towards zero.
+    #[inline]
+    pub fn trunc(self) -> i128 {
+        self.num / self.den
+    }
+
+    /// Fractional part, `self - floor(self)`; always in `[0, 1)`.
+    #[inline]
+    pub fn fract(self) -> Rational {
+        self - Rational::from_integer(self.floor())
+    }
+
+    /// Euclidean remainder of `self` by `modulus`, in `[0, modulus)`.
+    ///
+    /// This is the `mod` of the paper's Eq. (7)/(10): the result is
+    /// non-negative for positive `modulus` regardless of the sign of `self`
+    /// (e.g. `(-5) mod 50 = 45`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus <= 0`.
+    pub fn rem_euclid(self, modulus: Rational) -> Rational {
+        assert!(
+            modulus.is_positive(),
+            "rem_euclid with non-positive modulus {modulus}"
+        );
+        let q = (self / modulus).floor();
+        self - modulus * Rational::from_integer(q)
+    }
+
+    /// `max(self, other)`.
+    #[inline]
+    pub fn max(self, other: Rational) -> Rational {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// `min(self, other)`.
+    #[inline]
+    pub fn min(self, other: Rational) -> Rational {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Clamp into `[lo, hi]`.
+    #[inline]
+    pub fn clamp(self, lo: Rational, hi: Rational) -> Rational {
+        debug_assert!(lo <= hi);
+        self.max(lo).min(hi)
+    }
+
+    /// Checked addition; `None` on overflow.
+    pub fn checked_add(self, rhs: Rational) -> Option<Rational> {
+        // a/b + c/d = (a*(l/b) + c*(l/d)) / l with l = lcm(b, d).
+        let g = gcd(self.den as u128, rhs.den as u128) as i128;
+        let lhs_scale = rhs.den / g;
+        let rhs_scale = self.den / g;
+        let num = self
+            .num
+            .checked_mul(lhs_scale)?
+            .checked_add(rhs.num.checked_mul(rhs_scale)?)?;
+        let den = self.den.checked_mul(lhs_scale)?;
+        Some(Rational::new(num, den))
+    }
+
+    /// Checked subtraction; `None` on overflow.
+    pub fn checked_sub(self, rhs: Rational) -> Option<Rational> {
+        self.checked_add(Rational {
+            num: rhs.num.checked_neg()?,
+            den: rhs.den,
+        })
+    }
+
+    /// Checked multiplication; `None` on overflow.
+    pub fn checked_mul(self, rhs: Rational) -> Option<Rational> {
+        // Cross-reduce before multiplying to keep magnitudes small.
+        let g1 = gcd(self.num.unsigned_abs(), rhs.den as u128) as i128;
+        let g2 = gcd(rhs.num.unsigned_abs(), self.den as u128) as i128;
+        let num = (self.num / g1).checked_mul(rhs.num / g2)?;
+        let den = (self.den / g2).checked_mul(rhs.den / g1)?;
+        Some(Rational::new(num, den))
+    }
+
+    /// Checked division; `None` on overflow or division by zero.
+    pub fn checked_div(self, rhs: Rational) -> Option<Rational> {
+        if rhs.is_zero() {
+            return None;
+        }
+        self.checked_mul(Rational::new(rhs.den, rhs.num))
+    }
+
+    /// Reciprocal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is zero.
+    #[inline]
+    pub fn recip(self) -> Rational {
+        assert!(!self.is_zero(), "reciprocal of zero");
+        Rational::new(self.den, self.num)
+    }
+
+    /// Converts to `f64` (for reporting/plotting only; may round).
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Builds the exact rational for a decimal literal given as mantissa
+    /// digits and a decimal exponent, e.g. `from_decimal(4, 1)` is `0.4`.
+    pub fn from_decimal(digits: i128, frac_digits: u32) -> Rational {
+        let den = 10i128
+            .checked_pow(frac_digits)
+            .expect("decimal exponent overflow");
+        Rational::new(digits, den)
+    }
+
+    /// Exact conversion from an `f64` that is known to be a short decimal
+    /// (e.g. user input such as `0.4`). Goes through the shortest decimal
+    /// representation, so `approx_from_f64(0.4) == Rational::new(2, 5)`.
+    ///
+    /// Returns `None` for non-finite values or values needing more than 12
+    /// fractional digits to round-trip.
+    pub fn approx_from_f64(x: f64) -> Option<Rational> {
+        if !x.is_finite() {
+            return None;
+        }
+        for frac in 0..=12u32 {
+            let scale = 10f64.powi(frac as i32);
+            let scaled = x * scale;
+            if scaled.abs() > 1e17 {
+                return None;
+            }
+            let rounded = scaled.round();
+            if (scaled - rounded).abs() < 1e-9 * scale.max(1.0) {
+                let r = Rational::new(rounded as i128, 10i128.pow(frac));
+                if (r.to_f64() - x).abs() <= f64::EPSILON * x.abs().max(1.0) * 4.0 {
+                    return Some(r);
+                }
+            }
+        }
+        None
+    }
+}
+
+macro_rules! forward_binop {
+    ($trait:ident, $method:ident, $checked:ident, $opname:literal) => {
+        impl $trait for Rational {
+            type Output = Rational;
+            #[inline]
+            fn $method(self, rhs: Rational) -> Rational {
+                self.$checked(rhs)
+                    .unwrap_or_else(|| panic!("rational {} overflow: {} and {}", $opname, self, rhs))
+            }
+        }
+    };
+}
+
+forward_binop!(Add, add, checked_add, "add");
+forward_binop!(Sub, sub, checked_sub, "sub");
+forward_binop!(Mul, mul, checked_mul, "mul");
+
+impl Div for Rational {
+    type Output = Rational;
+    #[inline]
+    fn div(self, rhs: Rational) -> Rational {
+        assert!(!rhs.is_zero(), "rational division by zero: {self} / 0");
+        self.checked_div(rhs)
+            .unwrap_or_else(|| panic!("rational div overflow: {self} / {rhs}"))
+    }
+}
+
+impl Rem for Rational {
+    type Output = Rational;
+    /// Truncated remainder (sign follows the dividend), matching `%` on ints.
+    fn rem(self, rhs: Rational) -> Rational {
+        assert!(!rhs.is_zero(), "rational remainder by zero");
+        let q = (self / rhs).trunc();
+        self - rhs * Rational::from_integer(q)
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    #[inline]
+    fn neg(self) -> Rational {
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl AddAssign for Rational {
+    #[inline]
+    fn add_assign(&mut self, rhs: Rational) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Rational {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Rational) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Rational {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Rational) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Rational {
+    #[inline]
+    fn div_assign(&mut self, rhs: Rational) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for Rational {
+    fn sum<I: Iterator<Item = Rational>>(iter: I) -> Rational {
+        iter.fold(Rational::ZERO, Add::add)
+    }
+}
+
+impl<'a> Sum<&'a Rational> for Rational {
+    fn sum<I: Iterator<Item = &'a Rational>>(iter: I) -> Rational {
+        iter.copied().sum()
+    }
+}
+
+impl PartialOrd for Rational {
+    #[inline]
+    fn partial_cmp(&self, other: &Rational) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Rational) -> Ordering {
+        // Compare a/b vs c/d via a*d vs c*b; cross-reduce to dodge overflow.
+        let g1 = gcd(self.num.unsigned_abs(), other.num.unsigned_abs()).max(1) as i128;
+        let g2 = gcd(self.den as u128, other.den as u128) as i128;
+        let lhs = (self.num / g1).checked_mul(other.den / g2);
+        let rhs = (other.num / g1).checked_mul(self.den / g2);
+        match (lhs, rhs) {
+            (Some(l), Some(r)) => l.cmp(&r),
+            // Fall back to sign/f64 comparison only in the astronomically
+            // unlikely overflow case; exactness loss here would be a bug, so
+            // panic instead.
+            _ => panic!("rational comparison overflow: {self} vs {other}"),
+        }
+    }
+}
+
+impl Default for Rational {
+    /// Zero.
+    #[inline]
+    fn default() -> Rational {
+        Rational::ZERO
+    }
+}
+
+impl From<i128> for Rational {
+    #[inline]
+    fn from(n: i128) -> Rational {
+        Rational::from_integer(n)
+    }
+}
+
+impl From<i64> for Rational {
+    #[inline]
+    fn from(n: i64) -> Rational {
+        Rational::from_integer(n as i128)
+    }
+}
+
+impl From<i32> for Rational {
+    #[inline]
+    fn from(n: i32) -> Rational {
+        Rational::from_integer(n as i128)
+    }
+}
+
+impl From<u32> for Rational {
+    #[inline]
+    fn from(n: u32) -> Rational {
+        Rational::from_integer(n as i128)
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Display for Rational {
+    /// Displays as a decimal when the denominator is a product of 2s and 5s
+    /// (`5/2` → `2.5`), otherwise as a fraction (`1/3` → `1/3`).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            return write!(f, "{}", self.num);
+        }
+        // Check if den divides a power of ten.
+        let mut d = self.den;
+        let mut twos = 0u32;
+        let mut fives = 0u32;
+        while d % 2 == 0 {
+            d /= 2;
+            twos += 1;
+        }
+        while d % 5 == 0 {
+            d /= 5;
+            fives += 1;
+        }
+        if d == 1 && twos <= 27 && fives <= 27 {
+            let digits = twos.max(fives);
+            let scale = 10i128.pow(digits);
+            let scaled = self.num * (scale / self.den);
+            let int_part = scaled / scale;
+            let frac_part = (scaled % scale).unsigned_abs();
+            let sign = if self.num < 0 && int_part == 0 { "-" } else { "" };
+            let frac_str = format!("{frac_part:0width$}", width = digits as usize);
+            let frac_str = frac_str.trim_end_matches('0');
+            write!(f, "{sign}{int_part}.{frac_str}")
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl FromStr for Rational {
+    type Err = ParseRationalError;
+
+    /// Parses `"3"`, `"-3"`, `"2.5"`, `"-0.125"`, and `"7/2"` forms.
+    fn from_str(s: &str) -> Result<Rational, ParseRationalError> {
+        let s = s.trim();
+        let err = |m: &str| ParseRationalError { msg: m.to_string() };
+        if s.is_empty() {
+            return Err(err("empty string"));
+        }
+        if let Some((n, d)) = s.split_once('/') {
+            let num: i128 = n.trim().parse().map_err(|_| err("bad numerator"))?;
+            let den: i128 = d.trim().parse().map_err(|_| err("bad denominator"))?;
+            if den == 0 {
+                return Err(err("zero denominator"));
+            }
+            return Ok(Rational::new(num, den));
+        }
+        if let Some((int_s, frac_s)) = s.split_once('.') {
+            if frac_s.is_empty() || !frac_s.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(err("bad fractional part"));
+            }
+            if frac_s.len() > 27 {
+                return Err(err("too many fractional digits"));
+            }
+            let negative = int_s.trim_start().starts_with('-');
+            let int_part: i128 = if int_s.is_empty() || int_s == "-" || int_s == "+" {
+                0
+            } else {
+                int_s.parse().map_err(|_| err("bad integer part"))?
+            };
+            let frac_digits = frac_s.len() as u32;
+            let frac_num: i128 = frac_s.parse().map_err(|_| err("bad fractional part"))?;
+            let scale = 10i128.pow(frac_digits);
+            let mag = int_part.unsigned_abs() as i128 * scale + frac_num;
+            let signed = if negative { -mag } else { mag };
+            return Ok(Rational::new(signed, scale));
+        }
+        let n: i128 = s.parse().map_err(|_| err("bad integer"))?;
+        Ok(Rational::from_integer(n))
+    }
+}
+
+#[cfg(feature = "serde")]
+mod serde_impl {
+    use super::Rational;
+    use serde::de::Error as _;
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    impl Serialize for Rational {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            serializer.serialize_str(&format!("{}/{}", self.numer(), self.denom()))
+        }
+    }
+
+    impl<'de> Deserialize<'de> for Rational {
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Rational, D::Error> {
+            let s = String::deserialize(deserializer)?;
+            s.parse().map_err(D::Error::custom)
+        }
+    }
+}
+
+/// Convenience constructor used pervasively in tests and examples:
+/// `rat(5, 2)` is `5/2`.
+#[inline]
+pub fn rat(num: i128, den: i128) -> Rational {
+    Rational::new(num, den)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    #[test]
+    fn normalization() {
+        assert_eq!(r(2, 4), r(1, 2));
+        assert_eq!(r(-2, 4), r(1, -2));
+        assert_eq!(r(-2, -4), r(1, 2));
+        assert_eq!(r(0, 5).denom(), 1);
+        assert_eq!(r(6, -3), Rational::from_integer(-2));
+        assert_eq!(r(-6, 3).numer(), -2);
+        assert_eq!(r(-6, 3).denom(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = r(1, 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(r(1, 2) + r(1, 3), r(5, 6));
+        assert_eq!(r(1, 2) - r(1, 3), r(1, 6));
+        assert_eq!(r(2, 3) * r(3, 4), r(1, 2));
+        assert_eq!(r(1, 2) / r(1, 4), Rational::from_integer(2));
+        assert_eq!(-r(1, 2), r(-1, 2));
+        assert_eq!(r(7, 3) % r(1, 2), r(1, 3));
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut x = r(1, 2);
+        x += r(1, 2);
+        assert_eq!(x, Rational::ONE);
+        x -= r(1, 4);
+        assert_eq!(x, r(3, 4));
+        x *= r(4, 3);
+        assert_eq!(x, Rational::ONE);
+        x /= r(1, 3);
+        assert_eq!(x, Rational::from_integer(3));
+    }
+
+    #[test]
+    fn floor_ceil_trunc() {
+        assert_eq!(r(5, 2).floor(), 2);
+        assert_eq!(r(5, 2).ceil(), 3);
+        assert_eq!(r(-5, 2).floor(), -3);
+        assert_eq!(r(-5, 2).ceil(), -2);
+        assert_eq!(r(-5, 2).trunc(), -2);
+        assert_eq!(r(4, 2).floor(), 2);
+        assert_eq!(r(4, 2).ceil(), 2);
+        assert_eq!(Rational::ZERO.floor(), 0);
+        assert_eq!(Rational::ZERO.ceil(), 0);
+    }
+
+    #[test]
+    fn fract_in_unit_interval() {
+        assert_eq!(r(5, 2).fract(), r(1, 2));
+        assert_eq!(r(-5, 2).fract(), r(1, 2));
+        assert_eq!(Rational::from_integer(3).fract(), Rational::ZERO);
+    }
+
+    #[test]
+    fn rem_euclid_matches_paper_convention() {
+        // Eq. (10) with φik + Jik − φij = −5 and Ti = 50: (−5) mod 50 = 45.
+        let m = Rational::from_integer(50);
+        assert_eq!(Rational::from_integer(-5).rem_euclid(m), Rational::from_integer(45));
+        assert_eq!(Rational::from_integer(0).rem_euclid(m), Rational::ZERO);
+        assert_eq!(Rational::from_integer(50).rem_euclid(m), Rational::ZERO);
+        assert_eq!(Rational::from_integer(73).rem_euclid(m), Rational::from_integer(23));
+        assert_eq!(r(-1, 2).rem_euclid(m), r(99, 2));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(r(1, 3) < r(1, 2));
+        assert!(r(-1, 2) < r(-1, 3));
+        assert!(r(2, 4) == r(1, 2));
+        assert!(Rational::from_integer(2) > r(3, 2));
+        assert_eq!(r(7, 3).max(r(5, 2)), r(5, 2));
+        assert_eq!(r(7, 3).min(r(5, 2)), r(7, 3));
+    }
+
+    #[test]
+    fn display_decimal_and_fraction() {
+        assert_eq!(r(5, 2).to_string(), "2.5");
+        assert_eq!(r(2, 5).to_string(), "0.4");
+        assert_eq!(r(-2, 5).to_string(), "-0.4");
+        assert_eq!(r(1, 3).to_string(), "1/3");
+        assert_eq!(Rational::from_integer(42).to_string(), "42");
+        assert_eq!(r(-1, 8).to_string(), "-0.125");
+        assert_eq!(r(1001, 1000).to_string(), "1.001");
+    }
+
+    #[test]
+    fn parsing() {
+        assert_eq!("3".parse::<Rational>().unwrap(), Rational::from_integer(3));
+        assert_eq!("-3".parse::<Rational>().unwrap(), Rational::from_integer(-3));
+        assert_eq!("2.5".parse::<Rational>().unwrap(), r(5, 2));
+        assert_eq!("0.4".parse::<Rational>().unwrap(), r(2, 5));
+        assert_eq!("-0.125".parse::<Rational>().unwrap(), r(-1, 8));
+        assert_eq!("7/2".parse::<Rational>().unwrap(), r(7, 2));
+        assert_eq!(" 7 / 2 ".parse::<Rational>().unwrap(), r(7, 2));
+        assert_eq!("-7/2".parse::<Rational>().unwrap(), r(-7, 2));
+        assert_eq!("7/-2".parse::<Rational>().unwrap(), r(-7, 2));
+        assert_eq!(".5".parse::<Rational>().unwrap(), r(1, 2));
+        assert!("".parse::<Rational>().is_err());
+        assert!("1/0".parse::<Rational>().is_err());
+        assert!("a.b".parse::<Rational>().is_err());
+        assert!("1.".parse::<Rational>().is_err());
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        for &x in &[r(5, 2), r(-2, 5), r(1, 3), r(0, 1), r(123, 7), r(-1, 8)] {
+            let s = x.to_string();
+            assert_eq!(s.parse::<Rational>().unwrap(), x, "roundtrip {s}");
+        }
+    }
+
+    #[test]
+    fn approx_from_f64() {
+        assert_eq!(Rational::approx_from_f64(0.4), Some(r(2, 5)));
+        assert_eq!(Rational::approx_from_f64(2.5), Some(r(5, 2)));
+        assert_eq!(Rational::approx_from_f64(-0.2), Some(r(-1, 5)));
+        assert_eq!(Rational::approx_from_f64(7.0), Some(Rational::from_integer(7)));
+        assert_eq!(Rational::approx_from_f64(f64::NAN), None);
+        assert_eq!(Rational::approx_from_f64(f64::INFINITY), None);
+    }
+
+    #[test]
+    fn recip() {
+        assert_eq!(r(2, 5).recip(), r(5, 2));
+        assert_eq!(r(-2, 5).recip(), r(-5, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "reciprocal of zero")]
+    fn recip_zero_panics() {
+        let _ = Rational::ZERO.recip();
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let xs = [r(1, 2), r(1, 3), r(1, 6)];
+        let total: Rational = xs.iter().sum();
+        assert_eq!(total, Rational::ONE);
+        let total2: Rational = xs.into_iter().sum();
+        assert_eq!(total2, Rational::ONE);
+    }
+
+    #[test]
+    fn checked_ops_catch_overflow() {
+        let big = Rational::from_integer(i128::MAX / 2);
+        assert!(big.checked_mul(Rational::from_integer(4)).is_none());
+        assert!(big.checked_add(big).is_some()); // i128::MAX/2 * 2 < MAX
+        let huge = Rational::from_integer(i128::MAX);
+        assert!(huge.checked_add(Rational::ONE).is_none());
+        assert_eq!(Rational::ONE.checked_div(Rational::ZERO), None);
+    }
+
+    #[test]
+    fn abs_and_signs() {
+        assert_eq!(r(-5, 2).abs(), r(5, 2));
+        assert!(r(-5, 2).is_negative());
+        assert!(r(5, 2).is_positive());
+        assert!(!Rational::ZERO.is_positive());
+        assert!(!Rational::ZERO.is_negative());
+        assert!(Rational::ZERO.is_zero());
+        assert!(Rational::from_integer(4).is_integer());
+        assert!(!r(1, 2).is_integer());
+    }
+
+    #[test]
+    fn clamp() {
+        assert_eq!(r(5, 2).clamp(Rational::ZERO, Rational::ONE), Rational::ONE);
+        assert_eq!(r(-1, 2).clamp(Rational::ZERO, Rational::ONE), Rational::ZERO);
+        assert_eq!(r(1, 2).clamp(Rational::ZERO, Rational::ONE), r(1, 2));
+    }
+
+    #[test]
+    fn from_decimal() {
+        assert_eq!(Rational::from_decimal(4, 1), r(2, 5));
+        assert_eq!(Rational::from_decimal(125, 3), r(1, 8));
+        assert_eq!(Rational::from_decimal(-25, 1), r(-5, 2));
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests for the exact rational arithmetic: field axioms,
+//! order compatibility, and the floor/ceil/mod identities that the
+//! response-time equations depend on.
+
+use hsched_numeric::Rational;
+use proptest::prelude::*;
+
+/// Rationals with numerator/denominator small enough that chained ops in the
+/// properties below never overflow `i128`.
+fn small_rational() -> impl Strategy<Value = Rational> {
+    (-1_000_000i128..1_000_000, 1i128..10_000).prop_map(|(n, d)| Rational::new(n, d))
+}
+
+fn positive_rational() -> impl Strategy<Value = Rational> {
+    (1i128..1_000_000, 1i128..10_000).prop_map(|(n, d)| Rational::new(n, d))
+}
+
+proptest! {
+    #[test]
+    fn add_commutative(a in small_rational(), b in small_rational()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn add_associative(a in small_rational(), b in small_rational(), c in small_rational()) {
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn mul_commutative(a in small_rational(), b in small_rational()) {
+        prop_assert_eq!(a * b, b * a);
+    }
+
+    #[test]
+    fn mul_distributes_over_add(a in small_rational(), b in small_rational(), c in small_rational()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn sub_is_add_neg(a in small_rational(), b in small_rational()) {
+        prop_assert_eq!(a - b, a + (-b));
+    }
+
+    #[test]
+    fn div_mul_roundtrip(a in small_rational(), b in small_rational()) {
+        prop_assume!(!b.is_zero());
+        prop_assert_eq!((a / b) * b, a);
+    }
+
+    #[test]
+    fn normalized_invariant(a in small_rational(), b in small_rational()) {
+        let c = a + b;
+        prop_assert!(c.denom() > 0);
+        prop_assert_eq!(hsched_numeric::gcd(c.numer().unsigned_abs(), c.denom() as u128).max(1), 1);
+    }
+
+    #[test]
+    fn order_total_and_compatible(a in small_rational(), b in small_rational(), c in small_rational()) {
+        // Exactly one of <, ==, > holds.
+        let lt = a < b;
+        let eq = a == b;
+        let gt = a > b;
+        prop_assert_eq!(u8::from(lt) + u8::from(eq) + u8::from(gt), 1);
+        // Order is translation invariant.
+        if a < b {
+            prop_assert!(a + c < b + c);
+        }
+    }
+
+    #[test]
+    fn floor_ceil_bracket(a in small_rational()) {
+        let f = Rational::from_integer(a.floor());
+        let c = Rational::from_integer(a.ceil());
+        prop_assert!(f <= a && a <= c);
+        prop_assert!(a - f < Rational::ONE);
+        prop_assert!(c - a < Rational::ONE);
+        if a.is_integer() {
+            prop_assert_eq!(f, c);
+        } else {
+            prop_assert_eq!(c - f, Rational::ONE);
+        }
+    }
+
+    #[test]
+    fn rem_euclid_properties(a in small_rational(), m in positive_rational()) {
+        let r = a.rem_euclid(m);
+        prop_assert!(r >= Rational::ZERO);
+        prop_assert!(r < m);
+        // a - r is an integer multiple of m.
+        let q = (a - r) / m;
+        prop_assert!(q.is_integer());
+    }
+
+    #[test]
+    fn display_parse_roundtrip(a in small_rational()) {
+        let s = a.to_string();
+        let back: Rational = s.parse().unwrap();
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn fraction_display_roundtrip(a in small_rational()) {
+        let s = format!("{}/{}", a.numer(), a.denom());
+        let back: Rational = s.parse().unwrap();
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn abs_triangle_inequality(a in small_rational(), b in small_rational()) {
+        prop_assert!((a + b).abs() <= a.abs() + b.abs());
+    }
+
+    #[test]
+    fn min_max_consistent(a in small_rational(), b in small_rational()) {
+        prop_assert_eq!(a.min(b) + a.max(b), a + b);
+        prop_assert!(a.min(b) <= a.max(b));
+    }
+
+    #[test]
+    fn to_f64_close(a in small_rational()) {
+        let x = a.to_f64();
+        let err = (x - a.numer() as f64 / a.denom() as f64).abs();
+        prop_assert!(err == 0.0);
+    }
+}

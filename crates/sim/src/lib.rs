@@ -1,0 +1,166 @@
+//! Discrete-event simulator for hierarchical scheduling with RPC
+//! transactions.
+//!
+//! The paper's analysis (crate `hsched-analysis`) produces *bounds*; this
+//! simulator executes the same transaction model on concrete reservation
+//! mechanisms and measures *actual* response times, serving two purposes:
+//!
+//! 1. **Validation** — observed worst-case responses must never exceed the
+//!    analytic bounds (the cross-crate integration tests and the
+//!    `analysis_vs_simulation` experiment rely on this);
+//! 2. **Tightness measurement** — the gap between observed and bound
+//!    quantifies the pessimism of the linear `(α, Δ, β)` abstraction.
+//!
+//! # Mechanisms
+//!
+//! Each platform's [`ServiceModel`](hsched_platform::ServiceModel) maps to a
+//! runtime mechanism:
+//!
+//! * `Server(Q, P)` — a **deferrable server**: budget `Q`, replenished to
+//!   full every `P`, retained while idle. Its supply envelope is exactly
+//!   Figure 3 of the paper (worst-case blackout `2(P−Q)`, best-case
+//!   back-to-back `2Q` burst).
+//! * `Tdma` — a static cyclic partition: the platform runs at speed 1 inside
+//!   its slots.
+//! * `Quantized`/`Linear` — an ideal **fluid** share at rate α (for `Linear`
+//!   platforms with `Δ > 0` a deferrable server realizing `(α, Δ)` is
+//!   synthesized instead, so the simulated worst case approaches the model).
+//!
+//! Within a platform, ready tasks are dispatched preemptively by fixed
+//! priority (or EDF, see [`LocalPolicy`]); across platforms the simulation
+//! is truly parallel, like the paper's system model.
+//!
+//! # Example
+//!
+//! ```
+//! use hsched_sim::{simulate, SimConfig};
+//! use hsched_transaction::paper_example;
+//! use hsched_numeric::rat;
+//!
+//! let system = paper_example::transactions();
+//! let result = simulate(&system, &SimConfig::worst_case(rat(5000, 1)));
+//! // End-to-end responses stay within the analytic bound of 31.
+//! assert!(result.task_stats(0, 3).max_response.unwrap() <= rat(31, 1));
+//! assert_eq!(result.transaction_stats(0).deadline_misses, 0);
+//! ```
+
+mod engine;
+mod mechanism;
+mod metrics;
+mod trace;
+
+pub use engine::{simulate, SimResult};
+pub use mechanism::Mechanism;
+pub use metrics::{SimMetrics, TaskStats, TransactionStats};
+pub use trace::{render_gantt, TraceSegment};
+
+use hsched_numeric::{Rational, Time};
+
+/// How job execution times are drawn within `[bcet, wcet]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionModel {
+    /// Every job takes its WCET (worst-case load).
+    WorstCase,
+    /// Every job takes its BCET.
+    BestCase,
+    /// Uniformly random in `[bcet, wcet]` (1/1000 granularity).
+    Random,
+}
+
+/// How transaction releases are spaced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReleaseModel {
+    /// Strictly periodic: release `k` at `phase + k·T`.
+    Periodic,
+    /// Sporadic: inter-arrival `T + U[0, fraction·T]` (MIT streams such as
+    /// the paper's external `read()` clients). `fraction` is in per-mille.
+    Sporadic {
+        /// Maximum extra inter-arrival, in thousandths of the period.
+        extra_per_mille: u32,
+    },
+}
+
+/// Initial phases of the transactions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PhaseModel {
+    /// All transactions released together at t = 0 (synchronous start —
+    /// usually the most adversarial alignment).
+    Synchronous,
+    /// Random initial phase in `[0, T)` per transaction.
+    Random,
+    /// Explicit per-transaction phases.
+    Explicit(Vec<Time>),
+}
+
+/// Local dispatching policy within each platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LocalPolicy {
+    /// Preemptive fixed priorities (the paper's assumption).
+    #[default]
+    FixedPriority,
+    /// Preemptive EDF on the transaction's absolute deadline (extension).
+    EarliestDeadlineFirst,
+}
+
+/// Simulation configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Simulated time horizon.
+    pub horizon: Time,
+    /// Execution-time model.
+    pub execution: ExecutionModel,
+    /// Release spacing.
+    pub releases: ReleaseModel,
+    /// Initial phases.
+    pub phases: PhaseModel,
+    /// Dispatching policy (all platforms).
+    pub policy: LocalPolicy,
+    /// RNG seed (used by `Random` models).
+    pub seed: u64,
+    /// Record a Gantt trace (costs memory; off by default).
+    pub record_trace: bool,
+}
+
+impl SimConfig {
+    /// Adversarial default: worst-case execution times, synchronous release,
+    /// fixed priorities.
+    pub fn worst_case(horizon: Time) -> SimConfig {
+        SimConfig {
+            horizon,
+            execution: ExecutionModel::WorstCase,
+            releases: ReleaseModel::Periodic,
+            phases: PhaseModel::Synchronous,
+            policy: LocalPolicy::FixedPriority,
+            seed: 0,
+            record_trace: false,
+        }
+    }
+
+    /// Randomized run: random execution times and phases with the given
+    /// seed.
+    pub fn randomized(horizon: Time, seed: u64) -> SimConfig {
+        SimConfig {
+            horizon,
+            execution: ExecutionModel::Random,
+            releases: ReleaseModel::Periodic,
+            phases: PhaseModel::Random,
+            policy: LocalPolicy::FixedPriority,
+            seed,
+            record_trace: false,
+        }
+    }
+}
+
+/// Draws a rational uniformly from `[lo, hi]` with 1/1000 granularity.
+pub(crate) fn uniform_rational(
+    rng: &mut impl rand::Rng,
+    lo: Rational,
+    hi: Rational,
+) -> Rational {
+    debug_assert!(lo <= hi);
+    if lo == hi {
+        return lo;
+    }
+    let k: i128 = rng.gen_range(0..=1000);
+    lo + (hi - lo) * Rational::new(k, 1000)
+}

@@ -1,0 +1,278 @@
+//! Runtime state machines for the reservation mechanisms behind platforms.
+
+use hsched_numeric::{Cycles, Rational, Time};
+use hsched_platform::{Platform, ServiceModel};
+use hsched_supply::PeriodicServer;
+
+/// The executable mechanism realizing a platform's reservation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Mechanism {
+    /// Ideal fluid share: always available at rate α.
+    Fluid {
+        /// Service rate (cycles per time unit).
+        rate: Rational,
+    },
+    /// Deferrable server: budget replenished to `q` every `p`; consumed at
+    /// rate 1 while serving; retained while idle.
+    Server {
+        /// Budget per period.
+        q: Cycles,
+        /// Replenishment period.
+        p: Time,
+        /// Remaining budget.
+        budget: Cycles,
+        /// Next replenishment instant.
+        next_replenish: Time,
+    },
+    /// Static TDMA partition: full speed inside the slots of a cyclic frame.
+    Tdma {
+        /// Frame length.
+        frame: Time,
+        /// Sorted disjoint `(start, len)` slots within the frame.
+        slots: Vec<(Time, Time)>,
+    },
+}
+
+impl Mechanism {
+    /// Chooses the runtime mechanism for a platform (see crate docs).
+    pub fn for_platform(platform: &Platform) -> Mechanism {
+        match platform.model() {
+            ServiceModel::Server(s) => Mechanism::server(s),
+            ServiceModel::Tdma(t) => Mechanism::Tdma {
+                frame: t.frame(),
+                slots: t.slots().to_vec(),
+            },
+            ServiceModel::Quantized(q) => Mechanism::Fluid { rate: q.alpha() },
+            ServiceModel::Linear(m) => Mechanism::from_linear(m),
+            // A measured envelope has no executable mechanism; realize its
+            // linear abstraction (a compatible concrete reservation).
+            ServiceModel::Measured(_) => Mechanism::from_linear(&platform.linear_model()),
+        }
+    }
+
+    fn from_linear(m: &hsched_supply::BoundedDelay) -> Mechanism {
+        if m.alpha() == Rational::ONE || !m.delay().is_positive() {
+            Mechanism::Fluid { rate: m.alpha() }
+        } else {
+            match PeriodicServer::from_linear_params(m.alpha(), m.delay()) {
+                Some(s) => Mechanism::server(&s),
+                None => Mechanism::Fluid { rate: m.alpha() },
+            }
+        }
+    }
+
+    fn server(s: &PeriodicServer) -> Mechanism {
+        Mechanism::Server {
+            q: s.budget(),
+            p: s.period(),
+            budget: s.budget(),
+            next_replenish: s.period(),
+        }
+    }
+
+    /// Service rate available at instant `now` (0 when the reservation is
+    /// exhausted or out of slot).
+    pub fn rate_at(&self, now: Time) -> Rational {
+        match self {
+            Mechanism::Fluid { rate } => *rate,
+            Mechanism::Server { budget, .. } => {
+                if budget.is_positive() {
+                    Rational::ONE
+                } else {
+                    Rational::ZERO
+                }
+            }
+            Mechanism::Tdma { frame, slots } => {
+                let pos = now.rem_euclid(*frame);
+                for &(start, len) in slots {
+                    if pos >= start && pos < start + len {
+                        return Rational::ONE;
+                    }
+                }
+                Rational::ZERO
+            }
+        }
+    }
+
+    /// The next instant (strictly after `now`) at which the available rate
+    /// can change *independently of the workload*: replenishments and slot
+    /// boundaries. `None` for fluid shares.
+    pub fn next_boundary(&self, now: Time) -> Option<Time> {
+        match self {
+            Mechanism::Fluid { .. } => None,
+            Mechanism::Server { next_replenish, .. } => Some(*next_replenish),
+            Mechanism::Tdma { frame, slots } => {
+                let base = now - now.rem_euclid(*frame);
+                let pos = now - base;
+                // Boundaries in this frame and (for wrap-around) the next.
+                for cycle in 0..2 {
+                    let shift = *frame * Rational::from_integer(cycle);
+                    for &(start, len) in slots {
+                        for b in [start, start + len] {
+                            let t = b + shift;
+                            if t > pos {
+                                return Some(base + t);
+                            }
+                        }
+                    }
+                }
+                // A frame has at least one slot, so the loop above always
+                // finds a boundary within two frames.
+                unreachable!("TDMA frame without boundaries")
+            }
+        }
+    }
+
+    /// If a job is running from `now`, the instant its budget runs out
+    /// (servers only — slots/fluid are covered by `next_boundary`).
+    pub fn exhaustion(&self, now: Time) -> Option<Time> {
+        match self {
+            Mechanism::Server { budget, .. } if budget.is_positive() => Some(now + *budget),
+            _ => None,
+        }
+    }
+
+    /// Advances the mechanism by `dt`, with `serving` indicating whether a
+    /// job consumed the reservation during the interval.
+    pub fn advance(&mut self, now: Time, dt: Time, serving: bool) {
+        let end = now + dt;
+        if let Mechanism::Server {
+            q,
+            p,
+            budget,
+            next_replenish,
+        } = self
+        {
+            if serving {
+                *budget = (*budget - dt).max(Cycles::ZERO);
+            }
+            while *next_replenish <= end {
+                *budget = *q;
+                *next_replenish += *p;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsched_numeric::rat;
+    use hsched_platform::Platform;
+    use hsched_supply::TdmaSupply;
+
+    #[test]
+    fn fluid_for_dedicated_and_zero_delay() {
+        let m = Mechanism::for_platform(&Platform::dedicated("cpu"));
+        assert_eq!(m, Mechanism::Fluid {
+            rate: Rational::ONE
+        });
+        let m = Mechanism::for_platform(
+            &Platform::linear("f", rat(1, 2), rat(0, 1), rat(0, 1)).unwrap(),
+        );
+        assert_eq!(m, Mechanism::Fluid { rate: rat(1, 2) });
+    }
+
+    #[test]
+    fn server_synthesized_from_linear() {
+        // Π1 = (0.4, 1, 1): server P = 1/(2·0.6) = 5/6, Q = 1/3.
+        let m = Mechanism::for_platform(
+            &Platform::linear("p1", rat(2, 5), rat(1, 1), rat(1, 1)).unwrap(),
+        );
+        match m {
+            Mechanism::Server { q, p, .. } => {
+                assert_eq!(p, rat(5, 6));
+                assert_eq!(q, rat(1, 3));
+            }
+            other => panic!("expected server, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn server_budget_lifecycle() {
+        let mut m = Mechanism::Server {
+            q: rat(2, 1),
+            p: rat(5, 1),
+            budget: rat(2, 1),
+            next_replenish: rat(5, 1),
+        };
+        assert_eq!(m.rate_at(rat(0, 1)), Rational::ONE);
+        assert_eq!(m.exhaustion(rat(0, 1)), Some(rat(2, 1)));
+        // Serve for 2: budget exhausted.
+        m.advance(rat(0, 1), rat(2, 1), true);
+        assert_eq!(m.rate_at(rat(2, 1)), Rational::ZERO);
+        assert_eq!(m.exhaustion(rat(2, 1)), None);
+        // Idle to replenishment at 5.
+        m.advance(rat(2, 1), rat(3, 1), false);
+        assert_eq!(m.rate_at(rat(5, 1)), Rational::ONE);
+        match &m {
+            Mechanism::Server {
+                budget,
+                next_replenish,
+                ..
+            } => {
+                assert_eq!(*budget, rat(2, 1));
+                assert_eq!(*next_replenish, rat(10, 1));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn deferrable_budget_retained_while_idle() {
+        let mut m = Mechanism::Server {
+            q: rat(2, 1),
+            p: rat(5, 1),
+            budget: rat(2, 1),
+            next_replenish: rat(5, 1),
+        };
+        // Idle for 4: budget still 2 (deferrable, not polling).
+        m.advance(rat(0, 1), rat(4, 1), false);
+        match &m {
+            Mechanism::Server { budget, .. } => assert_eq!(*budget, rat(2, 1)),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn tdma_rate_and_boundaries() {
+        let t = TdmaSupply::new(rat(10, 1), vec![(rat(2, 1), rat(3, 1))]).unwrap();
+        let m = Mechanism::for_platform(&Platform::new(
+            "part",
+            hsched_platform::PlatformKind::Cpu,
+            hsched_platform::ServiceModel::Tdma(t),
+        ));
+        assert_eq!(m.rate_at(rat(0, 1)), Rational::ZERO);
+        assert_eq!(m.rate_at(rat(2, 1)), Rational::ONE);
+        assert_eq!(m.rate_at(rat(9, 2)), Rational::ONE);
+        assert_eq!(m.rate_at(rat(5, 1)), Rational::ZERO);
+        assert_eq!(m.rate_at(rat(12, 1)), Rational::ONE);
+        // Boundaries from 0: slot start 2, end 5, then 12, 15…
+        assert_eq!(m.next_boundary(rat(0, 1)), Some(rat(2, 1)));
+        assert_eq!(m.next_boundary(rat(2, 1)), Some(rat(5, 1)));
+        assert_eq!(m.next_boundary(rat(5, 1)), Some(rat(12, 1)));
+        assert_eq!(m.next_boundary(rat(11, 1)), Some(rat(12, 1)));
+    }
+
+    #[test]
+    fn replenishment_catches_up_after_long_idle() {
+        let mut m = Mechanism::Server {
+            q: rat(2, 1),
+            p: rat(5, 1),
+            budget: rat(0, 1),
+            next_replenish: rat(5, 1),
+        };
+        m.advance(rat(0, 1), rat(23, 1), false);
+        match &m {
+            Mechanism::Server {
+                budget,
+                next_replenish,
+                ..
+            } => {
+                assert_eq!(*budget, rat(2, 1));
+                assert_eq!(*next_replenish, rat(25, 1));
+            }
+            _ => unreachable!(),
+        }
+    }
+}

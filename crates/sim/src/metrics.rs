@@ -1,0 +1,127 @@
+//! Statistics collected during a simulation run.
+
+use hsched_numeric::{Rational, Time};
+use hsched_transaction::TransactionSet;
+
+/// Response-time statistics of one task.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TaskStats {
+    /// Number of completed jobs.
+    pub completions: u64,
+    /// Largest observed response (from transaction activation).
+    pub max_response: Option<Time>,
+    /// Smallest observed response.
+    pub min_response: Option<Time>,
+    /// Sum of responses (for averaging).
+    pub sum_response: Time,
+}
+
+impl TaskStats {
+    /// Mean observed response, if any job completed.
+    pub fn mean_response(&self) -> Option<Time> {
+        if self.completions == 0 {
+            return None;
+        }
+        Some(self.sum_response / Rational::from_integer(self.completions as i128))
+    }
+}
+
+/// End-to-end statistics of one transaction.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TransactionStats {
+    /// Number of releases within the horizon.
+    pub releases: u64,
+    /// Number of chains that ran to completion.
+    pub completions: u64,
+    /// Completions whose end-to-end response exceeded the deadline.
+    pub deadline_misses: u64,
+    /// Largest end-to-end response.
+    pub max_end_to_end: Option<Time>,
+}
+
+/// All statistics of a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimMetrics {
+    /// Per-task stats, indexed like the transaction set.
+    pub tasks: Vec<Vec<TaskStats>>,
+    /// Per-transaction stats.
+    pub transactions: Vec<TransactionStats>,
+}
+
+impl SimMetrics {
+    pub(crate) fn new(set: &TransactionSet) -> SimMetrics {
+        SimMetrics {
+            tasks: set
+                .transactions()
+                .iter()
+                .map(|tx| vec![TaskStats::default(); tx.len()])
+                .collect(),
+            transactions: vec![TransactionStats::default(); set.transactions().len()],
+        }
+    }
+
+    pub(crate) fn record_task(&mut self, tx: usize, idx: usize, response: Time) {
+        let s = &mut self.tasks[tx][idx];
+        s.completions += 1;
+        s.sum_response += response;
+        s.max_response = Some(s.max_response.map_or(response, |m| m.max(response)));
+        s.min_response = Some(s.min_response.map_or(response, |m| m.min(response)));
+    }
+
+    pub(crate) fn record_release(&mut self, tx: usize) {
+        self.transactions[tx].releases += 1;
+    }
+
+    pub(crate) fn record_completion(&mut self, tx: usize, response: Time, missed: bool) {
+        let s = &mut self.transactions[tx];
+        s.completions += 1;
+        if missed {
+            s.deadline_misses += 1;
+        }
+        s.max_end_to_end = Some(s.max_end_to_end.map_or(response, |m| m.max(response)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsched_numeric::rat;
+    use hsched_transaction::paper_example;
+
+    #[test]
+    fn recording_updates_extremes_and_mean() {
+        let set = paper_example::transactions();
+        let mut m = SimMetrics::new(&set);
+        m.record_task(0, 0, rat(5, 1));
+        m.record_task(0, 0, rat(3, 1));
+        m.record_task(0, 0, rat(7, 1));
+        let s = &m.tasks[0][0];
+        assert_eq!(s.completions, 3);
+        assert_eq!(s.max_response, Some(rat(7, 1)));
+        assert_eq!(s.min_response, Some(rat(3, 1)));
+        assert_eq!(s.mean_response(), Some(rat(5, 1)));
+    }
+
+    #[test]
+    fn empty_stats() {
+        let set = paper_example::transactions();
+        let m = SimMetrics::new(&set);
+        assert_eq!(m.tasks[0][0].mean_response(), None);
+        assert_eq!(m.tasks[0][0].max_response, None);
+    }
+
+    #[test]
+    fn completion_and_miss_accounting() {
+        let set = paper_example::transactions();
+        let mut m = SimMetrics::new(&set);
+        m.record_release(0);
+        m.record_release(0);
+        m.record_completion(0, rat(40, 1), false);
+        m.record_completion(0, rat(60, 1), true);
+        let s = &m.transactions[0];
+        assert_eq!(s.releases, 2);
+        assert_eq!(s.completions, 2);
+        assert_eq!(s.deadline_misses, 1);
+        assert_eq!(s.max_end_to_end, Some(rat(60, 1)));
+    }
+}

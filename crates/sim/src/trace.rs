@@ -1,0 +1,123 @@
+//! Execution traces and ASCII Gantt rendering.
+
+use hsched_numeric::{Rational, Time};
+
+/// One contiguous stretch of execution of a task on a platform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSegment {
+    /// Platform index.
+    pub platform: usize,
+    /// Task name.
+    pub label: String,
+    /// Segment start.
+    pub start: Time,
+    /// Segment end.
+    pub end: Time,
+}
+
+/// Renders trace segments as an ASCII Gantt chart over `[t0, t1]`, one row
+/// per platform, `cols` characters wide. Each task is assigned a letter in
+/// order of first appearance; idle time is `.`.
+///
+/// ```text
+/// Π1 |aaaa....bbbbbb..aaaa....|
+/// Π2 |....cccc........cccc....|
+/// ```
+pub fn render_gantt(
+    segments: &[TraceSegment],
+    num_platforms: usize,
+    t0: Time,
+    t1: Time,
+    cols: usize,
+) -> String {
+    assert!(t1 > t0, "empty time window");
+    assert!(cols > 0, "zero-width chart");
+    // Assign letters by first appearance.
+    let mut letters: Vec<(String, char)> = Vec::new();
+    let alphabet: Vec<char> = ('a'..='z').chain('A'..='Z').chain('0'..='9').collect();
+    let mut letter_of = |label: &str| -> char {
+        if let Some((_, c)) = letters.iter().find(|(l, _)| l == label) {
+            return *c;
+        }
+        let c = alphabet
+            .get(letters.len())
+            .copied()
+            .unwrap_or('?');
+        letters.push((label.to_string(), c));
+        c
+    };
+
+    let mut rows = vec![vec!['.'; cols]; num_platforms];
+    let span = t1 - t0;
+    for seg in segments {
+        if seg.platform >= num_platforms || seg.end <= t0 || seg.start >= t1 {
+            continue;
+        }
+        let c = letter_of(&seg.label);
+        let clamp = |x: Time| x.max(t0).min(t1);
+        let from = ((clamp(seg.start) - t0) / span * Rational::from_integer(cols as i128)).floor();
+        let to = ((clamp(seg.end) - t0) / span * Rational::from_integer(cols as i128)).ceil();
+        for col in from.max(0)..to.min(cols as i128) {
+            rows[seg.platform][col as usize] = c;
+        }
+    }
+
+    let mut out = String::new();
+    for (p, row) in rows.iter().enumerate() {
+        out.push_str(&format!("Π{} |", p + 1));
+        out.extend(row.iter());
+        out.push_str("|\n");
+    }
+    out.push_str("legend: ");
+    for (i, (label, c)) in letters.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("{c}={label}"));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsched_numeric::rat;
+
+    fn seg(platform: usize, label: &str, start: i128, end: i128) -> TraceSegment {
+        TraceSegment {
+            platform,
+            label: label.into(),
+            start: rat(start, 1),
+            end: rat(end, 1),
+        }
+    }
+
+    #[test]
+    fn renders_rows_and_legend() {
+        let segments = vec![seg(0, "taskA", 0, 5), seg(1, "taskB", 5, 10)];
+        let chart = render_gantt(&segments, 2, rat(0, 1), rat(10, 1), 10);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "Π1 |aaaaa.....|");
+        assert_eq!(lines[1], "Π2 |.....bbbbb|");
+        assert!(lines[2].contains("a=taskA"));
+        assert!(lines[2].contains("b=taskB"));
+    }
+
+    #[test]
+    fn clamps_out_of_window_segments() {
+        let segments = vec![seg(0, "x", -5, 2), seg(0, "y", 50, 60)];
+        let chart = render_gantt(&segments, 1, rat(0, 1), rat(10, 1), 10);
+        assert!(chart.lines().next().unwrap().starts_with("Π1 |aa"));
+        assert!(!chart.contains('b'));
+    }
+
+    #[test]
+    fn same_label_same_letter() {
+        let segments = vec![seg(0, "t", 0, 1), seg(0, "t", 5, 6)];
+        let chart = render_gantt(&segments, 1, rat(0, 1), rat(10, 1), 10);
+        let row = chart.lines().next().unwrap();
+        assert_eq!(row.matches('a').count(), 2);
+    }
+}

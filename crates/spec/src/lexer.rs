@@ -1,0 +1,320 @@
+//! Tokenizer for the `.hsc` language.
+
+use hsched_numeric::Rational;
+use std::fmt;
+
+/// Token classes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`class`, `SensorReading`, …).
+    Ident(String),
+    /// Exact number (`15`, `0.25`, `5/2`).
+    Number(Rational),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `.`
+    Dot,
+    /// `->`
+    Arrow,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "`{s}`"),
+            TokenKind::Number(n) => write!(f, "number {n}"),
+            TokenKind::LBrace => write!(f, "`{{`"),
+            TokenKind::RBrace => write!(f, "`}}`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::Semi => write!(f, "`;`"),
+            TokenKind::Colon => write!(f, "`:`"),
+            TokenKind::Dot => write!(f, "`.`"),
+            TokenKind::Arrow => write!(f, "`->`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source position (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Kind and payload.
+    pub kind: TokenKind,
+    /// Line number, starting at 1.
+    pub line: u32,
+    /// Column number, starting at 1.
+    pub col: u32,
+}
+
+/// Streaming tokenizer.
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer over the source text.
+    pub fn new(source: &'a str) -> Lexer<'a> {
+        Lexer {
+            src: source.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.src.get(self.pos + 1) == Some(&b'/') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Produces the next token, or an error message with position.
+    pub fn next_token(&mut self) -> Result<Token, (String, u32, u32)> {
+        self.skip_trivia();
+        let (line, col) = (self.line, self.col);
+        let Some(b) = self.peek() else {
+            return Ok(Token {
+                kind: TokenKind::Eof,
+                line,
+                col,
+            });
+        };
+        let kind = match b {
+            b'{' => {
+                self.bump();
+                TokenKind::LBrace
+            }
+            b'}' => {
+                self.bump();
+                TokenKind::RBrace
+            }
+            b'(' => {
+                self.bump();
+                TokenKind::LParen
+            }
+            b')' => {
+                self.bump();
+                TokenKind::RParen
+            }
+            b';' => {
+                self.bump();
+                TokenKind::Semi
+            }
+            b':' => {
+                self.bump();
+                TokenKind::Colon
+            }
+            b'.' if !self
+                .src
+                .get(self.pos + 1)
+                .is_some_and(|c| c.is_ascii_digit()) =>
+            {
+                self.bump();
+                TokenKind::Dot
+            }
+            b'-' if self.src.get(self.pos + 1) == Some(&b'>') => {
+                self.bump();
+                self.bump();
+                TokenKind::Arrow
+            }
+            b if b.is_ascii_digit() || b == b'.' => {
+                let start = self.pos;
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_digit() || c == b'.' || c == b'/' {
+                        // A `/` only continues the number if a digit follows
+                        // (so `5/2` lexes as one number but `a/b` won't
+                        // arise — identifiers can't contain `/` anyway).
+                        if c == b'/'
+                            && !self
+                                .src
+                                .get(self.pos + 1)
+                                .is_some_and(|d| d.is_ascii_digit())
+                        {
+                            break;
+                        }
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                let text = std::str::from_utf8(&self.src[start..self.pos])
+                    .expect("ascii slice");
+                match text.parse::<Rational>() {
+                    Ok(n) => TokenKind::Number(n),
+                    Err(e) => return Err((format!("bad number `{text}`: {e}"), line, col)),
+                }
+            }
+            b if b.is_ascii_alphabetic() || b == b'_' => {
+                let start = self.pos;
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_alphanumeric() || c == b'_' {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                let text = std::str::from_utf8(&self.src[start..self.pos])
+                    .expect("ascii slice")
+                    .to_string();
+                TokenKind::Ident(text)
+            }
+            other => {
+                return Err((
+                    format!("unexpected character `{}`", other as char),
+                    line,
+                    col,
+                ))
+            }
+        };
+        Ok(Token { kind, line, col })
+    }
+
+    /// Tokenizes the whole input.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, (String, u32, u32)> {
+        let mut out = Vec::new();
+        loop {
+            let tok = self.next_token()?;
+            let eof = tok.kind == TokenKind::Eof;
+            out.push(tok);
+            if eof {
+                return Ok(out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsched_numeric::rat;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("class X { }"),
+            vec![
+                TokenKind::Ident("class".into()),
+                TokenKind::Ident("X".into()),
+                TokenKind::LBrace,
+                TokenKind::RBrace,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_exact() {
+        assert_eq!(
+            kinds("15 0.25 5/2"),
+            vec![
+                TokenKind::Number(rat(15, 1)),
+                TokenKind::Number(rat(1, 4)),
+                TokenKind::Number(rat(5, 2)),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn arrow_and_punctuation() {
+        assert_eq!(
+            kinds("a.b -> c.d;"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("b".into()),
+                TokenKind::Arrow,
+                TokenKind::Ident("c".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("d".into()),
+                TokenKind::Semi,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("x // comment ; { }\ny"),
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Ident("y".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_tracked() {
+        let toks = Lexer::new("a\n  b").tokenize().unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn bad_character_reported() {
+        let err = Lexer::new("a @ b").tokenize().unwrap_err();
+        assert!(err.0.contains("unexpected character"));
+        assert_eq!((err.1, err.2), (1, 3));
+    }
+
+    #[test]
+    fn leading_dot_number() {
+        assert_eq!(kinds(".5"), vec![TokenKind::Number(rat(1, 2)), TokenKind::Eof]);
+    }
+}

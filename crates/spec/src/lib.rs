@@ -1,0 +1,156 @@
+//! The `.hsc` component specification language — a concrete syntax for the
+//! paper's pseudo object-oriented notation (Figures 1 and 2).
+//!
+//! A specification declares component classes, platforms, instances, and
+//! bindings:
+//!
+//! ```text
+//! class SensorReading {
+//!     provided read() mit 50;
+//!     thread Thread1 periodic period 15 priority 2 {
+//!         task acquire wcet 1 bcet 0.25;
+//!     }
+//!     thread Thread2 realizes read priority 1 {
+//!         task serve_read wcet 1 bcet 0.8;
+//!     }
+//! }
+//!
+//! platform Pi1 cpu alpha 0.4 delta 1 beta 1;
+//! instance Sensor1 : SensorReading on Pi1 node 0;
+//! bind Integrator.readSensor1 -> Sensor1.read;
+//! ```
+//!
+//! [`parse_str`] produces a ([`System`], [`PlatformSet`]) pair ready for
+//! validation and flattening; [`to_source`] pretty-prints a system back to
+//! the language (round-trip tested).
+//!
+//! The grammar (EBNF-ish):
+//!
+//! ```text
+//! spec      := item*
+//! item      := class | platform | instance | bind
+//! class     := "class" IDENT "{" member* "}"
+//! member    := "provided" IDENT "(" ")" "mit" NUM ";"
+//!            | "required" IDENT "(" ")" [ "mit" NUM ] ";"
+//!            | "scheduler" ("fixed_priority" | "edf") ";"
+//!            | thread
+//! thread    := "thread" IDENT activation "priority" INT "{" action* "}"
+//! activation:= "periodic" "period" NUM [ "deadline" NUM ]
+//!            | "realizes" IDENT
+//! action    := "task" IDENT "wcet" NUM [ "bcet" NUM ] ";"
+//!            | "call" IDENT ";"
+//! platform  := "platform" IDENT ("cpu" | "network") backing ";"
+//! backing   := "alpha" NUM "delta" NUM "beta" NUM
+//!            | "server" "budget" NUM "period" NUM
+//! instance  := "instance" IDENT ":" IDENT "on" IDENT "node" INT ";"
+//! bind      := "bind" IDENT "." IDENT "->" IDENT "." IDENT [ via ] ";"
+//! via       := "via" IDENT "priority" INT
+//!              "request" "wcet" NUM "bcet" NUM
+//!              "response" "wcet" NUM "bcet" NUM
+//! ```
+//!
+//! Numbers are decimal (`2.5`) or fractional (`5/2`), parsed exactly.
+//! Comments run from `//` to end of line.
+
+mod lexer;
+mod parser;
+mod printer;
+
+pub use lexer::{Lexer, Token, TokenKind};
+pub use parser::{parse_str, ParseError};
+pub use printer::to_source;
+
+use hsched_model::System;
+use hsched_platform::PlatformSet;
+
+/// Parses and validates in one step, turning validation errors into
+/// [`ParseError`]s carrying the full message list.
+pub fn parse_and_validate(source: &str) -> Result<(System, PlatformSet), ParseError> {
+    let (system, platforms) = parse_str(source)?;
+    let report = system.validate();
+    if !report.is_ok() {
+        let msgs: Vec<String> = report.errors.iter().map(|e| e.to_string()).collect();
+        return Err(ParseError::semantic(format!(
+            "specification is inconsistent:\n  {}",
+            msgs.join("\n  ")
+        )));
+    }
+    Ok((system, platforms))
+}
+
+#[cfg(test)]
+mod roundtrip_tests {
+    use super::*;
+
+    const PAPER: &str = r#"
+// The paper's Figure 1 + Figure 2 system.
+class SensorReading {
+    provided read() mit 50;
+    thread Thread1 periodic period 15 priority 2 {
+        task acquire wcet 1 bcet 0.25;
+    }
+    thread Thread2 realizes read priority 1 {
+        task serve_read wcet 1 bcet 0.8;
+    }
+}
+
+class SensorIntegration {
+    provided read() mit 70;
+    required readSensor1();
+    required readSensor2();
+    thread Thread1 realizes read priority 1 {
+        task serve_read wcet 7 bcet 5;
+    }
+    thread Thread2 periodic period 50 priority 2 {
+        task init wcet 1 bcet 0.8;
+        call readSensor1;
+        call readSensor2;
+        task compute wcet 1 bcet 0.8;
+    }
+}
+
+platform Pi1 cpu alpha 0.4 delta 1 beta 1;
+platform Pi2 cpu alpha 0.4 delta 1 beta 1;
+platform Pi3 cpu alpha 0.2 delta 2 beta 1;
+
+instance Sensor1 : SensorReading on Pi1 node 0;
+instance Sensor2 : SensorReading on Pi2 node 0;
+instance Integrator : SensorIntegration on Pi3 node 0;
+
+bind Integrator.readSensor1 -> Sensor1.read;
+bind Integrator.readSensor2 -> Sensor2.read;
+"#;
+
+    #[test]
+    fn paper_spec_parses_and_validates() {
+        let (system, platforms) = parse_and_validate(PAPER).unwrap();
+        assert_eq!(system.classes.len(), 2);
+        assert_eq!(system.instances.len(), 3);
+        assert_eq!(system.bindings.len(), 2);
+        assert_eq!(platforms.len(), 3);
+    }
+
+    #[test]
+    fn paper_spec_flattens_like_the_builder_version() {
+        use hsched_transaction::{flatten, FlattenOptions};
+        let (system, platforms) = parse_and_validate(PAPER).unwrap();
+        let set = flatten(&system, &platforms, FlattenOptions::default()).unwrap();
+        assert_eq!(set.transactions().len(), 4);
+        let names: Vec<&str> = set
+            .transactions()
+            .iter()
+            .map(|t| t.name.as_str())
+            .collect();
+        assert!(names.contains(&"Integrator.Thread2"));
+        assert!(names.contains(&"Integrator.read"));
+    }
+
+    #[test]
+    fn print_parse_roundtrip() {
+        let (system, platforms) = parse_str(PAPER).unwrap();
+        let printed = to_source(&system, &platforms);
+        let (system2, platforms2) = parse_str(&printed).unwrap();
+        assert_eq!(system, system2, "system round-trip");
+        assert_eq!(platforms, platforms2, "platforms round-trip");
+    }
+}

@@ -1,0 +1,661 @@
+//! Recursive-descent parser building `hsched-model` structures.
+
+use crate::lexer::{Lexer, Token, TokenKind};
+use hsched_model::{
+    Action, ComponentClass, LocalScheduler, ProvidedMethod, RequiredMethod, RpcLink, System,
+    SystemBuilder, ThreadSpec,
+};
+use hsched_numeric::Rational;
+use hsched_platform::{Platform, PlatformSet};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parse (or post-parse resolution) failure with source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable message.
+    pub message: String,
+    /// 1-based line, 0 for semantic errors without a position.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl ParseError {
+    pub(crate) fn semantic(message: String) -> ParseError {
+        ParseError {
+            message,
+            line: 0,
+            col: 0,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "{}:{}: {}", self.line, self.col, self.message)
+        } else {
+            write!(f, "{}", self.message)
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a complete `.hsc` specification.
+pub fn parse_str(source: &str) -> Result<(System, PlatformSet), ParseError> {
+    let tokens = Lexer::new(source)
+        .tokenize()
+        .map_err(|(message, line, col)| ParseError { message, line, col })?;
+    Parser::new(tokens).parse()
+}
+
+/// A pending binding, resolved after all instances are known.
+struct PendingBind {
+    from_instance: String,
+    required: String,
+    to_instance: String,
+    provided: String,
+    link: Option<PendingLink>,
+    line: u32,
+    col: u32,
+}
+
+struct PendingLink {
+    network: String,
+    priority: u32,
+    request: (Rational, Rational),
+    response: (Rational, Rational),
+}
+
+struct PendingInstance {
+    name: String,
+    class: String,
+    platform: String,
+    node: usize,
+    line: u32,
+    col: u32,
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Parser {
+        Parser { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        let t = self.peek();
+        Err(ParseError {
+            message: message.into(),
+            line: t.line,
+            col: t.col,
+        })
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<Token, ParseError> {
+        if &self.peek().kind == kind {
+            Ok(self.bump())
+        } else {
+            self.error(format!("expected {kind}, found {}", self.peek().kind))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) => {
+                let s = s.clone();
+                self.bump();
+                Ok(s)
+            }
+            other => self.error(format!("expected identifier, found {other}")),
+        }
+    }
+
+    /// Consumes the given keyword (an identifier with fixed spelling).
+    fn keyword(&mut self, word: &str) -> Result<(), ParseError> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) if s == word => {
+                self.bump();
+                Ok(())
+            }
+            other => self.error(format!("expected `{word}`, found {other}")),
+        }
+    }
+
+    fn at_keyword(&self, word: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Ident(s) if s == word)
+    }
+
+    fn number(&mut self) -> Result<Rational, ParseError> {
+        match &self.peek().kind {
+            TokenKind::Number(n) => {
+                let n = *n;
+                self.bump();
+                Ok(n)
+            }
+            other => self.error(format!("expected a number, found {other}")),
+        }
+    }
+
+    fn integer(&mut self) -> Result<i128, ParseError> {
+        let n = self.number()?;
+        if !n.is_integer() {
+            return self.error(format!("expected an integer, found {n}"));
+        }
+        Ok(n.numer())
+    }
+
+    fn parse(mut self) -> Result<(System, PlatformSet), ParseError> {
+        let mut builder = SystemBuilder::new();
+        let mut platforms = PlatformSet::new();
+        let mut platform_ids = HashMap::new();
+        let mut instances: Vec<PendingInstance> = Vec::new();
+        let mut binds: Vec<PendingBind> = Vec::new();
+
+        loop {
+            match &self.peek().kind {
+                TokenKind::Eof => break,
+                TokenKind::Ident(word) => match word.as_str() {
+                    "class" => {
+                        let class = self.parse_class()?;
+                        builder.add_class(class);
+                    }
+                    "platform" => {
+                        let (name, platform) = self.parse_platform()?;
+                        let id = platforms.add(platform);
+                        platform_ids.insert(name, id);
+                    }
+                    "instance" => instances.push(self.parse_instance()?),
+                    "bind" => binds.push(self.parse_bind()?),
+                    other => {
+                        return self.error(format!(
+                            "expected `class`, `platform`, `instance` or `bind`, found `{other}`"
+                        ))
+                    }
+                },
+                other => {
+                    return self.error(format!("expected a top-level declaration, found {other}"))
+                }
+            }
+        }
+
+        // Resolve instances.
+        let mut instance_ids = HashMap::new();
+        for inst in instances {
+            let Some(class) = builder.class_by_name(&inst.class) else {
+                return Err(ParseError {
+                    message: format!("unknown class `{}`", inst.class),
+                    line: inst.line,
+                    col: inst.col,
+                });
+            };
+            let Some(&platform) = platform_ids.get(&inst.platform) else {
+                return Err(ParseError {
+                    message: format!("unknown platform `{}`", inst.platform),
+                    line: inst.line,
+                    col: inst.col,
+                });
+            };
+            let id = builder.instantiate(inst.name.clone(), class, platform, inst.node);
+            instance_ids.insert(inst.name, id);
+        }
+
+        // Resolve bindings.
+        for b in binds {
+            let err = |msg: String| ParseError {
+                message: msg,
+                line: b.line,
+                col: b.col,
+            };
+            let &from = instance_ids
+                .get(&b.from_instance)
+                .ok_or_else(|| err(format!("unknown instance `{}`", b.from_instance)))?;
+            let &to = instance_ids
+                .get(&b.to_instance)
+                .ok_or_else(|| err(format!("unknown instance `{}`", b.to_instance)))?;
+            match b.link {
+                None => {
+                    builder.bind(from, b.required, to, b.provided);
+                }
+                Some(link) => {
+                    let &network = platform_ids
+                        .get(&link.network)
+                        .ok_or_else(|| err(format!("unknown platform `{}`", link.network)))?;
+                    builder.bind_remote(
+                        from,
+                        b.required,
+                        to,
+                        b.provided,
+                        RpcLink {
+                            network,
+                            request_wcet: link.request.0,
+                            request_bcet: link.request.1,
+                            response_wcet: link.response.0,
+                            response_bcet: link.response.1,
+                            priority: link.priority,
+                        },
+                    );
+                }
+            }
+        }
+
+        Ok((builder.build(), platforms))
+    }
+
+    fn parse_class(&mut self) -> Result<ComponentClass, ParseError> {
+        self.keyword("class")?;
+        let name = self.ident()?;
+        let mut class = ComponentClass::new(name);
+        self.expect(&TokenKind::LBrace)?;
+        loop {
+            if self.peek().kind == TokenKind::RBrace {
+                self.bump();
+                break;
+            }
+            match &self.peek().kind {
+                TokenKind::Ident(word) => match word.as_str() {
+                    "provided" => {
+                        self.bump();
+                        let m = self.ident()?;
+                        self.expect(&TokenKind::LParen)?;
+                        self.expect(&TokenKind::RParen)?;
+                        self.keyword("mit")?;
+                        let mit = self.number()?;
+                        self.expect(&TokenKind::Semi)?;
+                        class.provided.push(ProvidedMethod::new(m, mit));
+                    }
+                    "required" => {
+                        self.bump();
+                        let m = self.ident()?;
+                        self.expect(&TokenKind::LParen)?;
+                        self.expect(&TokenKind::RParen)?;
+                        let method = if self.at_keyword("mit") {
+                            self.bump();
+                            let mit = self.number()?;
+                            RequiredMethod::new(m, mit)
+                        } else {
+                            RequiredMethod::derived(m)
+                        };
+                        self.expect(&TokenKind::Semi)?;
+                        class.required.push(method);
+                    }
+                    "scheduler" => {
+                        self.bump();
+                        let which = self.ident()?;
+                        class.scheduler = match which.as_str() {
+                            "fixed_priority" => LocalScheduler::FixedPriority,
+                            "edf" => LocalScheduler::EarliestDeadlineFirst,
+                            other => {
+                                return self.error(format!(
+                                    "unknown scheduler `{other}` (expected `fixed_priority` or `edf`)"
+                                ))
+                            }
+                        };
+                        self.expect(&TokenKind::Semi)?;
+                    }
+                    "thread" => {
+                        let t = self.parse_thread()?;
+                        class.threads.push(t);
+                    }
+                    other => {
+                        return self.error(format!(
+                            "expected `provided`, `required`, `scheduler`, `thread` or `}}`, found `{other}`"
+                        ))
+                    }
+                },
+                other => return self.error(format!("unexpected {other} in class body")),
+            }
+        }
+        Ok(class)
+    }
+
+    fn parse_thread(&mut self) -> Result<ThreadSpec, ParseError> {
+        self.keyword("thread")?;
+        let name = self.ident()?;
+        enum Act {
+            Periodic(Rational, Option<Rational>),
+            Realizes(String),
+        }
+        let activation = if self.at_keyword("periodic") {
+            self.bump();
+            self.keyword("period")?;
+            let period = self.number()?;
+            let deadline = if self.at_keyword("deadline") {
+                self.bump();
+                Some(self.number()?)
+            } else {
+                None
+            };
+            Act::Periodic(period, deadline)
+        } else if self.at_keyword("realizes") {
+            self.bump();
+            Act::Realizes(self.ident()?)
+        } else {
+            return self.error(format!(
+                "expected `periodic` or `realizes`, found {}",
+                self.peek().kind
+            ));
+        };
+        self.keyword("priority")?;
+        let priority = self.integer()?;
+        if priority < 0 || priority > u32::MAX as i128 {
+            return self.error("priority out of range");
+        }
+        self.expect(&TokenKind::LBrace)?;
+        let mut body = Vec::new();
+        loop {
+            if self.peek().kind == TokenKind::RBrace {
+                self.bump();
+                break;
+            }
+            if self.at_keyword("task") {
+                self.bump();
+                let tname = self.ident()?;
+                self.keyword("wcet")?;
+                let wcet = self.number()?;
+                let bcet = if self.at_keyword("bcet") {
+                    self.bump();
+                    self.number()?
+                } else {
+                    wcet
+                };
+                self.expect(&TokenKind::Semi)?;
+                body.push(Action::task(tname, wcet, bcet));
+            } else if self.at_keyword("call") {
+                self.bump();
+                let m = self.ident()?;
+                self.expect(&TokenKind::Semi)?;
+                body.push(Action::call(m));
+            } else {
+                return self.error(format!(
+                    "expected `task`, `call` or `}}`, found {}",
+                    self.peek().kind
+                ));
+            }
+        }
+        Ok(match activation {
+            Act::Periodic(period, Some(deadline)) => ThreadSpec::periodic_with_deadline(
+                name,
+                period,
+                deadline,
+                priority as u32,
+                body,
+            ),
+            Act::Periodic(period, None) => {
+                ThreadSpec::periodic(name, period, priority as u32, body)
+            }
+            Act::Realizes(m) => ThreadSpec::realizes(name, m, priority as u32, body),
+        })
+    }
+
+    fn parse_platform(&mut self) -> Result<(String, Platform), ParseError> {
+        self.keyword("platform")?;
+        let name = self.ident()?;
+        let kind = self.ident()?;
+        let is_network = match kind.as_str() {
+            "cpu" => false,
+            "network" => true,
+            other => {
+                return self.error(format!(
+                    "expected `cpu` or `network`, found `{other}`"
+                ))
+            }
+        };
+        let platform = if self.at_keyword("alpha") {
+            self.bump();
+            let alpha = self.number()?;
+            self.keyword("delta")?;
+            let delta = self.number()?;
+            self.keyword("beta")?;
+            let beta = self.number()?;
+            let result = if is_network {
+                Platform::network(name.clone(), alpha, delta, beta)
+            } else {
+                Platform::linear(name.clone(), alpha, delta, beta)
+            };
+            match result {
+                Ok(p) => p,
+                Err(e) => return self.error(e),
+            }
+        } else if self.at_keyword("server") {
+            self.bump();
+            self.keyword("budget")?;
+            let budget = self.number()?;
+            self.keyword("period")?;
+            let period = self.number()?;
+            match Platform::server(name.clone(), budget, period) {
+                Ok(p) => p,
+                Err(e) => return self.error(e),
+            }
+        } else {
+            return self.error(format!(
+                "expected `alpha …` or `server …`, found {}",
+                self.peek().kind
+            ));
+        };
+        self.expect(&TokenKind::Semi)?;
+        Ok((name, platform))
+    }
+
+    fn parse_instance(&mut self) -> Result<PendingInstance, ParseError> {
+        let at = self.peek().clone();
+        self.keyword("instance")?;
+        let name = self.ident()?;
+        self.expect(&TokenKind::Colon)?;
+        let class = self.ident()?;
+        self.keyword("on")?;
+        let platform = self.ident()?;
+        self.keyword("node")?;
+        let node = self.integer()?;
+        if node < 0 {
+            return self.error("node index must be non-negative");
+        }
+        self.expect(&TokenKind::Semi)?;
+        Ok(PendingInstance {
+            name,
+            class,
+            platform,
+            node: node as usize,
+            line: at.line,
+            col: at.col,
+        })
+    }
+
+    fn parse_bind(&mut self) -> Result<PendingBind, ParseError> {
+        let at = self.peek().clone();
+        self.keyword("bind")?;
+        let from_instance = self.ident()?;
+        self.expect(&TokenKind::Dot)?;
+        let required = self.ident()?;
+        self.expect(&TokenKind::Arrow)?;
+        let to_instance = self.ident()?;
+        self.expect(&TokenKind::Dot)?;
+        let provided = self.ident()?;
+        let link = if self.at_keyword("via") {
+            self.bump();
+            let network = self.ident()?;
+            self.keyword("priority")?;
+            let priority = self.integer()?;
+            if priority < 0 || priority > u32::MAX as i128 {
+                return self.error("priority out of range");
+            }
+            self.keyword("request")?;
+            self.keyword("wcet")?;
+            let req_w = self.number()?;
+            self.keyword("bcet")?;
+            let req_b = self.number()?;
+            self.keyword("response")?;
+            self.keyword("wcet")?;
+            let resp_w = self.number()?;
+            self.keyword("bcet")?;
+            let resp_b = self.number()?;
+            Some(PendingLink {
+                network,
+                priority: priority as u32,
+                request: (req_w, req_b),
+                response: (resp_w, resp_b),
+            })
+        } else {
+            None
+        };
+        self.expect(&TokenKind::Semi)?;
+        Ok(PendingBind {
+            from_instance,
+            required,
+            to_instance,
+            provided,
+            link,
+            line: at.line,
+            col: at.col,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsched_numeric::rat;
+
+    #[test]
+    fn minimal_class() {
+        let src = r#"
+            class C {
+                thread T periodic period 10 priority 1 {
+                    task a wcet 1;
+                }
+            }
+        "#;
+        let (system, _) = parse_str(src).unwrap();
+        assert_eq!(system.classes.len(), 1);
+        let t = &system.classes[0].threads[0];
+        assert!(t.is_periodic());
+        // bcet defaults to wcet.
+        match &t.body[0] {
+            Action::Execute { wcet, bcet, .. } => {
+                assert_eq!(wcet, bcet);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn platform_kinds() {
+        let src = r#"
+            platform A cpu alpha 0.4 delta 1 beta 1;
+            platform N network alpha 0.5 delta 2 beta 0;
+            platform S cpu server budget 2 period 5;
+        "#;
+        let (_, platforms) = parse_str(src).unwrap();
+        assert_eq!(platforms.len(), 3);
+        let (_, a) = platforms.by_name("A").unwrap();
+        assert_eq!(a.alpha(), rat(2, 5));
+        let (_, n) = platforms.by_name("N").unwrap();
+        assert_eq!(n.kind(), hsched_platform::PlatformKind::Network);
+        let (_, s) = platforms.by_name("S").unwrap();
+        assert_eq!(s.alpha(), rat(2, 5));
+        assert_eq!(s.delta(), rat(6, 1));
+    }
+
+    #[test]
+    fn remote_binding_with_link() {
+        let src = r#"
+            class Server {
+                provided get() mit 100;
+                thread R realizes get priority 1 { task s wcet 1 bcet 0.5; }
+            }
+            class Client {
+                required get();
+                thread P periodic period 100 priority 1 { call get; }
+            }
+            platform P1 cpu alpha 1 delta 0 beta 0;
+            platform P2 cpu alpha 1 delta 0 beta 0;
+            platform NET network alpha 0.5 delta 1 beta 0;
+            instance S : Server on P1 node 0;
+            instance C : Client on P2 node 1;
+            bind C.get -> S.get via NET priority 3
+                request wcet 0.5 bcet 0.25 response wcet 0.5 bcet 0.25;
+        "#;
+        let (system, platforms) = parse_str(src).unwrap();
+        assert!(system.validate().is_ok());
+        let b = &system.bindings[0];
+        let link = b.link.as_ref().unwrap();
+        assert_eq!(link.priority, 3);
+        assert_eq!(link.request_wcet, rat(1, 2));
+        assert_eq!(platforms[link.network].name(), "NET");
+    }
+
+    #[test]
+    fn error_positions() {
+        let err = parse_str("class {").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("identifier"));
+
+        let err = parse_str("class C {\n  banana x;\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("banana"));
+    }
+
+    #[test]
+    fn unknown_references_reported() {
+        let err = parse_str("instance X : Nope on P node 0;").unwrap_err();
+        assert!(err.message.contains("unknown class"));
+
+        let err = parse_str(
+            "class C { thread T periodic period 1 priority 1 { task a wcet 1; } }\ninstance X : C on P node 0;",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("unknown platform"));
+    }
+
+    #[test]
+    fn scheduler_keyword() {
+        let src = "class C { scheduler edf; thread T periodic period 5 priority 1 { task a wcet 1; } }";
+        let (system, _) = parse_str(src).unwrap();
+        assert_eq!(
+            system.classes[0].scheduler,
+            LocalScheduler::EarliestDeadlineFirst
+        );
+        let err = parse_str("class C { scheduler banana; }").unwrap_err();
+        assert!(err.message.contains("unknown scheduler"));
+    }
+
+    #[test]
+    fn explicit_deadline() {
+        let src = "class C { thread T periodic period 10 deadline 8 priority 1 { task a wcet 1; } }";
+        let (system, _) = parse_str(src).unwrap();
+        match system.classes[0].threads[0].activation {
+            hsched_model::ThreadActivation::Periodic { period, deadline } => {
+                assert_eq!(period, rat(10, 1));
+                assert_eq!(deadline, rat(8, 1));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn required_with_explicit_mit() {
+        let src = "class C { required m() mit 25; thread T periodic period 50 priority 1 { call m; } }";
+        let (system, _) = parse_str(src).unwrap();
+        assert_eq!(
+            system.classes[0].required[0].mit,
+            Some(rat(25, 1))
+        );
+    }
+}

@@ -1,0 +1,207 @@
+//! Pretty-printer: renders a system back to `.hsc` source (round-trips
+//! through [`crate::parse_str`]).
+
+use hsched_model::{Action, LocalScheduler, System, ThreadActivation};
+use hsched_platform::{PlatformKind, PlatformSet, ServiceModel};
+use std::fmt::Write as _;
+
+/// Renders `system` + `platforms` as `.hsc` source.
+///
+/// Only the constructs expressible in the language are emitted: `Linear` and
+/// `Server` platform models (TDMA/quantized platforms are printed as their
+/// linear abstraction, with a comment).
+pub fn to_source(system: &System, platforms: &PlatformSet) -> String {
+    let mut out = String::new();
+
+    for class in &system.classes {
+        let _ = writeln!(out, "class {} {{", class.name);
+        for p in &class.provided {
+            let _ = writeln!(out, "    provided {}() mit {};", p.name, p.mit);
+        }
+        for r in &class.required {
+            match r.mit {
+                Some(mit) => {
+                    let _ = writeln!(out, "    required {}() mit {};", r.name, mit);
+                }
+                None => {
+                    let _ = writeln!(out, "    required {}();", r.name);
+                }
+            }
+        }
+        if class.scheduler == LocalScheduler::EarliestDeadlineFirst {
+            let _ = writeln!(out, "    scheduler edf;");
+        }
+        for t in &class.threads {
+            match &t.activation {
+                ThreadActivation::Periodic { period, deadline } => {
+                    if deadline == period {
+                        let _ = write!(out, "    thread {} periodic period {}", t.name, period);
+                    } else {
+                        let _ = write!(
+                            out,
+                            "    thread {} periodic period {} deadline {}",
+                            t.name, period, deadline
+                        );
+                    }
+                }
+                ThreadActivation::Realizes(m) => {
+                    let _ = write!(out, "    thread {} realizes {}", t.name, m.0);
+                }
+            }
+            let _ = writeln!(out, " priority {} {{", t.priority);
+            for a in &t.body {
+                match a {
+                    Action::Execute { name, wcet, bcet } => {
+                        if wcet == bcet {
+                            let _ = writeln!(out, "        task {name} wcet {wcet};");
+                        } else {
+                            let _ = writeln!(out, "        task {name} wcet {wcet} bcet {bcet};");
+                        }
+                    }
+                    Action::Call(m) => {
+                        let _ = writeln!(out, "        call {};", m.0);
+                    }
+                }
+            }
+            let _ = writeln!(out, "    }}");
+        }
+        let _ = writeln!(out, "}}");
+        let _ = writeln!(out);
+    }
+
+    for (_, p) in platforms.iter() {
+        let kind = match p.kind() {
+            PlatformKind::Cpu => "cpu",
+            PlatformKind::Network => "network",
+        };
+        match p.model() {
+            ServiceModel::Server(s) => {
+                let _ = writeln!(
+                    out,
+                    "platform {} {kind} server budget {} period {};",
+                    p.name(),
+                    s.budget(),
+                    s.period()
+                );
+            }
+            ServiceModel::Linear(_) => {
+                let _ = writeln!(
+                    out,
+                    "platform {} {kind} alpha {} delta {} beta {};",
+                    p.name(),
+                    p.alpha(),
+                    p.delta(),
+                    p.beta()
+                );
+            }
+            _ => {
+                let _ = writeln!(
+                    out,
+                    "platform {} {kind} alpha {} delta {} beta {}; // linearized from {:?}",
+                    p.name(),
+                    p.alpha(),
+                    p.delta(),
+                    p.beta(),
+                    p.model()
+                );
+            }
+        }
+    }
+    let _ = writeln!(out);
+
+    for (_, inst) in system.instances() {
+        let class = &system.classes[inst.class].name;
+        let platform = platforms[inst.platform].name();
+        let _ = writeln!(
+            out,
+            "instance {} : {class} on {platform} node {};",
+            inst.name, inst.node.0
+        );
+    }
+    let _ = writeln!(out);
+
+    for b in &system.bindings {
+        let from = &system.instances[b.from.0].name;
+        let to = &system.instances[b.to.0].name;
+        match &b.link {
+            None => {
+                let _ = writeln!(out, "bind {from}.{} -> {to}.{};", b.required, b.provided);
+            }
+            Some(link) => {
+                let net = platforms[link.network].name();
+                let _ = writeln!(
+                    out,
+                    "bind {from}.{} -> {to}.{} via {net} priority {}\n    request wcet {} bcet {} response wcet {} bcet {};",
+                    b.required,
+                    b.provided,
+                    link.priority,
+                    link.request_wcet,
+                    link.request_bcet,
+                    link.response_wcet,
+                    link.response_bcet
+                );
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_str;
+    use hsched_model::SystemBuilder;
+    use hsched_numeric::rat;
+    use hsched_platform::{Platform, PlatformSet, ServiceModel};
+    use hsched_supply::TdmaSupply;
+
+    #[test]
+    fn non_linear_models_print_as_linearization() {
+        // TDMA has no spec syntax: it prints as its linear abstraction with
+        // a trailing comment, and the output still parses.
+        let mut platforms = PlatformSet::new();
+        let tdma = TdmaSupply::new(rat(10, 1), vec![(rat(0, 1), rat(2, 1))]).unwrap();
+        platforms.add(Platform::new(
+            "part",
+            hsched_platform::PlatformKind::Cpu,
+            ServiceModel::Tdma(tdma),
+        ));
+        let system = SystemBuilder::new().build();
+        let printed = to_source(&system, &platforms);
+        assert!(printed.contains("// linearized from"));
+        let (_, platforms2) = parse_str(&printed).unwrap();
+        let (_, p) = platforms2.by_name("part").unwrap();
+        assert_eq!(p.alpha(), rat(1, 5));
+        assert_eq!(p.delta(), rat(8, 1));
+    }
+
+    #[test]
+    fn printed_source_is_stable() {
+        let src = r#"
+            class Server {
+                provided get() mit 100;
+                thread R realizes get priority 1 { task s wcet 1 bcet 0.5; }
+            }
+            class Client {
+                required get();
+                scheduler edf;
+                thread P periodic period 100 deadline 80 priority 2 { call get; task post wcet 2; }
+            }
+            platform P1 cpu server budget 2 period 5;
+            platform P2 cpu alpha 1 delta 0 beta 0;
+            platform NET network alpha 0.5 delta 1 beta 0;
+            instance S : Server on P1 node 0;
+            instance C : Client on P2 node 1;
+            bind C.get -> S.get via NET priority 3
+                request wcet 0.5 bcet 0.25 response wcet 0.5 bcet 0.25;
+        "#;
+        let (sys1, plat1) = parse_str(src).unwrap();
+        let printed1 = to_source(&sys1, &plat1);
+        let (sys2, plat2) = parse_str(&printed1).unwrap();
+        let printed2 = to_source(&sys2, &plat2);
+        assert_eq!(sys1, sys2);
+        assert_eq!(plat1, plat2);
+        assert_eq!(printed1, printed2, "printing is idempotent");
+    }
+}

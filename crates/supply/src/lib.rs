@@ -1,0 +1,156 @@
+//! Supply functions for abstract computing platforms (§2.3 of the paper).
+//!
+//! An *abstract computing platform* Π delivers processor (or network) cycles
+//! to the component running on it. Its behaviour over any interval of length
+//! `t` is bracketed by two functions (Definitions 1 and 2):
+//!
+//! * the **minimum supply function** `Zmin(t)` — the least amount of cycles Π
+//!   can deliver in any window of length `t`, and
+//! * the **maximum supply function** `Zmax(t)` — the most it can deliver.
+//!
+//! From these the paper abstracts three scalars (Definitions 3–5):
+//!
+//! * the **rate** `α` — the long-run slope of both curves,
+//! * the **delay** `Δ` — the x-intercept of the tightest linear lower bound
+//!   `α(t − Δ) ≤ Zmin(t)`, and
+//! * the **burstiness** `β` — the tightest linear upper bound on `Zmax`.
+//!
+//! This crate implements concrete supply curves for the global-scheduler
+//! mechanisms the paper cites — periodic/polling servers ([`PeriodicServer`],
+//! Figure 3), static time partitioning ([`TdmaSupply`]), and P-fair-like
+//! quantized fluid schedulers ([`QuantizedFluid`]) — together with the linear
+//! abstraction itself ([`BoundedDelay`]) and arbitrary piecewise-linear
+//! curves ([`PiecewiseCurve`]). Every curve knows its exact pseudo-inverse,
+//! which is what response-time analysis consumes: *the earliest instant by
+//! which a demand of `c` cycles is guaranteed served*.
+//!
+//! # Units for β
+//!
+//! Definition 5 of the paper states `Zmax(t) ≥ b + αt`, which puts `b` in
+//! *cycles*. The paper's own best-case formula (§3.2) and the worked example
+//! (Table 1, column φmin) instead subtract β from a *time* quantity:
+//! `max(0, Cbest/α − β)`. The two agree if β is measured in time with
+//! `Zmax(t) = α·(t + β)`. We follow the worked example — **β is in time
+//! units** throughout this workspace — because that is the only reading that
+//! reproduces Table 1. The cycles value of Definition 5 is `α·β`.
+//!
+//! # Example
+//!
+//! ```
+//! use hsched_numeric::rat;
+//! use hsched_supply::{BoundedDelay, PeriodicServer, SupplyCurve};
+//!
+//! // A server granting 2 cycles every 5: rate 0.4.
+//! let server = PeriodicServer::new(rat(2, 1), rat(5, 1)).unwrap();
+//! assert_eq!(server.rate(), rat(2, 5));
+//!
+//! // Its linear abstraction: α = 0.4, Δ = 2(P−Q) = 6, β = 2(P−Q) = 6.
+//! let linear: BoundedDelay = server.to_linear();
+//! assert_eq!(linear.delay(), rat(6, 1));
+//!
+//! // The abstraction never promises more than the real mechanism delivers.
+//! for k in 0..60 {
+//!     let t = rat(k, 4);
+//!     assert!(linear.zmin(t) <= server.zmin(t));
+//!     assert!(linear.zmax(t) >= server.zmax(t));
+//! }
+//! ```
+
+mod empirical;
+mod explicit;
+mod linear;
+mod params;
+mod periodic;
+mod quantized;
+mod tdma;
+
+pub use empirical::EmpiricalSupply;
+pub use explicit::PiecewiseCurve;
+pub use linear::BoundedDelay;
+pub use params::{extract_linear_bounds, LinearBounds};
+pub use periodic::PeriodicServer;
+pub use quantized::QuantizedFluid;
+pub use tdma::{TdmaError, TdmaSupply};
+
+use hsched_numeric::{Cycles, Time};
+
+/// A supply curve pair `Zmin`/`Zmax` for an abstract computing platform.
+///
+/// Implementations must satisfy, for all `t ≥ 0`:
+///
+/// * `zmin(0) == 0` and `zmin` is non-decreasing;
+/// * `zmin(t) <= zmax(t)`;
+/// * `time_to_supply_min(c)` is the least `t` with `zmin(t) >= c`
+///   (the *latest guaranteed completion* of a demand of `c` cycles);
+/// * `time_to_supply_max(c)` is the least `t` with `zmax(t) >= c`
+///   (the *earliest possible completion*).
+pub trait SupplyCurve {
+    /// Minimum cycles delivered in any window of length `t` (Definition 1).
+    fn zmin(&self, t: Time) -> Cycles;
+
+    /// Maximum cycles delivered in any window of length `t` (Definition 2).
+    fn zmax(&self, t: Time) -> Cycles;
+
+    /// Long-run rate α (Definition 3). All mechanisms modelled here have
+    /// `αmin == αmax`, as the paper assumes.
+    fn rate(&self) -> hsched_numeric::Rational;
+
+    /// Pseudo-inverse of `zmin`: least `t` such that `zmin(t) >= c`.
+    ///
+    /// For `c == 0` this is `0`.
+    fn time_to_supply_min(&self, c: Cycles) -> Time;
+
+    /// Pseudo-inverse of `zmax`: least `t` such that `zmax(t) >= c`.
+    fn time_to_supply_max(&self, c: Cycles) -> Time;
+
+    /// Abscissae at which the curves change slope, up to `horizon`
+    /// (used for exact linear-bound extraction). May be empty for curves
+    /// that are already linear.
+    fn breakpoints(&self, horizon: Time) -> Vec<Time> {
+        let _ = horizon;
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+pub(crate) use trait_tests::check_curve_invariants;
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+    use hsched_numeric::rat;
+
+    /// Generic conformance check run against every curve implementation.
+    pub(crate) fn check_curve_invariants<S: SupplyCurve>(curve: &S, horizon: Time) {
+        let steps = 240;
+        let mut prev_min = Cycles::ZERO;
+        let mut prev_max = Cycles::ZERO;
+        for k in 0..=steps {
+            let t = horizon * rat(k, steps);
+            let lo = curve.zmin(t);
+            let hi = curve.zmax(t);
+            assert!(lo >= Cycles::ZERO, "zmin negative at t={t}");
+            assert!(lo <= hi, "zmin > zmax at t={t}: {lo} > {hi}");
+            assert!(lo >= prev_min, "zmin decreasing at t={t}");
+            assert!(hi >= prev_max, "zmax decreasing at t={t}");
+            // Inverse consistency: completing zmin(t) cycles needs at most t.
+            if lo.is_positive() {
+                let back = curve.time_to_supply_min(lo);
+                assert!(back <= t, "inverse_zmin({lo}) = {back} > {t}");
+                assert!(
+                    curve.zmin(back) >= lo,
+                    "zmin(inverse_zmin({lo})) < {lo} at t={t}"
+                );
+            }
+            if hi.is_positive() {
+                let back = curve.time_to_supply_max(hi);
+                assert!(back <= t, "inverse_zmax({hi}) = {back} > {t}");
+            }
+            prev_min = lo;
+            prev_max = hi;
+        }
+        assert_eq!(curve.zmin(Time::ZERO), Cycles::ZERO);
+        assert_eq!(curve.time_to_supply_min(Cycles::ZERO), Time::ZERO);
+        assert_eq!(curve.time_to_supply_max(Cycles::ZERO), Time::ZERO);
+    }
+}

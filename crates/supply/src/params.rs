@@ -1,0 +1,135 @@
+//! Extraction of the (α, Δ, β) linear abstraction from an arbitrary supply
+//! curve (Definitions 3–5 of the paper, computed exactly at breakpoints).
+
+use crate::{BoundedDelay, SupplyCurve};
+use hsched_numeric::Time;
+
+/// Result of [`extract_linear_bounds`]: the linear model plus the instants
+/// where each bound is tight (useful for plotting Figure 3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinearBounds {
+    /// The extracted `(α, Δ, β)` model.
+    pub model: BoundedDelay,
+    /// An instant at which `Zmin(t) = α(t − Δ)` (the lower bound touches).
+    pub delay_witness: Time,
+    /// An instant at which `Zmax(t) = α(t + β)` (the upper bound touches).
+    pub burst_witness: Time,
+}
+
+/// Computes the tightest linear bounds of Definitions 4–5 for a curve whose
+/// slope changes only at its reported breakpoints (true for every curve in
+/// this crate).
+///
+/// `horizon` must span enough of the curve that the worst alignment repeats
+/// — for a periodic mechanism, the initial blackout plus two frames is
+/// sufficient; passing more is harmless.
+///
+/// Δ is `max over t of (t − Zmin(t)/α)` and β is
+/// `max over t of (Zmax(t)/α − t)` (time units; see the crate docs on units).
+/// Both expressions are linear between slope changes, so evaluating at
+/// breakpoints is exact.
+pub fn extract_linear_bounds<S: SupplyCurve>(curve: &S, horizon: Time) -> LinearBounds {
+    let alpha = curve.rate();
+    assert!(
+        alpha.is_positive(),
+        "cannot extract linear bounds of a zero-rate curve"
+    );
+    let mut points = curve.breakpoints(horizon);
+    if points.is_empty() {
+        points.push(Time::ZERO);
+        points.push(horizon);
+    }
+    if *points.last().expect("non-empty") < horizon {
+        points.push(horizon);
+    }
+
+    let mut delta = Time::ZERO;
+    let mut delay_witness = Time::ZERO;
+    let mut beta = Time::ZERO;
+    let mut burst_witness = Time::ZERO;
+    for &t in &points {
+        let d = t - curve.zmin(t) / alpha;
+        if d > delta {
+            delta = d;
+            delay_witness = t;
+        }
+        let b = curve.zmax(t) / alpha - t;
+        if b > beta {
+            beta = b;
+            burst_witness = t;
+        }
+    }
+    LinearBounds {
+        model: BoundedDelay::new(alpha, delta, beta)
+            .expect("extracted parameters are non-negative by construction"),
+        delay_witness,
+        burst_witness,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PeriodicServer, QuantizedFluid, TdmaSupply};
+    use hsched_numeric::rat;
+
+    #[test]
+    fn periodic_server_matches_closed_form() {
+        let s = PeriodicServer::new(rat(2, 1), rat(5, 1)).unwrap();
+        let horizon = s.blackout() + s.period() * rat(3, 1);
+        let got = extract_linear_bounds(&s, horizon);
+        let expect = s.to_linear();
+        assert_eq!(got.model.alpha(), expect.alpha());
+        assert_eq!(got.model.delay(), expect.delay());
+        assert_eq!(got.model.burstiness(), expect.burstiness());
+        // Witnesses: lower bound touches at end of a plateau (d + P = 11),
+        // upper at end of the initial double burst (2Q = 4).
+        assert_eq!(s.zmin(got.delay_witness), expect.zmin(got.delay_witness));
+        assert_eq!(s.zmax(got.burst_witness), expect.zmax(got.burst_witness));
+    }
+
+    #[test]
+    fn fractional_server_matches_closed_form() {
+        let s = PeriodicServer::new(rat(1, 2), rat(7, 2)).unwrap();
+        let horizon = s.blackout() + s.period() * rat(3, 1);
+        let got = extract_linear_bounds(&s, horizon).model;
+        let expect = s.to_linear();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn tdma_bounds_bracket_curve() {
+        let t = TdmaSupply::new(
+            rat(10, 1),
+            vec![(rat(1, 1), rat(2, 1)), (rat(6, 1), rat(1, 1))],
+        )
+        .unwrap();
+        let horizon = rat(40, 1);
+        let lb = extract_linear_bounds(&t, horizon);
+        for k in 0..=320 {
+            let x = horizon * rat(k, 320);
+            assert!(
+                lb.model.zmin(x) <= t.zmin(x),
+                "lower bound violated at t={x}"
+            );
+            assert!(
+                lb.model.zmax(x) >= t.zmax(x),
+                "upper bound violated at t={x}"
+            );
+        }
+        // Tightness: the bounds touch at the witnesses.
+        assert_eq!(lb.model.zmin(lb.delay_witness), t.zmin(lb.delay_witness));
+        assert_eq!(lb.model.zmax(lb.burst_witness), t.zmax(lb.burst_witness));
+    }
+
+    #[test]
+    fn already_linear_curve_has_trivial_bounds() {
+        let q = QuantizedFluid::new(rat(1, 2), rat(1, 1)).unwrap();
+        // QuantizedFluid reports no breakpoints; bounds from endpoints only.
+        let lb = extract_linear_bounds(&q, rat(100, 1));
+        assert_eq!(lb.model.alpha(), rat(1, 2));
+        // Δ = lag/α = 2 at any t past 0 where zmin > 0… the max of
+        // t − zmin/α is 2 for t ≥ 2, attained at the horizon sample.
+        assert_eq!(lb.model.delay(), rat(2, 1));
+    }
+}

@@ -1,0 +1,154 @@
+//! Property tests over randomized supply curves: the defining invariants of
+//! Definitions 1–5 must hold for every mechanism.
+
+use hsched_numeric::{rat, Rational, Time};
+use hsched_supply::{extract_linear_bounds, PeriodicServer, QuantizedFluid, SupplyCurve, TdmaSupply};
+use proptest::prelude::*;
+
+/// Random periodic servers with small rational parameters.
+fn server_strategy() -> impl Strategy<Value = PeriodicServer> {
+    (1i128..=40, 1i128..=4, 1i128..=40, 1i128..=4)
+        .prop_filter_map("Q ≤ P", |(qn, qd, pn, pd)| {
+            let q = rat(qn, qd);
+            let p = rat(pn, pd);
+            if q <= p {
+                PeriodicServer::new(q, p).ok()
+            } else {
+                None
+            }
+        })
+}
+
+/// Random TDMA partitions: a frame with 1–3 disjoint slots.
+fn tdma_strategy() -> impl Strategy<Value = TdmaSupply> {
+    (2i128..=30, proptest::collection::vec((0i128..100, 1i128..=30), 1..=3)).prop_filter_map(
+        "valid slots",
+        |(frame, raw)| {
+            let frame = rat(frame, 1);
+            // Lay the requested slots end to end with 1-unit gaps, scaled
+            // into the frame.
+            let mut slots = Vec::new();
+            let mut cursor = Rational::ZERO;
+            for (start_skip, len) in raw {
+                let start = cursor + rat(start_skip % 3, 2);
+                let len = rat(len, 10);
+                if start + len >= frame {
+                    break;
+                }
+                slots.push((start, len));
+                cursor = start + len + rat(1, 2);
+            }
+            if slots.is_empty() {
+                return None;
+            }
+            TdmaSupply::new(frame, slots).ok()
+        },
+    )
+}
+
+fn sample_times(horizon: Time) -> Vec<Time> {
+    (0..=60).map(|k| horizon * rat(k, 60)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn server_curves_bracket_and_are_monotone(s in server_strategy()) {
+        let horizon = s.period() * rat(4, 1) + s.blackout();
+        let mut prev_min = Rational::ZERO;
+        let mut prev_max = Rational::ZERO;
+        for t in sample_times(horizon) {
+            let lo = s.zmin(t);
+            let hi = s.zmax(t);
+            prop_assert!(lo >= Rational::ZERO);
+            prop_assert!(lo <= hi, "zmin {lo} > zmax {hi} at t={t}");
+            prop_assert!(hi <= t, "physical cap violated at t={t}");
+            prop_assert!(lo >= prev_min);
+            prop_assert!(hi >= prev_max);
+            prev_min = lo;
+            prev_max = hi;
+        }
+    }
+
+    #[test]
+    fn server_linear_abstraction_brackets(s in server_strategy()) {
+        let lin = s.to_linear();
+        let horizon = s.period() * rat(4, 1) + s.blackout();
+        for t in sample_times(horizon) {
+            prop_assert!(lin.zmin(t) <= s.zmin(t), "linear lower bound broken at t={t}");
+            prop_assert!(lin.zmax(t) >= s.zmax(t), "linear upper bound broken at t={t}");
+        }
+    }
+
+    #[test]
+    fn server_inverse_galois(s in server_strategy(), cn in 1i128..=60, cd in 1i128..=4) {
+        let c = rat(cn, cd).min(s.budget() * rat(8, 1));
+        let t = s.time_to_supply_min(c);
+        prop_assert!(s.zmin(t) >= c, "zmin(inverse(c)) < c");
+        // Minimality: slightly earlier must not satisfy the demand.
+        let eps = rat(1, 1000);
+        if t > eps {
+            prop_assert!(s.zmin(t - eps) < c, "inverse not minimal for c={c}");
+        }
+        let tb = s.time_to_supply_max(c);
+        prop_assert!(s.zmax(tb) >= c);
+        prop_assert!(tb <= t, "best case slower than worst case");
+    }
+
+    #[test]
+    fn server_extraction_matches_closed_form(s in server_strategy()) {
+        let horizon = s.blackout() + s.period() * rat(3, 1);
+        let got = extract_linear_bounds(&s, horizon).model;
+        let expect = s.to_linear();
+        prop_assert_eq!(got.alpha(), expect.alpha());
+        prop_assert_eq!(got.delay(), expect.delay());
+        prop_assert_eq!(got.burstiness(), expect.burstiness());
+    }
+
+    #[test]
+    fn tdma_curves_bracket_and_invert(t in tdma_strategy()) {
+        let horizon = t.frame() * rat(3, 1);
+        let mut prev_min = Rational::ZERO;
+        for x in sample_times(horizon) {
+            let lo = t.zmin(x);
+            let hi = t.zmax(x);
+            prop_assert!(lo <= hi);
+            prop_assert!(hi <= x);
+            prop_assert!(lo >= prev_min);
+            prev_min = lo;
+        }
+        // Rate sanity: zmin over k frames equals k × per-frame supply.
+        let per_frame = t.rate() * t.frame();
+        prop_assert_eq!(t.zmin(t.frame() * rat(2, 1)) + per_frame, t.zmin(t.frame() * rat(3, 1)));
+        // Inverse round trip.
+        let c = per_frame * rat(3, 2);
+        let inv = t.time_to_supply_min(c);
+        prop_assert!(t.zmin(inv) >= c);
+    }
+
+    #[test]
+    fn tdma_linear_bounds_bracket(t in tdma_strategy()) {
+        let horizon = t.frame() * rat(3, 1);
+        let lb = extract_linear_bounds(&t, horizon);
+        for x in sample_times(horizon) {
+            prop_assert!(lb.model.zmin(x) <= t.zmin(x), "lower bound broken at {x}");
+            prop_assert!(lb.model.zmax(x) >= t.zmax(x), "upper bound broken at {x}");
+        }
+    }
+
+    #[test]
+    fn quantized_fluid_consistent(an in 1i128..=9, lagn in 0i128..=8) {
+        let alpha = rat(an, 10);
+        let lag = rat(lagn, 2);
+        let q = QuantizedFluid::new(alpha, lag).unwrap();
+        for k in 0..40 {
+            let t = rat(k, 2);
+            prop_assert!(q.zmin(t) <= q.zmax(t));
+            prop_assert!(q.zmax(t) <= t.max(Rational::ZERO));
+        }
+        let c = rat(3, 1);
+        prop_assert!(q.zmin(q.time_to_supply_min(c)) >= c);
+        prop_assert!(q.zmax(q.time_to_supply_max(c)) >= c);
+    }
+}

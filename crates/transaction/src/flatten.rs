@@ -1,0 +1,422 @@
+//! The §2.4 transformation: components + bindings → transactions.
+
+use crate::model::{Task, Transaction, TransactionSet};
+use hsched_model::{
+    Action, InstanceId, System, ThreadActivation, ThreadSpec, ValidationError,
+};
+use hsched_platform::PlatformSet;
+
+/// Errors of [`flatten`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlattenError {
+    /// The system failed [`System::validate`]; flattening requires a valid
+    /// system (complete bindings, acyclic call graph, sane timing).
+    Invalid(Vec<ValidationError>),
+    /// Task platform ids and the given platform set disagree.
+    PlatformMismatch(String),
+}
+
+impl std::fmt::Display for FlattenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlattenError::Invalid(errors) => {
+                writeln!(f, "system validation failed:")?;
+                for e in errors {
+                    writeln!(f, "  - {e}")?;
+                }
+                Ok(())
+            }
+            FlattenError::PlatformMismatch(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for FlattenError {}
+
+/// Options controlling the transformation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlattenOptions {
+    /// Generate a sporadic transaction (period = MIT, deadline = MIT) for
+    /// every provided method that has a realizer but is not bound by any
+    /// component in the system — the external service surface. The paper's
+    /// Γ4 (`Integrator.read()` exercised by an unmodelled client every
+    /// 70 ms) arises this way.
+    pub external_stimuli: bool,
+}
+
+impl Default for FlattenOptions {
+    fn default() -> FlattenOptions {
+        FlattenOptions {
+            external_stimuli: true,
+        }
+    }
+}
+
+/// Transforms a validated component system into a [`TransactionSet`]
+/// following §2.4:
+///
+/// * each periodic thread originates one transaction;
+/// * `Execute` actions become tasks on the instance's platform with the
+///   thread's priority;
+/// * `Call` actions inline the bound callee realizer's body recursively;
+///   cross-node calls wrap the inlined body in request/response message
+///   tasks on the binding's network platform;
+/// * optionally, unbound provided methods become sporadic transactions at
+///   their MIT (see [`FlattenOptions::external_stimuli`]).
+pub fn flatten(
+    system: &System,
+    platforms: &PlatformSet,
+    options: FlattenOptions,
+) -> Result<TransactionSet, FlattenError> {
+    let report = system.validate();
+    if !report.is_ok() {
+        return Err(FlattenError::Invalid(report.errors));
+    }
+
+    let mut transactions = Vec::new();
+
+    for (id, inst) in system.instances() {
+        let class = system.class_of(id);
+        for thread in &class.threads {
+            if let ThreadActivation::Periodic { period, deadline } = thread.activation {
+                let mut tasks = Vec::new();
+                inline_thread(system, id, thread, &mut tasks);
+                let tx = Transaction::new(
+                    format!("{}.{}", inst.name, thread.name),
+                    period,
+                    deadline,
+                    tasks,
+                )
+                .map_err(FlattenError::PlatformMismatch)?;
+                transactions.push(tx);
+            }
+        }
+    }
+
+    if options.external_stimuli {
+        // Provided methods nobody binds: sporadic stimulus at the MIT.
+        for (id, inst) in system.instances() {
+            let class = system.class_of(id);
+            for provided in &class.provided {
+                let bound = system
+                    .bindings
+                    .iter()
+                    .any(|b| b.to == id && b.provided == provided.name);
+                if bound {
+                    continue;
+                }
+                let Some(realizer) = class.realizer_of(&provided.name) else {
+                    continue; // dead interface with no realizer: nothing runs
+                };
+                let mut tasks = Vec::new();
+                inline_thread(system, id, realizer, &mut tasks);
+                if tasks.is_empty() {
+                    continue;
+                }
+                let tx = Transaction::new(
+                    format!("{}.{}", inst.name, provided.name),
+                    provided.mit,
+                    provided.mit,
+                    tasks,
+                )
+                .map_err(FlattenError::PlatformMismatch)?;
+                transactions.push(tx);
+            }
+        }
+    }
+
+    TransactionSet::new(platforms.clone(), transactions).map_err(FlattenError::PlatformMismatch)
+}
+
+/// Appends the tasks of `thread` (running in `instance`) to `out`, inlining
+/// synchronous calls. Recursion terminates because validation rejects call
+/// cycles.
+fn inline_thread(system: &System, instance: InstanceId, thread: &ThreadSpec, out: &mut Vec<Task>) {
+    let inst = &system.instances[instance.0];
+    for action in &thread.body {
+        match action {
+            Action::Execute { name, wcet, bcet } => {
+                out.push(Task::new(
+                    format!("{}.{}.{}", inst.name, thread.name, name),
+                    *wcet,
+                    *bcet,
+                    thread.priority,
+                    inst.platform,
+                ));
+            }
+            Action::Call(method) => {
+                let binding = system
+                    .binding_for(instance, &method.0)
+                    .expect("validated systems have complete bindings");
+                let callee_id = binding.to;
+                let callee_class = system.class_of(callee_id);
+                let realizer = callee_class
+                    .realizer_of(&binding.provided)
+                    .expect("validated bindings target realized methods");
+                if let Some(link) = &binding.link {
+                    out.push(Task::message(
+                        format!("{}.{}.request", inst.name, method.0),
+                        link.request_wcet,
+                        link.request_bcet,
+                        link.priority,
+                        link.network,
+                    ));
+                    inline_thread(system, callee_id, realizer, out);
+                    out.push(Task::message(
+                        format!("{}.{}.response", inst.name, method.0),
+                        link.response_wcet,
+                        link.response_bcet,
+                        link.priority,
+                        link.network,
+                    ));
+                } else {
+                    inline_thread(system, callee_id, realizer, out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::TaskKind;
+    use hsched_model::{
+        ComponentClass, ProvidedMethod, RequiredMethod, RpcLink, SystemBuilder, ThreadSpec,
+    };
+    use hsched_numeric::rat;
+    use hsched_platform::{paper_platforms, Platform, PlatformId};
+
+    fn paper_system() -> (System, PlatformSet) {
+        let (platforms, [p1, p2, p3]) = paper_platforms();
+        let mut b = SystemBuilder::new();
+        let reading = b.add_class(hsched_model_sensor_reading());
+        let integration = b.add_class(hsched_model_sensor_integration());
+        let s1 = b.instantiate("Sensor1", reading, p1, 0);
+        let s2 = b.instantiate("Sensor2", reading, p2, 0);
+        let it = b.instantiate("Integrator", integration, p3, 0);
+        b.bind(it, "readSensor1", s1, "read");
+        b.bind(it, "readSensor2", s2, "read");
+        (b.build(), platforms)
+    }
+
+    // Local copies of the Figure 1/2 classes (the model crate exposes them
+    // only in its own tests; examples rebuild them via the public API).
+    fn hsched_model_sensor_reading() -> ComponentClass {
+        ComponentClass::new("SensorReading")
+            .provides(ProvidedMethod::new("read", rat(50, 1)))
+            .thread(ThreadSpec::periodic(
+                "Thread1",
+                rat(15, 1),
+                2,
+                vec![Action::task("acquire", rat(1, 1), rat(1, 4))],
+            ))
+            .thread(ThreadSpec::realizes(
+                "Thread2",
+                "read",
+                1,
+                vec![Action::task("serve_read", rat(1, 1), rat(4, 5))],
+            ))
+    }
+
+    fn hsched_model_sensor_integration() -> ComponentClass {
+        ComponentClass::new("SensorIntegration")
+            .provides(ProvidedMethod::new("read", rat(70, 1)))
+            .requires(RequiredMethod::derived("readSensor1"))
+            .requires(RequiredMethod::derived("readSensor2"))
+            .thread(ThreadSpec::realizes(
+                "Thread1",
+                "read",
+                1,
+                vec![Action::task("serve_read", rat(7, 1), rat(5, 1))],
+            ))
+            .thread(ThreadSpec::periodic(
+                "Thread2",
+                rat(50, 1),
+                2,
+                vec![
+                    Action::task("init", rat(1, 1), rat(4, 5)),
+                    Action::call("readSensor1"),
+                    Action::call("readSensor2"),
+                    Action::task("compute", rat(1, 1), rat(4, 5)),
+                ],
+            ))
+    }
+
+    #[test]
+    fn paper_system_flattens_to_four_transactions() {
+        let (system, platforms) = paper_system();
+        let set = flatten(&system, &platforms, FlattenOptions::default()).unwrap();
+        let names: Vec<&str> = set
+            .transactions()
+            .iter()
+            .map(|t| t.name.as_str())
+            .collect();
+        assert_eq!(
+            names,
+            [
+                "Sensor1.Thread1",
+                "Sensor2.Thread1",
+                "Integrator.Thread2",
+                "Integrator.read"
+            ]
+        );
+        // Γ from Integrator.Thread2: init, Sensor1 read, Sensor2 read, compute.
+        let gamma1 = &set.transactions()[2];
+        assert_eq!(gamma1.period, rat(50, 1));
+        let task_names: Vec<&str> = gamma1.tasks().iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(
+            task_names,
+            [
+                "Integrator.Thread2.init",
+                "Sensor1.Thread2.serve_read",
+                "Sensor2.Thread2.serve_read",
+                "Integrator.Thread2.compute"
+            ]
+        );
+        // Platform mapping: Π3, Π1, Π2, Π3 (Figure 5).
+        let plats: Vec<usize> = gamma1.tasks().iter().map(|t| t.platform.0).collect();
+        assert_eq!(plats, [2, 0, 1, 2]);
+        // The external stimulus Γ4 at MIT 70.
+        let gamma4 = &set.transactions()[3];
+        assert_eq!(gamma4.period, rat(70, 1));
+        assert_eq!(gamma4.deadline, rat(70, 1));
+        assert_eq!(gamma4.tasks().len(), 1);
+        assert_eq!(gamma4.tasks()[0].wcet, rat(7, 1));
+    }
+
+    #[test]
+    fn external_stimuli_can_be_disabled() {
+        let (system, platforms) = paper_system();
+        let set = flatten(
+            &system,
+            &platforms,
+            FlattenOptions {
+                external_stimuli: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(set.transactions().len(), 3);
+    }
+
+    #[test]
+    fn invalid_system_is_rejected() {
+        let (platforms, _) = paper_platforms();
+        let mut b = SystemBuilder::new();
+        let integration = b.add_class(hsched_model_sensor_integration());
+        b.instantiate("Lonely", integration, PlatformId(2), 0);
+        // required methods unbound → validation errors
+        let err = flatten(&b.build(), &platforms, FlattenOptions::default()).unwrap_err();
+        match err {
+            FlattenError::Invalid(errors) => assert!(!errors.is_empty()),
+            other => panic!("expected Invalid, got {other}"),
+        }
+    }
+
+    #[test]
+    fn cross_node_calls_insert_message_tasks() {
+        let (mut platforms, [p1, _, p3]) = paper_platforms();
+        let net = platforms.add(Platform::network("CAN", rat(1, 2), rat(1, 1), rat(0, 1)).unwrap());
+        let mut b = SystemBuilder::new();
+        let reading = b.add_class(hsched_model_sensor_reading());
+        let integration = b.add_class(hsched_model_sensor_integration());
+        let s1 = b.instantiate("Sensor1", reading, p1, 0);
+        let s2 = b.instantiate("Sensor2", reading, p1, 1); // node 1!
+        let it = b.instantiate("Integrator", integration, p3, 0);
+        b.bind(it, "readSensor1", s1, "read");
+        b.bind_remote(
+            it,
+            "readSensor2",
+            s2,
+            "read",
+            RpcLink {
+                network: net,
+                request_wcet: rat(1, 2),
+                request_bcet: rat(1, 4),
+                response_wcet: rat(3, 4),
+                response_bcet: rat(1, 2),
+                priority: 5,
+            },
+        );
+        let set = flatten(&b.build(), &platforms, FlattenOptions::default()).unwrap();
+        let gamma = set
+            .transactions()
+            .iter()
+            .find(|t| t.name == "Integrator.Thread2")
+            .unwrap();
+        let names: Vec<&str> = gamma.tasks().iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "Integrator.Thread2.init",
+                "Sensor1.Thread2.serve_read",
+                "Integrator.readSensor2.request",
+                "Sensor2.Thread2.serve_read",
+                "Integrator.readSensor2.response",
+                "Integrator.Thread2.compute"
+            ]
+        );
+        let req = &gamma.tasks()[2];
+        assert_eq!(req.kind, TaskKind::Message);
+        assert_eq!(req.platform, net);
+        assert_eq!(req.priority, 5);
+        assert_eq!(req.wcet, rat(1, 2));
+        let resp = &gamma.tasks()[4];
+        assert_eq!(resp.wcet, rat(3, 4));
+    }
+
+    #[test]
+    fn nested_rpc_chains_inline_transitively() {
+        // A → B → C: A's periodic thread calls B.get, whose realizer calls
+        // C.fetch. The flattened chain interleaves all three components.
+        let c_class = ComponentClass::new("C")
+            .provides(ProvidedMethod::new("fetch", rat(100, 1)))
+            .thread(ThreadSpec::realizes(
+                "R",
+                "fetch",
+                1,
+                vec![Action::task("leaf", rat(1, 1), rat(1, 1))],
+            ));
+        let b_class = ComponentClass::new("B")
+            .provides(ProvidedMethod::new("get", rat(100, 1)))
+            .requires(RequiredMethod::derived("fetch"))
+            .thread(ThreadSpec::realizes(
+                "R",
+                "get",
+                2,
+                vec![
+                    Action::task("pre", rat(1, 2), rat(1, 2)),
+                    Action::call("fetch"),
+                    Action::task("post", rat(1, 2), rat(1, 2)),
+                ],
+            ));
+        let a_class = ComponentClass::new("A")
+            .requires(RequiredMethod::derived("get"))
+            .thread(ThreadSpec::periodic(
+                "P",
+                rat(100, 1),
+                3,
+                vec![Action::call("get")],
+            ));
+        let mut platforms = PlatformSet::new();
+        let p = platforms.add(Platform::dedicated("cpu"));
+        let mut builder = SystemBuilder::new();
+        let (ca, cb, cc) = (
+            builder.add_class(a_class),
+            builder.add_class(b_class),
+            builder.add_class(c_class),
+        );
+        let ia = builder.instantiate("a", ca, p, 0);
+        let ib = builder.instantiate("b", cb, p, 0);
+        let ic = builder.instantiate("c", cc, p, 0);
+        builder.bind(ia, "get", ib, "get");
+        builder.bind(ib, "fetch", ic, "fetch");
+        let set = flatten(&builder.build(), &platforms, FlattenOptions::default()).unwrap();
+        let tx = &set.transactions()[0];
+        let names: Vec<&str> = tx.tasks().iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(names, ["b.R.pre", "c.R.leaf", "b.R.post"]);
+        // Priorities follow the executing thread, not the caller.
+        let prios: Vec<u32> = tx.tasks().iter().map(|t| t.priority).collect();
+        assert_eq!(prios, [2, 1, 2]);
+    }
+}

@@ -1,0 +1,33 @@
+//! Real-time transactions (§2.4): the analyzable form of a component system.
+//!
+//! A **transaction** Γi is a totally ordered sequence of **tasks**
+//! τi,1 … τi,ni released by one periodic (or sporadic) event stream with
+//! period `Ti` and end-to-end relative deadline `Di`; task τi,j cannot start
+//! before τi,j−1 completes. Each task carries a worst/best-case execution
+//! time, a priority, and the abstract platform it is mapped on (the paper's
+//! `si,j`).
+//!
+//! [`flatten`] implements the paper's recursive transformation: every
+//! periodic thread of every component instance becomes a transaction whose
+//! task list is the thread's body with each synchronous RPC call *inlined* —
+//! the callee's realizer thread contributes its tasks (and, transitively, its
+//! own calls); cross-node calls additionally contribute request/response
+//! message tasks on the network platform. Provided methods that no internal
+//! component calls (the system's external service surface, like the paper's
+//! `Integrator.read()` invoked by an unspecified client at its MIT) become
+//! sporadic transactions at their MIT — that is how the paper's Γ4 arises.
+//!
+//! ```
+//! use hsched_transaction::paper_example;
+//!
+//! let system = paper_example::transactions();
+//! assert_eq!(system.transactions().len(), 4);        // Γ1 … Γ4
+//! assert_eq!(system.transactions()[0].tasks().len(), 4); // τ1,1 … τ1,4
+//! ```
+
+mod flatten;
+mod model;
+pub mod paper_example;
+
+pub use flatten::{flatten, FlattenError, FlattenOptions};
+pub use model::{Task, TaskKind, TaskRef, Transaction, TransactionSet};

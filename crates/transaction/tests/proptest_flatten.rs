@@ -1,0 +1,201 @@
+//! Property tests for the §2.4 flattening over randomized component chains.
+
+use hsched_model::{
+    Action, ComponentClass, ProvidedMethod, RequiredMethod, SystemBuilder, ThreadSpec,
+};
+use hsched_numeric::rat;
+use hsched_platform::{Platform, PlatformSet};
+use hsched_transaction::{flatten, FlattenOptions, TaskKind};
+use proptest::prelude::*;
+
+/// A random linear RPC chain: a periodic client calling through `depth`
+/// intermediate services, each with `pre/post` tasks around its forwarded
+/// call, optionally crossing nodes (which inserts message tasks).
+#[derive(Debug, Clone)]
+struct Chain {
+    depth: usize,
+    pre_tasks: Vec<usize>,  // per service: number of tasks before the call
+    post_tasks: Vec<usize>, // per service: number after
+    remote: Vec<bool>,      // per hop: crosses nodes?
+}
+
+fn chain_strategy() -> impl Strategy<Value = Chain> {
+    (1usize..=4).prop_flat_map(|depth| {
+        (
+            proptest::collection::vec(0usize..=2, depth),
+            proptest::collection::vec(0usize..=2, depth),
+            proptest::collection::vec(any::<bool>(), depth),
+        )
+            .prop_map(move |(pre_tasks, post_tasks, remote)| Chain {
+                depth,
+                pre_tasks,
+                post_tasks,
+                remote,
+            })
+    })
+}
+
+/// Builds the system; returns (system, platforms, expected task count of the
+/// client transaction, expected message count).
+fn build(chain: &Chain) -> (hsched_model::System, PlatformSet, usize, usize) {
+    let mut platforms = PlatformSet::new();
+    let net = platforms.add(Platform::network("NET", rat(1, 2), rat(1, 1), rat(0, 1)).unwrap());
+    let mut builder = SystemBuilder::new();
+
+    // Leaf service.
+    let mut classes = Vec::new();
+    let leaf = ComponentClass::new("S0")
+        .provides(ProvidedMethod::new("m", rat(50, 1)))
+        .thread(ThreadSpec::realizes(
+            "R",
+            "m",
+            1,
+            vec![Action::task("leaf", rat(1, 2), rat(1, 4))],
+        ));
+    classes.push(builder.add_class(leaf));
+
+    // Intermediate services S1..Sdepth-1 call the previous one.
+    let mut expected_tasks = 1; // leaf task
+    for lvl in 1..chain.depth {
+        let mut body = Vec::new();
+        for k in 0..chain.pre_tasks[lvl] {
+            body.push(Action::task(format!("pre{k}"), rat(1, 2), rat(1, 4)));
+        }
+        body.push(Action::call("down"));
+        for k in 0..chain.post_tasks[lvl] {
+            body.push(Action::task(format!("post{k}"), rat(1, 2), rat(1, 4)));
+        }
+        expected_tasks += chain.pre_tasks[lvl] + chain.post_tasks[lvl];
+        let class = ComponentClass::new(format!("S{lvl}"))
+            .provides(ProvidedMethod::new("m", rat(50, 1)))
+            .requires(RequiredMethod::derived("down"))
+            .thread(ThreadSpec::realizes("R", "m", 1, body));
+        classes.push(builder.add_class(class));
+    }
+
+    // Client calls the top service.
+    let client_class = ComponentClass::new("Client")
+        .requires(RequiredMethod::derived("top"))
+        .thread(ThreadSpec::periodic(
+            "P",
+            rat(100, 1),
+            2,
+            vec![Action::call("top")],
+        ));
+    let client_idx = builder.add_class(client_class);
+
+    // Instantiate: each service on its own platform; node changes when the
+    // hop is remote.
+    let mut instances = Vec::new();
+    let mut node = 0usize;
+    for (lvl, &class) in classes.iter().enumerate().take(chain.depth) {
+        let p = platforms.add(
+            Platform::linear(format!("P{lvl}"), rat(1, 2), rat(0, 1), rat(0, 1)).unwrap(),
+        );
+        instances.push(builder.instantiate(format!("I{lvl}"), class, p, node));
+        if chain.remote[lvl] {
+            node += 1;
+        }
+    }
+    let client_platform =
+        platforms.add(Platform::linear("PC", rat(1, 2), rat(0, 1), rat(0, 1)).unwrap());
+    let client = builder.instantiate("C", client_idx, client_platform, node);
+
+    // Bindings: client → S_{depth-1} → … → S0. A hop is remote when the two
+    // instances ended up on different nodes.
+    let link = |a: usize, b: usize| {
+        (a != b).then(|| hsched_model::RpcLink {
+            network: net,
+            request_wcet: rat(1, 4),
+            request_bcet: rat(1, 8),
+            response_wcet: rat(1, 4),
+            response_bcet: rat(1, 8),
+            priority: 1,
+        })
+    };
+    let mut messages = 0usize;
+    let top = instances[chain.depth - 1];
+    let client_node = node;
+    let top_node = node_of(chain, chain.depth - 1);
+    match link(client_node, top_node) {
+        Some(l) => {
+            messages += 2;
+            builder.bind_remote(client, "top", top, "m", l);
+        }
+        None => {
+            builder.bind(client, "top", top, "m");
+        }
+    }
+    for lvl in (1..chain.depth).rev() {
+        let from_node = node_of(chain, lvl);
+        let to_node = node_of(chain, lvl - 1);
+        match link(from_node, to_node) {
+            Some(l) => {
+                messages += 2;
+                builder.bind_remote(instances[lvl], "down", instances[lvl - 1], "m", l);
+            }
+            None => {
+                builder.bind(instances[lvl], "down", instances[lvl - 1], "m");
+            }
+        }
+    }
+    (builder.build(), platforms, expected_tasks, messages)
+}
+
+/// Node index instance `lvl` was placed on (mirror of the loop in `build`).
+fn node_of(chain: &Chain, lvl: usize) -> usize {
+    chain.remote[..lvl].iter().filter(|&&r| r).count()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn flatten_counts_and_order(chain in chain_strategy()) {
+        let (system, platforms, expected_tasks, expected_messages) = build(&chain);
+        prop_assert!(system.validate().is_ok());
+        let set = flatten(&system, &platforms, FlattenOptions { external_stimuli: false })
+            .expect("flattens");
+        // Exactly one transaction: the client's periodic thread.
+        prop_assert_eq!(set.transactions().len(), 1);
+        let tx = &set.transactions()[0];
+        let messages = tx
+            .tasks()
+            .iter()
+            .filter(|t| t.kind == TaskKind::Message)
+            .count();
+        let computations = tx.len() - messages;
+        prop_assert_eq!(computations, expected_tasks, "computation task count");
+        prop_assert_eq!(messages, expected_messages, "message task count");
+        // Requests and responses come in balanced pairs, requests first.
+        let mut balance: i64 = 0;
+        for t in tx.tasks() {
+            if t.kind == TaskKind::Message {
+                if t.name.ends_with(".request") {
+                    balance += 1;
+                } else {
+                    prop_assert!(t.name.ends_with(".response"));
+                    balance -= 1;
+                }
+                prop_assert!(balance >= 0, "response before its request");
+            }
+        }
+        prop_assert_eq!(balance, 0, "unbalanced message pairs");
+        // The leaf task is present exactly once and sits between the deepest
+        // request/response pair.
+        let leaf_count = tx.tasks().iter().filter(|t| t.name.ends_with(".leaf")).count();
+        prop_assert_eq!(leaf_count, 1);
+    }
+
+    #[test]
+    fn external_stimuli_adds_only_unbound_services(chain in chain_strategy()) {
+        let (system, platforms, _, _) = build(&chain);
+        let without = flatten(&system, &platforms, FlattenOptions { external_stimuli: false })
+            .unwrap();
+        let with = flatten(&system, &platforms, FlattenOptions::default()).unwrap();
+        // Every service in the chain is bound by its upper neighbour except
+        // none — the top service is called by the client, so *no* provided
+        // method is unbound and the two flattenings agree.
+        prop_assert_eq!(without.transactions().len(), with.transactions().len());
+    }
+}

@@ -1,0 +1,95 @@
+//! Design-space exploration: the paper's §5 future work, implemented.
+//!
+//! Starting from the paper's provisioning (Σα = 1.0 across Π1–Π3), this
+//! example:
+//! 1. finds the minimal rate each platform needs individually,
+//! 2. runs the greedy Σα minimizer across all platforms,
+//! 3. sweeps the (α, Δ) Pareto frontier for the integrator's platform, and
+//! 4. synthesizes concrete periodic-server parameters (Q, P) for the
+//!    optimized operating points.
+//!
+//! Run with: `cargo run --example design_exploration`
+
+use hsched::design::{
+    max_delta, min_alpha, minimize_bandwidth, pareto_sweep, sensitivity_report,
+    synthesize_server, DesignConfig,
+};
+use hsched::prelude::*;
+use hsched::transaction::paper_example;
+
+fn main() {
+    let set = paper_example::transactions();
+    let config = DesignConfig::default();
+
+    println!("== Individual platform slack ==");
+    println!("  platform      provisioned α   minimal α    max Δ at current α");
+    for k in 0..set.platforms().len() {
+        let id = PlatformId(k);
+        let provisioned = set.platforms()[id].alpha();
+        let minimal = min_alpha(&set, id, &config).unwrap();
+        let delta_room = max_delta(&set, id, rat(50, 1), &config).unwrap();
+        println!(
+            "  {:<12}  {:<14}  {:<11}  {}",
+            set.platforms()[id].name(),
+            provisioned.to_string(),
+            minimal.to_string(),
+            delta_room.to_string()
+        );
+    }
+
+    println!("\n== Greedy Σα minimization ==");
+    let plan = minimize_bandwidth(&set, &config).unwrap();
+    println!(
+        "  total bandwidth: {} -> {} ({:.1}% saved)",
+        plan.before,
+        plan.after,
+        (plan.before - plan.after).to_f64() / plan.before.to_f64() * 100.0
+    );
+    for (k, alpha) in plan.alphas.iter().enumerate() {
+        println!("    Π{}: α = {}", k + 1, alpha);
+    }
+    let trimmed = set.with_platforms(plan.platforms.clone()).unwrap();
+    assert!(analyze(&trimmed).schedulable());
+    println!("  re-verified: trimmed system is schedulable");
+
+    println!("\n== Per-task WCET headroom (most critical first) ==");
+    for slack in sensitivity_report(&set, rat(16, 1), &config) {
+        let label = match slack.max_scale {
+            Some(x) if x >= rat(16, 1) => ">= 16x".to_string(),
+            Some(x) => format!("{:.2}x", x.to_f64()),
+            None => "unschedulable".to_string(),
+        };
+        println!("  {} {:<16} {label}", slack.task, slack.name);
+    }
+
+    println!("\n== (α, Δ) Pareto frontier for Π3 (Integrator) ==");
+    let alphas: Vec<Rational> = (3..=10).map(|k| rat(k, 20)).collect(); // 0.15 … 0.5
+    let frontier = pareto_sweep(
+        &set,
+        PlatformId(2),
+        &alphas,
+        rat(50, 1),
+        &DesignConfig {
+            threads: 0, // all cores
+            ..DesignConfig::default()
+        },
+    );
+    println!("  α        max tolerable Δ      server (Q, P)");
+    for point in &frontier {
+        match point.max_delta {
+            Some(d) => {
+                let server = synthesize_server(point.alpha, d);
+                let server_str = match server {
+                    Some(s) => format!("Q = {}, P = {}", s.budget(), s.period()),
+                    None => "dedicated CPU".to_string(),
+                };
+                println!(
+                    "  {:<8} {:<20} {server_str}",
+                    point.alpha.to_string(),
+                    d.to_string()
+                );
+            }
+            None => println!("  {:<8} infeasible", point.alpha.to_string()),
+        }
+    }
+}

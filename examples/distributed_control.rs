@@ -1,0 +1,136 @@
+//! Distributed control over a CAN-like network: RPC across nodes.
+//!
+//! A controller node periodically reads a remote sensor and commands a
+//! remote actuator. Both calls cross the network, so the §2.4 flattening
+//! inserts request/response *message tasks* on a network platform — the
+//! paper's "the network is similar to a computational node" (§2.2.1).
+//!
+//! The example shows:
+//! * remote bindings with message costs,
+//! * message tasks appearing inside the control transaction,
+//! * end-to-end analysis including network contention,
+//! * how much network bandwidth the design actually needs
+//!   (`hsched-design`).
+//!
+//! Run with: `cargo run --example distributed_control`
+
+use hsched::design::{min_alpha, DesignConfig};
+use hsched::prelude::*;
+
+fn main() {
+    // ---- Platforms: three CPU reservations + one CAN share. ------------
+    let mut platforms = PlatformSet::new();
+    let p_ctrl = platforms.add(Platform::linear("CtrlCPU", rat(1, 2), rat(1, 1), rat(0, 1)).unwrap());
+    let p_sense = platforms.add(Platform::linear("SenseCPU", rat(2, 5), rat(1, 1), rat(0, 1)).unwrap());
+    let p_act = platforms.add(Platform::linear("ActCPU", rat(2, 5), rat(1, 1), rat(0, 1)).unwrap());
+    let p_can = platforms.add(Platform::network("CAN", rat(1, 2), rat(1, 1), rat(0, 1)).unwrap());
+
+    // ---- Component classes. ---------------------------------------------
+    let sensor = ComponentClass::new("RemoteSensor")
+        .provides(ProvidedMethod::new("sample", rat(20, 1)))
+        .thread(ThreadSpec::realizes(
+            "Serve",
+            "sample",
+            2,
+            vec![Action::task("adc_read", rat(1, 1), rat(1, 2))],
+        ));
+    let actuator = ComponentClass::new("RemoteActuator")
+        .provides(ProvidedMethod::new("command", rat(20, 1)))
+        .thread(ThreadSpec::realizes(
+            "Serve",
+            "command",
+            2,
+            vec![Action::task("apply", rat(1, 2), rat(1, 4))],
+        ));
+    let controller = ComponentClass::new("Controller")
+        .requires(RequiredMethod::derived("sample"))
+        .requires(RequiredMethod::derived("command"))
+        .thread(ThreadSpec::periodic(
+            "Loop",
+            rat(30, 1),
+            3,
+            vec![
+                Action::call("sample"),
+                Action::task("control_law", rat(2, 1), rat(1, 1)),
+                Action::call("command"),
+            ],
+        ))
+        .thread(ThreadSpec::periodic(
+            "Housekeeping",
+            rat(100, 1),
+            1,
+            vec![Action::task("log", rat(3, 1), rat(1, 1))],
+        ));
+
+    // ---- Architecture: controller on node 0, devices on nodes 1 and 2. --
+    let mut b = SystemBuilder::new();
+    let c_sensor = b.add_class(sensor);
+    let c_act = b.add_class(actuator);
+    let c_ctrl = b.add_class(controller);
+    let i_sensor = b.instantiate("FrontSensor", c_sensor, p_sense, 1);
+    let i_act = b.instantiate("Valve", c_act, p_act, 2);
+    let i_ctrl = b.instantiate("MainLoop", c_ctrl, p_ctrl, 0);
+    let can = |prio: u32| RpcLink {
+        network: p_can,
+        request_wcet: rat(1, 2),
+        request_bcet: rat(1, 4),
+        response_wcet: rat(1, 2),
+        response_bcet: rat(1, 4),
+        priority: prio,
+    };
+    b.bind_remote(i_ctrl, "sample", i_sensor, "sample", can(2));
+    b.bind_remote(i_ctrl, "command", i_act, "command", can(1));
+    let system = b.build();
+
+    let report = system.validate();
+    assert!(report.is_ok(), "validation failed: {:?}", report.errors);
+
+    // ---- Flatten and inspect the control transaction. -------------------
+    let set = flatten(&system, &platforms, FlattenOptions::default()).expect("flattens");
+    println!("== Control-loop transaction (messages inlined) ==");
+    let (loop_idx, loop_tx) = set
+        .transactions()
+        .iter()
+        .enumerate()
+        .find(|(_, t)| t.name == "MainLoop.Loop")
+        .expect("control transaction exists");
+    for (j, t) in loop_tx.tasks().iter().enumerate() {
+        println!(
+            "  τ{},{} {:<28} C = {:<4} on {} ({:?})",
+            loop_idx + 1,
+            j + 1,
+            t.name,
+            t.wcet.to_string(),
+            set.platforms()[t.platform].name(),
+            t.kind
+        );
+    }
+
+    // ---- Analyze. --------------------------------------------------------
+    let analysis = analyze(&set);
+    println!("\n== Analysis ==");
+    println!("{analysis}");
+    assert!(analysis.schedulable(), "design should be schedulable");
+
+    // ---- Simulate and compare. -------------------------------------------
+    let sim = simulate(&set, &SimConfig::worst_case(rat(4000, 1)));
+    let bound = analysis.response(loop_idx, loop_tx.len() - 1);
+    let observed = sim
+        .task_stats(loop_idx, loop_tx.len() - 1)
+        .max_response
+        .unwrap();
+    println!("control loop end-to-end: bound = {bound}, observed = {observed}");
+    assert!(observed <= bound);
+
+    // ---- How little CAN bandwidth would do? ------------------------------
+    let needed = min_alpha(&set, p_can, &DesignConfig::default()).unwrap();
+    println!(
+        "\nCAN share provisioned at α = {}, minimum schedulable α ≈ {} ({}% slack)",
+        set.platforms()[p_can].alpha(),
+        needed,
+        ((set.platforms()[p_can].alpha() - needed) / set.platforms()[p_can].alpha()
+            * rat(100, 1))
+        .to_f64()
+        .round()
+    );
+}

@@ -1,0 +1,72 @@
+//! **hsched** — hierarchical scheduling for component-based real-time
+//! systems.
+//!
+//! A Rust implementation of Lorente, Lipari & Bini, *"A Hierarchical
+//! Scheduling Model for Component-Based Real-Time Systems"* (IPPS 2006):
+//! components with provided/required interfaces executing on reserved
+//! fractions of CPUs and networks (*abstract computing platforms*), flattened
+//! into real-time transactions and analyzed with a holistic, offset-based
+//! worst-case response-time analysis generalized to `(α, Δ, β)` platforms.
+//!
+//! # Crate map
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`numeric`] | `hsched-numeric` | exact rational arithmetic |
+//! | [`supply`] | `hsched-supply` | supply functions Zmin/Zmax, (α, Δ, β) extraction |
+//! | [`platform`] | `hsched-platform` | named platforms, platform sets |
+//! | [`model`] | `hsched-model` | components, threads, RPC bindings, validation |
+//! | [`transaction`] | `hsched-transaction` | transactions + the §2.4 flattening |
+//! | [`analysis`] | `hsched-analysis` | the §3 response-time analyses |
+//! | [`sim`] | `hsched-sim` | discrete-event simulator (validation oracle) |
+//! | [`spec`] | `hsched-spec` | the `.hsc` specification language |
+//! | [`design`] | `hsched-design` | platform-parameter optimization (§5 future work) |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use hsched::prelude::*;
+//!
+//! // The paper's worked example (Tables 1–2), ready-made:
+//! let system = hsched::transaction::paper_example::transactions();
+//!
+//! // Analyze (§3) …
+//! let report = analyze(&system);
+//! assert!(report.schedulable());
+//!
+//! // … and cross-check with the simulator.
+//! let sim = simulate(&system, &SimConfig::worst_case(rat(5000, 1)));
+//! for (i, tx) in system.transactions().iter().enumerate() {
+//!     for j in 0..tx.len() {
+//!         if let Some(observed) = sim.task_stats(i, j).max_response {
+//!             assert!(observed <= report.response(i, j));
+//!         }
+//!     }
+//! }
+//! ```
+
+pub use hsched_analysis as analysis;
+pub use hsched_design as design;
+pub use hsched_model as model;
+pub use hsched_numeric as numeric;
+pub use hsched_platform as platform;
+pub use hsched_sim as sim;
+pub use hsched_spec as spec;
+pub use hsched_supply as supply;
+pub use hsched_transaction as transaction;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use hsched_analysis::{analyze, analyze_with, AnalysisConfig, SchedulabilityReport};
+    pub use hsched_design::{min_alpha, minimize_bandwidth, pareto_sweep, DesignConfig};
+    pub use hsched_model::{
+        Action, ComponentClass, ProvidedMethod, RequiredMethod, RpcLink, System, SystemBuilder,
+        ThreadSpec,
+    };
+    pub use hsched_numeric::{rat, Cycles, Rational, Time};
+    pub use hsched_platform::{Platform, PlatformId, PlatformSet};
+    pub use hsched_sim::{simulate, SimConfig};
+    pub use hsched_spec::{parse_and_validate, parse_str};
+    pub use hsched_supply::{BoundedDelay, PeriodicServer, SupplyCurve};
+    pub use hsched_transaction::{flatten, FlattenOptions, Task, Transaction, TransactionSet};
+}

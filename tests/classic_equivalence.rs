@@ -1,0 +1,91 @@
+//! Regression against the classical special case: on a dedicated
+//! `(1, 0, 0)` platform with independent single-task transactions, the
+//! paper's general machinery must coincide with an independently written
+//! textbook response-time analysis, across randomized task sets.
+
+use hsched::analysis::classic::{response_times, ClassicTask};
+use hsched::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_classic_set(rng: &mut StdRng, n: usize) -> Vec<ClassicTask> {
+    // Keep total utilization ≤ ~0.8 so the classic recurrence is valid.
+    let mut tasks = Vec::with_capacity(n);
+    let mut remaining = rat(4, 5);
+    for i in 0..n {
+        let period = rat([20, 30, 40, 50, 60, 100][rng.gen_range(0..6)], 1);
+        let u = (remaining * rat(rng.gen_range(10..=40), 100)).max(rat(1, 100));
+        remaining = (remaining - u).max(rat(0, 1));
+        let wcet = (u * period).max(rat(1, 10));
+        tasks.push(ClassicTask {
+            wcet,
+            period,
+            priority: (n - i) as u32, // distinct priorities
+        });
+    }
+    tasks
+}
+
+fn as_transaction_set(tasks: &[ClassicTask]) -> TransactionSet {
+    let mut platforms = PlatformSet::new();
+    let cpu = platforms.add(Platform::dedicated("cpu"));
+    let txs = tasks
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            Transaction::new(
+                format!("t{i}"),
+                t.period,
+                t.period * rat(4, 1), // slack so divergence bails late
+                vec![Task::new(format!("c{i}"), t.wcet, t.wcet, t.priority, cpu)],
+            )
+            .unwrap()
+        })
+        .collect();
+    TransactionSet::new(platforms, txs).unwrap()
+}
+
+#[test]
+fn general_analysis_equals_classic_rta_randomized() {
+    let mut rng = StdRng::seed_from_u64(2024);
+    for round in 0..25 {
+        let n = rng.gen_range(2..=6);
+        let tasks = random_classic_set(&mut rng, n);
+        let oracle = response_times(&tasks);
+        let set = as_transaction_set(&tasks);
+        let report = analyze(&set);
+        for (i, expected) in oracle.iter().enumerate() {
+            let expected = expected.expect("U ≤ 0.8 keeps every level convergent");
+            assert_eq!(
+                report.response(i, 0),
+                expected,
+                "round {round}, task {i}: general {} vs classic {expected}",
+                report.response(i, 0),
+            );
+        }
+    }
+}
+
+#[test]
+fn simulation_matches_classic_critical_instant() {
+    // With synchronous release and worst-case execution, the simulator's
+    // very first busy period realizes the classical critical instant, so
+    // observed max == classic response for every task.
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..10 {
+        let n = rng.gen_range(2..=4);
+        let tasks = random_classic_set(&mut rng, n);
+        let oracle = response_times(&tasks);
+        let set = as_transaction_set(&tasks);
+        let horizon = rat(3000, 1);
+        let sim = simulate(&set, &SimConfig::worst_case(horizon));
+        for (i, expected) in oracle.iter().enumerate() {
+            let expected = expected.unwrap();
+            let observed = sim.task_stats(i, 0).max_response.unwrap();
+            assert_eq!(
+                observed, expected,
+                "task {i}: simulated critical instant must equal classic RTA"
+            );
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! The complete tool flow on a fresh scenario: specification text →
+//! parse → validate → flatten → analyze → optimize → realize servers →
+//! simulate, with every stage's output feeding the next.
+
+use hsched::design::{minimize_bandwidth, synthesize_server, DesignConfig};
+use hsched::prelude::*;
+use hsched::spec::to_source;
+
+const SPEC: &str = r#"
+// A pipeline: camera frames are preprocessed locally, then classified by a
+// remote inference service; results drive a local alarm.
+class Camera {
+    required classify();
+    thread Grab periodic period 40 priority 3 {
+        task capture wcet 2 bcet 1;
+        task preprocess wcet 3 bcet 1.5;
+        call classify;
+        task alarm wcet 1 bcet 0.5;
+    }
+    thread Diag periodic period 200 priority 1 {
+        task selftest wcet 4 bcet 2;
+    }
+}
+
+class Inference {
+    provided classify() mit 40;
+    thread Serve realizes classify priority 2 {
+        task infer wcet 4 bcet 2;
+    }
+}
+
+platform CamCPU cpu alpha 0.5 delta 1 beta 0;
+platform GpuSlice cpu alpha 0.6 delta 2 beta 1;
+platform Eth network alpha 0.5 delta 1 beta 0;
+
+instance Cam : Camera on CamCPU node 0;
+instance Gpu : Inference on GpuSlice node 1;
+
+bind Cam.classify -> Gpu.classify via Eth priority 4
+    request wcet 1 bcet 0.5 response wcet 0.5 bcet 0.25;
+"#;
+
+#[test]
+fn spec_to_simulation_pipeline() {
+    // Parse + validate.
+    let (system, platforms) = parse_and_validate(SPEC).expect("spec is valid");
+    assert_eq!(system.classes.len(), 2);
+    assert_eq!(system.instances.len(), 2);
+
+    // Flatten: the Grab transaction must interleave messages and the remote
+    // inference task.
+    let set = flatten(&system, &platforms, FlattenOptions::default()).expect("flattens");
+    let grab = set
+        .transactions()
+        .iter()
+        .find(|t| t.name == "Cam.Grab")
+        .expect("Grab transaction");
+    let names: Vec<&str> = grab.tasks().iter().map(|t| t.name.as_str()).collect();
+    assert_eq!(
+        names,
+        [
+            "Cam.Grab.capture",
+            "Cam.Grab.preprocess",
+            "Cam.classify.request",
+            "Gpu.Serve.infer",
+            "Cam.classify.response",
+            "Cam.Grab.alarm"
+        ]
+    );
+
+    // Analyze.
+    let report = analyze(&set);
+    assert!(report.schedulable(), "design should hold:\n{report}");
+
+    // Optimize: shrink bandwidth, re-verify, synthesize concrete servers.
+    let plan = minimize_bandwidth(&set, &DesignConfig::default()).expect("feasible");
+    assert!(plan.after <= plan.before);
+    let trimmed = set.with_platforms(plan.platforms.clone()).unwrap();
+    assert!(analyze(&trimmed).schedulable());
+    for (id, p) in plan.platforms.iter() {
+        if p.alpha() < rat(1, 1) && p.delta().is_positive() {
+            let server = synthesize_server(p.alpha(), p.delta()).expect("synthesizable");
+            assert_eq!(server.utilization(), p.alpha(), "platform {id}");
+        }
+    }
+
+    // Simulate the trimmed design: still no misses, bounds still hold.
+    let trimmed_report = analyze(&trimmed);
+    let sim = simulate(&trimmed, &SimConfig::worst_case(rat(2000, 1)));
+    for r in trimmed.task_refs() {
+        if let Some(observed) = sim.task_stats(r.tx, r.idx).max_response {
+            assert!(observed <= trimmed_report.response(r.tx, r.idx));
+        }
+    }
+    for i in 0..trimmed.transactions().len() {
+        assert_eq!(sim.transaction_stats(i).deadline_misses, 0);
+    }
+}
+
+#[test]
+fn spec_round_trips_through_printer() {
+    let (system, platforms) = parse_str(SPEC).unwrap();
+    let printed = to_source(&system, &platforms);
+    let (system2, platforms2) = parse_str(&printed).unwrap();
+    assert_eq!(system, system2);
+    assert_eq!(platforms, platforms2);
+}
+
+#[test]
+fn mit_contract_violation_caught_at_validation() {
+    // The Grab thread calls classify every 40; tighten the MIT promise to
+    // 60 and validation must object.
+    let broken = SPEC.replace("provided classify() mit 40;", "provided classify() mit 60;");
+    let err = parse_and_validate(&broken).unwrap_err();
+    assert!(err.message.contains("MIT"), "got: {}", err.message);
+}
+
+#[test]
+fn edf_simulation_of_flattened_system() {
+    use hsched::sim::LocalPolicy;
+    let (system, platforms) = parse_and_validate(SPEC).unwrap();
+    let set = flatten(&system, &platforms, FlattenOptions::default()).unwrap();
+    let mut config = SimConfig::worst_case(rat(2000, 1));
+    config.policy = LocalPolicy::EarliestDeadlineFirst;
+    let sim = simulate(&set, &config);
+    // EDF is a different dispatching order; the run must still complete
+    // work and (here) meet deadlines.
+    for i in 0..set.transactions().len() {
+        assert!(sim.transaction_stats(i).completions > 0);
+        assert_eq!(sim.transaction_stats(i).deadline_misses, 0);
+    }
+}

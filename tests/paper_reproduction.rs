@@ -1,0 +1,158 @@
+//! End-to-end reproduction of the paper's §4 evaluation: Tables 1–3 and the
+//! Figure 5 structure, through both system construction paths (direct
+//! transaction construction and component flattening).
+
+use hsched::prelude::*;
+use hsched::analysis::{best_case_offsets, ServiceTimeMode};
+use hsched::model::{sensor_integration_class, sensor_reading_class};
+use hsched::platform::paper_platforms;
+use hsched::transaction::paper_example;
+
+#[test]
+fn table1_phi_min_derivation() {
+    let set = paper_example::transactions();
+    let (offsets, _) = best_case_offsets(&set, ServiceTimeMode::LinearBounds);
+    assert_eq!(
+        offsets[0],
+        vec![rat(0, 1), rat(3, 1), rat(4, 1), rat(5, 1)],
+        "Table 1's φmin column"
+    );
+}
+
+#[test]
+fn table2_platforms() {
+    let (set, ids) = paper_platforms();
+    let expect = [
+        (rat(2, 5), rat(1, 1), rat(1, 1)),
+        (rat(2, 5), rat(1, 1), rat(1, 1)),
+        (rat(1, 5), rat(2, 1), rat(1, 1)),
+    ];
+    for (id, (alpha, delta, beta)) in ids.into_iter().zip(expect) {
+        assert_eq!(set[id].alpha(), alpha);
+        assert_eq!(set[id].delta(), delta);
+        assert_eq!(set[id].beta(), beta);
+    }
+}
+
+#[test]
+fn table3_full_trace() {
+    let report = analyze(&paper_example::transactions());
+    assert!(report.converged);
+    assert_eq!(report.iterations(), 4);
+    let expect: [([i128; 4], [i128; 4]); 4] = [
+        ([0, 0, 0, 0], [12, 9, 10, 12]),
+        ([0, 9, 5, 5], [12, 18, 15, 17]),
+        ([0, 9, 14, 10], [12, 18, 24, 22]),
+        // The paper's final column prints R1,4 = 39; Eq. (16) gives 31.
+        ([0, 9, 14, 19], [12, 18, 24, 31]),
+    ];
+    for (k, (jitters, responses)) in expect.iter().enumerate() {
+        for j in 0..4 {
+            assert_eq!(report.trace[k].jitters[0][j], rat(jitters[j], 1));
+            assert_eq!(report.trace[k].responses[0][j], rat(responses[j], 1));
+        }
+    }
+}
+
+#[test]
+fn section4_verdict_schedulable() {
+    let report = analyze(&paper_example::transactions());
+    assert!(report.schedulable());
+    for v in &report.verdicts {
+        assert!(v.schedulable, "{} must meet its deadline", v.name);
+        assert!(v.end_to_end <= v.deadline);
+    }
+}
+
+#[test]
+fn figure5_structure_from_components() {
+    // Build the §2.2 system from the Figure 1/2 classes and flatten it.
+    let (platforms, [p1, p2, p3]) = paper_platforms();
+    let mut b = SystemBuilder::new();
+    let reading = b.add_class(sensor_reading_class());
+    let integration = b.add_class(sensor_integration_class());
+    let s1 = b.instantiate("Sensor1", reading, p1, 0);
+    let s2 = b.instantiate("Sensor2", reading, p2, 0);
+    let it = b.instantiate("Integrator", integration, p3, 0);
+    b.bind(it, "readSensor1", s1, "read");
+    b.bind(it, "readSensor2", s2, "read");
+    let system = b.build();
+    assert!(system.validate().is_ok());
+
+    let set = flatten(&system, &platforms, FlattenOptions::default()).unwrap();
+    assert_eq!(set.transactions().len(), 4);
+    let gamma1 = set
+        .transactions()
+        .iter()
+        .find(|t| t.name == "Integrator.Thread2")
+        .unwrap();
+    let route: Vec<usize> = gamma1.tasks().iter().map(|t| t.platform.0).collect();
+    assert_eq!(route, [2, 0, 1, 2], "Π3 → Π1 → Π2 → Π3 as in Figure 5");
+}
+
+#[test]
+fn flattened_system_analysis_matches_hand_built() {
+    // The flattened system inherits thread priorities (τ1,4 gets 2 instead
+    // of Table 1's 3); for this example the fixpoint responses coincide —
+    // the offsets already separate the two Integrator tasks.
+    let (platforms, [p1, p2, p3]) = paper_platforms();
+    let mut b = SystemBuilder::new();
+    let reading = b.add_class(sensor_reading_class());
+    let integration = b.add_class(sensor_integration_class());
+    let s1 = b.instantiate("Sensor1", reading, p1, 0);
+    let s2 = b.instantiate("Sensor2", reading, p2, 0);
+    let it = b.instantiate("Integrator", integration, p3, 0);
+    b.bind(it, "readSensor1", s1, "read");
+    b.bind(it, "readSensor2", s2, "read");
+    let flattened = flatten(&b.build(), &platforms, FlattenOptions::default()).unwrap();
+    let from_components = analyze(&flattened);
+    let from_table1 = analyze(&paper_example::transactions());
+
+    // Match transactions by name.
+    let find = |report: &SchedulabilityReport, name: &str| -> Time {
+        report
+            .verdicts
+            .iter()
+            .find(|v| v.name.contains(name))
+            .map(|v| v.end_to_end)
+            .unwrap()
+    };
+    for name in ["Integrator.Thread2", "Sensor1.Thread1", "Integrator.read"] {
+        assert_eq!(
+            find(&from_components, name),
+            find(&from_table1, name),
+            "end-to-end response of {name}"
+        );
+    }
+}
+
+#[test]
+fn simulation_never_exceeds_bounds_across_seeds() {
+    let set = paper_example::transactions();
+    let report = analyze(&set);
+    for seed in 0..5 {
+        let sim = simulate(&set, &SimConfig::randomized(rat(2500, 1), seed));
+        for r in set.task_refs() {
+            if let Some(observed) = sim.task_stats(r.tx, r.idx).max_response {
+                assert!(
+                    observed <= report.response(r.tx, r.idx),
+                    "seed {seed}: {r} observed {observed} above bound"
+                );
+            }
+        }
+        for i in 0..set.transactions().len() {
+            assert_eq!(sim.transaction_stats(i).deadline_misses, 0);
+        }
+    }
+}
+
+#[test]
+fn worst_case_synchronous_simulation_within_bounds() {
+    let set = paper_example::transactions();
+    let report = analyze(&set);
+    let sim = simulate(&set, &SimConfig::worst_case(rat(7000, 1)));
+    for r in set.task_refs() {
+        let observed = sim.task_stats(r.tx, r.idx).max_response.unwrap();
+        assert!(observed <= report.response(r.tx, r.idx));
+    }
+}
