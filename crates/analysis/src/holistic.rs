@@ -4,10 +4,10 @@
 
 use crate::par::parallel_map;
 use crate::report::{IterationRecord, SchedulabilityReport, TaskResult, TransactionVerdict};
+pub use crate::rta::AnalysisError;
 use crate::rta::{analyze_task, TaskAnalysis};
 use crate::state::{best_case_offsets, initial_states, TaskState};
 use crate::AnalysisConfig;
-pub use crate::rta::AnalysisError;
 use hsched_numeric::Time;
 use hsched_transaction::{TaskRef, TransactionSet};
 
@@ -70,9 +70,8 @@ pub fn analyze_with(
                     all_bounded &= outcome.bounded;
                     let n_tasks = set.transactions()[r.tx].len();
                     if all_bounded && r.idx + 1 < n_tasks {
-                        states[r.tx][r.idx + 1].jitter = (outcome.response
-                            - best_responses[r.tx][r.idx])
-                            .max(Time::ZERO);
+                        states[r.tx][r.idx + 1].jitter =
+                            (outcome.response - best_responses[r.tx][r.idx]).max(Time::ZERO);
                     }
                 }
             }
@@ -92,8 +91,7 @@ pub fn analyze_with(
         let mut changed = false;
         for (i, tx) in set.transactions().iter().enumerate() {
             for j in 1..tx.len() {
-                let new_jitter =
-                    (responses[i][j - 1] - best_responses[i][j - 1]).max(Time::ZERO);
+                let new_jitter = (responses[i][j - 1] - best_responses[i][j - 1]).max(Time::ZERO);
                 if new_jitter != states[i][j].jitter {
                     states[i][j].jitter = new_jitter;
                 }
@@ -230,6 +228,7 @@ mod tests {
         // Single-task transactions converge immediately.
         assert_eq!(report.response(1, 0), rat(7, 2)); // τ2,1: 1 + 2.5
         assert_eq!(report.response(2, 0), rat(7, 2)); // τ3,1
+
         // τ4,1 (Π3, p=1) suffers τ1,1 and τ1,4; with the converged jitter
         // J1,4 = 19 the W* scenario started by τ1,4 packs a pending τ1,4
         // job, one τ1,1 job and one more τ1,4 arrival into the busy period:

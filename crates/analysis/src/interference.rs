@@ -117,6 +117,7 @@ mod tests {
         let under = TaskRef { tx: 0, idx: 1 };
         assert_eq!(hp_tasks(&set, 1, under), vec![0]);
         assert_eq!(hp_tasks(&set, 2, under), Vec::<usize>::new()); // Π2
+
         // τ4,1 (Π3, p=1): hp in Γ1 = {τ1,1, τ1,4}.
         let under = TaskRef { tx: 3, idx: 0 };
         assert_eq!(hp_tasks(&set, 0, under), vec![0, 3]);
@@ -173,10 +174,7 @@ mod tests {
         // Jitter adds pending jobs: J = 100, ϕ = 50, T = 50 → nominal
         // releases at 0, −50, −100 can all be delayed to the critical
         // instant: ⌊(J+ϕ)/T⌋ = 3 pending.
-        assert_eq!(
-            job_count(rat(100, 1), rat(50, 1), rat(50, 1), rat(1, 1)),
-            3
-        );
+        assert_eq!(job_count(rat(100, 1), rat(50, 1), rat(50, 1), rat(1, 1)), 3);
         // At t = 0 the count equals its right-limit (the pending job is
         // visible to the fixpoint seed).
         assert_eq!(job_count(rat(0, 1), rat(50, 1), rat(50, 1), rat(0, 1)), 1);
@@ -190,14 +188,8 @@ mod tests {
         //   t ∈ (0, 15]: 1 cycle; t ∈ (15, 30]: 2 cycles.
         let under = TaskRef { tx: 0, idx: 1 };
         let hp = hp_tasks(&set, 1, under);
-        assert_eq!(
-            w_scenario(&set, &states, 1, 0, &hp, rat(6, 1)),
-            rat(1, 1)
-        );
-        assert_eq!(
-            w_scenario(&set, &states, 1, 0, &hp, rat(16, 1)),
-            rat(2, 1)
-        );
+        assert_eq!(w_scenario(&set, &states, 1, 0, &hp, rat(6, 1)), rat(1, 1));
+        assert_eq!(w_scenario(&set, &states, 1, 0, &hp, rat(16, 1)), rat(2, 1));
     }
 
     #[test]
@@ -210,9 +202,6 @@ mod tests {
         let w4 = w_scenario(&set, &states, 0, hp[1], &hp, t);
         assert_eq!(w_star(&set, &states, 0, &hp, t), w1.max(w4));
         // Empty hp → zero.
-        assert_eq!(
-            w_star(&set, &states, 0, &[], t),
-            Cycles::ZERO
-        );
+        assert_eq!(w_star(&set, &states, 0, &[], t), Cycles::ZERO);
     }
 }

@@ -56,6 +56,7 @@ mod rta;
 mod state;
 
 pub use holistic::{analyze, analyze_with, AnalysisError};
+pub use par::parallel_map;
 pub use report::{IterationRecord, SchedulabilityReport, TaskResult, TransactionVerdict};
 pub use state::{best_case_offsets, TaskState};
 
@@ -94,7 +95,6 @@ pub enum ScenarioMode {
         max_scenarios: u64,
     },
 }
-
 
 /// Order in which the holistic iteration consumes freshly computed
 /// response times.
@@ -188,7 +188,11 @@ pub(crate) fn service_time(platform: &Platform, demand: Cycles, mode: ServiceTim
 
 /// Best-case time for `platform` to serve `demand` cycles (pseudo-inverse of
 /// Zmax), under the chosen mode.
-pub(crate) fn best_service_time(platform: &Platform, demand: Cycles, mode: ServiceTimeMode) -> Time {
+pub(crate) fn best_service_time(
+    platform: &Platform,
+    demand: Cycles,
+    mode: ServiceTimeMode,
+) -> Time {
     match mode {
         ServiceTimeMode::LinearBounds => platform.linear_model().best_case_service(demand),
         ServiceTimeMode::ExactCurve => platform.time_to_supply_max(demand),

@@ -1,4 +1,4 @@
-//! Minimal deterministic parallel map over crossbeam scoped threads.
+//! Minimal deterministic parallel map over std scoped threads.
 //!
 //! The holistic iteration is a Jacobi scheme: every task's response time in
 //! iteration `k` depends only on the state vector of iteration `k − 1`, so
@@ -10,7 +10,10 @@
 ///
 /// `threads == 0` uses the available parallelism; `threads == 1` (or a
 /// single-item input) runs inline without spawning.
-pub(crate) fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+///
+/// Public because the design-space search (`hsched-design`) parallelizes its
+/// sweeps with the same deterministic chunking.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
@@ -28,17 +31,17 @@ where
     }
 
     let chunk_size = items.len().div_ceil(threads);
+    let f = &f;
     let mut results: Vec<Vec<R>> = Vec::with_capacity(threads);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = items
             .chunks(chunk_size)
-            .map(|chunk| scope.spawn(|_| chunk.iter().map(&f).collect::<Vec<R>>()))
+            .map(|chunk| scope.spawn(move || chunk.iter().map(f).collect::<Vec<R>>()))
             .collect();
         for h in handles {
             results.push(h.join().expect("analysis worker panicked"));
         }
-    })
-    .expect("crossbeam scope failed");
+    });
     results.into_iter().flatten().collect()
 }
 

@@ -420,10 +420,8 @@ mod tests {
         let set = TransactionSet::new(platforms, vec![noisy, victim]).unwrap();
         let states = initial_states(&set, ServiceTimeMode::LinearBounds);
         let under = TaskRef { tx: 1, idx: 0 };
-        let approx =
-            analyze_task(&set, &states, under, &AnalysisConfig::default()).unwrap();
-        let exact =
-            analyze_task(&set, &states, under, &AnalysisConfig::exact(1_000_000)).unwrap();
+        let approx = analyze_task(&set, &states, under, &AnalysisConfig::default()).unwrap();
+        let exact = analyze_task(&set, &states, under, &AnalysisConfig::exact(1_000_000)).unwrap();
         assert!(
             exact.response <= approx.response,
             "exact {} > approx {}",

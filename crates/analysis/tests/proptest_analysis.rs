@@ -39,7 +39,11 @@ fn raw_system() -> impl Strategy<Value = RawSystem> {
         proptest::collection::vec(0i128..=2, 2..=2),
         proptest::collection::vec(tx, 1..=3),
     )
-        .prop_map(|(alphas, deltas, txs)| RawSystem { alphas, deltas, txs })
+        .prop_map(|(alphas, deltas, txs)| RawSystem {
+            alphas,
+            deltas,
+            txs,
+        })
 }
 
 fn build(raw: &RawSystem) -> TransactionSet {

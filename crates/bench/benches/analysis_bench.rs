@@ -13,7 +13,12 @@ fn bench_paper_example(c: &mut Criterion) {
         b.iter(|| black_box(analyze_with(black_box(&set), &AnalysisConfig::default())))
     });
     c.bench_function("analysis/paper_example_exact", |b| {
-        b.iter(|| black_box(analyze_with(black_box(&set), &AnalysisConfig::exact(100_000))))
+        b.iter(|| {
+            black_box(analyze_with(
+                black_box(&set),
+                &AnalysisConfig::exact(100_000),
+            ))
+        })
     });
 }
 

@@ -53,7 +53,10 @@ fn main() {
         }
         worst_tightness = worst_tightness.max(tightness);
         checked += 1;
-        println!("{seed:<5} yes          {:<6} {tightness:.3}", set.num_tasks());
+        println!(
+            "{seed:<5} yes          {:<6} {tightness:.3}",
+            set.num_tasks()
+        );
     }
     println!(
         "\nchecked {checked} schedulable systems ({skipped} skipped); \

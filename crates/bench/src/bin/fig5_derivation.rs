@@ -3,9 +3,7 @@
 //!
 //! Run with: `cargo run -p hsched-bench --bin fig5_derivation`
 
-use hsched_model::{
-    sensor_integration_class, sensor_reading_class, SystemBuilder,
-};
+use hsched_model::{sensor_integration_class, sensor_reading_class, SystemBuilder};
 use hsched_platform::paper_platforms;
 use hsched_transaction::{flatten, FlattenOptions};
 

@@ -17,7 +17,7 @@ fn main() {
             p.name(),
             p.alpha().to_string(),
             p.delta().to_string(),
-            p.beta().to_string()
+            p.beta()
         );
     }
 
@@ -36,7 +36,7 @@ fn main() {
                 tx.period.to_string(),
                 tx.deadline.to_string(),
                 t.priority,
-                offsets[i][j].to_string()
+                offsets[i][j]
             );
         }
     }

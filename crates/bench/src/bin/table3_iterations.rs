@@ -49,7 +49,10 @@ fn main() {
     }
     println!("cell agreement: {matches}/{cells}");
     assert_eq!(matches, cells, "trace deviates from the verified values");
-    assert!(report.schedulable(), "§4 verdict: Γ1 meets its 50 ms deadline");
+    assert!(
+        report.schedulable(),
+        "§4 verdict: Γ1 meets its 50 ms deadline"
+    );
 
     // The §4 headline: R1,4 ≤ D1.
     println!(

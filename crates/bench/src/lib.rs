@@ -81,7 +81,10 @@ mod tests {
             };
             let set = random_system(&spec);
             assert!(!set.transactions().is_empty());
-            assert!(set.overloaded_platforms().is_empty(), "seed {seed} overloads");
+            assert!(
+                set.overloaded_platforms().is_empty(),
+                "seed {seed} overloads"
+            );
             for tx in set.transactions() {
                 assert!(tx.period.is_positive());
                 for t in tx.tasks() {

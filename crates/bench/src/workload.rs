@@ -113,9 +113,8 @@ pub fn random_system(spec: &WorkloadSpec) -> TransactionSet {
         }
         // Deadline between 1× and 2× the period.
         let deadline = period * rat(rng.gen_range(100..=200), 100);
-        transactions.push(
-            Transaction::new(format!("tx{i}"), period, deadline, tasks).expect("valid"),
-        );
+        transactions
+            .push(Transaction::new(format!("tx{i}"), period, deadline, tasks).expect("valid"));
     }
     TransactionSet::new(platforms, transactions).expect("valid workload")
 }

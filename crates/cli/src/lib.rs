@@ -96,10 +96,8 @@ fn load(args: &[String]) -> Result<(String, TransactionSet), String> {
     let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
         return Err("expected a .hsc file path".to_string());
     };
-    let source =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
-    let (system, platforms) =
-        parse_and_validate(&source).map_err(|e| format!("{path}:{e}"))?;
+    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let (system, platforms) = parse_and_validate(&source).map_err(|e| format!("{path}:{e}"))?;
     let options = FlattenOptions {
         external_stimuli: !opt_flag(args, "--no-external"),
     };
@@ -111,8 +109,7 @@ fn cmd_check(args: &[String]) -> Result<String, String> {
     let Some(path) = args.first() else {
         return Err("expected a .hsc file path".to_string());
     };
-    let source =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     let (system, platforms) = parse_str(&source).map_err(|e| format!("{path}:{e}"))?;
     let report = system.validate();
     let mut out = String::new();
@@ -156,10 +153,17 @@ fn cmd_analyze(args: &[String]) -> Result<String, String> {
     }
     let report = analyze_with(&set, &config).map_err(|e| e.to_string())?;
     let mut out = String::new();
-    let _ = writeln!(out, "{path}: {} transactions, {} tasks", set.transactions().len(), set.num_tasks());
+    let _ = writeln!(
+        out,
+        "{path}: {} transactions, {} tasks",
+        set.transactions().len(),
+        set.num_tasks()
+    );
     let _ = write!(out, "{report}");
     if let Some(tx) = opt_value(args, "--trace")? {
-        let i: usize = tx.parse().map_err(|_| format!("bad transaction index `{tx}`"))?;
+        let i: usize = tx
+            .parse()
+            .map_err(|_| format!("bad transaction index `{tx}`"))?;
         if i >= set.transactions().len() {
             return Err(format!("transaction index {i} out of range"));
         }
@@ -199,7 +203,10 @@ fn cmd_simulate(args: &[String]) -> Result<String, String> {
     let result = simulate(&set, &config);
     let mut out = String::new();
     let _ = writeln!(out, "{path}: simulated to t = {}", result.end_time);
-    let _ = writeln!(out, "transaction                      releases  done  misses  max-end-to-end");
+    let _ = writeln!(
+        out,
+        "transaction                      releases  done  misses  max-end-to-end"
+    );
     for (i, tx) in set.transactions().iter().enumerate() {
         let s = result.transaction_stats(i);
         let _ = writeln!(
@@ -236,13 +243,7 @@ fn cmd_simulate(args: &[String]) -> Result<String, String> {
         let _ = write!(
             out,
             "{}",
-            render_gantt(
-                &result.trace,
-                set.platforms().len(),
-                rat(0, 1),
-                window,
-                100
-            )
+            render_gantt(&result.trace, set.platforms().len(), rat(0, 1), window, 100)
         );
     }
     Ok(out)
@@ -285,7 +286,9 @@ fn cmd_compare(args: &[String]) -> Result<String, String> {
     };
     let report = analyze_with(&set, &AnalysisConfig::default()).map_err(|e| e.to_string())?;
     if report.diverged {
-        return Err(format!("{path}: demand exceeds platform capacity; nothing to compare"));
+        return Err(format!(
+            "{path}: demand exceeds platform capacity; nothing to compare"
+        ));
     }
     let sim = simulate(&set, &SimConfig::worst_case(horizon));
     let mut out = String::new();
@@ -308,7 +311,11 @@ fn cmd_compare(args: &[String]) -> Result<String, String> {
                     bound.to_string(),
                     observed.to_string(),
                     (observed / bound).to_f64(),
-                    if observed > bound { "  ← BOUND VIOLATED" } else { "" }
+                    if observed > bound {
+                        "  ← BOUND VIOLATED"
+                    } else {
+                        ""
+                    }
                 );
             }
             None => {
@@ -317,12 +324,18 @@ fn cmd_compare(args: &[String]) -> Result<String, String> {
         }
     }
     if violations > 0 {
-        let _ = writeln!(out, "
-{violations} bound violation(s) — this indicates a bug");
+        let _ = writeln!(
+            out,
+            "
+{violations} bound violation(s) — this indicates a bug"
+        );
         return Err(out);
     }
-    let _ = writeln!(out, "
-all observed maxima within analytic bounds");
+    let _ = writeln!(
+        out,
+        "
+all observed maxima within analytic bounds"
+    );
     Ok(out)
 }
 
@@ -352,8 +365,7 @@ fn cmd_fmt(args: &[String]) -> Result<String, String> {
     let Some(path) = args.first() else {
         return Err("expected a .hsc file path".to_string());
     };
-    let source =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     let (system, platforms) = parse_str(&source).map_err(|e| format!("{path}:{e}"))?;
     Ok(to_source(&system, &platforms))
 }
@@ -495,13 +507,7 @@ bind Integrator.readSensor2 -> Sensor2.read;
     #[test]
     fn analyze_command_reports_table3_fixpoint() {
         let path = spec_file();
-        let out = run(&args(&[
-            "analyze",
-            path.to_str().unwrap(),
-            "--trace",
-            "2",
-        ]))
-        .unwrap();
+        let out = run(&args(&["analyze", path.to_str().unwrap(), "--trace", "2"])).unwrap();
         assert!(out.contains("schedulability: OK"));
         assert!(out.contains("iteration trace of Γ3"));
     }
@@ -522,7 +528,12 @@ instance I : W on S node 0;
         )
         .unwrap();
         let path = f.into_temp_path();
-        let exact = run(&args(&["analyze", path.to_str().unwrap(), "--exact-supply"])).unwrap();
+        let exact = run(&args(&[
+            "analyze",
+            path.to_str().unwrap(),
+            "--exact-supply",
+        ]))
+        .unwrap();
         assert!(exact.contains("schedulability: OK"));
     }
 
@@ -569,7 +580,13 @@ instance I : W on S node 0;
     #[test]
     fn headroom_command() {
         let path = spec_file();
-        let out = run(&args(&["headroom", path.to_str().unwrap(), "--ceiling", "8"])).unwrap();
+        let out = run(&args(&[
+            "headroom",
+            path.to_str().unwrap(),
+            "--ceiling",
+            "8",
+        ]))
+        .unwrap();
         assert!(out.contains("WCET headroom"));
         assert!(out.contains("x"));
         // All seven tasks listed.

@@ -85,11 +85,7 @@ fn schedulable_with(
 /// The smallest rate α (to within `config.precision`) platform `id` can be
 /// given — keeping its Δ and β — with the system still schedulable.
 /// `None` if the system is unschedulable even at the current provisioning.
-pub fn min_alpha(
-    set: &TransactionSet,
-    id: PlatformId,
-    config: &DesignConfig,
-) -> Option<Rational> {
+pub fn min_alpha(set: &TransactionSet, id: PlatformId, config: &DesignConfig) -> Option<Rational> {
     let platform = &set.platforms()[id];
     let (delta, beta) = (platform.delta(), platform.beta());
     let current = platform.alpha();
@@ -197,11 +193,7 @@ pub fn minimize_bandwidth(set: &TransactionSet, config: &DesignConfig) -> Option
         }
     }
     let after = current.platforms().total_bandwidth();
-    let alphas = current
-        .platforms()
-        .iter()
-        .map(|(_, p)| p.alpha())
-        .collect();
+    let alphas = current.platforms().iter().map(|(_, p)| p.alpha()).collect();
     Some(BandwidthPlan {
         platforms: current.platforms().clone(),
         before,
@@ -251,29 +243,7 @@ pub fn pareto_sweep(
             max_delta: max_delta(&candidate, id, ceiling, config),
         }
     };
-    if config.threads == 1 || alphas.len() <= 1 {
-        return alphas.iter().map(probe).collect();
-    }
-    let threads = match config.threads {
-        0 => std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1),
-        n => n,
-    }
-    .min(alphas.len());
-    let chunk = alphas.len().div_ceil(threads);
-    let mut results: Vec<Vec<ParetoPoint>> = Vec::new();
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = alphas
-            .chunks(chunk)
-            .map(|c| scope.spawn(move |_| c.iter().map(probe).collect::<Vec<_>>()))
-            .collect();
-        for h in handles {
-            results.push(h.join().expect("sweep worker panicked"));
-        }
-    })
-    .expect("crossbeam scope failed");
-    results.into_iter().flatten().collect()
+    hsched_analysis::parallel_map(alphas, config.threads, probe)
 }
 
 /// Concrete periodic-server parameters realizing an `(α, Δ)` point
@@ -317,8 +287,12 @@ mod tests {
             assert!(schedulable_with(
                 &set,
                 id,
-                BoundedDelay::new(best, set.platforms()[id].delta(), set.platforms()[id].beta())
-                    .unwrap(),
+                BoundedDelay::new(
+                    best,
+                    set.platforms()[id].delta(),
+                    set.platforms()[id].beta()
+                )
+                .unwrap(),
                 &config
             ));
         }
@@ -364,7 +338,12 @@ mod tests {
     fn minimize_bandwidth_improves_total() {
         let set = paper_example::transactions();
         let plan = minimize_bandwidth(&set, &DesignConfig::default()).unwrap();
-        assert!(plan.after < plan.before, "{} !< {}", plan.after, plan.before);
+        assert!(
+            plan.after < plan.before,
+            "{} !< {}",
+            plan.after,
+            plan.before
+        );
         assert_eq!(plan.before, rat(1, 1));
         // The re-dimensioned system passes the analysis.
         let trimmed = set.with_platforms(plan.platforms.clone()).unwrap();

@@ -164,7 +164,10 @@ mod tests {
             .iter()
             .position(|s| s.task == TaskRef { tx: 3, idx: 0 })
             .unwrap();
-        assert!(tau41 <= 2, "τ4,1 should rank critical, got position {tau41}");
+        assert!(
+            tau41 <= 2,
+            "τ4,1 should rank critical, got position {tau41}"
+        );
     }
 
     #[test]
@@ -173,7 +176,12 @@ mod tests {
         // Break it: scale compute by 100.
         let broken = scaled(&set, TaskRef { tx: 0, idx: 3 }, rat(100, 1));
         assert_eq!(
-            wcet_headroom(&broken, TaskRef { tx: 0, idx: 0 }, rat(4, 1), &DesignConfig::default()),
+            wcet_headroom(
+                &broken,
+                TaskRef { tx: 0, idx: 0 },
+                rat(4, 1),
+                &DesignConfig::default()
+            ),
             None
         );
     }

@@ -316,7 +316,11 @@ pub fn sensor_reading_class() -> ComponentClass {
             "Thread2",
             "read",
             1,
-            vec![Action::task("serve_read", Cycles::from_integer(1), Cycles::new(4, 5))],
+            vec![Action::task(
+                "serve_read",
+                Cycles::from_integer(1),
+                Cycles::new(4, 5),
+            )],
         ))
 }
 
@@ -333,7 +337,11 @@ pub fn sensor_integration_class() -> ComponentClass {
             "Thread1",
             "read",
             1,
-            vec![Action::task("serve_read", Cycles::from_integer(7), Cycles::from_integer(5))],
+            vec![Action::task(
+                "serve_read",
+                Cycles::from_integer(7),
+                Cycles::from_integer(5),
+            )],
         ))
         .thread(ThreadSpec::periodic(
             "Thread2",

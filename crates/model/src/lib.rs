@@ -34,9 +34,7 @@ pub use component::{
     sensor_integration_class, sensor_reading_class, Action, ComponentClass, LocalScheduler,
     MethodRef, ProvidedMethod, RequiredMethod, ThreadActivation, ThreadSpec,
 };
-pub use system::{
-    Binding, ComponentInstance, InstanceId, NodeId, RpcLink, System, SystemBuilder,
-};
+pub use system::{Binding, ComponentInstance, InstanceId, NodeId, RpcLink, System, SystemBuilder};
 pub use validate::{ValidationError, ValidationReport, Warning};
 
 /// Task / thread priority: **greater value means higher priority**, as in

@@ -456,10 +456,7 @@ impl System {
 
         fn describe(sys: &System, (i, t): (usize, usize)) -> String {
             let inst = &sys.instances[i];
-            format!(
-                "{}.{}",
-                inst.name, sys.classes[inst.class].threads[t].name
-            )
+            format!("{}.{}", inst.name, sys.classes[inst.class].threads[t].name)
         }
 
         for (i, inst) in self.instances.iter().enumerate() {
@@ -656,12 +653,7 @@ mod tests {
         let b_class = ComponentClass::new("B")
             .provides(ProvidedMethod::new("pb", rat(100, 1)))
             .requires(RequiredMethod::derived("n"))
-            .thread(ThreadSpec::realizes(
-                "RB",
-                "pb",
-                1,
-                vec![Action::call("n")],
-            ));
+            .thread(ThreadSpec::realizes("RB", "pb", 1, vec![Action::call("n")]));
         let mut builder = SystemBuilder::new();
         let ca = builder.add_class(a);
         let cb = builder.add_class(b_class);
@@ -719,7 +711,10 @@ mod tests {
                 assert_eq!(*declared_mit, rat(50, 1));
                 assert_eq!(*implied_mit, rat(10, 1));
             }
-            other => panic!("expected MitViolation, got {other:?} in {:?}", report.errors),
+            other => panic!(
+                "expected MitViolation, got {other:?} in {:?}",
+                report.errors
+            ),
         }
     }
 
@@ -777,8 +772,7 @@ mod tests {
 
     #[test]
     fn no_realizer_is_error() {
-        let server = ComponentClass::new("Server")
-            .provides(ProvidedMethod::new("get", rat(50, 1)));
+        let server = ComponentClass::new("Server").provides(ProvidedMethod::new("get", rat(50, 1)));
         let client = ComponentClass::new("Client")
             .requires(RequiredMethod::derived("get"))
             .thread(ThreadSpec::periodic(

@@ -277,8 +277,9 @@ macro_rules! forward_binop {
             type Output = Rational;
             #[inline]
             fn $method(self, rhs: Rational) -> Rational {
-                self.$checked(rhs)
-                    .unwrap_or_else(|| panic!("rational {} overflow: {} and {}", $opname, self, rhs))
+                self.$checked(rhs).unwrap_or_else(|| {
+                    panic!("rational {} overflow: {} and {}", $opname, self, rhs)
+                })
             }
         }
     };
@@ -454,7 +455,11 @@ impl fmt::Display for Rational {
             let scaled = self.num * (scale / self.den);
             let int_part = scaled / scale;
             let frac_part = (scaled % scale).unsigned_abs();
-            let sign = if self.num < 0 && int_part == 0 { "-" } else { "" };
+            let sign = if self.num < 0 && int_part == 0 {
+                "-"
+            } else {
+                ""
+            };
             let frac_str = format!("{frac_part:0width$}", width = digits as usize);
             let frac_str = frac_str.trim_end_matches('0');
             write!(f, "{sign}{int_part}.{frac_str}")
@@ -606,10 +611,16 @@ mod tests {
     fn rem_euclid_matches_paper_convention() {
         // Eq. (10) with φik + Jik − φij = −5 and Ti = 50: (−5) mod 50 = 45.
         let m = Rational::from_integer(50);
-        assert_eq!(Rational::from_integer(-5).rem_euclid(m), Rational::from_integer(45));
+        assert_eq!(
+            Rational::from_integer(-5).rem_euclid(m),
+            Rational::from_integer(45)
+        );
         assert_eq!(Rational::from_integer(0).rem_euclid(m), Rational::ZERO);
         assert_eq!(Rational::from_integer(50).rem_euclid(m), Rational::ZERO);
-        assert_eq!(Rational::from_integer(73).rem_euclid(m), Rational::from_integer(23));
+        assert_eq!(
+            Rational::from_integer(73).rem_euclid(m),
+            Rational::from_integer(23)
+        );
         assert_eq!(r(-1, 2).rem_euclid(m), r(99, 2));
     }
 
@@ -637,7 +648,10 @@ mod tests {
     #[test]
     fn parsing() {
         assert_eq!("3".parse::<Rational>().unwrap(), Rational::from_integer(3));
-        assert_eq!("-3".parse::<Rational>().unwrap(), Rational::from_integer(-3));
+        assert_eq!(
+            "-3".parse::<Rational>().unwrap(),
+            Rational::from_integer(-3)
+        );
         assert_eq!("2.5".parse::<Rational>().unwrap(), r(5, 2));
         assert_eq!("0.4".parse::<Rational>().unwrap(), r(2, 5));
         assert_eq!("-0.125".parse::<Rational>().unwrap(), r(-1, 8));
@@ -665,7 +679,10 @@ mod tests {
         assert_eq!(Rational::approx_from_f64(0.4), Some(r(2, 5)));
         assert_eq!(Rational::approx_from_f64(2.5), Some(r(5, 2)));
         assert_eq!(Rational::approx_from_f64(-0.2), Some(r(-1, 5)));
-        assert_eq!(Rational::approx_from_f64(7.0), Some(Rational::from_integer(7)));
+        assert_eq!(
+            Rational::approx_from_f64(7.0),
+            Some(Rational::from_integer(7))
+        );
         assert_eq!(Rational::approx_from_f64(f64::NAN), None);
         assert_eq!(Rational::approx_from_f64(f64::INFINITY), None);
     }
@@ -716,7 +733,10 @@ mod tests {
     #[test]
     fn clamp() {
         assert_eq!(r(5, 2).clamp(Rational::ZERO, Rational::ONE), Rational::ONE);
-        assert_eq!(r(-1, 2).clamp(Rational::ZERO, Rational::ONE), Rational::ZERO);
+        assert_eq!(
+            r(-1, 2).clamp(Rational::ZERO, Rational::ONE),
+            Rational::ZERO
+        );
         assert_eq!(r(1, 2).clamp(Rational::ZERO, Rational::ONE), r(1, 2));
     }
 

@@ -86,11 +86,9 @@ impl<'a> Engine<'a> {
             .map(|(i, tx)| Release {
                 next_time: match &config.phases {
                     PhaseModel::Synchronous => Time::ZERO,
-                    PhaseModel::Random => {
-                        uniform_rational(&mut rng, Time::ZERO, tx.period)
-                            .min(tx.period - Rational::new(1, 1000))
-                            .max(Time::ZERO)
-                    }
+                    PhaseModel::Random => uniform_rational(&mut rng, Time::ZERO, tx.period)
+                        .min(tx.period - Rational::new(1, 1000))
+                        .max(Time::ZERO),
                     PhaseModel::Explicit(phases) => phases[i],
                 },
             })
@@ -166,31 +164,25 @@ impl<'a> Engine<'a> {
 
     /// The job that would run on platform `p` right now, per the policy.
     fn dispatch(&self, p: usize) -> Option<usize> {
-        self.ready[p]
-            .iter()
-            .copied()
-            .min_by_key(|&id| {
-                let job = &self.jobs[id];
-                match self.config.policy {
-                    LocalPolicy::FixedPriority => {
-                        // Highest priority first; FIFO on activation; stable
-                        // by id.
-                        let prio = self.set.transactions()[job.tx].tasks()[job.task_idx].priority;
-                        (
-                            std::cmp::Reverse(prio),
-                            job.activation,
-                            Time::ZERO, // unused slot to align tuple types
-                            id,
-                        )
-                    }
-                    LocalPolicy::EarliestDeadlineFirst => (
-                        std::cmp::Reverse(0),
-                        job.abs_deadline,
+        self.ready[p].iter().copied().min_by_key(|&id| {
+            let job = &self.jobs[id];
+            match self.config.policy {
+                LocalPolicy::FixedPriority => {
+                    // Highest priority first; FIFO on activation; stable
+                    // by id.
+                    let prio = self.set.transactions()[job.tx].tasks()[job.task_idx].priority;
+                    (
+                        std::cmp::Reverse(prio),
                         job.activation,
+                        Time::ZERO, // unused slot to align tuple types
                         id,
-                    ),
+                    )
                 }
-            })
+                LocalPolicy::EarliestDeadlineFirst => {
+                    (std::cmp::Reverse(0), job.abs_deadline, job.activation, id)
+                }
+            }
+        })
     }
 
     /// Advances all platforms and their running jobs by `dt` (rate constant
@@ -238,7 +230,8 @@ impl<'a> Engine<'a> {
                 let n_tasks = self.set.transactions()[tx].len();
                 if task_idx + 1 == n_tasks {
                     let deadline = self.set.transactions()[tx].deadline;
-                    self.metrics.record_completion(tx, response, response > deadline);
+                    self.metrics
+                        .record_completion(tx, response, response > deadline);
                     self.jobs[id].alive = false;
                 } else {
                     self.jobs[id].task_idx += 1;
@@ -276,8 +269,7 @@ impl<'a> Engine<'a> {
                 // jitter); the job only becomes ready at its arrival, but
                 // responses stay measured from the nominal activation.
                 let arrival = if tx.release_jitter.is_positive() {
-                    activation
-                        + uniform_rational(&mut self.rng, Time::ZERO, tx.release_jitter)
+                    activation + uniform_rational(&mut self.rng, Time::ZERO, tx.release_jitter)
                 } else {
                     activation
                 };
@@ -318,7 +310,9 @@ impl<'a> Engine<'a> {
         for id in due {
             let platform = {
                 let job = &self.jobs[id];
-                self.set.transactions()[job.tx].tasks()[job.task_idx].platform.0
+                self.set.transactions()[job.tx].tasks()[job.task_idx]
+                    .platform
+                    .0
             };
             self.ready[platform].push(id);
         }
@@ -341,17 +335,15 @@ mod tests {
     use hsched_platform::{Platform, PlatformSet};
     use hsched_transaction::{paper_example, Task, Transaction};
 
-    fn single_task_set(alpha: (i128, i128), delta: i128, wcet: i128, period: i128) -> TransactionSet {
+    fn single_task_set(
+        alpha: (i128, i128),
+        delta: i128,
+        wcet: i128,
+        period: i128,
+    ) -> TransactionSet {
         let mut platforms = PlatformSet::new();
-        let p = platforms.add(
-            Platform::linear(
-                "p",
-                rat(alpha.0, alpha.1),
-                rat(delta, 1),
-                rat(0, 1),
-            )
-            .unwrap(),
-        );
+        let p = platforms
+            .add(Platform::linear("p", rat(alpha.0, alpha.1), rat(delta, 1), rat(0, 1)).unwrap());
         let tx = Transaction::new(
             "t",
             rat(period, 1),
@@ -455,7 +447,10 @@ mod tests {
                     a.task_stats(i, j).max_response,
                     b.task_stats(i, j).max_response
                 );
-                assert_eq!(a.task_stats(i, j).completions, b.task_stats(i, j).completions);
+                assert_eq!(
+                    a.task_stats(i, j).completions,
+                    b.task_stats(i, j).completions
+                );
             }
         }
     }
@@ -466,9 +461,8 @@ mod tests {
         let a = simulate(&set, &SimConfig::randomized(rat(2000, 1), 1));
         let b = simulate(&set, &SimConfig::randomized(rat(2000, 1), 2));
         // Extremely unlikely to coincide everywhere.
-        let same = (0..4).all(|i| {
-            a.task_stats(i, 0).sum_response == b.task_stats(i, 0).sum_response
-        });
+        let same =
+            (0..4).all(|i| a.task_stats(i, 0).sum_response == b.task_stats(i, 0).sum_response);
         assert!(!same);
     }
 
@@ -507,9 +501,7 @@ mod tests {
         };
         config.seed = 7;
         let sporadic = simulate(&set, &config);
-        assert!(
-            sporadic.transaction_stats(0).releases <= periodic.transaction_stats(0).releases
-        );
+        assert!(sporadic.transaction_stats(0).releases <= periodic.transaction_stats(0).releases);
         assert!(sporadic.transaction_stats(0).releases > 60); // ≥ 1000/15
     }
 

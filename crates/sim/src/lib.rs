@@ -152,11 +152,7 @@ impl SimConfig {
 }
 
 /// Draws a rational uniformly from `[lo, hi]` with 1/1000 granularity.
-pub(crate) fn uniform_rational(
-    rng: &mut impl rand::Rng,
-    lo: Rational,
-    hi: Rational,
-) -> Rational {
+pub(crate) fn uniform_rational(rng: &mut impl rand::Rng, lo: Rational, hi: Rational) -> Rational {
     debug_assert!(lo <= hi);
     if lo == hi {
         return lo;

@@ -164,9 +164,12 @@ mod tests {
     #[test]
     fn fluid_for_dedicated_and_zero_delay() {
         let m = Mechanism::for_platform(&Platform::dedicated("cpu"));
-        assert_eq!(m, Mechanism::Fluid {
-            rate: Rational::ONE
-        });
+        assert_eq!(
+            m,
+            Mechanism::Fluid {
+                rate: Rational::ONE
+            }
+        );
         let m = Mechanism::for_platform(
             &Platform::linear("f", rat(1, 2), rat(0, 1), rat(0, 1)).unwrap(),
         );

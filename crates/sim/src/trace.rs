@@ -39,10 +39,7 @@ pub fn render_gantt(
         if let Some((_, c)) = letters.iter().find(|(l, _)| l == label) {
             return *c;
         }
-        let c = alphabet
-            .get(letters.len())
-            .copied()
-            .unwrap_or('?');
+        let c = alphabet.get(letters.len()).copied().unwrap_or('?');
         letters.push((label.to_string(), c));
         c
     };

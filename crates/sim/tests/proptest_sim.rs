@@ -12,7 +12,7 @@ type RawTask = (i128, u32, usize);
 
 #[derive(Debug, Clone)]
 struct RawWorkload {
-    alphas: Vec<i128>, // tenths
+    alphas: Vec<i128>,               // tenths
     txs: Vec<(usize, Vec<RawTask>)>, // (period index, tasks)
 }
 
@@ -20,7 +20,10 @@ const PERIODS: [i128; 4] = [20, 30, 50, 60];
 
 fn raw_workload() -> impl Strategy<Value = RawWorkload> {
     let task = (1i128..=8, 1u32..=3, 0usize..2);
-    let tx = (0usize..PERIODS.len(), proptest::collection::vec(task, 1..=3));
+    let tx = (
+        0usize..PERIODS.len(),
+        proptest::collection::vec(task, 1..=3),
+    );
     (
         proptest::collection::vec(5i128..=10, 2..=2),
         proptest::collection::vec(tx, 1..=3),
@@ -46,7 +49,13 @@ fn build(raw: &RawWorkload) -> TransactionSet {
                 .enumerate()
                 .map(|(j, &(wcet_tenths, prio, plat))| {
                     let wcet = rat(wcet_tenths, 10);
-                    Task::new(format!("t{i}_{j}"), wcet, wcet * rat(1, 2), prio, PlatformId(plat))
+                    Task::new(
+                        format!("t{i}_{j}"),
+                        wcet,
+                        wcet * rat(1, 2),
+                        prio,
+                        PlatformId(plat),
+                    )
                 })
                 .collect();
             Transaction::new(format!("tx{i}"), period, period * rat(3, 1), tasks).expect("valid")

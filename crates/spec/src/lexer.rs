@@ -182,8 +182,7 @@ impl<'a> Lexer<'a> {
                         break;
                     }
                 }
-                let text = std::str::from_utf8(&self.src[start..self.pos])
-                    .expect("ascii slice");
+                let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii slice");
                 match text.parse::<Rational>() {
                     Ok(n) => TokenKind::Number(n),
                     Err(e) => return Err((format!("bad number `{text}`: {e}"), line, col)),
@@ -315,6 +314,9 @@ mod tests {
 
     #[test]
     fn leading_dot_number() {
-        assert_eq!(kinds(".5"), vec![TokenKind::Number(rat(1, 2)), TokenKind::Eof]);
+        assert_eq!(
+            kinds(".5"),
+            vec![TokenKind::Number(rat(1, 2)), TokenKind::Eof]
+        );
     }
 }

@@ -136,11 +136,7 @@ bind Integrator.readSensor2 -> Sensor2.read;
         let (system, platforms) = parse_and_validate(PAPER).unwrap();
         let set = flatten(&system, &platforms, FlattenOptions::default()).unwrap();
         assert_eq!(set.transactions().len(), 4);
-        let names: Vec<&str> = set
-            .transactions()
-            .iter()
-            .map(|t| t.name.as_str())
-            .collect();
+        let names: Vec<&str> = set.transactions().iter().map(|t| t.name.as_str()).collect();
         assert!(names.contains(&"Integrator.Thread2"));
         assert!(names.contains(&"Integrator.read"));
     }

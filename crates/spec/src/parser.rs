@@ -391,13 +391,9 @@ impl Parser {
             }
         }
         Ok(match activation {
-            Act::Periodic(period, Some(deadline)) => ThreadSpec::periodic_with_deadline(
-                name,
-                period,
-                deadline,
-                priority as u32,
-                body,
-            ),
+            Act::Periodic(period, Some(deadline)) => {
+                ThreadSpec::periodic_with_deadline(name, period, deadline, priority as u32, body)
+            }
             Act::Periodic(period, None) => {
                 ThreadSpec::periodic(name, period, priority as u32, body)
             }
@@ -412,11 +408,7 @@ impl Parser {
         let is_network = match kind.as_str() {
             "cpu" => false,
             "network" => true,
-            other => {
-                return self.error(format!(
-                    "expected `cpu` or `network`, found `{other}`"
-                ))
-            }
+            other => return self.error(format!("expected `cpu` or `network`, found `{other}`")),
         };
         let platform = if self.at_keyword("alpha") {
             self.bump();
@@ -626,7 +618,8 @@ mod tests {
 
     #[test]
     fn scheduler_keyword() {
-        let src = "class C { scheduler edf; thread T periodic period 5 priority 1 { task a wcet 1; } }";
+        let src =
+            "class C { scheduler edf; thread T periodic period 5 priority 1 { task a wcet 1; } }";
         let (system, _) = parse_str(src).unwrap();
         assert_eq!(
             system.classes[0].scheduler,
@@ -638,7 +631,8 @@ mod tests {
 
     #[test]
     fn explicit_deadline() {
-        let src = "class C { thread T periodic period 10 deadline 8 priority 1 { task a wcet 1; } }";
+        let src =
+            "class C { thread T periodic period 10 deadline 8 priority 1 { task a wcet 1; } }";
         let (system, _) = parse_str(src).unwrap();
         match system.classes[0].threads[0].activation {
             hsched_model::ThreadActivation::Periodic { period, deadline } => {
@@ -651,11 +645,9 @@ mod tests {
 
     #[test]
     fn required_with_explicit_mit() {
-        let src = "class C { required m() mit 25; thread T periodic period 50 priority 1 { call m; } }";
+        let src =
+            "class C { required m() mit 25; thread T periodic period 50 priority 1 { call m; } }";
         let (system, _) = parse_str(src).unwrap();
-        assert_eq!(
-            system.classes[0].required[0].mit,
-            Some(rat(25, 1))
-        );
+        assert_eq!(system.classes[0].required[0].mit, Some(rat(25, 1)));
     }
 }

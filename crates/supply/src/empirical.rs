@@ -157,7 +157,12 @@ impl SupplyCurve for EmpiricalSupply {
         let mut points = Vec::new();
         let mut base = Time::ZERO;
         while base <= horizon {
-            for &(t, _) in self.min_curve.points().iter().chain(self.max_curve.points()) {
+            for &(t, _) in self
+                .min_curve
+                .points()
+                .iter()
+                .chain(self.max_curve.points())
+            {
                 let x = base + t;
                 if x <= horizon {
                     points.push(x);
@@ -212,8 +217,16 @@ mod tests {
         assert!(err.contains("drift"));
         // Min above max rejected.
         let err = EmpiricalSupply::new(
-            vec![(rat(0, 1), rat(0, 1)), (rat(1, 1), rat(2, 1)), (rat(5, 1), rat(2, 1))],
-            vec![(rat(0, 1), rat(0, 1)), (rat(4, 1), rat(0, 1)), (rat(5, 1), rat(2, 1))],
+            vec![
+                (rat(0, 1), rat(0, 1)),
+                (rat(1, 1), rat(2, 1)),
+                (rat(5, 1), rat(2, 1)),
+            ],
+            vec![
+                (rat(0, 1), rat(0, 1)),
+                (rat(4, 1), rat(0, 1)),
+                (rat(5, 1), rat(2, 1)),
+            ],
             rat(5, 1),
             rat(2, 5),
         )

@@ -247,8 +247,14 @@ mod tests {
         assert_eq!(lin.burstiness(), rat(6, 1));
         for k in 0..=400 {
             let t = rat(k, 8);
-            assert!(lin.zmin(t) <= s.zmin(t), "linear zmin above staircase at {t}");
-            assert!(lin.zmax(t) >= s.zmax(t), "linear zmax below staircase at {t}");
+            assert!(
+                lin.zmin(t) <= s.zmin(t),
+                "linear zmin above staircase at {t}"
+            );
+            assert!(
+                lin.zmax(t) >= s.zmax(t),
+                "linear zmax below staircase at {t}"
+            );
         }
         // Tightness: the bounds touch the staircase.
         // zmin touches at the end of each plateau: t = d + P = 11.

@@ -2,28 +2,31 @@
 //! Definitions 1–5 must hold for every mechanism.
 
 use hsched_numeric::{rat, Rational, Time};
-use hsched_supply::{extract_linear_bounds, PeriodicServer, QuantizedFluid, SupplyCurve, TdmaSupply};
+use hsched_supply::{
+    extract_linear_bounds, PeriodicServer, QuantizedFluid, SupplyCurve, TdmaSupply,
+};
 use proptest::prelude::*;
 
 /// Random periodic servers with small rational parameters.
 fn server_strategy() -> impl Strategy<Value = PeriodicServer> {
-    (1i128..=40, 1i128..=4, 1i128..=40, 1i128..=4)
-        .prop_filter_map("Q ≤ P", |(qn, qd, pn, pd)| {
-            let q = rat(qn, qd);
-            let p = rat(pn, pd);
-            if q <= p {
-                PeriodicServer::new(q, p).ok()
-            } else {
-                None
-            }
-        })
+    (1i128..=40, 1i128..=4, 1i128..=40, 1i128..=4).prop_filter_map("Q ≤ P", |(qn, qd, pn, pd)| {
+        let q = rat(qn, qd);
+        let p = rat(pn, pd);
+        if q <= p {
+            PeriodicServer::new(q, p).ok()
+        } else {
+            None
+        }
+    })
 }
 
 /// Random TDMA partitions: a frame with 1–3 disjoint slots.
 fn tdma_strategy() -> impl Strategy<Value = TdmaSupply> {
-    (2i128..=30, proptest::collection::vec((0i128..100, 1i128..=30), 1..=3)).prop_filter_map(
-        "valid slots",
-        |(frame, raw)| {
+    (
+        2i128..=30,
+        proptest::collection::vec((0i128..100, 1i128..=30), 1..=3),
+    )
+        .prop_filter_map("valid slots", |(frame, raw)| {
             let frame = rat(frame, 1);
             // Lay the requested slots end to end with 1-unit gaps, scaled
             // into the frame.
@@ -42,8 +45,7 @@ fn tdma_strategy() -> impl Strategy<Value = TdmaSupply> {
                 return None;
             }
             TdmaSupply::new(frame, slots).ok()
-        },
-    )
+        })
 }
 
 fn sample_times(horizon: Time) -> Vec<Time> {

@@ -1,9 +1,7 @@
 //! The §2.4 transformation: components + bindings → transactions.
 
 use crate::model::{Task, Transaction, TransactionSet};
-use hsched_model::{
-    Action, InstanceId, System, ThreadActivation, ThreadSpec, ValidationError,
-};
+use hsched_model::{Action, InstanceId, System, ThreadActivation, ThreadSpec, ValidationError};
 use hsched_platform::PlatformSet;
 
 /// Errors of [`flatten`].
@@ -247,11 +245,7 @@ mod tests {
     fn paper_system_flattens_to_four_transactions() {
         let (system, platforms) = paper_system();
         let set = flatten(&system, &platforms, FlattenOptions::default()).unwrap();
-        let names: Vec<&str> = set
-            .transactions()
-            .iter()
-            .map(|t| t.name.as_str())
-            .collect();
+        let names: Vec<&str> = set.transactions().iter().map(|t| t.name.as_str()).collect();
         assert_eq!(
             names,
             [

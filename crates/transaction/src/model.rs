@@ -238,9 +238,10 @@ impl TransactionSet {
 
     /// Iterates every task reference in the system.
     pub fn task_refs(&self) -> impl Iterator<Item = TaskRef> + '_ {
-        self.transactions.iter().enumerate().flat_map(|(i, tx)| {
-            (0..tx.len()).map(move |j| TaskRef { tx: i, idx: j })
-        })
+        self.transactions
+            .iter()
+            .enumerate()
+            .flat_map(|(i, tx)| (0..tx.len()).map(move |j| TaskRef { tx: i, idx: j }))
     }
 
     /// Total number of tasks.

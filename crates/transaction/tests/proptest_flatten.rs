@@ -89,9 +89,8 @@ fn build(chain: &Chain) -> (hsched_model::System, PlatformSet, usize, usize) {
     let mut instances = Vec::new();
     let mut node = 0usize;
     for (lvl, &class) in classes.iter().enumerate().take(chain.depth) {
-        let p = platforms.add(
-            Platform::linear(format!("P{lvl}"), rat(1, 2), rat(0, 1), rat(0, 1)).unwrap(),
-        );
+        let p = platforms
+            .add(Platform::linear(format!("P{lvl}"), rat(1, 2), rat(0, 1), rat(0, 1)).unwrap());
         instances.push(builder.instantiate(format!("I{lvl}"), class, p, node));
         if chain.remote[lvl] {
             node += 1;

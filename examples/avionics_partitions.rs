@@ -118,8 +118,16 @@ fn main() {
     }
     println!(
         "\nverdicts: linear says {}, exact says {}",
-        if linear.schedulable() { "schedulable" } else { "NOT schedulable" },
-        if exact.schedulable() { "schedulable" } else { "NOT schedulable" },
+        if linear.schedulable() {
+            "schedulable"
+        } else {
+            "NOT schedulable"
+        },
+        if exact.schedulable() {
+            "schedulable"
+        } else {
+            "NOT schedulable"
+        },
     );
 
     // Simulate the real TDMA mechanism: both bounds must hold.

@@ -11,8 +11,8 @@
 //! Run with: `cargo run --example design_exploration`
 
 use hsched::design::{
-    max_delta, min_alpha, minimize_bandwidth, pareto_sweep, sensitivity_report,
-    synthesize_server, DesignConfig,
+    max_delta, min_alpha, minimize_bandwidth, pareto_sweep, sensitivity_report, synthesize_server,
+    DesignConfig,
 };
 use hsched::prelude::*;
 use hsched::transaction::paper_example;
@@ -33,7 +33,7 @@ fn main() {
             set.platforms()[id].name(),
             provisioned.to_string(),
             minimal.to_string(),
-            delta_room.to_string()
+            delta_room
         );
     }
 

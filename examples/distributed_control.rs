@@ -20,8 +20,10 @@ use hsched::prelude::*;
 fn main() {
     // ---- Platforms: three CPU reservations + one CAN share. ------------
     let mut platforms = PlatformSet::new();
-    let p_ctrl = platforms.add(Platform::linear("CtrlCPU", rat(1, 2), rat(1, 1), rat(0, 1)).unwrap());
-    let p_sense = platforms.add(Platform::linear("SenseCPU", rat(2, 5), rat(1, 1), rat(0, 1)).unwrap());
+    let p_ctrl =
+        platforms.add(Platform::linear("CtrlCPU", rat(1, 2), rat(1, 1), rat(0, 1)).unwrap());
+    let p_sense =
+        platforms.add(Platform::linear("SenseCPU", rat(2, 5), rat(1, 1), rat(0, 1)).unwrap());
     let p_act = platforms.add(Platform::linear("ActCPU", rat(2, 5), rat(1, 1), rat(0, 1)).unwrap());
     let p_can = platforms.add(Platform::network("CAN", rat(1, 2), rat(1, 1), rat(0, 1)).unwrap());
 
@@ -128,9 +130,8 @@ fn main() {
         "\nCAN share provisioned at α = {}, minimum schedulable α ≈ {} ({}% slack)",
         set.platforms()[p_can].alpha(),
         needed,
-        ((set.platforms()[p_can].alpha() - needed) / set.platforms()[p_can].alpha()
-            * rat(100, 1))
-        .to_f64()
-        .round()
+        ((set.platforms()[p_can].alpha() - needed) / set.platforms()[p_can].alpha() * rat(100, 1))
+            .to_f64()
+            .round()
     );
 }

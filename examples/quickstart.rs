@@ -45,7 +45,7 @@ fn main() {
                 j + 1,
                 bound.to_string(),
                 observed.to_string(),
-                (bound - observed).to_string()
+                bound - observed
             );
         }
     }

@@ -28,7 +28,10 @@ fn shared_network_system(msg_wcet: Rational) -> (TransactionSet, usize, usize) {
             "Loop",
             rat(40, 1),
             1,
-            vec![Action::call("query"), Action::task("use", rat(1, 1), rat(1, 2))],
+            vec![
+                Action::call("query"),
+                Action::task("use", rat(1, 1), rat(1, 2)),
+            ],
         ));
 
     let mut b = SystemBuilder::new();
@@ -134,7 +137,10 @@ fn server_cpu_contention_from_two_clients() {
     // Starve the server CPU: α = 0.05 cannot host two 1-cycle lookups plus
     // deadlines.
     let mut platforms = set.platforms().clone();
-    let (srv_id, srv) = platforms.by_name("SrvCpu").map(|(i, p)| (i, p.clone())).unwrap();
+    let (srv_id, srv) = platforms
+        .by_name("SrvCpu")
+        .map(|(i, p)| (i, p.clone()))
+        .unwrap();
     let starved = srv.with_model(hsched::platform::ServiceModel::Linear(
         hsched::supply::BoundedDelay::new(rat(1, 20), rat(0, 1), rat(0, 1)).unwrap(),
     ));

@@ -2,10 +2,10 @@
 //! Figure 5 structure, through both system construction paths (direct
 //! transaction construction and component flattening).
 
-use hsched::prelude::*;
 use hsched::analysis::{best_case_offsets, ServiceTimeMode};
 use hsched::model::{sensor_integration_class, sensor_reading_class};
 use hsched::platform::paper_platforms;
+use hsched::prelude::*;
 use hsched::transaction::paper_example;
 
 #[test]

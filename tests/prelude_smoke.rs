@@ -1,0 +1,90 @@
+//! Facade smoke test: `hsched::prelude::*` alone must expose enough surface
+//! to run the paper's worked example end-to-end — build/flatten via the
+//! re-exported model types, analyze, simulate, and round-trip a spec. This
+//! guards the `hsched` facade wiring itself (re-exports and prelude), not
+//! the inner crates, which have their own suites.
+
+use hsched::prelude::*;
+
+/// The §2.2/§4 worked example through analysis and the simulation oracle,
+/// using only names the prelude provides.
+#[test]
+fn prelude_runs_paper_example_end_to_end() {
+    let system = hsched::transaction::paper_example::transactions();
+
+    let report = analyze(&system);
+    assert!(report.schedulable(), "paper example must be schedulable");
+
+    let sim = simulate(&system, &SimConfig::worst_case(rat(5000, 1)));
+    for (i, tx) in system.transactions().iter().enumerate() {
+        for j in 0..tx.len() {
+            if let Some(observed) = sim.task_stats(i, j).max_response {
+                assert!(
+                    observed <= report.response(i, j),
+                    "observed response exceeds analytic bound at τ{},{}",
+                    i + 1,
+                    j + 1
+                );
+            }
+        }
+    }
+}
+
+/// A two-component client/worker system built purely from prelude names.
+fn tiny_system() -> (hsched::model::System, PlatformSet) {
+    let mut platforms = PlatformSet::new();
+    let cpu = platforms.add(Platform::linear("CPU", rat(1, 2), rat(1, 1), rat(0, 1)).unwrap());
+
+    let mut builder = SystemBuilder::new();
+    let worker = builder.add_class(
+        ComponentClass::new("Worker")
+            .provides(ProvidedMethod::new("work", rat(20, 1)))
+            .thread(ThreadSpec::realizes(
+                "R",
+                "work",
+                1,
+                vec![Action::task("step", rat(1, 1), rat(1, 2))],
+            )),
+    );
+    let client = builder.add_class(
+        ComponentClass::new("Client")
+            .requires(RequiredMethod::derived("next"))
+            .thread(ThreadSpec::periodic(
+                "P",
+                rat(20, 1),
+                2,
+                vec![Action::call("next")],
+            )),
+    );
+    let worker_inst = builder.instantiate("W", worker, cpu, 0);
+    let client_inst = builder.instantiate("C", client, cpu, 0);
+    builder.bind(client_inst, "next", worker_inst, "work");
+    (builder.build(), platforms)
+}
+
+/// A system built from scratch through the prelude's model/platform/
+/// transaction re-exports, flattened and analyzed with the explicit-config
+/// entry point.
+#[test]
+fn prelude_builds_flattens_and_analyzes_from_scratch() {
+    let (system, platforms) = tiny_system();
+    assert!(system.validate().is_ok());
+
+    let set = flatten(&system, &platforms, FlattenOptions::default()).unwrap();
+    assert_eq!(set.transactions().len(), 1);
+
+    let report = analyze_with(&set, &AnalysisConfig::default()).unwrap();
+    assert!(report.schedulable(), "tiny system must be schedulable");
+}
+
+/// The spec-language entry points re-exported by the prelude round-trip the
+/// tiny system through printed `.hsc` source.
+#[test]
+fn prelude_spec_entry_points_round_trip() {
+    let (system, platforms) = tiny_system();
+    let source = hsched::spec::to_source(&system, &platforms);
+    let (reparsed, reparsed_platforms) = parse_str(&source).expect("printer output reparses");
+    assert_eq!(system, reparsed);
+    assert_eq!(platforms, reparsed_platforms);
+    assert!(parse_and_validate(&source).is_ok());
+}

@@ -43,7 +43,10 @@ fn analysis_bounds_simulation_on_random_systems() {
             }
         }
     }
-    assert!(exercised >= 3, "generator produced too few schedulable sets");
+    assert!(
+        exercised >= 3,
+        "generator produced too few schedulable sets"
+    );
 }
 
 #[test]
@@ -73,11 +76,11 @@ fn exact_curve_refines_linear_on_server_platforms() {
         let set = workload(seed);
         let mut realized = PlatformSet::new();
         for (_, p) in set.platforms().iter() {
-            let model = match PeriodicServer::from_linear_params(p.alpha(), p.delta().max(rat(1, 1)))
-            {
-                Some(server) => ServiceModel::Server(server),
-                None => ServiceModel::Linear(p.linear_model()),
-            };
+            let model =
+                match PeriodicServer::from_linear_params(p.alpha(), p.delta().max(rat(1, 1))) {
+                    Some(server) => ServiceModel::Server(server),
+                    None => ServiceModel::Linear(p.linear_model()),
+                };
             realized.add(Platform::new(p.name(), p.kind(), model));
         }
         let set = set.with_platforms(realized).unwrap();

@@ -1,0 +1,516 @@
+//! Offline API-subset stub of the `proptest` crate.
+//!
+//! Implements the call-site surface this workspace uses — the `proptest!`
+//! macro, `prop_assert!`/`prop_assert_eq!`/`prop_assume!`, integer-range,
+//! tuple and `collection::vec` strategies, and the `prop_map` /
+//! `prop_flat_map` / `prop_filter_map` combinators — over a deterministic
+//! SplitMix64 generator seeded from the test name.
+//!
+//! Differences from real proptest, by design:
+//! - **No shrinking.** A failing case reports its case index and the
+//!   deterministic per-test seed; reruns reproduce it exactly.
+//! - `prop_assert*` panics immediately instead of threading a `Result`.
+//!
+//! Call sites stay byte-for-byte compatible with proptest 1.x, so the real
+//! crate can be swapped in via the root manifest. See `vendor/README.md`.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic generator driving every strategy (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn from_seed(state: u64) -> Self {
+        TestRng { state }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn next_u128(&mut self) -> u128 {
+        (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64())
+    }
+
+    /// Uniform draw from `[0, bound)`; `bound` must be nonzero.
+    fn below(&mut self, bound: u128) -> u128 {
+        self.next_u128() % bound
+    }
+}
+
+/// How many values a filtering strategy may reject before the run aborts.
+const MAX_FILTER_RETRIES: u32 = 10_000;
+
+/// A source of random values of one type.
+///
+/// The real trait produces shrinkable value *trees*; this stub produces the
+/// values directly and performs no shrinking.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, fun: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, fun }
+    }
+
+    fn prop_flat_map<S, F>(self, fun: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, fun }
+    }
+
+    fn prop_filter_map<O, F>(self, whence: &'static str, fun: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<O>,
+    {
+        FilterMap {
+            inner: self,
+            whence,
+            fun,
+        }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    fun: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.fun)(self.inner.generate(rng))
+    }
+}
+
+/// Output of [`Strategy::prop_flat_map`].
+#[derive(Clone, Debug)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    fun: F,
+}
+
+impl<S, T, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.fun)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_filter_map`].
+#[derive(Clone, Debug)]
+pub struct FilterMap<S, F> {
+    inner: S,
+    whence: &'static str,
+    fun: F,
+}
+
+impl<S, O, F> Strategy for FilterMap<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Option<O>,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        for _ in 0..MAX_FILTER_RETRIES {
+            if let Some(v) = (self.fun)(self.inner.generate(rng)) {
+                return v;
+            }
+        }
+        panic!("proptest stub: prop_filter_map({:?}) rejected {MAX_FILTER_RETRIES} candidates in a row", self.whence);
+    }
+}
+
+/// Integer-range strategies (`lo..hi`, `lo..=hi`).
+trait UniformInt: Copy {
+    fn sample_inclusive(rng: &mut TestRng, lo: Self, hi: Self) -> Self;
+    fn dec(self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty => $u:ty),* $(,)?) => {$(
+        impl UniformInt for $t {
+            fn sample_inclusive(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+                // Interval width as same-size unsigned; wraps to 0 only for
+                // the full domain, where any raw draw is valid.
+                let span = (hi.wrapping_sub(lo) as $u as u128).wrapping_add(1);
+                if span == 0 {
+                    return rng.next_u128() as $t;
+                }
+                lo.wrapping_add(rng.below(span) as $u as $t)
+            }
+
+            fn dec(self) -> Self {
+                self.wrapping_sub(1)
+            }
+        }
+    )*};
+}
+
+impl_uniform_int! {
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, i128 => u128, isize => usize,
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, u128 => u128, usize => usize,
+}
+
+impl<T: UniformInt + PartialOrd> Strategy for Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(self.start < self.end, "proptest stub: empty range strategy");
+        T::sample_inclusive(rng, self.start, self.end.dec())
+    }
+}
+
+impl<T: UniformInt + PartialOrd> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "proptest stub: empty range strategy");
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+/// `any::<T>()` — the canonical strategy for the whole domain of `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+#[derive(Clone, Copy, Debug)]
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+pub trait Arbitrary {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u128() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, u128, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7)
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Element-count bounds for [`vec`]: an exact count or a (half-)open
+    /// range, mirroring proptest's `SizeRange` conversions.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "proptest stub: empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "proptest stub: empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<T>` with element counts drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = (self.size.lo..=self.size.hi).generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Per-block runner configuration (`#![proptest_config(...)]`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of *accepted* (non-`prop_assume`-rejected) cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Marker returned (via `Err`) by `prop_assume!` to skip the current case.
+#[derive(Clone, Copy, Debug)]
+pub struct TestCaseSkip;
+
+/// FNV-1a, used to derive a stable per-test seed from the test's name.
+fn fnv1a(name: &str) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Prints reproduction info when a case panics, without requiring `Debug`
+/// on the generated values.
+struct FailureReporter<'a> {
+    name: &'a str,
+    case: u32,
+    seed: u64,
+}
+
+impl Drop for FailureReporter<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "proptest stub: '{}' failed at case {} (deterministic seed {:#018x}; reruns reproduce it — no shrinking)",
+                self.name, self.case, self.seed
+            );
+        }
+    }
+}
+
+/// Drives one `proptest!`-generated test: runs `config.cases` accepted cases
+/// against a name-seeded deterministic generator.
+pub fn run_proptest<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseSkip>,
+{
+    let seed = fnv1a(name);
+    let mut rng = TestRng::from_seed(seed);
+    let mut accepted = 0u32;
+    let mut skipped = 0u32;
+    let mut case_idx = 0u32;
+    while accepted < config.cases {
+        let reporter = FailureReporter {
+            name,
+            case: case_idx,
+            seed,
+        };
+        let outcome = case(&mut rng);
+        drop(reporter);
+        match outcome {
+            Ok(()) => accepted += 1,
+            Err(TestCaseSkip) => {
+                skipped += 1;
+                assert!(
+                    skipped <= config.cases.saturating_mul(20).max(1000),
+                    "proptest stub: '{name}' rejected {skipped} cases via prop_assume — strategy too narrow"
+                );
+            }
+        }
+        case_idx += 1;
+    }
+}
+
+/// The `proptest!` block macro: an optional `#![proptest_config(...)]`
+/// followed by `#[test] fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr) $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block)*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            $crate::run_proptest(&config, stringify!($name), |rng| {
+                $(let $arg = $crate::Strategy::generate(&$strategy, rng);)+
+                $body
+                Ok(())
+            });
+        }
+    )*};
+}
+
+/// Boolean property assertion; panics with the optional formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Equality property assertion; panics with the optional formatted message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Skips the current case (without failing) when the precondition is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseSkip);
+        }
+    };
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, proptest, Arbitrary, ProptestConfig,
+        Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+
+    #[test]
+    fn ranges_tuples_and_vec_stay_in_bounds() {
+        let mut rng = TestRng::from_seed(1);
+        let strategy = (
+            1i128..=10,
+            0usize..3,
+            super::collection::vec(0u32..5, 2..=4),
+        );
+        for _ in 0..500 {
+            let (a, b, v) = Strategy::generate(&strategy, &mut rng);
+            assert!((1..=10).contains(&a));
+            assert!(b < 3);
+            assert!((2..=4).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn filter_map_and_flat_map_compose() {
+        let mut rng = TestRng::from_seed(2);
+        let even = (0i64..100).prop_filter_map("even", |x| (x % 2 == 0).then_some(x));
+        let pair = (1usize..=3).prop_flat_map(|n| super::collection::vec(0i32..10, n));
+        for _ in 0..200 {
+            assert_eq!(Strategy::generate(&even, &mut rng) % 2, 0);
+            let v = Strategy::generate(&pair, &mut rng);
+            assert!((1..=3).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_end_to_end(a in 0i64..50, flag in any::<bool>()) {
+            prop_assume!(a != 13);
+            prop_assert!(a < 50, "a out of range: {a}");
+            let doubled = if flag { a * 2 } else { a };
+            prop_assert_eq!(doubled % 2 == 0 || !flag, true, "doubling parity broke");
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Offline API-subset stub of the `rand` crate.
+//!
+//! Implements exactly the surface this workspace uses — deterministic
+//! `StdRng::seed_from_u64` plus `Rng::gen_range` over integer ranges — with
+//! the same call-site syntax as rand 0.8, so swapping in the real crate is a
+//! one-line manifest change. See `vendor/README.md` for the policy.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core entropy source: everything derives from `next_u64`.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing sampling helpers, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from an integer range (`lo..hi` or `lo..=hi`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seeding. The real trait requires `type Seed`/`from_seed`; this workspace
+/// only ever seeds from a `u64`, so only that entry point exists.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic SplitMix64 generator standing in for rand's `StdRng`.
+    ///
+    /// Not cryptographic — but the workspace uses `StdRng` only for
+    /// reproducible workload generation and simulator jitter, where the
+    /// requirements are determinism and reasonable equidistribution.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            StdRng { state }
+        }
+    }
+}
+
+/// Types that can be sampled uniformly from a closed interval.
+pub trait SampleUniform: Copy + PartialOrd {
+    fn sample_inclusive<G: RngCore + ?Sized>(rng: &mut G, lo: Self, hi: Self) -> Self;
+
+    /// Predecessor (turns an exclusive upper bound inclusive).
+    fn prev(self) -> Self;
+}
+
+/// Range shapes accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample_single<G: RngCore + ?Sized>(self, rng: &mut G) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<G: RngCore + ?Sized>(self, rng: &mut G) -> T {
+        assert!(self.start < self.end, "gen_range called with empty range");
+        T::sample_inclusive(rng, self.start, self.end.prev())
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<G: RngCore + ?Sized>(self, rng: &mut G) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range called with empty range");
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+fn draw_u128<G: RngCore + ?Sized>(rng: &mut G) -> u128 {
+    (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty => $u:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive<G: RngCore + ?Sized>(rng: &mut G, lo: Self, hi: Self) -> Self {
+                // Width of [lo, hi] as an unsigned value of the same size;
+                // wraps to 0 exactly when the interval covers the whole
+                // domain, in which case any raw draw is a valid sample.
+                let span = (hi.wrapping_sub(lo) as $u as u128).wrapping_add(1);
+                if span == 0 {
+                    return draw_u128(rng) as $t;
+                }
+                // Plain modulo reduction: the bias is ≤ span/2^128, far below
+                // anything observable at the workspace's sample counts.
+                let offset = draw_u128(rng) % span;
+                lo.wrapping_add(offset as $u as $t)
+            }
+
+            fn prev(self) -> Self {
+                self.wrapping_sub(1)
+            }
+        }
+    )*};
+}
+
+impl_uniform_int! {
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, i128 => u128, isize => usize,
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, u128 => u128, usize => usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let x: i128 = a.gen_range(-5i128..=9);
+            assert!((-5..=9).contains(&x));
+            assert_eq!(x, b.gen_range(-5i128..=9));
+        }
+    }
+
+    #[test]
+    fn exclusive_range_excludes_end() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: usize = rng.gen_range(0..3);
+            assert!(x < 3);
+        }
+    }
+
+    #[test]
+    fn covers_full_span() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 10];
+        for _ in 0..500 {
+            seen[rng.gen_range(0usize..10)] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "10-value range not covered in 500 draws"
+        );
+    }
+}
