@@ -1,0 +1,644 @@
+//! The long-lived admission engine: batched request application,
+//! dirty-island re-analysis, warm-started fixpoints, transactional rollback.
+
+use crate::dirty::Islands;
+use crate::request::{AdmissionRequest, EpochOutcome, RejectReason, Verdict};
+use hsched_analysis::{
+    analyze_resumed, parallel_map, AnalysisConfig, SchedulabilityReport, TaskResult,
+    TransactionVerdict, WarmStart,
+};
+use hsched_model::{ComponentInstance, NodeId, System, SystemBuilder};
+use hsched_numeric::{Rational, Time};
+use hsched_platform::{Platform, PlatformId, PlatformSet, ServiceModel};
+use hsched_supply::BoundedDelay;
+use hsched_transaction::{flatten_annotated, FlattenOptions, TransactionSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Tuning knobs of the controller. The defaults enable every optimization;
+/// benchmarks and the equivalence tests switch individual layers off to
+/// measure and validate them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdmissionPolicy {
+    /// Re-analyze only the interference islands a batch touches. Off =
+    /// every commit re-analyzes the full system (the from-scratch baseline).
+    pub dirty_tracking: bool,
+    /// Resume the holistic fixpoint from the previous epoch's converged
+    /// jitters when the batch is purely additive (exact; see
+    /// [`WarmStart`]).
+    pub warm_start: bool,
+    /// Reject on the necessary condition `U_k ≤ α_k` before running any
+    /// fixpoint (uses checked arithmetic, so hostile magnitudes reject
+    /// instead of panicking).
+    pub utilization_precheck: bool,
+    /// Worker threads for analyzing independent dirty islands in parallel
+    /// (`0` = all cores, `1` = sequential). Within an island the analysis
+    /// itself runs single-threaded; islands are the parallel grain.
+    pub island_threads: usize,
+    /// When flattening an [`AdmissionRequest::AddInstance`], also generate
+    /// sporadic transactions for unbound provided methods (the external
+    /// service surface), mirroring `FlattenOptions::external_stimuli`.
+    pub external_stimuli: bool,
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> AdmissionPolicy {
+        AdmissionPolicy {
+            dirty_tracking: true,
+            warm_start: true,
+            utilization_precheck: true,
+            island_threads: 0,
+            external_stimuli: true,
+        }
+    }
+}
+
+/// Counters accumulated over the controller's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ControllerStats {
+    /// Commits processed (admitted + rejected).
+    pub epochs: u64,
+    /// Batches admitted.
+    pub admitted: u64,
+    /// Batches rejected.
+    pub rejected: u64,
+    /// Transactions re-analyzed across all epochs.
+    pub transactions_analyzed: u64,
+    /// Transactions whose cached results were reused (the incremental win).
+    pub analyses_avoided: u64,
+    /// Epochs in which at least one island warm-started.
+    pub warm_epochs: u64,
+}
+
+/// Cached per-transaction analysis outcome, index-aligned with the set.
+#[derive(Debug, Clone, PartialEq)]
+struct TxOutcome {
+    tasks: Vec<TaskResult>,
+    verdict: TransactionVerdict,
+    converged: bool,
+    bounded: bool,
+}
+
+/// Book-keeping carried alongside each live transaction.
+#[derive(Debug, Clone, PartialEq)]
+struct Entry {
+    /// The component instance that spawned this transaction (instance-level
+    /// requests), or `None` for bare transaction-level arrivals.
+    origin: Option<String>,
+    /// Analysis outcome; always `Some` between commits.
+    outcome: Option<TxOutcome>,
+}
+
+/// A long-lived, stateful online admission engine.
+///
+/// The controller owns the live [`TransactionSet`] (and a component-level
+/// [`System`] mirror for instance requests). Each [`commit`] applies a batch
+/// of [`AdmissionRequest`]s, re-analyzes exactly the interference islands
+/// the batch touches (warm-starting purely additive batches from the
+/// previous fixpoint), and either admits the batch or rolls the state back
+/// byte-identically.
+///
+/// See the crate docs for the full lifecycle.
+///
+/// [`commit`]: AdmissionController::commit
+#[derive(Debug, Clone)]
+pub struct AdmissionController {
+    set: TransactionSet,
+    system: System,
+    config: AnalysisConfig,
+    policy: AdmissionPolicy,
+    entries: Vec<Entry>,
+    epoch: u64,
+    stats: ControllerStats,
+}
+
+impl AdmissionController {
+    /// Starts a controller over an already-flattened transaction set,
+    /// running one full analysis to seed the cache. The initial system may
+    /// be unschedulable — the controller reports it faithfully, and only
+    /// batches whose *post-state* is schedulable are admitted.
+    pub fn new(
+        set: TransactionSet,
+        config: AnalysisConfig,
+        policy: AdmissionPolicy,
+    ) -> Result<AdmissionController, String> {
+        let mut controller = AdmissionController {
+            entries: set
+                .transactions()
+                .iter()
+                .map(|_| Entry {
+                    origin: None,
+                    outcome: None,
+                })
+                .collect(),
+            set,
+            system: System::default(),
+            config,
+            policy,
+            epoch: 0,
+            stats: ControllerStats::default(),
+        };
+        // Seed per island, not as one big group: `absorb` stores the
+        // report's converged/diverged flags into every member entry, so a
+        // whole-system seed would poison clean islands with another
+        // island's divergence (wedging later commits that heal it).
+        let all_platforms: Vec<PlatformId> = (0..controller.set.platforms().len())
+            .map(PlatformId)
+            .collect();
+        let mut islands = Islands::of(&controller.set);
+        let groups = islands.dirty_groups(&controller.set, &all_platforms);
+        let inputs: Vec<GroupInput> = groups
+            .iter()
+            .map(|group| controller.group_input(group, false))
+            .collect();
+        let results = parallel_map(&inputs, controller.policy.island_threads, |input| {
+            controller.guarded_analyze(input)
+        });
+        for (input, result) in inputs.iter().zip(results) {
+            let report = result.map_err(|r| format!("initial analysis failed: {r}"))?;
+            controller.absorb(&input.indices, &report);
+        }
+        Ok(controller)
+    }
+
+    /// Starts a controller from a component system, flattening it and
+    /// remembering which instance originated each transaction (so those
+    /// instances can later depart via
+    /// [`AdmissionRequest::RemoveInstance`]).
+    pub fn from_system(
+        system: System,
+        platforms: PlatformSet,
+        config: AnalysisConfig,
+        policy: AdmissionPolicy,
+    ) -> Result<AdmissionController, String> {
+        let options = FlattenOptions {
+            external_stimuli: policy.external_stimuli,
+        };
+        let (set, origins) =
+            flatten_annotated(&system, &platforms, options).map_err(|e| e.to_string())?;
+        let mut controller = AdmissionController::new(set, config, policy)?;
+        for (entry, origin) in controller.entries.iter_mut().zip(origins) {
+            entry.origin = Some(system.instances[origin.0].name.clone());
+        }
+        controller.system = system;
+        Ok(controller)
+    }
+
+    /// The live transaction set.
+    pub fn current_set(&self) -> &TransactionSet {
+        &self.set
+    }
+
+    /// The component-level mirror (instances added/removed via requests).
+    pub fn system(&self) -> &System {
+        &self.system
+    }
+
+    /// Epochs committed so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> ControllerStats {
+        self.stats
+    }
+
+    /// `true` when every live transaction meets its deadline under the
+    /// cached converged analysis.
+    pub fn schedulable(&self) -> bool {
+        self.entries.iter().all(|e| {
+            e.outcome
+                .as_ref()
+                .is_some_and(|o| o.verdict.schedulable && o.converged && o.bounded)
+        })
+    }
+
+    /// Assembles the current cached state into a full
+    /// [`SchedulabilityReport`]. The report's iteration trace is empty (the
+    /// numbers come from per-island analyses at different epochs).
+    ///
+    /// Whenever the live state is schedulable — which every admitted epoch
+    /// guarantees — the per-task responses, jitters and verdicts are
+    /// exactly those a from-scratch [`hsched_analysis::analyze_with`] of
+    /// [`Self::current_set`] would produce (the property tests enforce
+    /// this). If the controller was *seeded* with a system containing a
+    /// divergent island, verdicts stay island-local and therefore finer
+    /// than the offline analysis, whose global iteration bails out at the
+    /// first divergence and marks even unaffected transactions
+    /// unschedulable; the report-level `converged`/`diverged` flags agree
+    /// in both views.
+    pub fn report(&self) -> SchedulabilityReport {
+        let mut tasks = Vec::with_capacity(self.entries.len());
+        let mut verdicts = Vec::with_capacity(self.entries.len());
+        let mut converged = true;
+        let mut diverged = false;
+        for entry in &self.entries {
+            let outcome = entry.outcome.as_ref().expect("outcome cached at rest");
+            tasks.push(outcome.tasks.clone());
+            verdicts.push(outcome.verdict.clone());
+            converged &= outcome.converged;
+            diverged |= !outcome.bounded;
+        }
+        SchedulabilityReport {
+            tasks,
+            verdicts,
+            trace: Vec::new(),
+            converged,
+            diverged,
+        }
+    }
+
+    /// Submits a single request as its own epoch.
+    pub fn admit(&mut self, request: AdmissionRequest) -> EpochOutcome {
+        self.commit(std::slice::from_ref(&request))
+    }
+
+    /// Applies a batch of requests as one epoch: all requests are applied,
+    /// the affected interference islands are re-analyzed (in parallel, warm
+    /// where exact), and the batch is admitted iff the post-change system
+    /// is schedulable. On any rejection the controller's state is restored
+    /// byte-identically.
+    pub fn commit(&mut self, batch: &[AdmissionRequest]) -> EpochOutcome {
+        self.epoch += 1;
+        self.stats.epochs += 1;
+        let snapshot = (self.set.clone(), self.system.clone(), self.entries.clone());
+        let additive = batch.iter().all(AdmissionRequest::is_additive);
+
+        let mut seeds: Vec<PlatformId> = Vec::new();
+        for request in batch {
+            if let Err(message) = self.apply(request, &mut seeds) {
+                return self.reject(snapshot, batch, RejectReason::Structural(message));
+            }
+        }
+
+        if self.policy.utilization_precheck {
+            match self.checked_overload() {
+                Ok(overloaded) if !overloaded.is_empty() => {
+                    return self.reject(
+                        snapshot,
+                        batch,
+                        RejectReason::Overload {
+                            platforms: overloaded,
+                        },
+                    );
+                }
+                Err(message) => {
+                    return self.reject(snapshot, batch, RejectReason::Numeric(message));
+                }
+                Ok(_) => {}
+            }
+        }
+
+        let groups: Vec<Vec<usize>> = if self.policy.dirty_tracking {
+            Islands::of(&self.set).dirty_groups(&self.set, &seeds)
+        } else if self.set.transactions().is_empty() {
+            Vec::new()
+        } else {
+            vec![(0..self.set.transactions().len()).collect()]
+        };
+        let analyzed: usize = groups.iter().map(Vec::len).sum();
+        let total = self.set.transactions().len();
+        let islands = groups.len();
+
+        let inputs: Vec<GroupInput> = groups
+            .iter()
+            .map(|group| self.group_input(group, additive && self.policy.warm_start))
+            .collect();
+        let warm_started = inputs.iter().any(|input| input.warm.is_some());
+        let results: Vec<Result<SchedulabilityReport, RejectReason>> =
+            parallel_map(&inputs, self.policy.island_threads, |input| {
+                self.guarded_analyze(input)
+            });
+
+        for (input, result) in inputs.iter().zip(results) {
+            match result {
+                Ok(report) => self.absorb(&input.indices, &report),
+                Err(reason) => return self.reject(snapshot, batch, reason),
+            }
+        }
+
+        self.stats.transactions_analyzed += analyzed as u64;
+        self.stats.analyses_avoided += (total - analyzed) as u64;
+        if warm_started {
+            self.stats.warm_epochs += 1;
+        }
+
+        let misses: Vec<String> = self
+            .entries
+            .iter()
+            .filter_map(|e| {
+                let o = e.outcome.as_ref().expect("outcome cached after absorb");
+                (!(o.verdict.schedulable && o.converged && o.bounded))
+                    .then(|| o.verdict.name.clone())
+            })
+            .collect();
+        if !misses.is_empty() {
+            let mut outcome = self.reject(snapshot, batch, RejectReason::Unschedulable { misses });
+            // The fixpoints did run before the verdict turned the batch away;
+            // report the work (and the post-application population it ran
+            // over) even though the state was rolled back.
+            outcome.analyzed_transactions = analyzed;
+            outcome.total_transactions = total;
+            outcome.islands = islands;
+            outcome.warm_started = warm_started;
+            return outcome;
+        }
+
+        self.stats.admitted += 1;
+        EpochOutcome {
+            epoch: self.epoch,
+            verdict: Verdict::Admitted,
+            requests: batch.len(),
+            analyzed_transactions: analyzed,
+            total_transactions: total,
+            islands,
+            warm_started,
+        }
+    }
+
+    /// Applies one request to the live state, recording the platforms whose
+    /// islands become dirty. Errors leave partially applied state behind —
+    /// the caller rolls back from its snapshot.
+    fn apply(
+        &mut self,
+        request: &AdmissionRequest,
+        seeds: &mut Vec<PlatformId>,
+    ) -> Result<(), String> {
+        match request {
+            AdmissionRequest::AddTransaction(tx) => {
+                if self.set.transaction_index(&tx.name).is_some() {
+                    return Err(format!("transaction `{}` already live", tx.name));
+                }
+                seeds.extend(tx.tasks().iter().map(|t| t.platform));
+                self.set.push_transaction(tx.clone())?;
+                self.entries.push(Entry {
+                    origin: None,
+                    outcome: None,
+                });
+                Ok(())
+            }
+            AdmissionRequest::RemoveTransaction { name } => {
+                let index = self
+                    .set
+                    .transaction_index(name)
+                    .ok_or_else(|| format!("no transaction named `{name}`"))?;
+                if let Some(instance) = &self.entries[index].origin {
+                    return Err(format!(
+                        "transaction `{name}` belongs to instance `{instance}`; remove the instance"
+                    ));
+                }
+                let removed = self.set.remove_transaction(index)?;
+                seeds.extend(removed.tasks().iter().map(|t| t.platform));
+                self.entries.remove(index);
+                Ok(())
+            }
+            AdmissionRequest::Retune {
+                platform,
+                alpha,
+                delta,
+                beta,
+            } => {
+                let current = self
+                    .set
+                    .platforms()
+                    .get(*platform)
+                    .ok_or_else(|| format!("platform {platform} out of range"))?;
+                let model = BoundedDelay::new(*alpha, *delta, *beta)?;
+                let retuned = Platform::new(
+                    current.name().to_string(),
+                    current.kind(),
+                    ServiceModel::Linear(model),
+                );
+                self.set.replace_platform(*platform, retuned)?;
+                seeds.push(*platform);
+                Ok(())
+            }
+            AdmissionRequest::AddInstance {
+                name,
+                class,
+                platform,
+                node,
+            } => {
+                if self.system.instance_by_name(name).is_some() {
+                    return Err(format!("instance `{name}` already live"));
+                }
+                if !class.required.is_empty() {
+                    return Err(format!(
+                        "class `{}` has required methods; only self-contained classes \
+                         can be admitted as single instances",
+                        class.name
+                    ));
+                }
+                if self.set.platforms().get(*platform).is_none() {
+                    return Err(format!("platform {platform} out of range"));
+                }
+                let mut builder = SystemBuilder::new();
+                let class_idx = builder.add_class(class.clone());
+                builder.instantiate(name.clone(), class_idx, *platform, *node);
+                let staged = builder.build();
+                let options = FlattenOptions {
+                    external_stimuli: self.policy.external_stimuli,
+                };
+                let (subset, _) = flatten_annotated(&staged, self.set.platforms(), options)
+                    .map_err(|e| e.to_string())?;
+                for tx in subset.transactions() {
+                    if self.set.transaction_index(&tx.name).is_some() {
+                        return Err(format!("transaction `{}` already live", tx.name));
+                    }
+                }
+                for tx in subset.transactions() {
+                    seeds.extend(tx.tasks().iter().map(|t| t.platform));
+                    self.set.push_transaction(tx.clone())?;
+                    self.entries.push(Entry {
+                        origin: Some(name.clone()),
+                        outcome: None,
+                    });
+                }
+                // Reuse a structurally identical class so instance churn
+                // (add/remove/add …) does not grow the class list without
+                // bound in a long-lived controller.
+                let class_idx = self
+                    .system
+                    .classes
+                    .iter()
+                    .position(|existing| existing == class)
+                    .unwrap_or_else(|| {
+                        self.system.classes.push(class.clone());
+                        self.system.classes.len() - 1
+                    });
+                self.system.instances.push(ComponentInstance {
+                    name: name.clone(),
+                    class: class_idx,
+                    platform: *platform,
+                    node: NodeId(*node),
+                });
+                Ok(())
+            }
+            AdmissionRequest::RemoveInstance { name } => {
+                self.system.remove_instance_by_name(name)?;
+                let mut index = 0;
+                while index < self.entries.len() {
+                    if self.entries[index].origin.as_deref() == Some(name.as_str()) {
+                        let removed = self.set.remove_transaction(index)?;
+                        seeds.extend(removed.tasks().iter().map(|t| t.platform));
+                        self.entries.remove(index);
+                    } else {
+                        index += 1;
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Necessary-condition check `U_k ≤ α_k` with fallible arithmetic:
+    /// hostile magnitudes surface as an `Err` (→ numeric rejection) instead
+    /// of a panic.
+    fn checked_overload(&self) -> Result<Vec<String>, String> {
+        let platforms = self.set.platforms();
+        let mut utilization = vec![Rational::ZERO; platforms.len()];
+        for tx in self.set.transactions() {
+            for task in tx.tasks() {
+                let u = task.wcet.try_div(tx.period).map_err(|e| e.to_string())?;
+                let k = task.platform.0;
+                utilization[k] = utilization[k].try_add(u).map_err(|e| e.to_string())?;
+            }
+        }
+        Ok(utilization
+            .iter()
+            .enumerate()
+            .filter(|(k, &u)| u > platforms[PlatformId(*k)].alpha())
+            .map(|(k, _)| platforms[PlatformId(k)].name().to_string())
+            .collect())
+    }
+
+    /// Builds the island sub-problem: the member transactions over the full
+    /// platform set, plus a warm-start seed when every retained member's
+    /// cached fixpoint converged (new members seed at zero, which is the
+    /// cold value — mixing is still exact, see [`WarmStart`]).
+    fn group_input(&self, indices: &[usize], warm: bool) -> GroupInput {
+        let transactions = indices
+            .iter()
+            .map(|&i| self.set.transactions()[i].clone())
+            .collect();
+        let sub = TransactionSet::new(self.set.platforms().clone(), transactions)
+            .expect("island members reference live platforms");
+        let warm = if warm {
+            let all_converged = indices.iter().all(|&i| match &self.entries[i].outcome {
+                Some(outcome) => outcome.converged && outcome.bounded,
+                None => true, // new arrival: cold coordinate
+            });
+            all_converged.then(|| WarmStart {
+                jitters: indices
+                    .iter()
+                    .map(|&i| match &self.entries[i].outcome {
+                        Some(outcome) => outcome.tasks.iter().map(|t| t.jitter).collect(),
+                        None => vec![Time::ZERO; self.set.transactions()[i].len()],
+                    })
+                    .collect(),
+            })
+        } else {
+            None
+        };
+        GroupInput {
+            indices: indices.to_vec(),
+            set: sub,
+            warm,
+        }
+    }
+
+    /// Runs one island's analysis, converting panics (exact-arithmetic
+    /// overflow on hostile workloads) and analysis errors into rejection
+    /// reasons. Islands run single-threaded internally; `commit`
+    /// parallelizes across islands.
+    fn guarded_analyze(&self, input: &GroupInput) -> Result<SchedulabilityReport, RejectReason> {
+        let config = AnalysisConfig {
+            threads: 1,
+            ..self.config.clone()
+        };
+        install_quiet_panic_hook();
+        SUPPRESS_PANIC_OUTPUT.set(true);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            analyze_resumed(&input.set, &config, input.warm.as_ref())
+        }));
+        SUPPRESS_PANIC_OUTPUT.set(false);
+        match outcome {
+            Ok(Ok(report)) => Ok(report),
+            Ok(Err(error)) => Err(RejectReason::Analysis(error.to_string())),
+            Err(payload) => Err(RejectReason::Numeric(panic_message(payload.as_ref()))),
+        }
+    }
+
+    /// Writes an island report back into the per-transaction cache.
+    fn absorb(&mut self, indices: &[usize], report: &SchedulabilityReport) {
+        for (pos, &index) in indices.iter().enumerate() {
+            self.entries[index].outcome = Some(TxOutcome {
+                tasks: report.tasks[pos].clone(),
+                verdict: report.verdicts[pos].clone(),
+                converged: report.converged,
+                bounded: !report.diverged,
+            });
+        }
+    }
+
+    fn reject(
+        &mut self,
+        snapshot: (TransactionSet, System, Vec<Entry>),
+        batch: &[AdmissionRequest],
+        reason: RejectReason,
+    ) -> EpochOutcome {
+        let total = snapshot.0.transactions().len();
+        (self.set, self.system, self.entries) = snapshot;
+        self.stats.rejected += 1;
+        EpochOutcome {
+            epoch: self.epoch,
+            verdict: Verdict::Rejected(reason),
+            requests: batch.len(),
+            analyzed_transactions: 0,
+            total_transactions: total,
+            islands: 0,
+            warm_started: false,
+        }
+    }
+}
+
+/// One island's analysis job, prepared under `&self` so islands can run in
+/// parallel worker threads.
+struct GroupInput {
+    indices: Vec<usize>,
+    set: TransactionSet,
+    warm: Option<WarmStart>,
+}
+
+thread_local! {
+    /// Set while this thread's panic is expected and will be converted to a
+    /// rejection — the hook below then swallows the default stderr report.
+    static SUPPRESS_PANIC_OUTPUT: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Installs (once, process-wide) a panic hook that forwards to the previous
+/// hook except for panics the admission engine is about to catch and turn
+/// into [`RejectReason::Numeric`] — a long-lived controller must not spray
+/// a backtrace to stderr for every hostile request it gracefully rejects.
+fn install_quiet_panic_hook() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !SUPPRESS_PANIC_OUTPUT.get() {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "analysis panicked".to_string()
+    }
+}

@@ -1,0 +1,151 @@
+//! Interference islands: the dependency structure that makes admission
+//! analysis incremental.
+//!
+//! A task's response time depends only on tasks mapped to the *same
+//! platform* (the `hp` sets of Eq. 17) and on its own predecessors, whose
+//! jitters are again responses of tasks on some platform of the same
+//! transaction. Interference therefore cannot cross the boundary of a
+//! connected component of the bipartite transaction–platform graph: group
+//! platforms with a union–find, merging all platforms touched by each
+//! transaction, and the transaction set partitions into **islands** that are
+//! analyzable independently — the holistic fixpoint of an island is
+//! *identical* to its restriction in a full-system analysis.
+//!
+//! A change (arrival, departure, retune) marks the platforms it touches as
+//! dirty seeds; only islands containing a dirty platform need re-analysis.
+
+use hsched_platform::PlatformId;
+use hsched_transaction::TransactionSet;
+
+/// Union–find over platform indices, unioned through transactions.
+pub(crate) struct Islands {
+    parent: Vec<usize>,
+}
+
+impl Islands {
+    /// Builds the island structure of the current set.
+    pub(crate) fn of(set: &TransactionSet) -> Islands {
+        let mut islands = Islands {
+            parent: (0..set.platforms().len()).collect(),
+        };
+        for tx in set.transactions() {
+            let first = tx.tasks()[0].platform.0;
+            for task in tx.tasks() {
+                islands.union(first, task.platform.0);
+            }
+        }
+        islands
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]]; // path halving
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[rb] = ra;
+        }
+    }
+
+    /// The island (root platform index) a transaction belongs to.
+    pub(crate) fn island_of(&mut self, set: &TransactionSet, tx: usize) -> usize {
+        self.find(set.transactions()[tx].tasks()[0].platform.0)
+    }
+
+    /// Groups the indices of transactions needing re-analysis, one group
+    /// per island reachable from the dirty platform seeds. Groups and
+    /// members are in deterministic (ascending) order.
+    pub(crate) fn dirty_groups(
+        &mut self,
+        set: &TransactionSet,
+        seeds: &[PlatformId],
+    ) -> Vec<Vec<usize>> {
+        let n_platforms = self.parent.len();
+        let mut dirty_roots: Vec<usize> = seeds
+            .iter()
+            .filter(|p| p.0 < n_platforms)
+            .map(|p| self.find(p.0))
+            .collect();
+        dirty_roots.sort_unstable();
+        dirty_roots.dedup();
+
+        let mut groups: Vec<(usize, Vec<usize>)> =
+            dirty_roots.iter().map(|&r| (r, Vec::new())).collect();
+        for i in 0..set.transactions().len() {
+            let root = self.island_of(set, i);
+            if let Ok(g) = groups.binary_search_by_key(&root, |(r, _)| *r) {
+                groups[g].1.push(i);
+            }
+        }
+        groups
+            .into_iter()
+            .map(|(_, members)| members)
+            .filter(|members| !members.is_empty())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsched_numeric::rat;
+    use hsched_platform::{Platform, PlatformSet};
+    use hsched_transaction::{Task, Transaction};
+
+    fn set_on(n_platforms: usize, chains: &[&[usize]]) -> TransactionSet {
+        let mut platforms = PlatformSet::new();
+        for k in 0..n_platforms {
+            platforms.add(Platform::dedicated(format!("P{k}")));
+        }
+        let txs = chains
+            .iter()
+            .enumerate()
+            .map(|(i, chain)| {
+                let tasks = chain
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &p)| {
+                        Task::new(format!("t{i}_{j}"), rat(1, 1), rat(1, 1), 1, PlatformId(p))
+                    })
+                    .collect();
+                Transaction::new(format!("tx{i}"), rat(100, 1), rat(100, 1), tasks).unwrap()
+            })
+            .collect();
+        TransactionSet::new(platforms, txs).unwrap()
+    }
+
+    #[test]
+    fn chains_union_their_platforms() {
+        // tx0 bridges P0–P1, tx1 sits on P2, tx2 on P1 (joins island A).
+        let set = set_on(4, &[&[0, 1], &[2], &[1]]);
+        let mut islands = Islands::of(&set);
+        assert_eq!(islands.island_of(&set, 0), islands.island_of(&set, 2));
+        assert_ne!(islands.island_of(&set, 0), islands.island_of(&set, 1));
+
+        // Seeding P0 dirties tx0 and tx2, not tx1.
+        let groups = islands.dirty_groups(&set, &[PlatformId(0)]);
+        assert_eq!(groups, vec![vec![0, 2]]);
+        // Seeding P2 dirties only tx1.
+        let groups = islands.dirty_groups(&set, &[PlatformId(2)]);
+        assert_eq!(groups, vec![vec![1]]);
+        // Seeding both islands yields two groups; P3 hosts nothing.
+        let groups = islands.dirty_groups(&set, &[PlatformId(2), PlatformId(1), PlatformId(3)]);
+        assert_eq!(groups.len(), 2);
+        let mut all: Vec<usize> = groups.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn out_of_range_seeds_are_ignored() {
+        let set = set_on(2, &[&[0]]);
+        let mut islands = Islands::of(&set);
+        assert!(islands.dirty_groups(&set, &[PlatformId(9)]).is_empty());
+        assert!(islands.dirty_groups(&set, &[]).is_empty());
+    }
+}

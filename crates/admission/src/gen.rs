@@ -1,0 +1,439 @@
+//! Synthetic scenario and churn generation for admission experiments.
+//!
+//! Three pieces:
+//!
+//! * [`random_scenario`] — a clustered random system: platforms are grouped
+//!   into clusters (a stand-in for physical nodes), transaction chains stay
+//!   inside one cluster, so the system decomposes into many interference
+//!   islands — the structure online admission exploits;
+//! * [`split_utilization`] — a UUniFast-style unbiased utilization split
+//!   done on an integer lattice so every share is an exact rational (the
+//!   classical algorithm's `rand^(1/k)` powers don't exist in ℚ; sorted
+//!   uniform cut points give the same simplex-uniform marginals);
+//! * [`ChurnGen`] — an endless stream of admission request batches
+//!   (arrivals, departures, retunes) against a live controller.
+//!
+//! Everything is seeded and deterministic: the same spec reproduces the
+//! same scenario and the same churn, which the equivalence property tests
+//! rely on.
+
+use crate::request::AdmissionRequest;
+use hsched_numeric::{rat, Rational, Time};
+use hsched_platform::{Platform, PlatformId, PlatformKind, PlatformSet, ServiceModel};
+use hsched_supply::{QuantizedFluid, TdmaSupply};
+use hsched_transaction::{Task, Transaction, TransactionSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which reservation mechanisms back the generated platforms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlatformMix {
+    /// Only direct `(α, Δ, β)` linear platforms (the paper's abstraction).
+    Linear,
+    /// Only periodic servers.
+    Server,
+    /// Only TDMA partitions.
+    Tdma,
+    /// Only quantized-fluid (P-fair-like) shares.
+    Fluid,
+    /// A uniform mixture of all four.
+    #[default]
+    Mixed,
+}
+
+/// Parameters of a generated scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioSpec {
+    /// Number of platform clusters; transaction chains never cross
+    /// clusters, so each cluster is (at most) one interference island.
+    pub clusters: usize,
+    /// Platforms per cluster.
+    pub platforms_per_cluster: usize,
+    /// Number of transactions, dealt round-robin over clusters.
+    pub transactions: usize,
+    /// Maximum chain length per transaction (≥ 1).
+    pub max_tasks_per_tx: usize,
+    /// Target demand per platform as a fraction of its rate α.
+    pub load: Rational,
+    /// Distinct priority levels (fewer = more interference).
+    pub priority_levels: u32,
+    /// Reservation mechanisms backing the platforms.
+    pub mix: PlatformMix,
+    /// RNG seed; same spec ⇒ same scenario.
+    pub seed: u64,
+}
+
+impl Default for ScenarioSpec {
+    fn default() -> ScenarioSpec {
+        ScenarioSpec {
+            clusters: 4,
+            platforms_per_cluster: 2,
+            transactions: 12,
+            max_tasks_per_tx: 4,
+            load: rat(1, 2),
+            priority_levels: 5,
+            mix: PlatformMix::Mixed,
+            seed: 0,
+        }
+    }
+}
+
+/// Periods from a harmonic-friendly menu (keeps busy periods short).
+const PERIOD_MENU: [i128; 8] = [20, 30, 40, 50, 60, 80, 100, 150];
+/// Rate menu for linear platforms.
+const ALPHA_MENU: [(i128, i128); 5] = [(1, 5), (3, 10), (2, 5), (1, 2), (7, 10)];
+
+/// Splits `total` into `n` non-negative rational shares summing exactly to
+/// `total`, uniformly on a discrete simplex (UUniFast-style): `n − 1` cut
+/// points drawn uniformly on a `{0, …, G}` lattice, sorted, differenced.
+pub fn split_utilization(rng: &mut StdRng, total: Rational, n: usize) -> Vec<Rational> {
+    const G: i128 = 1000;
+    assert!(n > 0, "cannot split into zero shares");
+    if n == 1 {
+        return vec![total];
+    }
+    let mut cuts: Vec<i128> = (0..n - 1).map(|_| rng.gen_range(0..=G)).collect();
+    cuts.sort_unstable();
+    let mut shares = Vec::with_capacity(n);
+    let mut previous = 0i128;
+    for &cut in &cuts {
+        shares.push(total * rat(cut - previous, G));
+        previous = cut;
+    }
+    shares.push(total * rat(G - previous, G));
+    shares
+}
+
+/// Draws one platform of the requested mix. The returned platform always
+/// has `0 < α ≤ 1`.
+pub fn random_platform(rng: &mut StdRng, name: &str, mix: PlatformMix) -> Platform {
+    let kind = match mix {
+        PlatformMix::Mixed => match rng.gen_range(0..4u32) {
+            0 => PlatformMix::Linear,
+            1 => PlatformMix::Server,
+            2 => PlatformMix::Tdma,
+            _ => PlatformMix::Fluid,
+        },
+        other => other,
+    };
+    match kind {
+        PlatformMix::Mixed => unreachable!("Mixed resolves to a concrete mechanism above"),
+        PlatformMix::Linear => {
+            let (n, d) = ALPHA_MENU[rng.gen_range(0..ALPHA_MENU.len())];
+            let delta = rat(rng.gen_range(0..=3), 1);
+            let beta = rat(rng.gen_range(0..=1), 1);
+            Platform::linear(name, rat(n, d), delta, beta).expect("menu rates are valid")
+        }
+        PlatformMix::Server => {
+            let budget = rat(rng.gen_range(1..=3), 1);
+            let period = budget * rat(rng.gen_range(2..=5), 1);
+            Platform::server(name, budget, period).expect("budget ≤ period by construction")
+        }
+        PlatformMix::Tdma => {
+            let frame = rat(10, 1);
+            let len = rat(rng.gen_range(2..=5), 1);
+            let start = rat(rng.gen_range(0..=4), 1);
+            let tdma = TdmaSupply::new(frame, vec![(start, len)]).expect("slot fits the frame");
+            Platform::new(name, PlatformKind::Cpu, ServiceModel::Tdma(tdma))
+        }
+        PlatformMix::Fluid => {
+            let (n, d) = ALPHA_MENU[rng.gen_range(0..ALPHA_MENU.len())];
+            let lag = rat(rng.gen_range(0..=2), 1);
+            let fluid = QuantizedFluid::new(rat(n, d), lag).expect("menu rates are valid");
+            Platform::new(name, PlatformKind::Cpu, ServiceModel::Quantized(fluid))
+        }
+    }
+}
+
+/// Generates one random transaction confined to `cluster` (a slice of
+/// platform ids), spending at most the per-platform budgets in `capacity`
+/// (indexed by global platform index; successfully spent budget is
+/// deducted). Returns `None` when the cluster budget is exhausted.
+#[allow(clippy::too_many_arguments)]
+fn random_transaction(
+    rng: &mut StdRng,
+    name: String,
+    cluster: &[PlatformId],
+    capacity: &mut [Rational],
+    initial: &[Rational],
+    max_tasks: usize,
+    priority_levels: u32,
+) -> Option<Transaction> {
+    let period: Time = rat(PERIOD_MENU[rng.gen_range(0..PERIOD_MENU.len())], 1);
+    let n_tasks = rng.gen_range(1..=max_tasks);
+    // Target utilization: a few percent of the cluster's initial budget,
+    // split UUniFast-style over the chain.
+    let reference = cluster
+        .iter()
+        .map(|p| initial[p.0])
+        .min()
+        .expect("clusters are non-empty");
+    let share_milli = rng.gen_range(10..=60); // 1% … 6% per transaction
+    let target = reference * rat(share_milli, 1000);
+    let shares = split_utilization(rng, target, n_tasks);
+
+    let mut tasks = Vec::with_capacity(n_tasks);
+    for (j, share) in shares.into_iter().enumerate() {
+        let p = cluster[rng.gen_range(0..cluster.len())];
+        let spend = share.max(rat(1, 100) / period).min(capacity[p.0]);
+        if !spend.is_positive() {
+            continue;
+        }
+        capacity[p.0] -= spend;
+        let wcet = spend * period;
+        let bcet = (wcet * rat(rng.gen_range(25..=100), 100)).max(rat(1, 1000));
+        let priority = rng.gen_range(1..=priority_levels.max(1));
+        tasks.push(Task::new(format!("{name}_{j}"), wcet, bcet, priority, p));
+    }
+    if tasks.is_empty() {
+        return None;
+    }
+    let deadline = period * rat(rng.gen_range(100..=200), 100);
+    Some(Transaction::new(name, period, deadline, tasks).expect("constructed within bounds"))
+}
+
+/// Generates a clustered random system per the spec. Guarantees: every
+/// platform's demand stays at or below `load × α` (the necessary condition
+/// always holds), chains never cross clusters, and the same seed reproduces
+/// the same system.
+pub fn random_scenario(spec: &ScenarioSpec) -> TransactionSet {
+    assert!(
+        spec.clusters > 0 && spec.platforms_per_cluster > 0 && spec.max_tasks_per_tx > 0,
+        "degenerate scenario spec"
+    );
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+
+    let mut platforms = PlatformSet::new();
+    let mut clusters: Vec<Vec<PlatformId>> = Vec::with_capacity(spec.clusters);
+    let mut capacity: Vec<Rational> = Vec::new();
+    for c in 0..spec.clusters {
+        let mut members = Vec::with_capacity(spec.platforms_per_cluster);
+        for k in 0..spec.platforms_per_cluster {
+            let platform = random_platform(&mut rng, &format!("C{c}P{k}"), spec.mix);
+            capacity.push(platform.alpha() * spec.load);
+            members.push(platforms.add(platform));
+        }
+        clusters.push(members);
+    }
+    let initial = capacity.clone();
+
+    let mut transactions = Vec::new();
+    for i in 0..spec.transactions {
+        let cluster = &clusters[i % spec.clusters];
+        if let Some(tx) = random_transaction(
+            &mut rng,
+            format!("tx{i}"),
+            cluster,
+            &mut capacity,
+            &initial,
+            spec.max_tasks_per_tx,
+            spec.priority_levels,
+        ) {
+            transactions.push(tx);
+        }
+    }
+    TransactionSet::new(platforms, transactions).expect("generated tasks use generated platforms")
+}
+
+/// A deterministic stream of churn batches against an evolving system.
+///
+/// Each [`ChurnGen::next_batch`] inspects the *current* transaction set (so
+/// departures name live transactions even after rejections) and produces a
+/// batch of arrivals, departures, and retunes. Roughly 40% of batches are
+/// purely additive, exercising the controller's warm-start path.
+#[derive(Debug)]
+pub struct ChurnGen {
+    rng: StdRng,
+    spec: ScenarioSpec,
+    clusters: Vec<Vec<PlatformId>>,
+    counter: u64,
+}
+
+impl ChurnGen {
+    /// A churn stream matching the cluster layout of `spec` (pass the same
+    /// spec that generated the scenario).
+    pub fn new(spec: &ScenarioSpec, seed: u64) -> ChurnGen {
+        let clusters = (0..spec.clusters)
+            .map(|c| {
+                (0..spec.platforms_per_cluster)
+                    .map(|k| PlatformId(c * spec.platforms_per_cluster + k))
+                    .collect()
+            })
+            .collect();
+        ChurnGen {
+            rng: StdRng::seed_from_u64(seed),
+            spec: spec.clone(),
+            clusters,
+            counter: 0,
+        }
+    }
+
+    /// Produces the next batch (1 to `max_batch` requests).
+    pub fn next_batch(&mut self, live: &TransactionSet, max_batch: usize) -> Vec<AdmissionRequest> {
+        let size = self.rng.gen_range(1..=max_batch.max(1));
+        let additive_only = self.rng.gen_range(0..10u32) < 4;
+        let mut batch = Vec::with_capacity(size);
+        for _ in 0..size {
+            let roll = if additive_only {
+                0
+            } else {
+                self.rng.gen_range(0..10u32)
+            };
+            match roll {
+                // Arrival (weight 5): a fresh small transaction in a random
+                // cluster. An unlucky draw can overload its platform — a
+                // rejection is then the *correct* controller behavior.
+                0..=4 => {
+                    if let Some(request) = self.arrival(live) {
+                        batch.push(request);
+                    }
+                }
+                // Departure (weight 3).
+                5..=7 => {
+                    if !live.transactions().is_empty() {
+                        let i = self.rng.gen_range(0..live.transactions().len());
+                        batch.push(AdmissionRequest::RemoveTransaction {
+                            name: live.transactions()[i].name.clone(),
+                        });
+                    }
+                }
+                // Retune (weight 2): jiggle a platform's linear parameters.
+                _ => {
+                    let p = self.rng.gen_range(0..live.platforms().len());
+                    let platform = &live.platforms()[PlatformId(p)];
+                    let scale = [rat(3, 4), rat(9, 10), rat(11, 10), rat(5, 4)]
+                        [self.rng.gen_range(0..4usize)];
+                    let alpha = (platform.alpha() * scale).min(Rational::ONE);
+                    batch.push(AdmissionRequest::Retune {
+                        platform: PlatformId(p),
+                        alpha: if alpha.is_positive() {
+                            alpha
+                        } else {
+                            rat(1, 10)
+                        },
+                        delta: rat(self.rng.gen_range(0..=3), 1),
+                        beta: rat(self.rng.gen_range(0..=1), 1),
+                    });
+                }
+            }
+        }
+        batch
+    }
+
+    fn arrival(&mut self, live: &TransactionSet) -> Option<AdmissionRequest> {
+        self.counter += 1;
+        let cluster = self.clusters[self.rng.gen_range(0..self.clusters.len())].clone();
+        // Budget the arrival against the *target* capacities, independent of
+        // what is already admitted — the controller, not the generator, is
+        // the admission authority.
+        let initial: Vec<Rational> = live
+            .platforms()
+            .iter()
+            .map(|(_, p)| p.alpha() * self.spec.load)
+            .collect();
+        let mut capacity = initial.clone();
+        let name = format!("churn{}", self.counter);
+        random_transaction(
+            &mut self.rng,
+            name,
+            &cluster,
+            &mut capacity,
+            &initial,
+            self.spec.max_tasks_per_tx,
+            self.spec.priority_levels,
+        )
+        .map(AdmissionRequest::AddTransaction)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_sums_exactly_and_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in [1usize, 2, 5, 16] {
+            let total = rat(3, 7);
+            let shares = split_utilization(&mut rng, total, n);
+            assert_eq!(shares.len(), n);
+            assert_eq!(shares.iter().copied().sum::<Rational>(), total);
+            assert!(shares.iter().all(|s| !s.is_negative()));
+        }
+        let a = split_utilization(&mut StdRng::seed_from_u64(3), rat(1, 2), 8);
+        let b = split_utilization(&mut StdRng::seed_from_u64(3), rat(1, 2), 8);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scenarios_respect_budgets_and_clusters() {
+        for seed in 0..20 {
+            let spec = ScenarioSpec {
+                seed,
+                transactions: 10,
+                ..ScenarioSpec::default()
+            };
+            let set = random_scenario(&spec);
+            assert_eq!(
+                set.platforms().len(),
+                spec.clusters * spec.platforms_per_cluster
+            );
+            // Necessary condition holds by construction.
+            assert!(set.overloaded_platforms().is_empty(), "seed {seed}");
+            // Chains stay inside one cluster.
+            for tx in set.transactions() {
+                let c0 = tx.tasks()[0].platform.0 / spec.platforms_per_cluster;
+                for task in tx.tasks() {
+                    assert_eq!(task.platform.0 / spec.platforms_per_cluster, c0);
+                }
+            }
+            // Determinism.
+            assert_eq!(random_scenario(&spec), set);
+        }
+    }
+
+    #[test]
+    fn platform_mixes_produce_each_mechanism() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for mix in [
+            PlatformMix::Linear,
+            PlatformMix::Server,
+            PlatformMix::Tdma,
+            PlatformMix::Fluid,
+            PlatformMix::Mixed,
+        ] {
+            for k in 0..8 {
+                let p = random_platform(&mut rng, &format!("x{k}"), mix);
+                assert!(p.alpha().is_positive() && p.alpha() <= Rational::ONE);
+            }
+        }
+    }
+
+    #[test]
+    fn churn_batches_reference_live_state() {
+        let spec = ScenarioSpec::default();
+        let set = random_scenario(&spec);
+        let mut churn = ChurnGen::new(&spec, 99);
+        let mut seen_kinds = [false; 3];
+        for _ in 0..40 {
+            for request in churn.next_batch(&set, 3) {
+                match request {
+                    AdmissionRequest::AddTransaction(tx) => {
+                        assert!(set.transaction_index(&tx.name).is_none());
+                        seen_kinds[0] = true;
+                    }
+                    AdmissionRequest::RemoveTransaction { name } => {
+                        assert!(set.transaction_index(&name).is_some());
+                        seen_kinds[1] = true;
+                    }
+                    AdmissionRequest::Retune { platform, .. } => {
+                        assert!(platform.0 < set.platforms().len());
+                        seen_kinds[2] = true;
+                    }
+                    other => panic!("unexpected request kind: {other}"),
+                }
+            }
+        }
+        assert!(seen_kinds.iter().all(|&k| k), "all kinds exercised");
+    }
+}

@@ -1,0 +1,547 @@
+//! Online admission control for hierarchically scheduled systems.
+//!
+//! The paper's analysis answers an offline question: *is this fixed system
+//! schedulable on these `(α, Δ, β)` platforms?* A production service faces
+//! the online form: components and transactions arrive and depart
+//! continuously, platforms are renegotiated at runtime, and every change
+//! must be admitted or rejected quickly — without re-running the holistic
+//! fixpoint over the whole system for each request.
+//!
+//! This crate provides the [`AdmissionController`], a long-lived engine
+//! that gets its speed from three stacked layers:
+//!
+//! 1. **Dirty tracking** — interference cannot cross the connected
+//!    components ("islands") of the transaction–platform graph, because a
+//!    task is only delayed by tasks on its own platform (Eq. 17). Each
+//!    batch marks the platforms it touches; only islands containing a dirty
+//!    platform are re-analyzed, and the restriction is *exact*, not an
+//!    approximation (see [`mod@crate::gen`]'s clustered scenarios for the
+//!    structure that makes this win large).
+//! 2. **Warm-started fixpoints** — for purely additive batches the holistic
+//!    iteration resumes from the previous epoch's converged jitters
+//!    ([`hsched_analysis::WarmStart`]): interference only grew, so the old
+//!    fixpoint lies below the new least fixpoint and the resumed iteration
+//!    reaches exactly the same answer in fewer sweeps.
+//! 3. **Batching + parallelism** — requests are coalesced per epoch and the
+//!    dirty islands are analyzed concurrently via
+//!    [`hsched_analysis::parallel_map`]; a rejected batch rolls the
+//!    controller back byte-identically (transactional semantics).
+//!
+//! Hostile workloads degrade gracefully: the utilization precheck uses the
+//! fallible `try_*` arithmetic of `hsched-numeric`, and any exact-arithmetic
+//! overflow inside the deep analysis is caught and surfaced as a
+//! [`RejectReason::Numeric`] rejection instead of a crash.
+//!
+//! # Controller lifecycle
+//!
+//! 1. **Seed** — build a controller from a flattened [`TransactionSet`]
+//!    ([`AdmissionController::new`]) or from a component-level `System`
+//!    ([`AdmissionController::from_system`], which remembers each
+//!    transaction's originating instance). One full analysis populates the
+//!    per-transaction cache.
+//! 2. **Serve** — for each epoch, collect the pending
+//!    [`AdmissionRequest`]s and call [`AdmissionController::commit`]. The
+//!    returned [`EpochOutcome`] says whether the batch is live and how much
+//!    work the incremental analysis actually did.
+//! 3. **Observe** — [`AdmissionController::report`] assembles the cached
+//!    per-transaction results into a full `SchedulabilityReport` equal (up
+//!    to the iteration trace) to a from-scratch analysis of
+//!    [`AdmissionController::current_set`]; [`AdmissionController::stats`]
+//!    tracks the cumulative incremental savings.
+//!
+//! # Request script format
+//!
+//! The `hsched admit` subcommand drives a controller from a plain-text
+//! script, one request per line, batches separated by `commit`:
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! add sensor3 period 15 deadline 15 task acquire wcet 1 bcet 0.25 prio 2 on Pi1
+//! retune Pi3 alpha 0.25 delta 2 beta 1
+//! commit
+//! remove sensor3
+//! commit            # trailing requests without a commit also form a batch
+//! ```
+//!
+//! `add` takes the transaction name, `period`/`deadline` (and optional
+//! `jitter`) rationals, then one or more `task <name> wcet <r> bcet <r>
+//! prio <n> on <platform-name>` clauses; `remove` takes a live transaction
+//! name; `retune` takes a platform name and the new `(α, Δ, β)`.
+//!
+//! # Example
+//!
+//! ```
+//! use hsched_admission::{AdmissionController, AdmissionPolicy, AdmissionRequest};
+//! use hsched_analysis::AnalysisConfig;
+//! use hsched_numeric::rat;
+//! use hsched_transaction::paper_example;
+//!
+//! let set = paper_example::transactions();
+//! let mut controller = AdmissionController::new(
+//!     set,
+//!     AnalysisConfig::default(),
+//!     AdmissionPolicy::default(),
+//! )
+//! .unwrap();
+//! assert!(controller.schedulable());
+//!
+//! // A transaction that would overload Π3 is rejected — and the
+//! // controller state is untouched.
+//! use hsched_platform::PlatformId;
+//! use hsched_transaction::{Task, Transaction};
+//! let hog = Transaction::new(
+//!     "hog",
+//!     rat(10, 1),
+//!     rat(10, 1),
+//!     vec![Task::new("h", rat(9, 1), rat(9, 1), 9, PlatformId(2))],
+//! )
+//! .unwrap();
+//! let outcome = controller.admit(AdmissionRequest::AddTransaction(hog));
+//! assert!(!outcome.verdict.admitted());
+//! assert_eq!(controller.current_set().transactions().len(), 4);
+//! ```
+
+mod controller;
+mod dirty;
+pub mod gen;
+mod request;
+
+pub use controller::{AdmissionController, AdmissionPolicy, ControllerStats};
+pub use request::{AdmissionRequest, EpochOutcome, RejectReason, Verdict};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsched_analysis::{analyze_with, AnalysisConfig};
+    use hsched_model::{Action, ComponentClass, ProvidedMethod, ThreadSpec};
+    use hsched_numeric::rat;
+    use hsched_platform::{Platform, PlatformId, PlatformSet};
+    use hsched_transaction::{paper_example, Task, Transaction, TransactionSet};
+
+    fn paper_controller() -> AdmissionController {
+        AdmissionController::new(
+            paper_example::transactions(),
+            AnalysisConfig::default(),
+            AdmissionPolicy::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn seed_analysis_matches_from_scratch() {
+        let controller = paper_controller();
+        let fresh = analyze_with(controller.current_set(), &AnalysisConfig::default()).unwrap();
+        let cached = controller.report();
+        assert_eq!(cached.tasks, fresh.tasks);
+        assert_eq!(cached.verdicts, fresh.verdicts);
+        assert!(controller.schedulable());
+    }
+
+    #[test]
+    fn additive_admission_is_incremental_and_exact() {
+        let mut controller = paper_controller();
+        // A light transaction on Π1 only: the dirty island is Π1∪Π2∪Π3
+        // (Γ1 bridges them), so everything is re-analyzed here — but the
+        // batch is additive, so it warm-starts.
+        let tx = Transaction::new(
+            "extra",
+            rat(60, 1),
+            rat(120, 1),
+            vec![Task::new("e", rat(1, 1), rat(1, 2), 1, PlatformId(0))],
+        )
+        .unwrap();
+        let outcome = controller.admit(AdmissionRequest::AddTransaction(tx));
+        assert!(outcome.verdict.admitted(), "{}", outcome.verdict);
+        assert!(outcome.warm_started);
+        let fresh = analyze_with(controller.current_set(), &AnalysisConfig::default()).unwrap();
+        assert_eq!(controller.report().tasks, fresh.tasks);
+    }
+
+    #[test]
+    fn disjoint_island_is_not_reanalyzed() {
+        // Two dedicated platforms, one transaction each: two islands.
+        let mut platforms = PlatformSet::new();
+        let p0 = platforms.add(Platform::dedicated("A"));
+        let p1 = platforms.add(Platform::dedicated("B"));
+        let tx = |name: &str, p| {
+            Transaction::new(
+                name,
+                rat(10, 1),
+                rat(10, 1),
+                vec![Task::new(format!("{name}_t"), rat(1, 1), rat(1, 1), 1, p)],
+            )
+            .unwrap()
+        };
+        let set = TransactionSet::new(platforms, vec![tx("a", p0), tx("b", p1)]).unwrap();
+        let mut controller =
+            AdmissionController::new(set, AnalysisConfig::default(), AdmissionPolicy::default())
+                .unwrap();
+        let outcome = controller.admit(AdmissionRequest::AddTransaction(tx("c", p1)));
+        assert!(outcome.verdict.admitted());
+        assert_eq!(
+            outcome.analyzed_transactions, 2,
+            "only island B re-analyzed"
+        );
+        assert_eq!(outcome.total_transactions, 3);
+        assert_eq!(outcome.islands, 1);
+        let stats = controller.stats();
+        assert_eq!(stats.analyses_avoided, 1);
+    }
+
+    #[test]
+    fn rejected_batch_rolls_back_byte_identically() {
+        let mut controller = paper_controller();
+        let before_set = controller.current_set().clone();
+        let before_report = controller.report();
+        // Overloads Π3 (α = 0.2): rejected by the utilization precheck.
+        let hog = Transaction::new(
+            "hog",
+            rat(10, 1),
+            rat(10, 1),
+            vec![Task::new("h", rat(9, 1), rat(9, 1), 9, PlatformId(2))],
+        )
+        .unwrap();
+        let outcome = controller.commit(&[
+            AdmissionRequest::AddTransaction(hog),
+            AdmissionRequest::RemoveTransaction {
+                name: "Sensor1.Thread1".into(),
+            },
+        ]);
+        assert!(matches!(
+            outcome.verdict,
+            Verdict::Rejected(RejectReason::Overload { .. })
+        ));
+        assert_eq!(controller.current_set(), &before_set);
+        assert_eq!(controller.report(), before_report);
+    }
+
+    #[test]
+    fn deadline_miss_is_rejected_after_analysis() {
+        let mut controller = paper_controller();
+        // Fits the utilization bound but pushes Π3 past Γ4's deadline.
+        let tight = Transaction::new(
+            "tight",
+            rat(150, 1),
+            rat(150, 1),
+            vec![Task::new("t", rat(4, 1), rat(4, 1), 2, PlatformId(2))],
+        )
+        .unwrap();
+        let outcome = controller.admit(AdmissionRequest::AddTransaction(tight));
+        match &outcome.verdict {
+            Verdict::Rejected(RejectReason::Unschedulable { misses }) => {
+                assert!(!misses.is_empty());
+            }
+            other => panic!("expected unschedulable rejection, got {other}"),
+        }
+        assert!(outcome.analyzed_transactions > 0, "analysis did run");
+        assert!(
+            outcome.analyzed_transactions <= outcome.total_transactions,
+            "analyzed/total pair must describe the same (post-application) population"
+        );
+        assert_eq!(
+            outcome.total_transactions, 5,
+            "4 live + the rejected arrival"
+        );
+        assert!(controller.schedulable(), "rollback restored the system");
+    }
+
+    #[test]
+    fn structural_errors_reject_without_analysis() {
+        let mut controller = paper_controller();
+        let outcome = controller.admit(AdmissionRequest::RemoveTransaction {
+            name: "nope".into(),
+        });
+        assert!(matches!(
+            outcome.verdict,
+            Verdict::Rejected(RejectReason::Structural(_))
+        ));
+        assert_eq!(outcome.analyzed_transactions, 0);
+        // Duplicate names collide.
+        let dup = Transaction::new(
+            "Sensor1.Thread1",
+            rat(15, 1),
+            rat(15, 1),
+            vec![Task::new("x", rat(1, 1), rat(1, 1), 1, PlatformId(0))],
+        )
+        .unwrap();
+        let outcome = controller.admit(AdmissionRequest::AddTransaction(dup));
+        assert!(matches!(
+            outcome.verdict,
+            Verdict::Rejected(RejectReason::Structural(_))
+        ));
+    }
+
+    #[test]
+    fn removal_then_readmission_round_trips() {
+        let mut controller = paper_controller();
+        let outcome = controller.admit(AdmissionRequest::RemoveTransaction {
+            name: "Sensor2.Thread1".into(),
+        });
+        assert!(outcome.verdict.admitted());
+        assert_eq!(controller.current_set().transactions().len(), 3);
+        let fresh = analyze_with(controller.current_set(), &AnalysisConfig::default()).unwrap();
+        assert_eq!(controller.report().tasks, fresh.tasks);
+
+        let back = paper_example::transactions().transactions()[2].clone();
+        let outcome = controller.admit(AdmissionRequest::AddTransaction(back));
+        assert!(outcome.verdict.admitted());
+        let fresh = analyze_with(controller.current_set(), &AnalysisConfig::default()).unwrap();
+        assert_eq!(controller.report().tasks, fresh.tasks);
+    }
+
+    #[test]
+    fn retune_is_applied_and_exact() {
+        let mut controller = paper_controller();
+        // Strengthen Π3: responses can only improve; the verdict stays OK.
+        let outcome = controller.admit(AdmissionRequest::Retune {
+            platform: PlatformId(2),
+            alpha: rat(3, 10),
+            delta: rat(1, 1),
+            beta: rat(1, 1),
+        });
+        assert!(outcome.verdict.admitted());
+        assert!(!outcome.warm_started, "retunes must cold-start");
+        assert_eq!(
+            controller.current_set().platforms()[PlatformId(2)].alpha(),
+            rat(3, 10)
+        );
+        let fresh = analyze_with(controller.current_set(), &AnalysisConfig::default()).unwrap();
+        assert_eq!(controller.report().tasks, fresh.tasks);
+
+        // Weakening Π3 to starvation is rejected and rolled back.
+        let outcome = controller.admit(AdmissionRequest::Retune {
+            platform: PlatformId(2),
+            alpha: rat(1, 10),
+            delta: rat(3, 1),
+            beta: rat(0, 1),
+        });
+        assert!(!outcome.verdict.admitted());
+        assert_eq!(
+            controller.current_set().platforms()[PlatformId(2)].alpha(),
+            rat(3, 10)
+        );
+    }
+
+    #[test]
+    fn instance_lifecycle_add_then_remove() {
+        let mut controller = paper_controller();
+        let class = ComponentClass::new("Logger")
+            .provides(ProvidedMethod::new("flush", rat(200, 1)))
+            .thread(ThreadSpec::periodic(
+                "Tick",
+                rat(100, 1),
+                1,
+                vec![Action::task("log", rat(1, 1), rat(1, 2))],
+            ))
+            .thread(ThreadSpec::realizes(
+                "Flush",
+                "flush",
+                1,
+                vec![Action::task("sync", rat(1, 1), rat(1, 1))],
+            ));
+        let outcome = controller.admit(AdmissionRequest::AddInstance {
+            name: "logger1".into(),
+            class,
+            platform: PlatformId(0),
+            node: 0,
+        });
+        assert!(outcome.verdict.admitted(), "{}", outcome.verdict);
+        // Periodic thread + unbound provided method = 2 transactions.
+        assert_eq!(controller.current_set().transactions().len(), 6);
+        assert!(controller.system().instance_by_name("logger1").is_some());
+        let fresh = analyze_with(controller.current_set(), &AnalysisConfig::default()).unwrap();
+        assert_eq!(controller.report().tasks, fresh.tasks);
+
+        // Its transactions cannot be removed individually…
+        let outcome = controller.admit(AdmissionRequest::RemoveTransaction {
+            name: "logger1.Tick".into(),
+        });
+        assert!(!outcome.verdict.admitted());
+
+        // …but the instance departs as a unit.
+        let outcome = controller.admit(AdmissionRequest::RemoveInstance {
+            name: "logger1".into(),
+        });
+        assert!(outcome.verdict.admitted());
+        assert_eq!(controller.current_set().transactions().len(), 4);
+        assert!(controller.system().instance_by_name("logger1").is_none());
+    }
+
+    #[test]
+    fn instance_churn_does_not_grow_the_class_list() {
+        let mut controller = paper_controller();
+        let class = ComponentClass::new("Ephemeral").thread(ThreadSpec::periodic(
+            "T",
+            rat(100, 1),
+            1,
+            vec![Action::task("w", rat(1, 1), rat(1, 1))],
+        ));
+        for round in 0..5 {
+            let outcome = controller.admit(AdmissionRequest::AddInstance {
+                name: "eph".into(),
+                class: class.clone(),
+                platform: PlatformId(0),
+                node: 0,
+            });
+            assert!(
+                outcome.verdict.admitted(),
+                "round {round}: {}",
+                outcome.verdict
+            );
+            let outcome = controller.admit(AdmissionRequest::RemoveInstance { name: "eph".into() });
+            assert!(
+                outcome.verdict.admitted(),
+                "round {round}: {}",
+                outcome.verdict
+            );
+        }
+        assert_eq!(
+            controller.system().classes.len(),
+            1,
+            "identical classes are reused across churn rounds"
+        );
+    }
+
+    #[test]
+    fn classes_with_required_methods_are_refused() {
+        let mut controller = paper_controller();
+        let needy = ComponentClass::new("Needy")
+            .requires(hsched_model::RequiredMethod::derived("help"))
+            .thread(ThreadSpec::periodic(
+                "T",
+                rat(50, 1),
+                1,
+                vec![Action::task("work", rat(1, 1), rat(1, 1))],
+            ));
+        let outcome = controller.admit(AdmissionRequest::AddInstance {
+            name: "needy1".into(),
+            class: needy,
+            platform: PlatformId(0),
+            node: 0,
+        });
+        assert!(matches!(
+            outcome.verdict,
+            Verdict::Rejected(RejectReason::Structural(_))
+        ));
+    }
+
+    #[test]
+    fn hostile_magnitudes_degrade_to_rejection() {
+        // (a) With the precheck on, an absurd utilization is rejected by
+        // checked arithmetic (Overload or Numeric, never a crash).
+        let mut controller = paper_controller();
+        let big = i128::MAX / 4;
+        let hostile = Transaction::new(
+            "hostile",
+            rat(3, 1),
+            rat(3, 1),
+            vec![Task::new("h", rat(big, 1), rat(1, 1), 9, PlatformId(0))],
+        )
+        .unwrap();
+        let outcome = controller.admit(AdmissionRequest::AddTransaction(hostile.clone()));
+        assert!(matches!(
+            outcome.verdict,
+            Verdict::Rejected(RejectReason::Overload { .. } | RejectReason::Numeric(_))
+        ));
+        assert!(controller.schedulable());
+
+        // (b) With the precheck off, the overflow happens inside the busy
+        // period fixpoint and is caught — rejection, not a controller crash.
+        let mut controller = AdmissionController::new(
+            paper_example::transactions(),
+            AnalysisConfig::default(),
+            AdmissionPolicy {
+                utilization_precheck: false,
+                ..AdmissionPolicy::default()
+            },
+        )
+        .unwrap();
+        let outcome = controller.admit(AdmissionRequest::AddTransaction(hostile));
+        match &outcome.verdict {
+            Verdict::Rejected(
+                RejectReason::Numeric(_)
+                | RejectReason::Unschedulable { .. }
+                | RejectReason::Analysis(_),
+            ) => {}
+            other => panic!("expected graceful rejection, got {other}"),
+        }
+        assert!(controller.schedulable(), "state survived the hostile batch");
+    }
+
+    #[test]
+    fn removing_a_divergent_transaction_heals_the_system() {
+        // Regression: the seed analysis must keep convergence flags
+        // island-local. With a clean island A and a divergent island B,
+        // removing B's hog re-analyzes nothing (B becomes empty) — A's
+        // cached verdict alone must carry the admit.
+        let mut platforms = PlatformSet::new();
+        let pa = platforms.add(Platform::dedicated("A"));
+        let pb = platforms.add(Platform::linear("B", rat(1, 10), rat(0, 1), rat(0, 1)).unwrap());
+        let good = Transaction::new(
+            "good",
+            rat(10, 1),
+            rat(10, 1),
+            vec![Task::new("g", rat(1, 1), rat(1, 1), 1, pa)],
+        )
+        .unwrap();
+        let hog = Transaction::new(
+            "hog",
+            rat(10, 1),
+            rat(10, 1),
+            vec![Task::new("h", rat(2, 1), rat(2, 1), 1, pb)], // U = 0.2 > α
+        )
+        .unwrap();
+        let set = TransactionSet::new(platforms, vec![good, hog]).unwrap();
+        let mut controller =
+            AdmissionController::new(set, AnalysisConfig::default(), AdmissionPolicy::default())
+                .unwrap();
+        assert!(!controller.schedulable(), "seed state diverges on B");
+        let outcome = controller.admit(AdmissionRequest::RemoveTransaction { name: "hog".into() });
+        assert!(
+            outcome.verdict.admitted(),
+            "healing removal must be admitted, got {}",
+            outcome.verdict
+        );
+        assert!(controller.schedulable());
+        let fresh = analyze_with(controller.current_set(), &AnalysisConfig::default()).unwrap();
+        assert_eq!(controller.report().tasks, fresh.tasks);
+    }
+
+    #[test]
+    fn empty_batch_is_a_trivial_admit() {
+        let mut controller = paper_controller();
+        let outcome = controller.commit(&[]);
+        assert!(outcome.verdict.admitted());
+        assert_eq!(outcome.analyzed_transactions, 0);
+        assert_eq!(controller.epoch(), 1);
+    }
+
+    #[test]
+    fn from_system_tags_origins() {
+        use hsched_model::SystemBuilder;
+        let mut platforms = PlatformSet::new();
+        let p = platforms.add(Platform::dedicated("cpu"));
+        let class = ComponentClass::new("Worker").thread(ThreadSpec::periodic(
+            "T",
+            rat(20, 1),
+            1,
+            vec![Action::task("w", rat(1, 1), rat(1, 1))],
+        ));
+        let mut builder = SystemBuilder::new();
+        let c = builder.add_class(class);
+        builder.instantiate("w1", c, p, 0);
+        builder.instantiate("w2", c, p, 0);
+        let mut controller = AdmissionController::from_system(
+            builder.build(),
+            platforms,
+            AnalysisConfig::default(),
+            AdmissionPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(controller.current_set().transactions().len(), 2);
+        let outcome = controller.admit(AdmissionRequest::RemoveInstance { name: "w2".into() });
+        assert!(outcome.verdict.admitted(), "{}", outcome.verdict);
+        assert_eq!(controller.current_set().transactions().len(), 1);
+        assert_eq!(controller.current_set().transactions()[0].name, "w1.T");
+    }
+}

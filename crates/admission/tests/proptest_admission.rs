@@ -1,0 +1,165 @@
+//! The two admission invariants, property-tested across generated
+//! scenarios and churn sequences:
+//!
+//! (a) **equivalence** — after any admitted batch, the controller's cached
+//!     incremental results (dirty islands only, warm-started where
+//!     additive) equal a from-scratch `analyze_with` of the live set;
+//! (b) **transactionality** — after any rejected batch, the controller's
+//!     state is exactly its pre-batch snapshot.
+//!
+//! Together with the per-epoch admission rule this gives the end-to-end
+//! guarantee: the live system is always schedulable, and the incremental
+//! fast path can never drift from the paper's offline analysis.
+
+use hsched_admission::gen::{random_scenario, ChurnGen, ScenarioSpec};
+use hsched_admission::{AdmissionController, AdmissionPolicy, RejectReason, Verdict};
+use hsched_analysis::{analyze_with, AnalysisConfig};
+use hsched_numeric::rat;
+use proptest::prelude::*;
+
+/// One full churn session: seed a scenario, run several batches, check both
+/// invariants after every epoch.
+fn churn_session(seed: u64, batches: usize, max_batch: usize, policy: AdmissionPolicy) {
+    let spec = ScenarioSpec {
+        clusters: 3,
+        platforms_per_cluster: 2,
+        transactions: 8,
+        max_tasks_per_tx: 3,
+        load: rat(3, 5),
+        priority_levels: 3,
+        seed,
+        ..ScenarioSpec::default()
+    };
+    let set = random_scenario(&spec);
+    let config = AnalysisConfig::default();
+    let mut controller = AdmissionController::new(set, config.clone(), policy)
+        .unwrap_or_else(|e| panic!("seed {seed}: controller construction failed: {e}"));
+    let mut churn = ChurnGen::new(&spec, seed.wrapping_mul(0x9e3779b9).wrapping_add(1));
+
+    for step in 0..batches {
+        let snapshot_set = controller.current_set().clone();
+        let snapshot_report = controller.report();
+        let batch = churn.next_batch(controller.current_set(), max_batch);
+        let outcome = controller.commit(&batch);
+
+        match &outcome.verdict {
+            Verdict::Admitted => {
+                // (a) incremental == from-scratch on the final system.
+                let fresh = analyze_with(controller.current_set(), &config)
+                    .unwrap_or_else(|e| panic!("seed {seed} step {step}: oracle failed: {e}"));
+                let cached = controller.report();
+                assert_eq!(
+                    cached.tasks, fresh.tasks,
+                    "seed {seed} step {step}: task results diverged from scratch analysis"
+                );
+                assert_eq!(
+                    cached.verdicts, fresh.verdicts,
+                    "seed {seed} step {step}: verdicts diverged"
+                );
+                assert_eq!(cached.converged, fresh.converged, "seed {seed} step {step}");
+                assert_eq!(cached.diverged, fresh.diverged, "seed {seed} step {step}");
+                assert!(
+                    controller.schedulable(),
+                    "seed {seed} step {step}: admitted an unschedulable state"
+                );
+            }
+            Verdict::Rejected(reason) => {
+                // (b) rejected batches leave the state byte-identical.
+                assert_eq!(
+                    controller.current_set(),
+                    &snapshot_set,
+                    "seed {seed} step {step}: rejection mutated the set ({reason})"
+                );
+                assert_eq!(
+                    controller.report(),
+                    snapshot_report,
+                    "seed {seed} step {step}: rejection mutated cached results ({reason})"
+                );
+                // Structural rejections must not have burned analysis work.
+                if matches!(reason, RejectReason::Structural(_)) {
+                    assert_eq!(outcome.analyzed_transactions, 0);
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(60))]
+
+    /// The default policy (dirty tracking + warm start + precheck) across
+    /// 60 scenarios × 4 churn batches each.
+    #[test]
+    fn incremental_matches_scratch_default_policy(seed in 0u64..10_000) {
+        churn_session(seed, 4, 3, AdmissionPolicy::default());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(30))]
+
+    /// Warm start disabled: isolates dirty tracking.
+    #[test]
+    fn incremental_matches_scratch_cold_only(seed in 10_000u64..20_000) {
+        churn_session(seed, 3, 2, AdmissionPolicy {
+            warm_start: false,
+            ..AdmissionPolicy::default()
+        });
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(30))]
+
+    /// Dirty tracking disabled (every epoch re-analyzes everything): the
+    /// from-scratch baseline must agree with the oracle too, and rollback
+    /// must still be exact.
+    #[test]
+    fn full_reanalysis_baseline_agrees(seed in 20_000u64..30_000) {
+        churn_session(seed, 3, 2, AdmissionPolicy {
+            dirty_tracking: false,
+            warm_start: false,
+            island_threads: 1,
+            ..AdmissionPolicy::default()
+        });
+    }
+}
+
+/// Deterministic single-scenario smoke for quick failure triage (mirrors
+/// one proptest case; keeps a stable name for `cargo test <name>`).
+#[test]
+fn churn_session_seed_zero() {
+    churn_session(0, 6, 3, AdmissionPolicy::default());
+}
+
+/// The generated scenarios decompose into several islands; verify the
+/// controller actually avoids work (the incremental claim, not just the
+/// correctness claim).
+#[test]
+fn dirty_tracking_avoids_work_on_clustered_scenarios() {
+    let spec = ScenarioSpec {
+        clusters: 8,
+        platforms_per_cluster: 2,
+        transactions: 24,
+        max_tasks_per_tx: 3,
+        seed: 42,
+        ..ScenarioSpec::default()
+    };
+    let set = random_scenario(&spec);
+    let mut controller =
+        AdmissionController::new(set, AnalysisConfig::default(), AdmissionPolicy::default())
+            .unwrap();
+    let mut churn = ChurnGen::new(&spec, 7);
+    for _ in 0..12 {
+        let batch = churn.next_batch(controller.current_set(), 1);
+        controller.commit(&batch);
+    }
+    let stats = controller.stats();
+    assert!(
+        stats.analyses_avoided > stats.transactions_analyzed,
+        "clustered churn should reuse more results than it recomputes \
+         (analyzed {}, avoided {})",
+        stats.transactions_analyzed,
+        stats.analyses_avoided
+    );
+}

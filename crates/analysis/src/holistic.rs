@@ -29,8 +29,80 @@ pub fn analyze_with(
     set: &TransactionSet,
     config: &AnalysisConfig,
 ) -> Result<SchedulabilityReport, AnalysisError> {
+    analyze_resumed(set, config, None)
+}
+
+/// Converged jitter state carried from a previous analysis, used to resume
+/// the holistic fixpoint instead of restarting it from zero jitters.
+///
+/// `jitters[i][j]` seeds task τi,j's jitter; the layout must match the set
+/// being analyzed (same transaction count and chain lengths), otherwise the
+/// seed is ignored and the analysis cold-starts.
+///
+/// # Soundness
+///
+/// The holistic iteration computes the *least* fixpoint of a monotone map by
+/// iterating upward from the initial jitters. Resuming is exact — it reaches
+/// the same fixpoint as a cold start — whenever the seed is known to lie at
+/// or below the new least fixpoint. That holds when the seed is the converged
+/// fixpoint of a system with *no more* interference than the one being
+/// analyzed: e.g. the same system before extra transactions were added
+/// (interference terms only grow, so the old fixpoint is a pre-fixpoint of
+/// the new map). After *removals* or platform retunes the old fixpoint can
+/// exceed the new least fixpoint, and resuming from it may converge to a
+/// larger (still sound, but pessimistic) fixpoint — callers wanting
+/// exactness must cold-start in that case, as the admission controller does
+/// for non-additive batches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WarmStart {
+    /// Seed jitters, indexed like the transaction set.
+    pub jitters: Vec<Vec<Time>>,
+}
+
+impl WarmStart {
+    /// Extracts the converged jitters of a previous report.
+    pub fn from_report(report: &SchedulabilityReport) -> WarmStart {
+        WarmStart {
+            jitters: report
+                .tasks
+                .iter()
+                .map(|row| row.iter().map(|t| t.jitter).collect())
+                .collect(),
+        }
+    }
+
+    fn matches(&self, set: &TransactionSet) -> bool {
+        self.jitters.len() == set.transactions().len()
+            && self
+                .jitters
+                .iter()
+                .zip(set.transactions())
+                .all(|(row, tx)| row.len() == tx.len())
+    }
+}
+
+/// Runs the analysis, optionally resuming the outer fixpoint from a
+/// previous converged state (see [`WarmStart`] for the exactness contract).
+/// `analyze_resumed(set, config, None)` is exactly [`analyze_with`].
+pub fn analyze_resumed(
+    set: &TransactionSet,
+    config: &AnalysisConfig,
+    warm: Option<&WarmStart>,
+) -> Result<SchedulabilityReport, AnalysisError> {
     let (_, best_responses) = best_case_offsets(set, config.service_mode);
     let mut states = initial_states(set, config.service_mode);
+    if let Some(warm) = warm {
+        debug_assert!(warm.matches(set), "warm-start shape mismatch");
+        if warm.matches(set) {
+            for (row, seed) in states.iter_mut().zip(&warm.jitters) {
+                // First tasks keep the stream's release jitter (a constant of
+                // the iteration, not an iterated coordinate).
+                for (state, &j) in row.iter_mut().zip(seed).skip(1) {
+                    state.jitter = state.jitter.max(j);
+                }
+            }
+        }
+    }
     let refs: Vec<TaskRef> = set.task_refs().collect();
 
     let mut trace: Vec<IterationRecord> = Vec::new();
@@ -165,7 +237,7 @@ fn build_report(
 mod tests {
     use super::*;
     use hsched_numeric::rat;
-    use hsched_platform::{Platform, PlatformSet};
+    use hsched_platform::{Platform, PlatformId, PlatformSet};
     use hsched_transaction::{paper_example, Task, Transaction};
 
     #[test]
@@ -308,6 +380,85 @@ mod tests {
         // First task now carries the stream jitter.
         assert_eq!(report.tasks[0][0].jitter, rat(10, 1));
         assert!(report.response(0, 0) >= plain.response(0, 0) + rat(0, 1));
+    }
+
+    #[test]
+    fn warm_start_from_own_fixpoint_converges_in_one_sweep() {
+        let set = paper_example::transactions();
+        let cold = analyze(&set);
+        let warm = WarmStart::from_report(&cold);
+        let resumed = analyze_resumed(&set, &AnalysisConfig::default(), Some(&warm)).unwrap();
+        assert!(resumed.converged);
+        assert_eq!(resumed.iterations(), 1, "fixpoint seed needs one sweep");
+        for r in set.task_refs() {
+            assert_eq!(resumed.response(r.tx, r.idx), cold.response(r.tx, r.idx));
+            assert_eq!(
+                resumed.tasks[r.tx][r.idx].jitter,
+                cold.tasks[r.tx][r.idx].jitter
+            );
+        }
+    }
+
+    #[test]
+    fn warm_start_is_exact_across_an_additive_change() {
+        // Analyze the paper system, add an interfering transaction, resume
+        // from the old fixpoint: the result must equal a cold start on the
+        // grown system, in fewer sweeps.
+        let base = paper_example::transactions();
+        let old = analyze(&base);
+        let mut txs: Vec<Transaction> = base.transactions().to_vec();
+        txs.push(
+            Transaction::new(
+                "extra",
+                rat(40, 1),
+                rat(80, 1),
+                vec![Task::new("e", rat(1, 1), rat(1, 2), 2, PlatformId(2))],
+            )
+            .unwrap(),
+        );
+        let grown = hsched_transaction::TransactionSet::new(base.platforms().clone(), txs).unwrap();
+        let mut seed = WarmStart::from_report(&old);
+        seed.jitters.push(vec![Time::ZERO]);
+        let cold = analyze(&grown);
+        let resumed = analyze_resumed(&grown, &AnalysisConfig::default(), Some(&seed)).unwrap();
+        assert!(cold.converged && resumed.converged);
+        for r in grown.task_refs() {
+            assert_eq!(
+                resumed.response(r.tx, r.idx),
+                cold.response(r.tx, r.idx),
+                "response mismatch at {r}"
+            );
+            assert_eq!(
+                resumed.tasks[r.tx][r.idx].jitter, cold.tasks[r.tx][r.idx].jitter,
+                "jitter mismatch at {r}"
+            );
+        }
+        assert!(
+            resumed.iterations() <= cold.iterations(),
+            "resume took {} sweeps vs cold {}",
+            resumed.iterations(),
+            cold.iterations()
+        );
+    }
+
+    #[test]
+    fn warm_start_shape_mismatch_falls_back_to_cold() {
+        let set = paper_example::transactions();
+        let bad = WarmStart {
+            jitters: vec![vec![Time::ZERO]; 2],
+        };
+        // debug_assert trips under `cargo test`; exercise the lenient path
+        // only in release. In debug, assert the guard itself.
+        if cfg!(debug_assertions) {
+            assert!(std::panic::catch_unwind(|| {
+                analyze_resumed(&set, &AnalysisConfig::default(), Some(&bad))
+            })
+            .is_err());
+        } else {
+            let cold = analyze(&set);
+            let resumed = analyze_resumed(&set, &AnalysisConfig::default(), Some(&bad)).unwrap();
+            assert_eq!(resumed.tasks, cold.tasks);
+        }
     }
 
     #[test]

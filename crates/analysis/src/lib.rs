@@ -55,7 +55,7 @@ mod report;
 mod rta;
 mod state;
 
-pub use holistic::{analyze, analyze_with, AnalysisError};
+pub use holistic::{analyze, analyze_resumed, analyze_with, AnalysisError, WarmStart};
 pub use par::parallel_map;
 pub use report::{IterationRecord, SchedulabilityReport, TaskResult, TransactionVerdict};
 pub use state::{best_case_offsets, TaskState};

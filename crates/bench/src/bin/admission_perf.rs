@@ -1,0 +1,80 @@
+//! Scripted perf run for the admission subsystem: measures single-
+//! transaction churn on a 50-transaction clustered system under the
+//! incremental controller vs the from-scratch baseline, and writes the
+//! result to `BENCH_admission.json` (hand-rolled JSON; no serde in this
+//! workspace). Run via `scripts/bench_admission.sh` or directly:
+//!
+//! ```sh
+//! cargo run --release -p hsched-bench --bin admission_perf [OUT.json]
+//! ```
+//!
+//! This file starts the repo's admission perf trajectory: CI executes the
+//! run on every push, and the committed `BENCH_admission.json` records the
+//! reference numbers (machine-dependent; compare ratios, not absolutes).
+
+use hsched_admission::gen::random_scenario;
+use hsched_admission::{AdmissionController, AdmissionPolicy};
+use hsched_analysis::AnalysisConfig;
+use hsched_bench::admission_churn::{churn_once, churn_spec};
+use std::time::Instant;
+
+const ITERATIONS: usize = 100;
+
+/// Times `ITERATIONS` remove+re-add churn pairs, returning mean µs/pair.
+fn run_churn(policy: AdmissionPolicy) -> (f64, hsched_admission::ControllerStats) {
+    let set = random_scenario(&churn_spec());
+    let victim = set.transactions().last().expect("non-empty").clone();
+    let mut controller = AdmissionController::new(set, AnalysisConfig::default(), policy)
+        .expect("seed analysis succeeds");
+    // Warm-up pair (first epoch pays one full analysis in the cache).
+    churn_once(&mut controller, &victim);
+    let start = Instant::now();
+    for _ in 0..ITERATIONS {
+        churn_once(&mut controller, &victim);
+    }
+    let elapsed = start.elapsed();
+    (
+        elapsed.as_secs_f64() * 1e6 / ITERATIONS as f64,
+        controller.stats(),
+    )
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_admission.json".to_string());
+
+    let (incremental_us, inc_stats) = run_churn(AdmissionPolicy {
+        island_threads: 1,
+        ..AdmissionPolicy::default()
+    });
+    let (cold_dirty_us, _) = run_churn(AdmissionPolicy {
+        island_threads: 1,
+        warm_start: false,
+        ..AdmissionPolicy::default()
+    });
+    let (scratch_us, _) = run_churn(AdmissionPolicy {
+        dirty_tracking: false,
+        warm_start: false,
+        island_threads: 1,
+        ..AdmissionPolicy::default()
+    });
+    let speedup = scratch_us / incremental_us;
+    let dirty_fraction = inc_stats.transactions_analyzed as f64
+        / (inc_stats.transactions_analyzed + inc_stats.analyses_avoided) as f64;
+
+    let json = format!(
+        "{{\n  \"bench\": \"admission_single_tx_churn\",\n  \"system\": {{\"transactions\": 50, \"platforms\": 20, \"clusters\": 10, \"seed\": 1}},\n  \"iterations\": {ITERATIONS},\n  \"unit\": \"us_per_remove_readd_pair\",\n  \"incremental_us\": {incremental_us:.1},\n  \"incremental_cold_us\": {cold_dirty_us:.1},\n  \"from_scratch_us\": {scratch_us:.1},\n  \"speedup_incremental_vs_scratch\": {speedup:.2},\n  \"dirty_fraction\": {dirty_fraction:.3}\n}}\n"
+    );
+    std::fs::write(&out_path, &json).expect("write bench json");
+    print!("{json}");
+    println!(
+        "wrote {out_path}: incremental {incremental_us:.1} µs vs from-scratch {scratch_us:.1} µs \
+         ({speedup:.2}x, analyzing {:.1}% of transactions per epoch)",
+        dirty_fraction * 100.0
+    );
+    assert!(
+        speedup > 1.0,
+        "incremental admission must beat from-scratch on single-transaction churn"
+    );
+}

@@ -8,6 +8,48 @@ pub use workload::{random_system, WorkloadSpec};
 
 use hsched_transaction::{TaskRef, TransactionSet};
 
+/// The reference admission-churn workload, shared by the
+/// `admission_bench` criterion bench and the `admission_perf` binary (which
+/// records `BENCH_admission.json`) so the two cannot silently measure
+/// different systems.
+pub mod admission_churn {
+    use hsched_admission::gen::ScenarioSpec;
+    use hsched_admission::{AdmissionController, AdmissionRequest};
+    use hsched_transaction::Transaction;
+
+    /// The headline system: 50 transactions over 10 two-platform clusters,
+    /// seed 1 (verified schedulable, so the churn below stays admissible).
+    pub fn churn_spec() -> ScenarioSpec {
+        ScenarioSpec {
+            clusters: 10,
+            platforms_per_cluster: 2,
+            transactions: 50,
+            max_tasks_per_tx: 3,
+            seed: 1,
+            ..ScenarioSpec::default()
+        }
+    }
+
+    /// One single-transaction churn epoch pair: retire `victim`, re-admit
+    /// it. The state returns to the start, so iterations are independent.
+    pub fn churn_once(controller: &mut AdmissionController, victim: &Transaction) {
+        let out = controller.admit(AdmissionRequest::RemoveTransaction {
+            name: victim.name.clone(),
+        });
+        assert!(
+            out.verdict.admitted(),
+            "churn remove rejected: {}",
+            out.verdict
+        );
+        let out = controller.admit(AdmissionRequest::AddTransaction(victim.clone()));
+        assert!(
+            out.verdict.admitted(),
+            "churn re-add rejected: {}",
+            out.verdict
+        );
+    }
+}
+
 /// The scenario count of the exact analysis for one task (Eq. 12 of the
 /// paper): `(Na + 1) · Π_{i ≠ a, hpi ≠ ∅} Ni`, where `Ni` is the number of
 /// tasks of Γi with priority ≥ the task's on the same platform.

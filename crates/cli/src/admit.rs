@@ -1,0 +1,273 @@
+//! The `hsched admit` subcommand: drive an online admission controller
+//! from a plain-text request script (format documented in the
+//! `hsched-admission` crate docs and in `hsched help`).
+
+use crate::json::{write_report, JsonWriter};
+use hsched_admission::{
+    AdmissionController, AdmissionPolicy, AdmissionRequest, EpochOutcome, RejectReason, Verdict,
+};
+use hsched_numeric::{Rational, Time};
+use hsched_transaction::{Task, Transaction, TransactionSet};
+use std::fmt::Write as _;
+
+/// Parses a request script into commit batches. Platform references are by
+/// *name*, resolved against the spec's platform set; `commit` lines close a
+/// batch, and trailing requests form a final implicit batch.
+pub(crate) fn parse_script(
+    source: &str,
+    set: &TransactionSet,
+) -> Result<Vec<Vec<AdmissionRequest>>, String> {
+    let mut batches = Vec::new();
+    let mut current: Vec<AdmissionRequest> = Vec::new();
+    for (line_no, raw_line) in source.lines().enumerate() {
+        let line = raw_line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let at = |message: String| format!("script line {}: {message}", line_no + 1);
+        match tokens.next() {
+            Some("commit") => {
+                batches.push(std::mem::take(&mut current));
+            }
+            Some("add") => {
+                current.push(parse_add(&mut tokens, set).map_err(at)?);
+            }
+            Some("remove") => {
+                let name = tokens
+                    .next()
+                    .ok_or_else(|| at("`remove` needs a transaction name".into()))?;
+                current.push(AdmissionRequest::RemoveTransaction {
+                    name: name.to_string(),
+                });
+            }
+            Some("retune") => {
+                current.push(parse_retune(&mut tokens, set).map_err(at)?);
+            }
+            Some(other) => {
+                return Err(at(format!(
+                    "unknown request `{other}` (expected add/remove/retune/commit)"
+                )));
+            }
+            None => unreachable!("blank lines are skipped"),
+        }
+        if let Some(extra) = tokens.next() {
+            return Err(at(format!("trailing tokens starting at `{extra}`")));
+        }
+    }
+    if !current.is_empty() {
+        batches.push(current);
+    }
+    Ok(batches)
+}
+
+fn expect_keyword<'a>(
+    tokens: &mut impl Iterator<Item = &'a str>,
+    keyword: &str,
+) -> Result<(), String> {
+    match tokens.next() {
+        Some(t) if t == keyword => Ok(()),
+        Some(t) => Err(format!("expected `{keyword}`, found `{t}`")),
+        None => Err(format!("expected `{keyword}`, found end of line")),
+    }
+}
+
+fn expect_rational<'a>(
+    tokens: &mut impl Iterator<Item = &'a str>,
+    what: &str,
+) -> Result<Rational, String> {
+    let token = tokens
+        .next()
+        .ok_or_else(|| format!("missing {what} value"))?;
+    token
+        .parse::<Rational>()
+        .map_err(|e| format!("bad {what} `{token}`: {e}"))
+}
+
+fn platform_by_name(
+    set: &TransactionSet,
+    name: &str,
+) -> Result<hsched_platform::PlatformId, String> {
+    set.platforms()
+        .by_name(name)
+        .map(|(id, _)| id)
+        .ok_or_else(|| format!("unknown platform `{name}`"))
+}
+
+/// `add <name> period <r> deadline <r> [jitter <r>] task <n> wcet <r>
+/// bcet <r> prio <u> on <platform> [task ...]`
+fn parse_add<'a>(
+    tokens: &mut impl Iterator<Item = &'a str>,
+    set: &TransactionSet,
+) -> Result<AdmissionRequest, String> {
+    let name = tokens
+        .next()
+        .ok_or_else(|| "`add` needs a transaction name".to_string())?;
+    expect_keyword(tokens, "period")?;
+    let period: Time = expect_rational(tokens, "period")?;
+    expect_keyword(tokens, "deadline")?;
+    let deadline: Time = expect_rational(tokens, "deadline")?;
+
+    let mut jitter = Rational::ZERO;
+    let mut tasks = Vec::new();
+    loop {
+        match tokens.next() {
+            Some("jitter") if tasks.is_empty() => jitter = expect_rational(tokens, "jitter")?,
+            Some("task") => {
+                let task_name = tokens
+                    .next()
+                    .ok_or_else(|| "`task` needs a name".to_string())?;
+                expect_keyword(tokens, "wcet")?;
+                let wcet = expect_rational(tokens, "wcet")?;
+                expect_keyword(tokens, "bcet")?;
+                let bcet = expect_rational(tokens, "bcet")?;
+                expect_keyword(tokens, "prio")?;
+                let prio_token = tokens
+                    .next()
+                    .ok_or_else(|| "missing prio value".to_string())?;
+                let priority: u32 = prio_token
+                    .parse()
+                    .map_err(|_| format!("bad prio `{prio_token}`"))?;
+                expect_keyword(tokens, "on")?;
+                let platform_name = tokens
+                    .next()
+                    .ok_or_else(|| "missing platform name after `on`".to_string())?;
+                let platform = platform_by_name(set, platform_name)?;
+                tasks.push(Task::new(
+                    format!("{name}.{task_name}"),
+                    wcet,
+                    bcet,
+                    priority,
+                    platform,
+                ));
+            }
+            Some(other) => return Err(format!("expected `task`, found `{other}`")),
+            None => break,
+        }
+    }
+    let tx = Transaction::new(name, period, deadline, tasks)?;
+    let tx = if jitter.is_positive() {
+        tx.with_release_jitter(jitter)
+    } else {
+        tx
+    };
+    Ok(AdmissionRequest::AddTransaction(tx))
+}
+
+/// `retune <platform> alpha <r> delta <r> beta <r>`
+fn parse_retune<'a>(
+    tokens: &mut impl Iterator<Item = &'a str>,
+    set: &TransactionSet,
+) -> Result<AdmissionRequest, String> {
+    let platform_name = tokens
+        .next()
+        .ok_or_else(|| "`retune` needs a platform name".to_string())?;
+    let platform = platform_by_name(set, platform_name)?;
+    expect_keyword(tokens, "alpha")?;
+    let alpha = expect_rational(tokens, "alpha")?;
+    expect_keyword(tokens, "delta")?;
+    let delta = expect_rational(tokens, "delta")?;
+    expect_keyword(tokens, "beta")?;
+    let beta = expect_rational(tokens, "beta")?;
+    Ok(AdmissionRequest::Retune {
+        platform,
+        alpha,
+        delta,
+        beta,
+    })
+}
+
+fn reason_kind(reason: &RejectReason) -> &'static str {
+    match reason {
+        RejectReason::Structural(_) => "structural",
+        RejectReason::Overload { .. } => "overload",
+        RejectReason::Unschedulable { .. } => "unschedulable",
+        RejectReason::Analysis(_) => "analysis",
+        RejectReason::Numeric(_) => "numeric",
+    }
+}
+
+/// Runs the parsed batches through a controller seeded with `set`, and
+/// renders the per-epoch verdicts plus the final system state.
+pub(crate) fn run_admission(
+    path: &str,
+    set: TransactionSet,
+    batches: &[Vec<AdmissionRequest>],
+    policy: AdmissionPolicy,
+    json: bool,
+) -> Result<String, String> {
+    let mut controller =
+        AdmissionController::new(set, hsched_analysis::AnalysisConfig::default(), policy)?;
+    let initial_transactions = controller.current_set().transactions().len();
+    let outcomes: Vec<EpochOutcome> = batches
+        .iter()
+        .map(|batch| controller.commit(batch))
+        .collect();
+
+    if json {
+        let mut w = JsonWriter::new();
+        w.begin_object().field_str("spec", path);
+        w.begin_array_field("epochs");
+        for outcome in &outcomes {
+            w.begin_object()
+                .field_raw("epoch", outcome.epoch)
+                .field_str(
+                    "verdict",
+                    if outcome.verdict.admitted() {
+                        "admitted"
+                    } else {
+                        "rejected"
+                    },
+                )
+                .field_raw("requests", outcome.requests)
+                .field_raw("analyzed", outcome.analyzed_transactions)
+                .field_raw("total", outcome.total_transactions)
+                .field_raw("islands", outcome.islands)
+                .field_raw("warm", outcome.warm_started);
+            if let Verdict::Rejected(reason) = &outcome.verdict {
+                w.field_str("reason", reason_kind(reason))
+                    .field_str("detail", &reason.to_string());
+            }
+            w.end_object();
+        }
+        w.end_array();
+        let stats = controller.stats();
+        w.object_field("stats")
+            .field_raw("admitted", stats.admitted)
+            .field_raw("rejected", stats.rejected)
+            .field_raw("transactions_analyzed", stats.transactions_analyzed)
+            .field_raw("analyses_avoided", stats.analyses_avoided)
+            .field_raw("warm_epochs", stats.warm_epochs)
+            .end_object();
+        write_report(&mut w, Some("final"), &controller.report());
+        w.end_object();
+        return Ok(w.finish());
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{path}: {} batch(es) against {initial_transactions} initial transaction(s)",
+        batches.len(),
+    );
+    for outcome in &outcomes {
+        let _ = writeln!(out, "{outcome}");
+    }
+    let stats = controller.stats();
+    let _ = writeln!(
+        out,
+        "admitted {} / rejected {}; analyzed {} transaction(s), reused {} cached result(s){}",
+        stats.admitted,
+        stats.rejected,
+        stats.transactions_analyzed,
+        stats.analyses_avoided,
+        if stats.warm_epochs > 0 {
+            format!(", {} warm epoch(s)", stats.warm_epochs)
+        } else {
+            String::new()
+        }
+    );
+    let _ = writeln!(out, "\nfinal system:");
+    let _ = write!(out, "{}", controller.report());
+    Ok(out)
+}

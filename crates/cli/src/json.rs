@@ -1,0 +1,193 @@
+//! A minimal hand-rolled JSON writer (this workspace vendors no serde; see
+//! `vendor/README.md`). Emits compact, valid JSON; exact rationals are
+//! written as display strings (`"2.5"`, `"1/3"`) so no precision is lost,
+//! with the transaction-level verdict booleans as native JSON booleans.
+
+use hsched_analysis::SchedulabilityReport;
+
+/// Incremental JSON builder: push containers and fields, then [`finish`].
+///
+/// [`finish`]: JsonWriter::finish
+pub(crate) struct JsonWriter {
+    buf: String,
+    /// One entry per open container: `true` once a first element was
+    /// written (so the next one needs a comma).
+    stack: Vec<bool>,
+}
+
+impl JsonWriter {
+    pub(crate) fn new() -> JsonWriter {
+        JsonWriter {
+            buf: String::new(),
+            stack: Vec::new(),
+        }
+    }
+
+    fn comma(&mut self) {
+        if let Some(has_elems) = self.stack.last_mut() {
+            if *has_elems {
+                self.buf.push(',');
+            }
+            *has_elems = true;
+        }
+    }
+
+    pub(crate) fn begin_object(&mut self) -> &mut Self {
+        self.comma();
+        self.buf.push('{');
+        self.stack.push(false);
+        self
+    }
+
+    pub(crate) fn end_object(&mut self) -> &mut Self {
+        self.stack.pop();
+        self.buf.push('}');
+        self
+    }
+
+    pub(crate) fn begin_array_field(&mut self, key: &str) -> &mut Self {
+        self.key(key);
+        self.buf.push('[');
+        self.stack.push(false);
+        self
+    }
+
+    pub(crate) fn end_array(&mut self) -> &mut Self {
+        self.stack.pop();
+        self.buf.push(']');
+        self
+    }
+
+    fn key(&mut self, key: &str) {
+        self.comma();
+        self.buf.push('"');
+        self.buf.push_str(&escape(key));
+        self.buf.push_str("\":");
+        // A key is not an element terminator; the value completes the pair.
+        if let Some(has_elems) = self.stack.last_mut() {
+            *has_elems = true;
+        }
+    }
+
+    pub(crate) fn field_str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.key(key);
+        self.buf.push('"');
+        self.buf.push_str(&escape(value));
+        self.buf.push('"');
+        self
+    }
+
+    /// Writes a pre-rendered JSON token (number, boolean, null).
+    pub(crate) fn field_raw(&mut self, key: &str, raw: impl std::fmt::Display) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(&raw.to_string());
+        self
+    }
+
+    pub(crate) fn object_field(&mut self, key: &str) -> &mut Self {
+        self.key(key);
+        self.buf.push('{');
+        self.stack.push(false);
+        self
+    }
+
+    pub(crate) fn finish(mut self) -> String {
+        debug_assert!(self.stack.is_empty(), "unbalanced JSON containers");
+        self.buf.push('\n');
+        self.buf
+    }
+}
+
+/// JSON string escaping (quotes, backslashes, control characters).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes a schedulability report (used by `analyze --json` and as the
+/// `final` section of `admit --json`). Writes into an already-open object
+/// position of `w` via the given key, or as the root when `key` is `None`.
+pub(crate) fn write_report(w: &mut JsonWriter, key: Option<&str>, report: &SchedulabilityReport) {
+    match key {
+        Some(k) => w.object_field(k),
+        None => w.begin_object(),
+    };
+    w.field_raw("schedulable", report.schedulable())
+        .field_raw("converged", report.converged)
+        .field_raw("diverged", report.diverged)
+        .field_raw("iterations", report.iterations());
+    w.begin_array_field("transactions");
+    for (i, verdict) in report.verdicts.iter().enumerate() {
+        w.begin_object()
+            .field_str("name", &verdict.name)
+            .field_raw("schedulable", verdict.schedulable)
+            .field_str("end_to_end", &verdict.end_to_end.to_string())
+            .field_str("deadline", &verdict.deadline.to_string());
+        w.begin_array_field("tasks");
+        for task in &report.tasks[i] {
+            w.begin_object()
+                .field_str("name", &task.name)
+                .field_str("response", &task.response.to_string())
+                .field_str("best_response", &task.best_response.to_string())
+                .field_str("phi", &task.phi.to_string())
+                .field_str("jitter", &task.jitter.to_string())
+                .end_object();
+        }
+        w.end_array().end_object();
+    }
+    w.end_array().end_object();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_produces_valid_nested_json() {
+        let mut w = JsonWriter::new();
+        w.begin_object()
+            .field_str("a", "x\"y\\z\n")
+            .field_raw("n", 3)
+            .field_raw("b", true);
+        w.begin_array_field("list");
+        w.begin_object().field_str("k", "v").end_object();
+        w.begin_object().field_raw("k", 2).end_object();
+        w.end_array();
+        w.object_field("nested").field_raw("m", 1).end_object();
+        w.end_object();
+        let out = w.finish();
+        assert_eq!(
+            out,
+            "{\"a\":\"x\\\"y\\\\z\\n\",\"n\":3,\"b\":true,\
+             \"list\":[{\"k\":\"v\"},{\"k\":2}],\"nested\":{\"m\":1}}\n"
+        );
+    }
+
+    #[test]
+    fn report_serialization_contains_all_sections() {
+        let report = hsched_analysis::analyze(&hsched_transaction::paper_example::transactions());
+        let mut w = JsonWriter::new();
+        write_report(&mut w, None, &report);
+        let out = w.finish();
+        assert!(out.starts_with('{') && out.ends_with("}\n"));
+        assert!(out.contains("\"schedulable\":true"));
+        assert!(out.contains("\"iterations\":4"));
+        assert!(out.contains("\"Integrator.Thread2\""));
+        assert!(out.contains("\"response\":\"31\""));
+        // Balanced braces/brackets (cheap structural sanity).
+        let opens = out.matches('{').count() + out.matches('[').count();
+        let closes = out.matches('}').count() + out.matches(']').count();
+        assert_eq!(opens, closes);
+    }
+}

@@ -3,14 +3,20 @@
 //! ```text
 //! hsched check    spec.hsc                 parse + validate, print warnings
 //! hsched analyze  spec.hsc [opts]          schedulability report + trace
+//! hsched admit    spec.hsc script [opts]   online admission from a script
 //! hsched simulate spec.hsc [opts]          run the DES, report stats/Gantt
 //! hsched optimize spec.hsc [opts]          minimize Σα, synthesize servers
 //! hsched fmt      spec.hsc                 canonical pretty-print
 //! ```
 //!
 //! The command logic lives in this library (returning the rendered output as
-//! a `String`) so it is unit-testable; `main.rs` is a thin shim.
+//! a `String`) so it is unit-testable; `main.rs` is a thin shim. Every
+//! command's output ends with exactly one trailing newline.
 
+mod admit;
+mod json;
+
+use hsched_admission::AdmissionPolicy;
 use hsched_analysis::{analyze_with, AnalysisConfig, ScenarioMode, ServiceTimeMode, UpdateOrder};
 use hsched_design::{minimize_bandwidth, sensitivity_report, synthesize_server, DesignConfig};
 use hsched_numeric::{rat, Rational, Time};
@@ -28,6 +34,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
     match command.as_str() {
         "check" => cmd_check(&args[1..]),
         "analyze" => cmd_analyze(&args[1..]),
+        "admit" => cmd_admit(&args[1..]),
         "simulate" => cmd_simulate(&args[1..]),
         "optimize" => cmd_optimize(&args[1..]),
         "headroom" => cmd_headroom(&args[1..]),
@@ -48,6 +55,7 @@ USAGE:
 COMMANDS:
     check       parse and validate a specification
     analyze     holistic schedulability analysis (§3 of the paper)
+    admit       online admission control driven by a request script
     simulate    discrete-event simulation
     optimize    platform bandwidth minimization (§5 future work)
     headroom    per-task WCET sensitivity (largest schedulable scale factor)
@@ -61,6 +69,17 @@ ANALYZE OPTIONS:
     --threads <N>     parallel per-task analysis (0 = all cores)
     --trace <TX>      print the iteration trace of transaction index TX
     --no-external     do not generate transactions for unbound provided methods
+    --json            machine-readable report on stdout (exit 0 even on MISS)
+
+ADMIT: hsched admit <SPEC.hsc> <SCRIPT> [OPTIONS]
+    The script holds add/remove/retune request lines batched by `commit`
+    (see the hsched-admission crate docs for the grammar). Exit 0 unless
+    the spec or script is malformed; rejections are regular output.
+    --json            machine-readable verdicts + final report
+    --threads <N>     parallel island analysis (0 = all cores)
+    --no-external     as for analyze
+    --cold            disable warm-started fixpoints
+    --full            disable dirty tracking (re-analyze everything)
 
 SIMULATE OPTIONS:
     --horizon <T>     simulated time (default 1000)
@@ -152,6 +171,13 @@ fn cmd_analyze(args: &[String]) -> Result<String, String> {
         config.threads = n.parse().map_err(|_| format!("bad thread count `{n}`"))?;
     }
     let report = analyze_with(&set, &config).map_err(|e| e.to_string())?;
+    if opt_flag(args, "--json") {
+        // Machine-readable contract: the verdict lives in the payload, so
+        // the exit code is 0 regardless of schedulability.
+        let mut w = json::JsonWriter::new();
+        json::write_report(&mut w, None, &report);
+        return Ok(w.finish());
+    }
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -175,6 +201,32 @@ fn cmd_analyze(args: &[String]) -> Result<String, String> {
     } else {
         Err(out)
     }
+}
+
+fn cmd_admit(args: &[String]) -> Result<String, String> {
+    let (path, set) = load(args)?;
+    // Strictly positional (`admit <SPEC> <SCRIPT> [OPTIONS]`): scanning for
+    // "any non-flag token" would mistake a flag's value for the script.
+    let Some(script_path) = args.get(1).filter(|a| !a.starts_with("--")) else {
+        return Err("expected a request script path after the spec".to_string());
+    };
+    let script = std::fs::read_to_string(script_path)
+        .map_err(|e| format!("cannot read `{script_path}`: {e}"))?;
+    let batches = admit::parse_script(&script, &set).map_err(|e| format!("{script_path}: {e}"))?;
+    let mut policy = AdmissionPolicy {
+        external_stimuli: !opt_flag(args, "--no-external"),
+        ..AdmissionPolicy::default()
+    };
+    if let Some(n) = opt_value(args, "--threads")? {
+        policy.island_threads = n.parse().map_err(|_| format!("bad thread count `{n}`"))?;
+    }
+    if opt_flag(args, "--cold") {
+        policy.warm_start = false;
+    }
+    if opt_flag(args, "--full") {
+        policy.dirty_tracking = false;
+    }
+    admit::run_admission(&path, set, &batches, policy, opt_flag(args, "--json"))
 }
 
 fn cmd_simulate(args: &[String]) -> Result<String, String> {
@@ -549,6 +601,121 @@ instance I : W on S node 0;
         ]))
         .unwrap();
         assert!(out.contains("schedulability: OK"));
+    }
+
+    #[test]
+    fn analyze_json_reports_verdict_with_exit_zero() {
+        let path = spec_file();
+        let out = run(&args(&["analyze", path.to_str().unwrap(), "--json"])).unwrap();
+        assert!(out.starts_with('{') && out.ends_with("}\n"));
+        assert!(out.contains("\"schedulable\":true"));
+        assert!(out.contains("\"Integrator.Thread2\""));
+
+        // Unschedulable spec: still Ok (exit 0), verdict in the payload.
+        let mut f = tempfile::Builder::new().suffix(".hsc").tempfile().unwrap();
+        f.write_all(
+            br#"
+class W {
+    thread T periodic period 10 priority 1 { task a wcet 2 bcet 1; }
+}
+platform S cpu alpha 0.25 delta 3 beta 0;
+instance I : W on S node 0;
+"#,
+        )
+        .unwrap();
+        let bad = f.into_temp_path();
+        let out = run(&args(&["analyze", bad.to_str().unwrap(), "--json"])).unwrap();
+        assert!(out.contains("\"schedulable\":false"));
+    }
+
+    fn script_file(content: &str) -> tempfile::TempPath {
+        let mut f = tempfile::Builder::new().suffix(".req").tempfile().unwrap();
+        f.write_all(content.as_bytes()).unwrap();
+        f.into_temp_path()
+    }
+
+    #[test]
+    fn admit_command_runs_batches() {
+        let spec = spec_file();
+        let script = script_file(
+            "# a light arrival, then a doomed overload, then a departure\n\
+             add probe period 60 deadline 120 task p wcet 1 bcet 0.5 prio 1 on Pi1\n\
+             commit\n\
+             add hog period 10 deadline 10 task h wcet 9 bcet 9 prio 9 on Pi3\n\
+             commit\n\
+             remove probe\n",
+        );
+        let out = run(&args(&[
+            "admit",
+            spec.to_str().unwrap(),
+            script.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("3 batch(es) against 4 initial transaction(s)"));
+        assert!(out.contains("epoch 1: admitted"));
+        assert!(out.contains("epoch 2: rejected (overload on Pi3"));
+        assert!(out.contains("epoch 3: admitted"));
+        assert!(out.contains("admitted 2 / rejected 1"));
+        assert!(out.contains("final system:"));
+        assert!(out.ends_with('\n'));
+    }
+
+    #[test]
+    fn admit_command_json_and_retune() {
+        let spec = spec_file();
+        let script = script_file(
+            "retune Pi3 alpha 0.3 delta 1 beta 1\n\
+             commit\n",
+        );
+        let out = run(&args(&[
+            "admit",
+            spec.to_str().unwrap(),
+            script.to_str().unwrap(),
+            "--json",
+        ]))
+        .unwrap();
+        assert!(out.starts_with('{') && out.ends_with("}\n"));
+        assert!(out.contains("\"verdict\":\"admitted\""));
+        assert!(out.contains("\"final\":{"));
+        assert!(out.contains("\"schedulable\":true"));
+    }
+
+    #[test]
+    fn admit_script_errors_are_reported() {
+        let spec = spec_file();
+        let script = script_file("add broken period 10\n");
+        let err = run(&args(&[
+            "admit",
+            spec.to_str().unwrap(),
+            script.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("script line 1"), "{err}");
+
+        let script = script_file("retune NoSuch alpha 0.5 delta 1 beta 0\n");
+        let err = run(&args(&[
+            "admit",
+            spec.to_str().unwrap(),
+            script.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("unknown platform `NoSuch`"), "{err}");
+
+        let err = run(&args(&["admit", spec.to_str().unwrap()])).unwrap_err();
+        assert!(err.contains("request script"), "{err}");
+
+        // Strictly positional: a flag between spec and script must not have
+        // its value mistaken for the script path.
+        let script = script_file("remove nothing\n");
+        let err = run(&args(&[
+            "admit",
+            spec.to_str().unwrap(),
+            "--threads",
+            "2",
+            script.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("request script"), "{err}");
     }
 
     #[test]

@@ -3,7 +3,14 @@
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match hsched_cli::run(&args) {
-        Ok(output) => print!("{output}"),
+        Ok(output) => {
+            // Success and failure paths emit exactly one trailing newline,
+            // whatever the command printer produced.
+            print!("{output}");
+            if !output.ends_with('\n') {
+                println!();
+            }
+        }
         Err(message) => {
             eprint!("{message}");
             if !message.ends_with('\n') {

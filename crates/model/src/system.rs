@@ -114,6 +114,51 @@ impl System {
             .enumerate()
             .map(|(i, inst)| (InstanceId(i), inst))
     }
+
+    /// Removes an instance, returning it. The instance's own (outgoing)
+    /// bindings are dropped with it; the removal is refused if any *other*
+    /// instance still binds to one of its provided methods, since that
+    /// caller would be left dangling. Instance ids greater than `id` shift
+    /// down by one (in the returned system and in every retained binding),
+    /// exactly as if the instance had never been added.
+    ///
+    /// This is the structural half of online departure handling: the
+    /// admission controller uses it to retire components without rebuilding
+    /// the system from scratch.
+    pub fn remove_instance(&mut self, id: InstanceId) -> Result<ComponentInstance, String> {
+        if id.0 >= self.instances.len() {
+            return Err(format!(
+                "instance id {} out of range (system has {})",
+                id.0,
+                self.instances.len()
+            ));
+        }
+        if let Some(b) = self.bindings.iter().find(|b| b.to == id && b.from != id) {
+            return Err(format!(
+                "cannot remove `{}`: instance `{}` still binds `{}` to its `{}`",
+                self.instances[id.0].name, self.instances[b.from.0].name, b.required, b.provided
+            ));
+        }
+        self.bindings.retain(|b| b.from != id);
+        for b in &mut self.bindings {
+            if b.from.0 > id.0 {
+                b.from.0 -= 1;
+            }
+            if b.to.0 > id.0 {
+                b.to.0 -= 1;
+            }
+        }
+        Ok(self.instances.remove(id.0))
+    }
+
+    /// Removes the instance with the given name (see
+    /// [`System::remove_instance`]).
+    pub fn remove_instance_by_name(&mut self, name: &str) -> Result<ComponentInstance, String> {
+        let (id, _) = self
+            .instance_by_name(name)
+            .ok_or_else(|| format!("no instance named `{name}`"))?;
+        self.remove_instance(id)
+    }
 }
 
 /// Fluent builder for a [`System`].
@@ -265,6 +310,49 @@ mod tests {
         let idx = b.add_class(sensor_reading_class());
         assert_eq!(b.class_by_name("SensorReading"), Some(idx));
         assert_eq!(b.class_by_name("Missing"), None);
+    }
+
+    #[test]
+    fn remove_instance_refuses_bound_targets() {
+        let mut sys = paper_system();
+        let (s1, _) = sys.instance_by_name("Sensor1").unwrap();
+        let err = sys.remove_instance(s1).unwrap_err();
+        assert!(err.contains("still binds"), "{err}");
+        assert_eq!(sys.instances.len(), 3, "refused removal must not mutate");
+        assert_eq!(sys.bindings.len(), 2);
+    }
+
+    #[test]
+    fn remove_instance_drops_outgoing_bindings_and_reindexes() {
+        let mut sys = paper_system();
+        let (it, _) = sys.instance_by_name("Integrator").unwrap();
+        let removed = sys.remove_instance(it).unwrap();
+        assert_eq!(removed.name, "Integrator");
+        assert_eq!(sys.instances.len(), 2);
+        assert!(sys.bindings.is_empty(), "its bindings go with it");
+        // Removing a middle instance shifts later ids in bindings.
+        let mut sys = paper_system();
+        let (s2, _) = sys.instance_by_name("Sensor2").unwrap();
+        // Sensor2 is bound by the Integrator: refused.
+        assert!(sys.remove_instance(s2).is_err());
+        // Drop the binding first, then the removal reindexes the other one.
+        sys.bindings.retain(|b| b.required != "readSensor2");
+        sys.remove_instance(s2).unwrap();
+        assert_eq!(sys.instances.len(), 2);
+        let (it, _) = sys.instance_by_name("Integrator").unwrap();
+        assert_eq!(it.0, 1, "Integrator shifted down");
+        let b = sys.binding_for(it, "readSensor1").unwrap();
+        assert_eq!(sys.instances[b.to.0].name, "Sensor1");
+    }
+
+    #[test]
+    fn remove_instance_by_name_and_bad_ids() {
+        let mut sys = paper_system();
+        assert!(sys.remove_instance_by_name("nope").is_err());
+        assert!(sys.remove_instance(InstanceId(17)).is_err());
+        sys.bindings.clear();
+        assert!(sys.remove_instance_by_name("Integrator").is_ok());
+        assert!(sys.instance_by_name("Integrator").is_none());
     }
 
     #[test]

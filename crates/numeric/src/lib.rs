@@ -39,7 +39,7 @@ compile_error!(
 
 mod rational;
 
-pub use rational::{rat, ParseRationalError, Rational};
+pub use rational::{rat, NumericError, ParseRationalError, Rational};
 
 /// A point in time or a duration, in the model's time unit (the paper uses
 /// milliseconds). Exact.

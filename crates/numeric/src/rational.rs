@@ -32,6 +32,40 @@ impl fmt::Display for ParseRationalError {
 
 impl std::error::Error for ParseRationalError {}
 
+/// Error produced by the fallible arithmetic API ([`Rational::try_add`] and
+/// friends): an `i128` overflow in an intermediate product, or a division by
+/// zero. Carries the operation and both operands for diagnostics.
+///
+/// The panicking operator impls (`+`, `-`, `*`, `/`) route through this same
+/// API and panic with the error's message; callers that must survive hostile
+/// inputs (e.g. online admission control evaluating generated workloads) use
+/// the `try_*` methods directly and degrade to a rejection instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NumericError {
+    /// The operation that failed (`"add"`, `"sub"`, `"mul"`, `"div"`).
+    pub op: &'static str,
+    /// Left operand.
+    pub lhs: Rational,
+    /// Right operand.
+    pub rhs: Rational,
+}
+
+impl fmt::Display for NumericError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.op == "div" && self.rhs.is_zero() {
+            write!(f, "rational division by zero: {} / 0", self.lhs)
+        } else {
+            write!(
+                f,
+                "rational {} overflow: {} and {}",
+                self.op, self.lhs, self.rhs
+            )
+        }
+    }
+}
+
+impl std::error::Error for NumericError {}
+
 impl Rational {
     /// Zero.
     pub const ZERO: Rational = Rational { num: 0, den: 1 };
@@ -217,6 +251,47 @@ impl Rational {
         self.checked_mul(Rational::new(rhs.den, rhs.num))
     }
 
+    /// Fallible addition: [`Rational::checked_add`] with a descriptive
+    /// [`NumericError`] instead of `None`.
+    #[inline]
+    pub fn try_add(self, rhs: Rational) -> Result<Rational, NumericError> {
+        self.checked_add(rhs).ok_or(NumericError {
+            op: "add",
+            lhs: self,
+            rhs,
+        })
+    }
+
+    /// Fallible subtraction.
+    #[inline]
+    pub fn try_sub(self, rhs: Rational) -> Result<Rational, NumericError> {
+        self.checked_sub(rhs).ok_or(NumericError {
+            op: "sub",
+            lhs: self,
+            rhs,
+        })
+    }
+
+    /// Fallible multiplication.
+    #[inline]
+    pub fn try_mul(self, rhs: Rational) -> Result<Rational, NumericError> {
+        self.checked_mul(rhs).ok_or(NumericError {
+            op: "mul",
+            lhs: self,
+            rhs,
+        })
+    }
+
+    /// Fallible division: errors on overflow *and* on division by zero.
+    #[inline]
+    pub fn try_div(self, rhs: Rational) -> Result<Rational, NumericError> {
+        self.checked_div(rhs).ok_or(NumericError {
+            op: "div",
+            lhs: self,
+            rhs,
+        })
+    }
+
     /// Reciprocal.
     ///
     /// # Panics
@@ -272,32 +347,21 @@ impl Rational {
 }
 
 macro_rules! forward_binop {
-    ($trait:ident, $method:ident, $checked:ident, $opname:literal) => {
+    ($trait:ident, $method:ident, $fallible:ident) => {
         impl $trait for Rational {
             type Output = Rational;
             #[inline]
             fn $method(self, rhs: Rational) -> Rational {
-                self.$checked(rhs).unwrap_or_else(|| {
-                    panic!("rational {} overflow: {} and {}", $opname, self, rhs)
-                })
+                self.$fallible(rhs).unwrap_or_else(|e| panic!("{e}"))
             }
         }
     };
 }
 
-forward_binop!(Add, add, checked_add, "add");
-forward_binop!(Sub, sub, checked_sub, "sub");
-forward_binop!(Mul, mul, checked_mul, "mul");
-
-impl Div for Rational {
-    type Output = Rational;
-    #[inline]
-    fn div(self, rhs: Rational) -> Rational {
-        assert!(!rhs.is_zero(), "rational division by zero: {self} / 0");
-        self.checked_div(rhs)
-            .unwrap_or_else(|| panic!("rational div overflow: {self} / {rhs}"))
-    }
-}
+forward_binop!(Add, add, try_add);
+forward_binop!(Sub, sub, try_sub);
+forward_binop!(Mul, mul, try_mul);
+forward_binop!(Div, div, try_div);
 
 impl Rem for Rational {
     type Output = Rational;
@@ -716,6 +780,27 @@ mod tests {
         let huge = Rational::from_integer(i128::MAX);
         assert!(huge.checked_add(Rational::ONE).is_none());
         assert_eq!(Rational::ONE.checked_div(Rational::ZERO), None);
+    }
+
+    #[test]
+    fn try_ops_report_operands() {
+        let big = Rational::from_integer(i128::MAX / 2);
+        let e = big.try_mul(Rational::from_integer(4)).unwrap_err();
+        assert_eq!(e.op, "mul");
+        assert_eq!(e.lhs, big);
+        assert!(e.to_string().contains("overflow"));
+        let e = Rational::ONE.try_div(Rational::ZERO).unwrap_err();
+        assert!(e.to_string().contains("division by zero"));
+        assert_eq!(r(1, 2).try_add(r(1, 3)).unwrap(), r(5, 6));
+        assert_eq!(r(1, 2).try_sub(r(1, 3)).unwrap(), r(1, 6));
+        assert_eq!(r(1, 2).try_mul(r(2, 3)).unwrap(), r(1, 3));
+        assert_eq!(r(1, 2).try_div(r(1, 4)).unwrap(), Rational::from_integer(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "rational division by zero")]
+    fn div_by_zero_panics_via_fallible_path() {
+        let _ = Rational::ONE / Rational::ZERO;
     }
 
     #[test]

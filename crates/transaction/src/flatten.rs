@@ -66,12 +66,28 @@ pub fn flatten(
     platforms: &PlatformSet,
     options: FlattenOptions,
 ) -> Result<TransactionSet, FlattenError> {
+    flatten_annotated(system, platforms, options).map(|(set, _)| set)
+}
+
+/// [`flatten`], additionally reporting which instance *originated* each
+/// transaction (the instance whose periodic thread or provided method
+/// triggers it — inlined callee tasks do not change the origin). The vector
+/// is index-aligned with the returned set's transactions.
+///
+/// Online admission uses the annotation to retire every transaction of a
+/// departing component without string-matching on generated names.
+pub fn flatten_annotated(
+    system: &System,
+    platforms: &PlatformSet,
+    options: FlattenOptions,
+) -> Result<(TransactionSet, Vec<InstanceId>), FlattenError> {
     let report = system.validate();
     if !report.is_ok() {
         return Err(FlattenError::Invalid(report.errors));
     }
 
     let mut transactions = Vec::new();
+    let mut origins = Vec::new();
 
     for (id, inst) in system.instances() {
         let class = system.class_of(id);
@@ -87,6 +103,7 @@ pub fn flatten(
                 )
                 .map_err(FlattenError::PlatformMismatch)?;
                 transactions.push(tx);
+                origins.push(id);
             }
         }
     }
@@ -119,11 +136,14 @@ pub fn flatten(
                 )
                 .map_err(FlattenError::PlatformMismatch)?;
                 transactions.push(tx);
+                origins.push(id);
             }
         }
     }
 
-    TransactionSet::new(platforms.clone(), transactions).map_err(FlattenError::PlatformMismatch)
+    let set = TransactionSet::new(platforms.clone(), transactions)
+        .map_err(FlattenError::PlatformMismatch)?;
+    Ok((set, origins))
 }
 
 /// Appends the tasks of `thread` (running in `instance`) to `out`, inlining
@@ -277,6 +297,20 @@ mod tests {
         assert_eq!(gamma4.deadline, rat(70, 1));
         assert_eq!(gamma4.tasks().len(), 1);
         assert_eq!(gamma4.tasks()[0].wcet, rat(7, 1));
+    }
+
+    #[test]
+    fn annotated_flatten_reports_origin_instances() {
+        let (system, platforms) = paper_system();
+        let (set, origins) =
+            flatten_annotated(&system, &platforms, FlattenOptions::default()).unwrap();
+        assert_eq!(origins.len(), set.transactions().len());
+        let names: Vec<&str> = origins
+            .iter()
+            .map(|id| system.instances[id.0].name.as_str())
+            .collect();
+        // Sensor1.Thread1, Sensor2.Thread1, Integrator.Thread2, Integrator.read
+        assert_eq!(names, ["Sensor1", "Sensor2", "Integrator", "Integrator"]);
     }
 
     #[test]

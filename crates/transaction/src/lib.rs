@@ -29,5 +29,5 @@ mod flatten;
 mod model;
 pub mod paper_example;
 
-pub use flatten::{flatten, FlattenError, FlattenOptions};
+pub use flatten::{flatten, flatten_annotated, FlattenError, FlattenOptions};
 pub use model::{Task, TaskKind, TaskRef, Transaction, TransactionSet};

@@ -280,6 +280,63 @@ impl TransactionSet {
     pub fn with_platforms(&self, platforms: PlatformSet) -> Result<TransactionSet, String> {
         TransactionSet::new(platforms, self.transactions.clone())
     }
+
+    /// Index of the first transaction with the given name.
+    pub fn transaction_index(&self, name: &str) -> Option<usize> {
+        self.transactions.iter().position(|t| t.name == name)
+    }
+
+    /// Appends a transaction, validating its platform references against the
+    /// set. Returns the new transaction's index. This is the arrival half of
+    /// online admission: the set mutates in place instead of being rebuilt.
+    pub fn push_transaction(&mut self, tx: Transaction) -> Result<usize, String> {
+        for task in tx.tasks() {
+            if self.platforms.get(task.platform).is_none() {
+                return Err(format!(
+                    "task `{}` maps to unknown platform {}",
+                    task.name, task.platform
+                ));
+            }
+        }
+        self.transactions.push(tx);
+        Ok(self.transactions.len() - 1)
+    }
+
+    /// Removes and returns the transaction at `index`; later indices shift
+    /// down by one. The departure half of online admission (and of admission
+    /// rollback, which undoes an arrival without rebuilding the set).
+    pub fn remove_transaction(&mut self, index: usize) -> Result<Transaction, String> {
+        if index >= self.transactions.len() {
+            return Err(format!(
+                "transaction index {index} out of range (set has {})",
+                self.transactions.len()
+            ));
+        }
+        Ok(self.transactions.remove(index))
+    }
+
+    /// Removes the first transaction with the given name.
+    pub fn remove_transaction_by_name(&mut self, name: &str) -> Result<Transaction, String> {
+        let index = self
+            .transaction_index(name)
+            .ok_or_else(|| format!("no transaction named `{name}`"))?;
+        self.remove_transaction(index)
+    }
+
+    /// Replaces the platform at `id` in place — the retune operation of
+    /// online admission. Task→platform references are by id, so the
+    /// transactions are untouched; only the service parameters change.
+    pub fn replace_platform(
+        &mut self,
+        id: PlatformId,
+        platform: hsched_platform::Platform,
+    ) -> Result<(), String> {
+        if self.platforms.get(id).is_none() {
+            return Err(format!("platform {id} out of range"));
+        }
+        self.platforms.replace(id, platform);
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -393,6 +450,55 @@ mod tests {
         assert_eq!(set.num_tasks(), 3);
         assert_eq!(set.task(refs[2]).name, "c");
         assert_eq!(refs[1].to_string(), "τ1,2");
+    }
+
+    #[test]
+    fn mutators_add_remove_retune() {
+        let mut platforms = PlatformSet::new();
+        let p = platforms.add(Platform::dedicated("cpu"));
+        let tx = |name: &str| {
+            Transaction::new(
+                name,
+                rat(10, 1),
+                rat(10, 1),
+                vec![Task::new(format!("{name}_a"), rat(1, 1), rat(1, 1), 1, p)],
+            )
+            .unwrap()
+        };
+        let mut set = TransactionSet::new(platforms, vec![tx("first")]).unwrap();
+
+        // push validates platform ids.
+        let bad = Transaction::new(
+            "bad",
+            rat(10, 1),
+            rat(10, 1),
+            vec![Task::new("b", rat(1, 1), rat(1, 1), 1, PlatformId(9))],
+        )
+        .unwrap();
+        assert!(set.push_transaction(bad).is_err());
+        assert_eq!(set.push_transaction(tx("second")).unwrap(), 1);
+        assert_eq!(set.transaction_index("second"), Some(1));
+        assert_eq!(set.transaction_index("nope"), None);
+
+        // remove shifts later indices and returns the transaction.
+        let removed = set.remove_transaction_by_name("first").unwrap();
+        assert_eq!(removed.name, "first");
+        assert_eq!(set.transaction_index("second"), Some(0));
+        assert!(set.remove_transaction(5).is_err());
+        assert!(set.remove_transaction_by_name("first").is_err());
+
+        // retune swaps service parameters without touching transactions.
+        let before = set.transactions().to_vec();
+        set.replace_platform(
+            p,
+            Platform::linear("cpu", rat(1, 2), rat(1, 1), rat(0, 1)).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(set.platforms()[p].alpha(), rat(1, 2));
+        assert_eq!(set.transactions(), &before[..]);
+        assert!(set
+            .replace_platform(PlatformId(9), Platform::dedicated("x"))
+            .is_err());
     }
 
     #[test]

@@ -1,0 +1,26 @@
+// The paper's §2 system (Tables 1-2): seed state for the admission demo.
+class SensorReading {
+    provided read() mit 50;
+    thread Thread1 periodic period 15 priority 2 { task acquire wcet 1 bcet 0.25; }
+    thread Thread2 realizes read priority 1 { task serve_read wcet 1 bcet 0.8; }
+}
+class SensorIntegration {
+    provided read() mit 70;
+    required readSensor1();
+    required readSensor2();
+    thread Thread1 realizes read priority 1 { task serve_read wcet 7 bcet 5; }
+    thread Thread2 periodic period 50 priority 2 {
+        task init wcet 1 bcet 0.8;
+        call readSensor1;
+        call readSensor2;
+        task compute wcet 1 bcet 0.8;
+    }
+}
+platform Pi1 cpu alpha 0.4 delta 1 beta 1;
+platform Pi2 cpu alpha 0.4 delta 1 beta 1;
+platform Pi3 cpu alpha 0.2 delta 2 beta 1;
+instance Sensor1 : SensorReading on Pi1 node 0;
+instance Sensor2 : SensorReading on Pi2 node 0;
+instance Integrator : SensorIntegration on Pi3 node 0;
+bind Integrator.readSensor1 -> Sensor1.read;
+bind Integrator.readSensor2 -> Sensor2.read;

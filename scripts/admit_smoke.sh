@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Smoke test for the `hsched admit` subcommand: drive the demo request
+# script against the paper system, in both human and JSON output modes,
+# and grep for the expected verdicts. CI runs this on every push.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SPEC=scripts/admit_demo.hsc
+SCRIPT=scripts/admit_demo.req
+
+out=$(cargo run --release --quiet --locked -p hsched-cli --bin hsched -- admit "$SPEC" "$SCRIPT")
+echo "$out"
+echo "$out" | grep -q "epoch 1: admitted"
+echo "$out" | grep -q "epoch 2: rejected (overload on Pi3)"
+echo "$out" | grep -q "epoch 3: admitted"
+echo "$out" | grep -q "epoch 4: admitted"
+echo "$out" | grep -q "admitted 3 / rejected 1"
+
+json=$(cargo run --release --quiet --locked -p hsched-cli --bin hsched -- admit "$SPEC" "$SCRIPT" --json)
+echo "$json" | grep -q '"verdict":"admitted"'
+echo "$json" | grep -q '"reason":"overload"'
+echo "$json" | grep -q '"schedulable":true'
+
+echo "admit smoke: OK"

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Scripted perf run for the admission subsystem: regenerates
+# BENCH_admission.json (incremental vs from-scratch churn timings and the
+# speedup). The binary asserts speedup > 1, so this doubles as a perf
+# regression gate. CI runs it on every push; commit the refreshed JSON when
+# the numbers move materially.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release --quiet --locked -p hsched-bench --bin admission_perf BENCH_admission.json

@@ -18,6 +18,7 @@
 //! | [`model`] | `hsched-model` | components, threads, RPC bindings, validation |
 //! | [`transaction`] | `hsched-transaction` | transactions + the §2.4 flattening |
 //! | [`analysis`] | `hsched-analysis` | the §3 response-time analyses |
+//! | [`admission`] | `hsched-admission` | online admission control (incremental analysis, scenario generator) |
 //! | [`sim`] | `hsched-sim` | discrete-event simulator (validation oracle) |
 //! | [`spec`] | `hsched-spec` | the `.hsc` specification language |
 //! | [`design`] | `hsched-design` | platform-parameter optimization (§5 future work) |
@@ -45,6 +46,7 @@
 //! }
 //! ```
 
+pub use hsched_admission as admission;
 pub use hsched_analysis as analysis;
 pub use hsched_design as design;
 pub use hsched_model as model;
@@ -57,6 +59,7 @@ pub use hsched_transaction as transaction;
 
 /// The most commonly used items in one import.
 pub mod prelude {
+    pub use hsched_admission::{AdmissionController, AdmissionPolicy, AdmissionRequest};
     pub use hsched_analysis::{analyze, analyze_with, AnalysisConfig, SchedulabilityReport};
     pub use hsched_design::{min_alpha, minimize_bandwidth, pareto_sweep, DesignConfig};
     pub use hsched_model::{
