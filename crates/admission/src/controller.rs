@@ -78,6 +78,42 @@ struct TxOutcome {
     bounded: bool,
 }
 
+/// One inverse operation of the per-epoch undo log. A batch's forward
+/// application records these as it goes; playing them back in reverse
+/// restores the controller byte-identically in O(batch + dirty) instead of
+/// the former O(live set) full-state snapshot clone.
+#[derive(Debug)]
+enum UndoOp {
+    /// Undo a push: pop the last transaction + entry.
+    PopTransaction,
+    /// Undo a removal: re-insert the transaction + entry at the index it
+    /// held when removed.
+    InsertTransaction {
+        index: usize,
+        tx: hsched_transaction::Transaction,
+        entry: Entry,
+    },
+    /// Undo a retune: restore the previous platform.
+    RestorePlatform { id: PlatformId, platform: Platform },
+    /// Undo a component-system mutation: restore the pre-mutation mirror
+    /// (instances/classes/bindings are tiny next to the transaction set).
+    RestoreSystem { system: System },
+    /// Undo an `absorb`: restore a cached per-transaction outcome.
+    RestoreOutcome {
+        index: usize,
+        outcome: Option<TxOutcome>,
+    },
+}
+
+/// The inverse-request log of one epoch (see [`UndoOp`]). Kept after an
+/// admitted commit so a router coordinating several shard controllers can
+/// revert this shard when a *different* shard rejects its part of the batch
+/// ([`AdmissionController::rollback_last`]).
+#[derive(Debug, Default)]
+struct UndoLog {
+    ops: Vec<UndoOp>,
+}
+
 /// Book-keeping carried alongside each live transaction.
 #[derive(Debug, Clone, PartialEq)]
 struct Entry {
@@ -100,7 +136,7 @@ struct Entry {
 /// See the crate docs for the full lifecycle.
 ///
 /// [`commit`]: AdmissionController::commit
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct AdmissionController {
     set: TransactionSet,
     system: System,
@@ -109,6 +145,26 @@ pub struct AdmissionController {
     entries: Vec<Entry>,
     epoch: u64,
     stats: ControllerStats,
+    /// Undo log of the last *admitted* epoch (rejections consume theirs
+    /// immediately); see [`AdmissionController::rollback_last`].
+    last_undo: Option<UndoLog>,
+}
+
+impl Clone for AdmissionController {
+    fn clone(&self) -> AdmissionController {
+        AdmissionController {
+            set: self.set.clone(),
+            system: self.system.clone(),
+            config: self.config.clone(),
+            policy: self.policy.clone(),
+            entries: self.entries.clone(),
+            epoch: self.epoch,
+            stats: self.stats,
+            // The undo log references the state it was recorded against;
+            // a clone starts with nothing to roll back.
+            last_undo: None,
+        }
+    }
 }
 
 impl AdmissionController {
@@ -136,6 +192,7 @@ impl AdmissionController {
             policy,
             epoch: 0,
             stats: ControllerStats::default(),
+            last_undo: None,
         };
         // Seed per island, not as one big group: `absorb` stores the
         // report's converged/diverged flags into every member entry, so a
@@ -153,9 +210,10 @@ impl AdmissionController {
         let results = parallel_map(&inputs, controller.policy.island_threads, |input| {
             controller.guarded_analyze(input)
         });
+        let mut scratch = UndoLog::default();
         for (input, result) in inputs.iter().zip(results) {
             let report = result.map_err(|r| format!("initial analysis failed: {r}"))?;
-            controller.absorb(&input.indices, &report);
+            controller.absorb(&input.indices, &report, &mut scratch);
         }
         Ok(controller)
     }
@@ -257,17 +315,19 @@ impl AdmissionController {
     /// the affected interference islands are re-analyzed (in parallel, warm
     /// where exact), and the batch is admitted iff the post-change system
     /// is schedulable. On any rejection the controller's state is restored
-    /// byte-identically.
+    /// byte-identically by playing back an undo log of inverse requests
+    /// (O(batch + dirty), not O(live set) — there is no snapshot clone).
     pub fn commit(&mut self, batch: &[AdmissionRequest]) -> EpochOutcome {
         self.epoch += 1;
         self.stats.epochs += 1;
-        let snapshot = (self.set.clone(), self.system.clone(), self.entries.clone());
+        self.last_undo = None;
+        let mut undo = UndoLog::default();
         let additive = batch.iter().all(AdmissionRequest::is_additive);
 
         let mut seeds: Vec<PlatformId> = Vec::new();
         for request in batch {
-            if let Err(message) = self.apply(request, &mut seeds) {
-                return self.reject(snapshot, batch, RejectReason::Structural(message));
+            if let Err(message) = self.apply(request, &mut seeds, &mut undo) {
+                return self.reject(undo, batch, RejectReason::Structural(message));
             }
         }
 
@@ -275,7 +335,7 @@ impl AdmissionController {
             match self.checked_overload() {
                 Ok(overloaded) if !overloaded.is_empty() => {
                     return self.reject(
-                        snapshot,
+                        undo,
                         batch,
                         RejectReason::Overload {
                             platforms: overloaded,
@@ -283,7 +343,7 @@ impl AdmissionController {
                     );
                 }
                 Err(message) => {
-                    return self.reject(snapshot, batch, RejectReason::Numeric(message));
+                    return self.reject(undo, batch, RejectReason::Numeric(message));
                 }
                 Ok(_) => {}
             }
@@ -312,8 +372,8 @@ impl AdmissionController {
 
         for (input, result) in inputs.iter().zip(results) {
             match result {
-                Ok(report) => self.absorb(&input.indices, &report),
-                Err(reason) => return self.reject(snapshot, batch, reason),
+                Ok(report) => self.absorb(&input.indices, &report, &mut undo),
+                Err(reason) => return self.reject(undo, batch, reason),
             }
         }
 
@@ -323,17 +383,9 @@ impl AdmissionController {
             self.stats.warm_epochs += 1;
         }
 
-        let misses: Vec<String> = self
-            .entries
-            .iter()
-            .filter_map(|e| {
-                let o = e.outcome.as_ref().expect("outcome cached after absorb");
-                (!(o.verdict.schedulable && o.converged && o.bounded))
-                    .then(|| o.verdict.name.clone())
-            })
-            .collect();
+        let misses = self.misses();
         if !misses.is_empty() {
-            let mut outcome = self.reject(snapshot, batch, RejectReason::Unschedulable { misses });
+            let mut outcome = self.reject(undo, batch, RejectReason::Unschedulable { misses });
             // The fixpoints did run before the verdict turned the batch away;
             // report the work (and the post-application population it ran
             // over) even though the state was rolled back.
@@ -345,6 +397,7 @@ impl AdmissionController {
         }
 
         self.stats.admitted += 1;
+        self.last_undo = Some(undo);
         EpochOutcome {
             epoch: self.epoch,
             verdict: Verdict::Admitted,
@@ -356,13 +409,211 @@ impl AdmissionController {
         }
     }
 
+    /// Names of live transactions whose cached verdict is not a converged,
+    /// bounded deadline pass — the set that blocks an admission. Empty iff
+    /// [`AdmissionController::schedulable`].
+    pub fn misses(&self) -> Vec<String> {
+        self.entries
+            .iter()
+            .filter_map(|e| {
+                let o = e.outcome.as_ref().expect("outcome cached after absorb");
+                (!(o.verdict.schedulable && o.converged && o.bounded))
+                    .then(|| o.verdict.name.clone())
+            })
+            .collect()
+    }
+
+    /// Reverts the last *admitted* [`AdmissionController::commit`] by
+    /// playing its undo log back, restoring set, system mirror, and cached
+    /// analysis results byte-identically to the pre-commit state. Returns
+    /// `false` when there is nothing to roll back (no commit yet, last
+    /// commit rejected, or already rolled back).
+    ///
+    /// This is the shard-coordination primitive: a router committing one
+    /// batch across several disjoint shard controllers uses it to revert
+    /// shards that admitted their sub-batch when a sibling shard rejects,
+    /// keeping the cross-shard epoch atomic. The epoch stays consumed and
+    /// is re-classified rejected in the stats.
+    pub fn rollback_last(&mut self) -> bool {
+        let Some(undo) = self.last_undo.take() else {
+            return false;
+        };
+        self.playback(undo);
+        self.stats.admitted -= 1;
+        self.stats.rejected += 1;
+        true
+    }
+
+    /// Plays an undo log back (reverse order), restoring pre-batch state.
+    fn playback(&mut self, undo: UndoLog) {
+        for op in undo.ops.into_iter().rev() {
+            match op {
+                UndoOp::PopTransaction => {
+                    let last = self.set.transactions().len() - 1;
+                    self.set
+                        .remove_transaction(last)
+                        .expect("undo pops the transaction it pushed");
+                    self.entries.pop();
+                }
+                UndoOp::InsertTransaction { index, tx, entry } => {
+                    self.set
+                        .insert_transaction(index, tx)
+                        .expect("undo re-inserts a transaction that was live");
+                    self.entries.insert(index, entry);
+                }
+                UndoOp::RestorePlatform { id, platform } => {
+                    self.set
+                        .replace_platform(id, platform)
+                        .expect("undo restores a platform that exists");
+                }
+                UndoOp::RestoreSystem { system } => self.system = system,
+                UndoOp::RestoreOutcome { index, outcome } => {
+                    self.entries[index].outcome = outcome;
+                }
+            }
+        }
+    }
+
+    /// Absorbs another controller's live state into this one without any
+    /// re-analysis: transactions, cached outcomes, and component instances
+    /// are concatenated. Exact when the two controllers' transactions occupy
+    /// disjoint interference islands (the cached fixpoints are island-local,
+    /// so the union's analysis is the union of the analyses) — the situation
+    /// a shard router is in when an arriving transaction bridges two
+    /// previously independent shards.
+    ///
+    /// Both controllers must share the same platform set, analysis config,
+    /// and policy, and neither may carry RPC bindings (router-built shards
+    /// never do). The merged controller keeps the larger epoch and sums the
+    /// stats.
+    pub fn merge_from(&mut self, other: AdmissionController) -> Result<(), String> {
+        if self.set.platforms() != other.set.platforms() {
+            return Err("cannot merge controllers with different platform sets".into());
+        }
+        if self.config != other.config {
+            return Err("cannot merge controllers with different analysis configs".into());
+        }
+        if self.policy != other.policy {
+            return Err("cannot merge controllers with different policies".into());
+        }
+        if !self.system.bindings.is_empty() || !other.system.bindings.is_empty() {
+            return Err("cannot merge controllers whose systems carry RPC bindings".into());
+        }
+        for tx in other.set.transactions() {
+            self.set.push_transaction(tx.clone())?;
+        }
+        for instance in &other.system.instances {
+            let class = other.system.classes[instance.class].clone();
+            self.system.adopt_instance(class, instance.clone());
+        }
+        self.entries.extend(other.entries);
+        self.epoch = self.epoch.max(other.epoch);
+        self.stats.epochs += other.stats.epochs;
+        self.stats.admitted += other.stats.admitted;
+        self.stats.rejected += other.stats.rejected;
+        self.stats.transactions_analyzed += other.stats.transactions_analyzed;
+        self.stats.analyses_avoided += other.stats.analyses_avoided;
+        self.stats.warm_epochs += other.stats.warm_epochs;
+        self.last_undo = None;
+        Ok(())
+    }
+
+    /// Partitions this controller into one controller per interference
+    /// island group, carrying the cached analysis over — no re-analysis
+    /// happens (the cache is island-local, so each part's state equals what
+    /// a fresh seed of just that island would compute). Every part keeps the
+    /// full platform set, so task `PlatformId`s stay valid.
+    ///
+    /// Returns `vec![self]` unchanged when there is a single island, no
+    /// transaction at all, or the system carries RPC bindings (bound
+    /// instances may interfere through messages, so they stay together).
+    /// The first part inherits the stats; later parts start from zero.
+    pub fn split_islands(self) -> Vec<AdmissionController> {
+        if self.set.transactions().is_empty() || !self.system.bindings.is_empty() {
+            return vec![self];
+        }
+        let mut islands = Islands::of(&self.set);
+        let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+        for i in 0..self.set.transactions().len() {
+            let root = islands.island_of(&self.set, i);
+            match groups.iter_mut().find(|(r, _)| *r == root) {
+                Some((_, members)) => members.push(i),
+                None => groups.push((root, vec![i])),
+            }
+        }
+        if groups.len() == 1 {
+            return vec![self];
+        }
+        let platforms = self.set.platforms().clone();
+        groups
+            .into_iter()
+            .enumerate()
+            .map(|(part, (_, members))| {
+                let transactions: Vec<_> = members
+                    .iter()
+                    .map(|&i| self.set.transactions()[i].clone())
+                    .collect();
+                let entries: Vec<Entry> =
+                    members.iter().map(|&i| self.entries[i].clone()).collect();
+                let mut system = System::default();
+                for instance in &self.system.instances {
+                    if entries
+                        .iter()
+                        .any(|e| e.origin.as_deref() == Some(instance.name.as_str()))
+                    {
+                        let class = self.system.classes[instance.class].clone();
+                        system.adopt_instance(class, instance.clone());
+                    }
+                }
+                AdmissionController {
+                    set: TransactionSet::new(platforms.clone(), transactions)
+                        .expect("island members reference live platforms"),
+                    system,
+                    config: self.config.clone(),
+                    policy: self.policy.clone(),
+                    entries,
+                    epoch: self.epoch,
+                    stats: if part == 0 {
+                        self.stats
+                    } else {
+                        ControllerStats::default()
+                    },
+                    last_undo: None,
+                }
+            })
+            .collect()
+    }
+
+    /// Overwrites a platform's definition *without* re-analysis — the
+    /// propagation half of a routed retune: the shard owning the platform's
+    /// island commits the retune (and re-analyzes); every other shard only
+    /// needs its platform-set copy kept in sync, which is exact because no
+    /// transaction of those shards executes on the platform (it belongs to
+    /// the owning shard's island by definition).
+    pub fn sync_platform(&mut self, id: PlatformId, platform: Platform) -> Result<(), String> {
+        self.set.replace_platform(id, platform)
+    }
+
+    /// Names of the live transactions flattened from the named component
+    /// instance (in set order); empty when the instance is unknown.
+    pub fn transactions_of_instance(&self, name: &str) -> Vec<String> {
+        self.entries
+            .iter()
+            .zip(self.set.transactions())
+            .filter(|(e, _)| e.origin.as_deref() == Some(name))
+            .map(|(_, tx)| tx.name.clone())
+            .collect()
+    }
+
     /// Applies one request to the live state, recording the platforms whose
-    /// islands become dirty. Errors leave partially applied state behind —
-    /// the caller rolls back from its snapshot.
+    /// islands become dirty and the inverse operations in the undo log.
+    /// Errors leave partially applied state behind — the caller plays the
+    /// log back.
     fn apply(
         &mut self,
         request: &AdmissionRequest,
         seeds: &mut Vec<PlatformId>,
+        undo: &mut UndoLog,
     ) -> Result<(), String> {
         match request {
             AdmissionRequest::AddTransaction(tx) => {
@@ -375,6 +626,7 @@ impl AdmissionController {
                     origin: None,
                     outcome: None,
                 });
+                undo.ops.push(UndoOp::PopTransaction);
                 Ok(())
             }
             AdmissionRequest::RemoveTransaction { name } => {
@@ -389,7 +641,12 @@ impl AdmissionController {
                 }
                 let removed = self.set.remove_transaction(index)?;
                 seeds.extend(removed.tasks().iter().map(|t| t.platform));
-                self.entries.remove(index);
+                let entry = self.entries.remove(index);
+                undo.ops.push(UndoOp::InsertTransaction {
+                    index,
+                    tx: removed,
+                    entry,
+                });
                 Ok(())
             }
             AdmissionRequest::Retune {
@@ -409,7 +666,12 @@ impl AdmissionController {
                     current.kind(),
                     ServiceModel::Linear(model),
                 );
+                let previous = current.clone();
                 self.set.replace_platform(*platform, retuned)?;
+                undo.ops.push(UndoOp::RestorePlatform {
+                    id: *platform,
+                    platform: previous,
+                });
                 seeds.push(*platform);
                 Ok(())
             }
@@ -446,6 +708,9 @@ impl AdmissionController {
                         return Err(format!("transaction `{}` already live", tx.name));
                     }
                 }
+                undo.ops.push(UndoOp::RestoreSystem {
+                    system: self.system.clone(),
+                });
                 for tx in subset.transactions() {
                     seeds.extend(tx.tasks().iter().map(|t| t.platform));
                     self.set.push_transaction(tx.clone())?;
@@ -453,35 +718,35 @@ impl AdmissionController {
                         origin: Some(name.clone()),
                         outcome: None,
                     });
+                    undo.ops.push(UndoOp::PopTransaction);
                 }
-                // Reuse a structurally identical class so instance churn
-                // (add/remove/add …) does not grow the class list without
-                // bound in a long-lived controller.
-                let class_idx = self
-                    .system
-                    .classes
-                    .iter()
-                    .position(|existing| existing == class)
-                    .unwrap_or_else(|| {
-                        self.system.classes.push(class.clone());
-                        self.system.classes.len() - 1
-                    });
-                self.system.instances.push(ComponentInstance {
-                    name: name.clone(),
-                    class: class_idx,
-                    platform: *platform,
-                    node: NodeId(*node),
-                });
+                self.system.adopt_instance(
+                    class.clone(),
+                    ComponentInstance {
+                        name: name.clone(),
+                        class: 0, // rewritten by adopt_instance
+                        platform: *platform,
+                        node: NodeId(*node),
+                    },
+                );
                 Ok(())
             }
             AdmissionRequest::RemoveInstance { name } => {
+                undo.ops.push(UndoOp::RestoreSystem {
+                    system: self.system.clone(),
+                });
                 self.system.remove_instance_by_name(name)?;
                 let mut index = 0;
                 while index < self.entries.len() {
                     if self.entries[index].origin.as_deref() == Some(name.as_str()) {
                         let removed = self.set.remove_transaction(index)?;
                         seeds.extend(removed.tasks().iter().map(|t| t.platform));
-                        self.entries.remove(index);
+                        let entry = self.entries.remove(index);
+                        undo.ops.push(UndoOp::InsertTransaction {
+                            index,
+                            tx: removed,
+                            entry,
+                        });
                     } else {
                         index += 1;
                     }
@@ -569,33 +834,38 @@ impl AdmissionController {
         }
     }
 
-    /// Writes an island report back into the per-transaction cache.
-    fn absorb(&mut self, indices: &[usize], report: &SchedulabilityReport) {
+    /// Writes an island report back into the per-transaction cache, saving
+    /// the overwritten outcomes in the undo log.
+    fn absorb(&mut self, indices: &[usize], report: &SchedulabilityReport, undo: &mut UndoLog) {
         for (pos, &index) in indices.iter().enumerate() {
-            self.entries[index].outcome = Some(TxOutcome {
+            let fresh = Some(TxOutcome {
                 tasks: report.tasks[pos].clone(),
                 verdict: report.verdicts[pos].clone(),
                 converged: report.converged,
                 bounded: !report.diverged,
+            });
+            let previous = std::mem::replace(&mut self.entries[index].outcome, fresh);
+            undo.ops.push(UndoOp::RestoreOutcome {
+                index,
+                outcome: previous,
             });
         }
     }
 
     fn reject(
         &mut self,
-        snapshot: (TransactionSet, System, Vec<Entry>),
+        undo: UndoLog,
         batch: &[AdmissionRequest],
         reason: RejectReason,
     ) -> EpochOutcome {
-        let total = snapshot.0.transactions().len();
-        (self.set, self.system, self.entries) = snapshot;
+        self.playback(undo);
         self.stats.rejected += 1;
         EpochOutcome {
             epoch: self.epoch,
             verdict: Verdict::Rejected(reason),
             requests: batch.len(),
             analyzed_transactions: 0,
-            total_transactions: total,
+            total_transactions: self.set.transactions().len(),
             islands: 0,
             warm_started: false,
         }

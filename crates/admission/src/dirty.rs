@@ -17,27 +17,24 @@
 use hsched_platform::PlatformId;
 use hsched_transaction::TransactionSet;
 
-/// Union–find over platform indices, unioned through transactions.
-pub(crate) struct Islands {
+/// A plain union–find (path halving, no ranks) over `0..n`. [`Islands`]
+/// builds on it; `hsched-engine` reuses it to group an admission batch's
+/// routing keys (shards ∪ free platforms) into connected target groups.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
     parent: Vec<usize>,
 }
 
-impl Islands {
-    /// Builds the island structure of the current set.
-    pub(crate) fn of(set: &TransactionSet) -> Islands {
-        let mut islands = Islands {
-            parent: (0..set.platforms().len()).collect(),
-        };
-        for tx in set.transactions() {
-            let first = tx.tasks()[0].platform.0;
-            for task in tx.tasks() {
-                islands.union(first, task.platform.0);
-            }
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> UnionFind {
+        UnionFind {
+            parent: (0..n).collect(),
         }
-        islands
     }
 
-    fn find(&mut self, mut x: usize) -> usize {
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, mut x: usize) -> usize {
         while self.parent[x] != x {
             self.parent[x] = self.parent[self.parent[x]]; // path halving
             x = self.parent[x];
@@ -45,11 +42,37 @@ impl Islands {
         x
     }
 
-    fn union(&mut self, a: usize, b: usize) {
+    /// Merges the sets of `a` and `b` (the representative of `a` wins).
+    pub fn union(&mut self, a: usize, b: usize) {
         let (ra, rb) = (self.find(a), self.find(b));
         if ra != rb {
             self.parent[rb] = ra;
         }
+    }
+}
+
+/// Union–find over platform indices, unioned through transactions.
+pub(crate) struct Islands {
+    uf: UnionFind,
+}
+
+impl Islands {
+    /// Builds the island structure of the current set.
+    pub(crate) fn of(set: &TransactionSet) -> Islands {
+        let mut islands = Islands {
+            uf: UnionFind::new(set.platforms().len()),
+        };
+        for tx in set.transactions() {
+            let first = tx.tasks()[0].platform.0;
+            for task in tx.tasks() {
+                islands.uf.union(first, task.platform.0);
+            }
+        }
+        islands
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        self.uf.find(x)
     }
 
     /// The island (root platform index) a transaction belongs to.
@@ -65,7 +88,7 @@ impl Islands {
         set: &TransactionSet,
         seeds: &[PlatformId],
     ) -> Vec<Vec<usize>> {
-        let n_platforms = self.parent.len();
+        let n_platforms = self.uf.parent.len();
         let mut dirty_roots: Vec<usize> = seeds
             .iter()
             .filter(|p| p.0 < n_platforms)

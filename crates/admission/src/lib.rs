@@ -25,7 +25,19 @@
 //! 3. **Batching + parallelism** — requests are coalesced per epoch and the
 //!    dirty islands are analyzed concurrently via
 //!    [`hsched_analysis::parallel_map`]; a rejected batch rolls the
-//!    controller back byte-identically (transactional semantics).
+//!    controller back byte-identically (transactional semantics) by playing
+//!    back an undo log of inverse requests — O(batch + dirty), not a
+//!    full-state snapshot clone. The log of an *admitted* epoch is kept as
+//!    [`AdmissionController::rollback_last`], which the sharded
+//!    `hsched-engine` router uses to keep cross-shard epochs atomic.
+//!
+//! At service scale, prefer `hsched-engine`'s `AdmissionRouter`: it
+//! partitions the live set into one controller shard per interference
+//! island group (routing with this crate's [`UnionFind`]), commits
+//! disjoint shards concurrently, and adds typed handles plus a journaled
+//! write-ahead log with byte-identical replay. This single-controller API
+//! remains the shard core and the right tool for small or single-island
+//! systems.
 //!
 //! Hostile workloads degrade gracefully: the utilization precheck uses the
 //! fallible `try_*` arithmetic of `hsched-numeric`, and any exact-arithmetic
@@ -107,6 +119,7 @@ pub mod gen;
 mod request;
 
 pub use controller::{AdmissionController, AdmissionPolicy, ControllerStats};
+pub use dirty::UnionFind;
 pub use request::{AdmissionRequest, EpochOutcome, RejectReason, Verdict};
 
 #[cfg(test)]

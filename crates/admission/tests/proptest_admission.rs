@@ -39,6 +39,7 @@ fn churn_session(seed: u64, batches: usize, max_batch: usize, policy: AdmissionP
     for step in 0..batches {
         let snapshot_set = controller.current_set().clone();
         let snapshot_report = controller.report();
+        let snapshot_system = controller.system().clone();
         let batch = churn.next_batch(controller.current_set(), max_batch);
         let outcome = controller.commit(&batch);
 
@@ -64,7 +65,10 @@ fn churn_session(seed: u64, batches: usize, max_batch: usize, policy: AdmissionP
                 );
             }
             Verdict::Rejected(reason) => {
-                // (b) rejected batches leave the state byte-identical.
+                // (b) rejected batches leave the state byte-identical: the
+                // undo-log playback (inverse requests, O(batch + dirty))
+                // must restore exactly what the old full-state snapshot
+                // clone restored.
                 assert_eq!(
                     controller.current_set(),
                     &snapshot_set,
@@ -75,6 +79,11 @@ fn churn_session(seed: u64, batches: usize, max_batch: usize, policy: AdmissionP
                     snapshot_report,
                     "seed {seed} step {step}: rejection mutated cached results ({reason})"
                 );
+                assert_eq!(
+                    controller.system(),
+                    &snapshot_system,
+                    "seed {seed} step {step}: rejection mutated the system mirror ({reason})"
+                );
                 // Structural rejections must not have burned analysis work.
                 if matches!(reason, RejectReason::Structural(_)) {
                     assert_eq!(outcome.analyzed_transactions, 0);
@@ -82,6 +91,51 @@ fn churn_session(seed: u64, batches: usize, max_batch: usize, policy: AdmissionP
             }
         }
     }
+}
+
+/// The undo log is also exposed as `rollback_last`: an *admitted* epoch can
+/// be reverted (the shard-router coordination primitive), restoring the
+/// pre-commit snapshot byte-identically.
+#[test]
+fn rollback_last_reverts_an_admitted_epoch_byte_identically() {
+    let spec = ScenarioSpec {
+        clusters: 3,
+        platforms_per_cluster: 2,
+        transactions: 8,
+        seed: 11,
+        ..ScenarioSpec::default()
+    };
+    let set = random_scenario(&spec);
+    let mut controller =
+        AdmissionController::new(set, AnalysisConfig::default(), AdmissionPolicy::default())
+            .unwrap();
+    let mut churn = ChurnGen::new(&spec, 23);
+    let mut rolled_back = 0;
+    for _ in 0..12 {
+        let before_set = controller.current_set().clone();
+        let before_report = controller.report();
+        let batch = churn.next_batch(controller.current_set(), 2);
+        let outcome = controller.commit(&batch);
+        match outcome.verdict {
+            Verdict::Admitted => {
+                assert!(
+                    controller.rollback_last(),
+                    "admitted epoch must be revertible"
+                );
+                rolled_back += 1;
+                assert_eq!(controller.current_set(), &before_set);
+                assert_eq!(controller.report(), before_report);
+                assert!(!controller.rollback_last(), "undo log is single-shot");
+            }
+            Verdict::Rejected(_) => {
+                assert!(
+                    !controller.rollback_last(),
+                    "rejected epochs consumed their undo log already"
+                );
+            }
+        }
+    }
+    assert!(rolled_back > 0, "churn must admit at least once");
 }
 
 proptest! {

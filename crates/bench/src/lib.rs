@@ -50,6 +50,75 @@ pub mod admission_churn {
     }
 }
 
+/// The reference production-scale churn workload of the router benchmark,
+/// shared by `router_perf` (which records `BENCH_router.json`) and kept
+/// here so bench and tests cannot silently measure different systems.
+///
+/// The system is sized so that *per-epoch bookkeeping*, not one island's
+/// fixpoint, is what separates the architectures: 3072 transactions over
+/// 384 two-platform clusters (384 interference islands). The monolithic
+/// controller re-derives the island structure, re-checks utilization, and
+/// re-scans its verdict table over the whole live set on every commit —
+/// O(live set) serial work per epoch even when the batch touches one
+/// island. The sharded router routes in O(batch) and every shard's
+/// bookkeeping is O(island), so churn cost stays flat as the live set
+/// grows — the ROADMAP's "production-scale, heavy concurrent traffic"
+/// requirement.
+pub mod router_churn {
+    use hsched_admission::gen::{PlatformMix, ScenarioSpec};
+    use hsched_admission::AdmissionRequest;
+    use hsched_numeric::rat;
+    use hsched_transaction::{Transaction, TransactionSet};
+
+    /// Clusters whose victim transactions churn (epochs rotate over them).
+    pub const CHURN_CLUSTERS: usize = 16;
+
+    /// The headline system: 3072 transactions over 384 two-platform
+    /// clusters, linear platforms at 40% target load, seed 0 (verified
+    /// schedulable, so every toggle batch admits).
+    pub fn churn_spec() -> ScenarioSpec {
+        ScenarioSpec {
+            clusters: 384,
+            platforms_per_cluster: 2,
+            transactions: 3072,
+            max_tasks_per_tx: 2,
+            load: rat(2, 5),
+            mix: PlatformMix::Linear,
+            seed: 0,
+            ..ScenarioSpec::default()
+        }
+    }
+
+    /// One victim transaction for each of the first [`CHURN_CLUSTERS`]
+    /// clusters: the highest-index transaction whose chain lives there.
+    pub fn victims(set: &TransactionSet, spec: &ScenarioSpec) -> Vec<Transaction> {
+        let mut victims: Vec<Option<Transaction>> = vec![None; spec.clusters];
+        for tx in set.transactions() {
+            let cluster = tx.tasks()[0].platform.0 / spec.platforms_per_cluster;
+            victims[cluster] = Some(tx.clone());
+        }
+        victims.into_iter().flatten().take(CHURN_CLUSTERS).collect()
+    }
+
+    /// One churn epoch over a chunk of victims: departures on even rounds,
+    /// re-arrivals on odd rounds, so the live set oscillates around the
+    /// seed state and every epoch is admissible.
+    pub fn toggle_batch(chunk: &[Transaction], round: usize) -> Vec<AdmissionRequest> {
+        chunk
+            .iter()
+            .map(|victim| {
+                if round % 2 == 0 {
+                    AdmissionRequest::RemoveTransaction {
+                        name: victim.name.clone(),
+                    }
+                } else {
+                    AdmissionRequest::AddTransaction(victim.clone())
+                }
+            })
+            .collect()
+    }
+}
+
 /// The scenario count of the exact analysis for one task (Eq. 12 of the
 /// paper): `(Na + 1) · Π_{i ≠ a, hpi ≠ ∅} Ni`, where `Ni` is the number of
 /// tasks of Γi with priority ≥ the task's on the same platform.

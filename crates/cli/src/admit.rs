@@ -1,11 +1,11 @@
-//! The `hsched admit` subcommand: drive an online admission controller
-//! from a plain-text request script (format documented in the
-//! `hsched-admission` crate docs and in `hsched help`).
+//! The `hsched admit` subcommand: drive the sharded online admission
+//! engine from a plain-text request script (format documented in the
+//! `hsched-admission` crate docs and in `hsched help`), optionally
+//! journaling every epoch for `hsched replay`.
 
-use crate::json::{write_report, JsonWriter};
-use hsched_admission::{
-    AdmissionController, AdmissionPolicy, AdmissionRequest, EpochOutcome, RejectReason, Verdict,
-};
+use crate::json::{begin_envelope, write_engine_section, write_report, JsonWriter};
+use hsched_admission::{AdmissionPolicy, AdmissionRequest, RejectReason, Verdict};
+use hsched_engine::{AdmissionRouter, EngineRequest, EngineResponse};
 use hsched_numeric::{Rational, Time};
 use hsched_transaction::{Task, Transaction, TransactionSet};
 use std::fmt::Write as _;
@@ -187,28 +187,68 @@ fn reason_kind(reason: &RejectReason) -> &'static str {
     }
 }
 
-/// Runs the parsed batches through a controller seeded with `set`, and
-/// renders the per-epoch verdicts plus the final system state.
+/// Writes the shared `stats` section (engine-level epoch counters,
+/// shard-summed analysis counters).
+pub(crate) fn write_stats(w: &mut JsonWriter, engine: &AdmissionRouter) {
+    let stats = engine.stats();
+    w.object_field("stats")
+        .field_raw("admitted", stats.admitted)
+        .field_raw("rejected", stats.rejected)
+        .field_raw("transactions_analyzed", stats.transactions_analyzed)
+        .field_raw("analyses_avoided", stats.analyses_avoided)
+        .field_raw("warm_epochs", stats.warm_epochs)
+        .end_object();
+}
+
+/// Renders the human-readable stats line shared by `admit` and `replay`.
+pub(crate) fn stats_line(engine: &AdmissionRouter) -> String {
+    let stats = engine.stats();
+    format!(
+        "admitted {} / rejected {}; analyzed {} transaction(s), reused {} cached result(s){}",
+        stats.admitted,
+        stats.rejected,
+        stats.transactions_analyzed,
+        stats.analyses_avoided,
+        if stats.warm_epochs > 0 {
+            format!(", {} warm epoch(s)", stats.warm_epochs)
+        } else {
+            String::new()
+        }
+    )
+}
+
+/// Runs the parsed batches through a sharded admission engine seeded with
+/// `set` (optionally journaling every epoch to `journal`), and renders the
+/// per-epoch verdicts plus the final system state.
 pub(crate) fn run_admission(
     path: &str,
     set: TransactionSet,
     batches: &[Vec<AdmissionRequest>],
     policy: AdmissionPolicy,
     json: bool,
+    journal: Option<&str>,
 ) -> Result<String, String> {
-    let mut controller =
-        AdmissionController::new(set, hsched_analysis::AnalysisConfig::default(), policy)?;
-    let initial_transactions = controller.current_set().transactions().len();
-    let outcomes: Vec<EpochOutcome> = batches
+    let mut engine = AdmissionRouter::new(set, hsched_analysis::AnalysisConfig::default(), policy)
+        .map_err(|e| e.to_string())?;
+    if let Some(journal_path) = journal {
+        engine = engine
+            .with_journal(std::path::Path::new(journal_path))
+            .map_err(|e| e.to_string())?;
+    }
+    let initial_transactions = engine.live_transactions();
+    let responses: Vec<EngineResponse> = batches
         .iter()
-        .map(|batch| controller.commit(batch))
-        .collect();
+        .map(|batch| engine.commit(&EngineRequest::batch(batch.clone())))
+        .collect::<Result<_, _>>()
+        .map_err(|e| e.to_string())?;
 
     if json {
         let mut w = JsonWriter::new();
-        w.begin_object().field_str("spec", path);
+        begin_envelope(&mut w, "admit");
+        w.field_str("spec", path);
         w.begin_array_field("epochs");
-        for outcome in &outcomes {
+        for response in &responses {
+            let outcome = &response.outcome;
             w.begin_object()
                 .field_raw("epoch", outcome.epoch)
                 .field_str(
@@ -223,7 +263,8 @@ pub(crate) fn run_admission(
                 .field_raw("analyzed", outcome.analyzed_transactions)
                 .field_raw("total", outcome.total_transactions)
                 .field_raw("islands", outcome.islands)
-                .field_raw("warm", outcome.warm_started);
+                .field_raw("warm", outcome.warm_started)
+                .field_raw("shards", response.shards_touched);
             if let Verdict::Rejected(reason) = &outcome.verdict {
                 w.field_str("reason", reason_kind(reason))
                     .field_str("detail", &reason.to_string());
@@ -231,15 +272,9 @@ pub(crate) fn run_admission(
             w.end_object();
         }
         w.end_array();
-        let stats = controller.stats();
-        w.object_field("stats")
-            .field_raw("admitted", stats.admitted)
-            .field_raw("rejected", stats.rejected)
-            .field_raw("transactions_analyzed", stats.transactions_analyzed)
-            .field_raw("analyses_avoided", stats.analyses_avoided)
-            .field_raw("warm_epochs", stats.warm_epochs)
-            .end_object();
-        write_report(&mut w, Some("final"), &controller.report());
+        write_stats(&mut w, &engine);
+        write_engine_section(&mut w, &engine, journal);
+        write_report(&mut w, Some("final"), &engine.report());
         w.end_object();
         return Ok(w.finish());
     }
@@ -250,24 +285,20 @@ pub(crate) fn run_admission(
         "{path}: {} batch(es) against {initial_transactions} initial transaction(s)",
         batches.len(),
     );
-    for outcome in &outcomes {
-        let _ = writeln!(out, "{outcome}");
+    for response in &responses {
+        let _ = writeln!(out, "{}", response.outcome);
     }
-    let stats = controller.stats();
+    let _ = writeln!(out, "{}", stats_line(&engine));
     let _ = writeln!(
         out,
-        "admitted {} / rejected {}; analyzed {} transaction(s), reused {} cached result(s){}",
-        stats.admitted,
-        stats.rejected,
-        stats.transactions_analyzed,
-        stats.analyses_avoided,
-        if stats.warm_epochs > 0 {
-            format!(", {} warm epoch(s)", stats.warm_epochs)
-        } else {
-            String::new()
-        }
+        "engine: {} island shard(s); state digest {}",
+        engine.shard_count(),
+        engine.state_digest()
     );
+    if let Some(journal_path) = journal {
+        let _ = writeln!(out, "journal: {journal_path}");
+    }
     let _ = writeln!(out, "\nfinal system:");
-    let _ = write!(out, "{}", controller.report());
+    let _ = write!(out, "{}", engine.report());
     Ok(out)
 }

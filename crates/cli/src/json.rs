@@ -115,6 +115,35 @@ fn escape(s: &str) -> String {
     out
 }
 
+/// Opens the versioned output envelope shared by the engine-backed
+/// commands (`admit`, `replay`): a root object carrying the schema version
+/// (`"v": 1`, mirroring [`hsched_engine::SCHEMA_VERSION`]) and the command
+/// name, so consumers dispatch on one stable shape instead of per-command
+/// ad-hoc layouts. The caller adds its fields and closes the object.
+pub(crate) fn begin_envelope(w: &mut JsonWriter, command: &str) {
+    w.begin_object()
+        .field_raw("v", hsched_engine::SCHEMA_VERSION)
+        .field_str("command", command);
+}
+
+/// Writes the shared `engine` section of the envelope: shard topology,
+/// live population, state digest (the replay-verification handle), and the
+/// attached journal, if any.
+pub(crate) fn write_engine_section(
+    w: &mut JsonWriter,
+    engine: &hsched_engine::AdmissionRouter,
+    journal: Option<&str>,
+) {
+    w.object_field("engine")
+        .field_raw("shards", engine.shard_count())
+        .field_raw("transactions", engine.live_transactions())
+        .field_str("digest", &engine.state_digest());
+    if let Some(path) = journal {
+        w.field_str("journal", path);
+    }
+    w.end_object();
+}
+
 /// Serializes a schedulability report (used by `analyze --json` and as the
 /// `final` section of `admit --json`). Writes into an already-open object
 /// position of `w` via the given key, or as the root when `key` is `None`.

@@ -15,6 +15,7 @@
 
 mod admit;
 mod json;
+mod replay;
 
 use hsched_admission::AdmissionPolicy;
 use hsched_analysis::{analyze_with, AnalysisConfig, ScenarioMode, ServiceTimeMode, UpdateOrder};
@@ -35,6 +36,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         "check" => cmd_check(&args[1..]),
         "analyze" => cmd_analyze(&args[1..]),
         "admit" => cmd_admit(&args[1..]),
+        "replay" => cmd_replay(&args[1..]),
         "simulate" => cmd_simulate(&args[1..]),
         "optimize" => cmd_optimize(&args[1..]),
         "headroom" => cmd_headroom(&args[1..]),
@@ -56,6 +58,7 @@ COMMANDS:
     check       parse and validate a specification
     analyze     holistic schedulability analysis (§3 of the paper)
     admit       online admission control driven by a request script
+    replay      rebuild an admission engine from its write-ahead journal
     simulate    discrete-event simulation
     optimize    platform bandwidth minimization (§5 future work)
     headroom    per-task WCET sensitivity (largest schedulable scale factor)
@@ -73,13 +76,22 @@ ANALYZE OPTIONS:
 
 ADMIT: hsched admit <SPEC.hsc> <SCRIPT> [OPTIONS]
     The script holds add/remove/retune request lines batched by `commit`
-    (see the hsched-admission crate docs for the grammar). Exit 0 unless
-    the spec or script is malformed; rejections are regular output.
-    --json            machine-readable verdicts + final report
-    --threads <N>     parallel island analysis (0 = all cores)
+    (see the hsched-admission crate docs for the grammar). Batches are
+    committed by the sharded admission engine: disjoint interference-island
+    shards analyze concurrently. Exit 0 unless the spec or script is
+    malformed; rejections are regular output.
+    --json            machine-readable verdicts + final report (schema v1)
+    --journal <FILE>  append every epoch to a write-ahead journal
+    --threads <N>     parallel shard commits (0 = all cores)
     --no-external     as for analyze
     --cold            disable warm-started fixpoints
     --full            disable dirty tracking (re-analyze everything)
+
+REPLAY: hsched replay <SPEC.hsc> <JOURNAL> [OPTIONS]
+    Rebuilds the engine recorded by `admit --journal` (same spec!) by
+    re-committing every journaled epoch; torn journal tails are repaired.
+    The printed state digest matches the admit run's digest iff the
+    rebuilt engine is byte-identical. Options as for admit.
 
 SIMULATE OPTIONS:
     --horizon <T>     simulated time (default 1000)
@@ -226,7 +238,36 @@ fn cmd_admit(args: &[String]) -> Result<String, String> {
     if opt_flag(args, "--full") {
         policy.dirty_tracking = false;
     }
-    admit::run_admission(&path, set, &batches, policy, opt_flag(args, "--json"))
+    admit::run_admission(
+        &path,
+        set,
+        &batches,
+        policy,
+        opt_flag(args, "--json"),
+        opt_value(args, "--journal")?,
+    )
+}
+
+fn cmd_replay(args: &[String]) -> Result<String, String> {
+    let (path, set) = load(args)?;
+    // Strictly positional, like admit: `replay <SPEC> <JOURNAL> [OPTIONS]`.
+    let Some(journal_path) = args.get(1).filter(|a| !a.starts_with("--")) else {
+        return Err("expected a journal path after the spec".to_string());
+    };
+    let mut policy = AdmissionPolicy {
+        external_stimuli: !opt_flag(args, "--no-external"),
+        ..AdmissionPolicy::default()
+    };
+    if let Some(n) = opt_value(args, "--threads")? {
+        policy.island_threads = n.parse().map_err(|_| format!("bad thread count `{n}`"))?;
+    }
+    if opt_flag(args, "--cold") {
+        policy.warm_start = false;
+    }
+    if opt_flag(args, "--full") {
+        policy.dirty_tracking = false;
+    }
+    replay::run_replay(&path, set, journal_path, policy, opt_flag(args, "--json"))
 }
 
 fn cmd_simulate(args: &[String]) -> Result<String, String> {
@@ -675,9 +716,84 @@ instance I : W on S node 0;
         ]))
         .unwrap();
         assert!(out.starts_with('{') && out.ends_with("}\n"));
+        assert!(out.starts_with("{\"v\":1,\"command\":\"admit\""), "{out}");
         assert!(out.contains("\"verdict\":\"admitted\""));
+        assert!(out.contains("\"engine\":{"));
+        assert!(out.contains("\"digest\":\""));
         assert!(out.contains("\"final\":{"));
         assert!(out.contains("\"schedulable\":true"));
+    }
+
+    fn extract_digest(json: &str) -> &str {
+        let start = json.find("\"digest\":\"").expect("digest present") + 10;
+        &json[start..start + 16]
+    }
+
+    #[test]
+    fn admit_journal_then_replay_is_byte_identical() {
+        let spec = spec_file();
+        let script = script_file(
+            "add probe period 60 deadline 120 task p wcet 1 bcet 0.5 prio 1 on Pi1\n\
+             commit\n\
+             add hog period 10 deadline 10 task h wcet 9 bcet 9 prio 9 on Pi3\n\
+             commit\n\
+             remove probe\n",
+        );
+        let journal = std::env::temp_dir().join(format!(
+            "hsched-cli-test-journal-{}.journal",
+            std::process::id()
+        ));
+        let out = run(&args(&[
+            "admit",
+            spec.to_str().unwrap(),
+            script.to_str().unwrap(),
+            "--json",
+            "--journal",
+            journal.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let admit_digest = extract_digest(&out).to_string();
+
+        // "Crash" happened (the admit process is gone); rebuild and verify.
+        let replayed = run(&args(&[
+            "replay",
+            spec.to_str().unwrap(),
+            journal.to_str().unwrap(),
+            "--json",
+        ]))
+        .unwrap();
+        assert!(
+            replayed.starts_with("{\"v\":1,\"command\":\"replay\""),
+            "{replayed}"
+        );
+        assert!(replayed.contains("\"epochs_replayed\":3"));
+        assert_eq!(extract_digest(&replayed), admit_digest);
+
+        // Human mode prints the digest and replay count too.
+        let human = run(&args(&[
+            "replay",
+            spec.to_str().unwrap(),
+            journal.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(human.contains("replayed 3 epoch(s)"));
+        assert!(human.contains(&admit_digest));
+        assert!(human.contains("final system:"));
+        let _ = std::fs::remove_file(&journal);
+    }
+
+    #[test]
+    fn replay_command_errors() {
+        let spec = spec_file();
+        let err = run(&args(&["replay", spec.to_str().unwrap()])).unwrap_err();
+        assert!(err.contains("journal path"), "{err}");
+        let err = run(&args(&[
+            "replay",
+            spec.to_str().unwrap(),
+            "/nonexistent/x.journal",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("journal error"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,58 @@
+//! The `hsched replay` subcommand: rebuild a sharded admission engine from
+//! its seed specification plus the write-ahead journal `hsched admit
+//! --journal` recorded, repairing any torn tail. The printed state digest
+//! equals the one the original `admit` run printed iff the rebuilt engine
+//! is byte-identical — that string compare is the whole recovery check.
+
+use crate::admit::{stats_line, write_stats};
+use crate::json::{begin_envelope, write_engine_section, write_report, JsonWriter};
+use hsched_admission::AdmissionPolicy;
+use hsched_engine::AdmissionRouter;
+use hsched_transaction::TransactionSet;
+use std::fmt::Write as _;
+
+/// Replays `journal` against the spec-seeded `set` and renders the rebuilt
+/// engine (epochs replayed, shard topology, digest, final report).
+pub(crate) fn run_replay(
+    path: &str,
+    set: TransactionSet,
+    journal_path: &str,
+    policy: AdmissionPolicy,
+    json: bool,
+) -> Result<String, String> {
+    let (engine, epochs) = AdmissionRouter::replay(
+        set,
+        hsched_analysis::AnalysisConfig::default(),
+        policy,
+        std::path::Path::new(journal_path),
+    )
+    .map_err(|e| e.to_string())?;
+
+    if json {
+        let mut w = JsonWriter::new();
+        begin_envelope(&mut w, "replay");
+        w.field_str("spec", path)
+            .field_raw("epochs_replayed", epochs);
+        write_stats(&mut w, &engine);
+        write_engine_section(&mut w, &engine, Some(journal_path));
+        write_report(&mut w, Some("final"), &engine.report());
+        w.end_object();
+        return Ok(w.finish());
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{journal_path}: replayed {epochs} epoch(s) against {path}"
+    );
+    let _ = writeln!(out, "{}", stats_line(&engine));
+    let _ = writeln!(
+        out,
+        "engine: {} island shard(s); state digest {}",
+        engine.shard_count(),
+        engine.state_digest()
+    );
+    let _ = writeln!(out, "\nfinal system:");
+    let _ = write!(out, "{}", engine.report());
+    Ok(out)
+}

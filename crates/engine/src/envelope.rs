@@ -1,0 +1,146 @@
+//! The engine's typed service vocabulary: stable transaction handles,
+//! versioned request/response envelopes, and structured errors.
+//!
+//! The pre-engine admission API was stringly typed end to end: callers
+//! addressed live transactions by name, malformed input surfaced as
+//! `Result<_, String>`, and the CLI re-invented its own output shape per
+//! command. The envelope fixes all three at once:
+//!
+//! * [`TxnId`] — a stable, never-reused handle minted for every admitted
+//!   transaction; removal by handle cannot race a name reuse;
+//! * [`EngineRequest`] / [`EngineResponse`] — one versioned wire shape
+//!   ([`SCHEMA_VERSION`]) shared by the library API, the `hsched admit`
+//!   CLI, and the `--json` serializer, so all surfaces evolve together;
+//! * [`EngineError`] — the conditions that are caller/environment errors
+//!   (not admission verdicts) as a typed enum. A *rejected batch* is not an
+//!   error: it comes back as a regular [`EngineResponse`] whose outcome
+//!   carries the [`hsched_admission::RejectReason`].
+
+use hsched_admission::{AdmissionRequest, EpochOutcome};
+use std::fmt;
+
+/// Version of the engine's request/response/journal schema. Requests
+/// carrying a different version are refused with
+/// [`EngineError::UnsupportedVersion`] instead of being misinterpreted.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Stable handle of a live transaction, minted by the engine when the
+/// transaction is admitted (or at seeding, in set order). Handles are
+/// never reused, so a stale handle fails loudly instead of addressing a
+/// later arrival that recycled the name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TxnId(pub u64);
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "txn#{}", self.0)
+    }
+}
+
+/// One operation of an engine batch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineOp {
+    /// A name-addressed admission request (the CLI/script path; also how
+    /// journaled batches replay).
+    Admission(AdmissionRequest),
+    /// Remove the transaction behind a stable handle (the typed library
+    /// path). Unknown handles are an [`EngineError::UnknownTxn`], consuming
+    /// no epoch.
+    Remove(TxnId),
+}
+
+impl From<AdmissionRequest> for EngineOp {
+    fn from(request: AdmissionRequest) -> EngineOp {
+        EngineOp::Admission(request)
+    }
+}
+
+/// A versioned batch of operations, committed atomically as one epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineRequest {
+    /// Schema version; must equal [`SCHEMA_VERSION`].
+    pub version: u32,
+    /// The operations, applied in order.
+    pub ops: Vec<EngineOp>,
+}
+
+impl EngineRequest {
+    /// A current-version request from engine ops.
+    pub fn new(ops: Vec<EngineOp>) -> EngineRequest {
+        EngineRequest {
+            version: SCHEMA_VERSION,
+            ops,
+        }
+    }
+
+    /// A current-version request from plain admission requests.
+    pub fn batch(requests: Vec<AdmissionRequest>) -> EngineRequest {
+        EngineRequest::new(requests.into_iter().map(EngineOp::Admission).collect())
+    }
+}
+
+/// The engine's answer for one committed epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineResponse {
+    /// Schema version ([`SCHEMA_VERSION`]).
+    pub version: u32,
+    /// Engine-level epoch number (1-based; every commit consumes one).
+    pub epoch: u64,
+    /// Aggregated verdict + work accounting across the touched shards
+    /// (same shape as the single-controller outcome).
+    pub outcome: EpochOutcome,
+    /// Handles minted for the arrivals of this batch (empty on rejection),
+    /// in batch order; an instance arrival contributes one handle per
+    /// flattened transaction.
+    pub admitted: Vec<TxnId>,
+    /// Island shards the batch routed to (0 for an empty or structurally
+    /// rejected batch).
+    pub shards_touched: usize,
+    /// Live shards after the epoch.
+    pub shards_live: usize,
+}
+
+/// Caller or environment failures of the engine API — conditions that are
+/// *not* admission verdicts (rejected batches come back as responses).
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The request's schema version is not supported by this engine.
+    UnsupportedVersion {
+        /// Version found in the request.
+        found: u32,
+        /// Version this engine speaks.
+        supported: u32,
+    },
+    /// A [`EngineOp::Remove`] referenced a handle that was never minted or
+    /// whose transaction already departed.
+    UnknownTxn(TxnId),
+    /// The seed analysis failed at construction time.
+    Seed(String),
+    /// The write-ahead journal could not be created, written, or parsed.
+    Journal(String),
+    /// A journal replay diverged from the recorded verdicts — the journal
+    /// is corrupt or was produced by an incompatible engine.
+    Replay(String),
+    /// An internal invariant was violated (a bug, not a caller error).
+    Internal(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnsupportedVersion { found, supported } => {
+                write!(
+                    f,
+                    "unsupported request version {found} (engine speaks v{supported})"
+                )
+            }
+            EngineError::UnknownTxn(id) => write!(f, "unknown transaction handle {id}"),
+            EngineError::Seed(m) => write!(f, "seed analysis failed: {m}"),
+            EngineError::Journal(m) => write!(f, "journal error: {m}"),
+            EngineError::Replay(m) => write!(f, "replay diverged: {m}"),
+            EngineError::Internal(m) => write!(f, "internal engine error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}

@@ -1,0 +1,587 @@
+//! The write-ahead journal: every committed epoch (admitted *and*
+//! rejected) is appended as one plain-text record, so a crashed engine can
+//! be rebuilt byte-identically by replaying the journal against the same
+//! seed specification ([`crate::AdmissionRouter::replay`]).
+//!
+//! # Format (schema v1)
+//!
+//! ```text
+//! hsched-journal v1
+//! platforms 20
+//! epoch 1 2
+//! add probe 60 120 0 1 probe.p 1 1/2 1 0 c
+//! retune 2 0.3 1 1
+//! verdict admitted
+//! end
+//! ```
+//!
+//! One line per request (`add`/`remove`/`retune`/`removeinstance`);
+//! `addinstance` additionally embeds its component class as `.hsc` source
+//! (rendered by `hsched-spec`'s printer, parsed back on replay) with a
+//! declared line count. Names are percent-escaped so whitespace survives;
+//! rationals use their exact display form (`1/3`, `2.5`), which round-trips
+//! losslessly. Platforms are referenced by index — the replaying engine is
+//! seeded from the same spec, so indices line up.
+//!
+//! # Crash tolerance
+//!
+//! A record only counts once its `end` line is on disk. Readers stop at the
+//! first incomplete or malformed record and report the byte length of the
+//! valid prefix; recovery truncates the file there before appending again —
+//! the classic WAL tail-repair.
+
+use crate::envelope::EngineError;
+use hsched_admission::AdmissionRequest;
+use hsched_model::SystemBuilder;
+use hsched_numeric::Rational;
+use hsched_platform::{PlatformId, PlatformSet};
+use hsched_transaction::{Task, TaskKind, Transaction};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Header magic of journal schema v1.
+const MAGIC: &str = "hsched-journal v1";
+
+/// Percent-escapes a name so it survives whitespace-delimited parsing:
+/// `%`, every ASCII control/space byte, and every non-ASCII byte are
+/// written as `%XX`. Escaping all non-ASCII keeps the record free of *any*
+/// Unicode whitespace (U+00A0, U+2028, …) that `split_whitespace` would
+/// otherwise split on.
+fn esc(name: &str) -> String {
+    if name.is_empty() {
+        // A bare `%` marks the empty name — an empty token would shift
+        // every later field of the record.
+        return "%".to_string();
+    }
+    let mut out = String::with_capacity(name.len());
+    for byte in name.bytes() {
+        if byte == b'%' || byte <= b' ' || byte >= 0x7f {
+            out.push_str(&format!("%{byte:02X}"));
+        } else {
+            out.push(byte as char);
+        }
+    }
+    out
+}
+
+/// Inverse of [`esc`] (byte-level, so multi-byte UTF-8 round-trips).
+fn unesc(token: &str) -> Result<String, String> {
+    if token == "%" {
+        return Ok(String::new());
+    }
+    let mut bytes = Vec::with_capacity(token.len());
+    let mut iter = token.bytes();
+    while let Some(byte) = iter.next() {
+        if byte != b'%' {
+            bytes.push(byte);
+            continue;
+        }
+        let hi = iter.next().ok_or("truncated %-escape")?;
+        let lo = iter.next().ok_or("truncated %-escape")?;
+        let pair = [hi, lo];
+        let hex = std::str::from_utf8(&pair).map_err(|_| "bad %-escape")?;
+        bytes.push(u8::from_str_radix(hex, 16).map_err(|_| "bad %-escape")?);
+    }
+    String::from_utf8(bytes).map_err(|_| "escaped name is not UTF-8".to_string())
+}
+
+/// Renders one request as journal lines (one line, plus an embedded class
+/// block for instance arrivals).
+fn encode_request(request: &AdmissionRequest) -> Vec<String> {
+    match request {
+        AdmissionRequest::AddTransaction(tx) => {
+            let mut line = format!(
+                "add {} {} {} {} {}",
+                esc(&tx.name),
+                tx.period,
+                tx.deadline,
+                tx.release_jitter,
+                tx.tasks().len()
+            );
+            for task in tx.tasks() {
+                let kind = match task.kind {
+                    TaskKind::Computation => "c",
+                    TaskKind::Message => "m",
+                };
+                line.push_str(&format!(
+                    " {} {} {} {} {} {kind}",
+                    esc(&task.name),
+                    task.wcet,
+                    task.bcet,
+                    task.priority,
+                    task.platform.0
+                ));
+            }
+            vec![line]
+        }
+        AdmissionRequest::RemoveTransaction { name } => vec![format!("remove {}", esc(name))],
+        AdmissionRequest::Retune {
+            platform,
+            alpha,
+            delta,
+            beta,
+        } => vec![format!("retune {} {alpha} {delta} {beta}", platform.0)],
+        AdmissionRequest::AddInstance {
+            name,
+            class,
+            platform,
+            node,
+        } => {
+            let mut builder = SystemBuilder::new();
+            builder.add_class(class.clone());
+            let source = hsched_spec::to_source(&builder.build(), &PlatformSet::new());
+            let class_lines: Vec<&str> = source.lines().collect();
+            let mut lines = vec![format!(
+                "addinstance {} {} {node} {}",
+                esc(name),
+                platform.0,
+                class_lines.len()
+            )];
+            lines.extend(class_lines.iter().map(|l| l.to_string()));
+            lines
+        }
+        AdmissionRequest::RemoveInstance { name } => {
+            vec![format!("removeinstance {}", esc(name))]
+        }
+    }
+}
+
+/// Token-stream helpers for decoding.
+fn next_token<'a>(
+    tokens: &mut impl Iterator<Item = &'a str>,
+    what: &str,
+) -> Result<&'a str, String> {
+    tokens.next().ok_or_else(|| format!("missing {what}"))
+}
+
+fn next_rational<'a>(
+    tokens: &mut impl Iterator<Item = &'a str>,
+    what: &str,
+) -> Result<Rational, String> {
+    let token = next_token(tokens, what)?;
+    token.parse().map_err(|_| format!("bad {what} `{token}`"))
+}
+
+fn next_usize<'a>(tokens: &mut impl Iterator<Item = &'a str>, what: &str) -> Result<usize, String> {
+    let token = next_token(tokens, what)?;
+    token.parse().map_err(|_| format!("bad {what} `{token}`"))
+}
+
+/// Decodes one request starting at `line`; instance arrivals consume
+/// further class-source lines from `lines`.
+fn decode_request<'a>(
+    line: &str,
+    lines: &mut impl Iterator<Item = &'a str>,
+) -> Result<AdmissionRequest, String> {
+    let mut tokens = line.split_whitespace();
+    match next_token(&mut tokens, "request keyword")? {
+        "add" => {
+            let name = unesc(next_token(&mut tokens, "transaction name")?)?;
+            let period = next_rational(&mut tokens, "period")?;
+            let deadline = next_rational(&mut tokens, "deadline")?;
+            let jitter = next_rational(&mut tokens, "jitter")?;
+            let n_tasks = next_usize(&mut tokens, "task count")?;
+            let mut tasks = Vec::with_capacity(n_tasks);
+            for _ in 0..n_tasks {
+                let task_name = unesc(next_token(&mut tokens, "task name")?)?;
+                let wcet = next_rational(&mut tokens, "wcet")?;
+                let bcet = next_rational(&mut tokens, "bcet")?;
+                let priority = next_usize(&mut tokens, "priority")? as u32;
+                let platform = PlatformId(next_usize(&mut tokens, "platform index")?);
+                let kind = next_token(&mut tokens, "task kind")?;
+                tasks.push(match kind {
+                    "c" => Task::new(task_name, wcet, bcet, priority, platform),
+                    "m" => Task::message(task_name, wcet, bcet, priority, platform),
+                    other => return Err(format!("bad task kind `{other}`")),
+                });
+            }
+            let tx = Transaction::new(name, period, deadline, tasks)?;
+            let tx = if jitter.is_positive() {
+                tx.with_release_jitter(jitter)
+            } else {
+                tx
+            };
+            Ok(AdmissionRequest::AddTransaction(tx))
+        }
+        "remove" => Ok(AdmissionRequest::RemoveTransaction {
+            name: unesc(next_token(&mut tokens, "transaction name")?)?,
+        }),
+        "retune" => Ok(AdmissionRequest::Retune {
+            platform: PlatformId(next_usize(&mut tokens, "platform index")?),
+            alpha: next_rational(&mut tokens, "alpha")?,
+            delta: next_rational(&mut tokens, "delta")?,
+            beta: next_rational(&mut tokens, "beta")?,
+        }),
+        "addinstance" => {
+            let name = unesc(next_token(&mut tokens, "instance name")?)?;
+            let platform = PlatformId(next_usize(&mut tokens, "platform index")?);
+            let node = next_usize(&mut tokens, "node")?;
+            let n_lines = next_usize(&mut tokens, "class line count")?;
+            let mut source = String::new();
+            for _ in 0..n_lines {
+                let class_line = lines.next().ok_or("truncated class block")?;
+                source.push_str(class_line);
+                source.push('\n');
+            }
+            let (system, _) =
+                hsched_spec::parse_str(&source).map_err(|e| format!("embedded class: {e}"))?;
+            let class = system
+                .classes
+                .into_iter()
+                .next()
+                .ok_or("embedded class block defines no class")?;
+            Ok(AdmissionRequest::AddInstance {
+                name,
+                class,
+                platform,
+                node,
+            })
+        }
+        "removeinstance" => Ok(AdmissionRequest::RemoveInstance {
+            name: unesc(next_token(&mut tokens, "instance name")?)?,
+        }),
+        other => Err(format!("unknown request keyword `{other}`")),
+    }
+}
+
+/// One complete journal record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalEpoch {
+    /// Engine epoch number (1-based, consecutive).
+    pub epoch: u64,
+    /// The batch, in application order.
+    pub batch: Vec<AdmissionRequest>,
+    /// Recorded verdict — replay cross-checks its own verdict against it.
+    pub admitted: bool,
+}
+
+/// Parsed journal: platform count, complete records, and the byte length
+/// of the valid prefix (everything after it is a torn tail).
+#[derive(Debug)]
+pub struct JournalContents {
+    /// Platform count recorded at creation (sanity-checked on replay).
+    pub platforms: usize,
+    /// The complete epoch records, in order.
+    pub epochs: Vec<JournalEpoch>,
+    /// Byte offset just past the last complete record.
+    pub valid_prefix: u64,
+}
+
+/// Reads a journal, tolerating a torn tail (see module docs). A missing or
+/// malformed *header* is an error — that is corruption, not a crash.
+pub fn read_journal(path: &Path) -> Result<JournalContents, EngineError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| EngineError::Journal(format!("cannot read `{}`: {e}", path.display())))?;
+    let mut offset = 0u64;
+    let mut lines = text.split_inclusive('\n');
+    let mut take_line = |offset: &mut u64| -> Option<String> {
+        let raw = lines.next()?;
+        // A final line without `\n` is torn by definition.
+        let complete = raw.ends_with('\n');
+        *offset += raw.len() as u64;
+        complete.then(|| raw.trim_end_matches(['\n', '\r']).to_string())
+    };
+
+    let magic =
+        take_line(&mut offset).ok_or_else(|| EngineError::Journal("empty journal".to_string()))?;
+    if magic != MAGIC {
+        return Err(EngineError::Journal(format!(
+            "bad journal header `{magic}` (expected `{MAGIC}`)"
+        )));
+    }
+    let platform_line = take_line(&mut offset)
+        .ok_or_else(|| EngineError::Journal("truncated journal header".to_string()))?;
+    let platforms = platform_line
+        .strip_prefix("platforms ")
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| EngineError::Journal(format!("bad platform line `{platform_line}`")))?;
+
+    let mut epochs: Vec<JournalEpoch> = Vec::new();
+    let mut valid_prefix = offset;
+    // Parse records; any incompleteness ends the journal at the last
+    // complete record.
+    'records: while let Some(header) = take_line(&mut offset) {
+        let mut tokens = header.split_whitespace();
+        let (Some("epoch"), Some(epoch), Some(n_requests), None) = (
+            tokens.next(),
+            tokens.next().and_then(|t| t.parse::<u64>().ok()),
+            tokens.next().and_then(|t| t.parse::<usize>().ok()),
+            tokens.next(),
+        ) else {
+            break;
+        };
+        if epoch != epochs.len() as u64 + 1 {
+            break;
+        }
+        let mut record_lines: Vec<String> = Vec::new();
+        let verdict = loop {
+            let Some(line) = take_line(&mut offset) else {
+                break 'records;
+            };
+            match line.as_str() {
+                "verdict admitted" => break true,
+                "verdict rejected" => break false,
+                _ => record_lines.push(line),
+            }
+        };
+        let Some(end) = take_line(&mut offset) else {
+            break;
+        };
+        if end != "end" {
+            break;
+        }
+        // The record is structurally complete; now decode the requests. A
+        // decode failure here is corruption, not a torn tail.
+        let mut batch = Vec::with_capacity(n_requests);
+        {
+            let mut iter = record_lines.iter().map(String::as_str);
+            for _ in 0..n_requests {
+                let Some(line) = iter.next() else {
+                    return Err(EngineError::Journal(format!(
+                        "epoch {epoch}: {n_requests} requests declared, fewer recorded"
+                    )));
+                };
+                let request = decode_request(line, &mut iter)
+                    .map_err(|e| EngineError::Journal(format!("epoch {epoch}: {e}")))?;
+                batch.push(request);
+            }
+            if iter.next().is_some() {
+                return Err(EngineError::Journal(format!(
+                    "epoch {epoch}: trailing request lines"
+                )));
+            }
+        }
+        epochs.push(JournalEpoch {
+            epoch,
+            batch,
+            admitted: verdict,
+        });
+        valid_prefix = offset;
+    }
+    Ok(JournalContents {
+        platforms,
+        epochs,
+        valid_prefix,
+    })
+}
+
+/// Appending writer over a journal file. Records are synced per epoch so a
+/// crash tears at most the record being written.
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: std::fs::File,
+    path: PathBuf,
+}
+
+impl JournalWriter {
+    /// Creates (truncating) a fresh journal with a v1 header.
+    pub fn create(path: &Path, platforms: usize) -> Result<JournalWriter, EngineError> {
+        let mut file = std::fs::File::create(path).map_err(|e| {
+            EngineError::Journal(format!("cannot create `{}`: {e}", path.display()))
+        })?;
+        file.write_all(format!("{MAGIC}\nplatforms {platforms}\n").as_bytes())
+            .map_err(|e| EngineError::Journal(e.to_string()))?;
+        file.sync_data()
+            .map_err(|e| EngineError::Journal(e.to_string()))?;
+        Ok(JournalWriter {
+            file,
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Re-opens an existing journal for appending after truncating any torn
+    /// tail at `valid_prefix` (WAL tail repair).
+    pub fn recover(path: &Path, valid_prefix: u64) -> Result<JournalWriter, EngineError> {
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|e| EngineError::Journal(format!("cannot open `{}`: {e}", path.display())))?;
+        file.set_len(valid_prefix)
+            .map_err(|e| EngineError::Journal(e.to_string()))?;
+        let mut writer = JournalWriter {
+            file,
+            path: path.to_path_buf(),
+        };
+        use std::io::Seek as _;
+        writer
+            .file
+            .seek(std::io::SeekFrom::End(0))
+            .map_err(|e| EngineError::Journal(e.to_string()))?;
+        Ok(writer)
+    }
+
+    /// Appends one epoch record and syncs it to disk (`sync_data`) before
+    /// returning, so an OS crash after a commit's response tears at most
+    /// the *next* record — the tail-repair contract `read_journal` assumes.
+    pub fn append(
+        &mut self,
+        epoch: u64,
+        batch: &[AdmissionRequest],
+        admitted: bool,
+    ) -> Result<(), EngineError> {
+        let mut record = format!("epoch {epoch} {}\n", batch.len());
+        for request in batch {
+            for line in encode_request(request) {
+                record.push_str(&line);
+                record.push('\n');
+            }
+        }
+        record.push_str(if admitted {
+            "verdict admitted\n"
+        } else {
+            "verdict rejected\n"
+        });
+        record.push_str("end\n");
+        self.file
+            .write_all(record.as_bytes())
+            .map_err(|e| EngineError::Journal(e.to_string()))?;
+        self.file
+            .sync_data()
+            .map_err(|e| EngineError::Journal(e.to_string()))
+    }
+
+    /// The journal file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsched_model::{Action, ComponentClass, ProvidedMethod, ThreadSpec};
+    use hsched_numeric::rat;
+
+    fn temp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("hsched-journal-test-{}-{name}", std::process::id()))
+    }
+
+    fn sample_batch() -> Vec<AdmissionRequest> {
+        let tx = Transaction::new(
+            "spaced name",
+            rat(60, 1),
+            rat(120, 1),
+            vec![
+                Task::new("t 0", rat(1, 3), rat(1, 6), 2, PlatformId(0)),
+                Task::message("m", rat(1, 2), rat(1, 4), 1, PlatformId(1)),
+            ],
+        )
+        .unwrap()
+        .with_release_jitter(rat(5, 2));
+        let class = ComponentClass::new("Logger")
+            .provides(ProvidedMethod::new("flush", rat(200, 1)))
+            .thread(ThreadSpec::periodic(
+                "Tick",
+                rat(100, 1),
+                1,
+                vec![Action::task("log", rat(1, 1), rat(1, 2))],
+            ))
+            .thread(ThreadSpec::realizes(
+                "Flush",
+                "flush",
+                1,
+                vec![Action::task("sync", rat(1, 1), rat(1, 1))],
+            ));
+        vec![
+            AdmissionRequest::AddTransaction(tx),
+            AdmissionRequest::Retune {
+                platform: PlatformId(1),
+                alpha: rat(1, 3),
+                delta: rat(2, 1),
+                beta: rat(0, 1),
+            },
+            AdmissionRequest::AddInstance {
+                name: "logger1".into(),
+                class,
+                platform: PlatformId(0),
+                node: 3,
+            },
+            AdmissionRequest::RemoveTransaction {
+                name: "spaced name".into(),
+            },
+            AdmissionRequest::RemoveInstance {
+                name: "logger1".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn records_round_trip() {
+        let path = temp("roundtrip");
+        let batch = sample_batch();
+        let mut writer = JournalWriter::create(&path, 4).unwrap();
+        writer.append(1, &batch, true).unwrap();
+        writer.append(2, &batch[..1], false).unwrap();
+        let contents = read_journal(&path).unwrap();
+        assert_eq!(contents.platforms, 4);
+        assert_eq!(contents.epochs.len(), 2);
+        assert_eq!(contents.epochs[0].batch, batch);
+        assert!(contents.epochs[0].admitted);
+        assert_eq!(contents.epochs[1].batch, &batch[..1]);
+        assert!(!contents.epochs[1].admitted);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_discarded_and_repaired() {
+        let path = temp("torn");
+        let batch = sample_batch();
+        let mut writer = JournalWriter::create(&path, 4).unwrap();
+        writer.append(1, &batch, true).unwrap();
+        drop(writer);
+        let full = read_journal(&path).unwrap();
+        let intact = std::fs::read(&path).unwrap();
+
+        // Tear the file at byte boundaries inside the record (but past the
+        // header): the reader must fall back to zero complete epochs
+        // without erroring.
+        let header_len = format!("{MAGIC}\nplatforms 4\n").len();
+        for cut in [
+            full.valid_prefix as usize - 1,
+            intact.len() - 1,
+            header_len + 5,
+        ] {
+            std::fs::write(&path, &intact[..cut]).unwrap();
+            let torn = read_journal(&path).unwrap();
+            assert_eq!(torn.epochs.len(), 0, "cut at {cut}");
+            // Tail repair truncates, and appending works again.
+            let mut writer = JournalWriter::recover(&path, torn.valid_prefix).unwrap();
+            writer.append(1, &batch[..1], true).unwrap();
+            let repaired = read_journal(&path).unwrap();
+            assert_eq!(repaired.epochs.len(), 1);
+            assert_eq!(repaired.epochs[0].batch, &batch[..1]);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn name_escaping_round_trips() {
+        for name in [
+            "plain",
+            "two words",
+            "pct%sign",
+            "tab\there",
+            "vtab\x0Bff\x0C",
+            "nbsp\u{00A0}sep\u{2028}",
+            "Γ-grüße",
+            "",
+        ] {
+            let escaped = esc(name);
+            assert!(
+                escaped.split_whitespace().count() <= 1,
+                "`{escaped}` must be one whitespace-delimited token"
+            );
+            assert_eq!(unesc(&escaped).unwrap(), name);
+        }
+        assert!(unesc("%2").is_err());
+        assert!(unesc("%zz").is_err());
+    }
+
+    #[test]
+    fn bad_header_is_corruption_not_truncation() {
+        let path = temp("badheader");
+        std::fs::write(&path, "not a journal\n").unwrap();
+        assert!(matches!(read_journal(&path), Err(EngineError::Journal(_))));
+        let _ = std::fs::remove_file(&path);
+    }
+}

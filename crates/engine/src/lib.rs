@@ -1,0 +1,525 @@
+//! The sharded admission engine: the service layer of online admission.
+//!
+//! PR 2's [`hsched_admission::AdmissionController`] made admission
+//! *incremental*; this crate makes it a *service*. The whole live set no
+//! longer serializes through one mutable struct: an [`AdmissionRouter`]
+//! partitions the live transactions by platform-sharing interference-island
+//! groups (the same union–find that drives dirty tracking), owns one shard
+//! controller per group, routes each batch to exactly the shards it
+//! touches, and commits disjoint shards concurrently — exact, because
+//! interference cannot cross island boundaries.
+//!
+//! Around that core, the public API is redesigned:
+//!
+//! * **Typed handles** — every admitted transaction gets a stable
+//!   [`TxnId`]; removal by handle ([`EngineOp::Remove`]) cannot race a name
+//!   reuse, and a stale handle fails with a typed [`EngineError`] instead
+//!   of a string.
+//! * **Versioned envelope** — [`EngineRequest`]/[`EngineResponse`]
+//!   (schema [`SCHEMA_VERSION`]) are shared by the library API, `hsched
+//!   admit`, `hsched replay`, and the `--json` serializer.
+//! * **Write-ahead journal** — every committed epoch (admitted *and*
+//!   rejected, so the epoch counter and shard topology replay exactly) is
+//!   appended to a plain-text journal; [`AdmissionRouter::replay`] rebuilds
+//!   a byte-identical engine from the seed spec + journal after a crash,
+//!   repairing any torn tail first.
+//! * **O(batch) rollback** — shard commits (and the legacy
+//!   single-controller API, which now rides the same machinery) roll back
+//!   through an undo log of inverse requests rather than a per-epoch
+//!   deep-clone of the whole state.
+//!
+//! # Example
+//!
+//! ```
+//! use hsched_engine::{AdmissionRouter, EngineOp, EngineRequest};
+//! use hsched_admission::{AdmissionPolicy, AdmissionRequest};
+//! use hsched_analysis::AnalysisConfig;
+//! use hsched_numeric::rat;
+//! use hsched_platform::{Platform, PlatformId, PlatformSet};
+//! use hsched_transaction::{Task, Transaction, TransactionSet};
+//!
+//! // Two dedicated platforms → two islands → two shards.
+//! let mut platforms = PlatformSet::new();
+//! let a = platforms.add(Platform::dedicated("A"));
+//! let b = platforms.add(Platform::dedicated("B"));
+//! let tx = |name: &str, p| {
+//!     Transaction::new(
+//!         name,
+//!         rat(10, 1),
+//!         rat(10, 1),
+//!         vec![Task::new(format!("{name}_t"), rat(1, 1), rat(1, 1), 1, p)],
+//!     )
+//!     .unwrap()
+//! };
+//! let set = TransactionSet::new(platforms, vec![tx("left", a), tx("right", b)]).unwrap();
+//! let mut engine =
+//!     AdmissionRouter::new(set, AnalysisConfig::default(), AdmissionPolicy::default()).unwrap();
+//! assert_eq!(engine.shard_count(), 2);
+//!
+//! // A batch touching both islands commits the two shards concurrently.
+//! let response = engine
+//!     .commit(&EngineRequest::batch(vec![
+//!         AdmissionRequest::AddTransaction(tx("left2", a)),
+//!         AdmissionRequest::AddTransaction(tx("right2", b)),
+//!     ]))
+//!     .unwrap();
+//! assert!(response.outcome.verdict.admitted());
+//! assert_eq!(response.shards_touched, 2);
+//!
+//! // Arrivals got stable handles; removal by handle is the typed path.
+//! let id = response.admitted[0];
+//! let response = engine
+//!     .commit(&EngineRequest::new(vec![EngineOp::Remove(id)]))
+//!     .unwrap();
+//! assert!(response.outcome.verdict.admitted());
+//! assert_eq!(engine.live_transactions(), 3);
+//! ```
+
+mod digest;
+mod envelope;
+mod journal;
+mod router;
+
+pub use envelope::{EngineError, EngineOp, EngineRequest, EngineResponse, TxnId, SCHEMA_VERSION};
+pub use journal::{read_journal, JournalContents, JournalEpoch, JournalWriter};
+pub use router::AdmissionRouter;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsched_admission::{AdmissionPolicy, AdmissionRequest, RejectReason, Verdict};
+    use hsched_analysis::{analyze_with, AnalysisConfig};
+    use hsched_numeric::rat;
+    use hsched_platform::{Platform, PlatformId, PlatformSet};
+    use hsched_transaction::{paper_example, Task, Transaction, TransactionSet};
+
+    fn tx_on(name: &str, p: PlatformId) -> Transaction {
+        Transaction::new(
+            name,
+            rat(10, 1),
+            rat(10, 1),
+            vec![Task::new(format!("{name}_t"), rat(1, 1), rat(1, 1), 1, p)],
+        )
+        .unwrap()
+    }
+
+    fn two_island_engine() -> (AdmissionRouter, PlatformId, PlatformId) {
+        let mut platforms = PlatformSet::new();
+        let a = platforms.add(Platform::dedicated("A"));
+        let b = platforms.add(Platform::dedicated("B"));
+        let set =
+            TransactionSet::new(platforms, vec![tx_on("left", a), tx_on("right", b)]).unwrap();
+        let engine =
+            AdmissionRouter::new(set, AnalysisConfig::default(), AdmissionPolicy::default())
+                .unwrap();
+        (engine, a, b)
+    }
+
+    #[test]
+    fn seeding_splits_into_island_shards_and_mints_ids() {
+        let (engine, _, _) = two_island_engine();
+        assert_eq!(engine.shard_count(), 2);
+        assert_eq!(engine.live_transactions(), 2);
+        let left = engine.resolve("left").unwrap();
+        assert_eq!(engine.name_of(left), Some("left"));
+        assert!(engine.schedulable());
+        // Aggregate report equals a from-scratch analysis (content-wise).
+        let fresh = analyze_with(&engine.current_set(), &AnalysisConfig::default()).unwrap();
+        assert_eq!(engine.report().tasks, fresh.tasks);
+        assert_eq!(engine.report().verdicts, fresh.verdicts);
+    }
+
+    #[test]
+    fn version_mismatch_is_a_typed_error_and_consumes_no_epoch() {
+        let (mut engine, _, _) = two_island_engine();
+        let mut request = EngineRequest::batch(vec![]);
+        request.version = 99;
+        assert_eq!(
+            engine.commit(&request),
+            Err(EngineError::UnsupportedVersion {
+                found: 99,
+                supported: SCHEMA_VERSION
+            })
+        );
+        assert_eq!(engine.epoch(), 0);
+    }
+
+    #[test]
+    fn unknown_handle_is_a_typed_error() {
+        let (mut engine, _, _) = two_island_engine();
+        let err = engine
+            .commit(&EngineRequest::new(vec![EngineOp::Remove(TxnId(999))]))
+            .unwrap_err();
+        assert_eq!(err, EngineError::UnknownTxn(TxnId(999)));
+        assert_eq!(engine.epoch(), 0, "no epoch consumed");
+
+        // A departed transaction's handle goes stale.
+        let id = engine.resolve("left").unwrap();
+        let response = engine
+            .commit(&EngineRequest::new(vec![EngineOp::Remove(id)]))
+            .unwrap();
+        assert!(response.outcome.verdict.admitted());
+        assert_eq!(
+            engine.commit(&EngineRequest::new(vec![EngineOp::Remove(id)])),
+            Err(EngineError::UnknownTxn(id))
+        );
+    }
+
+    #[test]
+    fn bridging_arrival_merges_shards_and_departure_splits_them() {
+        let (mut engine, a, b) = two_island_engine();
+        let bridge = Transaction::new(
+            "bridge",
+            rat(20, 1),
+            rat(20, 1),
+            vec![
+                Task::new("b0", rat(1, 1), rat(1, 1), 2, a),
+                Task::new("b1", rat(1, 1), rat(1, 1), 2, b),
+            ],
+        )
+        .unwrap();
+        let response = engine
+            .commit(&EngineRequest::batch(vec![
+                AdmissionRequest::AddTransaction(bridge),
+            ]))
+            .unwrap();
+        assert!(response.outcome.verdict.admitted());
+        assert_eq!(engine.shard_count(), 1, "islands merged into one shard");
+
+        let response = engine
+            .commit(&EngineRequest::batch(vec![
+                AdmissionRequest::RemoveTransaction {
+                    name: "bridge".into(),
+                },
+            ]))
+            .unwrap();
+        assert!(response.outcome.verdict.admitted());
+        assert_eq!(engine.shard_count(), 2, "departure splits the islands");
+        let fresh = analyze_with(&engine.current_set(), &AnalysisConfig::default()).unwrap();
+        assert_eq!(engine.report().tasks, fresh.tasks);
+    }
+
+    #[test]
+    fn cross_shard_batch_is_atomic() {
+        let (mut engine, a, b) = two_island_engine();
+        let set_before = engine.current_set();
+        let report_before = engine.report();
+        // Island A gets a fine arrival, island B an overload: the whole
+        // epoch must reject and island A must roll back.
+        let hog = Transaction::new(
+            "hog",
+            rat(10, 1),
+            rat(10, 1),
+            vec![Task::new("h", rat(11, 1), rat(11, 1), 9, b)],
+        )
+        .unwrap();
+        let response = engine
+            .commit(&EngineRequest::batch(vec![
+                AdmissionRequest::AddTransaction(tx_on("fine", a)),
+                AdmissionRequest::AddTransaction(hog),
+            ]))
+            .unwrap();
+        assert!(matches!(
+            response.outcome.verdict,
+            Verdict::Rejected(RejectReason::Overload { .. })
+        ));
+        assert_eq!(engine.live_transactions(), 2);
+        assert_eq!(engine.current_set(), set_before, "set rolled back");
+        assert_eq!(engine.report(), report_before, "cached results rolled back");
+    }
+
+    #[test]
+    fn retune_routes_to_the_owning_island_and_propagates() {
+        let set = paper_example::transactions();
+        let mut engine =
+            AdmissionRouter::new(set, AnalysisConfig::default(), AdmissionPolicy::default())
+                .unwrap();
+        let response = engine
+            .commit(&EngineRequest::batch(vec![AdmissionRequest::Retune {
+                platform: PlatformId(2),
+                alpha: rat(3, 10),
+                delta: rat(1, 1),
+                beta: rat(1, 1),
+            }]))
+            .unwrap();
+        assert!(response.outcome.verdict.admitted());
+        assert_eq!(
+            engine.current_set().platforms()[PlatformId(2)].alpha(),
+            rat(3, 10)
+        );
+        let fresh = analyze_with(&engine.current_set(), &AnalysisConfig::default()).unwrap();
+        assert_eq!(engine.report().tasks, fresh.tasks);
+    }
+
+    #[test]
+    fn empty_batch_is_an_epoch_and_tracks_schedulability() {
+        let (mut engine, _, _) = two_island_engine();
+        let response = engine.commit(&EngineRequest::batch(vec![])).unwrap();
+        assert!(response.outcome.verdict.admitted());
+        assert_eq!(engine.epoch(), 1);
+        assert_eq!(response.shards_touched, 0);
+    }
+
+    #[test]
+    fn unschedulable_foreign_shard_blocks_admission_until_healed() {
+        // Shard B is seeded unschedulable; an arrival on shard A must be
+        // rejected (the single controller scans all entries), and healing B
+        // unblocks A.
+        let mut platforms = PlatformSet::new();
+        let a = platforms.add(Platform::dedicated("A"));
+        let b = platforms.add(Platform::linear("B", rat(1, 10), rat(0, 1), rat(0, 1)).unwrap());
+        let hog = Transaction::new(
+            "hog",
+            rat(10, 1),
+            rat(10, 1),
+            vec![Task::new("h", rat(2, 1), rat(2, 1), 1, b)],
+        )
+        .unwrap();
+        let set = TransactionSet::new(platforms, vec![tx_on("good", a), hog]).unwrap();
+        let mut engine =
+            AdmissionRouter::new(set, AnalysisConfig::default(), AdmissionPolicy::default())
+                .unwrap();
+        assert!(!engine.schedulable());
+        let response = engine
+            .commit(&EngineRequest::batch(vec![
+                AdmissionRequest::AddTransaction(tx_on("more", a)),
+            ]))
+            .unwrap();
+        assert!(matches!(
+            response.outcome.verdict,
+            Verdict::Rejected(RejectReason::Unschedulable { .. })
+        ));
+        let response = engine
+            .commit(&EngineRequest::batch(vec![
+                AdmissionRequest::RemoveTransaction { name: "hog".into() },
+            ]))
+            .unwrap();
+        assert!(
+            response.outcome.verdict.admitted(),
+            "healing removal admits"
+        );
+        let response = engine
+            .commit(&EngineRequest::batch(vec![
+                AdmissionRequest::AddTransaction(tx_on("more", a)),
+            ]))
+            .unwrap();
+        assert!(response.outcome.verdict.admitted());
+    }
+
+    #[test]
+    fn out_of_range_platform_in_arrival_is_a_structural_rejection() {
+        let (mut engine, _, _) = two_island_engine();
+        let response = engine
+            .commit(&EngineRequest::batch(vec![
+                AdmissionRequest::AddTransaction(tx_on("ghost", PlatformId(99))),
+            ]))
+            .unwrap();
+        match &response.outcome.verdict {
+            Verdict::Rejected(RejectReason::Structural(message)) => {
+                assert!(message.contains("unknown platform"), "{message}");
+            }
+            other => panic!("expected structural rejection, got {other}"),
+        }
+        assert_eq!(engine.live_transactions(), 2, "state untouched");
+    }
+
+    #[test]
+    fn instance_txn_name_is_reusable_in_the_removing_batch() {
+        use hsched_model::{Action, ComponentClass, ThreadSpec};
+        let (mut engine, a, _) = two_island_engine();
+        let class = ComponentClass::new("Worker").thread(ThreadSpec::periodic(
+            "T",
+            rat(50, 1),
+            1,
+            vec![Action::task("w", rat(1, 1), rat(1, 1))],
+        ));
+        let response = engine
+            .commit(&EngineRequest::batch(vec![AdmissionRequest::AddInstance {
+                name: "w1".into(),
+                class,
+                platform: a,
+                node: 0,
+            }]))
+            .unwrap();
+        assert!(response.outcome.verdict.admitted());
+        // [RemoveInstance w1, AddTransaction "w1.T"] must resolve like
+        // sequential application: the flattened name departs with the
+        // instance, so the bare re-arrival under the same name admits.
+        let response = engine
+            .commit(&EngineRequest::batch(vec![
+                AdmissionRequest::RemoveInstance { name: "w1".into() },
+                AdmissionRequest::AddTransaction(tx_on("w1.T", a)),
+            ]))
+            .unwrap();
+        assert!(
+            response.outcome.verdict.admitted(),
+            "{}",
+            response.outcome.verdict
+        );
+        assert!(engine.system().instance_by_name("w1").is_none());
+        assert!(
+            engine.resolve("w1.T").is_some(),
+            "bare transaction got a handle"
+        );
+    }
+
+    #[test]
+    fn stats_survive_shard_retirement() {
+        let (mut engine, a, _) = two_island_engine();
+        let analyzed_before = engine.stats().transactions_analyzed;
+        // Fresh island on nothing shared: add then remove — the shard
+        // retires, but its analysis counters must stay in the totals.
+        let response = engine
+            .commit(&EngineRequest::batch(vec![
+                AdmissionRequest::AddTransaction(tx_on("ephemeral", a)),
+            ]))
+            .unwrap();
+        assert!(response.outcome.verdict.admitted());
+        let response = engine
+            .commit(&EngineRequest::batch(vec![
+                AdmissionRequest::RemoveTransaction {
+                    name: "left".into(),
+                },
+                AdmissionRequest::RemoveTransaction {
+                    name: "ephemeral".into(),
+                },
+            ]))
+            .unwrap();
+        assert!(response.outcome.verdict.admitted());
+        assert!(
+            engine.stats().transactions_analyzed > analyzed_before,
+            "analysis work of retired shards is not forgotten"
+        );
+    }
+
+    #[test]
+    fn instance_lifecycle_via_engine() {
+        use hsched_model::{Action, ComponentClass, ThreadSpec};
+        let (mut engine, a, _) = two_island_engine();
+        let class = ComponentClass::new("Worker").thread(ThreadSpec::periodic(
+            "T",
+            rat(50, 1),
+            1,
+            vec![Action::task("w", rat(1, 1), rat(1, 1))],
+        ));
+        let response = engine
+            .commit(&EngineRequest::batch(vec![AdmissionRequest::AddInstance {
+                name: "w1".into(),
+                class,
+                platform: a,
+                node: 0,
+            }]))
+            .unwrap();
+        assert!(response.outcome.verdict.admitted());
+        assert_eq!(response.admitted.len(), 1, "one flattened transaction");
+        assert!(engine.system().instance_by_name("w1").is_some());
+        assert!(engine.resolve("w1.T").is_some());
+
+        let response = engine
+            .commit(&EngineRequest::batch(vec![
+                AdmissionRequest::RemoveInstance { name: "w1".into() },
+            ]))
+            .unwrap();
+        assert!(response.outcome.verdict.admitted());
+        assert!(engine.system().instance_by_name("w1").is_none());
+        assert!(engine.resolve("w1.T").is_none());
+    }
+
+    #[test]
+    fn journal_records_and_replays_byte_identically() {
+        let path = std::env::temp_dir().join(format!(
+            "hsched-engine-test-replay-{}.journal",
+            std::process::id()
+        ));
+        let set = paper_example::transactions();
+        let mut engine = AdmissionRouter::new(
+            set.clone(),
+            AnalysisConfig::default(),
+            AdmissionPolicy::default(),
+        )
+        .unwrap()
+        .with_journal(&path)
+        .unwrap();
+        // One admitted arrival, one rejected overload, one removal.
+        let extra = Transaction::new(
+            "extra",
+            rat(60, 1),
+            rat(120, 1),
+            vec![Task::new("e", rat(1, 1), rat(1, 2), 1, PlatformId(0))],
+        )
+        .unwrap();
+        let hog = Transaction::new(
+            "hog",
+            rat(10, 1),
+            rat(10, 1),
+            vec![Task::new("h", rat(9, 1), rat(9, 1), 9, PlatformId(2))],
+        )
+        .unwrap();
+        for batch in [
+            vec![AdmissionRequest::AddTransaction(extra)],
+            vec![AdmissionRequest::AddTransaction(hog)],
+            vec![AdmissionRequest::RemoveTransaction {
+                name: "Sensor2.Thread1".into(),
+            }],
+        ] {
+            engine.commit(&EngineRequest::batch(batch)).unwrap();
+        }
+        let digest = engine.state_digest();
+        let epoch = engine.epoch();
+        drop(engine); // "crash"
+
+        let (replayed, epochs) = AdmissionRouter::replay(
+            set,
+            AnalysisConfig::default(),
+            AdmissionPolicy::default(),
+            &path,
+        )
+        .unwrap();
+        assert_eq!(epochs, 3);
+        assert_eq!(replayed.epoch(), epoch);
+        assert_eq!(replayed.state_digest(), digest);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn structural_rejections_match_controller_semantics() {
+        let (mut engine, a, _) = two_island_engine();
+        // Unknown removal.
+        let response = engine
+            .commit(&EngineRequest::batch(vec![
+                AdmissionRequest::RemoveTransaction {
+                    name: "nope".into(),
+                },
+            ]))
+            .unwrap();
+        assert!(matches!(
+            response.outcome.verdict,
+            Verdict::Rejected(RejectReason::Structural(_))
+        ));
+        assert_eq!(engine.epoch(), 1, "structural rejection consumes an epoch");
+        // Duplicate arrival.
+        let response = engine
+            .commit(&EngineRequest::batch(vec![
+                AdmissionRequest::AddTransaction(tx_on("left", a)),
+            ]))
+            .unwrap();
+        assert!(matches!(
+            response.outcome.verdict,
+            Verdict::Rejected(RejectReason::Structural(_))
+        ));
+        // [remove X, add X] in one batch works like sequential application.
+        let response = engine
+            .commit(&EngineRequest::batch(vec![
+                AdmissionRequest::RemoveTransaction {
+                    name: "left".into(),
+                },
+                AdmissionRequest::AddTransaction(tx_on("left", a)),
+            ]))
+            .unwrap();
+        assert!(
+            response.outcome.verdict.admitted(),
+            "{}",
+            response.outcome.verdict
+        );
+    }
+}

@@ -1,0 +1,248 @@
+//! The sharded engine's two contracts, property-tested:
+//!
+//! (a) **equivalence** — driving the same churn stream through the sharded
+//!     `AdmissionRouter` and the single `AdmissionController` produces the
+//!     same admit/reject verdict every epoch and the same live state and
+//!     analysis results (content-wise; the router is free to order its
+//!     aggregate set by shard), and both agree with a from-scratch
+//!     `analyze_with` oracle — across ≥100 generated multi-island churn
+//!     scenarios;
+//!
+//! (b) **durability** — a journaled engine torn at a *random byte* and
+//!     rebuilt via `replay()` is byte-identical (state digest over epoch,
+//!     set, system, report, and handle table) to the reference engine as
+//!     of the last complete journal record.
+
+use hsched_admission::gen::{random_scenario, ChurnGen, ScenarioSpec};
+use hsched_admission::{AdmissionController, AdmissionPolicy};
+use hsched_analysis::{analyze_with, AnalysisConfig, TaskResult, TransactionVerdict};
+use hsched_engine::{AdmissionRouter, EngineRequest};
+use hsched_numeric::rat;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn spec_for(seed: u64, clusters: usize) -> ScenarioSpec {
+    ScenarioSpec {
+        clusters,
+        platforms_per_cluster: 2,
+        transactions: 3 * clusters,
+        max_tasks_per_tx: 3,
+        load: rat(3, 5),
+        priority_levels: 3,
+        seed,
+        ..ScenarioSpec::default()
+    }
+}
+
+/// Sorts a report's per-transaction content by name so shard-ordered and
+/// set-ordered views compare.
+fn by_name(
+    names: impl Iterator<Item = String>,
+    tasks: &[Vec<TaskResult>],
+    verdicts: &[TransactionVerdict],
+) -> BTreeMap<String, (Vec<TaskResult>, TransactionVerdict)> {
+    names
+        .zip(tasks.iter().cloned().zip(verdicts.iter().cloned()))
+        .collect()
+}
+
+/// One churn session driven through both engines in lockstep.
+fn equivalence_session(seed: u64, clusters: usize, batches: usize, max_batch: usize) {
+    let spec = spec_for(seed, clusters);
+    let set = random_scenario(&spec);
+    let config = AnalysisConfig::default();
+    let policy = AdmissionPolicy::default();
+    let mut single = AdmissionController::new(set.clone(), config.clone(), policy.clone())
+        .unwrap_or_else(|e| panic!("seed {seed}: controller seed failed: {e}"));
+    let mut router = AdmissionRouter::new(set, config.clone(), policy)
+        .unwrap_or_else(|e| panic!("seed {seed}: router seed failed: {e}"));
+    // Feed the generator from the single controller's set so both engines
+    // see the *identical* request stream (the generator picks departure
+    // victims by index).
+    let mut churn = ChurnGen::new(&spec, seed.wrapping_mul(0x9e3779b9).wrapping_add(7));
+
+    for step in 0..batches {
+        let batch = churn.next_batch(single.current_set(), max_batch);
+        let single_outcome = single.commit(&batch);
+        let response = router
+            .commit(&EngineRequest::batch(batch.clone()))
+            .unwrap_or_else(|e| panic!("seed {seed} step {step}: engine error: {e}"));
+
+        assert_eq!(
+            response.outcome.verdict.admitted(),
+            single_outcome.verdict.admitted(),
+            "seed {seed} step {step}: verdicts diverged (router: {}, single: {})",
+            response.outcome.verdict,
+            single_outcome.verdict
+        );
+        assert_eq!(response.epoch, single.epoch(), "seed {seed} step {step}");
+
+        // Same live population, content-wise.
+        let router_set = router.current_set();
+        let single_set = single.current_set();
+        assert_eq!(
+            router_set.platforms(),
+            single_set.platforms(),
+            "seed {seed} step {step}"
+        );
+        let mut router_names: Vec<&str> = router_set
+            .transactions()
+            .iter()
+            .map(|t| t.name.as_str())
+            .collect();
+        let mut single_names: Vec<&str> = single_set
+            .transactions()
+            .iter()
+            .map(|t| t.name.as_str())
+            .collect();
+        router_names.sort_unstable();
+        single_names.sort_unstable();
+        assert_eq!(router_names, single_names, "seed {seed} step {step}");
+        for tx in router_set.transactions() {
+            let i = single_set
+                .transaction_index(&tx.name)
+                .expect("name present in both");
+            assert_eq!(
+                *tx,
+                single_set.transactions()[i],
+                "seed {seed} step {step}: transaction `{}` differs",
+                tx.name
+            );
+        }
+
+        // Same analysis results, matched by name; and — when admitted —
+        // both equal the from-scratch oracle.
+        let router_report = router.report();
+        let single_report = single.report();
+        let router_view = by_name(
+            router_set.transactions().iter().map(|t| t.name.clone()),
+            &router_report.tasks,
+            &router_report.verdicts,
+        );
+        let single_view = by_name(
+            single_set.transactions().iter().map(|t| t.name.clone()),
+            &single_report.tasks,
+            &single_report.verdicts,
+        );
+        assert_eq!(router_view, single_view, "seed {seed} step {step}");
+        assert_eq!(
+            router.schedulable(),
+            single.schedulable(),
+            "seed {seed} step {step}"
+        );
+
+        if single_outcome.verdict.admitted() {
+            let fresh = analyze_with(&router_set, &config)
+                .unwrap_or_else(|e| panic!("seed {seed} step {step}: oracle failed: {e}"));
+            assert_eq!(router_report.tasks, fresh.tasks, "seed {seed} step {step}");
+            assert_eq!(
+                router_report.verdicts, fresh.verdicts,
+                "seed {seed} step {step}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(70))]
+
+    /// Multi-island scenarios (4 clusters): router == single == oracle.
+    #[test]
+    fn router_matches_single_controller_multi_island(seed in 0u64..10_000) {
+        equivalence_session(seed, 4, 4, 3);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Wider systems (6 clusters) with bigger batches, so single batches
+    /// regularly span several shards (concurrent commits + cross-shard
+    /// atomicity are on the hot path).
+    #[test]
+    fn router_matches_single_controller_wide(seed in 10_000u64..20_000) {
+        equivalence_session(seed, 6, 3, 5);
+    }
+}
+
+/// Deterministic smoke mirroring one proptest case (stable name for
+/// `cargo test` triage).
+#[test]
+fn equivalence_session_seed_zero() {
+    equivalence_session(0, 4, 6, 3);
+}
+
+/// Crash-point replay: run a journaled session, snapshot the reference
+/// digest after every epoch, tear the journal at a random byte, replay,
+/// and demand byte-identity with the reference at the surviving prefix.
+fn crash_replay_session(seed: u64, cut_fraction: (u64, u64)) {
+    let spec = spec_for(seed, 4);
+    let set = random_scenario(&spec);
+    let config = AnalysisConfig::default();
+    let policy = AdmissionPolicy::default();
+    let path = std::env::temp_dir().join(format!(
+        "hsched-proptest-journal-{}-{seed}-{}-{}.journal",
+        std::process::id(),
+        cut_fraction.0,
+        cut_fraction.1
+    ));
+
+    let mut engine = AdmissionRouter::new(set.clone(), config.clone(), policy.clone())
+        .unwrap_or_else(|e| panic!("seed {seed}: router seed failed: {e}"))
+        .with_journal(&path)
+        .unwrap();
+    let mut churn = ChurnGen::new(&spec, seed.wrapping_mul(0x517c_c1b7).wrapping_add(3));
+    // digests[k] = reference state after k epochs.
+    let mut digests = vec![engine.state_digest()];
+    for _ in 0..5 {
+        let batch = churn.next_batch(&engine.current_set(), 3);
+        engine
+            .commit(&EngineRequest::batch(batch))
+            .unwrap_or_else(|e| panic!("seed {seed}: engine error: {e}"));
+        digests.push(engine.state_digest());
+    }
+    drop(engine); // crash
+
+    // Tear the journal at a deterministic pseudo-random byte.
+    let bytes = std::fs::read(&path).unwrap();
+    let cut = (bytes.len() as u64 * cut_fraction.0 / cut_fraction.1) as usize;
+    let cut = cut.clamp(40, bytes.len()); // keep the header intact
+    std::fs::write(&path, &bytes[..cut]).unwrap();
+
+    let (replayed, epochs) = AdmissionRouter::replay(set, config, policy, &path)
+        .unwrap_or_else(|e| panic!("seed {seed} cut {cut}: replay failed: {e}"));
+    assert!(epochs <= 5, "seed {seed}");
+    assert_eq!(
+        replayed.state_digest(),
+        digests[epochs],
+        "seed {seed} cut {cut}: replayed engine diverged from the reference after {epochs} epochs"
+    );
+    // The repaired journal must keep serving: one more epoch appends fine.
+    let mut replayed = replayed;
+    let batch = churn.next_batch(&replayed.current_set(), 2);
+    replayed
+        .commit(&EngineRequest::batch(batch))
+        .unwrap_or_else(|e| panic!("seed {seed}: post-replay commit failed: {e}"));
+    let _ = std::fs::remove_file(&path);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random crash points across random scenarios.
+    #[test]
+    fn journal_replay_is_byte_identical_after_crash(
+        seed in 0u64..5_000,
+        num in 1u64..=100,
+    ) {
+        crash_replay_session(seed, (num, 100));
+    }
+}
+
+/// Deterministic crash-replay smoke: full journal (no tear) and a tear in
+/// the middle.
+#[test]
+fn crash_replay_seed_zero() {
+    crash_replay_session(0, (100, 100));
+    crash_replay_session(0, (55, 100));
+}

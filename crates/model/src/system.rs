@@ -159,6 +159,35 @@ impl System {
             .ok_or_else(|| format!("no instance named `{name}`"))?;
         self.remove_instance(id)
     }
+
+    /// Re-parents an instance into this system: reuses a structurally
+    /// identical class if one is already registered (so churn and shard
+    /// merges don't grow the class list without bound), appends `class`
+    /// otherwise, and pushes the instance with its class index rewritten.
+    /// Returns the new instance's id.
+    ///
+    /// This is the single definition of class identity for the admission
+    /// engine's system-mirror plumbing (shard merge/split, router
+    /// assembly, instance admission).
+    pub fn adopt_instance(
+        &mut self,
+        class: ComponentClass,
+        instance: ComponentInstance,
+    ) -> InstanceId {
+        let class_idx = self
+            .classes
+            .iter()
+            .position(|existing| *existing == class)
+            .unwrap_or_else(|| {
+                self.classes.push(class);
+                self.classes.len() - 1
+            });
+        self.instances.push(ComponentInstance {
+            class: class_idx,
+            ..instance
+        });
+        InstanceId(self.instances.len() - 1)
+    }
 }
 
 /// Fluent builder for a [`System`].

@@ -2,6 +2,7 @@
 
 use hsched_numeric::{Cycles, Rational, Time};
 use hsched_platform::{PlatformId, PlatformSet};
+use std::collections::HashMap;
 
 /// Whether a task models component code or an RPC message in flight.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -193,6 +194,10 @@ impl std::fmt::Display for TaskRef {
 pub struct TransactionSet {
     platforms: PlatformSet,
     transactions: Vec<Transaction>,
+    /// Name → index of the *first* transaction with that name, kept in sync
+    /// by every mutator so [`TransactionSet::transaction_index`] is O(1)
+    /// (online admission resolves every request through it).
+    index: HashMap<String, usize>,
 }
 
 impl TransactionSet {
@@ -214,6 +219,7 @@ impl TransactionSet {
         }
         Ok(TransactionSet {
             platforms,
+            index: build_index(&transactions),
             transactions,
         })
     }
@@ -281,9 +287,10 @@ impl TransactionSet {
         TransactionSet::new(platforms, self.transactions.clone())
     }
 
-    /// Index of the first transaction with the given name.
+    /// Index of the first transaction with the given name. O(1) via the
+    /// maintained name index.
     pub fn transaction_index(&self, name: &str) -> Option<usize> {
-        self.transactions.iter().position(|t| t.name == name)
+        self.index.get(name).copied()
     }
 
     /// Appends a transaction, validating its platform references against the
@@ -298,8 +305,10 @@ impl TransactionSet {
                 ));
             }
         }
+        let at = self.transactions.len();
+        self.index.entry(tx.name.clone()).or_insert(at);
         self.transactions.push(tx);
-        Ok(self.transactions.len() - 1)
+        Ok(at)
     }
 
     /// Removes and returns the transaction at `index`; later indices shift
@@ -312,7 +321,62 @@ impl TransactionSet {
                 self.transactions.len()
             ));
         }
-        Ok(self.transactions.remove(index))
+        let removed = self.transactions.remove(index);
+        let was_first = self.index.get(&removed.name) == Some(&index);
+        if was_first {
+            self.index.remove(&removed.name);
+        }
+        for slot in self.index.values_mut() {
+            if *slot > index {
+                *slot -= 1;
+            }
+        }
+        if was_first {
+            // Duplicate names are legal in a raw set: promote the next
+            // occurrence (rare; only sets built outside admission have dups).
+            if let Some(next) = self
+                .transactions
+                .iter()
+                .position(|t| t.name == removed.name)
+            {
+                self.index.insert(removed.name.clone(), next);
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Re-inserts a transaction at `index`, shifting later indices up by
+    /// one — the exact inverse of [`TransactionSet::remove_transaction`],
+    /// used by the admission undo log to roll a rejected batch back without
+    /// snapshotting the whole set.
+    pub fn insert_transaction(&mut self, index: usize, tx: Transaction) -> Result<(), String> {
+        if index > self.transactions.len() {
+            return Err(format!(
+                "insert index {index} out of range (set has {})",
+                self.transactions.len()
+            ));
+        }
+        for task in tx.tasks() {
+            if self.platforms.get(task.platform).is_none() {
+                return Err(format!(
+                    "task `{}` maps to unknown platform {}",
+                    task.name, task.platform
+                ));
+            }
+        }
+        for slot in self.index.values_mut() {
+            if *slot >= index {
+                *slot += 1;
+            }
+        }
+        match self.index.get(&tx.name) {
+            Some(&first) if first < index => {}
+            _ => {
+                self.index.insert(tx.name.clone(), index);
+            }
+        }
+        self.transactions.insert(index, tx);
+        Ok(())
     }
 
     /// Removes the first transaction with the given name.
@@ -337,6 +401,15 @@ impl TransactionSet {
         self.platforms.replace(id, platform);
         Ok(())
     }
+}
+
+/// First-occurrence name index of a transaction list.
+fn build_index(transactions: &[Transaction]) -> HashMap<String, usize> {
+    let mut index = HashMap::with_capacity(transactions.len());
+    for (i, tx) in transactions.iter().enumerate() {
+        index.entry(tx.name.clone()).or_insert(i);
+    }
+    index
 }
 
 #[cfg(test)]
@@ -499,6 +572,54 @@ mod tests {
         assert!(set
             .replace_platform(PlatformId(9), Platform::dedicated("x"))
             .is_err());
+    }
+
+    #[test]
+    fn name_index_tracks_mutations() {
+        let mut platforms = PlatformSet::new();
+        let p = platforms.add(Platform::dedicated("cpu"));
+        let tx = |name: &str| {
+            Transaction::new(
+                name,
+                rat(10, 1),
+                rat(10, 1),
+                vec![Task::new(format!("{name}_a"), rat(1, 1), rat(1, 1), 1, p)],
+            )
+            .unwrap()
+        };
+        let mut set = TransactionSet::new(platforms, vec![tx("a"), tx("b"), tx("c")]).unwrap();
+        assert_eq!(set.transaction_index("b"), Some(1));
+
+        // Removal shifts later names down.
+        set.remove_transaction_by_name("a").unwrap();
+        assert_eq!(set.transaction_index("a"), None);
+        assert_eq!(set.transaction_index("b"), Some(0));
+        assert_eq!(set.transaction_index("c"), Some(1));
+
+        // insert_transaction is the exact inverse of remove_transaction.
+        let removed = set.remove_transaction(0).unwrap();
+        set.insert_transaction(0, removed).unwrap();
+        assert_eq!(set.transaction_index("b"), Some(0));
+        assert_eq!(set.transaction_index("c"), Some(1));
+        assert!(set.insert_transaction(9, tx("x")).is_err());
+        let bad = Transaction::new(
+            "bad",
+            rat(10, 1),
+            rat(10, 1),
+            vec![Task::new("b", rat(1, 1), rat(1, 1), 1, PlatformId(7))],
+        )
+        .unwrap();
+        assert!(set.insert_transaction(0, bad).is_err());
+
+        // Duplicate names keep first-occurrence semantics across removal.
+        set.push_transaction(tx("b")).unwrap();
+        assert_eq!(set.transaction_index("b"), Some(0));
+        set.remove_transaction(0).unwrap();
+        assert_eq!(
+            set.transaction_index("b"),
+            Some(1),
+            "next occurrence promoted"
+        );
     }
 
     #[test]

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Scripted perf run for the sharded admission engine: regenerates
+# BENCH_router.json (single-controller vs sharded-router epoch timings on
+# the 3072-transaction / 384-island churn workload). The binary asserts
+# sharded > single in both measured regimes, so this doubles as a perf
+# regression gate. CI runs it on every push; commit the refreshed JSON
+# when the numbers move materially.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release --quiet --locked -p hsched-bench --bin router_perf BENCH_router.json

@@ -19,6 +19,7 @@
 //! | [`transaction`] | `hsched-transaction` | transactions + the §2.4 flattening |
 //! | [`analysis`] | `hsched-analysis` | the §3 response-time analyses |
 //! | [`admission`] | `hsched-admission` | online admission control (incremental analysis, scenario generator) |
+//! | [`engine`] | `hsched-engine` | sharded admission service: island-routed shards, typed `TxnId` API, journaled replay |
 //! | [`sim`] | `hsched-sim` | discrete-event simulator (validation oracle) |
 //! | [`spec`] | `hsched-spec` | the `.hsc` specification language |
 //! | [`design`] | `hsched-design` | platform-parameter optimization (§5 future work) |
@@ -44,11 +45,28 @@
 //!         }
 //!     }
 //! }
+//!
+//! // Serve it online: the sharded admission engine admits/rejects batched
+//! // changes against the same analysis, with typed handles and journaling.
+//! let mut engine = AdmissionRouter::new(
+//!     system.clone(),
+//!     AnalysisConfig::default(),
+//!     AdmissionPolicy::default(),
+//! )
+//! .unwrap();
+//! let response = engine
+//!     .commit(&EngineRequest::batch(vec![AdmissionRequest::RemoveTransaction {
+//!         name: "Sensor2.Thread1".into(),
+//!     }]))
+//!     .unwrap();
+//! assert!(response.outcome.verdict.admitted());
+//! assert!(engine.schedulable());
 //! ```
 
 pub use hsched_admission as admission;
 pub use hsched_analysis as analysis;
 pub use hsched_design as design;
+pub use hsched_engine as engine;
 pub use hsched_model as model;
 pub use hsched_numeric as numeric;
 pub use hsched_platform as platform;
@@ -62,6 +80,9 @@ pub mod prelude {
     pub use hsched_admission::{AdmissionController, AdmissionPolicy, AdmissionRequest};
     pub use hsched_analysis::{analyze, analyze_with, AnalysisConfig, SchedulabilityReport};
     pub use hsched_design::{min_alpha, minimize_bandwidth, pareto_sweep, DesignConfig};
+    pub use hsched_engine::{
+        AdmissionRouter, EngineError, EngineOp, EngineRequest, EngineResponse, TxnId,
+    };
     pub use hsched_model::{
         Action, ComponentClass, ProvidedMethod, RequiredMethod, RpcLink, System, SystemBuilder,
         ThreadSpec,
