@@ -584,6 +584,47 @@ impl AdmissionController {
             .collect()
     }
 
+    /// Re-attaches a component instance to this controller *without* any
+    /// re-analysis: the instance (with its class) is adopted into the
+    /// system mirror and the named live transactions are marked as its
+    /// flattened members, so a later [`AdmissionRequest::RemoveInstance`]
+    /// departs exactly that set. This is the snapshot-restore half of the
+    /// engine's journal compaction: a compacted journal records the live
+    /// transactions directly (already flattened), so the restoring
+    /// controller is seeded from them and the instance bookkeeping is
+    /// replayed onto it with this call instead of re-flattening.
+    ///
+    /// Every member must name a live transaction that is not already owned
+    /// by an instance.
+    pub fn restore_instance(
+        &mut self,
+        class: hsched_model::ComponentClass,
+        instance: ComponentInstance,
+        members: &[String],
+    ) -> Result<(), String> {
+        if self.system.instance_by_name(&instance.name).is_some() {
+            return Err(format!("instance `{}` already live", instance.name));
+        }
+        let mut indices = Vec::with_capacity(members.len());
+        for member in members {
+            let index = self
+                .set
+                .transaction_index(member)
+                .ok_or_else(|| format!("no live transaction named `{member}`"))?;
+            if let Some(owner) = &self.entries[index].origin {
+                return Err(format!(
+                    "transaction `{member}` already belongs to instance `{owner}`"
+                ));
+            }
+            indices.push(index);
+        }
+        for index in indices {
+            self.entries[index].origin = Some(instance.name.clone());
+        }
+        self.system.adopt_instance(class, instance);
+        Ok(())
+    }
+
     /// Overwrites a platform's definition *without* re-analysis — the
     /// propagation half of a routed retune: the shard owning the platform's
     /// island commits the retune (and re-analyzes); every other shard only
@@ -901,6 +942,18 @@ fn install_quiet_panic_hook() {
         }));
     });
 }
+
+/// Compile-time audit that the controller can be moved across threads —
+/// the contract the engine's lock-per-shard service front end relies on
+/// (each shard controller lives behind its own slot and is checked out by
+/// whichever client thread commits an epoch on it). Everything inside is
+/// plain owned data; this assertion keeps it that way.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<AdmissionController>();
+    assert_send::<AdmissionPolicy>();
+    assert_send::<ControllerStats>();
+};
 
 /// Best-effort extraction of a panic payload's message.
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {

@@ -1,0 +1,173 @@
+//! Scripted perf run for the concurrent admission service: measures
+//! journaled epoch *throughput* on the production-scale churn system
+//! (3072 transactions, 384 clusters / ~410 interference islands — the
+//! `BENCH_router.json` configuration) with 8 client threads submitting
+//! disjoint-island toggle batches through `SchedService::submit(&self)`,
+//! against the same epoch stream pushed one-at-a-time through the serial
+//! `AdmissionRouter` front end. Writes `BENCH_service.json`. Run via
+//! `scripts/bench_service.sh` or directly:
+//!
+//! ```sh
+//! cargo run --release -p hsched-bench --bin service_perf [OUT.json]
+//! ```
+//!
+//! Both engines run with a write-ahead journal attached (the production
+//! configuration — durability is part of the service contract, so it is
+//! part of the measured path). The serial front end pays `analysis +
+//! fsync` sequentially for every epoch; the concurrent service pipelines:
+//! while one epoch's record syncs, the next client's analysis is already
+//! running, and one group-committed fsync can cover several settled
+//! epochs. That pipelining is visible even on a single core; on
+//! multi-core hardware the shard analyses of disjoint islands overlap
+//! too, widening the gap further.
+//!
+//! Clients churn the *smallest* disjoint islands of the system (sizes
+//! 1–3 here): a front-end benchmark wants the per-epoch fixpoint small,
+//! the way a WAL benchmark uses small records — heavyweight islands
+//! measure analysis math, which `BENCH_router.json` already covers. The
+//! binary asserts the concurrent service clearly beats the serial front
+//! end, making the committed JSON a perf regression gate.
+
+use hsched_admission::gen::random_scenario;
+use hsched_admission::{AdmissionPolicy, AdmissionRequest};
+use hsched_analysis::AnalysisConfig;
+use hsched_bench::router_churn::{churn_spec, smallest_island_victims};
+use hsched_engine::{AdmissionRouter, EngineRequest, SchedService};
+use hsched_transaction::Transaction;
+use std::path::PathBuf;
+use std::time::Instant;
+
+const CLIENTS: usize = 8;
+/// Toggle epochs per client per pass (even, so the live set returns to
+/// the seed state after every pass).
+const EPOCHS_PER_CLIENT: usize = 40;
+/// Measurement passes per engine (best pass reported — standard practice
+/// to shed scheduler noise; both engines get the same treatment).
+const PASSES: usize = 3;
+
+fn toggle(victim: &Transaction, round: usize) -> Vec<AdmissionRequest> {
+    if round % 2 == 0 {
+        vec![AdmissionRequest::RemoveTransaction {
+            name: victim.name.clone(),
+        }]
+    } else {
+        vec![AdmissionRequest::AddTransaction(victim.clone())]
+    }
+}
+
+fn temp_journal(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "hsched-service-perf-{}-{tag}.journal",
+        std::process::id()
+    ))
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_service.json".to_string());
+    let spec = churn_spec();
+    let set = random_scenario(&spec);
+    let chosen = smallest_island_victims(&set, CLIENTS);
+    assert_eq!(chosen.len(), CLIENTS, "one disjoint island per client");
+    let total_epochs = CLIENTS * EPOCHS_PER_CLIENT;
+
+    // Serial front end: the exclusive-borrow AdmissionRouter, one epoch at
+    // a time, journal attached (fsync inside the epoch path).
+    let serial_journal = temp_journal("serial");
+    let mut serial = AdmissionRouter::new(
+        set.clone(),
+        AnalysisConfig::default(),
+        AdmissionPolicy::default(),
+    )
+    .expect("seed analysis succeeds")
+    .with_journal(&serial_journal)
+    .expect("journal attaches");
+    let run_serial = |serial: &mut AdmissionRouter, rounds: usize| -> f64 {
+        let start = Instant::now();
+        for round in 0..rounds {
+            for victim in &chosen {
+                let response = serial
+                    .commit(&EngineRequest::batch(toggle(victim, round)))
+                    .expect("engine ok");
+                assert!(response.outcome.verdict.admitted(), "serial epoch rejected");
+            }
+        }
+        start.elapsed().as_secs_f64()
+    };
+
+    // Concurrent service: 8 client threads, each toggling its own island
+    // through `&self`, same journal contract.
+    let service_journal = temp_journal("service");
+    let service = SchedService::new(
+        set.clone(),
+        AnalysisConfig::default(),
+        AdmissionPolicy::default(),
+    )
+    .expect("seed analysis succeeds")
+    .with_journal(&service_journal)
+    .expect("journal attaches");
+    let run_concurrent = |rounds: usize| -> f64 {
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for victim in &chosen {
+                let service = &service;
+                scope.spawn(move || {
+                    for round in 0..rounds {
+                        let response = service
+                            .submit(&EngineRequest::batch(toggle(victim, round)))
+                            .expect("engine ok");
+                        assert!(
+                            response.outcome.verdict.admitted(),
+                            "service epoch rejected"
+                        );
+                    }
+                });
+            }
+        });
+        start.elapsed().as_secs_f64()
+    };
+
+    // Warm-up both engines (page cache, shard caches), then alternate
+    // measured passes so filesystem/journal background state is shared
+    // fairly; report each engine's best pass.
+    run_serial(&mut serial, 2);
+    run_concurrent(2);
+    let mut serial_eps = 0f64;
+    let mut service_eps = 0f64;
+    for _ in 0..PASSES {
+        serial_eps =
+            serial_eps.max(total_epochs as f64 / run_serial(&mut serial, EPOCHS_PER_CLIENT));
+        service_eps = service_eps.max(total_epochs as f64 / run_concurrent(EPOCHS_PER_CLIENT));
+    }
+    let expected = (2 + PASSES as u64 * EPOCHS_PER_CLIENT as u64) * CLIENTS as u64;
+    assert_eq!(
+        service.epoch(),
+        expected,
+        "every epoch settled exactly once"
+    );
+    drop(service);
+    drop(serial);
+    let _ = std::fs::remove_file(&service_journal);
+    let _ = std::fs::remove_file(&serial_journal);
+
+    let speedup = service_eps / serial_eps;
+    let json = format!(
+        "{{\n  \"bench\": \"service_concurrent_epoch_throughput\",\n  \"system\": {{\"transactions\": 3072, \"platforms\": 768, \"clusters\": 384, \"seed\": 0}},\n  \"workload\": \"journaled single-request toggle epochs on the {CLIENTS} smallest disjoint islands\",\n  \"clients\": {CLIENTS},\n  \"epochs_per_client\": {EPOCHS_PER_CLIENT},\n  \"unit\": \"epochs_per_second\",\n  \"serial_router_eps\": {serial_eps:.1},\n  \"sched_service_eps\": {service_eps:.1},\n  \"speedup_concurrent_vs_serial\": {speedup:.2}\n}}\n"
+    );
+    std::fs::write(&out_path, &json).expect("write bench json");
+    print!("{json}");
+    println!(
+        "wrote {out_path}: serial {serial_eps:.0} eps vs concurrent {service_eps:.0} eps \
+         ({speedup:.2}x, {total_epochs} epochs/pass, {CLIENTS} clients)"
+    );
+    // Regression floor: typical single-core runs measure ~1.5x (the fsync
+    // sleep fully overlaps analysis; only its CPU slice remains), and
+    // multi-core hosts land well above as disjoint-island analyses overlap
+    // too. The floor sits below the run-to-run fsync-cost noise band so CI
+    // flags architectural regressions, not scheduler jitter.
+    assert!(
+        speedup >= 1.35,
+        "concurrent service must clearly beat the serial front end (got {speedup:.2}x)"
+    );
+}

@@ -89,15 +89,99 @@ pub mod router_churn {
         }
     }
 
-    /// One victim transaction for each of the first [`CHURN_CLUSTERS`]
-    /// clusters: the highest-index transaction whose chain lives there.
-    pub fn victims(set: &TransactionSet, spec: &ScenarioSpec) -> Vec<Transaction> {
+    /// One victim transaction for each of the first `n` clusters: the
+    /// highest-index transaction whose chain lives there. Victims from
+    /// different clusters occupy disjoint interference islands, so epochs
+    /// toggling them are routable to disjoint shards — the concurrency
+    /// grain of both `router_perf` and `service_perf`.
+    pub fn victims_up_to(set: &TransactionSet, spec: &ScenarioSpec, n: usize) -> Vec<Transaction> {
         let mut victims: Vec<Option<Transaction>> = vec![None; spec.clusters];
         for tx in set.transactions() {
             let cluster = tx.tasks()[0].platform.0 / spec.platforms_per_cluster;
             victims[cluster] = Some(tx.clone());
         }
-        victims.into_iter().flatten().take(CHURN_CLUSTERS).collect()
+        victims.into_iter().flatten().take(n).collect()
+    }
+
+    /// One victim transaction for each of the first [`CHURN_CLUSTERS`]
+    /// clusters (see [`victims_up_to`]).
+    pub fn victims(set: &TransactionSet, spec: &ScenarioSpec) -> Vec<Transaction> {
+        victims_up_to(set, spec, CHURN_CLUSTERS)
+    }
+
+    /// One *topology-stable* victim per interference island, smallest
+    /// islands first — the `service_perf` workload. Toggling a small
+    /// island keeps the island fixpoint cheap, so the measurement weighs
+    /// the *front end* (routing, epoch sequencing, journal durability)
+    /// rather than analysis math; victims from different islands are
+    /// disjoint by construction. A victim is topology-stable when its
+    /// departure neither empties nor splits its island and its re-arrival
+    /// claims no free platform — every toggle epoch is then a single-shard
+    /// read-path epoch (no shard allocation, merge, or drain).
+    pub fn smallest_island_victims(set: &TransactionSet, n: usize) -> Vec<Transaction> {
+        use hsched_admission::UnionFind;
+        use std::collections::HashMap;
+        let txs = set.transactions();
+        let platforms_of = |i: usize| -> Vec<usize> {
+            let mut out: Vec<usize> = txs[i].tasks().iter().map(|t| t.platform.0).collect();
+            out.sort_unstable();
+            out.dedup();
+            out
+        };
+        // Groups `indices` by platform sharing: (component roots per
+        // index, platform → first user). Reuses the dirty-tracker's
+        // union–find — the same structure the engine routes with.
+        let group = |indices: &[usize]| -> (Vec<usize>, HashMap<usize, usize>) {
+            let mut uf = UnionFind::new(indices.len());
+            let mut owner: HashMap<usize, usize> = HashMap::new();
+            for (k, &i) in indices.iter().enumerate() {
+                for platform in platforms_of(i) {
+                    match owner.get(&platform) {
+                        Some(&j) => {
+                            uf.union(k, j);
+                        }
+                        None => {
+                            owner.insert(platform, k);
+                        }
+                    }
+                }
+            }
+            let roots = (0..indices.len()).map(|k| uf.find(k)).collect();
+            (roots, owner)
+        };
+
+        let all: Vec<usize> = (0..txs.len()).collect();
+        let (roots, _) = group(&all);
+        let mut members: HashMap<usize, Vec<usize>> = HashMap::new();
+        for (i, root) in roots.iter().enumerate() {
+            members.entry(*root).or_default().push(i);
+        }
+        // A member is stable iff the island minus it stays one connected
+        // component that still covers all of the member's platforms.
+        let stable = |island: &[usize], victim: usize| -> bool {
+            let rest: Vec<usize> = island.iter().copied().filter(|&i| i != victim).collect();
+            if rest.is_empty() {
+                return false;
+            }
+            let (roots, owner) = group(&rest);
+            let connected = roots.iter().all(|&r| r == roots[0]);
+            let covered = platforms_of(victim)
+                .iter()
+                .all(|platform| owner.contains_key(platform));
+            connected && covered
+        };
+        let mut ranked: Vec<(usize, usize)> = Vec::new();
+        for island in members.values() {
+            if let Some(&victim) = island.iter().find(|&&i| stable(island, i)) {
+                ranked.push((island.len(), victim));
+            }
+        }
+        ranked.sort_unstable();
+        ranked
+            .into_iter()
+            .take(n)
+            .map(|(_, member)| txs[member].clone())
+            .collect()
     }
 
     /// One churn epoch over a chunk of victims: departures on even rounds,

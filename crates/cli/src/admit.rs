@@ -5,7 +5,7 @@
 
 use crate::json::{begin_envelope, write_engine_section, write_report, JsonWriter};
 use hsched_admission::{AdmissionPolicy, AdmissionRequest, RejectReason, Verdict};
-use hsched_engine::{AdmissionRouter, EngineRequest, EngineResponse};
+use hsched_engine::{EngineRequest, EngineResponse, SchedService};
 use hsched_numeric::{Rational, Time};
 use hsched_transaction::{Task, Transaction, TransactionSet};
 use std::fmt::Write as _;
@@ -189,7 +189,7 @@ fn reason_kind(reason: &RejectReason) -> &'static str {
 
 /// Writes the shared `stats` section (engine-level epoch counters,
 /// shard-summed analysis counters).
-pub(crate) fn write_stats(w: &mut JsonWriter, engine: &AdmissionRouter) {
+pub(crate) fn write_stats(w: &mut JsonWriter, engine: &SchedService) {
     let stats = engine.stats();
     w.object_field("stats")
         .field_raw("admitted", stats.admitted)
@@ -201,7 +201,7 @@ pub(crate) fn write_stats(w: &mut JsonWriter, engine: &AdmissionRouter) {
 }
 
 /// Renders the human-readable stats line shared by `admit` and `replay`.
-pub(crate) fn stats_line(engine: &AdmissionRouter) -> String {
+pub(crate) fn stats_line(engine: &SchedService) -> String {
     let stats = engine.stats();
     format!(
         "admitted {} / rejected {}; analyzed {} transaction(s), reused {} cached result(s){}",
@@ -228,7 +228,7 @@ pub(crate) fn run_admission(
     json: bool,
     journal: Option<&str>,
 ) -> Result<String, String> {
-    let mut engine = AdmissionRouter::new(set, hsched_analysis::AnalysisConfig::default(), policy)
+    let mut engine = SchedService::new(set, hsched_analysis::AnalysisConfig::default(), policy)
         .map_err(|e| e.to_string())?;
     if let Some(journal_path) = journal {
         engine = engine
@@ -238,7 +238,7 @@ pub(crate) fn run_admission(
     let initial_transactions = engine.live_transactions();
     let responses: Vec<EngineResponse> = batches
         .iter()
-        .map(|batch| engine.commit(&EngineRequest::batch(batch.clone())))
+        .map(|batch| engine.submit(&EngineRequest::batch(batch.clone())))
         .collect::<Result<_, _>>()
         .map_err(|e| e.to_string())?;
 
@@ -265,6 +265,11 @@ pub(crate) fn run_admission(
                 .field_raw("islands", outcome.islands)
                 .field_raw("warm", outcome.warm_started)
                 .field_raw("shards", response.shards_touched);
+            w.begin_array_field("shard_set");
+            for slot in &response.shards {
+                w.element_raw(slot);
+            }
+            w.end_array();
             if let Verdict::Rejected(reason) = &outcome.verdict {
                 w.field_str("reason", reason_kind(reason))
                     .field_str("detail", &reason.to_string());

@@ -1,0 +1,64 @@
+//! The `hsched compact` subcommand: journal compaction for long-lived
+//! engines. Rebuilds the engine from its journal (exactly like `hsched
+//! replay`), then serializes the live state into the journal as a snapshot
+//! block and truncates every record before it — atomically, so a crash
+//! mid-compaction leaves the old journal intact. Subsequent `hsched admit
+//! --journal` / `hsched replay` runs resume from snapshot + tail.
+
+use crate::admit::{stats_line, write_stats};
+use crate::json::{begin_envelope, write_engine_section, JsonWriter};
+use hsched_admission::AdmissionPolicy;
+use hsched_engine::SchedService;
+use hsched_transaction::TransactionSet;
+use std::fmt::Write as _;
+
+/// Replays `journal` against the spec-seeded `set`, snapshots the rebuilt
+/// engine back into the journal, and renders what happened.
+pub(crate) fn run_compact(
+    path: &str,
+    set: TransactionSet,
+    journal_path: &str,
+    policy: AdmissionPolicy,
+    json: bool,
+) -> Result<String, String> {
+    let bytes_before = std::fs::metadata(journal_path)
+        .map(|m| m.len())
+        .map_err(|e| format!("cannot stat `{journal_path}`: {e}"))?;
+    let (service, tail) = SchedService::replay(
+        set,
+        hsched_analysis::AnalysisConfig::default(),
+        policy,
+        std::path::Path::new(journal_path),
+    )
+    .map_err(|e| e.to_string())?;
+    let info = service.snapshot().map_err(|e| e.to_string())?;
+
+    if json {
+        let mut w = JsonWriter::new();
+        begin_envelope(&mut w, "compact");
+        w.field_str("spec", path)
+            .field_raw("epochs_folded", info.epoch)
+            .field_raw("tail_replayed", tail)
+            .field_raw("bytes_before", bytes_before)
+            .field_raw("bytes_after", info.compacted_bytes);
+        write_stats(&mut w, &service);
+        write_engine_section(&mut w, &service, Some(journal_path));
+        w.end_object();
+        return Ok(w.finish());
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{journal_path}: compacted {} epoch(s) into a snapshot ({bytes_before} -> {} bytes)",
+        info.epoch, info.compacted_bytes
+    );
+    let _ = writeln!(out, "{}", stats_line(&service));
+    let _ = writeln!(
+        out,
+        "engine: {} island shard(s); state digest {}",
+        service.shard_count(),
+        service.state_digest()
+    );
+    Ok(out)
+}

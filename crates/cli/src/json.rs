@@ -84,6 +84,13 @@ impl JsonWriter {
         self
     }
 
+    /// Writes a pre-rendered JSON token as an array element.
+    pub(crate) fn element_raw(&mut self, raw: impl std::fmt::Display) -> &mut Self {
+        self.comma();
+        self.buf.push_str(&raw.to_string());
+        self
+    }
+
     pub(crate) fn object_field(&mut self, key: &str) -> &mut Self {
         self.key(key);
         self.buf.push('{');
@@ -116,10 +123,12 @@ fn escape(s: &str) -> String {
 }
 
 /// Opens the versioned output envelope shared by the engine-backed
-/// commands (`admit`, `replay`): a root object carrying the schema version
-/// (`"v": 1`, mirroring [`hsched_engine::SCHEMA_VERSION`]) and the command
-/// name, so consumers dispatch on one stable shape instead of per-command
-/// ad-hoc layouts. The caller adds its fields and closes the object.
+/// commands (`admit`, `replay`, `compact`): a root object carrying the
+/// schema version (`"v": 2`, mirroring [`hsched_engine::SCHEMA_VERSION`] —
+/// v2 adds the epoch ticket semantics and per-epoch `shard_set`; v1
+/// consumers reading only v1 fields keep working) and the command name, so
+/// consumers dispatch on one stable shape instead of per-command ad-hoc
+/// layouts. The caller adds its fields and closes the object.
 pub(crate) fn begin_envelope(w: &mut JsonWriter, command: &str) {
     w.begin_object()
         .field_raw("v", hsched_engine::SCHEMA_VERSION)
@@ -131,7 +140,7 @@ pub(crate) fn begin_envelope(w: &mut JsonWriter, command: &str) {
 /// attached journal, if any.
 pub(crate) fn write_engine_section(
     w: &mut JsonWriter,
-    engine: &hsched_engine::AdmissionRouter,
+    engine: &hsched_engine::SchedService,
     journal: Option<&str>,
 ) {
     w.object_field("engine")

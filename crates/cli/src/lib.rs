@@ -14,6 +14,7 @@
 //! command's output ends with exactly one trailing newline.
 
 mod admit;
+mod compact;
 mod json;
 mod replay;
 
@@ -37,6 +38,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         "analyze" => cmd_analyze(&args[1..]),
         "admit" => cmd_admit(&args[1..]),
         "replay" => cmd_replay(&args[1..]),
+        "compact" => cmd_compact(&args[1..]),
         "simulate" => cmd_simulate(&args[1..]),
         "optimize" => cmd_optimize(&args[1..]),
         "headroom" => cmd_headroom(&args[1..]),
@@ -59,6 +61,7 @@ COMMANDS:
     analyze     holistic schedulability analysis (§3 of the paper)
     admit       online admission control driven by a request script
     replay      rebuild an admission engine from its write-ahead journal
+    compact     fold a journal's history into a snapshot block (truncates it)
     simulate    discrete-event simulation
     optimize    platform bandwidth minimization (§5 future work)
     headroom    per-task WCET sensitivity (largest schedulable scale factor)
@@ -89,9 +92,17 @@ ADMIT: hsched admit <SPEC.hsc> <SCRIPT> [OPTIONS]
 
 REPLAY: hsched replay <SPEC.hsc> <JOURNAL> [OPTIONS]
     Rebuilds the engine recorded by `admit --journal` (same spec!) by
-    re-committing every journaled epoch; torn journal tails are repaired.
-    The printed state digest matches the admit run's digest iff the
-    rebuilt engine is byte-identical. Options as for admit.
+    re-committing every journaled epoch (streamed, O(1) memory); torn
+    journal tails are repaired, and a compacted journal resumes from its
+    snapshot block. The printed state digest matches the admit run's
+    digest iff the rebuilt engine is byte-identical. Options as for admit.
+
+COMPACT: hsched compact <SPEC.hsc> <JOURNAL> [OPTIONS]
+    Journal compaction for long-lived engines: rebuilds the engine (as
+    replay does), serializes its live state into the journal as a
+    snapshot block, and truncates all earlier records — atomically (a
+    crash mid-compaction keeps the old journal). Later admit/replay runs
+    resume from snapshot + tail. Options as for admit.
 
 SIMULATE OPTIONS:
     --horizon <T>     simulated time (default 1000)
@@ -215,16 +226,9 @@ fn cmd_analyze(args: &[String]) -> Result<String, String> {
     }
 }
 
-fn cmd_admit(args: &[String]) -> Result<String, String> {
-    let (path, set) = load(args)?;
-    // Strictly positional (`admit <SPEC> <SCRIPT> [OPTIONS]`): scanning for
-    // "any non-flag token" would mistake a flag's value for the script.
-    let Some(script_path) = args.get(1).filter(|a| !a.starts_with("--")) else {
-        return Err("expected a request script path after the spec".to_string());
-    };
-    let script = std::fs::read_to_string(script_path)
-        .map_err(|e| format!("cannot read `{script_path}`: {e}"))?;
-    let batches = admit::parse_script(&script, &set).map_err(|e| format!("{script_path}: {e}"))?;
+/// Parses the engine policy flags shared by `admit`, `replay`, and
+/// `compact` (`--no-external`, `--threads`, `--cold`, `--full`).
+fn engine_policy(args: &[String]) -> Result<AdmissionPolicy, String> {
     let mut policy = AdmissionPolicy {
         external_stimuli: !opt_flag(args, "--no-external"),
         ..AdmissionPolicy::default()
@@ -238,6 +242,29 @@ fn cmd_admit(args: &[String]) -> Result<String, String> {
     if opt_flag(args, "--full") {
         policy.dirty_tracking = false;
     }
+    Ok(policy)
+}
+
+/// The strictly positional journal argument of `replay` / `compact`
+/// (`<SPEC> <JOURNAL> [OPTIONS]`).
+fn journal_arg(args: &[String]) -> Result<&str, String> {
+    args.get(1)
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .ok_or_else(|| "expected a journal path after the spec".to_string())
+}
+
+fn cmd_admit(args: &[String]) -> Result<String, String> {
+    let (path, set) = load(args)?;
+    // Strictly positional (`admit <SPEC> <SCRIPT> [OPTIONS]`): scanning for
+    // "any non-flag token" would mistake a flag's value for the script.
+    let Some(script_path) = args.get(1).filter(|a| !a.starts_with("--")) else {
+        return Err("expected a request script path after the spec".to_string());
+    };
+    let script = std::fs::read_to_string(script_path)
+        .map_err(|e| format!("cannot read `{script_path}`: {e}"))?;
+    let batches = admit::parse_script(&script, &set).map_err(|e| format!("{script_path}: {e}"))?;
+    let policy = engine_policy(args)?;
     admit::run_admission(
         &path,
         set,
@@ -250,24 +277,16 @@ fn cmd_admit(args: &[String]) -> Result<String, String> {
 
 fn cmd_replay(args: &[String]) -> Result<String, String> {
     let (path, set) = load(args)?;
-    // Strictly positional, like admit: `replay <SPEC> <JOURNAL> [OPTIONS]`.
-    let Some(journal_path) = args.get(1).filter(|a| !a.starts_with("--")) else {
-        return Err("expected a journal path after the spec".to_string());
-    };
-    let mut policy = AdmissionPolicy {
-        external_stimuli: !opt_flag(args, "--no-external"),
-        ..AdmissionPolicy::default()
-    };
-    if let Some(n) = opt_value(args, "--threads")? {
-        policy.island_threads = n.parse().map_err(|_| format!("bad thread count `{n}`"))?;
-    }
-    if opt_flag(args, "--cold") {
-        policy.warm_start = false;
-    }
-    if opt_flag(args, "--full") {
-        policy.dirty_tracking = false;
-    }
-    replay::run_replay(&path, set, journal_path, policy, opt_flag(args, "--json"))
+    let journal_path = journal_arg(args)?.to_string();
+    let policy = engine_policy(args)?;
+    replay::run_replay(&path, set, &journal_path, policy, opt_flag(args, "--json"))
+}
+
+fn cmd_compact(args: &[String]) -> Result<String, String> {
+    let (path, set) = load(args)?;
+    let journal_path = journal_arg(args)?.to_string();
+    let policy = engine_policy(args)?;
+    compact::run_compact(&path, set, &journal_path, policy, opt_flag(args, "--json"))
 }
 
 fn cmd_simulate(args: &[String]) -> Result<String, String> {
@@ -716,7 +735,7 @@ instance I : W on S node 0;
         ]))
         .unwrap();
         assert!(out.starts_with('{') && out.ends_with("}\n"));
-        assert!(out.starts_with("{\"v\":1,\"command\":\"admit\""), "{out}");
+        assert!(out.starts_with("{\"v\":2,\"command\":\"admit\""), "{out}");
         assert!(out.contains("\"verdict\":\"admitted\""));
         assert!(out.contains("\"engine\":{"));
         assert!(out.contains("\"digest\":\""));
@@ -763,7 +782,7 @@ instance I : W on S node 0;
         ]))
         .unwrap();
         assert!(
-            replayed.starts_with("{\"v\":1,\"command\":\"replay\""),
+            replayed.starts_with("{\"v\":2,\"command\":\"replay\""),
             "{replayed}"
         );
         assert!(replayed.contains("\"epochs_replayed\":3"));
@@ -779,6 +798,88 @@ instance I : W on S node 0;
         assert!(human.contains("replayed 3 epoch(s)"));
         assert!(human.contains(&admit_digest));
         assert!(human.contains("final system:"));
+        let _ = std::fs::remove_file(&journal);
+    }
+
+    #[test]
+    fn compact_folds_history_and_replay_resumes() {
+        let spec = spec_file();
+        let script = script_file(
+            "add probe period 60 deadline 120 task p wcet 1 bcet 0.5 prio 1 on Pi1\n\
+             commit\n\
+             add hog period 10 deadline 10 task h wcet 9 bcet 9 prio 9 on Pi3\n\
+             commit\n\
+             remove probe\n",
+        );
+        let journal = std::env::temp_dir().join(format!(
+            "hsched-cli-test-compact-{}.journal",
+            std::process::id()
+        ));
+        let out = run(&args(&[
+            "admit",
+            spec.to_str().unwrap(),
+            script.to_str().unwrap(),
+            "--json",
+            "--journal",
+            journal.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let digest = extract_digest(&out).to_string();
+
+        let before = std::fs::metadata(&journal).unwrap().len();
+        let compacted = run(&args(&[
+            "compact",
+            spec.to_str().unwrap(),
+            journal.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(
+            compacted.contains("compacted 3 epoch(s) into a snapshot"),
+            "{compacted}"
+        );
+        assert!(compacted.contains(&digest), "digest survives compaction");
+        let after = std::fs::metadata(&journal).unwrap().len();
+        assert!(after > 0 && before > 0);
+
+        // Replay resumes from the snapshot: zero tail epochs, same digest.
+        let replayed = run(&args(&[
+            "replay",
+            spec.to_str().unwrap(),
+            journal.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(replayed.contains("replayed 0 epoch(s)"), "{replayed}");
+        assert!(
+            replayed.contains("resumed from snapshot at epoch 3"),
+            "{replayed}"
+        );
+        assert!(replayed.contains(&digest), "{replayed}");
+
+        let json = run(&args(&[
+            "replay",
+            spec.to_str().unwrap(),
+            journal.to_str().unwrap(),
+            "--json",
+        ]))
+        .unwrap();
+        assert!(json.contains("\"snapshot_epoch\":3"), "{json}");
+        assert_eq!(extract_digest(&json), digest);
+
+        let compact_json = run(&args(&[
+            "compact",
+            spec.to_str().unwrap(),
+            journal.to_str().unwrap(),
+            "--json",
+        ]))
+        .unwrap();
+        assert!(
+            compact_json.starts_with("{\"v\":2,\"command\":\"compact\""),
+            "{compact_json}"
+        );
+        assert!(
+            compact_json.contains("\"epochs_folded\":3"),
+            "{compact_json}"
+        );
         let _ = std::fs::remove_file(&journal);
     }
 

@@ -7,7 +7,7 @@
 use crate::admit::{stats_line, write_stats};
 use crate::json::{begin_envelope, write_engine_section, write_report, JsonWriter};
 use hsched_admission::AdmissionPolicy;
-use hsched_engine::AdmissionRouter;
+use hsched_engine::SchedService;
 use hsched_transaction::TransactionSet;
 use std::fmt::Write as _;
 
@@ -20,7 +20,7 @@ pub(crate) fn run_replay(
     policy: AdmissionPolicy,
     json: bool,
 ) -> Result<String, String> {
-    let (engine, epochs) = AdmissionRouter::replay(
+    let (engine, epochs) = SchedService::replay(
         set,
         hsched_analysis::AnalysisConfig::default(),
         policy,
@@ -28,11 +28,18 @@ pub(crate) fn run_replay(
     )
     .map_err(|e| e.to_string())?;
 
+    // A compacted journal resumes from its snapshot: the tickets before
+    // `snapshot_epoch` were folded into the block and not re-run.
+    let snapshot_epoch = engine.epoch() - epochs as u64;
+
     if json {
         let mut w = JsonWriter::new();
         begin_envelope(&mut w, "replay");
         w.field_str("spec", path)
             .field_raw("epochs_replayed", epochs);
+        if snapshot_epoch > 0 {
+            w.field_raw("snapshot_epoch", snapshot_epoch);
+        }
         write_stats(&mut w, &engine);
         write_engine_section(&mut w, &engine, Some(journal_path));
         write_report(&mut w, Some("final"), &engine.report());
@@ -45,6 +52,12 @@ pub(crate) fn run_replay(
         out,
         "{journal_path}: replayed {epochs} epoch(s) against {path}"
     );
+    if snapshot_epoch > 0 {
+        let _ = writeln!(
+            out,
+            "resumed from snapshot at epoch {snapshot_epoch} (compacted journal)"
+        );
+    }
     let _ = writeln!(out, "{}", stats_line(&engine));
     let _ = writeln!(
         out,

@@ -19,10 +19,26 @@
 use hsched_admission::{AdmissionRequest, EpochOutcome};
 use std::fmt;
 
-/// Version of the engine's request/response/journal schema. Requests
-/// carrying a different version are refused with
+/// Version of the engine's request/response/journal schema.
+///
+/// # Schema v2
+///
+/// v2 is the concurrent-service envelope: responses carry the epoch
+/// *ticket* (the total order [`crate::SchedService`] assigns to concurrent
+/// epochs — `epoch` is that ticket) and the *shard set* the batch routed to
+/// ([`EngineResponse::shards`], slot ids, first-touch order), and the
+/// journal header becomes `hsched-journal v2` with an optional embedded
+/// snapshot block (journal compaction). v1 *requests* are still accepted —
+/// every v1 operation is a valid v2 operation — and v1 journals (no
+/// snapshot) still replay; responses and fresh journals are always written
+/// at the current version. Requests newer than [`SCHEMA_VERSION`] or older
+/// than [`MIN_SCHEMA_VERSION`] are refused with
 /// [`EngineError::UnsupportedVersion`] instead of being misinterpreted.
-pub const SCHEMA_VERSION: u32 = 1;
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// Oldest request schema this engine still accepts (see
+/// [`SCHEMA_VERSION`]).
+pub const MIN_SCHEMA_VERSION: u32 = 1;
 
 /// Stable handle of a live transaction, minted by the engine when the
 /// transaction is admitted (or at seeding, in set order). Handles are
@@ -58,7 +74,8 @@ impl From<AdmissionRequest> for EngineOp {
 /// A versioned batch of operations, committed atomically as one epoch.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EngineRequest {
-    /// Schema version; must equal [`SCHEMA_VERSION`].
+    /// Schema version; must lie in
+    /// [`MIN_SCHEMA_VERSION`]`..=`[`SCHEMA_VERSION`].
     pub version: u32,
     /// The operations, applied in order.
     pub ops: Vec<EngineOp>,
@@ -84,7 +101,11 @@ impl EngineRequest {
 pub struct EngineResponse {
     /// Schema version ([`SCHEMA_VERSION`]).
     pub version: u32,
-    /// Engine-level epoch number (1-based; every commit consumes one).
+    /// The epoch ticket (1-based, consecutive): the position of this epoch
+    /// in the service's total order. Every submitted batch — concurrent or
+    /// not — consumes exactly one ticket, and the write-ahead journal
+    /// records epochs in ticket order, so a serial replay reproduces the
+    /// same sequence.
     pub epoch: u64,
     /// Aggregated verdict + work accounting across the touched shards
     /// (same shape as the single-controller outcome).
@@ -93,8 +114,12 @@ pub struct EngineResponse {
     /// in batch order; an instance arrival contributes one handle per
     /// flattened transaction.
     pub admitted: Vec<TxnId>,
-    /// Island shards the batch routed to (0 for an empty or structurally
-    /// rejected batch).
+    /// The shard set the batch routed to: slot ids in first-touch order
+    /// (empty for an empty or structurally rejected batch). Slot ids are
+    /// stable while a shard lives; merges and splits reassign them.
+    pub shards: Vec<usize>,
+    /// Island shards the batch routed to (`shards.len()`; kept as its own
+    /// field since schema v1).
     pub shards_touched: usize,
     /// Live shards after the epoch.
     pub shards_live: usize,

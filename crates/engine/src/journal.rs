@@ -1,12 +1,12 @@
 //! The write-ahead journal: every committed epoch (admitted *and*
 //! rejected) is appended as one plain-text record, so a crashed engine can
 //! be rebuilt byte-identically by replaying the journal against the same
-//! seed specification ([`crate::AdmissionRouter::replay`]).
+//! seed specification ([`crate::SchedService::replay`]).
 //!
-//! # Format (schema v1)
+//! # Format (schema v2)
 //!
 //! ```text
-//! hsched-journal v1
+//! hsched-journal v2
 //! platforms 20
 //! epoch 1 2
 //! add probe 60 120 0 1 probe.p 1 1/2 1 0 c
@@ -23,31 +23,50 @@
 //! losslessly. Platforms are referenced by index — the replaying engine is
 //! seeded from the same spec, so indices line up.
 //!
+//! A **compacted** journal ([`crate::SchedService::snapshot`]) carries a
+//! snapshot block between the header and the first record; epoch numbers
+//! then continue from the snapshot's epoch instead of 1 (see
+//! [`crate::Snapshot`] and the `snapshot` module). v1 journals (no
+//! snapshot block) are still read.
+//!
 //! # Crash tolerance
 //!
 //! A record only counts once its `end` line is on disk. Readers stop at the
 //! first incomplete or malformed record and report the byte length of the
 //! valid prefix; recovery truncates the file there before appending again —
-//! the classic WAL tail-repair.
+//! the classic WAL tail-repair. The snapshot block, by contrast, is written
+//! atomically (temp file + rename), so a torn snapshot is *corruption*, not
+//! a crash artifact.
+//!
+//! # Streaming
+//!
+//! [`JournalStream`] reads records one at a time through a buffered reader,
+//! so replaying a long-lived (pre-compaction) journal is O(1) in memory —
+//! the whole file is never loaded. [`read_journal`] remains as the
+//! collecting convenience wrapper.
 
 use crate::envelope::EngineError;
+use crate::snapshot::Snapshot;
 use hsched_admission::AdmissionRequest;
 use hsched_model::SystemBuilder;
 use hsched_numeric::Rational;
 use hsched_platform::{PlatformId, PlatformSet};
 use hsched_transaction::{Task, TaskKind, Transaction};
-use std::io::Write as _;
+use std::io::{BufRead as _, Write as _};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
-/// Header magic of journal schema v1.
-const MAGIC: &str = "hsched-journal v1";
+/// Header magic of journal schema v1 (still readable).
+const MAGIC_V1: &str = "hsched-journal v1";
+/// Header magic of journal schema v2 (written; optional snapshot block).
+const MAGIC_V2: &str = "hsched-journal v2";
 
 /// Percent-escapes a name so it survives whitespace-delimited parsing:
 /// `%`, every ASCII control/space byte, and every non-ASCII byte are
 /// written as `%XX`. Escaping all non-ASCII keeps the record free of *any*
 /// Unicode whitespace (U+00A0, U+2028, …) that `split_whitespace` would
 /// otherwise split on.
-fn esc(name: &str) -> String {
+pub(crate) fn esc(name: &str) -> String {
     if name.is_empty() {
         // A bare `%` marks the empty name — an empty token would shift
         // every later field of the record.
@@ -65,7 +84,7 @@ fn esc(name: &str) -> String {
 }
 
 /// Inverse of [`esc`] (byte-level, so multi-byte UTF-8 round-trips).
-fn unesc(token: &str) -> Result<String, String> {
+pub(crate) fn unesc(token: &str) -> Result<String, String> {
     if token == "%" {
         return Ok(String::new());
     }
@@ -87,7 +106,7 @@ fn unesc(token: &str) -> Result<String, String> {
 
 /// Renders one request as journal lines (one line, plus an embedded class
 /// block for instance arrivals).
-fn encode_request(request: &AdmissionRequest) -> Vec<String> {
+pub(crate) fn encode_request(request: &AdmissionRequest) -> Vec<String> {
     match request {
         AdmissionRequest::AddTransaction(tx) => {
             let mut line = format!(
@@ -147,14 +166,14 @@ fn encode_request(request: &AdmissionRequest) -> Vec<String> {
 }
 
 /// Token-stream helpers for decoding.
-fn next_token<'a>(
+pub(crate) fn next_token<'a>(
     tokens: &mut impl Iterator<Item = &'a str>,
     what: &str,
 ) -> Result<&'a str, String> {
     tokens.next().ok_or_else(|| format!("missing {what}"))
 }
 
-fn next_rational<'a>(
+pub(crate) fn next_rational<'a>(
     tokens: &mut impl Iterator<Item = &'a str>,
     what: &str,
 ) -> Result<Rational, String> {
@@ -162,14 +181,17 @@ fn next_rational<'a>(
     token.parse().map_err(|_| format!("bad {what} `{token}`"))
 }
 
-fn next_usize<'a>(tokens: &mut impl Iterator<Item = &'a str>, what: &str) -> Result<usize, String> {
+pub(crate) fn next_usize<'a>(
+    tokens: &mut impl Iterator<Item = &'a str>,
+    what: &str,
+) -> Result<usize, String> {
     let token = next_token(tokens, what)?;
     token.parse().map_err(|_| format!("bad {what} `{token}`"))
 }
 
 /// Decodes one request starting at `line`; instance arrivals consume
 /// further class-source lines from `lines`.
-fn decode_request<'a>(
+pub(crate) fn decode_request<'a>(
     line: &str,
     lines: &mut impl Iterator<Item = &'a str>,
 ) -> Result<AdmissionRequest, String> {
@@ -247,12 +269,260 @@ fn decode_request<'a>(
 /// One complete journal record.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JournalEpoch {
-    /// Engine epoch number (1-based, consecutive).
+    /// Engine epoch ticket (consecutive; starts after the snapshot's epoch
+    /// in a compacted journal, else at 1).
     pub epoch: u64,
     /// The batch, in application order.
     pub batch: Vec<AdmissionRequest>,
     /// Recorded verdict — replay cross-checks its own verdict against it.
     pub admitted: bool,
+}
+
+/// Line-at-a-time reader that only yields *complete* lines (terminated by
+/// `\n`) and tracks the byte offset of everything consumed — the WAL
+/// tail-repair bookkeeping.
+struct LineReader {
+    reader: std::io::BufReader<std::fs::File>,
+    offset: u64,
+    /// One line of lookahead: the trimmed text plus its raw byte length
+    /// (added to `offset` only when the line is consumed).
+    peeked: Option<Option<(String, u64)>>,
+}
+
+impl LineReader {
+    fn open(path: &Path) -> Result<LineReader, EngineError> {
+        let file = std::fs::File::open(path)
+            .map_err(|e| EngineError::Journal(format!("cannot read `{}`: {e}", path.display())))?;
+        Ok(LineReader {
+            reader: std::io::BufReader::new(file),
+            offset: 0,
+            peeked: None,
+        })
+    }
+
+    /// Reads one complete line (trailing `\r\n`/`\n` stripped) plus its raw
+    /// byte length; `None` at EOF *or* at a final line without `\n` (torn
+    /// by definition).
+    fn read_one(&mut self) -> Result<Option<(String, u64)>, EngineError> {
+        let mut raw = String::new();
+        let n = self
+            .reader
+            .read_line(&mut raw)
+            .map_err(|e| EngineError::Journal(format!("journal read failed: {e}")))?;
+        if n == 0 || !raw.ends_with('\n') {
+            return Ok(None);
+        }
+        Ok(Some((
+            raw.trim_end_matches(['\n', '\r']).to_string(),
+            n as u64,
+        )))
+    }
+
+    /// The next complete line; its bytes count into the consumed offset.
+    fn next_line(&mut self) -> Result<Option<String>, EngineError> {
+        let entry = match self.peeked.take() {
+            Some(entry) => entry,
+            None => self.read_one()?,
+        };
+        Ok(entry.map(|(line, n)| {
+            self.offset += n;
+            line
+        }))
+    }
+
+    /// One-line lookahead (used to detect the optional snapshot block);
+    /// does not advance the consumed offset.
+    fn peek_line(&mut self) -> Result<Option<&str>, EngineError> {
+        if self.peeked.is_none() {
+            let entry = self.read_one()?;
+            self.peeked = Some(entry);
+        }
+        Ok(self
+            .peeked
+            .as_ref()
+            .and_then(|entry| entry.as_ref().map(|(line, _)| line.as_str())))
+    }
+}
+
+/// Streaming journal reader: parses the header (and any snapshot block)
+/// eagerly, then yields one [`JournalEpoch`] per `next()` without ever
+/// holding more than one record in memory. Iteration ends at the first
+/// torn or out-of-order record; [`JournalStream::valid_prefix`] then holds
+/// the byte length of the intact prefix for tail repair. Decode failures
+/// *inside* a structurally complete record are corruption and surface as
+/// `Some(Err(_))`.
+pub struct JournalStream {
+    lines: LineReader,
+    platforms: usize,
+    snapshot: Option<Snapshot>,
+    next_epoch: u64,
+    valid_prefix: u64,
+    done: bool,
+}
+
+impl JournalStream {
+    /// Opens a journal, reading the header and — for v2 journals — the
+    /// optional snapshot block. A missing or malformed *header* (or a torn
+    /// snapshot block, which is written atomically) is an error: that is
+    /// corruption, not a crash.
+    pub fn open(path: &Path) -> Result<JournalStream, EngineError> {
+        let mut lines = LineReader::open(path)?;
+        let magic = lines
+            .next_line()?
+            .ok_or_else(|| EngineError::Journal("empty journal".to_string()))?;
+        let v2 = match magic.as_str() {
+            m if m == MAGIC_V2 => true,
+            m if m == MAGIC_V1 => false,
+            other => {
+                return Err(EngineError::Journal(format!(
+                    "bad journal header `{other}` (expected `{MAGIC_V2}`)"
+                )));
+            }
+        };
+        let platform_line = lines
+            .next_line()?
+            .ok_or_else(|| EngineError::Journal("truncated journal header".to_string()))?;
+        let platforms = platform_line
+            .strip_prefix("platforms ")
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| EngineError::Journal(format!("bad platform line `{platform_line}`")))?;
+
+        let snapshot = if v2
+            && lines
+                .peek_line()?
+                .is_some_and(|l| l.starts_with("snapshot begin"))
+        {
+            let header = lines.next_line()?.expect("peeked line present");
+            Some(
+                Snapshot::decode_block(&header, &mut || lines.next_line())
+                    .map_err(|e| EngineError::Journal(format!("snapshot block: {e}")))?,
+            )
+        } else {
+            None
+        };
+
+        let next_epoch = snapshot.as_ref().map(|s| s.epoch).unwrap_or(0) + 1;
+        let valid_prefix = lines.offset;
+        Ok(JournalStream {
+            lines,
+            platforms,
+            snapshot,
+            next_epoch,
+            valid_prefix,
+            done: false,
+        })
+    }
+
+    /// Platform count recorded at creation (sanity-checked on replay).
+    pub fn platforms(&self) -> usize {
+        self.platforms
+    }
+
+    /// The embedded snapshot of a compacted journal, if any.
+    pub fn snapshot(&self) -> Option<&Snapshot> {
+        self.snapshot.as_ref()
+    }
+
+    /// Detaches the embedded snapshot (for rebuild without cloning).
+    pub fn take_snapshot(&mut self) -> Option<Snapshot> {
+        self.snapshot.take()
+    }
+
+    /// Byte offset just past the last complete record (or the snapshot
+    /// block / header when no record survived) — the truncation point of
+    /// WAL tail repair.
+    pub fn valid_prefix(&self) -> u64 {
+        self.valid_prefix
+    }
+}
+
+impl Iterator for JournalStream {
+    type Item = Result<JournalEpoch, EngineError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        // Any incompleteness below ends the journal at the last complete
+        // record (torn tail); decode failures in a complete record error.
+        macro_rules! line_or_done {
+            () => {
+                match self.lines.next_line() {
+                    Err(e) => {
+                        self.done = true;
+                        return Some(Err(e));
+                    }
+                    Ok(Some(line)) => line,
+                    Ok(None) => {
+                        self.done = true;
+                        return None;
+                    }
+                }
+            };
+        }
+        let header = line_or_done!();
+        let mut tokens = header.split_whitespace();
+        let (Some("epoch"), Some(epoch), Some(n_requests), None) = (
+            tokens.next(),
+            tokens.next().and_then(|t| t.parse::<u64>().ok()),
+            tokens.next().and_then(|t| t.parse::<usize>().ok()),
+            tokens.next(),
+        ) else {
+            self.done = true;
+            return None;
+        };
+        if epoch != self.next_epoch {
+            self.done = true;
+            return None;
+        }
+        let mut record_lines: Vec<String> = Vec::new();
+        let verdict = loop {
+            let line = line_or_done!();
+            match line.as_str() {
+                "verdict admitted" => break true,
+                "verdict rejected" => break false,
+                _ => record_lines.push(line),
+            }
+        };
+        let end = line_or_done!();
+        if end != "end" {
+            self.done = true;
+            return None;
+        }
+        // The record is structurally complete; now decode the requests.
+        let mut batch = Vec::with_capacity(n_requests);
+        {
+            let mut iter = record_lines.iter().map(String::as_str);
+            for _ in 0..n_requests {
+                let Some(line) = iter.next() else {
+                    self.done = true;
+                    return Some(Err(EngineError::Journal(format!(
+                        "epoch {epoch}: {n_requests} requests declared, fewer recorded"
+                    ))));
+                };
+                match decode_request(line, &mut iter) {
+                    Ok(request) => batch.push(request),
+                    Err(e) => {
+                        self.done = true;
+                        return Some(Err(EngineError::Journal(format!("epoch {epoch}: {e}"))));
+                    }
+                }
+            }
+            if iter.next().is_some() {
+                self.done = true;
+                return Some(Err(EngineError::Journal(format!(
+                    "epoch {epoch}: trailing request lines"
+                ))));
+            }
+        }
+        self.valid_prefix = self.lines.offset;
+        self.next_epoch += 1;
+        Some(Ok(JournalEpoch {
+            epoch,
+            batch,
+            admitted: verdict,
+        }))
+    }
 }
 
 /// Parsed journal: platform count, complete records, and the byte length
@@ -261,130 +531,57 @@ pub struct JournalEpoch {
 pub struct JournalContents {
     /// Platform count recorded at creation (sanity-checked on replay).
     pub platforms: usize,
+    /// The embedded snapshot of a compacted journal, if any.
+    pub snapshot: Option<Snapshot>,
     /// The complete epoch records, in order.
     pub epochs: Vec<JournalEpoch>,
     /// Byte offset just past the last complete record.
     pub valid_prefix: u64,
 }
 
-/// Reads a journal, tolerating a torn tail (see module docs). A missing or
-/// malformed *header* is an error — that is corruption, not a crash.
+/// Reads a whole journal into memory, tolerating a torn tail (see module
+/// docs). Replay uses the streaming [`JournalStream`] instead — this
+/// collecting wrapper exists for tooling and tests.
 pub fn read_journal(path: &Path) -> Result<JournalContents, EngineError> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| EngineError::Journal(format!("cannot read `{}`: {e}", path.display())))?;
-    let mut offset = 0u64;
-    let mut lines = text.split_inclusive('\n');
-    let mut take_line = |offset: &mut u64| -> Option<String> {
-        let raw = lines.next()?;
-        // A final line without `\n` is torn by definition.
-        let complete = raw.ends_with('\n');
-        *offset += raw.len() as u64;
-        complete.then(|| raw.trim_end_matches(['\n', '\r']).to_string())
-    };
-
-    let magic =
-        take_line(&mut offset).ok_or_else(|| EngineError::Journal("empty journal".to_string()))?;
-    if magic != MAGIC {
-        return Err(EngineError::Journal(format!(
-            "bad journal header `{magic}` (expected `{MAGIC}`)"
-        )));
-    }
-    let platform_line = take_line(&mut offset)
-        .ok_or_else(|| EngineError::Journal("truncated journal header".to_string()))?;
-    let platforms = platform_line
-        .strip_prefix("platforms ")
-        .and_then(|n| n.parse().ok())
-        .ok_or_else(|| EngineError::Journal(format!("bad platform line `{platform_line}`")))?;
-
-    let mut epochs: Vec<JournalEpoch> = Vec::new();
-    let mut valid_prefix = offset;
-    // Parse records; any incompleteness ends the journal at the last
-    // complete record.
-    'records: while let Some(header) = take_line(&mut offset) {
-        let mut tokens = header.split_whitespace();
-        let (Some("epoch"), Some(epoch), Some(n_requests), None) = (
-            tokens.next(),
-            tokens.next().and_then(|t| t.parse::<u64>().ok()),
-            tokens.next().and_then(|t| t.parse::<usize>().ok()),
-            tokens.next(),
-        ) else {
-            break;
-        };
-        if epoch != epochs.len() as u64 + 1 {
-            break;
-        }
-        let mut record_lines: Vec<String> = Vec::new();
-        let verdict = loop {
-            let Some(line) = take_line(&mut offset) else {
-                break 'records;
-            };
-            match line.as_str() {
-                "verdict admitted" => break true,
-                "verdict rejected" => break false,
-                _ => record_lines.push(line),
-            }
-        };
-        let Some(end) = take_line(&mut offset) else {
-            break;
-        };
-        if end != "end" {
-            break;
-        }
-        // The record is structurally complete; now decode the requests. A
-        // decode failure here is corruption, not a torn tail.
-        let mut batch = Vec::with_capacity(n_requests);
-        {
-            let mut iter = record_lines.iter().map(String::as_str);
-            for _ in 0..n_requests {
-                let Some(line) = iter.next() else {
-                    return Err(EngineError::Journal(format!(
-                        "epoch {epoch}: {n_requests} requests declared, fewer recorded"
-                    )));
-                };
-                let request = decode_request(line, &mut iter)
-                    .map_err(|e| EngineError::Journal(format!("epoch {epoch}: {e}")))?;
-                batch.push(request);
-            }
-            if iter.next().is_some() {
-                return Err(EngineError::Journal(format!(
-                    "epoch {epoch}: trailing request lines"
-                )));
-            }
-        }
-        epochs.push(JournalEpoch {
-            epoch,
-            batch,
-            admitted: verdict,
-        });
-        valid_prefix = offset;
+    let mut stream = JournalStream::open(path)?;
+    let mut epochs = Vec::new();
+    for record in &mut stream {
+        epochs.push(record?);
     }
     Ok(JournalContents {
-        platforms,
+        platforms: stream.platforms(),
+        snapshot: stream.take_snapshot(),
         epochs,
-        valid_prefix,
+        valid_prefix: stream.valid_prefix(),
     })
 }
 
-/// Appending writer over a journal file. Records are synced per epoch so a
-/// crash tears at most the record being written.
+/// Appending writer over a journal file.
+///
+/// [`JournalWriter::append`] syncs before returning (the single-writer
+/// contract); the concurrent service instead uses
+/// [`JournalWriter::append_nosync`] plus a group-committed `sync_data` on
+/// the shared [`JournalWriter::sync_handle`], which preserves the same
+/// durability contract (a response is returned only after the epoch's
+/// record is on disk) while letting one fsync cover several epochs.
 #[derive(Debug)]
 pub struct JournalWriter {
-    file: std::fs::File,
+    file: Arc<std::fs::File>,
     path: PathBuf,
 }
 
 impl JournalWriter {
-    /// Creates (truncating) a fresh journal with a v1 header.
+    /// Creates (truncating) a fresh journal with a v2 header.
     pub fn create(path: &Path, platforms: usize) -> Result<JournalWriter, EngineError> {
         let mut file = std::fs::File::create(path).map_err(|e| {
             EngineError::Journal(format!("cannot create `{}`: {e}", path.display()))
         })?;
-        file.write_all(format!("{MAGIC}\nplatforms {platforms}\n").as_bytes())
+        file.write_all(format!("{MAGIC_V2}\nplatforms {platforms}\n").as_bytes())
             .map_err(|e| EngineError::Journal(e.to_string()))?;
         file.sync_data()
             .map_err(|e| EngineError::Journal(e.to_string()))?;
         Ok(JournalWriter {
-            file,
+            file: Arc::new(file),
             path: path.to_path_buf(),
         })
     }
@@ -398,22 +595,68 @@ impl JournalWriter {
             .map_err(|e| EngineError::Journal(format!("cannot open `{}`: {e}", path.display())))?;
         file.set_len(valid_prefix)
             .map_err(|e| EngineError::Journal(e.to_string()))?;
-        let mut writer = JournalWriter {
-            file,
-            path: path.to_path_buf(),
-        };
         use std::io::Seek as _;
-        writer
-            .file
-            .seek(std::io::SeekFrom::End(0))
+        let mut file = file;
+        file.seek(std::io::SeekFrom::End(0))
             .map_err(|e| EngineError::Journal(e.to_string()))?;
-        Ok(writer)
+        Ok(JournalWriter {
+            file: Arc::new(file),
+            path: path.to_path_buf(),
+        })
     }
 
-    /// Appends one epoch record and syncs it to disk (`sync_data`) before
-    /// returning, so an OS crash after a commit's response tears at most
-    /// the *next* record — the tail-repair contract `read_journal` assumes.
+    /// Atomically replaces the journal at `path` with a fresh compacted one
+    /// (header + snapshot block, no records): the new content is written to
+    /// a temporary sibling, synced, and renamed over the original, so a
+    /// crash at any point leaves either the old or the new journal intact —
+    /// never a torn snapshot. Returns a writer appending after the block.
+    pub fn rewrite_with_snapshot(
+        path: &Path,
+        platforms: usize,
+        snapshot_block: &str,
+    ) -> Result<JournalWriter, EngineError> {
+        let tmp = path.with_extension("compact-tmp");
+        {
+            let mut file = std::fs::File::create(&tmp).map_err(|e| {
+                EngineError::Journal(format!("cannot create `{}`: {e}", tmp.display()))
+            })?;
+            file.write_all(format!("{MAGIC_V2}\nplatforms {platforms}\n").as_bytes())
+                .and_then(|()| file.write_all(snapshot_block.as_bytes()))
+                .and_then(|()| file.sync_all())
+                .map_err(|e| EngineError::Journal(e.to_string()))?;
+        }
+        std::fs::rename(&tmp, path).map_err(|e| {
+            EngineError::Journal(format!("cannot replace `{}`: {e}", path.display()))
+        })?;
+        let file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| EngineError::Journal(format!("cannot open `{}`: {e}", path.display())))?;
+        Ok(JournalWriter {
+            file: Arc::new(file),
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Appends one epoch record and syncs it to disk before returning, so
+    /// an OS crash after a commit's response tears at most the *next*
+    /// record — the tail-repair contract readers assume.
     pub fn append(
+        &mut self,
+        epoch: u64,
+        batch: &[AdmissionRequest],
+        admitted: bool,
+    ) -> Result<(), EngineError> {
+        self.append_nosync(epoch, batch, admitted)?;
+        self.file
+            .sync_data()
+            .map_err(|e| EngineError::Journal(e.to_string()))
+    }
+
+    /// Writes one epoch record without syncing. The caller owns durability:
+    /// a `sync_data` on [`JournalWriter::sync_handle`] that *starts* after
+    /// this returns covers the record (writes are appended in call order).
+    pub(crate) fn append_nosync(
         &mut self,
         epoch: u64,
         batch: &[AdmissionRequest],
@@ -432,12 +675,14 @@ impl JournalWriter {
             "verdict rejected\n"
         });
         record.push_str("end\n");
-        self.file
+        (&*self.file)
             .write_all(record.as_bytes())
-            .map_err(|e| EngineError::Journal(e.to_string()))?;
-        self.file
-            .sync_data()
             .map_err(|e| EngineError::Journal(e.to_string()))
+    }
+
+    /// A shared handle for syncing outside any engine lock (group commit).
+    pub(crate) fn sync_handle(&self) -> Arc<std::fs::File> {
+        Arc::clone(&self.file)
     }
 
     /// The journal file path.
@@ -514,11 +759,35 @@ mod tests {
         writer.append(2, &batch[..1], false).unwrap();
         let contents = read_journal(&path).unwrap();
         assert_eq!(contents.platforms, 4);
+        assert!(contents.snapshot.is_none());
         assert_eq!(contents.epochs.len(), 2);
         assert_eq!(contents.epochs[0].batch, batch);
         assert!(contents.epochs[0].admitted);
         assert_eq!(contents.epochs[1].batch, &batch[..1]);
         assert!(!contents.epochs[1].admitted);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn streaming_reader_yields_records_lazily() {
+        let path = temp("stream");
+        let batch = sample_batch();
+        let mut writer = JournalWriter::create(&path, 4).unwrap();
+        for epoch in 1..=5 {
+            writer.append(epoch, &batch[..1], epoch % 2 == 0).unwrap();
+        }
+        let mut stream = JournalStream::open(&path).unwrap();
+        assert_eq!(stream.platforms(), 4);
+        let mut seen = 0u64;
+        for record in &mut stream {
+            let record = record.unwrap();
+            seen += 1;
+            assert_eq!(record.epoch, seen);
+            assert_eq!(record.batch, &batch[..1]);
+        }
+        assert_eq!(seen, 5);
+        let bytes = std::fs::metadata(&path).unwrap().len();
+        assert_eq!(stream.valid_prefix(), bytes);
         let _ = std::fs::remove_file(&path);
     }
 
@@ -535,7 +804,7 @@ mod tests {
         // Tear the file at byte boundaries inside the record (but past the
         // header): the reader must fall back to zero complete epochs
         // without erroring.
-        let header_len = format!("{MAGIC}\nplatforms 4\n").len();
+        let header_len = format!("{MAGIC_V2}\nplatforms 4\n").len();
         for cut in [
             full.valid_prefix as usize - 1,
             intact.len() - 1,
@@ -551,6 +820,20 @@ mod tests {
             assert_eq!(repaired.epochs.len(), 1);
             assert_eq!(repaired.epochs[0].batch, &batch[..1]);
         }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn v1_journals_still_read() {
+        let path = temp("v1");
+        let mut writer = JournalWriter::create(&path, 4).unwrap();
+        writer.append(1, &sample_batch()[..1], true).unwrap();
+        drop(writer);
+        let v2 = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, v2.replacen(MAGIC_V2, MAGIC_V1, 1)).unwrap();
+        let contents = read_journal(&path).unwrap();
+        assert_eq!(contents.epochs.len(), 1);
+        assert!(contents.snapshot.is_none());
         let _ = std::fs::remove_file(&path);
     }
 

@@ -1,37 +1,44 @@
 //! The sharded admission engine: the service layer of online admission.
 //!
 //! PR 2's [`hsched_admission::AdmissionController`] made admission
-//! *incremental*; this crate makes it a *service*. The whole live set no
-//! longer serializes through one mutable struct: an [`AdmissionRouter`]
-//! partitions the live transactions by platform-sharing interference-island
-//! groups (the same union–find that drives dirty tracking), owns one shard
-//! controller per group, routes each batch to exactly the shards it
-//! touches, and commits disjoint shards concurrently — exact, because
-//! interference cannot cross island boundaries.
+//! *incremental*; PR 3 made it a sharded engine; this crate's
+//! [`SchedService`] makes it a *concurrent service*. The live set is
+//! partitioned by platform-sharing interference-island groups (the same
+//! union–find that drives dirty tracking), one shard controller per group,
+//! and the front door is a shared-reference `&self`
+//! [`SchedService::submit`]: many client threads commit epochs
+//! concurrently, each batch routed to exactly the shards it touches and
+//! checked out under a lock-per-shard slot table — exact, because
+//! interference cannot cross island boundaries. An atomic epoch *ticket*
+//! totally orders concurrent epochs, so the write-ahead journal is a
+//! serialization of the concurrent history and [`SchedService::replay`]
+//! rebuilds a byte-identical engine (the linearizability property suite
+//! fires N client threads and asserts exactly this). Long-lived journals
+//! compact via [`SchedService::snapshot`] (state snapshot + truncation);
+//! replay resumes from snapshot + tail.
 //!
-//! Around that core, the public API is redesigned:
+//! Around that core, the public API:
 //!
 //! * **Typed handles** — every admitted transaction gets a stable
 //!   [`TxnId`]; removal by handle ([`EngineOp::Remove`]) cannot race a name
 //!   reuse, and a stale handle fails with a typed [`EngineError`] instead
 //!   of a string.
 //! * **Versioned envelope** — [`EngineRequest`]/[`EngineResponse`]
-//!   (schema [`SCHEMA_VERSION`]) are shared by the library API, `hsched
-//!   admit`, `hsched replay`, and the `--json` serializer.
+//!   (schema [`SCHEMA_VERSION`], v2: epoch ticket + shard set) are shared
+//!   by the library API, `hsched admit`, `hsched replay`, `hsched
+//!   compact`, and the `--json` serializer; v1 requests are still
+//!   accepted.
 //! * **Write-ahead journal** — every committed epoch (admitted *and*
 //!   rejected, so the epoch counter and shard topology replay exactly) is
-//!   appended to a plain-text journal; [`AdmissionRouter::replay`] rebuilds
-//!   a byte-identical engine from the seed spec + journal after a crash,
-//!   repairing any torn tail first.
-//! * **O(batch) rollback** — shard commits (and the legacy
-//!   single-controller API, which now rides the same machinery) roll back
-//!   through an undo log of inverse requests rather than a per-epoch
-//!   deep-clone of the whole state.
+//!   appended — and group-commit synced — before the response returns;
+//!   torn tails are repaired, and replay streams records in O(1) memory.
+//! * **Single-threaded facade** — [`AdmissionRouter`] keeps the PR-3
+//!   exclusive-borrow API as a thin wrapper for one-client callers.
 //!
 //! # Example
 //!
 //! ```
-//! use hsched_engine::{AdmissionRouter, EngineOp, EngineRequest};
+//! use hsched_engine::{EngineOp, EngineRequest, SchedService};
 //! use hsched_admission::{AdmissionPolicy, AdmissionRequest};
 //! use hsched_analysis::AnalysisConfig;
 //! use hsched_numeric::rat;
@@ -52,24 +59,32 @@
 //!     .unwrap()
 //! };
 //! let set = TransactionSet::new(platforms, vec![tx("left", a), tx("right", b)]).unwrap();
-//! let mut engine =
-//!     AdmissionRouter::new(set, AnalysisConfig::default(), AdmissionPolicy::default()).unwrap();
+//! let engine =
+//!     SchedService::new(set, AnalysisConfig::default(), AdmissionPolicy::default()).unwrap();
 //! assert_eq!(engine.shard_count(), 2);
 //!
-//! // A batch touching both islands commits the two shards concurrently.
-//! let response = engine
-//!     .commit(&EngineRequest::batch(vec![
-//!         AdmissionRequest::AddTransaction(tx("left2", a)),
-//!         AdmissionRequest::AddTransaction(tx("right2", b)),
-//!     ]))
-//!     .unwrap();
-//! assert!(response.outcome.verdict.admitted());
-//! assert_eq!(response.shards_touched, 2);
+//! // Two client threads submit to the two islands truly concurrently —
+//! // `submit` takes `&self`.
+//! std::thread::scope(|scope| {
+//!     for (name, platform) in [("left2", a), ("right2", b)] {
+//!         let engine = &engine;
+//!         let tx = tx(name, platform);
+//!         scope.spawn(move || {
+//!             let response = engine
+//!                 .submit(&EngineRequest::batch(vec![
+//!                     AdmissionRequest::AddTransaction(tx),
+//!                 ]))
+//!                 .unwrap();
+//!             assert!(response.outcome.verdict.admitted());
+//!         });
+//!     }
+//! });
+//! assert_eq!(engine.live_transactions(), 4);
 //!
 //! // Arrivals got stable handles; removal by handle is the typed path.
-//! let id = response.admitted[0];
+//! let id = engine.resolve("left2").unwrap();
 //! let response = engine
-//!     .commit(&EngineRequest::new(vec![EngineOp::Remove(id)]))
+//!     .submit(&EngineRequest::new(vec![EngineOp::Remove(id)]))
 //!     .unwrap();
 //! assert!(response.outcome.verdict.admitted());
 //! assert_eq!(engine.live_transactions(), 3);
@@ -79,10 +94,17 @@ mod digest;
 mod envelope;
 mod journal;
 mod router;
+mod routing;
+mod service;
+mod snapshot;
 
-pub use envelope::{EngineError, EngineOp, EngineRequest, EngineResponse, TxnId, SCHEMA_VERSION};
-pub use journal::{read_journal, JournalContents, JournalEpoch, JournalWriter};
+pub use envelope::{
+    EngineError, EngineOp, EngineRequest, EngineResponse, TxnId, MIN_SCHEMA_VERSION, SCHEMA_VERSION,
+};
+pub use journal::{read_journal, JournalContents, JournalEpoch, JournalStream, JournalWriter};
 pub use router::AdmissionRouter;
+pub use service::{SchedService, SnapshotInfo};
+pub use snapshot::{Snapshot, SnapshotInstance, SnapshotPlatform, SnapshotTxn};
 
 #[cfg(test)]
 mod tests {
@@ -121,7 +143,7 @@ mod tests {
         assert_eq!(engine.shard_count(), 2);
         assert_eq!(engine.live_transactions(), 2);
         let left = engine.resolve("left").unwrap();
-        assert_eq!(engine.name_of(left), Some("left"));
+        assert_eq!(engine.name_of(left).as_deref(), Some("left"));
         assert!(engine.schedulable());
         // Aggregate report equals a from-scratch analysis (content-wise).
         let fresh = analyze_with(&engine.current_set(), &AnalysisConfig::default()).unwrap();

@@ -1,1130 +1,127 @@
-//! The sharded admission engine: one shard controller per interference
-//! island group, a router that sends each batch to exactly the shards it
-//! touches, and a write-ahead journal for crash recovery.
-//!
-//! # Why sharding is exact
-//!
-//! Interference cannot cross the connected components ("islands") of the
-//! transaction–platform graph — a task is only delayed by tasks on its own
-//! platform, and jitters only propagate within a transaction (the PR-2
-//! dirty-tracking argument). A shard that owns a whole island group
-//! therefore computes *exactly* the numbers a single global controller
-//! would: the partition changes scheduling of work, never results.
-//!
-//! # Routing
-//!
-//! Each request names the platforms (or the live transaction / instance)
-//! it touches. The router unions those routing keys per batch with the
-//! [`hsched_admission::UnionFind`] reused from the dirty tracker: requests
-//! that land in the same component form one sub-batch, shards bridged by a
-//! new transaction are merged first (cache-preserving concatenation — the
-//! full merged island is re-analyzed by the commit anyway, exactly as the
-//! single controller would), and the resulting disjoint sub-batches commit
-//! concurrently via [`hsched_analysis::parallel_map`]. After an admitted
-//! epoch, shards whose islands drifted apart (departures) are split back.
-//!
-//! # Atomicity across shards
-//!
-//! A batch spanning several shards is admitted iff *every* shard admits
-//! its sub-batch and no shard anywhere is left unschedulable. When one
-//! shard rejects, the shards that had already admitted are reverted with
-//! [`hsched_admission::AdmissionController::rollback_last`] — the O(batch)
-//! undo log, not a snapshot — so the cross-shard epoch stays transactional.
-//!
-//! # Equivalence envelope
-//!
-//! The engine matches the single-controller verdict and post-state exactly
-//! on transaction-level traffic (the property suite drives ≥100 generated
-//! multi-island churn sessions through both). Two deliberate, documented
-//! relaxations: per-shard utilization prechecks sum per-island (a
-//! *cross*-island exact-arithmetic overflow that only a global sum would
-//! hit is not reproduced), and rejection reasons aggregate misses/overloads
-//! in shard order rather than global set order.
+//! The single-threaded engine facade: [`AdmissionRouter`] preserves the
+//! PR-3 exclusive-borrow API (`commit(&mut self)`) as a thin wrapper over
+//! the shared-reference [`SchedService`], which owns all the actual
+//! machinery (routing, lock-per-shard slots, ticketed epochs, journal,
+//! snapshots). Code that drives a single client — the CLI, benches, most
+//! tests — keeps its `&mut` ergonomics; concurrent clients use
+//! [`SchedService`] directly.
 
-use crate::digest::fnv1a_64;
-use crate::envelope::{
-    EngineError, EngineOp, EngineRequest, EngineResponse, TxnId, SCHEMA_VERSION,
-};
-use crate::journal::{read_journal, JournalWriter};
-use hsched_admission::{
-    AdmissionController, AdmissionPolicy, AdmissionRequest, EpochOutcome, RejectReason, UnionFind,
-    Verdict,
-};
-use hsched_analysis::{parallel_map, AnalysisConfig, SchedulabilityReport};
-use hsched_model::{System, SystemBuilder};
-use hsched_platform::{Platform, PlatformSet};
-use hsched_transaction::{flatten_annotated, FlattenOptions, TransactionSet};
-use std::collections::{HashMap, HashSet};
+use crate::envelope::{EngineError, EngineRequest, EngineResponse, TxnId};
+use crate::service::SchedService;
+use hsched_admission::{AdmissionPolicy, ControllerStats};
+use hsched_analysis::{AnalysisConfig, SchedulabilityReport};
+use hsched_model::System;
+use hsched_transaction::TransactionSet;
 use std::path::Path;
-use std::sync::Mutex;
 
-/// One island-group shard: a full admission controller over the shard's
-/// transactions (with the complete platform set, so `PlatformId`s stay
-/// global) plus its cached schedulability flag.
-#[derive(Debug)]
-struct Shard {
-    core: AdmissionController,
-    schedulable: bool,
-}
-
-/// A routing key of one request: either an existing shard or a platform no
-/// shard currently uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Key {
-    Shard(usize),
-    Free(usize),
-}
-
-/// The sharded admission engine (see the module docs).
+/// Single-threaded wrapper over [`SchedService`] (see the module docs).
 #[derive(Debug)]
 pub struct AdmissionRouter {
-    /// Slot-stable shard table (`None` = vacated slot, reused first).
-    shards: Vec<Option<Shard>>,
-    /// Platform index → owning shard slot (`None` = no shard uses it).
-    platform_home: Vec<Option<usize>>,
-    /// Live transaction name → shard slot.
-    txn_home: HashMap<String, usize>,
-    /// Live component-instance name → shard slot.
-    instance_home: HashMap<String, usize>,
-    /// Live transaction name → stable handle.
-    ids: HashMap<String, TxnId>,
-    /// Stable handle → live transaction name.
-    names: HashMap<TxnId, String>,
-    next_id: u64,
-    epoch: u64,
-    admitted_epochs: u64,
-    rejected_epochs: u64,
-    /// Analysis counters of shards that have since been retired (island
-    /// emptied, slot vacated) — kept so [`AdmissionRouter::stats`] stays
-    /// cumulative like the single controller's.
-    retired_stats: hsched_admission::ControllerStats,
-    /// Master platform copy (kept in sync with admitted retunes); new
-    /// shards are seeded from it.
-    platforms: PlatformSet,
-    config: AnalysisConfig,
-    policy: AdmissionPolicy,
-    /// Shard-internal policy: islands are the router's parallel grain, so
-    /// shards analyze sequentially inside.
-    shard_policy: AdmissionPolicy,
-    journal: Option<JournalWriter>,
+    service: SchedService,
 }
 
 impl AdmissionRouter {
-    /// Builds an engine over an already-flattened transaction set: one full
-    /// seed analysis (per island, via a temporary single controller), then
-    /// the live set is split into island-group shards and every seeded
-    /// transaction gets a stable [`TxnId`] in set order.
-    ///
-    /// Transaction names must be unique — they are the name-addressed half
-    /// of the service API.
+    /// See [`SchedService::new`].
     pub fn new(
         set: TransactionSet,
         config: AnalysisConfig,
         policy: AdmissionPolicy,
     ) -> Result<AdmissionRouter, EngineError> {
-        let mut seen = HashSet::new();
-        for tx in set.transactions() {
-            if !seen.insert(tx.name.as_str()) {
-                return Err(EngineError::Seed(format!(
-                    "duplicate transaction name `{}`",
-                    tx.name
-                )));
-            }
-        }
-        let shard_policy = AdmissionPolicy {
-            island_threads: 1,
-            ..policy.clone()
-        };
-        let platforms = set.platforms().clone();
-        let seed_names: Vec<String> = set.transactions().iter().map(|t| t.name.clone()).collect();
-        let seed = AdmissionController::new(set, config.clone(), shard_policy.clone())
-            .map_err(EngineError::Seed)?;
-
-        let mut router = AdmissionRouter {
-            shards: Vec::new(),
-            platform_home: vec![None; platforms.len()],
-            txn_home: HashMap::new(),
-            instance_home: HashMap::new(),
-            ids: HashMap::new(),
-            names: HashMap::new(),
-            next_id: 0,
-            epoch: 0,
-            admitted_epochs: 0,
-            rejected_epochs: 0,
-            retired_stats: hsched_admission::ControllerStats::default(),
-            platforms,
-            config,
-            policy,
-            shard_policy,
-            journal: None,
-        };
-        for name in seed_names {
-            router.mint_id(&name);
-        }
-        for part in seed.split_islands() {
-            let slot = router.shards.len();
-            router.index_shard(slot, &part);
-            router.shards.push(Some(Shard {
-                schedulable: part.schedulable(),
-                core: part,
-            }));
-        }
-        Ok(router)
+        SchedService::new(set, config, policy).map(|service| AdmissionRouter { service })
     }
 
-    /// Attaches a fresh write-ahead journal at `path` (truncating any
-    /// existing file). Every subsequent commit — admitted or rejected — is
-    /// appended and synced to disk before the response is returned.
-    pub fn with_journal(mut self, path: &Path) -> Result<AdmissionRouter, EngineError> {
-        self.journal = Some(JournalWriter::create(path, self.platforms.len())?);
-        Ok(self)
+    /// See [`SchedService::with_journal`].
+    pub fn with_journal(self, path: &Path) -> Result<AdmissionRouter, EngineError> {
+        self.service
+            .with_journal(path)
+            .map(|service| AdmissionRouter { service })
     }
 
-    /// Rebuilds an engine after a restart: seeds from `set` (the same
-    /// specification the crashed engine started from), re-commits every
-    /// complete journal record, cross-checks each replayed verdict against
-    /// the recorded one, repairs any torn journal tail, and re-attaches the
-    /// journal in append mode. Returns the engine plus the number of epochs
-    /// replayed.
-    ///
-    /// The rebuilt engine is byte-identical to the crashed one as of its
-    /// last complete record: same epoch counter, same live set and system
-    /// mirror, same cached report, same [`TxnId`] assignments — the
-    /// property suite asserts this across random crash points.
+    /// See [`SchedService::replay`].
     pub fn replay(
         set: TransactionSet,
         config: AnalysisConfig,
         policy: AdmissionPolicy,
         path: &Path,
     ) -> Result<(AdmissionRouter, usize), EngineError> {
-        let contents = read_journal(path)?;
-        if contents.platforms != set.platforms().len() {
-            return Err(EngineError::Replay(format!(
-                "journal was recorded against {} platforms, spec has {}",
-                contents.platforms,
-                set.platforms().len()
-            )));
-        }
-        let mut router = AdmissionRouter::new(set, config, policy)?;
-        for record in &contents.epochs {
-            let response = router.commit_batch(&record.batch)?;
-            if response.epoch != record.epoch {
-                return Err(EngineError::Replay(format!(
-                    "epoch numbering diverged: journal {}, engine {}",
-                    record.epoch, response.epoch
-                )));
-            }
-            if response.outcome.verdict.admitted() != record.admitted {
-                return Err(EngineError::Replay(format!(
-                    "epoch {}: journal records {}, replay produced {}",
-                    record.epoch,
-                    if record.admitted {
-                        "admitted"
-                    } else {
-                        "rejected"
-                    },
-                    response.outcome.verdict,
-                )));
-            }
-        }
-        router.journal = Some(JournalWriter::recover(path, contents.valid_prefix)?);
-        Ok((router, contents.epochs.len()))
+        SchedService::replay(set, config, policy, path)
+            .map(|(service, epochs)| (AdmissionRouter { service }, epochs))
     }
 
-    /// Commits one versioned request batch as an atomic epoch.
-    ///
-    /// Rejections are *responses* (the verdict rides in the outcome);
-    /// [`EngineError`]s are caller or environment failures that consume no
-    /// epoch (bad version, unknown handle) or leave the engine unusable
-    /// (journal I/O).
+    /// Commits one versioned request batch as an atomic epoch — the
+    /// exclusive-borrow spelling of [`SchedService::submit`].
     pub fn commit(&mut self, request: &EngineRequest) -> Result<EngineResponse, EngineError> {
-        if request.version != SCHEMA_VERSION {
-            return Err(EngineError::UnsupportedVersion {
-                found: request.version,
-                supported: SCHEMA_VERSION,
-            });
-        }
-        let mut batch = Vec::with_capacity(request.ops.len());
-        for op in &request.ops {
-            match op {
-                EngineOp::Admission(r) => batch.push(r.clone()),
-                EngineOp::Remove(id) => {
-                    let name = self
-                        .names
-                        .get(id)
-                        .ok_or(EngineError::UnknownTxn(*id))?
-                        .clone();
-                    batch.push(AdmissionRequest::RemoveTransaction { name });
-                }
-            }
-        }
-        self.commit_batch(&batch)
+        self.service.submit(request)
     }
 
-    /// The name-addressed commit path (also the replay path).
-    fn commit_batch(&mut self, batch: &[AdmissionRequest]) -> Result<EngineResponse, EngineError> {
-        self.epoch += 1;
-
-        // --- Route: per-request keys, with batch-local name simulation so
-        // [remove X, add X]-style sequences resolve like sequential
-        // application would.
-        let routed = match self.route(batch) {
-            Ok(routed) => routed,
-            Err(message) => {
-                return self.finish_rejected(batch, RejectReason::Structural(message), 0);
-            }
-        };
-
-        // --- Group connected requests; merge bridged shards; create shards
-        // for requests landing entirely on free platforms.
-        let groups = self.form_groups(&routed.keys)?;
-
-        // --- Commit disjoint groups concurrently.
-        let jobs: Vec<(usize, Mutex<Option<Shard>>, Vec<AdmissionRequest>)> = groups
-            .iter()
-            .map(|group| {
-                let sub: Vec<AdmissionRequest> =
-                    group.requests.iter().map(|&i| batch[i].clone()).collect();
-                (group.slot, Mutex::new(self.shards[group.slot].take()), sub)
-            })
-            .collect();
-        let outcomes: Vec<EpochOutcome> =
-            parallel_map(&jobs, self.policy.island_threads, |(_, cell, sub)| {
-                let mut guard = cell.lock().expect("shard mutex poisoned");
-                let shard = guard.as_mut().expect("shard taken for this job");
-                let outcome = shard.core.commit(sub);
-                shard.schedulable = shard.core.schedulable();
-                outcome
-            });
-        for (slot, cell, _) in jobs {
-            self.shards[slot] = cell.into_inner().expect("shard mutex poisoned");
-        }
-
-        let all_admitted = outcomes.iter().all(|o| o.verdict.admitted());
-        let analyzed: usize = outcomes.iter().map(|o| o.analyzed_transactions).sum();
-        let islands: usize = outcomes.iter().map(|o| o.islands).sum();
-        let warm = outcomes.iter().any(|o| o.warm_started);
-
-        // Cross-shard admission rule: every shard everywhere must be
-        // schedulable (a single controller scans its whole entry table).
-        let global_misses: Vec<String> = if all_admitted {
-            self.shards
-                .iter()
-                .flatten()
-                .filter(|s| !s.schedulable)
-                .flat_map(|s| s.core.misses())
-                .collect()
-        } else {
-            Vec::new()
-        };
-
-        if !all_admitted || !global_misses.is_empty() {
-            // Revert shards that admitted their sub-batch; the epoch is
-            // atomic across shards.
-            for (group, outcome) in groups.iter().zip(&outcomes) {
-                if outcome.verdict.admitted() {
-                    let shard = self.shards[group.slot]
-                        .as_mut()
-                        .expect("touched shard present");
-                    shard.core.rollback_last();
-                    shard.schedulable = shard.core.schedulable();
-                }
-            }
-            self.drop_empty_shards(groups.iter().map(|g| g.slot));
-            let reason = if !all_admitted {
-                self.aggregate_reason(&groups, &outcomes)
-            } else {
-                RejectReason::Unschedulable {
-                    misses: global_misses,
-                }
-            };
-            let mut response = self.finish_rejected(batch, reason, groups.len())?;
-            response.outcome.analyzed_transactions = analyzed;
-            response.outcome.islands = islands;
-            response.outcome.warm_started = warm;
-            return Ok(response);
-        }
-
-        // --- Admitted: re-partition touched shards, propagate retunes,
-        // settle the handle maps, journal, respond. Map maintenance is
-        // O(batch + touched-shard members), never O(live set): departures
-        // are dropped by name from the batch, survivors are re-indexed by
-        // their post-split shard.
-        let retunes = self.capture_retunes(batch, &groups);
-        let touched: Vec<usize> = groups.iter().map(|g| g.slot).collect();
-        self.unindex_departures(batch, &routed.removed_instance_txns);
-        self.repartition(&touched);
-        for (platform, value) in retunes {
-            self.platforms.replace(platform, value.clone());
-            for shard in self.shards.iter_mut().flatten() {
-                shard
-                    .core
-                    .sync_platform(platform, value.clone())
-                    .map_err(EngineError::Internal)?;
-            }
-        }
-        let admitted_ids = self.mint_arrival_ids(batch);
-
-        if let Some(journal) = &mut self.journal {
-            journal.append(self.epoch, batch, true)?;
-        }
-        self.admitted_epochs += 1;
-        Ok(EngineResponse {
-            version: SCHEMA_VERSION,
-            epoch: self.epoch,
-            outcome: EpochOutcome {
-                epoch: self.epoch,
-                verdict: Verdict::Admitted,
-                requests: batch.len(),
-                analyzed_transactions: analyzed,
-                total_transactions: self.live_transactions(),
-                islands,
-                warm_started: warm,
-            },
-            admitted: admitted_ids,
-            shards_touched: touched.len(),
-            shards_live: self.shard_count(),
-        })
+    /// The underlying shared-reference service.
+    pub fn service(&self) -> &SchedService {
+        &self.service
     }
 
-    // ------------------------------------------------------------------
-    // Routing
-    // ------------------------------------------------------------------
-
-    /// Resolves each request of the batch to routing keys, simulating
-    /// batch-local name liveness. `Err` is a structural rejection.
-    fn route(&self, batch: &[AdmissionRequest]) -> Result<Routed, String> {
-        /// Batch-local liveness override of one name.
-        enum NameState {
-            Absent,
-            Pending(usize),
-        }
-        let mut tx_state: HashMap<String, NameState> = HashMap::new();
-        let mut instance_state: HashMap<String, NameState> = HashMap::new();
-        let mut keys: Vec<Vec<Key>> = Vec::with_capacity(batch.len());
-        let mut removed_instance_txns: Vec<Vec<String>> = vec![Vec::new(); batch.len()];
-
-        for (i, request) in batch.iter().enumerate() {
-            let request_keys = match request {
-                AdmissionRequest::AddTransaction(tx) => {
-                    for task in tx.tasks() {
-                        if task.platform.0 >= self.platforms.len() {
-                            return Err(format!(
-                                "task `{}` maps to unknown platform {}",
-                                task.name, task.platform
-                            ));
-                        }
-                    }
-                    let live = match tx_state.get(&tx.name) {
-                        Some(NameState::Absent) => false,
-                        Some(NameState::Pending(_)) => true,
-                        None => self.txn_home.contains_key(&tx.name),
-                    };
-                    if live {
-                        return Err(format!("transaction `{}` already live", tx.name));
-                    }
-                    tx_state.insert(tx.name.clone(), NameState::Pending(i));
-                    self.platform_keys(tx.tasks().iter().map(|t| t.platform.0))
-                }
-                AdmissionRequest::RemoveTransaction { name } => match tx_state.get(name) {
-                    Some(NameState::Pending(add)) => {
-                        let cloned = keys[*add].clone();
-                        tx_state.insert(name.clone(), NameState::Absent);
-                        cloned
-                    }
-                    Some(NameState::Absent) => {
-                        return Err(format!("no transaction named `{name}`"));
-                    }
-                    None => match self.txn_home.get(name) {
-                        Some(&slot) => {
-                            tx_state.insert(name.clone(), NameState::Absent);
-                            vec![Key::Shard(slot)]
-                        }
-                        None => return Err(format!("no transaction named `{name}`")),
-                    },
-                },
-                AdmissionRequest::Retune { platform, .. } => {
-                    if platform.0 >= self.platforms.len() {
-                        return Err(format!("platform {platform} out of range"));
-                    }
-                    self.platform_keys(std::iter::once(platform.0))
-                }
-                AdmissionRequest::AddInstance {
-                    name,
-                    class,
-                    platform,
-                    node,
-                } => {
-                    if platform.0 >= self.platforms.len() {
-                        return Err(format!("platform {platform} out of range"));
-                    }
-                    let live = match instance_state.get(name) {
-                        Some(NameState::Absent) => false,
-                        Some(NameState::Pending(_)) => true,
-                        None => self.instance_home.contains_key(name),
-                    };
-                    if live {
-                        return Err(format!("instance `{name}` already live"));
-                    }
-                    // Pre-flatten to catch cross-shard name collisions the
-                    // owning shard cannot see (it only knows its own set).
-                    if class.required.is_empty() {
-                        let mut builder = SystemBuilder::new();
-                        let class_idx = builder.add_class(class.clone());
-                        builder.instantiate(name.clone(), class_idx, *platform, *node);
-                        let options = FlattenOptions {
-                            external_stimuli: self.policy.external_stimuli,
-                        };
-                        if let Ok((subset, _)) =
-                            flatten_annotated(&builder.build(), &self.platforms, options)
-                        {
-                            for tx in subset.transactions() {
-                                let live = match tx_state.get(&tx.name) {
-                                    Some(NameState::Absent) => false,
-                                    Some(NameState::Pending(_)) => true,
-                                    None => self.txn_home.contains_key(&tx.name),
-                                };
-                                if live {
-                                    return Err(format!("transaction `{}` already live", tx.name));
-                                }
-                            }
-                            for tx in subset.transactions() {
-                                tx_state.insert(tx.name.clone(), NameState::Pending(i));
-                            }
-                        }
-                    }
-                    instance_state.insert(name.clone(), NameState::Pending(i));
-                    self.platform_keys(std::iter::once(platform.0))
-                }
-                AdmissionRequest::RemoveInstance { name } => match instance_state.get(name) {
-                    Some(NameState::Pending(add)) => {
-                        let cloned = keys[*add].clone();
-                        instance_state.insert(name.clone(), NameState::Absent);
-                        cloned
-                    }
-                    Some(NameState::Absent) => {
-                        return Err(format!("no instance named `{name}`"));
-                    }
-                    None => match self.instance_home.get(name) {
-                        Some(&slot) => {
-                            instance_state.insert(name.clone(), NameState::Absent);
-                            removed_instance_txns[i] = self.shards[slot]
-                                .as_ref()
-                                .expect("homed shard present")
-                                .core
-                                .transactions_of_instance(name);
-                            // The instance's flattened transactions depart
-                            // with it: their names are batch-locally absent
-                            // (so e.g. [RemoveInstance i, AddTransaction
-                            // "i.T"] resolves like sequential application).
-                            for txn in &removed_instance_txns[i] {
-                                tx_state.insert(txn.clone(), NameState::Absent);
-                            }
-                            vec![Key::Shard(slot)]
-                        }
-                        None => return Err(format!("no instance named `{name}`")),
-                    },
-                },
-            };
-            keys.push(request_keys);
-        }
-        Ok(Routed {
-            keys,
-            removed_instance_txns,
-        })
+    /// Unwraps into the shared-reference service (e.g. to hand it to
+    /// client threads).
+    pub fn into_service(self) -> SchedService {
+        self.service
     }
 
-    /// Deduplicated routing keys of a platform list.
-    fn platform_keys(&self, platforms: impl Iterator<Item = usize>) -> Vec<Key> {
-        let mut out: Vec<Key> = Vec::new();
-        for p in platforms {
-            let key = match self.platform_home.get(p).copied().flatten() {
-                Some(slot) => Key::Shard(slot),
-                None => Key::Free(p),
-            };
-            if !out.contains(&key) {
-                out.push(key);
-            }
-        }
-        out
+    /// See [`SchedService::snapshot`].
+    pub fn snapshot(&mut self) -> Result<crate::SnapshotInfo, EngineError> {
+        self.service.snapshot()
     }
-
-    // ------------------------------------------------------------------
-    // Grouping, merging, shard lifecycle
-    // ------------------------------------------------------------------
-
-    /// Unions the routing keys into connected groups, merges shards bridged
-    /// within a group, and allocates fresh shards for all-free groups.
-    /// Returns one `(target slot, member request indices)` per group, in
-    /// first-touch order.
-    fn form_groups(&mut self, keys: &[Vec<Key>]) -> Result<Vec<Group>, EngineError> {
-        let slots = self.shards.len();
-        let node = |key: &Key| match *key {
-            Key::Shard(s) => s,
-            Key::Free(p) => slots + p,
-        };
-        let mut uf = UnionFind::new(slots + self.platforms.len());
-        for request_keys in keys {
-            for key in &request_keys[1..] {
-                uf.union(node(&request_keys[0]), node(key));
-            }
-        }
-
-        struct Draft {
-            root: usize,
-            requests: Vec<usize>,
-            member_slots: Vec<usize>,
-        }
-        let mut drafts: Vec<Draft> = Vec::new();
-        for (i, request_keys) in keys.iter().enumerate() {
-            debug_assert!(!request_keys.is_empty(), "every request routes somewhere");
-            let root = uf.find(node(&request_keys[0]));
-            match drafts.iter_mut().find(|d| d.root == root) {
-                Some(draft) => draft.requests.push(i),
-                None => drafts.push(Draft {
-                    root,
-                    requests: vec![i],
-                    member_slots: Vec::new(),
-                }),
-            }
-        }
-        let mut referenced: Vec<usize> = keys
-            .iter()
-            .flatten()
-            .filter_map(|k| match k {
-                Key::Shard(s) => Some(*s),
-                Key::Free(_) => None,
-            })
-            .collect();
-        referenced.sort_unstable();
-        referenced.dedup();
-        for slot in referenced {
-            let root = uf.find(slot);
-            if let Some(draft) = drafts.iter_mut().find(|d| d.root == root) {
-                draft.member_slots.push(slot);
-            }
-        }
-
-        let mut groups = Vec::with_capacity(drafts.len());
-        for draft in drafts {
-            let slot = match draft.member_slots.split_first() {
-                Some((&target, rest)) => {
-                    for &loser in rest {
-                        let shard = self.shards[loser].take().expect("referenced shard present");
-                        self.shards[target]
-                            .as_mut()
-                            .expect("target shard present")
-                            .core
-                            .merge_from(shard.core)
-                            .map_err(EngineError::Internal)?;
-                        self.reassign_home(loser, target);
-                    }
-                    if let Some(target_shard) = self.shards[target].as_mut() {
-                        target_shard.schedulable = target_shard.core.schedulable();
-                    }
-                    target
-                }
-                None => {
-                    let empty = TransactionSet::new(self.platforms.clone(), Vec::new())
-                        .map_err(EngineError::Internal)?;
-                    let core = AdmissionController::new(
-                        empty,
-                        self.config.clone(),
-                        self.shard_policy.clone(),
-                    )
-                    .map_err(EngineError::Internal)?;
-                    self.allocate_slot(Shard {
-                        core,
-                        schedulable: true,
-                    })
-                }
-            };
-            groups.push(Group {
-                slot,
-                requests: draft.requests,
-            });
-        }
-        Ok(groups)
-    }
-
-    /// Points every home-map entry of `from` at `to` (after a merge).
-    fn reassign_home(&mut self, from: usize, to: usize) {
-        for home in self.platform_home.iter_mut().flatten() {
-            if *home == from {
-                *home = to;
-            }
-        }
-        for home in self.txn_home.values_mut() {
-            if *home == from {
-                *home = to;
-            }
-        }
-        for home in self.instance_home.values_mut() {
-            if *home == from {
-                *home = to;
-            }
-        }
-    }
-
-    /// Places a shard in the first vacant slot (or a new one).
-    fn allocate_slot(&mut self, shard: Shard) -> usize {
-        match self.shards.iter().position(Option::is_none) {
-            Some(slot) => {
-                self.shards[slot] = Some(shard);
-                slot
-            }
-            None => {
-                self.shards.push(Some(shard));
-                self.shards.len() - 1
-            }
-        }
-    }
-
-    /// Registers a shard's members in the home maps.
-    fn index_shard(&mut self, slot: usize, core: &AdmissionController) {
-        for tx in core.current_set().transactions() {
-            self.txn_home.insert(tx.name.clone(), slot);
-            for task in tx.tasks() {
-                self.platform_home[task.platform.0] = Some(slot);
-            }
-        }
-        for (_, instance) in core.system().instances() {
-            self.instance_home.insert(instance.name.clone(), slot);
-        }
-    }
-
-    /// Vacates touched slots whose shard ended the epoch with no live
-    /// transactions.
-    fn drop_empty_shards(&mut self, slots: impl Iterator<Item = usize>) {
-        for slot in slots {
-            let empty = self.shards[slot]
-                .as_ref()
-                .is_some_and(|s| s.core.current_set().transactions().is_empty());
-            if empty {
-                let retired = self.shards[slot].take().expect("checked above");
-                self.retire_stats(&retired.core);
-                for home in self.platform_home.iter_mut() {
-                    if *home == Some(slot) {
-                        *home = None;
-                    }
-                }
-            }
-        }
-    }
-
-    /// Banks a retiring shard's analysis counters into the router totals.
-    fn retire_stats(&mut self, core: &AdmissionController) {
-        let s = core.stats();
-        self.retired_stats.transactions_analyzed += s.transactions_analyzed;
-        self.retired_stats.analyses_avoided += s.analyses_avoided;
-        self.retired_stats.warm_epochs += s.warm_epochs;
-    }
-
-    /// Splits every touched shard back into island-group shards and
-    /// rebuilds the home maps for the affected slots. Transaction and
-    /// instance entries are overwritten member-by-member (departures were
-    /// already dropped by [`AdmissionRouter::unindex_departures`]); only
-    /// the platform homes need a clearing pass, and that is a plain vector
-    /// scan over the platform count, not the live set.
-    fn repartition(&mut self, touched: &[usize]) {
-        let affected: HashSet<usize> = touched.iter().copied().collect();
-        for home in self.platform_home.iter_mut() {
-            if home.is_some_and(|slot| affected.contains(&slot)) {
-                *home = None;
-            }
-        }
-        let mut slots: Vec<usize> = touched.to_vec();
-        slots.sort_unstable();
-        slots.dedup();
-        for slot in slots {
-            let Some(shard) = self.shards[slot].take() else {
-                continue;
-            };
-            if shard.core.current_set().transactions().is_empty() {
-                self.retire_stats(&shard.core);
-                continue; // slot stays vacant
-            }
-            let mut parts = shard.core.split_islands().into_iter();
-            if let Some(first) = parts.next() {
-                self.index_shard(slot, &first);
-                self.shards[slot] = Some(Shard {
-                    schedulable: first.schedulable(),
-                    core: first,
-                });
-            }
-            for part in parts {
-                let part_slot = match self.shards.iter().position(Option::is_none) {
-                    Some(vacant) => vacant,
-                    None => {
-                        self.shards.push(None);
-                        self.shards.len() - 1
-                    }
-                };
-                self.index_shard(part_slot, &part);
-                self.shards[part_slot] = Some(Shard {
-                    schedulable: part.schedulable(),
-                    core: part,
-                });
-            }
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Epoch finalization
-    // ------------------------------------------------------------------
-
-    /// Post-commit values of every platform retuned by the batch, in batch
-    /// order (read from the owning shard before any repartition).
-    fn capture_retunes(
-        &self,
-        batch: &[AdmissionRequest],
-        groups: &[Group],
-    ) -> Vec<(hsched_platform::PlatformId, Platform)> {
-        let mut out = Vec::new();
-        for (i, request) in batch.iter().enumerate() {
-            let AdmissionRequest::Retune { platform, .. } = request else {
-                continue;
-            };
-            let group = groups
-                .iter()
-                .find(|g| g.requests.contains(&i))
-                .expect("every request belongs to a group");
-            let shard = self.shards[group.slot].as_ref().expect("group slot live");
-            let value = shard.core.current_set().platforms()[*platform].clone();
-            out.push((*platform, value));
-        }
-        out
-    }
-
-    /// Drops the home/handle entries of everything the admitted batch
-    /// removed (O(batch), by name — never a map scan).
-    fn unindex_departures(
-        &mut self,
-        batch: &[AdmissionRequest],
-        removed_instance_txns: &[Vec<String>],
-    ) {
-        for (i, request) in batch.iter().enumerate() {
-            match request {
-                AdmissionRequest::RemoveTransaction { name } => {
-                    self.txn_home.remove(name);
-                    if let Some(id) = self.ids.remove(name) {
-                        self.names.remove(&id);
-                    }
-                }
-                AdmissionRequest::RemoveInstance { name } => {
-                    self.instance_home.remove(name);
-                    for txn in &removed_instance_txns[i] {
-                        self.txn_home.remove(txn);
-                        if let Some(id) = self.ids.remove(txn) {
-                            self.names.remove(&id);
-                        }
-                    }
-                }
-                _ => {}
-            }
-        }
-    }
-
-    /// Mints handles for the batch's surviving arrivals (after the home
-    /// maps settled) and returns them in batch order.
-    fn mint_arrival_ids(&mut self, batch: &[AdmissionRequest]) -> Vec<TxnId> {
-        let mut minted = Vec::new();
-        for request in batch {
-            match request {
-                AdmissionRequest::AddTransaction(tx)
-                    if self.txn_home.contains_key(&tx.name) && !self.ids.contains_key(&tx.name) =>
-                {
-                    minted.push(self.mint_id(&tx.name));
-                }
-                AdmissionRequest::AddInstance { name, .. } => {
-                    if let Some(&slot) = self.instance_home.get(name) {
-                        let txns = self.shards[slot]
-                            .as_ref()
-                            .expect("instance home live")
-                            .core
-                            .transactions_of_instance(name);
-                        for txn in txns {
-                            if !self.ids.contains_key(&txn) {
-                                minted.push(self.mint_id(&txn));
-                            }
-                        }
-                    }
-                }
-                _ => {}
-            }
-        }
-        minted
-    }
-
-    /// Mints the next stable handle for a live transaction name.
-    fn mint_id(&mut self, name: &str) -> TxnId {
-        self.next_id += 1;
-        let id = TxnId(self.next_id);
-        self.ids.insert(name.to_string(), id);
-        self.names.insert(id, name.to_string());
-        id
-    }
-
-    /// Aggregates the rejection reason of a multi-shard epoch: pure
-    /// overload rejections merge their platform lists (sorted by platform
-    /// index, like the single controller's global scan); otherwise the
-    /// earliest-routed rejecting shard's reason wins.
-    fn aggregate_reason(&self, groups: &[Group], outcomes: &[EpochOutcome]) -> RejectReason {
-        let rejecting: Vec<(usize, &RejectReason)> = groups
-            .iter()
-            .zip(outcomes)
-            .filter_map(|(g, o)| match &o.verdict {
-                Verdict::Rejected(reason) => Some((g.requests[0], reason)),
-                Verdict::Admitted => None,
-            })
-            .collect();
-        debug_assert!(!rejecting.is_empty());
-        if rejecting.len() > 1
-            && rejecting
-                .iter()
-                .all(|(_, r)| matches!(r, RejectReason::Overload { .. }))
-        {
-            let mut named: Vec<(usize, String)> = rejecting
-                .iter()
-                .flat_map(|(_, r)| match r {
-                    RejectReason::Overload { platforms } => platforms.clone(),
-                    _ => unreachable!(),
-                })
-                .map(|name| {
-                    let index = self
-                        .platforms
-                        .by_name(&name)
-                        .map(|(id, _)| id.0)
-                        .unwrap_or(usize::MAX);
-                    (index, name)
-                })
-                .collect();
-            named.sort();
-            return RejectReason::Overload {
-                platforms: named.into_iter().map(|(_, name)| name).collect(),
-            };
-        }
-        rejecting
-            .into_iter()
-            .min_by_key(|(first_request, _)| *first_request)
-            .map(|(_, reason)| reason.clone())
-            .expect("at least one rejecting shard")
-    }
-
-    /// Journals and accounts a rejected epoch, building the response.
-    fn finish_rejected(
-        &mut self,
-        batch: &[AdmissionRequest],
-        reason: RejectReason,
-        shards_touched: usize,
-    ) -> Result<EngineResponse, EngineError> {
-        if let Some(journal) = &mut self.journal {
-            journal.append(self.epoch, batch, false)?;
-        }
-        self.rejected_epochs += 1;
-        Ok(EngineResponse {
-            version: SCHEMA_VERSION,
-            epoch: self.epoch,
-            outcome: EpochOutcome {
-                epoch: self.epoch,
-                verdict: Verdict::Rejected(reason),
-                requests: batch.len(),
-                analyzed_transactions: 0,
-                total_transactions: self.live_transactions(),
-                islands: 0,
-                warm_started: false,
-            },
-            admitted: Vec::new(),
-            shards_touched,
-            shards_live: self.shard_count(),
-        })
-    }
-
-    // ------------------------------------------------------------------
-    // Observation
-    // ------------------------------------------------------------------
 
     /// Engine-level epochs committed (admitted + rejected).
     pub fn epoch(&self) -> u64 {
-        self.epoch
+        self.service.epoch()
     }
 
     /// Live island-group shards.
     pub fn shard_count(&self) -> usize {
-        self.shards.iter().flatten().count()
+        self.service.shard_count()
     }
 
     /// Live transactions across all shards.
     pub fn live_transactions(&self) -> usize {
-        self.shards
-            .iter()
-            .flatten()
-            .map(|s| s.core.current_set().transactions().len())
-            .sum()
+        self.service.live_transactions()
     }
 
     /// `true` when every shard's live set meets its deadlines.
     pub fn schedulable(&self) -> bool {
-        self.shards.iter().flatten().all(|s| s.schedulable)
+        self.service.schedulable()
     }
 
     /// The stable handle of a live transaction.
     pub fn resolve(&self, name: &str) -> Option<TxnId> {
-        self.ids.get(name).copied()
+        self.service.resolve(name)
     }
 
     /// The live transaction behind a handle.
-    pub fn name_of(&self, id: TxnId) -> Option<&str> {
-        self.names.get(&id).map(String::as_str)
+    pub fn name_of(&self, id: TxnId) -> Option<String> {
+        self.service.name_of(id)
     }
 
-    /// Assembles the live transaction set across shards (slot order —
-    /// deterministic, and reproduced exactly by a journal replay).
+    /// See [`SchedService::current_set`].
     pub fn current_set(&self) -> TransactionSet {
-        let transactions = self
-            .shards
-            .iter()
-            .flatten()
-            .flat_map(|s| s.core.current_set().transactions().iter().cloned())
-            .collect();
-        TransactionSet::new(self.platforms.clone(), transactions)
-            .expect("shard transactions reference the master platforms")
+        self.service.current_set()
     }
 
-    /// Assembles the component-system mirror across shards.
+    /// See [`SchedService::system`].
     pub fn system(&self) -> System {
-        let mut system = System::default();
-        for shard in self.shards.iter().flatten() {
-            let part = shard.core.system();
-            for instance in &part.instances {
-                let class = part.classes[instance.class].clone();
-                system.adopt_instance(class, instance.clone());
-            }
-        }
-        system
+        self.service.system()
     }
 
-    /// Assembles the cached per-transaction results into a global report
-    /// (index-aligned with [`AdmissionRouter::current_set`]). Exact for the
-    /// same reason sharding is: the cache is island-local.
+    /// See [`SchedService::report`].
     pub fn report(&self) -> SchedulabilityReport {
-        let parts: Vec<SchedulabilityReport> = self
-            .shards
-            .iter()
-            .flatten()
-            .map(|s| s.core.report())
-            .collect();
-        SchedulabilityReport::concat(parts.iter())
+        self.service.report()
     }
 
-    /// Router-level stats in the controller's shape: epoch counters are the
-    /// engine's, analysis counters sum over the shards.
-    pub fn stats(&self) -> hsched_admission::ControllerStats {
-        let mut stats = hsched_admission::ControllerStats {
-            epochs: self.epoch,
-            admitted: self.admitted_epochs,
-            rejected: self.rejected_epochs,
-            transactions_analyzed: self.retired_stats.transactions_analyzed,
-            analyses_avoided: self.retired_stats.analyses_avoided,
-            warm_epochs: self.retired_stats.warm_epochs,
-        };
-        for shard in self.shards.iter().flatten() {
-            let s = shard.core.stats();
-            stats.transactions_analyzed += s.transactions_analyzed;
-            stats.analyses_avoided += s.analyses_avoided;
-            stats.warm_epochs += s.warm_epochs;
-        }
-        stats
+    /// See [`SchedService::stats`].
+    pub fn stats(&self) -> ControllerStats {
+        self.service.stats()
     }
 
-    /// FNV-1a digest of the canonical engine state (epoch, live set,
-    /// system mirror, cached report, handle table). Two engines with equal
-    /// digests are byte-identical in every observable; `hsched admit
-    /// --journal` and `hsched replay` both print it so a recovery can be
-    /// verified with a string compare.
+    /// See [`SchedService::state_digest`].
     pub fn state_digest(&self) -> String {
-        format!("{:016x}", fnv1a_64(self.canonical_state().as_bytes()))
+        self.service.state_digest()
     }
-
-    /// Deterministic rendering of every observable of the engine.
-    fn canonical_state(&self) -> String {
-        use std::fmt::Write as _;
-        let mut out = String::new();
-        let _ = writeln!(
-            out,
-            "epoch={} admitted={} rejected={} next_id={}",
-            self.epoch, self.admitted_epochs, self.rejected_epochs, self.next_id
-        );
-        for (id, platform) in self.platforms.iter() {
-            let _ = writeln!(out, "platform {id} {platform}");
-        }
-        let set = self.current_set();
-        let report = self.report();
-        for (i, tx) in set.transactions().iter().enumerate() {
-            let id = self
-                .ids
-                .get(&tx.name)
-                .map(|id| id.to_string())
-                .unwrap_or_else(|| "-".into());
-            let _ = writeln!(
-                out,
-                "txn {}|{}|{}|{}|{id}",
-                tx.name, tx.period, tx.deadline, tx.release_jitter
-            );
-            for (j, task) in tx.tasks().iter().enumerate() {
-                let r = &report.tasks[i][j];
-                let _ = writeln!(
-                    out,
-                    "  task {}|{}|{}|{}|{}|{:?} -> R={} Rb={} phi={} J={}",
-                    task.name,
-                    task.wcet,
-                    task.bcet,
-                    task.priority,
-                    task.platform,
-                    task.kind,
-                    r.response,
-                    r.best_response,
-                    r.phi,
-                    r.jitter
-                );
-            }
-            let v = &report.verdicts[i];
-            let _ = writeln!(
-                out,
-                "  verdict {}|{}|{}",
-                v.end_to_end, v.deadline, v.schedulable
-            );
-        }
-        let system = self.system();
-        for instance in &system.instances {
-            let _ = writeln!(
-                out,
-                "instance {}|{}|{}|{}",
-                instance.name,
-                system.classes[instance.class].name,
-                instance.platform,
-                instance.node.0
-            );
-        }
-        let _ = writeln!(
-            out,
-            "converged={} diverged={}",
-            report.converged, report.diverged
-        );
-        out
-    }
-}
-
-/// One routed group: the target shard slot and the batch indices of its
-/// sub-batch (in batch order).
-struct Group {
-    slot: usize,
-    requests: Vec<usize>,
-}
-
-/// Routing output: per-request keys plus the pre-captured transaction
-/// names of removed instances (needed for handle cleanup after commit).
-struct Routed {
-    keys: Vec<Vec<Key>>,
-    removed_instance_txns: Vec<Vec<String>>,
 }

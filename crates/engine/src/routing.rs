@@ -1,0 +1,468 @@
+//! The routing front end of [`crate::SchedService`]: resolves each request
+//! of a batch to the island shards it touches (with batch-local name
+//! simulation, so `[remove X, add X]` resolves like sequential
+//! application), detects conflicts with in-flight epochs, and plans/applies
+//! the group structure (merging shards bridged within a batch, allocating
+//! fresh shards for all-free groups).
+//!
+//! Everything here runs under the service lock; the conflict rules and the
+//! write-path gating are documented in the service module docs.
+
+use crate::envelope::EngineError;
+use crate::service::{Core, Shard, Slot};
+use hsched_admission::{AdmissionController, AdmissionRequest, UnionFind};
+use hsched_model::SystemBuilder;
+use hsched_transaction::{flatten_annotated, FlattenOptions, TransactionSet};
+use std::collections::{HashMap, HashSet};
+
+/// A routing key of one request: either an existing shard or a platform no
+/// shard currently uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Key {
+    Shard(usize),
+    Free(usize),
+}
+
+/// One routed group: the target shard slot and the batch indices of its
+/// sub-batch (in batch order).
+#[derive(Debug)]
+pub(crate) struct Group {
+    pub(crate) slot: usize,
+    pub(crate) requests: Vec<usize>,
+}
+
+/// Routing result of one batch.
+pub(crate) struct Routed {
+    /// Per-request routing keys.
+    pub(crate) keys: Vec<Vec<Key>>,
+    /// Per request: the flattened transaction names of a removed instance
+    /// (needed for handle cleanup after commit).
+    pub(crate) removed_instance_txns: Vec<Vec<String>>,
+    /// Every transaction/instance name the batch mentions (validates or
+    /// mutates) — the epoch's name-conflict claim set.
+    pub(crate) mentioned: Vec<String>,
+    /// Free platforms the batch claims (no shard owns them yet).
+    pub(crate) free_platforms: Vec<usize>,
+}
+
+/// What routing decided.
+pub(crate) enum RouteOutcome {
+    /// The batch routes cleanly; shards can be checked out.
+    Routed(Routed),
+    /// The batch conflicts with an in-flight epoch (shared shard, claimed
+    /// free platform, or mentioned name) — wait and retry.
+    Blocked,
+    /// The batch is structurally invalid against the current state — the
+    /// epoch is consumed as a structural rejection.
+    Structural(String),
+}
+
+/// Batch-local liveness override of one name.
+enum NameState {
+    Absent,
+    Pending(usize),
+}
+
+/// A planned routing group before any topology mutation: the member shard
+/// slots (first-reference order) and the request indices. No member slots
+/// means the group lands entirely on free platforms (a fresh shard).
+#[derive(Debug)]
+pub(crate) struct GroupDraft {
+    pub(crate) requests: Vec<usize>,
+    pub(crate) member_slots: Vec<usize>,
+}
+
+impl GroupDraft {
+    /// Whether realizing this draft changes shard topology (merge or fresh
+    /// shard) — the write path.
+    pub(crate) fn changes_topology(&self) -> bool {
+        self.member_slots.len() != 1
+    }
+}
+
+impl Core {
+    /// Resolves each request of the batch to routing keys, simulating
+    /// batch-local name liveness, and collecting the conflict claim sets.
+    pub(crate) fn route(&self, batch: &[AdmissionRequest]) -> RouteOutcome {
+        let mut tx_state: HashMap<String, NameState> = HashMap::new();
+        let mut instance_state: HashMap<String, NameState> = HashMap::new();
+        let mut keys: Vec<Vec<Key>> = Vec::with_capacity(batch.len());
+        let mut removed_instance_txns: Vec<Vec<String>> = vec![Vec::new(); batch.len()];
+        let mut mentioned: Vec<String> = Vec::new();
+        let mut free_platforms: Vec<usize> = Vec::new();
+
+        // A name an in-flight epoch mentions may change liveness when that
+        // epoch settles; validating against it now would not replay
+        // serially — wait instead.
+        macro_rules! claim_name {
+            ($name:expr) => {{
+                let name: &str = $name;
+                if self.pending_names_contains(name) {
+                    return RouteOutcome::Blocked;
+                }
+                mentioned.push(name.to_string());
+            }};
+        }
+
+        for (i, request) in batch.iter().enumerate() {
+            let request_keys = match request {
+                AdmissionRequest::AddTransaction(tx) => {
+                    claim_name!(&tx.name);
+                    for task in tx.tasks() {
+                        if task.platform.0 >= self.platforms.len() {
+                            return RouteOutcome::Structural(format!(
+                                "task `{}` maps to unknown platform {}",
+                                task.name, task.platform
+                            ));
+                        }
+                    }
+                    let live = match tx_state.get(&tx.name) {
+                        Some(NameState::Absent) => false,
+                        Some(NameState::Pending(_)) => true,
+                        None => self.txn_home.contains_key(&tx.name),
+                    };
+                    if live {
+                        return RouteOutcome::Structural(format!(
+                            "transaction `{}` already live",
+                            tx.name
+                        ));
+                    }
+                    tx_state.insert(tx.name.clone(), NameState::Pending(i));
+                    match self.platform_keys(tx.tasks().iter().map(|t| t.platform.0)) {
+                        Some(keys) => keys,
+                        None => return RouteOutcome::Blocked,
+                    }
+                }
+                AdmissionRequest::RemoveTransaction { name } => {
+                    claim_name!(name);
+                    match tx_state.get(name) {
+                        Some(NameState::Pending(add)) => {
+                            let cloned = keys[*add].clone();
+                            tx_state.insert(name.clone(), NameState::Absent);
+                            cloned
+                        }
+                        Some(NameState::Absent) => {
+                            return RouteOutcome::Structural(format!(
+                                "no transaction named `{name}`"
+                            ));
+                        }
+                        None => match self.txn_home.get(name) {
+                            Some(&slot) => {
+                                if self.slots[slot].is_busy() {
+                                    return RouteOutcome::Blocked;
+                                }
+                                tx_state.insert(name.clone(), NameState::Absent);
+                                vec![Key::Shard(slot)]
+                            }
+                            None => {
+                                return RouteOutcome::Structural(format!(
+                                    "no transaction named `{name}`"
+                                ));
+                            }
+                        },
+                    }
+                }
+                AdmissionRequest::Retune { platform, .. } => {
+                    if platform.0 >= self.platforms.len() {
+                        return RouteOutcome::Structural(format!(
+                            "platform {platform} out of range"
+                        ));
+                    }
+                    match self.platform_keys(std::iter::once(platform.0)) {
+                        Some(keys) => keys,
+                        None => return RouteOutcome::Blocked,
+                    }
+                }
+                AdmissionRequest::AddInstance {
+                    name,
+                    class,
+                    platform,
+                    node,
+                } => {
+                    claim_name!(name);
+                    if platform.0 >= self.platforms.len() {
+                        return RouteOutcome::Structural(format!(
+                            "platform {platform} out of range"
+                        ));
+                    }
+                    let live = match instance_state.get(name) {
+                        Some(NameState::Absent) => false,
+                        Some(NameState::Pending(_)) => true,
+                        None => self.instance_home.contains_key(name),
+                    };
+                    if live {
+                        return RouteOutcome::Structural(format!("instance `{name}` already live"));
+                    }
+                    // Pre-flatten to catch cross-shard name collisions the
+                    // owning shard cannot see (it only knows its own set).
+                    if class.required.is_empty() {
+                        let mut builder = SystemBuilder::new();
+                        let class_idx = builder.add_class(class.clone());
+                        builder.instantiate(name.clone(), class_idx, *platform, *node);
+                        let options = FlattenOptions {
+                            external_stimuli: self.policy.external_stimuli,
+                        };
+                        if let Ok((subset, _)) =
+                            flatten_annotated(&builder.build(), &self.platforms, options)
+                        {
+                            for tx in subset.transactions() {
+                                claim_name!(&tx.name);
+                                let live = match tx_state.get(&tx.name) {
+                                    Some(NameState::Absent) => false,
+                                    Some(NameState::Pending(_)) => true,
+                                    None => self.txn_home.contains_key(&tx.name),
+                                };
+                                if live {
+                                    return RouteOutcome::Structural(format!(
+                                        "transaction `{}` already live",
+                                        tx.name
+                                    ));
+                                }
+                            }
+                            for tx in subset.transactions() {
+                                tx_state.insert(tx.name.clone(), NameState::Pending(i));
+                            }
+                        }
+                    }
+                    instance_state.insert(name.clone(), NameState::Pending(i));
+                    match self.platform_keys(std::iter::once(platform.0)) {
+                        Some(keys) => keys,
+                        None => return RouteOutcome::Blocked,
+                    }
+                }
+                AdmissionRequest::RemoveInstance { name } => {
+                    claim_name!(name);
+                    match instance_state.get(name) {
+                        Some(NameState::Pending(add)) => {
+                            let cloned = keys[*add].clone();
+                            instance_state.insert(name.clone(), NameState::Absent);
+                            cloned
+                        }
+                        Some(NameState::Absent) => {
+                            return RouteOutcome::Structural(format!("no instance named `{name}`"));
+                        }
+                        None => match self.instance_home.get(name) {
+                            Some(&slot) => {
+                                let Some(shard) = self.slots[slot].as_idle() else {
+                                    return RouteOutcome::Blocked;
+                                };
+                                instance_state.insert(name.clone(), NameState::Absent);
+                                let members = shard.core.transactions_of_instance(name);
+                                for txn in &members {
+                                    claim_name!(txn);
+                                    // The instance's flattened transactions
+                                    // depart with it: batch-locally absent.
+                                    tx_state.insert(txn.clone(), NameState::Absent);
+                                }
+                                removed_instance_txns[i] = members;
+                                vec![Key::Shard(slot)]
+                            }
+                            None => {
+                                return RouteOutcome::Structural(format!(
+                                    "no instance named `{name}`"
+                                ));
+                            }
+                        },
+                    }
+                }
+            };
+            for key in &request_keys {
+                if let Key::Free(p) = key {
+                    if !free_platforms.contains(p) {
+                        free_platforms.push(*p);
+                    }
+                }
+            }
+            keys.push(request_keys);
+        }
+        mentioned.sort_unstable();
+        mentioned.dedup();
+        RouteOutcome::Routed(Routed {
+            keys,
+            removed_instance_txns,
+            mentioned,
+            free_platforms,
+        })
+    }
+
+    /// Deduplicated routing keys of a platform list; `None` when a key
+    /// conflicts with an in-flight epoch (busy shard / claimed platform).
+    fn platform_keys(&self, platforms: impl Iterator<Item = usize>) -> Option<Vec<Key>> {
+        let mut out: Vec<Key> = Vec::new();
+        for p in platforms {
+            let key = match self.platform_home.get(p).copied().flatten() {
+                Some(slot) => {
+                    if self.slots[slot].is_busy() {
+                        return None;
+                    }
+                    Key::Shard(slot)
+                }
+                None => {
+                    if self.pending_free_contains(p) {
+                        return None;
+                    }
+                    Key::Free(p)
+                }
+            };
+            if !out.contains(&key) {
+                out.push(key);
+            }
+        }
+        Some(out)
+    }
+
+    /// The platforms of every island the routed batch touches (its touched
+    /// shards' platform homes plus the claimed free platforms) — the
+    /// clearing scope of the numeric-parity poison map.
+    pub(crate) fn touched_platform_set(&self, keys: &[Vec<Key>]) -> HashSet<usize> {
+        let mut slots: HashSet<usize> = HashSet::new();
+        let mut touched: HashSet<usize> = HashSet::new();
+        for key in keys.iter().flatten() {
+            match key {
+                Key::Shard(slot) => {
+                    slots.insert(*slot);
+                }
+                Key::Free(p) => {
+                    touched.insert(*p);
+                }
+            }
+        }
+        for (p, home) in self.platform_home.iter().enumerate() {
+            if home.is_some_and(|slot| slots.contains(&slot)) {
+                touched.insert(p);
+            }
+        }
+        touched
+    }
+
+    /// Unions the routing keys into connected groups (pure — no topology
+    /// mutation). Returns one draft per group, in first-touch order.
+    pub(crate) fn plan_groups(&self, keys: &[Vec<Key>]) -> Vec<GroupDraft> {
+        let slots = self.slots.len();
+        let node = |key: &Key| match *key {
+            Key::Shard(s) => s,
+            Key::Free(p) => slots + p,
+        };
+        let mut uf = UnionFind::new(slots + self.platforms.len());
+        for request_keys in keys {
+            for key in &request_keys[1..] {
+                uf.union(node(&request_keys[0]), node(key));
+            }
+        }
+
+        struct Draft {
+            root: usize,
+            requests: Vec<usize>,
+        }
+        let mut drafts: Vec<Draft> = Vec::new();
+        for (i, request_keys) in keys.iter().enumerate() {
+            debug_assert!(!request_keys.is_empty(), "every request routes somewhere");
+            let root = uf.find(node(&request_keys[0]));
+            match drafts.iter_mut().find(|d| d.root == root) {
+                Some(draft) => draft.requests.push(i),
+                None => drafts.push(Draft {
+                    root,
+                    requests: vec![i],
+                }),
+            }
+        }
+        let mut referenced: Vec<usize> = keys
+            .iter()
+            .flatten()
+            .filter_map(|k| match k {
+                Key::Shard(s) => Some(*s),
+                Key::Free(_) => None,
+            })
+            .collect();
+        referenced.sort_unstable();
+        referenced.dedup();
+        let mut out: Vec<GroupDraft> = drafts
+            .iter()
+            .map(|d| GroupDraft {
+                requests: d.requests.clone(),
+                member_slots: Vec::new(),
+            })
+            .collect();
+        for slot in referenced {
+            let root = uf.find(slot);
+            if let Some(at) = drafts.iter().position(|d| d.root == root) {
+                out[at].member_slots.push(slot);
+            }
+        }
+        out
+    }
+
+    /// Realizes the planned groups: merges shards bridged within a group
+    /// (cache-preserving concatenation — the merged island is re-analyzed
+    /// by the commit anyway, exactly as the single controller would) and
+    /// allocates fresh shards for all-free groups. Topology-changing
+    /// drafts only run on the write path (no epoch in flight), so slot
+    /// choices stay deterministic in ticket order.
+    pub(crate) fn apply_groups(
+        &mut self,
+        drafts: Vec<GroupDraft>,
+    ) -> Result<Vec<Group>, EngineError> {
+        let mut groups = Vec::with_capacity(drafts.len());
+        for draft in drafts {
+            let slot = match draft.member_slots.split_first() {
+                Some((&target, rest)) => {
+                    if !rest.is_empty() {
+                        let Slot::Idle(mut merged) =
+                            std::mem::replace(&mut self.slots[target], Slot::Busy)
+                        else {
+                            return Err(EngineError::Internal(
+                                "merge target not idle at reserve".to_string(),
+                            ));
+                        };
+                        self.sync_shard_platforms(&mut merged)?;
+                        for &loser in rest {
+                            let Slot::Idle(mut eaten) =
+                                std::mem::replace(&mut self.slots[loser], Slot::Vacant)
+                            else {
+                                return Err(EngineError::Internal(
+                                    "merge loser not idle at reserve".to_string(),
+                                ));
+                            };
+                            self.sync_shard_platforms(&mut eaten)?;
+                            merged
+                                .core
+                                .merge_from(eaten.core)
+                                .map_err(EngineError::Internal)?;
+                            self.reassign_home(loser, target);
+                            self.unsched.remove(&loser);
+                        }
+                        merged.schedulable = merged.core.schedulable();
+                        if merged.schedulable {
+                            self.unsched.remove(&target);
+                        } else {
+                            self.unsched.insert(target, merged.core.misses());
+                        }
+                        self.slots[target] = Slot::Idle(merged);
+                    }
+                    target
+                }
+                None => {
+                    let empty = TransactionSet::new(self.platforms.clone(), Vec::new())
+                        .map_err(EngineError::Internal)?;
+                    let core = AdmissionController::new(
+                        empty,
+                        self.config.clone(),
+                        self.shard_policy.clone(),
+                    )
+                    .map_err(EngineError::Internal)?;
+                    let version = self.platforms_version();
+                    self.allocate_slot(Shard {
+                        core,
+                        schedulable: true,
+                        platforms_version: version,
+                    })
+                }
+            };
+            groups.push(Group {
+                slot,
+                requests: draft.requests,
+            });
+        }
+        Ok(groups)
+    }
+}

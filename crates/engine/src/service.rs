@@ -1,0 +1,1628 @@
+//! The shared-reference admission service: many client threads submit
+//! epochs through `&self`, disjoint-island batches commit truly
+//! concurrently, and the write-ahead journal stays byte-identical to a
+//! serial replay.
+//!
+//! # Why sharding is exact
+//!
+//! Interference cannot cross the connected components ("islands") of the
+//! transaction–platform graph — a task is only delayed by tasks on its own
+//! platform, and jitters only propagate within a transaction (the PR-2
+//! dirty-tracking argument). A shard that owns a whole island group
+//! therefore computes *exactly* the numbers a single global controller
+//! would: the partition changes scheduling of work, never results.
+//!
+//! # The concurrency protocol
+//!
+//! Every epoch passes through three phases:
+//!
+//! 1. **Reserve** — under the routing-table lock: the batch is routed to
+//!    its shard slots (batch-local name simulation included), checked for
+//!    conflicts against in-flight epochs, and the touched shard
+//!    controllers are checked out of their slots *atomically, in stable
+//!    slot order* together with the epoch's **ticket** (an atomic sequence
+//!    number). Because a ticket is only issued once every touched shard
+//!    was acquired, an earlier-ticketed epoch can never wait on a
+//!    later-ticketed one — the classic two-phase total-order argument, so
+//!    cross-shard batches stay atomic and deadlock-free.
+//! 2. **Analyze** — no lock held: the checked-out shards commit their
+//!    sub-batches (concurrently across client threads *and* across the
+//!    groups of one batch). This is where the analysis time goes, and it
+//!    fully overlaps between clients on disjoint islands.
+//! 3. **Settle** — strictly in ticket order: the cross-shard admission
+//!    rule is evaluated against the service-wide state, routing tables and
+//!    handle maps are updated, shards are returned (split back per island
+//!    when departures drifted them apart), and the epoch's record is
+//!    appended to the journal. Settling in ticket order makes the journal
+//!    a *serialization* of the concurrent history: replaying it epoch by
+//!    epoch through a single-threaded engine reproduces verdicts and state
+//!    byte-identically (the linearizability property suite drives N client
+//!    threads and asserts exactly this).
+//!
+//! Journal `fsync`s are group-committed: the record is written under the
+//! lock (keeping ticket order), but the `sync_data` happens outside it,
+//! and one fsync covers every record written before it started — a
+//! response still never returns before its own record is durable.
+//!
+//! ## Conflicts and the write path
+//!
+//! Two in-flight epochs conflict when they touch the same shard, claim the
+//! same free platform, or *mention* the same transaction/instance name
+//! (validation against a name whose liveness an in-flight epoch may change
+//! must wait for that epoch's outcome — otherwise the journal would not
+//! replay serially). Conflicting submissions simply wait; disjoint ones
+//! run concurrently. Epochs that must *change topology* at routing time —
+//! merging shards bridged by an arrival, or creating a shard on free
+//! platforms — take the **write path**: they drain all in-flight epochs
+//! first (a fairness gate holds new reservations off while a writer
+//! waits), keeping slot assignment deterministic in ticket order, which
+//! the state digest depends on. Splits after departures happen at settle
+//! time, which is already serialized.
+//!
+//! # Equivalence envelope
+//!
+//! The service matches the single-controller verdict and post-state
+//! exactly on transaction-level traffic, including the cross-island
+//! numeric parity: a service-wide utilization poison map reproduces the
+//! single controller's global checked utilization scan (whose exact
+//! arithmetic can overflow on islands the batch never touches), so
+//! overflow-boundary scenarios reject identically. One deliberate,
+//! documented relaxation remains: rejection *reasons* aggregate misses and
+//! overloads in shard-slot order rather than global set order.
+
+use crate::digest::fnv1a_64;
+use crate::envelope::{
+    EngineError, EngineOp, EngineRequest, EngineResponse, TxnId, MIN_SCHEMA_VERSION, SCHEMA_VERSION,
+};
+use crate::journal::{JournalStream, JournalWriter};
+use crate::routing::{Group, GroupDraft, RouteOutcome};
+use crate::snapshot::{self, Snapshot};
+use hsched_admission::{
+    AdmissionController, AdmissionPolicy, AdmissionRequest, ControllerStats, EpochOutcome,
+    RejectReason, Verdict,
+};
+use hsched_analysis::{parallel_map, AnalysisConfig, SchedulabilityReport};
+use hsched_model::System;
+use hsched_numeric::Rational;
+use hsched_platform::PlatformSet;
+use hsched_transaction::TransactionSet;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::path::Path;
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// One island-group shard: a full admission controller over the shard's
+/// transactions (with the complete platform set, so `PlatformId`s stay
+/// global) plus its cached schedulability flag.
+#[derive(Debug)]
+pub(crate) struct Shard {
+    pub(crate) core: AdmissionController,
+    pub(crate) schedulable: bool,
+    /// The master-platform version this shard's platform-set copy
+    /// reflects (see [`Core::platforms_version`]); checkout re-syncs only
+    /// when stale, so retune-free epochs pay nothing.
+    pub(crate) platforms_version: u64,
+}
+
+/// One shard slot of the service. `Busy` means an in-flight epoch has the
+/// shard checked out — the lock-per-shard state, held from reserve to
+/// settle.
+///
+/// The variant size skew is deliberate: the slot table is small (one entry
+/// per island group) and keeping shards inline avoids a pointer chase on
+/// every checkout.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub(crate) enum Slot {
+    /// No shard lives here (reused first by allocation).
+    Vacant,
+    /// Shard at rest, available for checkout.
+    Idle(Shard),
+    /// Shard checked out by an in-flight epoch.
+    Busy,
+}
+
+impl Slot {
+    pub(crate) fn is_vacant(&self) -> bool {
+        matches!(self, Slot::Vacant)
+    }
+
+    pub(crate) fn is_busy(&self) -> bool {
+        matches!(self, Slot::Busy)
+    }
+
+    pub(crate) fn as_idle(&self) -> Option<&Shard> {
+        match self {
+            Slot::Idle(shard) => Some(shard),
+            _ => None,
+        }
+    }
+}
+
+/// Everything behind the service's lock: routing tables, shard slots,
+/// epoch sequencing, and journal bookkeeping. Field-level invariants are
+/// documented where subtle; the protocol lives in the module docs.
+#[derive(Debug)]
+pub(crate) struct Core {
+    /// Slot-stable shard table.
+    pub(crate) slots: Vec<Slot>,
+    /// Platform index → owning shard slot (`None` = no shard uses it).
+    pub(crate) platform_home: Vec<Option<usize>>,
+    /// Live transaction name → shard slot.
+    pub(crate) txn_home: HashMap<String, usize>,
+    /// Live component-instance name → shard slot.
+    pub(crate) instance_home: HashMap<String, usize>,
+    /// Live transaction name → stable handle.
+    pub(crate) ids: HashMap<String, TxnId>,
+    /// Stable handle → live transaction name.
+    pub(crate) names: HashMap<TxnId, String>,
+    pub(crate) next_id: u64,
+    /// Last epoch ticket issued (reserve-time).
+    pub(crate) issued: u64,
+    /// Last ticket fully settled. `settled == issued` ⟺ no epoch in
+    /// flight ⟺ no `Busy` slot.
+    pub(crate) settled: u64,
+    pub(crate) admitted_epochs: u64,
+    pub(crate) rejected_epochs: u64,
+    /// Analysis counters of shards that have since been retired (island
+    /// emptied, slot vacated) — kept so [`SchedService::stats`] stays
+    /// cumulative like the single controller's.
+    pub(crate) retired_stats: ControllerStats,
+    /// Master platform copy (kept in sync with admitted retunes); shard
+    /// copies are re-synced lazily at checkout.
+    pub(crate) platforms: PlatformSet,
+    pub(crate) config: AnalysisConfig,
+    pub(crate) policy: AdmissionPolicy,
+    /// Shard-internal policy: islands are the service's parallel grain, so
+    /// shards analyze sequentially inside.
+    pub(crate) shard_policy: AdmissionPolicy,
+    pub(crate) journal: Option<JournalWriter>,
+    /// Last ticket whose record is known durable (group commit).
+    synced: u64,
+    /// A thread is currently running `sync_data` outside the lock.
+    syncing: bool,
+    /// Sticky journal-sync failure: once a group-commit fsync fails, no
+    /// later epoch may report durability (see `sync_journal`).
+    sync_error: Option<String>,
+    /// Names (transactions + instances, including flattened members)
+    /// mentioned by in-flight epochs — the name-conflict set.
+    pending_names: HashSet<String>,
+    /// Free platforms claimed by in-flight epochs (their shard membership
+    /// is only indexed at settle).
+    pending_free: HashSet<usize>,
+    /// Write-path epochs waiting for the in-flight set to drain; while
+    /// nonzero, new reservations hold off (fairness gate).
+    writers_waiting: usize,
+    /// Monotone version of the master platform set (bumped per admitted
+    /// retune); shards carry the version they last synced against.
+    platforms_version: u64,
+    /// Pipeline depth bound: at most this many epochs in flight. Keeps a
+    /// small machine from timeslicing a pile of analyses (reserve applies
+    /// backpressure instead) while still overlapping analysis with journal
+    /// syncs; sized to the host's parallelism by default.
+    max_inflight: u64,
+    /// At-rest unschedulable shards: slot → cached miss list. Maintained
+    /// at settle (and seed/merge) so the cross-shard admission rule can be
+    /// evaluated without touching foreign shards.
+    pub(crate) unsched: BTreeMap<usize, Vec<String>>,
+    /// Cross-island numeric parity (see module docs): platform index →
+    /// error message of the global utilization sum. Non-empty entries on
+    /// platforms a batch does not touch reject the epoch with
+    /// [`RejectReason::Numeric`], exactly as the single controller's
+    /// global scan would.
+    pub(crate) util_poison: BTreeMap<usize, String>,
+}
+
+/// A granted reservation: the epoch's ticket plus everything checked out
+/// at reserve time.
+struct Reservation {
+    ticket: u64,
+    /// One per routed group: target slot + request indices (batch order).
+    groups: Vec<Group>,
+    /// Checked-out shards, aligned with `groups`.
+    shards: Vec<Shard>,
+    /// Per request: flattened transaction names of a removed instance.
+    removed_instance_txns: Vec<Vec<String>>,
+    claimed_names: Vec<String>,
+    claimed_free: Vec<usize>,
+    /// Platforms of every touched island (poison accounting).
+    touched_platforms: Vec<usize>,
+    /// Rejection decided at reserve time (structural / numeric parity):
+    /// the epoch skips analysis and settles straight to a rejection.
+    early: Option<RejectReason>,
+    /// Worker threads for this epoch's group commits (from the policy).
+    island_threads: usize,
+}
+
+/// A reservation attempt's outcome.
+enum Reserve {
+    /// Ticket issued; proceed to analyze.
+    Ready(Reservation),
+    /// Pipeline at depth bound — wait on the capacity queue.
+    AtCapacity,
+    /// Conflict with an in-flight epoch (or writer fairness) — wait on the
+    /// conflict queue.
+    Conflicted,
+}
+
+/// Epoch outcome handed from the analyze phase to settle.
+struct Analyzed {
+    outcomes: Vec<EpochOutcome>,
+    shards: Vec<Shard>,
+}
+
+/// What [`SchedService::snapshot`] did: the epoch the snapshot captured,
+/// its state digest (also recorded in the block), and the journal size
+/// after truncation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotInfo {
+    /// Epoch ticket the snapshot captured (records resume at `epoch + 1`).
+    pub epoch: u64,
+    /// State digest of the captured engine (replay re-verifies it).
+    pub digest: String,
+    /// Journal bytes after compaction (header + snapshot block).
+    pub compacted_bytes: u64,
+}
+
+/// The concurrent admission service (see the module docs).
+///
+/// All methods take `&self`; the service is `Send + Sync` and is driven
+/// from as many client threads as desired. The single-threaded
+/// [`crate::AdmissionRouter`] wrapper preserves the PR-3 exclusive-borrow
+/// API on top of this type.
+#[derive(Debug)]
+pub struct SchedService {
+    core: Mutex<Core>,
+    /// Settle-order and quiesce waiters (notified when `settled` advances).
+    turn: Condvar,
+    /// Reserve waiters blocked purely on the pipeline-depth bound —
+    /// homogeneous, so each settle wakes exactly one (no thundering herd).
+    capacity: Condvar,
+    /// Reserve waiters blocked on a conflict (shared shard, claimed name
+    /// or platform, writer fairness) — rare; notified broadly on settle.
+    conflict: Condvar,
+    /// Group-commit waiters (notified when a journal sync completes).
+    synced_cv: Condvar,
+}
+
+/// Compile-time audit: the whole service must be shareable across client
+/// threads (and each checked-out shard movable into one).
+const _: () = {
+    const fn assert_sync<T: Send + Sync>() {}
+    assert_sync::<SchedService>();
+};
+
+impl SchedService {
+    /// Builds a service over an already-flattened transaction set: one full
+    /// seed analysis (per island, via a temporary single controller), then
+    /// the live set is split into island-group shards and every seeded
+    /// transaction gets a stable [`TxnId`] in set order.
+    ///
+    /// Transaction names must be unique — they are the name-addressed half
+    /// of the service API.
+    pub fn new(
+        set: TransactionSet,
+        config: AnalysisConfig,
+        policy: AdmissionPolicy,
+    ) -> Result<SchedService, EngineError> {
+        let mut seen = HashSet::new();
+        for tx in set.transactions() {
+            if !seen.insert(tx.name.as_str()) {
+                return Err(EngineError::Seed(format!(
+                    "duplicate transaction name `{}`",
+                    tx.name
+                )));
+            }
+        }
+        let shard_policy = AdmissionPolicy {
+            island_threads: 1,
+            ..policy.clone()
+        };
+        let platforms = set.platforms().clone();
+        let util_poison = util_poison_scan(&set);
+        let seed_names: Vec<String> = set.transactions().iter().map(|t| t.name.clone()).collect();
+        let seed = AdmissionController::new(set, config.clone(), shard_policy.clone())
+            .map_err(EngineError::Seed)?;
+
+        let mut core = Core {
+            slots: Vec::new(),
+            platform_home: vec![None; platforms.len()],
+            txn_home: HashMap::new(),
+            instance_home: HashMap::new(),
+            ids: HashMap::new(),
+            names: HashMap::new(),
+            next_id: 0,
+            issued: 0,
+            settled: 0,
+            admitted_epochs: 0,
+            rejected_epochs: 0,
+            retired_stats: ControllerStats::default(),
+            platforms,
+            config,
+            policy,
+            shard_policy,
+            journal: None,
+            synced: 0,
+            syncing: false,
+            sync_error: None,
+            pending_names: HashSet::new(),
+            pending_free: HashSet::new(),
+            writers_waiting: 0,
+            platforms_version: 0,
+            max_inflight: default_max_inflight(),
+            unsched: BTreeMap::new(),
+            util_poison,
+        };
+        for name in seed_names {
+            core.mint_id(&name);
+        }
+        for part in seed.split_islands() {
+            let slot = core.slots.len();
+            core.index_shard(slot, &part);
+            let shard = Shard {
+                schedulable: part.schedulable(),
+                core: part,
+                platforms_version: 0,
+            };
+            if !shard.schedulable {
+                core.unsched.insert(slot, shard.core.misses());
+            }
+            core.slots.push(Slot::Idle(shard));
+        }
+        Ok(SchedService {
+            core: Mutex::new(core),
+            turn: Condvar::new(),
+            capacity: Condvar::new(),
+            conflict: Condvar::new(),
+            synced_cv: Condvar::new(),
+        })
+    }
+
+    /// Overrides the pipeline-depth bound: at most `depth` epochs in
+    /// flight (reserve applies backpressure beyond it). Defaults to the
+    /// host's available parallelism plus one; raise it to exercise deeper
+    /// interleavings (tests) or when clients block on external work.
+    pub fn with_max_inflight(self, depth: u64) -> SchedService {
+        self.lock().max_inflight = depth.max(1);
+        self
+    }
+
+    /// Attaches a fresh write-ahead journal at `path` (truncating any
+    /// existing file). Every subsequent epoch — admitted or rejected — is
+    /// on disk before its response is returned.
+    pub fn with_journal(self, path: &Path) -> Result<SchedService, EngineError> {
+        {
+            let mut core = self.lock();
+            core.journal = Some(JournalWriter::create(path, core.platforms.len())?);
+            core.synced = core.settled;
+        }
+        Ok(self)
+    }
+
+    /// Rebuilds a service after a restart: seeds from the journal's
+    /// snapshot if it was compacted (verifying the recorded state digest),
+    /// else from `set` (the same specification the crashed engine started
+    /// from); then re-commits every complete tail record — streamed, O(1)
+    /// memory — cross-checking each replayed verdict against the recorded
+    /// one, repairs any torn journal tail, and re-attaches the journal in
+    /// append mode. Returns the service plus the number of tail epochs
+    /// replayed (excluding those folded into the snapshot).
+    ///
+    /// The rebuilt engine is byte-identical to the crashed one as of its
+    /// last complete record: same epoch ticket, same live set and system
+    /// mirror, same cached report, same [`TxnId`] assignments — the
+    /// property suites assert this across random crash points, with and
+    /// without compaction.
+    pub fn replay(
+        set: TransactionSet,
+        config: AnalysisConfig,
+        policy: AdmissionPolicy,
+        path: &Path,
+    ) -> Result<(SchedService, usize), EngineError> {
+        let mut stream = JournalStream::open(path)?;
+        if stream.platforms() != set.platforms().len() {
+            return Err(EngineError::Replay(format!(
+                "journal was recorded against {} platforms, spec has {}",
+                stream.platforms(),
+                set.platforms().len()
+            )));
+        }
+        let service = match stream.take_snapshot() {
+            Some(snap) => snapshot::rebuild(&set, snap, config, policy)?,
+            None => SchedService::new(set, config, policy)?,
+        };
+        let mut replayed = 0usize;
+        for record in &mut stream {
+            let record = record?;
+            let response = service.commit_named(record.batch.clone())?;
+            if response.epoch != record.epoch {
+                return Err(EngineError::Replay(format!(
+                    "epoch numbering diverged: journal {}, engine {}",
+                    record.epoch, response.epoch
+                )));
+            }
+            if response.outcome.verdict.admitted() != record.admitted {
+                return Err(EngineError::Replay(format!(
+                    "epoch {}: journal records {}, replay produced {}",
+                    record.epoch,
+                    if record.admitted {
+                        "admitted"
+                    } else {
+                        "rejected"
+                    },
+                    response.outcome.verdict,
+                )));
+            }
+            replayed += 1;
+        }
+        {
+            let mut core = service.lock();
+            core.journal = Some(JournalWriter::recover(path, stream.valid_prefix())?);
+            core.synced = core.settled;
+        }
+        Ok((service, replayed))
+    }
+
+    /// Submits one versioned request batch as an atomic epoch. Safe to call
+    /// from any number of threads concurrently; epochs on disjoint islands
+    /// commit in parallel, conflicting ones serialize in ticket order.
+    ///
+    /// Rejections are *responses* (the verdict rides in the outcome);
+    /// [`EngineError`]s are caller or environment failures that consume no
+    /// epoch (bad version, unknown handle) or leave the engine unusable
+    /// (journal I/O).
+    pub fn submit(&self, request: &EngineRequest) -> Result<EngineResponse, EngineError> {
+        if request.version < MIN_SCHEMA_VERSION || request.version > SCHEMA_VERSION {
+            return Err(EngineError::UnsupportedVersion {
+                found: request.version,
+                supported: SCHEMA_VERSION,
+            });
+        }
+        let mut batch = Vec::with_capacity(request.ops.len());
+        {
+            let core = self.lock();
+            for op in &request.ops {
+                match op {
+                    EngineOp::Admission(r) => batch.push(r.clone()),
+                    EngineOp::Remove(id) => {
+                        let name = core
+                            .names
+                            .get(id)
+                            .ok_or(EngineError::UnknownTxn(*id))?
+                            .clone();
+                        batch.push(AdmissionRequest::RemoveTransaction { name });
+                    }
+                }
+            }
+        }
+        self.commit_named(batch)
+    }
+
+    /// The name-addressed commit path (also the replay path).
+    pub(crate) fn commit_named(
+        &self,
+        batch: Vec<AdmissionRequest>,
+    ) -> Result<EngineResponse, EngineError> {
+        // Phase 1: reserve (wait out conflicts; writers drain in-flight).
+        let mut registered_writer = false;
+        let mut core = self.lock();
+        let resv = loop {
+            match core.try_reserve(&batch, &mut registered_writer) {
+                Ok(Reserve::Ready(resv)) => break resv,
+                Ok(Reserve::AtCapacity) => {
+                    core = self.capacity.wait(core).expect("service lock poisoned");
+                }
+                Ok(Reserve::Conflicted) => {
+                    // Pass the capacity baton before sleeping on the rare
+                    // queue: this thread may have consumed a capacity
+                    // wakeup it could not use.
+                    self.capacity.notify_one();
+                    core = self.conflict.wait(core).expect("service lock poisoned");
+                }
+                Err(e) => {
+                    if registered_writer {
+                        core.writers_waiting -= 1;
+                        self.conflict.notify_all();
+                    }
+                    return Err(e);
+                }
+            }
+        };
+        drop(core);
+
+        // Phase 2: analyze — no lock held; overlaps across client threads.
+        let Reservation {
+            ticket,
+            groups,
+            shards,
+            removed_instance_txns,
+            claimed_names,
+            claimed_free,
+            touched_platforms,
+            early,
+            island_threads,
+        } = resv;
+        let analyzed = if early.is_none() && !groups.is_empty() {
+            run_groups(&groups, shards, &batch, island_threads)
+        } else {
+            Analyzed {
+                outcomes: Vec::new(),
+                shards,
+            }
+        };
+
+        // Phase 3: settle strictly in ticket order — the linearization
+        // point, and the journal's serialization order.
+        let mut core = self.lock();
+        while core.settled + 1 != ticket {
+            core = self.turn.wait(core).expect("service lock poisoned");
+        }
+        let result = core.settle(
+            ticket,
+            &batch,
+            groups,
+            analyzed,
+            removed_instance_txns,
+            touched_platforms,
+            early,
+        );
+        for name in claimed_names {
+            core.pending_names.remove(&name);
+        }
+        for p in claimed_free {
+            core.pending_free.remove(&p);
+        }
+        core.settled = ticket;
+        self.turn.notify_all();
+        self.capacity.notify_one();
+        self.conflict.notify_all();
+        let response = result?;
+        self.sync_journal(core, ticket)?;
+        Ok(response)
+    }
+
+    /// Group-committed journal durability: waits (or performs a sync)
+    /// until `ticket`'s record is on disk. One `sync_data` outside the
+    /// lock covers every record appended before it started. A failed sync
+    /// poisons the journal permanently: `synced` never advances past the
+    /// failure, and *every* waiter — not just the thread that ran the
+    /// syscall — gets the error instead of a response claiming durability.
+    fn sync_journal<'a>(
+        &'a self,
+        mut core: MutexGuard<'a, Core>,
+        ticket: u64,
+    ) -> Result<(), EngineError> {
+        loop {
+            if core.journal.is_none() || core.synced >= ticket {
+                return Ok(());
+            }
+            if let Some(message) = &core.sync_error {
+                return Err(EngineError::Journal(message.clone()));
+            }
+            if core.syncing {
+                core = self.synced_cv.wait(core).expect("service lock poisoned");
+                continue;
+            }
+            core.syncing = true;
+            // Every record with ticket ≤ settled is already written, so
+            // this sync covers them all.
+            let upto = core.settled;
+            let file = core.journal.as_ref().expect("checked above").sync_handle();
+            drop(core);
+            let outcome = file.sync_data();
+            core = self.lock();
+            core.syncing = false;
+            match outcome {
+                Ok(()) => {
+                    core.synced = core.synced.max(upto);
+                    self.synced_cv.notify_all();
+                }
+                Err(e) => {
+                    let message = format!("journal sync failed: {e}");
+                    core.sync_error = Some(message.clone());
+                    self.synced_cv.notify_all();
+                    return Err(EngineError::Journal(message));
+                }
+            }
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Core> {
+        self.core.lock().expect("service lock poisoned")
+    }
+
+    /// Core access for the snapshot rebuild path (single-threaded by
+    /// construction — the service was just seeded).
+    pub(crate) fn lock_for_rebuild(&self) -> MutexGuard<'_, Core> {
+        self.lock()
+    }
+
+    /// Locks the service *quiescent*: waits until no epoch is in flight,
+    /// so every slot is `Vacant` or `Idle` and observation is consistent.
+    fn quiesce(&self) -> MutexGuard<'_, Core> {
+        let mut core = self.lock();
+        while core.settled != core.issued {
+            core = self.turn.wait(core).expect("service lock poisoned");
+        }
+        core
+    }
+
+    // ------------------------------------------------------------------
+    // Observation (each waits for in-flight epochs to settle, so the view
+    // is a consistent cut at a ticket boundary)
+    // ------------------------------------------------------------------
+
+    /// Epoch tickets settled (admitted + rejected).
+    pub fn epoch(&self) -> u64 {
+        self.quiesce().settled
+    }
+
+    /// Live island-group shards.
+    pub fn shard_count(&self) -> usize {
+        self.quiesce().shard_count()
+    }
+
+    /// Live transactions across all shards.
+    pub fn live_transactions(&self) -> usize {
+        self.quiesce().live_transactions()
+    }
+
+    /// `true` when every shard's live set meets its deadlines.
+    pub fn schedulable(&self) -> bool {
+        let core = self.quiesce();
+        core.slots
+            .iter()
+            .filter_map(Slot::as_idle)
+            .all(|s| s.schedulable)
+    }
+
+    /// The stable handle of a live transaction.
+    pub fn resolve(&self, name: &str) -> Option<TxnId> {
+        self.quiesce().ids.get(name).copied()
+    }
+
+    /// The live transaction behind a handle.
+    pub fn name_of(&self, id: TxnId) -> Option<String> {
+        self.quiesce().names.get(&id).cloned()
+    }
+
+    /// Assembles the live transaction set across shards (slot order —
+    /// deterministic, and reproduced exactly by a journal replay).
+    pub fn current_set(&self) -> TransactionSet {
+        self.quiesce().current_set()
+    }
+
+    /// Assembles the component-system mirror across shards.
+    pub fn system(&self) -> System {
+        self.quiesce().system()
+    }
+
+    /// Assembles the cached per-transaction results into a global report
+    /// (index-aligned with [`SchedService::current_set`]). Exact for the
+    /// same reason sharding is: the cache is island-local.
+    pub fn report(&self) -> SchedulabilityReport {
+        self.quiesce().report()
+    }
+
+    /// Service-level stats in the controller's shape: epoch counters are
+    /// the service's, analysis counters sum over the shards.
+    pub fn stats(&self) -> ControllerStats {
+        let core = self.quiesce();
+        let mut stats = ControllerStats {
+            epochs: core.settled,
+            admitted: core.admitted_epochs,
+            rejected: core.rejected_epochs,
+            transactions_analyzed: core.retired_stats.transactions_analyzed,
+            analyses_avoided: core.retired_stats.analyses_avoided,
+            warm_epochs: core.retired_stats.warm_epochs,
+        };
+        for shard in core.slots.iter().filter_map(Slot::as_idle) {
+            let s = shard.core.stats();
+            stats.transactions_analyzed += s.transactions_analyzed;
+            stats.analyses_avoided += s.analyses_avoided;
+            stats.warm_epochs += s.warm_epochs;
+        }
+        stats
+    }
+
+    /// FNV-1a digest of the canonical engine state (epoch ticket, live
+    /// set, system mirror, cached report, handle table). Two engines with
+    /// equal digests are byte-identical in every observable; `hsched admit
+    /// --journal`, `hsched replay` and `hsched compact` all print it so a
+    /// recovery can be verified with a string compare.
+    pub fn state_digest(&self) -> String {
+        self.quiesce().state_digest()
+    }
+
+    /// Serializes the live state into the journal as a snapshot block and
+    /// truncates every record before it (journal compaction): the journal
+    /// becomes `header + snapshot`, written atomically beside the old file
+    /// and renamed over it, and subsequent epochs append after the block.
+    /// [`SchedService::replay`] then resumes from snapshot + tail instead
+    /// of re-running the whole history.
+    ///
+    /// Errors when no journal is attached.
+    pub fn snapshot(&self) -> Result<SnapshotInfo, EngineError> {
+        let mut core = self.quiesce();
+        let Some(journal) = &core.journal else {
+            return Err(EngineError::Journal(
+                "snapshot requires an attached journal".to_string(),
+            ));
+        };
+        let path = journal.path().to_path_buf();
+        let digest = core.state_digest();
+        let snap = core.capture_snapshot(&digest);
+        let block = snap.encode_block();
+        let writer = JournalWriter::rewrite_with_snapshot(&path, core.platforms.len(), &block)?;
+        let compacted_bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        core.journal = Some(writer);
+        core.synced = core.settled;
+        Ok(SnapshotInfo {
+            epoch: core.settled,
+            digest,
+            compacted_bytes,
+        })
+    }
+}
+
+/// Default pipeline depth: one in-flight epoch per hardware thread. The
+/// journal sync of a settled epoch runs *outside* the in-flight window
+/// (settle precedes sync), so even at depth 1 the next epoch's analysis
+/// overlaps the previous epoch's fsync; more depth than hardware threads
+/// would only timeslice analyses against each other.
+fn default_max_inflight() -> u64 {
+    std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(1)
+}
+
+impl Core {
+    // ------------------------------------------------------------------
+    // Reserve (phase 1) — runs under the lock
+    // ------------------------------------------------------------------
+
+    pub(crate) fn pending_names_contains(&self, name: &str) -> bool {
+        self.pending_names.contains(name)
+    }
+
+    pub(crate) fn platforms_version(&self) -> u64 {
+        self.platforms_version
+    }
+
+    pub(crate) fn pending_free_contains(&self, p: usize) -> bool {
+        self.pending_free.contains(&p)
+    }
+
+    /// One reservation attempt: routes the batch, applies the conflict and
+    /// write-path rules, and — when clear — checks the touched shards out
+    /// and issues the epoch ticket atomically. The two blocked outcomes
+    /// tell the caller which queue to wait on; `registered_writer` tracks
+    /// whether this submission is holding the writer-fairness gate across
+    /// retries.
+    fn try_reserve(
+        &mut self,
+        batch: &[AdmissionRequest],
+        registered_writer: &mut bool,
+    ) -> Result<Reserve, EngineError> {
+        if self.issued - self.settled >= self.max_inflight {
+            return Ok(Reserve::AtCapacity);
+        }
+        let routed = match self.route(batch) {
+            RouteOutcome::Blocked => return Ok(Reserve::Conflicted),
+            RouteOutcome::Structural(message) => {
+                if self.writers_waiting > 0 && !*registered_writer {
+                    return Ok(Reserve::Conflicted);
+                }
+                return Ok(Reserve::Ready(self.reserve_early(
+                    RejectReason::Structural(message),
+                    registered_writer,
+                )));
+            }
+            RouteOutcome::Routed(routed) => routed,
+        };
+
+        // Cross-island numeric parity: a poisoned platform the batch does
+        // not touch rejects exactly like the single controller's global
+        // utilization scan (touched islands re-run their own checked scan
+        // inside the shard commit and heal or re-reject there). If an
+        // *in-flight* epoch has a poisoned platform's shard checked out,
+        // its settle — earlier in ticket order — may clear the poison, so
+        // rejecting now would not replay serially: wait for it instead.
+        let touched = self.touched_platform_set(&routed.keys);
+        let mut poison: Option<String> = None;
+        for (p, message) in &self.util_poison {
+            if touched.contains(p) {
+                continue;
+            }
+            let healer_in_flight = self
+                .platform_home
+                .get(*p)
+                .copied()
+                .flatten()
+                .is_some_and(|slot| self.slots[slot].is_busy());
+            if healer_in_flight {
+                return Ok(Reserve::Conflicted);
+            }
+            if poison.is_none() {
+                poison = Some(message.clone());
+            }
+        }
+        if let Some(message) = poison {
+            if self.writers_waiting > 0 && !*registered_writer {
+                return Ok(Reserve::Conflicted);
+            }
+            return Ok(Reserve::Ready(
+                self.reserve_early(RejectReason::Numeric(message), registered_writer),
+            ));
+        }
+
+        let drafts = self.plan_groups(&routed.keys);
+        let needs_write = drafts.iter().any(GroupDraft::changes_topology);
+        if needs_write && self.issued != self.settled {
+            // The write path drains in-flight epochs so topology mutation
+            // (merge / fresh slot) is deterministic in ticket order; the
+            // fairness gate below keeps new readers from starving us.
+            if !*registered_writer {
+                self.writers_waiting += 1;
+                *registered_writer = true;
+            }
+            return Ok(Reserve::Conflicted);
+        }
+        if !needs_write && self.writers_waiting > 0 && !*registered_writer {
+            return Ok(Reserve::Conflicted);
+        }
+
+        let groups = self.apply_groups(drafts)?;
+        let mut shards = Vec::with_capacity(groups.len());
+        for group in &groups {
+            let Slot::Idle(mut shard) = std::mem::replace(&mut self.slots[group.slot], Slot::Busy)
+            else {
+                return Err(EngineError::Internal(
+                    "checkout of a non-idle slot".to_string(),
+                ));
+            };
+            self.sync_shard_platforms(&mut shard)?;
+            shards.push(shard);
+        }
+        self.issued += 1;
+        if *registered_writer {
+            self.writers_waiting -= 1;
+            *registered_writer = false;
+        }
+        for name in &routed.mentioned {
+            self.pending_names.insert(name.clone());
+        }
+        for p in &routed.free_platforms {
+            self.pending_free.insert(*p);
+        }
+        Ok(Reserve::Ready(Reservation {
+            ticket: self.issued,
+            groups,
+            shards,
+            removed_instance_txns: routed.removed_instance_txns,
+            claimed_names: routed.mentioned,
+            claimed_free: routed.free_platforms,
+            touched_platforms: touched.into_iter().collect(),
+            early: None,
+            island_threads: self.policy.island_threads,
+        }))
+    }
+
+    /// Issues a ticket for an epoch whose rejection was decided at reserve
+    /// time (structural / numeric parity): no shards, no claims.
+    fn reserve_early(&mut self, reason: RejectReason, registered_writer: &mut bool) -> Reservation {
+        self.issued += 1;
+        if *registered_writer {
+            self.writers_waiting -= 1;
+            *registered_writer = false;
+        }
+        Reservation {
+            ticket: self.issued,
+            groups: Vec::new(),
+            shards: Vec::new(),
+            removed_instance_txns: Vec::new(),
+            claimed_names: Vec::new(),
+            claimed_free: Vec::new(),
+            touched_platforms: Vec::new(),
+            early: Some(reason),
+            island_threads: self.policy.island_threads,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Settle (phase 3) — runs under the lock, strictly in ticket order
+    // ------------------------------------------------------------------
+
+    /// Finalizes one epoch: evaluates the cross-shard admission rule,
+    /// returns/repartitions the checked-out shards, maintains every map,
+    /// appends the journal record (write only; durability is the caller's
+    /// group-committed sync), and builds the response.
+    #[allow(clippy::too_many_arguments)]
+    fn settle(
+        &mut self,
+        ticket: u64,
+        batch: &[AdmissionRequest],
+        groups: Vec<Group>,
+        analyzed: Analyzed,
+        removed_instance_txns: Vec<Vec<String>>,
+        touched_platforms: Vec<usize>,
+        early: Option<RejectReason>,
+    ) -> Result<EngineResponse, EngineError> {
+        if let Some(reason) = early {
+            return self.finish_rejected(ticket, batch, reason, Vec::new());
+        }
+        let Analyzed { outcomes, shards } = analyzed;
+        let slots: Vec<usize> = groups.iter().map(|g| g.slot).collect();
+
+        let all_admitted = outcomes.iter().all(|o| o.verdict.admitted());
+        let analyzed_txns: usize = outcomes.iter().map(|o| o.analyzed_transactions).sum();
+        let islands: usize = outcomes.iter().map(|o| o.islands).sum();
+        let warm = outcomes.iter().any(|o| o.warm_started);
+
+        // Cross-shard admission rule: every shard everywhere must be
+        // schedulable (a single controller scans its whole entry table).
+        // Foreign shards are read from the at-rest `unsched` map — their
+        // state cannot change before this epoch in the ticket order.
+        let global_misses: Vec<String> = if all_admitted {
+            let mut by_slot: BTreeMap<usize, Vec<String>> = self
+                .unsched
+                .iter()
+                .filter(|(slot, _)| !slots.contains(slot))
+                .map(|(slot, misses)| (*slot, misses.clone()))
+                .collect();
+            for (group, shard) in groups.iter().zip(&shards) {
+                if !shard.schedulable {
+                    by_slot.insert(group.slot, shard.core.misses());
+                }
+            }
+            by_slot.into_values().flatten().collect()
+        } else {
+            Vec::new()
+        };
+
+        if !all_admitted || !global_misses.is_empty() {
+            // Revert shards that admitted their sub-batch; the epoch is
+            // atomic across shards.
+            let mut shards = shards;
+            for (shard, outcome) in shards.iter_mut().zip(&outcomes) {
+                if outcome.verdict.admitted() {
+                    shard.core.rollback_last();
+                    shard.schedulable = shard.core.schedulable();
+                }
+            }
+            let reason = if !all_admitted {
+                self.aggregate_reason(&groups, &outcomes)
+            } else {
+                RejectReason::Unschedulable {
+                    misses: global_misses,
+                }
+            };
+            // Return the shards and refresh their at-rest bookkeeping.
+            for (group, shard) in groups.iter().zip(shards) {
+                if shard.schedulable {
+                    self.unsched.remove(&group.slot);
+                } else {
+                    self.unsched.insert(group.slot, shard.core.misses());
+                }
+                self.slots[group.slot] = Slot::Idle(shard);
+            }
+            self.drop_empty_shards(slots.iter().copied());
+            let mut response = self.finish_rejected(ticket, batch, reason, slots)?;
+            response.outcome.analyzed_transactions = analyzed_txns;
+            response.outcome.islands = islands;
+            response.outcome.warm_started = warm;
+            return Ok(response);
+        }
+
+        // --- Admitted: re-partition touched shards, propagate retunes,
+        // settle the handle maps, journal, respond. Map maintenance is
+        // O(batch + touched-shard members), never O(live set).
+        let retunes = capture_retunes(batch, &groups, &shards);
+        for (group, shard) in groups.iter().zip(shards) {
+            self.slots[group.slot] = Slot::Idle(shard);
+        }
+        // Admission required *every* shard schedulable, so the at-rest
+        // unschedulable map and the touched platforms' poison entries are
+        // both clear now.
+        self.unsched.clear();
+        for p in &touched_platforms {
+            self.util_poison.remove(p);
+        }
+        self.unindex_departures(batch, &removed_instance_txns);
+        self.repartition(&slots);
+        if !retunes.is_empty() {
+            self.platforms_version += 1;
+            for (platform, value) in retunes {
+                self.platforms.replace(platform, value.clone());
+                for slot in &mut self.slots {
+                    if let Slot::Idle(shard) = slot {
+                        shard
+                            .core
+                            .sync_platform(platform, value.clone())
+                            .map_err(EngineError::Internal)?;
+                    }
+                }
+            }
+            let version = self.platforms_version;
+            for slot in &mut self.slots {
+                if let Slot::Idle(shard) = slot {
+                    shard.platforms_version = version;
+                }
+            }
+        }
+        let admitted_ids = self.mint_arrival_ids(batch);
+
+        if let Some(journal) = &mut self.journal {
+            journal.append_nosync(ticket, batch, true)?;
+        }
+        self.admitted_epochs += 1;
+        Ok(EngineResponse {
+            version: SCHEMA_VERSION,
+            epoch: ticket,
+            outcome: EpochOutcome {
+                epoch: ticket,
+                verdict: Verdict::Admitted,
+                requests: batch.len(),
+                analyzed_transactions: analyzed_txns,
+                total_transactions: self.live_transactions(),
+                islands,
+                warm_started: warm,
+            },
+            admitted: admitted_ids,
+            shards_touched: slots.len(),
+            shards: slots,
+            shards_live: self.shard_count(),
+        })
+    }
+
+    /// Journals and accounts a rejected epoch, building the response.
+    fn finish_rejected(
+        &mut self,
+        ticket: u64,
+        batch: &[AdmissionRequest],
+        reason: RejectReason,
+        slots: Vec<usize>,
+    ) -> Result<EngineResponse, EngineError> {
+        if let Some(journal) = &mut self.journal {
+            journal.append_nosync(ticket, batch, false)?;
+        }
+        self.rejected_epochs += 1;
+        Ok(EngineResponse {
+            version: SCHEMA_VERSION,
+            epoch: ticket,
+            outcome: EpochOutcome {
+                epoch: ticket,
+                verdict: Verdict::Rejected(reason),
+                requests: batch.len(),
+                analyzed_transactions: 0,
+                total_transactions: self.live_transactions(),
+                islands: 0,
+                warm_started: false,
+            },
+            admitted: Vec::new(),
+            shards_touched: slots.len(),
+            shards: slots,
+            shards_live: self.shard_count(),
+        })
+    }
+
+    /// Aggregates the rejection reason of a multi-shard epoch: pure
+    /// overload rejections merge their platform lists (sorted by platform
+    /// index, like the single controller's global scan); otherwise the
+    /// earliest-routed rejecting shard's reason wins.
+    fn aggregate_reason(&self, groups: &[Group], outcomes: &[EpochOutcome]) -> RejectReason {
+        let rejecting: Vec<(usize, &RejectReason)> = groups
+            .iter()
+            .zip(outcomes)
+            .filter_map(|(g, o)| match &o.verdict {
+                Verdict::Rejected(reason) => Some((g.requests[0], reason)),
+                Verdict::Admitted => None,
+            })
+            .collect();
+        debug_assert!(!rejecting.is_empty());
+        if rejecting.len() > 1
+            && rejecting
+                .iter()
+                .all(|(_, r)| matches!(r, RejectReason::Overload { .. }))
+        {
+            let mut named: Vec<(usize, String)> = rejecting
+                .iter()
+                .flat_map(|(_, r)| match r {
+                    RejectReason::Overload { platforms } => platforms.clone(),
+                    _ => unreachable!(),
+                })
+                .map(|name| {
+                    let index = self
+                        .platforms
+                        .by_name(&name)
+                        .map(|(id, _)| id.0)
+                        .unwrap_or(usize::MAX);
+                    (index, name)
+                })
+                .collect();
+            named.sort();
+            return RejectReason::Overload {
+                platforms: named.into_iter().map(|(_, name)| name).collect(),
+            };
+        }
+        rejecting
+            .into_iter()
+            .min_by_key(|(first_request, _)| *first_request)
+            .map(|(_, reason)| reason.clone())
+            .expect("at least one rejecting shard")
+    }
+
+    // ------------------------------------------------------------------
+    // Shard lifecycle (all called under the lock)
+    // ------------------------------------------------------------------
+
+    /// Places a shard in the first vacant slot (or a new one). Write-path
+    /// only — slot choice must be deterministic in ticket order, which the
+    /// writer gate (drain in-flight epochs first) guarantees.
+    pub(crate) fn allocate_slot(&mut self, shard: Shard) -> usize {
+        match self.slots.iter().position(Slot::is_vacant) {
+            Some(slot) => {
+                self.slots[slot] = Slot::Idle(shard);
+                slot
+            }
+            None => {
+                self.slots.push(Slot::Idle(shard));
+                self.slots.len() - 1
+            }
+        }
+    }
+
+    /// Registers a shard's members in the home maps.
+    pub(crate) fn index_shard(&mut self, slot: usize, core: &AdmissionController) {
+        for tx in core.current_set().transactions() {
+            self.txn_home.insert(tx.name.clone(), slot);
+            for task in tx.tasks() {
+                self.platform_home[task.platform.0] = Some(slot);
+            }
+        }
+        for (_, instance) in core.system().instances() {
+            self.instance_home.insert(instance.name.clone(), slot);
+        }
+    }
+
+    /// Points every home-map entry of `from` at `to` (after a merge).
+    pub(crate) fn reassign_home(&mut self, from: usize, to: usize) {
+        for home in self.platform_home.iter_mut().flatten() {
+            if *home == from {
+                *home = to;
+            }
+        }
+        for home in self.txn_home.values_mut() {
+            if *home == from {
+                *home = to;
+            }
+        }
+        for home in self.instance_home.values_mut() {
+            if *home == from {
+                *home = to;
+            }
+        }
+    }
+
+    /// Vacates touched slots whose shard ended the epoch with no live
+    /// transactions.
+    fn drop_empty_shards(&mut self, slots: impl Iterator<Item = usize>) {
+        for slot in slots {
+            let empty = self.slots[slot]
+                .as_idle()
+                .is_some_and(|s| s.core.current_set().transactions().is_empty());
+            if empty {
+                let Slot::Idle(retired) = std::mem::replace(&mut self.slots[slot], Slot::Vacant)
+                else {
+                    unreachable!("checked idle above");
+                };
+                self.retire_stats(&retired.core);
+                self.unsched.remove(&slot);
+                for home in self.platform_home.iter_mut() {
+                    if *home == Some(slot) {
+                        *home = None;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Banks a retiring shard's analysis counters into the service totals.
+    fn retire_stats(&mut self, core: &AdmissionController) {
+        let s = core.stats();
+        self.retired_stats.transactions_analyzed += s.transactions_analyzed;
+        self.retired_stats.analyses_avoided += s.analyses_avoided;
+        self.retired_stats.warm_epochs += s.warm_epochs;
+    }
+
+    /// Splits every touched shard back into island-group shards and
+    /// rebuilds the home maps for the affected slots. Settles run in
+    /// ticket order, so the vacant-slot choices here are deterministic.
+    fn repartition(&mut self, touched: &[usize]) {
+        let affected: HashSet<usize> = touched.iter().copied().collect();
+        for home in self.platform_home.iter_mut() {
+            if home.is_some_and(|slot| affected.contains(&slot)) {
+                *home = None;
+            }
+        }
+        let mut slots: Vec<usize> = touched.to_vec();
+        slots.sort_unstable();
+        slots.dedup();
+        for slot in slots {
+            let Slot::Idle(shard) = std::mem::replace(&mut self.slots[slot], Slot::Vacant) else {
+                continue;
+            };
+            if shard.core.current_set().transactions().is_empty() {
+                self.retire_stats(&shard.core);
+                continue; // slot stays vacant
+            }
+            let mut parts = shard.core.split_islands().into_iter();
+            let version = shard.platforms_version;
+            if let Some(first) = parts.next() {
+                self.index_shard(slot, &first);
+                self.slots[slot] = Slot::Idle(Shard {
+                    schedulable: first.schedulable(),
+                    core: first,
+                    platforms_version: version,
+                });
+            }
+            for part in parts {
+                let part_slot = match self.slots.iter().position(Slot::is_vacant) {
+                    Some(vacant) => vacant,
+                    None => {
+                        self.slots.push(Slot::Vacant);
+                        self.slots.len() - 1
+                    }
+                };
+                self.index_shard(part_slot, &part);
+                self.slots[part_slot] = Slot::Idle(Shard {
+                    schedulable: part.schedulable(),
+                    core: part,
+                    platforms_version: version,
+                });
+            }
+        }
+    }
+
+    /// Drops the home/handle entries of everything the admitted batch
+    /// removed (O(batch), by name — never a map scan).
+    fn unindex_departures(
+        &mut self,
+        batch: &[AdmissionRequest],
+        removed_instance_txns: &[Vec<String>],
+    ) {
+        for (i, request) in batch.iter().enumerate() {
+            match request {
+                AdmissionRequest::RemoveTransaction { name } => {
+                    self.txn_home.remove(name);
+                    if let Some(id) = self.ids.remove(name) {
+                        self.names.remove(&id);
+                    }
+                }
+                AdmissionRequest::RemoveInstance { name } => {
+                    self.instance_home.remove(name);
+                    for txn in &removed_instance_txns[i] {
+                        self.txn_home.remove(txn);
+                        if let Some(id) = self.ids.remove(txn) {
+                            self.names.remove(&id);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Mints handles for the batch's surviving arrivals (after the home
+    /// maps settled) and returns them in batch order.
+    fn mint_arrival_ids(&mut self, batch: &[AdmissionRequest]) -> Vec<TxnId> {
+        let mut minted = Vec::new();
+        for request in batch {
+            match request {
+                AdmissionRequest::AddTransaction(tx)
+                    if self.txn_home.contains_key(&tx.name) && !self.ids.contains_key(&tx.name) =>
+                {
+                    minted.push(self.mint_id(&tx.name));
+                }
+                AdmissionRequest::AddInstance { name, .. } => {
+                    if let Some(&slot) = self.instance_home.get(name) {
+                        let txns = self.slots[slot]
+                            .as_idle()
+                            .expect("instance home live")
+                            .core
+                            .transactions_of_instance(name);
+                        for txn in txns {
+                            if !self.ids.contains_key(&txn) {
+                                minted.push(self.mint_id(&txn));
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        minted
+    }
+
+    /// Mints the next stable handle for a live transaction name.
+    pub(crate) fn mint_id(&mut self, name: &str) -> TxnId {
+        self.next_id += 1;
+        let id = TxnId(self.next_id);
+        self.ids.insert(name.to_string(), id);
+        self.names.insert(id, name.to_string());
+        id
+    }
+
+    /// Brings a shard's platform-set copy up to date with the master
+    /// (shards checked out during a sibling's retune epoch sync lazily at
+    /// their next checkout).
+    pub(crate) fn sync_shard_platforms(&self, shard: &mut Shard) -> Result<(), EngineError> {
+        if shard.platforms_version == self.platforms_version {
+            return Ok(());
+        }
+        for (id, platform) in self.platforms.iter() {
+            if shard.core.current_set().platforms().get(id) != Some(platform) {
+                shard
+                    .core
+                    .sync_platform(id, platform.clone())
+                    .map_err(EngineError::Internal)?;
+            }
+        }
+        shard.platforms_version = self.platforms_version;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Observation helpers (require no epoch in flight)
+    // ------------------------------------------------------------------
+
+    pub(crate) fn shard_count(&self) -> usize {
+        self.slots.iter().filter(|s| !s.is_vacant()).count()
+    }
+
+    pub(crate) fn live_transactions(&self) -> usize {
+        self.slots
+            .iter()
+            .filter_map(Slot::as_idle)
+            .map(|s| s.core.current_set().transactions().len())
+            .sum()
+    }
+
+    pub(crate) fn current_set(&self) -> TransactionSet {
+        let transactions = self
+            .slots
+            .iter()
+            .filter_map(Slot::as_idle)
+            .flat_map(|s| s.core.current_set().transactions().iter().cloned())
+            .collect();
+        TransactionSet::new(self.platforms.clone(), transactions)
+            .expect("shard transactions reference the master platforms")
+    }
+
+    pub(crate) fn system(&self) -> System {
+        let mut system = System::default();
+        for shard in self.slots.iter().filter_map(Slot::as_idle) {
+            let part = shard.core.system();
+            for instance in &part.instances {
+                let class = part.classes[instance.class].clone();
+                system.adopt_instance(class, instance.clone());
+            }
+        }
+        system
+    }
+
+    pub(crate) fn report(&self) -> SchedulabilityReport {
+        let parts: Vec<SchedulabilityReport> = self
+            .slots
+            .iter()
+            .filter_map(Slot::as_idle)
+            .map(|s| s.core.report())
+            .collect();
+        SchedulabilityReport::concat(parts.iter())
+    }
+
+    pub(crate) fn state_digest(&self) -> String {
+        format!("{:016x}", fnv1a_64(self.canonical_state().as_bytes()))
+    }
+
+    /// Deterministic rendering of every observable of the engine.
+    fn canonical_state(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "epoch={} admitted={} rejected={} next_id={}",
+            self.settled, self.admitted_epochs, self.rejected_epochs, self.next_id
+        );
+        for (id, platform) in self.platforms.iter() {
+            let _ = writeln!(out, "platform {id} {platform}");
+        }
+        let set = self.current_set();
+        let report = self.report();
+        for (i, tx) in set.transactions().iter().enumerate() {
+            let id = self
+                .ids
+                .get(&tx.name)
+                .map(|id| id.to_string())
+                .unwrap_or_else(|| "-".into());
+            let _ = writeln!(
+                out,
+                "txn {}|{}|{}|{}|{id}",
+                tx.name, tx.period, tx.deadline, tx.release_jitter
+            );
+            for (j, task) in tx.tasks().iter().enumerate() {
+                let r = &report.tasks[i][j];
+                let _ = writeln!(
+                    out,
+                    "  task {}|{}|{}|{}|{}|{:?} -> R={} Rb={} phi={} J={}",
+                    task.name,
+                    task.wcet,
+                    task.bcet,
+                    task.priority,
+                    task.platform,
+                    task.kind,
+                    r.response,
+                    r.best_response,
+                    r.phi,
+                    r.jitter
+                );
+            }
+            let v = &report.verdicts[i];
+            let _ = writeln!(
+                out,
+                "  verdict {}|{}|{}",
+                v.end_to_end, v.deadline, v.schedulable
+            );
+        }
+        let system = self.system();
+        for instance in &system.instances {
+            let _ = writeln!(
+                out,
+                "instance {}|{}|{}|{}",
+                instance.name,
+                system.classes[instance.class].name,
+                instance.platform,
+                instance.node.0
+            );
+        }
+        let _ = writeln!(
+            out,
+            "converged={} diverged={}",
+            report.converged, report.diverged
+        );
+        out
+    }
+
+    /// Captures the full live state as a [`Snapshot`] (journal compaction).
+    fn capture_snapshot(&self, digest: &str) -> Snapshot {
+        // Per-transaction origin instance, assembled from each shard's
+        // instance bookkeeping.
+        let mut origin: HashMap<String, String> = HashMap::new();
+        let mut instances = Vec::new();
+        for shard in self.slots.iter().filter_map(Slot::as_idle) {
+            let part = shard.core.system();
+            for instance in &part.instances {
+                for txn in shard.core.transactions_of_instance(&instance.name) {
+                    origin.insert(txn, instance.name.clone());
+                }
+                instances.push(snapshot::SnapshotInstance {
+                    name: instance.name.clone(),
+                    platform: instance.platform,
+                    node: instance.node.0,
+                    class: part.classes[instance.class].clone(),
+                });
+            }
+        }
+        let txns = self
+            .slots
+            .iter()
+            .filter_map(Slot::as_idle)
+            .flat_map(|s| s.core.current_set().transactions().iter())
+            .map(|tx| snapshot::SnapshotTxn {
+                origin: origin.get(&tx.name).cloned(),
+                id: self.ids.get(&tx.name).map(|id| id.0),
+                tx: tx.clone(),
+            })
+            .collect();
+        Snapshot {
+            epoch: self.settled,
+            admitted: self.admitted_epochs,
+            rejected: self.rejected_epochs,
+            next_id: self.next_id,
+            digest: digest.to_string(),
+            platforms: self
+                .platforms
+                .iter()
+                .filter(|(_, p)| matches!(p.model(), hsched_platform::ServiceModel::Linear(_)))
+                .map(|(id, p)| snapshot::SnapshotPlatform {
+                    index: id.0,
+                    alpha: p.alpha(),
+                    delta: p.delta(),
+                    beta: p.beta(),
+                })
+                .collect(),
+            instances,
+            txns,
+        }
+    }
+}
+
+/// Post-commit values of every platform retuned by the batch, in batch
+/// order (read from the owning checked-out shard before any repartition).
+fn capture_retunes(
+    batch: &[AdmissionRequest],
+    groups: &[Group],
+    shards: &[Shard],
+) -> Vec<(hsched_platform::PlatformId, hsched_platform::Platform)> {
+    let mut out = Vec::new();
+    for (i, request) in batch.iter().enumerate() {
+        let AdmissionRequest::Retune { platform, .. } = request else {
+            continue;
+        };
+        let shard = groups
+            .iter()
+            .position(|g| g.requests.contains(&i))
+            .map(|at| &shards[at])
+            .expect("every request belongs to a group");
+        let value = shard.core.current_set().platforms()[*platform].clone();
+        out.push((*platform, value));
+    }
+    out
+}
+
+/// Scans a transaction set's per-platform utilization with the single
+/// controller's fallible arithmetic, recording the first error per
+/// platform — the poison map of the cross-island numeric parity check.
+pub(crate) fn util_poison_scan(set: &TransactionSet) -> BTreeMap<usize, String> {
+    let mut acc = vec![Rational::ZERO; set.platforms().len()];
+    let mut poison = BTreeMap::new();
+    for tx in set.transactions() {
+        for task in tx.tasks() {
+            let p = task.platform.0;
+            if poison.contains_key(&p) {
+                continue;
+            }
+            match task.wcet.try_div(tx.period).and_then(|u| acc[p].try_add(u)) {
+                Ok(sum) => acc[p] = sum,
+                Err(e) => {
+                    poison.insert(p, e.to_string());
+                }
+            }
+        }
+    }
+    poison
+}
+
+/// Phase 2 of an epoch: commits each group's sub-batch on its checked-out
+/// shard, concurrently across groups.
+fn run_groups(
+    groups: &[Group],
+    shards: Vec<Shard>,
+    batch: &[AdmissionRequest],
+    threads: usize,
+) -> Analyzed {
+    let jobs: Vec<(Mutex<Option<Shard>>, Vec<AdmissionRequest>)> = groups
+        .iter()
+        .zip(shards)
+        .map(|(group, shard)| {
+            let sub: Vec<AdmissionRequest> =
+                group.requests.iter().map(|&i| batch[i].clone()).collect();
+            (Mutex::new(Some(shard)), sub)
+        })
+        .collect();
+    let outcomes: Vec<EpochOutcome> = parallel_map(&jobs, threads, |(cell, sub)| {
+        let mut guard = cell.lock().expect("shard cell poisoned");
+        let shard = guard.as_mut().expect("shard present for this job");
+        let outcome = shard.core.commit(sub);
+        shard.schedulable = shard.core.schedulable();
+        outcome
+    });
+    let shards = jobs
+        .into_iter()
+        .map(|(cell, _)| {
+            cell.into_inner()
+                .expect("shard cell poisoned")
+                .expect("shard present after job")
+        })
+        .collect();
+    Analyzed { outcomes, shards }
+}

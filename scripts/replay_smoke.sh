@@ -38,9 +38,29 @@ torn=$(run replay "$SPEC" "$JOURNAL")
 echo "$torn" | grep -q "replayed 4 epoch(s)"
 echo "$torn" | grep -q "state digest $digest"
 
-# 4. JSON surfaces ride the same versioned envelope.
+# 4. JSON surfaces ride the same versioned envelope (schema v2).
 json=$(run replay "$SPEC" "$JOURNAL" --json)
-echo "$json" | grep -q '"v":1,"command":"replay"'
+echo "$json" | grep -q '"v":2,"command":"replay"'
 echo "$json" | grep -q "\"digest\":\"$digest\""
+
+# 5. Compaction: fold the journal's history into a snapshot block. The
+#    digest must survive, and a subsequent replay resumes from the
+#    snapshot with zero tail epochs.
+compacted=$(run compact "$SPEC" "$JOURNAL")
+echo "$compacted"
+echo "$compacted" | grep -q "compacted 4 epoch(s) into a snapshot"
+echo "$compacted" | grep -q "state digest $digest"
+resumed=$(run replay "$SPEC" "$JOURNAL")
+echo "$resumed" | grep -q "replayed 0 epoch(s)"
+echo "$resumed" | grep -q "resumed from snapshot at epoch 4"
+echo "$resumed" | grep -q "state digest $digest"
+
+# 6. Compact → crash → replay: a record torn after the snapshot is
+#    repaired; the engine rebuilds from snapshot + surviving tail.
+printf 'epoch 5 1\nadd torn' >> "$JOURNAL"
+torn=$(run replay "$SPEC" "$JOURNAL")
+echo "$torn" | grep -q "replayed 0 epoch(s)"
+echo "$torn" | grep -q "resumed from snapshot at epoch 4"
+echo "$torn" | grep -q "state digest $digest"
 
 echo "replay smoke: OK"

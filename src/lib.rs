@@ -19,7 +19,7 @@
 //! | [`transaction`] | `hsched-transaction` | transactions + the §2.4 flattening |
 //! | [`analysis`] | `hsched-analysis` | the §3 response-time analyses |
 //! | [`admission`] | `hsched-admission` | online admission control (incremental analysis, scenario generator) |
-//! | [`engine`] | `hsched-engine` | sharded admission service: island-routed shards, typed `TxnId` API, journaled replay |
+//! | [`engine`] | `hsched-engine` | concurrent admission service: `SchedService` (`&self` submits, ticketed epochs, journal compaction) over island-routed shards, typed `TxnId` API, journaled replay |
 //! | [`sim`] | `hsched-sim` | discrete-event simulator (validation oracle) |
 //! | [`spec`] | `hsched-spec` | the `.hsc` specification language |
 //! | [`design`] | `hsched-design` | platform-parameter optimization (§5 future work) |
@@ -46,8 +46,10 @@
 //!     }
 //! }
 //!
-//! // Serve it online: the sharded admission engine admits/rejects batched
+//! // Serve it online: the admission service admits/rejects batched
 //! // changes against the same analysis, with typed handles and journaling.
+//! // (`SchedService` is the shared-reference front end for concurrent
+//! // clients; `AdmissionRouter` is its single-threaded facade.)
 //! let mut engine = AdmissionRouter::new(
 //!     system.clone(),
 //!     AnalysisConfig::default(),
@@ -81,7 +83,8 @@ pub mod prelude {
     pub use hsched_analysis::{analyze, analyze_with, AnalysisConfig, SchedulabilityReport};
     pub use hsched_design::{min_alpha, minimize_bandwidth, pareto_sweep, DesignConfig};
     pub use hsched_engine::{
-        AdmissionRouter, EngineError, EngineOp, EngineRequest, EngineResponse, TxnId,
+        AdmissionRouter, EngineError, EngineOp, EngineRequest, EngineResponse, SchedService,
+        SnapshotInfo, TxnId,
     };
     pub use hsched_model::{
         Action, ComponentClass, ProvidedMethod, RequiredMethod, RpcLink, System, SystemBuilder,
