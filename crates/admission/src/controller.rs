@@ -1,17 +1,18 @@
 //! The long-lived admission engine: batched request application,
-//! dirty-island re-analysis, warm-started fixpoints, transactional rollback.
+//! cone-restricted re-analysis, warm-started fixpoints, transactional
+//! rollback.
 
-use crate::dirty::Islands;
+use crate::dirty::{component_context, dirty_components, Islands};
 use crate::request::{AdmissionRequest, EpochOutcome, RejectReason, Verdict};
 use hsched_analysis::{
-    analyze_resumed, parallel_map, AnalysisConfig, SchedulabilityReport, TaskResult,
-    TransactionVerdict, WarmStart,
+    analyze_resumed, parallel_map, AnalysisConfig, DirtySeed, FrozenSeed, HpGraph,
+    SchedulabilityReport, TaskResult, TransactionVerdict, WarmStart,
 };
 use hsched_model::{ComponentInstance, NodeId, System, SystemBuilder};
 use hsched_numeric::{Rational, Time};
 use hsched_platform::{Platform, PlatformId, PlatformSet, ServiceModel};
 use hsched_supply::BoundedDelay;
-use hsched_transaction::{flatten_annotated, FlattenOptions, TransactionSet};
+use hsched_transaction::{flatten_annotated, FlattenOptions, TaskRef, TransactionSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Tuning knobs of the controller. The defaults enable every optimization;
@@ -19,20 +20,25 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 /// measure and validate them.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AdmissionPolicy {
-    /// Re-analyze only the interference islands a batch touches. Off =
-    /// every commit re-analyzes the full system (the from-scratch baseline).
+    /// Re-analyze only the batch's interference cones — the hp-graph
+    /// closure of what it adds, removes, or retunes — pinning everything
+    /// outside them at the cached fixpoint. Off = every commit re-analyzes
+    /// the full system (the from-scratch baseline).
     pub dirty_tracking: bool,
-    /// Resume the holistic fixpoint from the previous epoch's converged
-    /// jitters when the batch is purely additive (exact; see
-    /// [`WarmStart`]).
+    /// Resume the holistic fixpoint of cone members from the previous
+    /// epoch's converged jitters when the batch is purely additive (exact;
+    /// see [`WarmStart`]). Non-additive batches restart cone members cold
+    /// (the downward-restart bound) — still exact, and everything outside
+    /// the cone stays pinned either way.
     pub warm_start: bool,
     /// Reject on the necessary condition `U_k ≤ α_k` before running any
     /// fixpoint (uses checked arithmetic, so hostile magnitudes reject
     /// instead of panicking).
     pub utilization_precheck: bool,
-    /// Worker threads for analyzing independent dirty islands in parallel
-    /// (`0` = all cores, `1` = sequential). Within an island the analysis
-    /// itself runs single-threaded; islands are the parallel grain.
+    /// Worker threads for analyzing independent dirty cones in parallel
+    /// (`0` = all cores, `1` = sequential) — disjoint cones inside one
+    /// island count as independent. Within a cone the fixpoint itself runs
+    /// single-threaded; cones are the parallel grain.
     pub island_threads: usize,
     /// When flattening an [`AdmissionRequest::AddInstance`], also generate
     /// sporadic transactions for unbound provided methods (the external
@@ -205,7 +211,7 @@ impl AdmissionController {
         let groups = islands.dirty_groups(&controller.set, &all_platforms);
         let inputs: Vec<GroupInput> = groups
             .iter()
-            .map(|group| controller.group_input(group, false))
+            .map(|group| controller.group_input(group, &[], false))
             .collect();
         let results = parallel_map(&inputs, controller.policy.island_threads, |input| {
             controller.guarded_analyze(input)
@@ -213,7 +219,7 @@ impl AdmissionController {
         let mut scratch = UndoLog::default();
         for (input, result) in inputs.iter().zip(results) {
             let report = result.map_err(|r| format!("initial analysis failed: {r}"))?;
-            controller.absorb(&input.indices, &report, &mut scratch);
+            controller.absorb(&input.indices, &input.active, &report, &mut scratch);
         }
         Ok(controller)
     }
@@ -324,9 +330,10 @@ impl AdmissionController {
         let mut undo = UndoLog::default();
         let additive = batch.iter().all(AdmissionRequest::is_additive);
 
-        let mut seeds: Vec<PlatformId> = Vec::new();
+        let mut seeds: Vec<DirtySeed> = Vec::new();
+        let mut arrivals: Vec<String> = Vec::new();
         for request in batch {
-            if let Err(message) = self.apply(request, &mut seeds, &mut undo) {
+            if let Err(message) = self.apply(request, &mut seeds, &mut arrivals, &mut undo) {
                 return self.reject(undo, batch, RejectReason::Structural(message));
             }
         }
@@ -349,22 +356,38 @@ impl AdmissionController {
             }
         }
 
-        let groups: Vec<Vec<usize>> = if self.policy.dirty_tracking {
-            Islands::of(&self.set).dirty_groups(&self.set, &seeds)
+        // The dirty set is the hp-graph closure of the batch's seeds:
+        // arrivals seed their own (now live) tasks, departures their
+        // interference footprints, retunes their platform's population.
+        let inputs: Vec<GroupInput> = if self.policy.dirty_tracking {
+            let graph = HpGraph::of(&self.set);
+            for name in &arrivals {
+                if let Some(i) = self.set.transaction_index(name) {
+                    for idx in 0..self.set.transactions()[i].len() {
+                        seeds.push(DirtySeed::Task(TaskRef { tx: i, idx }));
+                    }
+                }
+            }
+            self.seed_stale_islands(&mut seeds);
+            let cone = graph.closure(&self.set, &seeds);
+            dirty_components(&self.set, &cone.transactions)
+                .into_iter()
+                .map(|members| {
+                    let context = component_context(&self.set, &members, &cone.transactions);
+                    self.group_input(&members, &context, additive && self.policy.warm_start)
+                })
+                .collect()
         } else if self.set.transactions().is_empty() {
             Vec::new()
         } else {
-            vec![(0..self.set.transactions().len()).collect()]
+            let all: Vec<usize> = (0..self.set.transactions().len()).collect();
+            vec![self.group_input(&all, &[], additive && self.policy.warm_start)]
         };
-        let analyzed: usize = groups.iter().map(Vec::len).sum();
+        let analyzed: usize = inputs.iter().map(GroupInput::active_count).sum();
         let total = self.set.transactions().len();
-        let islands = groups.len();
+        let islands = inputs.len();
 
-        let inputs: Vec<GroupInput> = groups
-            .iter()
-            .map(|group| self.group_input(group, additive && self.policy.warm_start))
-            .collect();
-        let warm_started = inputs.iter().any(|input| input.warm.is_some());
+        let warm_started = inputs.iter().any(|input| input.warm_seeded);
         let results: Vec<Result<SchedulabilityReport, RejectReason>> =
             parallel_map(&inputs, self.policy.island_threads, |input| {
                 self.guarded_analyze(input)
@@ -372,7 +395,7 @@ impl AdmissionController {
 
         for (input, result) in inputs.iter().zip(results) {
             match result {
-                Ok(report) => self.absorb(&input.indices, &report, &mut undo),
+                Ok(report) => self.absorb(&input.indices, &input.active, &report, &mut undo),
                 Err(reason) => return self.reject(undo, batch, reason),
             }
         }
@@ -646,22 +669,31 @@ impl AdmissionController {
             .collect()
     }
 
-    /// Applies one request to the live state, recording the platforms whose
-    /// islands become dirty and the inverse operations in the undo log.
-    /// Errors leave partially applied state behind — the caller plays the
-    /// log back.
+    /// Applies one request to the live state, recording the hp-graph dirty
+    /// seeds (departure footprints, retuned platforms — arrivals are
+    /// collected by *name* and resolved to task seeds after the whole batch
+    /// applied, since later requests may shift indices or remove them
+    /// again) and the inverse operations in the undo log. Errors leave
+    /// partially applied state behind — the caller plays the log back.
     fn apply(
         &mut self,
         request: &AdmissionRequest,
-        seeds: &mut Vec<PlatformId>,
+        seeds: &mut Vec<DirtySeed>,
+        arrivals: &mut Vec<String>,
         undo: &mut UndoLog,
     ) -> Result<(), String> {
+        let footprints = |seeds: &mut Vec<DirtySeed>, tx: &hsched_transaction::Transaction| {
+            seeds.extend(tx.tasks().iter().map(|t| DirtySeed::Footprint {
+                platform: t.platform,
+                priority: t.priority,
+            }));
+        };
         match request {
             AdmissionRequest::AddTransaction(tx) => {
                 if self.set.transaction_index(&tx.name).is_some() {
                     return Err(format!("transaction `{}` already live", tx.name));
                 }
-                seeds.extend(tx.tasks().iter().map(|t| t.platform));
+                arrivals.push(tx.name.clone());
                 self.set.push_transaction(tx.clone())?;
                 self.entries.push(Entry {
                     origin: None,
@@ -681,7 +713,7 @@ impl AdmissionController {
                     ));
                 }
                 let removed = self.set.remove_transaction(index)?;
-                seeds.extend(removed.tasks().iter().map(|t| t.platform));
+                footprints(seeds, &removed);
                 let entry = self.entries.remove(index);
                 undo.ops.push(UndoOp::InsertTransaction {
                     index,
@@ -713,7 +745,7 @@ impl AdmissionController {
                     id: *platform,
                     platform: previous,
                 });
-                seeds.push(*platform);
+                seeds.push(DirtySeed::Platform(*platform));
                 Ok(())
             }
             AdmissionRequest::AddInstance {
@@ -753,7 +785,7 @@ impl AdmissionController {
                     system: self.system.clone(),
                 });
                 for tx in subset.transactions() {
-                    seeds.extend(tx.tasks().iter().map(|t| t.platform));
+                    arrivals.push(tx.name.clone());
                     self.set.push_transaction(tx.clone())?;
                     self.entries.push(Entry {
                         origin: Some(name.clone()),
@@ -781,7 +813,7 @@ impl AdmissionController {
                 while index < self.entries.len() {
                     if self.entries[index].origin.as_deref() == Some(name.as_str()) {
                         let removed = self.set.remove_transaction(index)?;
-                        seeds.extend(removed.tasks().iter().map(|t| t.platform));
+                        footprints(seeds, &removed);
                         let entry = self.entries.remove(index);
                         undo.ops.push(UndoOp::InsertTransaction {
                             index,
@@ -818,38 +850,127 @@ impl AdmissionController {
             .collect())
     }
 
-    /// Builds the island sub-problem: the member transactions over the full
-    /// platform set, plus a warm-start seed when every retained member's
-    /// cached fixpoint converged (new members seed at zero, which is the
-    /// cold value — mixing is still exact, see [`WarmStart`]).
-    fn group_input(&self, indices: &[usize], warm: bool) -> GroupInput {
+    /// Extends the dirty seeds with every live transaction whose cached
+    /// analysis did **not** converge, whenever the batch touches its
+    /// island. A non-converged cache row holds bail-out values, not a
+    /// fixpoint — it cannot serve as a frozen pin, and a batch that heals
+    /// the island (say, removing the diverging hog) may leave such a row
+    /// outside the hp-graph cone (a higher-priority neighbor the hog never
+    /// delayed). Re-activating stale rows at island granularity reproduces
+    /// exactly what the PR-2 island tracker recomputed, so recovery batches
+    /// admit identically; untouched islands keep their (stale, rejected-at-
+    /// admission) rows exactly as before.
+    fn seed_stale_islands(&self, seeds: &mut Vec<DirtySeed>) {
+        let stale: Vec<usize> = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| {
+                e.outcome
+                    .as_ref()
+                    .is_some_and(|o| !(o.converged && o.bounded))
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if stale.is_empty() {
+            return;
+        }
+        let mut islands = Islands::of(&self.set);
+        let mut touched: Vec<usize> = seeds
+            .iter()
+            .filter_map(|seed| match *seed {
+                DirtySeed::Task(r) => Some(self.set.task(r).platform.0),
+                DirtySeed::Footprint { platform, .. } | DirtySeed::Platform(platform) => {
+                    (platform.0 < self.set.platforms().len()).then_some(platform.0)
+                }
+            })
+            .map(|p| islands.find_platform(p))
+            .collect();
+        touched.sort_unstable();
+        touched.dedup();
+        for i in stale {
+            if touched.contains(&islands.island_of(&self.set, i)) {
+                for idx in 0..self.set.transactions()[i].len() {
+                    seeds.push(DirtySeed::Task(TaskRef { tx: i, idx }));
+                }
+            }
+        }
+    }
+
+    /// Builds one analysis sub-problem: the cone members (active) plus
+    /// their clean platform-sharing context (frozen), all over the full
+    /// platform set.
+    ///
+    /// Frozen members are pinned at their cached fixpoint — exact because
+    /// nothing that reaches them changed (cone closure). Active members
+    /// seed from their cached jitters when `warm_actives` (purely additive
+    /// batches: the old fixpoint is ≤ the new one) and restart cold
+    /// otherwise (the downward-restart bound after removals/retunes); both
+    /// are exact, see [`WarmStart`]. The warm seeding additionally requires
+    /// every cached active member to have converged — a diverged cache
+    /// value may exceed the new least fixpoint, so those groups fall back
+    /// to cold actives.
+    fn group_input(&self, members: &[usize], context: &[usize], warm_actives: bool) -> GroupInput {
+        // Merge actives and context ascending so the sub-set preserves the
+        // live set's relative order (determinism + report alignment).
+        let mut indices: Vec<(usize, bool)> = members
+            .iter()
+            .map(|&i| (i, true))
+            .chain(context.iter().map(|&i| (i, false)))
+            .collect();
+        indices.sort_unstable();
+        let (indices, active): (Vec<usize>, Vec<bool>) = indices.into_iter().unzip();
+
         let transactions = indices
             .iter()
             .map(|&i| self.set.transactions()[i].clone())
             .collect();
         let sub = TransactionSet::new(self.set.platforms().clone(), transactions)
-            .expect("island members reference live platforms");
-        let warm = if warm {
-            let all_converged = indices.iter().all(|&i| match &self.entries[i].outcome {
-                Some(outcome) => outcome.converged && outcome.bounded,
-                None => true, // new arrival: cold coordinate
-            });
-            all_converged.then(|| WarmStart {
-                jitters: indices
+            .expect("cone members reference live platforms");
+
+        let warm_seeded = warm_actives
+            && indices
+                .iter()
+                .zip(&active)
+                .all(|(&i, &a)| match &self.entries[i].outcome {
+                    Some(outcome) => !a || (outcome.converged && outcome.bounded),
+                    None => true, // new arrival: cold coordinate
+                });
+        let has_frozen = active.iter().any(|&a| !a);
+        let warm = if has_frozen || warm_seeded {
+            let row = |i: usize, a: bool, f: fn(&TaskResult) -> Time| -> Vec<Time> {
+                match &self.entries[i].outcome {
+                    Some(outcome) if !a || warm_seeded => outcome.tasks.iter().map(f).collect(),
+                    _ => vec![Time::ZERO; self.set.transactions()[i].len()],
+                }
+            };
+            let jitters = indices
+                .iter()
+                .zip(&active)
+                .map(|(&i, &a)| row(i, a, |t| t.jitter))
+                .collect();
+            let frozen = has_frozen.then(|| FrozenSeed {
+                active: indices
                     .iter()
-                    .map(|&i| match &self.entries[i].outcome {
-                        Some(outcome) => outcome.tasks.iter().map(|t| t.jitter).collect(),
-                        None => vec![Time::ZERO; self.set.transactions()[i].len()],
-                    })
+                    .zip(&active)
+                    .map(|(&i, &a)| vec![a; self.set.transactions()[i].len()])
                     .collect(),
-            })
+                responses: indices
+                    .iter()
+                    .zip(&active)
+                    .map(|(&i, &a)| row(i, a, |t| t.response))
+                    .collect(),
+            });
+            Some(WarmStart { jitters, frozen })
         } else {
             None
         };
         GroupInput {
-            indices: indices.to_vec(),
+            indices,
+            active,
             set: sub,
             warm,
+            warm_seeded,
         }
     }
 
@@ -875,10 +996,22 @@ impl AdmissionController {
         }
     }
 
-    /// Writes an island report back into the per-transaction cache, saving
-    /// the overwritten outcomes in the undo log.
-    fn absorb(&mut self, indices: &[usize], report: &SchedulabilityReport, undo: &mut UndoLog) {
+    /// Writes a cone report back into the per-transaction cache, saving the
+    /// overwritten outcomes in the undo log. Frozen context positions are
+    /// skipped — their cached values are the pinned seeds the analysis ran
+    /// against, already in place (and possibly shared with a sibling cone's
+    /// context, which must not see them overwritten).
+    fn absorb(
+        &mut self,
+        indices: &[usize],
+        active: &[bool],
+        report: &SchedulabilityReport,
+        undo: &mut UndoLog,
+    ) {
         for (pos, &index) in indices.iter().enumerate() {
+            if !active[pos] {
+                continue;
+            }
             let fresh = Some(TxOutcome {
                 tasks: report.tasks[pos].clone(),
                 verdict: report.verdicts[pos].clone(),
@@ -913,12 +1046,24 @@ impl AdmissionController {
     }
 }
 
-/// One island's analysis job, prepared under `&self` so islands can run in
-/// parallel worker threads.
+/// One cone's analysis job, prepared under `&self` so cones can run in
+/// parallel worker threads. `indices` are global transaction indices
+/// (ascending); `active[pos]` distinguishes cone members (re-analyzed)
+/// from frozen context (pinned).
 struct GroupInput {
     indices: Vec<usize>,
+    active: Vec<bool>,
     set: TransactionSet,
     warm: Option<WarmStart>,
+    /// Active members were seeded from cached jitters (additive resume).
+    warm_seeded: bool,
+}
+
+impl GroupInput {
+    /// Number of transactions actually re-analyzed.
+    fn active_count(&self) -> usize {
+        self.active.iter().filter(|&&a| a).count()
+    }
 }
 
 thread_local! {

@@ -1,5 +1,5 @@
-//! Interference islands: the dependency structure that makes admission
-//! analysis incremental.
+//! Interference islands and cones: the dependency structure that makes
+//! admission analysis incremental.
 //!
 //! A task's response time depends only on tasks mapped to the *same
 //! platform* (the `hp` sets of Eq. 17) and on its own predecessors, whose
@@ -11,11 +11,19 @@
 //! analyzable independently — the holistic fixpoint of an island is
 //! *identical* to its restriction in a full-system analysis.
 //!
-//! A change (arrival, departure, retune) marks the platforms it touches as
-//! dirty seeds; only islands containing a dirty platform need re-analysis.
+//! Islands are only the coarse bound, though: *within* an island,
+//! interference still only flows from high to low priority
+//! (`hsched_analysis::HpGraph`), so the set of transactions a change can
+//! actually affect is its **interference cone** — usually a small slice of
+//! the island. The controller computes cones per batch, pins everything
+//! outside them at the cached fixpoint, and re-analyzes only cone members
+//! ([`dirty_components`] groups them into independently-analyzable
+//! sub-problems). [`Islands`] survives as the seed-time partitioner and the
+//! engine's shard/routing granularity.
 
 use hsched_platform::PlatformId;
 use hsched_transaction::TransactionSet;
+use std::collections::HashMap;
 
 /// A plain union–find (path halving, no ranks) over `0..n`. [`Islands`]
 /// builds on it; `hsched-engine` reuses it to group an admission batch's
@@ -75,6 +83,11 @@ impl Islands {
         self.uf.find(x)
     }
 
+    /// The island (root platform index) a platform belongs to.
+    pub(crate) fn find_platform(&mut self, platform: usize) -> usize {
+        self.find(platform)
+    }
+
     /// The island (root platform index) a transaction belongs to.
     pub(crate) fn island_of(&mut self, set: &TransactionSet, tx: usize) -> usize {
         self.find(set.transactions()[tx].tasks()[0].platform.0)
@@ -111,6 +124,72 @@ impl Islands {
             .filter(|members| !members.is_empty())
             .collect()
     }
+}
+
+/// Groups the cone's dirty transactions into connected components *among
+/// themselves*, connecting two dirty transactions iff they share a platform
+/// (priorities on one platform are totally ordered, so platform-sharing
+/// dirty transactions always carry an interference edge in some direction
+/// and must be solved together; dirty transactions only linked through a
+/// *clean* transaction cannot influence each other — the clean one would be
+/// dirty if influence flowed through it). Components come back in
+/// deterministic order: ascending by first member, members ascending.
+pub(crate) fn dirty_components(set: &TransactionSet, dirty: &[bool]) -> Vec<Vec<usize>> {
+    let members: Vec<usize> = (0..set.transactions().len())
+        .filter(|&i| dirty[i])
+        .collect();
+    let mut uf = UnionFind::new(members.len());
+    let mut owner: HashMap<usize, usize> = HashMap::new(); // platform → member pos
+    for (k, &i) in members.iter().enumerate() {
+        for task in set.transactions()[i].tasks() {
+            match owner.get(&task.platform.0) {
+                Some(&j) => uf.union(j, k),
+                None => {
+                    owner.insert(task.platform.0, k);
+                }
+            }
+        }
+    }
+    let mut components: Vec<(usize, Vec<usize>)> = Vec::new();
+    for (k, &i) in members.iter().enumerate() {
+        let root = uf.find(k);
+        match components.iter_mut().find(|(r, _)| *r == root) {
+            Some((_, list)) => list.push(i),
+            None => components.push((root, vec![i])),
+        }
+    }
+    components.into_iter().map(|(_, list)| list).collect()
+}
+
+/// The clean transactions whose state a component's analysis reads: every
+/// non-dirty transaction with a task that can interfere *into* the
+/// component — on a member platform at priority ≥ the lowest member
+/// priority there (`hp` of Eq. 17 only looks upward; clean lower-priority
+/// neighbors are never read). They join the analyzed sub-set *frozen*
+/// (pinned at the cached fixpoint) so member tasks see their hp
+/// interference unchanged.
+pub(crate) fn component_context(
+    set: &TransactionSet,
+    members: &[usize],
+    dirty: &[bool],
+) -> Vec<usize> {
+    // Per platform: the lowest priority any member task holds there.
+    let mut floor: Vec<Option<u32>> = vec![None; set.platforms().len()];
+    for &i in members {
+        for task in set.transactions()[i].tasks() {
+            let p = &mut floor[task.platform.0];
+            *p = Some(p.map_or(task.priority, |f| f.min(task.priority)));
+        }
+    }
+    (0..set.transactions().len())
+        .filter(|&i| {
+            !dirty[i]
+                && set.transactions()[i]
+                    .tasks()
+                    .iter()
+                    .any(|t| floor[t.platform.0].is_some_and(|f| t.priority >= f))
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -170,5 +249,24 @@ mod tests {
         let mut islands = Islands::of(&set);
         assert!(islands.dirty_groups(&set, &[PlatformId(9)]).is_empty());
         assert!(islands.dirty_groups(&set, &[]).is_empty());
+    }
+
+    #[test]
+    fn dirty_components_split_disjoint_cones() {
+        // tx0 on P0, tx1 on P1, tx2 on P0–P1 (bridges), tx3 on P2.
+        let set = set_on(3, &[&[0], &[1], &[0, 1], &[2]]);
+        // All dirty: one component bridged by tx2, plus tx3 alone.
+        let all = vec![true; 4];
+        assert_eq!(dirty_components(&set, &all), vec![vec![0, 1, 2], vec![3]]);
+        // Without the bridge, tx0 and tx1 are independent cones even though
+        // they share an island with tx2.
+        let no_bridge = vec![true, true, false, true];
+        assert_eq!(
+            dirty_components(&set, &no_bridge),
+            vec![vec![0], vec![1], vec![3]]
+        );
+        // Context of {tx0}: the clean bridge tx2 (shares P0), not tx1/tx3.
+        assert_eq!(component_context(&set, &[0], &no_bridge), vec![2]);
+        assert!(component_context(&set, &[3], &no_bridge).is_empty());
     }
 }

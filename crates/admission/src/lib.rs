@@ -10,25 +10,34 @@
 //! This crate provides the [`AdmissionController`], a long-lived engine
 //! that gets its speed from three stacked layers:
 //!
-//! 1. **Dirty tracking** — interference cannot cross the connected
-//!    components ("islands") of the transaction–platform graph, because a
-//!    task is only delayed by tasks on its own platform (Eq. 17). Each
-//!    batch marks the platforms it touches; only islands containing a dirty
-//!    platform are re-analyzed, and the restriction is *exact*, not an
-//!    approximation (see [`mod@crate::gen`]'s clustered scenarios for the
-//!    structure that makes this win large).
-//! 2. **Warm-started fixpoints** — for purely additive batches the holistic
-//!    iteration resumes from the previous epoch's converged jitters
+//! 1. **Cone-granular dirty tracking** — interference only propagates
+//!    from higher- to lower-priority tasks on a shared platform (Eq. 17)
+//!    and along transaction chains, so the tasks a batch can affect are
+//!    exactly the forward reachability of its changes over that graph
+//!    ([`hsched_analysis::HpGraph`]) — its interference *cone*, usually a
+//!    small slice of the platform-sharing island PR 2 tracked. Only cone
+//!    members are re-analyzed; everything else is pinned at the cached
+//!    fixpoint. The restriction is *exact*, not an approximation, and
+//!    property-tested to be a subset of the island dirty set that never
+//!    misses a changed transaction.
+//! 2. **Warm-started fixpoints** — for purely additive batches cone
+//!    members resume from the previous epoch's converged jitters
 //!    ([`hsched_analysis::WarmStart`]): interference only grew, so the old
 //!    fixpoint lies below the new least fixpoint and the resumed iteration
-//!    reaches exactly the same answer in fewer sweeps.
-//! 3. **Batching + parallelism** — requests are coalesced per epoch and the
-//!    dirty islands are analyzed concurrently via
-//!    [`hsched_analysis::parallel_map`]; a rejected batch rolls the
-//!    controller back byte-identically (transactional semantics) by playing
-//!    back an undo log of inverse requests — O(batch + dirty), not a
-//!    full-state snapshot clone. The log of an *admitted* epoch is kept as
-//!    [`AdmissionController::rollback_last`], which the sharded
+//!    reaches exactly the same answer in fewer sweeps. Removal-only and
+//!    mixed batches use the **downward-restart bound**: cone coordinates
+//!    restart cold while the pinned rest carries the old fixpoint — the
+//!    combined seed is still ≤ the new least fixpoint, so the resume is
+//!    exact (no more cold island fixpoints on departures). Below both, the
+//!    RTA hot-path cache memoizes foreign-interference totals and supply
+//!    inversions across sweeps, invalidated through the hp-graph.
+//! 3. **Batching + parallelism** — requests are coalesced per epoch and
+//!    disjoint dirty cones (even inside one island) are analyzed
+//!    concurrently via [`hsched_analysis::parallel_map`]; a rejected batch
+//!    rolls the controller back byte-identically (transactional semantics)
+//!    by playing back an undo log of inverse requests — O(batch + dirty),
+//!    not a full-state snapshot clone. The log of an *admitted* epoch is
+//!    kept as [`AdmissionController::rollback_last`], which the sharded
 //!    `hsched-engine` router uses to keep cross-shard epochs atomic.
 //!
 //! At service scale, prefer `hsched-engine`'s `AdmissionRouter`: it
@@ -518,6 +527,48 @@ mod tests {
         assert!(controller.schedulable());
         let fresh = analyze_with(controller.current_set(), &AnalysisConfig::default()).unwrap();
         assert_eq!(controller.report().tasks, fresh.tasks);
+    }
+
+    #[test]
+    fn healing_removal_refreshes_stale_island_members() {
+        // Island B holds a diverging hog (U = 0.2 > α = 0.1) and a
+        // higher-priority neighbor `vip` the hog never delays — so `vip`
+        // is *outside* the hog's interference cone, yet the seed analysis
+        // stamped it with the island's diverged flags. Removing the hog
+        // must re-activate `vip` at island granularity (a frozen pin of a
+        // bail-out value is not a fixpoint) and admit, exactly as the
+        // PR-2 island tracker did.
+        let mut platforms = PlatformSet::new();
+        let pb = platforms.add(Platform::linear("B", rat(1, 10), rat(0, 1), rat(0, 1)).unwrap());
+        let vip = Transaction::new(
+            "vip",
+            rat(100, 1),
+            rat(100, 1),
+            vec![Task::new("v", rat(1, 1), rat(1, 1), 5, pb)],
+        )
+        .unwrap();
+        let hog = Transaction::new(
+            "hog",
+            rat(10, 1),
+            rat(10, 1),
+            vec![Task::new("h", rat(2, 1), rat(2, 1), 1, pb)],
+        )
+        .unwrap();
+        let set = TransactionSet::new(platforms, vec![vip, hog]).unwrap();
+        let mut controller =
+            AdmissionController::new(set, AnalysisConfig::default(), AdmissionPolicy::default())
+                .unwrap();
+        assert!(!controller.schedulable(), "seed state diverges");
+        let outcome = controller.admit(AdmissionRequest::RemoveTransaction { name: "hog".into() });
+        assert!(
+            outcome.verdict.admitted(),
+            "healing removal must refresh the stale neighbor, got {}",
+            outcome.verdict
+        );
+        assert!(controller.schedulable());
+        let fresh = analyze_with(controller.current_set(), &AnalysisConfig::default()).unwrap();
+        assert_eq!(controller.report().tasks, fresh.tasks);
+        assert_eq!(controller.report().verdicts, fresh.verdicts);
     }
 
     #[test]

@@ -170,14 +170,17 @@ pub struct EpochOutcome {
     pub verdict: Verdict,
     /// Number of requests in the batch.
     pub requests: usize,
-    /// Transactions actually re-analyzed (the dirty set).
+    /// Transactions actually re-analyzed (the dirty cone).
     pub analyzed_transactions: usize,
     /// Transactions live after request application (dirty + clean).
     pub total_transactions: usize,
-    /// Independent interference islands the dirty set split into (analyzed
-    /// in parallel).
+    /// Independent interference cones the dirty set split into (analyzed
+    /// in parallel; at most one per platform-sharing island, usually
+    /// finer).
     pub islands: usize,
-    /// Whether any island resumed from the previous epoch's fixpoint.
+    /// Whether any cone's members were warm-seeded from the previous
+    /// epoch's fixpoint (purely additive batches; pinning *outside* the
+    /// cone happens on every dirty-tracked epoch and is not flagged here).
     pub warm_started: bool,
 }
 

@@ -1,0 +1,79 @@
+//! The RTA hot-path cache: memoizes the two computations that dominate the
+//! busy-period fixpoints of `rta.rs`, carried across holistic sweeps and
+//! invalidated through the hp-graph.
+//!
+//! * **Foreign interference** — in the reduced analysis (§3.1.2), every
+//!   scenario of a task's own transaction re-evaluates
+//!   `Σ_{i ≠ a} W*_i(τa,b, t)` at the same busy-window lengths `t`; the sum
+//!   only depends on the states of the task's hp set, so it is memoized per
+//!   `(task, t)` and reused across scenarios *and* across sweeps. When a
+//!   sweep changes a task's jitter, exactly the tasks it can interfere with
+//!   ([`HpGraph::targets_of`]) have their memo dropped — everything else
+//!   keeps its entries, which is where warm resumes win big (most
+//!   coordinates stop moving early).
+//! * **Supply inversion** — the completion map `demand ↦ Δ + B + t(demand)`
+//!   is static for the whole analysis (platforms never change mid-call), so
+//!   it is memoized per `(task, demand)` and never invalidated. This is
+//!   cheap insurance for linear platforms and a large win for
+//!   [`crate::ServiceTimeMode::ExactCurve`], whose staircase inversion
+//!   walks supply segments.
+//!
+//! Each task's entry is behind its own mutex: a Jacobi sweep analyzes every
+//! task on exactly one worker, so the locks are uncontended — they only
+//! make the sharing safe.
+
+use crate::hpgraph::HpGraph;
+use hsched_numeric::{Cycles, Time};
+use hsched_transaction::{TaskRef, TransactionSet};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Per-task memo (see the module docs).
+#[derive(Debug, Default)]
+pub(crate) struct TaskMemo {
+    /// Busy-window length `t` → total foreign `W*` demand in cycles.
+    pub(crate) foreign: HashMap<Time, Cycles>,
+    /// Accumulated demand → completion time (blocking + supply inverse).
+    pub(crate) completion: HashMap<Cycles, Time>,
+}
+
+/// The analysis-wide cache: one memo per task, plus the hp-graph that
+/// scopes invalidation.
+#[derive(Debug)]
+pub(crate) struct RtaCache {
+    graph: HpGraph,
+    memos: Vec<Mutex<TaskMemo>>,
+}
+
+impl RtaCache {
+    pub(crate) fn new(set: &TransactionSet) -> RtaCache {
+        let graph = HpGraph::of(set);
+        let memos = (0..graph.task_count())
+            .map(|_| Mutex::new(TaskMemo::default()))
+            .collect();
+        RtaCache { graph, memos }
+    }
+
+    /// The memo of one task.
+    pub(crate) fn memo(&self, r: TaskRef) -> &Mutex<TaskMemo> {
+        &self.memos[self.graph.flat_index(r)]
+    }
+
+    /// Drops the foreign-interference memo of every task whose inputs read
+    /// `changed`'s state — its direct hp-graph targets (and itself: its own
+    /// phase enters its self-started scenarios, though not the foreign sum,
+    /// so clearing it is cheap correctness margin). Completion memos are
+    /// static and survive.
+    pub(crate) fn invalidate_changed(&self, changed: TaskRef) {
+        let mut targets = Vec::new();
+        self.graph.targets_of(changed, &mut targets);
+        targets.push(self.graph.flat_index(changed));
+        for flat in targets {
+            self.memos[flat]
+                .lock()
+                .expect("rta cache lock poisoned")
+                .foreign
+                .clear();
+        }
+    }
+}

@@ -2,6 +2,7 @@
 //! jitters on successor tasks; iterate the static-offset analysis until the
 //! jitter vector stabilizes.
 
+use crate::cache::RtaCache;
 use crate::par::parallel_map;
 use crate::report::{IterationRecord, SchedulabilityReport, TaskResult, TransactionVerdict};
 pub use crate::rta::AnalysisError;
@@ -49,18 +50,48 @@ pub fn analyze_with(
 /// analyzed: e.g. the same system before extra transactions were added
 /// (interference terms only grow, so the old fixpoint is a pre-fixpoint of
 /// the new map). After *removals* or platform retunes the old fixpoint can
-/// exceed the new least fixpoint, and resuming from it may converge to a
-/// larger (still sound, but pessimistic) fixpoint — callers wanting
-/// exactness must cold-start in that case, as the admission controller does
-/// for non-additive batches.
+/// exceed the new least fixpoint along the coordinates the change can reach,
+/// and resuming those from it may converge to a larger (still sound, but
+/// pessimistic) fixpoint.
+///
+/// # The downward-restart bound
+///
+/// [`FrozenSeed`] refines this for non-additive changes. A change's
+/// influence is bounded by its interference cone — the forward reachability
+/// of its seeds over the hp-graph ([`crate::HpGraph::closure`]). Outside
+/// the cone, no input of any task changed, so the old converged values *are*
+/// the new least-fixpoint values: those coordinates may be **frozen** at the
+/// seed (never re-analyzed). Inside the cone, restart the coordinates at
+/// zero — the downward-restart bound: the combined seed vector (old values
+/// outside, cold inside) is then coordinate-wise ≤ the new least fixpoint,
+/// and the same monotone-map argument as above applies, with the Kleene
+/// sandwich `F^n(⊥) ≤ F^n(seed) ≤ lfp` forcing convergence to exactly the
+/// least fixpoint. For purely additive changes the cone coordinates may
+/// instead seed at their old values (still ≤ the new least fixpoint, since
+/// interference only grew), which usually converges in one or two sweeps.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WarmStart {
     /// Seed jitters, indexed like the transaction set.
     pub jitters: Vec<Vec<Time>>,
+    /// Optional cone restriction: coordinates marked inactive are pinned at
+    /// the seed (jitter *and* response) and skipped by every sweep. The
+    /// caller asserts their inputs are unchanged — see the soundness notes.
+    pub frozen: Option<FrozenSeed>,
+}
+
+/// The frozen half of a cone-restricted resume (see [`WarmStart`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrozenSeed {
+    /// `active[i][j]` — task τi,j is iterated; `false` = pinned.
+    pub active: Vec<Vec<bool>>,
+    /// Converged responses pinning the frozen coordinates (active entries
+    /// are ignored — they are recomputed in the first sweep).
+    pub responses: Vec<Vec<Time>>,
 }
 
 impl WarmStart {
-    /// Extracts the converged jitters of a previous report.
+    /// Extracts the converged jitters of a previous report (all
+    /// coordinates active — the plain additive resume).
     pub fn from_report(report: &SchedulabilityReport) -> WarmStart {
         WarmStart {
             jitters: report
@@ -68,16 +99,65 @@ impl WarmStart {
                 .iter()
                 .map(|row| row.iter().map(|t| t.jitter).collect())
                 .collect(),
+            frozen: None,
+        }
+    }
+
+    /// A cone-restricted resume from a previous report: coordinates outside
+    /// `active` are pinned at the report's converged values; active ones
+    /// restart cold when `cold_active` (the exact choice after removals or
+    /// retunes) or from the report's jitters otherwise (exact for purely
+    /// additive changes).
+    pub fn restricted(
+        report: &SchedulabilityReport,
+        active: Vec<Vec<bool>>,
+        cold_active: bool,
+    ) -> WarmStart {
+        let jitters = report
+            .tasks
+            .iter()
+            .zip(&active)
+            .map(|(row, act)| {
+                row.iter()
+                    .zip(act)
+                    .map(|(t, &a)| {
+                        if a && cold_active {
+                            Time::ZERO
+                        } else {
+                            t.jitter
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let responses = report
+            .tasks
+            .iter()
+            .map(|row| row.iter().map(|t| t.response).collect())
+            .collect();
+        WarmStart {
+            jitters,
+            frozen: Some(FrozenSeed { active, responses }),
         }
     }
 
     fn matches(&self, set: &TransactionSet) -> bool {
-        self.jitters.len() == set.transactions().len()
-            && self
-                .jitters
-                .iter()
-                .zip(set.transactions())
-                .all(|(row, tx)| row.len() == tx.len())
+        let shape = |rows: &[Vec<Time>]| {
+            rows.len() == set.transactions().len()
+                && rows
+                    .iter()
+                    .zip(set.transactions())
+                    .all(|(row, tx)| row.len() == tx.len())
+        };
+        shape(&self.jitters)
+            && self.frozen.as_ref().is_none_or(|f| {
+                shape(&f.responses)
+                    && f.active.len() == set.transactions().len()
+                    && f.active
+                        .iter()
+                        .zip(set.transactions())
+                        .all(|(row, tx)| row.len() == tx.len())
+            })
     }
 }
 
@@ -91,6 +171,7 @@ pub fn analyze_resumed(
 ) -> Result<SchedulabilityReport, AnalysisError> {
     let (_, best_responses) = best_case_offsets(set, config.service_mode);
     let mut states = initial_states(set, config.service_mode);
+    let mut frozen = None;
     if let Some(warm) = warm {
         debug_assert!(warm.matches(set), "warm-start shape mismatch");
         if warm.matches(set) {
@@ -101,18 +182,34 @@ pub fn analyze_resumed(
                     state.jitter = state.jitter.max(j);
                 }
             }
+            frozen = warm.frozen.as_ref();
         }
     }
     let refs: Vec<TaskRef> = set.task_refs().collect();
+    // Frozen coordinates are pinned at the seed and skipped in every sweep;
+    // see the WarmStart docs for why that is exact.
+    let active_refs: Vec<TaskRef> = match frozen {
+        Some(f) => refs
+            .iter()
+            .copied()
+            .filter(|r| f.active[r.tx][r.idx])
+            .collect(),
+        None => refs,
+    };
+    let cache = config.rta_cache.then(|| RtaCache::new(set));
+    let cache = cache.as_ref();
 
     let mut trace: Vec<IterationRecord> = Vec::new();
     let mut converged = false;
     let mut all_bounded = true;
-    let mut responses: Vec<Vec<Time>> = set
-        .transactions()
-        .iter()
-        .map(|tx| vec![Time::ZERO; tx.len()])
-        .collect();
+    let mut responses: Vec<Vec<Time>> = match frozen {
+        Some(f) => f.responses.clone(),
+        None => set
+            .transactions()
+            .iter()
+            .map(|tx| vec![Time::ZERO; tx.len()])
+            .collect(),
+    };
 
     for _iteration in 0..config.max_outer_iterations {
         let sweep_start_jitters: Vec<Vec<Time>> = states
@@ -122,13 +219,14 @@ pub fn analyze_resumed(
         all_bounded = true;
         match config.update_order {
             crate::UpdateOrder::Jacobi => {
-                // All tasks analyzed against the previous state vector
-                // (parallelizable, reproduces Table 3 column by column).
+                // All active tasks analyzed against the previous state
+                // vector (parallelizable, reproduces Table 3 column by
+                // column).
                 let outcomes: Vec<Result<TaskAnalysis, AnalysisError>> =
-                    parallel_map(&refs, config.threads, |&r| {
-                        analyze_task(set, &states, r, config)
+                    parallel_map(&active_refs, config.threads, |&r| {
+                        analyze_task(set, &states, r, config, cache)
                     });
-                for (r, outcome) in refs.iter().zip(outcomes) {
+                for (r, outcome) in active_refs.iter().zip(outcomes) {
                     let outcome = outcome?;
                     responses[r.tx][r.idx] = outcome.response;
                     all_bounded &= outcome.bounded;
@@ -136,14 +234,24 @@ pub fn analyze_resumed(
             }
             crate::UpdateOrder::GaussSeidel => {
                 // Fresh responses feed successors within the sweep.
-                for &r in &refs {
-                    let outcome = analyze_task(set, &states, r, config)?;
+                for &r in &active_refs {
+                    let outcome = analyze_task(set, &states, r, config, cache)?;
                     responses[r.tx][r.idx] = outcome.response;
                     all_bounded &= outcome.bounded;
                     let n_tasks = set.transactions()[r.tx].len();
                     if all_bounded && r.idx + 1 < n_tasks {
-                        states[r.tx][r.idx + 1].jitter =
+                        let successor = TaskRef {
+                            tx: r.tx,
+                            idx: r.idx + 1,
+                        };
+                        let new_jitter =
                             (outcome.response - best_responses[r.tx][r.idx]).max(Time::ZERO);
+                        if new_jitter != states[r.tx][r.idx + 1].jitter {
+                            states[r.tx][r.idx + 1].jitter = new_jitter;
+                            if let Some(cache) = cache {
+                                cache.invalidate_changed(successor);
+                            }
+                        }
                     }
                 }
             }
@@ -159,13 +267,18 @@ pub fn analyze_resumed(
         }
         // Eq. (18): J_{i,j} = R_{i,j−1} − Rbest_{i,j−1}; first tasks keep
         // their release jitter. (For Gauss-Seidel this is a no-op re-apply;
-        // convergence is judged on the jitters at sweep boundaries.)
+        // convergence is judged on the jitters at sweep boundaries. Frozen
+        // coordinates reproduce their seed — their predecessor is frozen
+        // too, by cone closure.)
         let mut changed = false;
         for (i, tx) in set.transactions().iter().enumerate() {
             for j in 1..tx.len() {
                 let new_jitter = (responses[i][j - 1] - best_responses[i][j - 1]).max(Time::ZERO);
                 if new_jitter != states[i][j].jitter {
                     states[i][j].jitter = new_jitter;
+                    if let Some(cache) = cache {
+                        cache.invalidate_changed(TaskRef { tx: i, idx: j });
+                    }
                 }
                 if new_jitter != sweep_start_jitters[i][j] {
                     changed = true;
@@ -442,10 +555,100 @@ mod tests {
     }
 
     #[test]
+    fn downward_restart_is_exact_after_a_removal() {
+        // Remove Γ3 from the paper system. The interference cone of the
+        // departure (footprint of τ3,1: Π2, priority 3) reaches Γ1 (via
+        // τ1,3 on Π2) and Γ4 (via τ1,4's Π3 sweep) but not Γ2 — so Γ2 is
+        // frozen at its old fixpoint while the cone restarts cold. The
+        // resumed result must be bit-identical to a cold analysis of the
+        // shrunk set.
+        let base = paper_example::transactions();
+        let old = analyze(&base);
+        let mut txs: Vec<Transaction> = base.transactions().to_vec();
+        txs.remove(2); // Γ3
+        let shrunk =
+            hsched_transaction::TransactionSet::new(base.platforms().clone(), txs).unwrap();
+
+        // Old report restricted to the surviving transactions (rows 0, 1, 3).
+        let survivors = SchedulabilityReport {
+            tasks: vec![
+                old.tasks[0].clone(),
+                old.tasks[1].clone(),
+                old.tasks[3].clone(),
+            ],
+            verdicts: vec![
+                old.verdicts[0].clone(),
+                old.verdicts[1].clone(),
+                old.verdicts[3].clone(),
+            ],
+            trace: Vec::new(),
+            converged: old.converged,
+            diverged: old.diverged,
+        };
+        let cone = crate::HpGraph::of(&shrunk).closure(
+            &shrunk,
+            &[crate::DirtySeed::Footprint {
+                platform: hsched_platform::PlatformId(1),
+                priority: 3,
+            }],
+        );
+        assert_eq!(cone.transactions, vec![true, false, true], "Γ2 is clean");
+        let warm = WarmStart::restricted(&survivors, cone.tasks.clone(), true);
+        let resumed = analyze_resumed(&shrunk, &AnalysisConfig::default(), Some(&warm)).unwrap();
+        let cold = analyze(&shrunk);
+        assert!(resumed.converged && cold.converged);
+        for r in shrunk.task_refs() {
+            assert_eq!(
+                resumed.response(r.tx, r.idx),
+                cold.response(r.tx, r.idx),
+                "response mismatch at {r}"
+            );
+            assert_eq!(
+                resumed.tasks[r.tx][r.idx].jitter, cold.tasks[r.tx][r.idx].jitter,
+                "jitter mismatch at {r}"
+            );
+        }
+        // The frozen transaction never moved off its pinned seed.
+        assert_eq!(resumed.tasks[1], survivors.tasks[1]);
+    }
+
+    #[test]
+    fn rta_cache_is_invisible_in_results() {
+        let set = paper_example::transactions();
+        let with = analyze_with(&set, &AnalysisConfig::default()).unwrap();
+        let without = analyze_with(
+            &set,
+            &AnalysisConfig {
+                rta_cache: false,
+                ..AnalysisConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(with.tasks, without.tasks);
+        assert_eq!(with.trace, without.trace);
+        // Gauss-Seidel invalidates mid-sweep; results still identical.
+        let gs = AnalysisConfig {
+            update_order: crate::UpdateOrder::GaussSeidel,
+            ..AnalysisConfig::default()
+        };
+        let gs_with = analyze_with(&set, &gs).unwrap();
+        let gs_without = analyze_with(
+            &set,
+            &AnalysisConfig {
+                rta_cache: false,
+                ..gs
+            },
+        )
+        .unwrap();
+        assert_eq!(gs_with.tasks, gs_without.tasks);
+    }
+
+    #[test]
     fn warm_start_shape_mismatch_falls_back_to_cold() {
         let set = paper_example::transactions();
         let bad = WarmStart {
             jitters: vec![vec![Time::ZERO]; 2],
+            frozen: None,
         };
         // debug_assert trips under `cargo test`; exercise the lenient path
         // only in release. In debug, assert the guard itself.

@@ -47,15 +47,18 @@
 //! assert_eq!(report.response(0, 3), rat(31, 1));
 //! ```
 
+mod cache;
 pub mod classic;
 mod holistic;
+mod hpgraph;
 mod interference;
 mod par;
 mod report;
 mod rta;
 mod state;
 
-pub use holistic::{analyze, analyze_resumed, analyze_with, AnalysisError, WarmStart};
+pub use holistic::{analyze, analyze_resumed, analyze_with, AnalysisError, FrozenSeed, WarmStart};
+pub use hpgraph::{DirtyClosure, DirtySeed, HpGraph};
 pub use par::parallel_map;
 pub use report::{IterationRecord, SchedulabilityReport, TaskResult, TransactionVerdict};
 pub use state::{best_case_offsets, TaskState};
@@ -136,6 +139,11 @@ pub struct AnalysisConfig {
     /// Eq. (13)/(16) without prescribing a protocol; this hook lets callers
     /// plug in blocking from e.g. SRP on each platform.
     pub blocking: Vec<Vec<Time>>,
+    /// Memoize the RTA hot path (foreign `W*` totals per busy-window
+    /// length, supply inversions per demand) across holistic sweeps,
+    /// invalidated through the hp-graph when a jitter changes. Identical
+    /// results either way; off is only useful for measuring the cache.
+    pub rta_cache: bool,
 }
 
 impl Default for AnalysisConfig {
@@ -149,6 +157,7 @@ impl Default for AnalysisConfig {
             divergence_factor: 64,
             threads: 1,
             blocking: Vec::new(),
+            rta_cache: true,
         }
     }
 }

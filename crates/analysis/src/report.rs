@@ -64,13 +64,16 @@ impl SchedulabilityReport {
         self.converged && !self.diverged && self.verdicts.iter().all(|v| v.schedulable)
     }
 
-    /// Concatenates per-partition reports into one, in iteration order —
-    /// exact when the partitions are independent interference islands (a
-    /// task's response depends only on its own island, so the union of the
-    /// island analyses *is* the full analysis). `converged` is the
-    /// conjunction, `diverged` the disjunction, and the iteration trace is
-    /// dropped (partitions iterate independently). This is how the sharded
-    /// admission engine assembles its global report from per-shard caches.
+    /// Concatenates per-partition reports into one — exact when the
+    /// partitions are independent interference islands (a task's response
+    /// depends only on its own island, so the union of the island analyses
+    /// *is* the full analysis). `converged` is the conjunction, `diverged`
+    /// the disjunction, and the iteration trace is dropped (partitions
+    /// iterate independently). Rows land in the order the parts are given:
+    /// callers wanting a specific *set order* (the sharded engine's
+    /// rejection reasons promise global set order) pass the parts in that
+    /// order, deterministically. This is how the sharded admission engine
+    /// assembles its global report from per-shard caches.
     pub fn concat<'a>(
         parts: impl IntoIterator<Item = &'a SchedulabilityReport>,
     ) -> SchedulabilityReport {

@@ -1,11 +1,13 @@
 //! Per-task static-offset response-time analysis (§3.1): completion-time
 //! and busy-period fixpoints over scenarios.
 
+use crate::cache::{RtaCache, TaskMemo};
 use crate::interference::{hp_tasks, phase, w_scenario, w_star};
 use crate::state::TaskState;
 use crate::{service_time, AnalysisConfig, ScenarioMode};
 use hsched_numeric::{Cycles, Rational, Time};
 use hsched_transaction::{TaskRef, TransactionSet};
+use std::sync::Mutex;
 
 /// Errors that abort the analysis (as opposed to an *unschedulable* verdict,
 /// which is a result).
@@ -57,14 +59,17 @@ pub(crate) struct TaskAnalysis {
 }
 
 /// Analyzes task `under` given the current offset/jitter state of every
-/// task (§3.1.2 approximate or §3.1.1 exact, per config).
+/// task (§3.1.2 approximate or §3.1.1 exact, per config). `cache`, when
+/// present, memoizes this task's foreign-interference totals and supply
+/// inversions across calls (the holistic loop owns invalidation).
 pub(crate) fn analyze_task(
     set: &TransactionSet,
     states: &[Vec<TaskState>],
     under: TaskRef,
     config: &AnalysisConfig,
+    cache: Option<&RtaCache>,
 ) -> Result<TaskAnalysis, AnalysisError> {
-    let ctx = TaskContext::new(set, states, under, config);
+    let ctx = TaskContext::new(set, states, under, config, cache.map(|c| c.memo(under)));
     match config.scenario_mode {
         ScenarioMode::Approximate => ctx.analyze_approximate(),
         ScenarioMode::Exact { max_scenarios } => ctx.analyze_exact(max_scenarios),
@@ -91,6 +96,8 @@ struct TaskContext<'a> {
     blocking: Time,
     /// Bail-out bound for busy periods / completion times.
     bound: Time,
+    /// This task's hot-path memo (foreign W* totals, supply inversions).
+    memo: Option<&'a Mutex<TaskMemo>>,
 }
 
 impl<'a> TaskContext<'a> {
@@ -99,6 +106,7 @@ impl<'a> TaskContext<'a> {
         states: &'a [Vec<TaskState>],
         under: TaskRef,
         config: &'a AnalysisConfig,
+        memo: Option<&'a Mutex<TaskMemo>>,
     ) -> TaskContext<'a> {
         let tx = &set.transactions()[under.tx];
         let hp = (0..set.transactions().len())
@@ -119,6 +127,7 @@ impl<'a> TaskContext<'a> {
             jitter: st.jitter,
             blocking: config.blocking_of(under.tx, under.idx),
             bound,
+            memo,
         }
     }
 
@@ -128,9 +137,57 @@ impl<'a> TaskContext<'a> {
     }
 
     /// Worst-case time to serve `demand` cycles plus the blocking term:
-    /// the `Δ + B + …/α` prefix of Eqs. (13)/(16).
+    /// the `Δ + B + …/α` prefix of Eqs. (13)/(16). Memoized per demand when
+    /// a cache is attached — the map is static for the whole analysis.
     fn completion(&self, demand: Cycles) -> Time {
-        self.blocking + service_time(self.platform(), demand, self.config.service_mode)
+        if let Some(memo) = self.memo {
+            if let Some(&t) = memo
+                .lock()
+                .expect("rta cache lock poisoned")
+                .completion
+                .get(&demand)
+            {
+                return t;
+            }
+        }
+        let t = self.blocking + service_time(self.platform(), demand, self.config.service_mode);
+        if let Some(memo) = self.memo {
+            memo.lock()
+                .expect("rta cache lock poisoned")
+                .completion
+                .insert(demand, t);
+        }
+        t
+    }
+
+    /// `Σ_{i ≠ a} W*_i(τa,b, t)` — the scenario-independent part of the
+    /// reduced analysis's interference, memoized per `t` (valid until an hp
+    /// member's state changes; the holistic loop invalidates).
+    fn foreign_demand(&self, t: Time) -> Cycles {
+        if let Some(memo) = self.memo {
+            if let Some(&w) = memo
+                .lock()
+                .expect("rta cache lock poisoned")
+                .foreign
+                .get(&t)
+            {
+                return w;
+            }
+        }
+        let mut total = Cycles::ZERO;
+        for i in 0..self.set.transactions().len() {
+            if i == self.under.tx || self.hp[i].is_empty() {
+                continue;
+            }
+            total += w_star(self.set, self.states, i, &self.hp[i], t);
+        }
+        if let Some(memo) = self.memo {
+            memo.lock()
+                .expect("rta cache lock poisoned")
+                .foreign
+                .insert(t, total);
+        }
+        total
     }
 
     /// §3.1.2: other transactions bounded by `W*`, own transaction's
@@ -144,22 +201,15 @@ impl<'a> TaskContext<'a> {
         };
         for &c in &scenarios {
             let interference = |t: Time| -> Cycles {
-                let mut total = Cycles::ZERO;
-                for i in 0..self.set.transactions().len() {
-                    if i == self.under.tx || self.hp[i].is_empty() {
-                        continue;
-                    }
-                    total += w_star(self.set, self.states, i, &self.hp[i], t);
-                }
-                total += w_scenario(
-                    self.set,
-                    self.states,
-                    self.under.tx,
-                    c,
-                    &self.hp[self.under.tx],
-                    t,
-                );
-                total
+                self.foreign_demand(t)
+                    + w_scenario(
+                        self.set,
+                        self.states,
+                        self.under.tx,
+                        c,
+                        &self.hp[self.under.tx],
+                        t,
+                    )
             };
             let outcome = self.analyze_scenario(c, &interference)?;
             best.response = best.response.max(outcome.response);
@@ -343,7 +393,7 @@ mod tests {
         // Table 3, k = 0: R(0) = [12, 9, 10, 12] for Γ1.
         let expected = [rat(12, 1), rat(9, 1), rat(10, 1), rat(12, 1)];
         for (idx, want) in expected.into_iter().enumerate() {
-            let r = analyze_task(&set, &states, TaskRef { tx: 0, idx }, &config).unwrap();
+            let r = analyze_task(&set, &states, TaskRef { tx: 0, idx }, &config, None).unwrap();
             assert!(r.bounded);
             assert_eq!(r.response, want, "τ1,{} at iteration 0", idx + 1);
         }
@@ -353,14 +403,14 @@ mod tests {
     fn independent_transactions_iteration0() {
         let (set, states, config) = setup();
         // τ2,1 on Π1 (p=3, no interference): Δ + C/α = 1 + 2.5 = 3.5.
-        let r = analyze_task(&set, &states, TaskRef { tx: 1, idx: 0 }, &config).unwrap();
+        let r = analyze_task(&set, &states, TaskRef { tx: 1, idx: 0 }, &config, None).unwrap();
         assert_eq!(r.response, rat(7, 2));
         // τ3,1 symmetric.
-        let r = analyze_task(&set, &states, TaskRef { tx: 2, idx: 0 }, &config).unwrap();
+        let r = analyze_task(&set, &states, TaskRef { tx: 2, idx: 0 }, &config, None).unwrap();
         assert_eq!(r.response, rat(7, 2));
         // τ4,1 on Π3 (p=1): interference from τ1,1 and τ1,4 (one job each in
         // its busy period): 2 + (7 + 1 + 1)/0.2 = 47.
-        let r = analyze_task(&set, &states, TaskRef { tx: 3, idx: 0 }, &config).unwrap();
+        let r = analyze_task(&set, &states, TaskRef { tx: 3, idx: 0 }, &config, None).unwrap();
         assert_eq!(r.response, rat(47, 1));
     }
 
@@ -373,7 +423,7 @@ mod tests {
         states[0][1].jitter = rat(9, 1); // converged J1,2
         states[0][2].jitter = rat(14, 1); // converged J1,3
         states[0][3].jitter = rat(19, 1); // converged J1,4
-        let r = analyze_task(&set, &states, TaskRef { tx: 0, idx: 3 }, &config).unwrap();
+        let r = analyze_task(&set, &states, TaskRef { tx: 0, idx: 3 }, &config, None).unwrap();
         assert_eq!(r.response, rat(31, 1));
     }
 
@@ -385,8 +435,8 @@ mod tests {
         let approx = AnalysisConfig::default();
         let exact = AnalysisConfig::exact(10_000);
         for r in set.task_refs() {
-            let a = analyze_task(&set, &states, r, &approx).unwrap();
-            let e = analyze_task(&set, &states, r, &exact).unwrap();
+            let a = analyze_task(&set, &states, r, &approx, None).unwrap();
+            let e = analyze_task(&set, &states, r, &exact, None).unwrap();
             assert_eq!(a.response, e.response, "mismatch at {r}");
         }
     }
@@ -420,8 +470,15 @@ mod tests {
         let set = TransactionSet::new(platforms, vec![noisy, victim]).unwrap();
         let states = initial_states(&set, ServiceTimeMode::LinearBounds);
         let under = TaskRef { tx: 1, idx: 0 };
-        let approx = analyze_task(&set, &states, under, &AnalysisConfig::default()).unwrap();
-        let exact = analyze_task(&set, &states, under, &AnalysisConfig::exact(1_000_000)).unwrap();
+        let approx = analyze_task(&set, &states, under, &AnalysisConfig::default(), None).unwrap();
+        let exact = analyze_task(
+            &set,
+            &states,
+            under,
+            &AnalysisConfig::exact(1_000_000),
+            None,
+        )
+        .unwrap();
         assert!(
             exact.response <= approx.response,
             "exact {} > approx {}",
@@ -434,7 +491,7 @@ mod tests {
     fn scenario_cap_enforced() {
         let (set, states, _) = setup();
         let tight = AnalysisConfig::exact(0);
-        let err = analyze_task(&set, &states, TaskRef { tx: 0, idx: 0 }, &tight).unwrap_err();
+        let err = analyze_task(&set, &states, TaskRef { tx: 0, idx: 0 }, &tight, None).unwrap_err();
         assert!(matches!(err, AnalysisError::TooManyScenarios { .. }));
     }
 
@@ -466,6 +523,7 @@ mod tests {
             &states,
             TaskRef { tx: 1, idx: 0 },
             &AnalysisConfig::default(),
+            None,
         )
         .unwrap();
         assert!(!r.bounded, "expected overload detection");
@@ -502,6 +560,7 @@ mod tests {
             &states,
             TaskRef { tx: 1, idx: 0 },
             &AnalysisConfig::default(),
+            None,
         )
         .unwrap();
         assert!(r.bounded);
@@ -535,6 +594,7 @@ mod tests {
             &states,
             TaskRef { tx: 0, idx: 0 },
             &AnalysisConfig::default(),
+            None,
         )
         .unwrap();
         assert!(r.bounded);
@@ -546,7 +606,7 @@ mod tests {
         let (set, states, mut config) = setup();
         // Add B = 2 to τ2,1 (otherwise interference-free): R = 3.5 + 2.
         config.blocking = vec![vec![], vec![rat(2, 1)], vec![], vec![]];
-        let r = analyze_task(&set, &states, TaskRef { tx: 1, idx: 0 }, &config).unwrap();
+        let r = analyze_task(&set, &states, TaskRef { tx: 1, idx: 0 }, &config, None).unwrap();
         assert_eq!(r.response, rat(11, 2));
     }
 
@@ -574,11 +634,11 @@ mod tests {
         let set = TransactionSet::new(platforms, vec![hi, lo]).unwrap();
         let states = initial_states(&set, ServiceTimeMode::LinearBounds);
         let config = AnalysisConfig::default();
-        let r_hi = analyze_task(&set, &states, TaskRef { tx: 0, idx: 0 }, &config).unwrap();
+        let r_hi = analyze_task(&set, &states, TaskRef { tx: 0, idx: 0 }, &config, None).unwrap();
         assert_eq!(r_hi.response, rat(2, 1));
         // lo: w = 3 + ⌈w/5⌉·2 → w = 5 (classic RTA fixpoint; the second job
         // of `hi` arrives exactly at 5 and is outside the busy window).
-        let r_lo = analyze_task(&set, &states, TaskRef { tx: 1, idx: 0 }, &config).unwrap();
+        let r_lo = analyze_task(&set, &states, TaskRef { tx: 1, idx: 0 }, &config, None).unwrap();
         assert_eq!(r_lo.response, rat(5, 1));
     }
 }

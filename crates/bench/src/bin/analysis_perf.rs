@@ -1,0 +1,150 @@
+//! Scripted perf run for the analysis layer itself: measures, on one
+//! 24-transaction interference island, (a) the RTA hot-path cache
+//! (foreign-`W*` memo + supply inversions) on a cold holistic fixpoint and
+//! (b) the cone-restricted downward warm start after a removal vs the cold
+//! re-analysis the controller used to pay, and writes the result to
+//! `BENCH_analysis.json`. Run via `scripts/bench_analysis.sh` or directly:
+//!
+//! ```sh
+//! cargo run --release -p hsched-bench --bin analysis_perf [OUT.json]
+//! ```
+//!
+//! Every warm leg is asserted bit-identical to its cold counterpart before
+//! being timed — the speedups are exactness-preserving by construction.
+//! The binary asserts both speedups > 1, making the committed JSON a perf
+//! regression gate.
+
+use hsched_admission::gen::{random_scenario, ScenarioSpec};
+use hsched_analysis::{analyze_with, AnalysisConfig, DirtySeed, HpGraph, WarmStart};
+use hsched_transaction::TransactionSet;
+use std::time::Instant;
+
+const ITERATIONS: usize = 50;
+
+/// One big island: chains never leave the cluster, so all 24 transactions
+/// share one platform-connected component — the worst case for island
+/// dirty tracking and the showcase for cone restriction.
+fn island_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        clusters: 1,
+        platforms_per_cluster: 4,
+        transactions: 24,
+        max_tasks_per_tx: 3,
+        seed: 3,
+        ..ScenarioSpec::default()
+    }
+}
+
+fn time_us(iterations: usize, mut f: impl FnMut()) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iterations {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1e6 / iterations as f64
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_analysis.json".to_string());
+    let set = random_scenario(&island_spec());
+    let cached = AnalysisConfig::default();
+    let uncached = AnalysisConfig {
+        rta_cache: false,
+        ..AnalysisConfig::default()
+    };
+
+    // (a) Cold fixpoint, RTA cache on vs off (results asserted identical).
+    let with_cache = analyze_with(&set, &cached).expect("cold analysis");
+    let without = analyze_with(&set, &uncached).expect("uncached analysis");
+    assert_eq!(with_cache.tasks, without.tasks, "cache changed results");
+    let cold_us = time_us(ITERATIONS, || {
+        let _ = analyze_with(&set, &cached).unwrap();
+    });
+    let cold_no_cache_us = time_us(ITERATIONS, || {
+        let _ = analyze_with(&set, &uncached).unwrap();
+    });
+
+    // (b) Removal resume: drop the transaction with the smallest
+    // interference cone (a departure rarely shakes the whole island) and
+    // compare the cone-restricted downward restart against the cold
+    // re-analysis of the shrunk set.
+    let candidates: Vec<usize> = (0..set.transactions().len()).collect();
+    let (victim_idx, cone) = candidates
+        .into_iter()
+        .map(|k| {
+            let victim = &set.transactions()[k];
+            let mut rest: Vec<_> = set.transactions().to_vec();
+            rest.remove(k);
+            let reduced = TransactionSet::new(set.platforms().clone(), rest).unwrap();
+            let seeds: Vec<DirtySeed> = victim
+                .tasks()
+                .iter()
+                .map(|t| DirtySeed::Footprint {
+                    platform: t.platform,
+                    priority: t.priority,
+                })
+                .collect();
+            let cone = HpGraph::of(&reduced).closure(&reduced, &seeds);
+            (k, cone)
+        })
+        .min_by_key(|(_, cone)| cone.transaction_count())
+        .expect("non-empty set");
+    let mut rest: Vec<_> = set.transactions().to_vec();
+    rest.remove(victim_idx);
+    let reduced = TransactionSet::new(set.platforms().clone(), rest).unwrap();
+    let cone_txns = cone.transaction_count();
+    let total_txns = reduced.transactions().len();
+
+    // The warm seed: survivors' converged values, cone coordinates cold.
+    let survivors = hsched_analysis::SchedulabilityReport {
+        tasks: {
+            let mut rows = with_cache.tasks.clone();
+            rows.remove(victim_idx);
+            rows
+        },
+        verdicts: {
+            let mut rows = with_cache.verdicts.clone();
+            rows.remove(victim_idx);
+            rows
+        },
+        trace: Vec::new(),
+        converged: with_cache.converged,
+        diverged: with_cache.diverged,
+    };
+    let warm = WarmStart::restricted(&survivors, cone.tasks.clone(), true);
+    let warm_report =
+        hsched_analysis::analyze_resumed(&reduced, &cached, Some(&warm)).expect("warm resume");
+    let cold_report = analyze_with(&reduced, &cached).expect("cold re-analysis");
+    assert_eq!(
+        warm_report.tasks, cold_report.tasks,
+        "downward restart changed results"
+    );
+    let removal_cold_us = time_us(ITERATIONS, || {
+        let _ = analyze_with(&reduced, &cached).unwrap();
+    });
+    let removal_warm_us = time_us(ITERATIONS, || {
+        let _ = hsched_analysis::analyze_resumed(&reduced, &cached, Some(&warm)).unwrap();
+    });
+
+    let cache_speedup = cold_no_cache_us / cold_us;
+    let warm_speedup = removal_cold_us / removal_warm_us;
+    let json = format!(
+        "{{\n  \"bench\": \"analysis_island_fixpoints\",\n  \"system\": {{\"transactions\": 24, \"platforms\": 4, \"islands\": 1, \"seed\": 3}},\n  \"iterations\": {ITERATIONS},\n  \"unit\": \"us_per_analysis\",\n  \"cold_us\": {cold_us:.1},\n  \"cold_no_rta_cache_us\": {cold_no_cache_us:.1},\n  \"rta_cache_speedup\": {cache_speedup:.2},\n  \"removal_cold_us\": {removal_cold_us:.1},\n  \"removal_warm_us\": {removal_warm_us:.1},\n  \"downward_warm_speedup\": {warm_speedup:.2},\n  \"removal_cone_transactions\": {cone_txns},\n  \"removal_total_transactions\": {total_txns}\n}}\n"
+    );
+    std::fs::write(&out_path, &json).expect("write bench json");
+    print!("{json}");
+    println!(
+        "wrote {out_path}: RTA cache {cache_speedup:.2}x on cold fixpoints; \
+         downward warm start {warm_speedup:.2}x on a removal \
+         (cone {cone_txns}/{total_txns} transactions)"
+    );
+    assert!(
+        cache_speedup > 1.0,
+        "the RTA cache must pay for itself on an island fixpoint"
+    );
+    assert!(
+        warm_speedup > 1.0,
+        "a removal resume must beat the cold fixpoint it replaces"
+    );
+}

@@ -5,7 +5,7 @@
 
 use crate::json::{begin_envelope, write_engine_section, write_report, JsonWriter};
 use hsched_admission::{AdmissionPolicy, AdmissionRequest, RejectReason, Verdict};
-use hsched_engine::{EngineRequest, EngineResponse, SchedService};
+use hsched_engine::{AutoCompactPolicy, EngineRequest, EngineResponse, SchedService};
 use hsched_numeric::{Rational, Time};
 use hsched_transaction::{Task, Transaction, TransactionSet};
 use std::fmt::Write as _;
@@ -227,13 +227,26 @@ pub(crate) fn run_admission(
     policy: AdmissionPolicy,
     json: bool,
     journal: Option<&str>,
+    auto_compact: Option<u64>,
 ) -> Result<String, String> {
+    if auto_compact.is_some() && journal.is_none() {
+        return Err("--auto-compact requires --journal".to_string());
+    }
     let mut engine = SchedService::new(set, hsched_analysis::AnalysisConfig::default(), policy)
         .map_err(|e| e.to_string())?;
     if let Some(journal_path) = journal {
         engine = engine
             .with_journal(std::path::Path::new(journal_path))
             .map_err(|e| e.to_string())?;
+    }
+    if let Some(every) = auto_compact {
+        if every == 0 {
+            return Err("--auto-compact needs a positive epoch count".to_string());
+        }
+        engine = engine.with_auto_compact(AutoCompactPolicy {
+            every_epochs: Some(every),
+            max_journal_bytes: None,
+        });
     }
     let initial_transactions = engine.live_transactions();
     let responses: Vec<EngineResponse> = batches
@@ -301,7 +314,17 @@ pub(crate) fn run_admission(
         engine.state_digest()
     );
     if let Some(journal_path) = journal {
-        let _ = writeln!(out, "journal: {journal_path}");
+        match auto_compact {
+            Some(every) => {
+                let _ = writeln!(
+                    out,
+                    "journal: {journal_path} (auto-compact every {every} epoch(s))"
+                );
+            }
+            None => {
+                let _ = writeln!(out, "journal: {journal_path}");
+            }
+        }
     }
     let _ = writeln!(out, "\nfinal system:");
     let _ = write!(out, "{}", engine.report());

@@ -85,6 +85,7 @@ ADMIT: hsched admit <SPEC.hsc> <SCRIPT> [OPTIONS]
     malformed; rejections are regular output.
     --json            machine-readable verdicts + final report (schema v1)
     --journal <FILE>  append every epoch to a write-ahead journal
+    --auto-compact <N> fold the journal into a snapshot every N epochs
     --threads <N>     parallel shard commits (0 = all cores)
     --no-external     as for analyze
     --cold            disable warm-started fixpoints
@@ -265,6 +266,13 @@ fn cmd_admit(args: &[String]) -> Result<String, String> {
         .map_err(|e| format!("cannot read `{script_path}`: {e}"))?;
     let batches = admit::parse_script(&script, &set).map_err(|e| format!("{script_path}: {e}"))?;
     let policy = engine_policy(args)?;
+    let auto_compact = match opt_value(args, "--auto-compact")? {
+        Some(n) => Some(
+            n.parse::<u64>()
+                .map_err(|_| format!("bad auto-compact epoch count `{n}`"))?,
+        ),
+        None => None,
+    };
     admit::run_admission(
         &path,
         set,
@@ -272,6 +280,7 @@ fn cmd_admit(args: &[String]) -> Result<String, String> {
         policy,
         opt_flag(args, "--json"),
         opt_value(args, "--journal")?,
+        auto_compact,
     )
 }
 
@@ -880,6 +889,61 @@ instance I : W on S node 0;
             compact_json.contains("\"epochs_folded\":3"),
             "{compact_json}"
         );
+        let _ = std::fs::remove_file(&journal);
+    }
+
+    #[test]
+    fn admit_auto_compact_folds_journal_and_replay_resumes() {
+        let spec = spec_file();
+        let script = script_file(
+            "add p1 period 60 deadline 120 task a wcet 1 bcet 0.5 prio 1 on Pi1\n\
+             commit\n\
+             add p2 period 60 deadline 120 task b wcet 1 bcet 0.5 prio 1 on Pi2\n\
+             commit\n\
+             remove p1\n\
+             commit\n\
+             remove p2\n",
+        );
+        let journal = std::env::temp_dir().join(format!(
+            "hsched-cli-test-autocompact-{}.journal",
+            std::process::id()
+        ));
+        // --auto-compact without --journal is a usage error.
+        let err = run(&args(&[
+            "admit",
+            spec.to_str().unwrap(),
+            script.to_str().unwrap(),
+            "--auto-compact",
+            "2",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("requires --journal"), "{err}");
+
+        let out = run(&args(&[
+            "admit",
+            spec.to_str().unwrap(),
+            script.to_str().unwrap(),
+            "--journal",
+            journal.to_str().unwrap(),
+            "--auto-compact",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("auto-compact every 2 epoch(s)"), "{out}");
+        let digest = {
+            let start = out.find("state digest ").expect("digest line") + 13;
+            out[start..start + 16].to_string()
+        };
+        // The journal was folded mid-run: replay resumes from a snapshot
+        // and reproduces the digest.
+        let replayed = run(&args(&[
+            "replay",
+            spec.to_str().unwrap(),
+            journal.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(replayed.contains("resumed from snapshot"), "{replayed}");
+        assert!(replayed.contains(&digest), "{replayed}");
         let _ = std::fs::remove_file(&journal);
     }
 

@@ -568,6 +568,10 @@ pub fn read_journal(path: &Path) -> Result<JournalContents, EngineError> {
 pub struct JournalWriter {
     file: Arc<std::fs::File>,
     path: PathBuf,
+    /// Bytes this writer knows to be in the file (header/snapshot plus
+    /// every appended record) — drives the service's size-triggered
+    /// auto-compaction without a metadata syscall per epoch.
+    bytes: u64,
 }
 
 impl JournalWriter {
@@ -576,13 +580,15 @@ impl JournalWriter {
         let mut file = std::fs::File::create(path).map_err(|e| {
             EngineError::Journal(format!("cannot create `{}`: {e}", path.display()))
         })?;
-        file.write_all(format!("{MAGIC_V2}\nplatforms {platforms}\n").as_bytes())
+        let header = format!("{MAGIC_V2}\nplatforms {platforms}\n");
+        file.write_all(header.as_bytes())
             .map_err(|e| EngineError::Journal(e.to_string()))?;
         file.sync_data()
             .map_err(|e| EngineError::Journal(e.to_string()))?;
         Ok(JournalWriter {
             file: Arc::new(file),
             path: path.to_path_buf(),
+            bytes: header.len() as u64,
         })
     }
 
@@ -602,6 +608,7 @@ impl JournalWriter {
         Ok(JournalWriter {
             file: Arc::new(file),
             path: path.to_path_buf(),
+            bytes: valid_prefix,
         })
     }
 
@@ -616,11 +623,12 @@ impl JournalWriter {
         snapshot_block: &str,
     ) -> Result<JournalWriter, EngineError> {
         let tmp = path.with_extension("compact-tmp");
+        let header = format!("{MAGIC_V2}\nplatforms {platforms}\n");
         {
             let mut file = std::fs::File::create(&tmp).map_err(|e| {
                 EngineError::Journal(format!("cannot create `{}`: {e}", tmp.display()))
             })?;
-            file.write_all(format!("{MAGIC_V2}\nplatforms {platforms}\n").as_bytes())
+            file.write_all(header.as_bytes())
                 .and_then(|()| file.write_all(snapshot_block.as_bytes()))
                 .and_then(|()| file.sync_all())
                 .map_err(|e| EngineError::Journal(e.to_string()))?;
@@ -635,6 +643,7 @@ impl JournalWriter {
         Ok(JournalWriter {
             file: Arc::new(file),
             path: path.to_path_buf(),
+            bytes: (header.len() + snapshot_block.len()) as u64,
         })
     }
 
@@ -677,7 +686,9 @@ impl JournalWriter {
         record.push_str("end\n");
         (&*self.file)
             .write_all(record.as_bytes())
-            .map_err(|e| EngineError::Journal(e.to_string()))
+            .map_err(|e| EngineError::Journal(e.to_string()))?;
+        self.bytes += record.len() as u64;
+        Ok(())
     }
 
     /// A shared handle for syncing outside any engine lock (group commit).
@@ -688,6 +699,11 @@ impl JournalWriter {
     /// The journal file path.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// Bytes written to the journal so far (header + snapshot + records).
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes
     }
 }
 

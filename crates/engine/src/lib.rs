@@ -103,7 +103,7 @@ pub use envelope::{
 };
 pub use journal::{read_journal, JournalContents, JournalEpoch, JournalStream, JournalWriter};
 pub use router::AdmissionRouter;
-pub use service::{SchedService, SnapshotInfo};
+pub use service::{AutoCompactPolicy, SchedService, SnapshotInfo};
 pub use snapshot::{Snapshot, SnapshotInstance, SnapshotPlatform, SnapshotTxn};
 
 #[cfg(test)]
@@ -501,6 +501,159 @@ mod tests {
         assert_eq!(replayed.epoch(), epoch);
         assert_eq!(replayed.state_digest(), digest);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn auto_compaction_folds_the_journal_on_epoch_threshold() {
+        let path = std::env::temp_dir().join(format!(
+            "hsched-engine-test-autocompact-{}.journal",
+            std::process::id()
+        ));
+        let mut platforms = PlatformSet::new();
+        let a = platforms.add(Platform::dedicated("A"));
+        let b = platforms.add(Platform::dedicated("B"));
+        let set =
+            TransactionSet::new(platforms, vec![tx_on("left", a), tx_on("right", b)]).unwrap();
+        let engine = SchedService::new(
+            set.clone(),
+            AnalysisConfig::default(),
+            AdmissionPolicy::default(),
+        )
+        .unwrap()
+        .with_journal(&path)
+        .unwrap()
+        .with_auto_compact(AutoCompactPolicy {
+            every_epochs: Some(2),
+            max_journal_bytes: None,
+        });
+        for round in 0..5 {
+            let batch = if round % 2 == 0 {
+                vec![AdmissionRequest::AddTransaction(tx_on("churn", a))]
+            } else {
+                vec![AdmissionRequest::RemoveTransaction {
+                    name: "churn".into(),
+                }]
+            };
+            let response = engine.submit(&EngineRequest::batch(batch)).unwrap();
+            assert!(response.outcome.verdict.admitted());
+        }
+        let digest = engine.state_digest();
+        assert_eq!(engine.epoch(), 5);
+        drop(engine); // "crash"
+
+        let contents = read_journal(&path).unwrap();
+        let snapshot = contents.snapshot.expect("auto-compaction wrote a snapshot");
+        assert!(snapshot.epoch >= 2, "threshold fired");
+        assert!(
+            contents.epochs.len() < 5,
+            "history was folded ({} tail epochs)",
+            contents.epochs.len()
+        );
+        // The compacted journal still rebuilds the engine byte-identically.
+        let (replayed, _) = AdmissionRouter::replay(
+            set,
+            AnalysisConfig::default(),
+            AdmissionPolicy::default(),
+            &path,
+        )
+        .unwrap();
+        assert_eq!(replayed.epoch(), 5);
+        assert_eq!(replayed.state_digest(), digest);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn byte_threshold_also_triggers_auto_compaction() {
+        let path = std::env::temp_dir().join(format!(
+            "hsched-engine-test-autocompact-bytes-{}.journal",
+            std::process::id()
+        ));
+        let mut platforms = PlatformSet::new();
+        let a = platforms.add(Platform::dedicated("A"));
+        let set = TransactionSet::new(platforms, vec![tx_on("left", a)]).unwrap();
+        let engine = SchedService::new(set, AnalysisConfig::default(), AdmissionPolicy::default())
+            .unwrap()
+            .with_journal(&path)
+            .unwrap()
+            .with_auto_compact(AutoCompactPolicy {
+                every_epochs: None,
+                max_journal_bytes: Some(1), // every record crosses it
+            });
+        let response = engine
+            .submit(&EngineRequest::batch(vec![
+                AdmissionRequest::AddTransaction(tx_on("more", a)),
+            ]))
+            .unwrap();
+        assert!(response.outcome.verdict.admitted());
+        let contents = read_journal(&path).unwrap();
+        assert!(contents.snapshot.is_some(), "byte threshold fired");
+        assert!(
+            contents.epochs.is_empty(),
+            "record folded into the snapshot"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rejection_misses_come_back_in_global_set_order() {
+        // Build a service whose shard-slot order disagrees with the global
+        // set order: seed `abe` (island A) and `zed` (island B), then churn
+        // `abe` so it re-arrives *after* `zed` in set order while re-using
+        // the vacated slot 0.
+        let mut platforms = PlatformSet::new();
+        let a = platforms.add(Platform::dedicated("A"));
+        let b = platforms.add(Platform::dedicated("B"));
+        let slow = |name: &str, p| {
+            Transaction::new(
+                name,
+                rat(10, 1),
+                rat(10, 1),
+                vec![Task::new(format!("{name}_t"), rat(6, 1), rat(6, 1), 5, p)],
+            )
+            .unwrap()
+        };
+        let set = TransactionSet::new(platforms, vec![slow("abe", a), slow("zed", b)]).unwrap();
+        let mut engine =
+            AdmissionRouter::new(set, AnalysisConfig::default(), AdmissionPolicy::default())
+                .unwrap();
+        let abe = slow("abe", a);
+        for batch in [
+            vec![AdmissionRequest::RemoveTransaction { name: "abe".into() }],
+            vec![AdmissionRequest::AddTransaction(abe)],
+        ] {
+            assert!(engine
+                .commit(&EngineRequest::batch(batch))
+                .unwrap()
+                .outcome
+                .verdict
+                .admitted());
+        }
+        // One epoch pushing both islands past their deadlines: U stays ≤ 1
+        // (no overload), but `abe`/`zed` (wcet 6, D 10) now suffer 5 units
+        // of higher-priority interference each.
+        let hi = |name: &str, p| {
+            Transaction::new(
+                name,
+                rat(20, 1),
+                rat(20, 1),
+                vec![Task::new(format!("{name}_t"), rat(5, 1), rat(5, 1), 9, p)],
+            )
+            .unwrap()
+        };
+        let response = engine
+            .commit(&EngineRequest::batch(vec![
+                AdmissionRequest::AddTransaction(hi("hi_a", a)),
+                AdmissionRequest::AddTransaction(hi("hi_b", b)),
+            ]))
+            .unwrap();
+        match &response.outcome.verdict {
+            Verdict::Rejected(RejectReason::Unschedulable { misses }) => {
+                // Global set order: zed (older handle) before the re-added
+                // abe — even though abe's shard occupies the lower slot.
+                assert_eq!(misses, &vec!["zed".to_string(), "abe".to_string()]);
+            }
+            other => panic!("expected unschedulable rejection, got {other}"),
+        }
     }
 
     #[test]

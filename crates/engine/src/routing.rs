@@ -5,6 +5,16 @@
 //! the group structure (merging shards bridged within a batch, allocating
 //! fresh shards for all-free groups).
 //!
+//! Routing is deliberately **island**-granular — shard ownership, conflict
+//! detection, and the journal's replay determinism all key off the
+//! platform-sharing partition, which is stable under priority changes.
+//! The finer **cone** granularity of PR 5 lives one layer down: each
+//! checked-out shard's commit re-analyzes only the hp-graph interference
+//! cones of its sub-batch (pinning the rest of the island) and
+//! parallelizes across disjoint cones, so cones inside one island no
+//! longer serialize analysis work while the routed epoch structure — and
+//! therefore byte-identical replay — is unchanged.
+//!
 //! Everything here runs under the service lock; the conflict rules and the
 //! write-path gating are documented in the service module docs.
 

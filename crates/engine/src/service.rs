@@ -66,9 +66,15 @@
 //! numeric parity: a service-wide utilization poison map reproduces the
 //! single controller's global checked utilization scan (whose exact
 //! arithmetic can overflow on islands the batch never touches), so
-//! overflow-boundary scenarios reject identically. One deliberate,
-//! documented relaxation remains: rejection *reasons* aggregate misses and
-//! overloads in shard-slot order rather than global set order.
+//! overflow-boundary scenarios reject identically. Rejection *reasons*
+//! are emitted deterministically in single-controller stage order:
+//! structural failures first (earliest request), then numeric errors (the
+//! global scan overflows before it collects overloads), then overloads
+//! (platform lists merged, sorted by platform index like the global
+//! scan), then deadline misses merged and sorted in **global set order**
+//! (handle-mint order — the order the serial controller's live set holds
+//! them in — with this batch's unminted arrivals after, in batch order),
+//! closing the shard-slot-order relaxation PR 4 documented.
 
 use crate::digest::fnv1a_64;
 use crate::envelope::{
@@ -172,8 +178,8 @@ pub(crate) struct Core {
     pub(crate) platforms: PlatformSet,
     pub(crate) config: AnalysisConfig,
     pub(crate) policy: AdmissionPolicy,
-    /// Shard-internal policy: islands are the service's parallel grain, so
-    /// shards analyze sequentially inside.
+    /// Shard-internal policy: shards parallelize across the disjoint
+    /// interference cones of their sub-batch (the grain below islands).
     pub(crate) shard_policy: AdmissionPolicy,
     pub(crate) journal: Option<JournalWriter>,
     /// Last ticket whose record is known durable (group commit).
@@ -200,6 +206,12 @@ pub(crate) struct Core {
     /// backpressure instead) while still overlapping analysis with journal
     /// syncs; sized to the host's parallelism by default.
     max_inflight: u64,
+    /// Snapshot auto-compaction thresholds (off by default).
+    auto_compact: AutoCompactPolicy,
+    /// Epoch the journal was last compacted at (0 = never).
+    last_compact_epoch: u64,
+    /// A thread is currently running an auto-compaction (guards pile-ups).
+    compacting: bool,
     /// At-rest unschedulable shards: slot → cached miss list. Maintained
     /// at settle (and seed/merge) so the cross-shard admission rule can be
     /// evaluated without touching foreign shards.
@@ -248,6 +260,26 @@ enum Reserve {
 struct Analyzed {
     outcomes: Vec<EpochOutcome>,
     shards: Vec<Shard>,
+}
+
+/// When the service folds its own journal into a snapshot without being
+/// asked (see [`SchedService::with_auto_compact`]). Both thresholds are
+/// off by default; either one firing triggers a compaction after the
+/// triggering epoch's response is durable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AutoCompactPolicy {
+    /// Compact once this many epochs settled since the last snapshot.
+    pub every_epochs: Option<u64>,
+    /// Compact once the journal file exceeds this many bytes.
+    pub max_journal_bytes: Option<u64>,
+}
+
+impl AutoCompactPolicy {
+    /// `true` when neither threshold is set (the default: never compact
+    /// automatically).
+    pub fn is_off(&self) -> bool {
+        self.every_epochs.is_none() && self.max_journal_bytes.is_none()
+    }
 }
 
 /// What [`SchedService::snapshot`] did: the epoch the snapshot captured,
@@ -313,10 +345,11 @@ impl SchedService {
                 )));
             }
         }
-        let shard_policy = AdmissionPolicy {
-            island_threads: 1,
-            ..policy.clone()
-        };
+        // Shards inherit the island-thread budget: since PR 5 a shard's
+        // dirty set is the batch's interference *cones*, and one island can
+        // hold several disjoint cones — letting the shard parallelize them
+        // means cones inside one island no longer serialize analysis work.
+        let shard_policy = policy.clone();
         let platforms = set.platforms().clone();
         let util_poison = util_poison_scan(&set);
         let seed_names: Vec<String> = set.transactions().iter().map(|t| t.name.clone()).collect();
@@ -349,6 +382,9 @@ impl SchedService {
             writers_waiting: 0,
             platforms_version: 0,
             max_inflight: default_max_inflight(),
+            auto_compact: AutoCompactPolicy::default(),
+            last_compact_epoch: 0,
+            compacting: false,
             unsched: BTreeMap::new(),
             util_poison,
         };
@@ -396,6 +432,24 @@ impl SchedService {
             core.synced = core.settled;
         }
         Ok(self)
+    }
+
+    /// Arms snapshot auto-compaction: after any epoch that crosses a
+    /// threshold (epochs settled since the last snapshot, or journal
+    /// bytes), the service folds its journal into a snapshot block exactly
+    /// as [`SchedService::snapshot`] would — off the response path, after
+    /// the triggering epoch's record is durable, and never concurrently
+    /// with itself. Compaction is best-effort housekeeping: a failed
+    /// attempt leaves the journal intact (the rewrite is atomic) and the
+    /// next threshold crossing retries. No effect without an attached
+    /// journal.
+    pub fn with_auto_compact(self, policy: AutoCompactPolicy) -> SchedService {
+        {
+            let mut core = self.lock();
+            core.auto_compact = policy;
+            core.last_compact_epoch = core.settled;
+        }
+        self
     }
 
     /// Rebuilds a service after a restart: seeds from the journal's
@@ -577,7 +631,41 @@ impl SchedService {
         self.conflict.notify_all();
         let response = result?;
         self.sync_journal(core, ticket)?;
+        self.maybe_auto_compact();
         Ok(response)
+    }
+
+    /// Fires a snapshot compaction when the configured auto-compaction
+    /// threshold is crossed (see [`SchedService::with_auto_compact`]).
+    /// Runs after the triggering epoch's response is durable; the
+    /// `compacting` flag keeps concurrent settles from piling snapshots
+    /// up, and the last-compaction epoch advances even on a failed attempt
+    /// so an unwritable journal does not turn every epoch into a retry.
+    fn maybe_auto_compact(&self) {
+        {
+            let mut core = self.lock();
+            if core.compacting || core.auto_compact.is_off() {
+                return;
+            }
+            let Some(journal) = &core.journal else {
+                return;
+            };
+            let due_epochs = core.auto_compact.every_epochs.is_some_and(|n| {
+                n > 0 && core.settled.saturating_sub(core.last_compact_epoch) >= n
+            });
+            let due_bytes = core
+                .auto_compact
+                .max_journal_bytes
+                .is_some_and(|b| journal.bytes_written() >= b);
+            if !due_epochs && !due_bytes {
+                return;
+            }
+            core.compacting = true;
+        }
+        let _ = self.snapshot();
+        let mut core = self.lock();
+        core.compacting = false;
+        core.last_compact_epoch = core.settled;
     }
 
     /// Group-committed journal durability: waits (or performs a sync)
@@ -756,6 +844,7 @@ impl SchedService {
         let compacted_bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
         core.journal = Some(writer);
         core.synced = core.settled;
+        core.last_compact_epoch = core.settled;
         Ok(SnapshotInfo {
             epoch: core.settled,
             digest,
@@ -974,7 +1063,7 @@ impl Core {
                     by_slot.insert(group.slot, shard.core.misses());
                 }
             }
-            by_slot.into_values().flatten().collect()
+            self.order_misses(by_slot.into_values().flatten().collect(), batch)
         } else {
             Vec::new()
         };
@@ -990,7 +1079,7 @@ impl Core {
                 }
             }
             let reason = if !all_admitted {
-                self.aggregate_reason(&groups, &outcomes)
+                self.aggregate_reason(batch, &groups, &outcomes)
             } else {
                 RejectReason::Unschedulable {
                     misses: global_misses,
@@ -1105,11 +1194,51 @@ impl Core {
         })
     }
 
-    /// Aggregates the rejection reason of a multi-shard epoch: pure
-    /// overload rejections merge their platform lists (sorted by platform
-    /// index, like the single controller's global scan); otherwise the
-    /// earliest-routed rejecting shard's reason wins.
-    fn aggregate_reason(&self, groups: &[Group], outcomes: &[EpochOutcome]) -> RejectReason {
+    /// The rank of a transaction name in the *global set order* — the
+    /// order a single controller's live set would hold it in: seeded and
+    /// admitted transactions in handle-mint order (appends preserve
+    /// relative order across removals), then this batch's not-yet-minted
+    /// arrivals in batch order, then (deterministic fallback) anything
+    /// else — e.g. a flattened member of an instance arriving in the
+    /// rejected batch itself — by name.
+    fn set_rank(&self, name: &str, batch: &[AdmissionRequest]) -> (u8, u64, usize) {
+        if let Some(id) = self.ids.get(name) {
+            return (0, id.0, 0);
+        }
+        match batch
+            .iter()
+            .position(|r| matches!(r, AdmissionRequest::AddTransaction(tx) if tx.name == name))
+        {
+            Some(k) => (1, 0, k),
+            None => (2, 0, 0),
+        }
+    }
+
+    /// Sorts a miss list into global set order (see [`Core::set_rank`]).
+    fn order_misses(&self, mut misses: Vec<String>, batch: &[AdmissionRequest]) -> Vec<String> {
+        misses.sort_by(|a, b| {
+            self.set_rank(a, batch)
+                .cmp(&self.set_rank(b, batch))
+                .then_with(|| a.cmp(b))
+        });
+        misses.dedup();
+        misses
+    }
+
+    /// Aggregates the rejection reason of a multi-shard epoch, mirroring
+    /// the single controller's stage order: structural failures surface
+    /// during request application (earliest request wins); then numeric
+    /// errors — the global utilization scan propagates its first overflow
+    /// *before* it ever collects overloads, so `Numeric` outranks
+    /// `Overload`; then overloads (platform lists merged and sorted by
+    /// platform index, like the global scan); then deadline misses (merged
+    /// and sorted in global set order); then analysis aborts.
+    fn aggregate_reason(
+        &self,
+        batch: &[AdmissionRequest],
+        groups: &[Group],
+        outcomes: &[EpochOutcome],
+    ) -> RejectReason {
         let rejecting: Vec<(usize, &RejectReason)> = groups
             .iter()
             .zip(outcomes)
@@ -1119,17 +1248,31 @@ impl Core {
             })
             .collect();
         debug_assert!(!rejecting.is_empty());
-        if rejecting.len() > 1
-            && rejecting
-                .iter()
-                .all(|(_, r)| matches!(r, RejectReason::Overload { .. }))
+        if let Some((_, reason)) = rejecting
+            .iter()
+            .filter(|(_, r)| matches!(r, RejectReason::Structural(_)))
+            .min_by_key(|(first_request, _)| *first_request)
         {
-            let mut named: Vec<(usize, String)> = rejecting
-                .iter()
-                .flat_map(|(_, r)| match r {
-                    RejectReason::Overload { platforms } => platforms.clone(),
-                    _ => unreachable!(),
-                })
+            return (*reason).clone();
+        }
+        if let Some((_, reason)) = rejecting
+            .iter()
+            .filter(|(_, r)| matches!(r, RejectReason::Numeric(_)))
+            .min_by_key(|(first_request, _)| *first_request)
+        {
+            return (*reason).clone();
+        }
+        let overloaded: Vec<String> = rejecting
+            .iter()
+            .filter_map(|(_, r)| match r {
+                RejectReason::Overload { platforms } => Some(platforms.clone()),
+                _ => None,
+            })
+            .flatten()
+            .collect();
+        if !overloaded.is_empty() {
+            let mut named: Vec<(usize, String)> = overloaded
+                .into_iter()
                 .map(|name| {
                     let index = self
                         .platforms
@@ -1140,8 +1283,22 @@ impl Core {
                 })
                 .collect();
             named.sort();
+            named.dedup();
             return RejectReason::Overload {
                 platforms: named.into_iter().map(|(_, name)| name).collect(),
+            };
+        }
+        let misses: Vec<String> = rejecting
+            .iter()
+            .filter_map(|(_, r)| match r {
+                RejectReason::Unschedulable { misses } => Some(misses.clone()),
+                _ => None,
+            })
+            .flatten()
+            .collect();
+        if !misses.is_empty() {
+            return RejectReason::Unschedulable {
+                misses: self.order_misses(misses, batch),
             };
         }
         rejecting

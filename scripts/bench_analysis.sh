@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Scripted perf run for the analysis layer: regenerates BENCH_analysis.json
+# (cold fixpoint with/without the RTA hot-path cache, and the
+# cone-restricted downward warm start after a removal vs a cold
+# re-analysis). The binary asserts both speedups > 1 and that every warm
+# leg is bit-identical to its cold counterpart, so this doubles as a
+# perf + exactness regression gate. CI runs it on every push; commit the
+# refreshed JSON when the numbers move materially.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release --quiet --locked -p hsched-bench --bin analysis_perf BENCH_analysis.json
