@@ -132,7 +132,7 @@ struct Entry {
 
 /// A long-lived, stateful online admission engine.
 ///
-/// The controller owns the live [`TransactionSet`] (and a component-level
+/// The controller owns the live [`hsched_transaction::TransactionSet`] (and a component-level
 /// [`System`] mirror for instance requests). Each [`commit`] applies a batch
 /// of [`AdmissionRequest`]s, re-analyzes exactly the interference islands
 /// the batch touches (warm-starting purely additive batches from the

@@ -25,7 +25,7 @@ use hsched_platform::PlatformId;
 use hsched_transaction::TransactionSet;
 use std::collections::HashMap;
 
-/// A plain union–find (path halving, no ranks) over `0..n`. [`Islands`]
+/// A plain union–find (path halving, no ranks) over `0..n`. The crate-internal `Islands` partitioner
 /// builds on it; `hsched-engine` reuses it to group an admission batch's
 /// routing keys (shards ∪ free platforms) into connected target groups.
 #[derive(Debug, Clone)]

@@ -55,7 +55,8 @@
 //!
 //! # Controller lifecycle
 //!
-//! 1. **Seed** — build a controller from a flattened [`TransactionSet`]
+//! 1. **Seed** — build a controller from a flattened
+//!    [`hsched_transaction::TransactionSet`]
 //!    ([`AdmissionController::new`]) or from a component-level `System`
 //!    ([`AdmissionController::from_system`], which remembers each
 //!    transaction's originating instance). One full analysis populates the
@@ -121,6 +122,8 @@
 //! assert!(!outcome.verdict.admitted());
 //! assert_eq!(controller.current_set().transactions().len(), 4);
 //! ```
+
+#![warn(missing_docs)]
 
 mod controller;
 mod dirty;

@@ -19,7 +19,10 @@
 //! running, and one group-committed fsync can cover several settled
 //! epochs. That pipelining is visible even on a single core; on
 //! multi-core hardware the shard analyses of disjoint islands overlap
-//! too, widening the gap further.
+//! too, widening the gap further. A third leg measures the fully
+//! pipelined front door — `submit_async` per epoch plus one `sync` per
+//! client at its high-water ticket — which drops even the per-epoch wait
+//! for the group commit.
 //!
 //! Clients churn the *smallest* disjoint islands of the system (sizes
 //! 1–3 here): a front-end benchmark wants the per-epoch fixpoint small,
@@ -128,17 +131,56 @@ fn main() {
         start.elapsed().as_secs_f64()
     };
 
-    // Warm-up both engines (page cache, shard caches), then alternate
+    // Pipelined service: same 8 clients, but each submits its whole run
+    // through `submit_async` and calls `sync` once at its high-water
+    // ticket — the group-commit configuration a batching client uses.
+    let pipelined_journal = temp_journal("pipelined");
+    let pipelined = SchedService::new(
+        set.clone(),
+        AnalysisConfig::default(),
+        AdmissionPolicy::default(),
+    )
+    .expect("seed analysis succeeds")
+    .with_journal(&pipelined_journal)
+    .expect("journal attaches");
+    let run_pipelined = |rounds: usize| -> f64 {
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for victim in &chosen {
+                let pipelined = &pipelined;
+                scope.spawn(move || {
+                    let mut high_water = 0;
+                    for round in 0..rounds {
+                        let ticket = pipelined
+                            .submit_async(&EngineRequest::batch(toggle(victim, round)))
+                            .expect("engine ok");
+                        assert!(
+                            ticket.response.outcome.verdict.admitted(),
+                            "pipelined epoch rejected"
+                        );
+                        high_water = ticket.epoch;
+                    }
+                    pipelined.sync(high_water).expect("group sync ok");
+                });
+            }
+        });
+        start.elapsed().as_secs_f64()
+    };
+
+    // Warm-up all engines (page cache, shard caches), then alternate
     // measured passes so filesystem/journal background state is shared
     // fairly; report each engine's best pass.
     run_serial(&mut serial, 2);
     run_concurrent(2);
+    run_pipelined(2);
     let mut serial_eps = 0f64;
     let mut service_eps = 0f64;
+    let mut pipelined_eps = 0f64;
     for _ in 0..PASSES {
         serial_eps =
             serial_eps.max(total_epochs as f64 / run_serial(&mut serial, EPOCHS_PER_CLIENT));
         service_eps = service_eps.max(total_epochs as f64 / run_concurrent(EPOCHS_PER_CLIENT));
+        pipelined_eps = pipelined_eps.max(total_epochs as f64 / run_pipelined(EPOCHS_PER_CLIENT));
     }
     let expected = (2 + PASSES as u64 * EPOCHS_PER_CLIENT as u64) * CLIENTS as u64;
     assert_eq!(
@@ -146,20 +188,34 @@ fn main() {
         expected,
         "every epoch settled exactly once"
     );
+    assert_eq!(
+        pipelined.epoch(),
+        expected,
+        "every pipelined epoch settled exactly once"
+    );
+    assert_eq!(
+        pipelined.durable_epoch(),
+        expected,
+        "the per-client group syncs covered the whole run"
+    );
     drop(service);
     drop(serial);
+    drop(pipelined);
     let _ = std::fs::remove_file(&service_journal);
     let _ = std::fs::remove_file(&serial_journal);
+    let _ = std::fs::remove_file(&pipelined_journal);
 
     let speedup = service_eps / serial_eps;
+    let async_speedup = pipelined_eps / serial_eps;
     let json = format!(
-        "{{\n  \"bench\": \"service_concurrent_epoch_throughput\",\n  \"system\": {{\"transactions\": 3072, \"platforms\": 768, \"clusters\": 384, \"seed\": 0}},\n  \"workload\": \"journaled single-request toggle epochs on the {CLIENTS} smallest disjoint islands\",\n  \"clients\": {CLIENTS},\n  \"epochs_per_client\": {EPOCHS_PER_CLIENT},\n  \"unit\": \"epochs_per_second\",\n  \"serial_router_eps\": {serial_eps:.1},\n  \"sched_service_eps\": {service_eps:.1},\n  \"speedup_concurrent_vs_serial\": {speedup:.2}\n}}\n"
+        "{{\n  \"bench\": \"service_concurrent_epoch_throughput\",\n  \"system\": {{\"transactions\": 3072, \"platforms\": 768, \"clusters\": 384, \"seed\": 0}},\n  \"workload\": \"journaled single-request toggle epochs on the {CLIENTS} smallest disjoint islands\",\n  \"clients\": {CLIENTS},\n  \"epochs_per_client\": {EPOCHS_PER_CLIENT},\n  \"unit\": \"epochs_per_second\",\n  \"serial_router_eps\": {serial_eps:.1},\n  \"sched_service_eps\": {service_eps:.1},\n  \"sched_service_async_eps\": {pipelined_eps:.1},\n  \"speedup_concurrent_vs_serial\": {speedup:.2},\n  \"speedup_async_vs_serial\": {async_speedup:.2}\n}}\n"
     );
     std::fs::write(&out_path, &json).expect("write bench json");
     print!("{json}");
     println!(
         "wrote {out_path}: serial {serial_eps:.0} eps vs concurrent {service_eps:.0} eps \
-         ({speedup:.2}x, {total_epochs} epochs/pass, {CLIENTS} clients)"
+         ({speedup:.2}x) vs pipelined {pipelined_eps:.0} eps ({async_speedup:.2}x, \
+         {total_epochs} epochs/pass, {CLIENTS} clients)"
     );
     // Regression floor: typical single-core runs measure ~1.5x (the fsync
     // sleep fully overlaps analysis; only its CPU slice remains), and
@@ -169,5 +225,12 @@ fn main() {
     assert!(
         speedup >= 1.35,
         "concurrent service must clearly beat the serial front end (got {speedup:.2}x)"
+    );
+    // The pipelined front door drops the per-epoch fsync wait entirely, so
+    // it must beat the per-epoch-synced service, not just the serial one.
+    assert!(
+        async_speedup >= speedup,
+        "group-committed pipelining must not lose to per-epoch sync \
+         (async {async_speedup:.2}x vs sync {speedup:.2}x)"
     );
 }

@@ -220,6 +220,12 @@ pub(crate) fn stats_line(engine: &SchedService) -> String {
 /// Runs the parsed batches through a sharded admission engine seeded with
 /// `set` (optionally journaling every epoch to `journal`), and renders the
 /// per-epoch verdicts plus the final system state.
+///
+/// With `pipeline` (the `--async` flag), batches are submitted through
+/// [`SchedService::submit_async`] — committed but not yet durable — and a
+/// single [`SchedService::sync`] at the last epoch's watermark makes the
+/// whole run durable with one fsync instead of one per epoch.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_admission(
     path: &str,
     set: TransactionSet,
@@ -228,6 +234,7 @@ pub(crate) fn run_admission(
     json: bool,
     journal: Option<&str>,
     auto_compact: Option<u64>,
+    pipeline: bool,
 ) -> Result<String, String> {
     if auto_compact.is_some() && journal.is_none() {
         return Err("--auto-compact requires --journal".to_string());
@@ -249,16 +256,30 @@ pub(crate) fn run_admission(
         });
     }
     let initial_transactions = engine.live_transactions();
-    let responses: Vec<EngineResponse> = batches
-        .iter()
-        .map(|batch| engine.submit(&EngineRequest::batch(batch.clone())))
-        .collect::<Result<_, _>>()
-        .map_err(|e| e.to_string())?;
+    let responses: Vec<EngineResponse> = if pipeline {
+        let tickets: Vec<_> = batches
+            .iter()
+            .map(|batch| engine.submit_async(&EngineRequest::batch(batch.clone())))
+            .collect::<Result<_, _>>()
+            .map_err(|e| e.to_string())?;
+        if let Some(last) = tickets.last() {
+            engine.sync(last.epoch).map_err(|e| e.to_string())?;
+        }
+        tickets.into_iter().map(|ticket| ticket.response).collect()
+    } else {
+        batches
+            .iter()
+            .map(|batch| engine.submit(&EngineRequest::batch(batch.clone())))
+            .collect::<Result<_, _>>()
+            .map_err(|e| e.to_string())?
+    };
 
     if json {
         let mut w = JsonWriter::new();
         begin_envelope(&mut w, "admit");
         w.field_str("spec", path);
+        w.field_str("mode", if pipeline { "async" } else { "sync" });
+        w.field_raw("durable_epoch", engine.durable_epoch());
         w.begin_array_field("epochs");
         for response in &responses {
             let outcome = &response.outcome;
@@ -305,6 +326,14 @@ pub(crate) fn run_admission(
     );
     for response in &responses {
         let _ = writeln!(out, "{}", response.outcome);
+    }
+    if pipeline {
+        let _ = writeln!(
+            out,
+            "pipelined: {} epoch(s) committed async, one sync; durable through epoch {}",
+            responses.len(),
+            engine.durable_epoch()
+        );
     }
     let _ = writeln!(out, "{}", stats_line(&engine));
     let _ = writeln!(

@@ -125,6 +125,23 @@ pub struct EngineResponse {
     pub shards_live: usize,
 }
 
+/// The receipt of an asynchronously submitted epoch: the batch is
+/// *committed* (analyzed, settled, appended to the journal buffer in
+/// ticket order) but not yet *durable*. Call
+/// [`crate::SchedService::sync`] with [`EpochTicket::epoch`] as the
+/// watermark — or any later watermark — to force it to disk;
+/// [`crate::SchedService::submit`] is exactly `submit_async` followed by
+/// `sync(ticket.epoch)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochTicket {
+    /// The epoch ticket (see [`EngineResponse::epoch`]); doubles as the
+    /// durability watermark for [`crate::SchedService::sync`].
+    pub epoch: u64,
+    /// The full settled response for the epoch, identical to what
+    /// [`crate::SchedService::submit`] would have returned.
+    pub response: EngineResponse,
+}
+
 /// Caller or environment failures of the engine API — conditions that are
 /// *not* admission verdicts (rejected batches come back as responses).
 #[derive(Debug, Clone, PartialEq)]

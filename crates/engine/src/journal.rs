@@ -3,6 +3,10 @@
 //! be rebuilt byte-identically by replaying the journal against the same
 //! seed specification ([`crate::SchedService::replay`]).
 //!
+//! The normative wire-format spec — header lines, record framing,
+//! request-line grammar, torn-tail repair rules, digest definition —
+//! lives in `docs/JOURNAL_FORMAT.md`; this module is its implementation.
+//!
 //! # Format (schema v2)
 //!
 //! ```text
@@ -559,9 +563,9 @@ pub fn read_journal(path: &Path) -> Result<JournalContents, EngineError> {
 /// Appending writer over a journal file.
 ///
 /// [`JournalWriter::append`] syncs before returning (the single-writer
-/// contract); the concurrent service instead uses
-/// [`JournalWriter::append_nosync`] plus a group-committed `sync_data` on
-/// the shared [`JournalWriter::sync_handle`], which preserves the same
+/// contract); the concurrent service instead uses the crate-internal
+/// `append_nosync` plus a group-committed `sync_data` on
+/// the shared file handle, which preserves the same
 /// durability contract (a response is returned only after the epoch's
 /// record is on disk) while letting one fsync cover several epochs.
 #[derive(Debug)]

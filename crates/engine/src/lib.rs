@@ -90,6 +90,8 @@
 //! assert_eq!(engine.live_transactions(), 3);
 //! ```
 
+#![warn(missing_docs)]
+
 mod digest;
 mod envelope;
 mod journal;
@@ -97,9 +99,11 @@ mod router;
 mod routing;
 mod service;
 mod snapshot;
+mod stripes;
 
 pub use envelope::{
-    EngineError, EngineOp, EngineRequest, EngineResponse, TxnId, MIN_SCHEMA_VERSION, SCHEMA_VERSION,
+    EngineError, EngineOp, EngineRequest, EngineResponse, EpochTicket, TxnId, MIN_SCHEMA_VERSION,
+    SCHEMA_VERSION,
 };
 pub use journal::{read_journal, JournalContents, JournalEpoch, JournalStream, JournalWriter};
 pub use router::AdmissionRouter;

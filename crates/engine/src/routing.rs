@@ -15,13 +15,20 @@
 //! longer serialize analysis work while the routed epoch structure — and
 //! therefore byte-identical replay — is unchanged.
 //!
-//! Everything here runs under the service lock; the conflict rules and the
-//! write-path gating are documented in the service module docs.
+//! Since the striped front door, [`route`] is written against the
+//! [`RouteView`] trait instead of a concrete lock: the fast reserve path
+//! routes through [`crate::stripes::FastView`] (only the batch's stripes
+//! locked, busy checks deferred to checkout), the exclusive path through
+//! [`crate::service::World`] (everything locked, pipeline drained). The
+//! conflict rules and write-path gating are documented in the service
+//! module docs and `docs/ARCHITECTURE.md`.
 
 use crate::envelope::EngineError;
-use crate::service::{Core, Shard, Slot};
+use crate::service::{Shard, Slot, World};
+use crate::stripes::{name_stripe, platform_stripe};
 use hsched_admission::{AdmissionController, AdmissionRequest, UnionFind};
-use hsched_model::SystemBuilder;
+use hsched_model::{ComponentClass, SystemBuilder};
+use hsched_platform::PlatformId;
 use hsched_transaction::{flatten_annotated, FlattenOptions, TransactionSet};
 use std::collections::{HashMap, HashSet};
 
@@ -90,237 +97,402 @@ impl GroupDraft {
     }
 }
 
-impl Core {
-    /// Resolves each request of the batch to routing keys, simulating
-    /// batch-local name liveness, and collecting the conflict claim sets.
-    pub(crate) fn route(&self, batch: &[AdmissionRequest]) -> RouteOutcome {
-        let mut tx_state: HashMap<String, NameState> = HashMap::new();
-        let mut instance_state: HashMap<String, NameState> = HashMap::new();
-        let mut keys: Vec<Vec<Key>> = Vec::with_capacity(batch.len());
-        let mut removed_instance_txns: Vec<Vec<String>> = vec![Vec::new(); batch.len()];
-        let mut mentioned: Vec<String> = Vec::new();
-        let mut free_platforms: Vec<usize> = Vec::new();
+/// The routing state [`route`] reads — implemented by the fast path's
+/// stripe-subset view and by the exclusive everything-locked [`World`].
+///
+/// The contract that keeps the two views equivalent: a view may report a
+/// slot as not busy ([`RouteView::slot_busy`] returning `false`) only when
+/// the caller re-verifies at shard checkout (the slot cell's `Busy` marker
+/// is authoritative); every other answer must be exact for the keys the
+/// view covers.
+pub(crate) trait RouteView {
+    /// Size of the (immutable) platform table.
+    fn platform_count(&self) -> usize;
+    /// Whether an in-flight epoch has claimed this name.
+    fn pending_name(&self, name: &str) -> bool;
+    /// Whether a live transaction carries this name.
+    fn txn_live(&self, name: &str) -> bool;
+    /// Home slot of a live transaction.
+    fn txn_slot(&self, name: &str) -> Option<usize>;
+    /// Whether an in-flight epoch has the slot's shard checked out (views
+    /// that defer the check to checkout return `false`).
+    fn slot_busy(&self, slot: usize) -> bool;
+    /// Owning shard slot of a platform (`None` = free).
+    fn platform_home(&self, p: usize) -> Option<usize>;
+    /// Whether an in-flight epoch has claimed this free platform.
+    fn pending_free(&self, p: usize) -> bool;
+    /// Whether a live instance carries this name.
+    fn instance_live(&self, name: &str) -> bool;
+    /// Home slot of a live instance.
+    fn instance_slot(&self, name: &str) -> Option<usize>;
+    /// Flattened member transactions of the live instance `name` homed at
+    /// `slot`; `None` when the owning shard is checked out.
+    fn instance_txns(&self, slot: usize, name: &str) -> Option<Vec<String>>;
+    /// Member transaction names an arriving instance would flatten into
+    /// (empty when the class has required interfaces or flattening fails —
+    /// the owning shard re-validates during commit).
+    fn preflatten(
+        &self,
+        name: &str,
+        class: &ComponentClass,
+        platform: PlatformId,
+        node: usize,
+    ) -> Vec<String>;
+}
 
-        // A name an in-flight epoch mentions may change liveness when that
-        // epoch settles; validating against it now would not replay
-        // serially — wait instead.
-        macro_rules! claim_name {
-            ($name:expr) => {{
-                let name: &str = $name;
-                if self.pending_names_contains(name) {
-                    return RouteOutcome::Blocked;
-                }
-                mentioned.push(name.to_string());
-            }};
-        }
+/// Resolves each request of the batch to routing keys, simulating
+/// batch-local name liveness, and collecting the conflict claim sets.
+pub(crate) fn route<V: RouteView>(view: &V, batch: &[AdmissionRequest]) -> RouteOutcome {
+    let mut tx_state: HashMap<String, NameState> = HashMap::new();
+    let mut instance_state: HashMap<String, NameState> = HashMap::new();
+    let mut keys: Vec<Vec<Key>> = Vec::with_capacity(batch.len());
+    let mut removed_instance_txns: Vec<Vec<String>> = vec![Vec::new(); batch.len()];
+    let mut mentioned: Vec<String> = Vec::new();
+    let mut free_platforms: Vec<usize> = Vec::new();
 
-        for (i, request) in batch.iter().enumerate() {
-            let request_keys = match request {
-                AdmissionRequest::AddTransaction(tx) => {
-                    claim_name!(&tx.name);
-                    for task in tx.tasks() {
-                        if task.platform.0 >= self.platforms.len() {
-                            return RouteOutcome::Structural(format!(
-                                "task `{}` maps to unknown platform {}",
-                                task.name, task.platform
-                            ));
-                        }
-                    }
-                    let live = match tx_state.get(&tx.name) {
-                        Some(NameState::Absent) => false,
-                        Some(NameState::Pending(_)) => true,
-                        None => self.txn_home.contains_key(&tx.name),
-                    };
-                    if live {
+    // A name an in-flight epoch mentions may change liveness when that
+    // epoch settles; validating against it now would not replay
+    // serially — wait instead.
+    macro_rules! claim_name {
+        ($name:expr) => {{
+            let name: &str = $name;
+            if view.pending_name(name) {
+                return RouteOutcome::Blocked;
+            }
+            mentioned.push(name.to_string());
+        }};
+    }
+
+    for (i, request) in batch.iter().enumerate() {
+        let request_keys = match request {
+            AdmissionRequest::AddTransaction(tx) => {
+                claim_name!(&tx.name);
+                for task in tx.tasks() {
+                    if task.platform.0 >= view.platform_count() {
                         return RouteOutcome::Structural(format!(
-                            "transaction `{}` already live",
-                            tx.name
+                            "task `{}` maps to unknown platform {}",
+                            task.name, task.platform
                         ));
                     }
-                    tx_state.insert(tx.name.clone(), NameState::Pending(i));
-                    match self.platform_keys(tx.tasks().iter().map(|t| t.platform.0)) {
-                        Some(keys) => keys,
-                        None => return RouteOutcome::Blocked,
-                    }
                 }
-                AdmissionRequest::RemoveTransaction { name } => {
-                    claim_name!(name);
-                    match tx_state.get(name) {
-                        Some(NameState::Pending(add)) => {
-                            let cloned = keys[*add].clone();
+                let live = match tx_state.get(&tx.name) {
+                    Some(NameState::Absent) => false,
+                    Some(NameState::Pending(_)) => true,
+                    None => view.txn_live(&tx.name),
+                };
+                if live {
+                    return RouteOutcome::Structural(format!(
+                        "transaction `{}` already live",
+                        tx.name
+                    ));
+                }
+                tx_state.insert(tx.name.clone(), NameState::Pending(i));
+                match platform_keys(view, tx.tasks().iter().map(|t| t.platform.0)) {
+                    Some(keys) => keys,
+                    None => return RouteOutcome::Blocked,
+                }
+            }
+            AdmissionRequest::RemoveTransaction { name } => {
+                claim_name!(name);
+                match tx_state.get(name) {
+                    Some(NameState::Pending(add)) => {
+                        let cloned = keys[*add].clone();
+                        tx_state.insert(name.clone(), NameState::Absent);
+                        cloned
+                    }
+                    Some(NameState::Absent) => {
+                        return RouteOutcome::Structural(format!("no transaction named `{name}`"));
+                    }
+                    None => match view.txn_slot(name) {
+                        Some(slot) => {
+                            if view.slot_busy(slot) {
+                                return RouteOutcome::Blocked;
+                            }
                             tx_state.insert(name.clone(), NameState::Absent);
-                            cloned
+                            vec![Key::Shard(slot)]
                         }
-                        Some(NameState::Absent) => {
+                        None => {
                             return RouteOutcome::Structural(format!(
                                 "no transaction named `{name}`"
                             ));
                         }
-                        None => match self.txn_home.get(name) {
-                            Some(&slot) => {
-                                if self.slots[slot].is_busy() {
-                                    return RouteOutcome::Blocked;
-                                }
-                                tx_state.insert(name.clone(), NameState::Absent);
-                                vec![Key::Shard(slot)]
-                            }
-                            None => {
-                                return RouteOutcome::Structural(format!(
-                                    "no transaction named `{name}`"
-                                ));
-                            }
-                        },
-                    }
+                    },
                 }
-                AdmissionRequest::Retune { platform, .. } => {
-                    if platform.0 >= self.platforms.len() {
-                        return RouteOutcome::Structural(format!(
-                            "platform {platform} out of range"
-                        ));
-                    }
-                    match self.platform_keys(std::iter::once(platform.0)) {
-                        Some(keys) => keys,
-                        None => return RouteOutcome::Blocked,
-                    }
+            }
+            AdmissionRequest::Retune { platform, .. } => {
+                if platform.0 >= view.platform_count() {
+                    return RouteOutcome::Structural(format!("platform {platform} out of range"));
                 }
-                AdmissionRequest::AddInstance {
-                    name,
-                    class,
-                    platform,
-                    node,
-                } => {
-                    claim_name!(name);
-                    if platform.0 >= self.platforms.len() {
-                        return RouteOutcome::Structural(format!(
-                            "platform {platform} out of range"
-                        ));
-                    }
-                    let live = match instance_state.get(name) {
+                match platform_keys(view, std::iter::once(platform.0)) {
+                    Some(keys) => keys,
+                    None => return RouteOutcome::Blocked,
+                }
+            }
+            AdmissionRequest::AddInstance {
+                name,
+                class,
+                platform,
+                node,
+            } => {
+                claim_name!(name);
+                if platform.0 >= view.platform_count() {
+                    return RouteOutcome::Structural(format!("platform {platform} out of range"));
+                }
+                let live = match instance_state.get(name) {
+                    Some(NameState::Absent) => false,
+                    Some(NameState::Pending(_)) => true,
+                    None => view.instance_live(name),
+                };
+                if live {
+                    return RouteOutcome::Structural(format!("instance `{name}` already live"));
+                }
+                // Pre-flatten to catch cross-shard name collisions the
+                // owning shard cannot see (it only knows its own set).
+                let members = view.preflatten(name, class, *platform, *node);
+                for member in &members {
+                    claim_name!(member);
+                    let live = match tx_state.get(member) {
                         Some(NameState::Absent) => false,
                         Some(NameState::Pending(_)) => true,
-                        None => self.instance_home.contains_key(name),
+                        None => view.txn_live(member),
                     };
                     if live {
-                        return RouteOutcome::Structural(format!("instance `{name}` already live"));
-                    }
-                    // Pre-flatten to catch cross-shard name collisions the
-                    // owning shard cannot see (it only knows its own set).
-                    if class.required.is_empty() {
-                        let mut builder = SystemBuilder::new();
-                        let class_idx = builder.add_class(class.clone());
-                        builder.instantiate(name.clone(), class_idx, *platform, *node);
-                        let options = FlattenOptions {
-                            external_stimuli: self.policy.external_stimuli,
-                        };
-                        if let Ok((subset, _)) =
-                            flatten_annotated(&builder.build(), &self.platforms, options)
-                        {
-                            for tx in subset.transactions() {
-                                claim_name!(&tx.name);
-                                let live = match tx_state.get(&tx.name) {
-                                    Some(NameState::Absent) => false,
-                                    Some(NameState::Pending(_)) => true,
-                                    None => self.txn_home.contains_key(&tx.name),
-                                };
-                                if live {
-                                    return RouteOutcome::Structural(format!(
-                                        "transaction `{}` already live",
-                                        tx.name
-                                    ));
-                                }
-                            }
-                            for tx in subset.transactions() {
-                                tx_state.insert(tx.name.clone(), NameState::Pending(i));
-                            }
-                        }
-                    }
-                    instance_state.insert(name.clone(), NameState::Pending(i));
-                    match self.platform_keys(std::iter::once(platform.0)) {
-                        Some(keys) => keys,
-                        None => return RouteOutcome::Blocked,
+                        return RouteOutcome::Structural(format!(
+                            "transaction `{member}` already live"
+                        ));
                     }
                 }
-                AdmissionRequest::RemoveInstance { name } => {
-                    claim_name!(name);
-                    match instance_state.get(name) {
-                        Some(NameState::Pending(add)) => {
-                            let cloned = keys[*add].clone();
+                for member in members {
+                    tx_state.insert(member, NameState::Pending(i));
+                }
+                instance_state.insert(name.clone(), NameState::Pending(i));
+                match platform_keys(view, std::iter::once(platform.0)) {
+                    Some(keys) => keys,
+                    None => return RouteOutcome::Blocked,
+                }
+            }
+            AdmissionRequest::RemoveInstance { name } => {
+                claim_name!(name);
+                match instance_state.get(name) {
+                    Some(NameState::Pending(add)) => {
+                        let cloned = keys[*add].clone();
+                        instance_state.insert(name.clone(), NameState::Absent);
+                        cloned
+                    }
+                    Some(NameState::Absent) => {
+                        return RouteOutcome::Structural(format!("no instance named `{name}`"));
+                    }
+                    None => match view.instance_slot(name) {
+                        Some(slot) => {
+                            let Some(members) = view.instance_txns(slot, name) else {
+                                return RouteOutcome::Blocked;
+                            };
                             instance_state.insert(name.clone(), NameState::Absent);
-                            cloned
+                            for txn in &members {
+                                claim_name!(txn);
+                                // The instance's flattened transactions
+                                // depart with it: batch-locally absent.
+                                tx_state.insert(txn.clone(), NameState::Absent);
+                            }
+                            removed_instance_txns[i] = members;
+                            vec![Key::Shard(slot)]
                         }
-                        Some(NameState::Absent) => {
+                        None => {
                             return RouteOutcome::Structural(format!("no instance named `{name}`"));
                         }
-                        None => match self.instance_home.get(name) {
-                            Some(&slot) => {
-                                let Some(shard) = self.slots[slot].as_idle() else {
-                                    return RouteOutcome::Blocked;
-                                };
-                                instance_state.insert(name.clone(), NameState::Absent);
-                                let members = shard.core.transactions_of_instance(name);
-                                for txn in &members {
-                                    claim_name!(txn);
-                                    // The instance's flattened transactions
-                                    // depart with it: batch-locally absent.
-                                    tx_state.insert(txn.clone(), NameState::Absent);
-                                }
-                                removed_instance_txns[i] = members;
-                                vec![Key::Shard(slot)]
-                            }
-                            None => {
-                                return RouteOutcome::Structural(format!(
-                                    "no instance named `{name}`"
-                                ));
-                            }
-                        },
-                    }
-                }
-            };
-            for key in &request_keys {
-                if let Key::Free(p) = key {
-                    if !free_platforms.contains(p) {
-                        free_platforms.push(*p);
-                    }
+                    },
                 }
             }
-            keys.push(request_keys);
+        };
+        for key in &request_keys {
+            if let Key::Free(p) = key {
+                if !free_platforms.contains(p) {
+                    free_platforms.push(*p);
+                }
+            }
         }
-        mentioned.sort_unstable();
-        mentioned.dedup();
-        RouteOutcome::Routed(Routed {
-            keys,
-            removed_instance_txns,
-            mentioned,
-            free_platforms,
+        keys.push(request_keys);
+    }
+    mentioned.sort_unstable();
+    mentioned.dedup();
+    RouteOutcome::Routed(Routed {
+        keys,
+        removed_instance_txns,
+        mentioned,
+        free_platforms,
+    })
+}
+
+/// Deduplicated routing keys of a platform list; `None` when a key
+/// conflicts with an in-flight epoch (busy shard / claimed platform).
+fn platform_keys<V: RouteView>(
+    view: &V,
+    platforms: impl Iterator<Item = usize>,
+) -> Option<Vec<Key>> {
+    let mut out: Vec<Key> = Vec::new();
+    for p in platforms {
+        let key = match view.platform_home(p) {
+            Some(slot) => {
+                if view.slot_busy(slot) {
+                    return None;
+                }
+                Key::Shard(slot)
+            }
+            None => {
+                if view.pending_free(p) {
+                    return None;
+                }
+                Key::Free(p)
+            }
+        };
+        if !out.contains(&key) {
+            out.push(key);
+        }
+    }
+    Some(out)
+}
+
+/// Unions the routing keys into connected groups (pure — no topology
+/// mutation). Returns one draft per group, in first-touch order.
+pub(crate) fn plan_groups(
+    keys: &[Vec<Key>],
+    slots_len: usize,
+    platform_count: usize,
+) -> Vec<GroupDraft> {
+    let node = |key: &Key| match *key {
+        Key::Shard(s) => s,
+        Key::Free(p) => slots_len + p,
+    };
+    let mut uf = UnionFind::new(slots_len + platform_count);
+    for request_keys in keys {
+        for key in &request_keys[1..] {
+            uf.union(node(&request_keys[0]), node(key));
+        }
+    }
+
+    struct Draft {
+        root: usize,
+        requests: Vec<usize>,
+    }
+    let mut drafts: Vec<Draft> = Vec::new();
+    for (i, request_keys) in keys.iter().enumerate() {
+        debug_assert!(!request_keys.is_empty(), "every request routes somewhere");
+        let root = uf.find(node(&request_keys[0]));
+        match drafts.iter_mut().find(|d| d.root == root) {
+            Some(draft) => draft.requests.push(i),
+            None => drafts.push(Draft {
+                root,
+                requests: vec![i],
+            }),
+        }
+    }
+    let mut referenced: Vec<usize> = keys
+        .iter()
+        .flatten()
+        .filter_map(|k| match k {
+            Key::Shard(s) => Some(*s),
+            Key::Free(_) => None,
         })
-    }
-
-    /// Deduplicated routing keys of a platform list; `None` when a key
-    /// conflicts with an in-flight epoch (busy shard / claimed platform).
-    fn platform_keys(&self, platforms: impl Iterator<Item = usize>) -> Option<Vec<Key>> {
-        let mut out: Vec<Key> = Vec::new();
-        for p in platforms {
-            let key = match self.platform_home.get(p).copied().flatten() {
-                Some(slot) => {
-                    if self.slots[slot].is_busy() {
-                        return None;
-                    }
-                    Key::Shard(slot)
-                }
-                None => {
-                    if self.pending_free_contains(p) {
-                        return None;
-                    }
-                    Key::Free(p)
-                }
-            };
-            if !out.contains(&key) {
-                out.push(key);
-            }
+        .collect();
+    referenced.sort_unstable();
+    referenced.dedup();
+    let mut out: Vec<GroupDraft> = drafts
+        .iter()
+        .map(|d| GroupDraft {
+            requests: d.requests.clone(),
+            member_slots: Vec::new(),
+        })
+        .collect();
+    for slot in referenced {
+        let root = uf.find(slot);
+        if let Some(at) = drafts.iter().position(|d| d.root == root) {
+            out[at].member_slots.push(slot);
         }
-        Some(out)
+    }
+    out
+}
+
+impl RouteView for World<'_> {
+    fn platform_count(&self) -> usize {
+        self.core.platforms.len()
     }
 
+    fn pending_name(&self, name: &str) -> bool {
+        self.names[name_stripe(name)].pending.contains(name)
+    }
+
+    fn txn_live(&self, name: &str) -> bool {
+        self.names[name_stripe(name)].txn_home.contains_key(name)
+    }
+
+    fn txn_slot(&self, name: &str) -> Option<usize> {
+        self.names[name_stripe(name)].txn_home.get(name).copied()
+    }
+
+    fn slot_busy(&self, slot: usize) -> bool {
+        // The world holds the slot table's write guard, so no cell mutex
+        // can be held or contended by anyone else — this lock is free.
+        matches!(
+            *self.slots[slot].lock().expect("slot cell poisoned"),
+            Slot::Busy
+        )
+    }
+
+    fn platform_home(&self, p: usize) -> Option<usize> {
+        self.plats[platform_stripe(p)].home.get(&p).copied()
+    }
+
+    fn pending_free(&self, p: usize) -> bool {
+        self.plats[platform_stripe(p)].pending_free.contains(&p)
+    }
+
+    fn instance_live(&self, name: &str) -> bool {
+        self.names[name_stripe(name)]
+            .instance_home
+            .contains_key(name)
+    }
+
+    fn instance_slot(&self, name: &str) -> Option<usize> {
+        self.names[name_stripe(name)]
+            .instance_home
+            .get(name)
+            .copied()
+    }
+
+    fn instance_txns(&self, slot: usize, name: &str) -> Option<Vec<String>> {
+        let cell = self.slots[slot].lock().expect("slot cell poisoned");
+        cell.as_idle()
+            .map(|s| s.core.transactions_of_instance(name))
+    }
+
+    fn preflatten(
+        &self,
+        name: &str,
+        class: &ComponentClass,
+        platform: PlatformId,
+        node: usize,
+    ) -> Vec<String> {
+        if !class.required.is_empty() {
+            return Vec::new();
+        }
+        let mut builder = SystemBuilder::new();
+        let class_idx = builder.add_class(class.clone());
+        builder.instantiate(name.to_string(), class_idx, platform, node);
+        let options = FlattenOptions {
+            external_stimuli: self.core.policy.external_stimuli,
+        };
+        match flatten_annotated(&builder.build(), &self.core.platforms, options) {
+            Ok((subset, _)) => subset
+                .transactions()
+                .iter()
+                .map(|t| t.name.clone())
+                .collect(),
+            Err(_) => Vec::new(),
+        }
+    }
+}
+
+impl World<'_> {
     /// The platforms of every island the routed batch touches (its touched
     /// shards' platform homes plus the claimed free platforms) — the
     /// clearing scope of the numeric-parity poison map.
@@ -337,77 +509,22 @@ impl Core {
                 }
             }
         }
-        for (p, home) in self.platform_home.iter().enumerate() {
-            if home.is_some_and(|slot| slots.contains(&slot)) {
-                touched.insert(p);
+        for stripe in self.plats.iter() {
+            for (p, home) in &stripe.home {
+                if slots.contains(home) {
+                    touched.insert(*p);
+                }
             }
         }
         touched
-    }
-
-    /// Unions the routing keys into connected groups (pure — no topology
-    /// mutation). Returns one draft per group, in first-touch order.
-    pub(crate) fn plan_groups(&self, keys: &[Vec<Key>]) -> Vec<GroupDraft> {
-        let slots = self.slots.len();
-        let node = |key: &Key| match *key {
-            Key::Shard(s) => s,
-            Key::Free(p) => slots + p,
-        };
-        let mut uf = UnionFind::new(slots + self.platforms.len());
-        for request_keys in keys {
-            for key in &request_keys[1..] {
-                uf.union(node(&request_keys[0]), node(key));
-            }
-        }
-
-        struct Draft {
-            root: usize,
-            requests: Vec<usize>,
-        }
-        let mut drafts: Vec<Draft> = Vec::new();
-        for (i, request_keys) in keys.iter().enumerate() {
-            debug_assert!(!request_keys.is_empty(), "every request routes somewhere");
-            let root = uf.find(node(&request_keys[0]));
-            match drafts.iter_mut().find(|d| d.root == root) {
-                Some(draft) => draft.requests.push(i),
-                None => drafts.push(Draft {
-                    root,
-                    requests: vec![i],
-                }),
-            }
-        }
-        let mut referenced: Vec<usize> = keys
-            .iter()
-            .flatten()
-            .filter_map(|k| match k {
-                Key::Shard(s) => Some(*s),
-                Key::Free(_) => None,
-            })
-            .collect();
-        referenced.sort_unstable();
-        referenced.dedup();
-        let mut out: Vec<GroupDraft> = drafts
-            .iter()
-            .map(|d| GroupDraft {
-                requests: d.requests.clone(),
-                member_slots: Vec::new(),
-            })
-            .collect();
-        for slot in referenced {
-            let root = uf.find(slot);
-            if let Some(at) = drafts.iter().position(|d| d.root == root) {
-                out[at].member_slots.push(slot);
-            }
-        }
-        out
     }
 
     /// Realizes the planned groups: merges shards bridged within a group
     /// (cache-preserving concatenation — the merged island is re-analyzed
     /// by the commit anyway, exactly as the single controller would) and
     /// allocates fresh shards for all-free groups. Topology-changing
-    /// drafts only run on the write path (no epoch in flight), so slot
-    /// choices stay deterministic in ticket order.
+    /// drafts only run on the exclusive path (pipeline drained, world
+    /// locked), so slot choices stay deterministic in ticket order.
     pub(crate) fn apply_groups(
         &mut self,
         drafts: Vec<GroupDraft>,
@@ -418,49 +535,49 @@ impl Core {
                 Some((&target, rest)) => {
                     if !rest.is_empty() {
                         let Slot::Idle(mut merged) =
-                            std::mem::replace(&mut self.slots[target], Slot::Busy)
+                            std::mem::replace(self.slot_mut(target), Slot::Busy)
                         else {
                             return Err(EngineError::Internal(
                                 "merge target not idle at reserve".to_string(),
                             ));
                         };
-                        self.sync_shard_platforms(&mut merged)?;
+                        self.core.sync_shard_platforms(&mut merged)?;
                         for &loser in rest {
                             let Slot::Idle(mut eaten) =
-                                std::mem::replace(&mut self.slots[loser], Slot::Vacant)
+                                std::mem::replace(self.slot_mut(loser), Slot::Vacant)
                             else {
                                 return Err(EngineError::Internal(
                                     "merge loser not idle at reserve".to_string(),
                                 ));
                             };
-                            self.sync_shard_platforms(&mut eaten)?;
+                            self.core.sync_shard_platforms(&mut eaten)?;
                             merged
                                 .core
                                 .merge_from(eaten.core)
                                 .map_err(EngineError::Internal)?;
                             self.reassign_home(loser, target);
-                            self.unsched.remove(&loser);
+                            self.core.unsched.remove(&loser);
                         }
                         merged.schedulable = merged.core.schedulable();
                         if merged.schedulable {
-                            self.unsched.remove(&target);
+                            self.core.unsched.remove(&target);
                         } else {
-                            self.unsched.insert(target, merged.core.misses());
+                            self.core.unsched.insert(target, merged.core.misses());
                         }
-                        self.slots[target] = Slot::Idle(merged);
+                        *self.slot_mut(target) = Slot::Idle(merged);
                     }
                     target
                 }
                 None => {
-                    let empty = TransactionSet::new(self.platforms.clone(), Vec::new())
+                    let empty = TransactionSet::new(self.core.platforms.clone(), Vec::new())
                         .map_err(EngineError::Internal)?;
                     let core = AdmissionController::new(
                         empty,
-                        self.config.clone(),
-                        self.shard_policy.clone(),
+                        self.core.config.clone(),
+                        self.core.shard_policy.clone(),
                     )
                     .map_err(EngineError::Internal)?;
-                    let version = self.platforms_version();
+                    let version = self.core.platforms_version;
                     self.allocate_slot(Shard {
                         core,
                         schedulable: true,

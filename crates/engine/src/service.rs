@@ -16,15 +16,14 @@
 //!
 //! Every epoch passes through three phases:
 //!
-//! 1. **Reserve** — under the routing-table lock: the batch is routed to
-//!    its shard slots (batch-local name simulation included), checked for
-//!    conflicts against in-flight epochs, and the touched shard
-//!    controllers are checked out of their slots *atomically, in stable
-//!    slot order* together with the epoch's **ticket** (an atomic sequence
-//!    number). Because a ticket is only issued once every touched shard
-//!    was acquired, an earlier-ticketed epoch can never wait on a
-//!    later-ticketed one — the classic two-phase total-order argument, so
-//!    cross-shard batches stay atomic and deadlock-free.
+//! 1. **Reserve** — route the batch to its shard slots (batch-local name
+//!    simulation included), check for conflicts against in-flight epochs,
+//!    and check the touched shard controllers out of their slots together
+//!    with the epoch's **ticket** (an atomic sequence number). Because a
+//!    ticket is only issued once every touched shard was acquired, an
+//!    earlier-ticketed epoch can never wait on a later-ticketed one — the
+//!    classic two-phase total-order argument, so cross-shard batches stay
+//!    atomic and deadlock-free.
 //! 2. **Analyze** — no lock held: the checked-out shards commit their
 //!    sub-batches (concurrently across client threads *and* across the
 //!    groups of one batch). This is where the analysis time goes, and it
@@ -39,10 +38,35 @@
 //!    byte-identically (the linearizability property suite drives N client
 //!    threads and asserts exactly this).
 //!
-//! Journal `fsync`s are group-committed: the record is written under the
-//! lock (keeping ticket order), but the `sync_data` happens outside it,
-//! and one fsync covers every record written before it started — a
-//! response still never returns before its own record is durable.
+//! ## The striped front door
+//!
+//! Reserve no longer funnels through one routing lock. The name→shard and
+//! platform→shard tables live in [`crate::stripes`]: [`STRIPE_COUNT`]
+//! independently locked stripes per table, each carrying both the at-rest
+//! home map and the in-flight claim set for its keys. A transaction-level
+//! batch locks exactly the stripes in its footprint (ascending index), a
+//! read lock on the slot table, and checks its shards out cell by cell —
+//! disjoint batches touch disjoint locks and never contend. Epochs that
+//! need more — instance operations, topology changes (merges, fresh
+//! shards), or the cross-island poison parity check — take the
+//! **exclusive path**: drain the pipeline, lock the whole [`World`], and
+//! route against everything at once, exactly as the single-lock engine
+//! did.
+//!
+//! The lock order is total and is documented with a deadlock-freedom
+//! argument in `docs/ARCHITECTURE.md`: name stripes (ascending) → platform
+//! stripes (ascending) → slot table → slot cells (transiently, one at a
+//! time) → core → gate. Condition variables wait on the gate (or the core,
+//! for group commit) while holding nothing earlier in the order.
+//!
+//! Journal `fsync`s are group-committed and now *exposed*: the record is
+//! written at settle (keeping ticket order) but `sync_data` happens in
+//! [`SchedService::sync`], and one fsync covers every record written
+//! before it started. [`SchedService::submit`] still returns only after
+//! its own record is durable; [`SchedService::submit_async`] returns an
+//! [`EpochTicket`] as soon as the epoch settles, letting batching clients
+//! pipeline epochs and pay one fsync per watermark instead of one per
+//! epoch.
 //!
 //! ## Conflicts and the write path
 //!
@@ -53,7 +77,7 @@
 //! replay serially). Conflicting submissions simply wait; disjoint ones
 //! run concurrently. Epochs that must *change topology* at routing time —
 //! merging shards bridged by an arrival, or creating a shard on free
-//! platforms — take the **write path**: they drain all in-flight epochs
+//! platforms — take the exclusive path: they drain all in-flight epochs
 //! first (a fairness gate holds new reservations off while a writer
 //! waits), keeping slot assignment deterministic in ticket order, which
 //! the state digest depends on. Splits after departures happen at settle
@@ -78,11 +102,15 @@
 
 use crate::digest::fnv1a_64;
 use crate::envelope::{
-    EngineError, EngineOp, EngineRequest, EngineResponse, TxnId, MIN_SCHEMA_VERSION, SCHEMA_VERSION,
+    EngineError, EngineOp, EngineRequest, EngineResponse, EpochTicket, TxnId, MIN_SCHEMA_VERSION,
+    SCHEMA_VERSION,
 };
 use crate::journal::{JournalStream, JournalWriter};
-use crate::routing::{Group, GroupDraft, RouteOutcome};
+use crate::routing::{plan_groups, route, Group, RouteOutcome};
 use crate::snapshot::{self, Snapshot};
+use crate::stripes::{
+    name_stripe, platform_stripe, FastView, NameStripe, PlatStripe, STRIPE_COUNT,
+};
 use hsched_admission::{
     AdmissionController, AdmissionPolicy, AdmissionRequest, ControllerStats, EpochOutcome,
     RejectReason, Verdict,
@@ -94,7 +122,8 @@ use hsched_platform::PlatformSet;
 use hsched_transaction::TransactionSet;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::path::Path;
-use std::sync::{Condvar, Mutex, MutexGuard};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, RwLock, RwLockWriteGuard};
 
 /// One island-group shard: a full admission controller over the shard's
 /// transactions (with the complete platform set, so `PlatformId`s stay
@@ -111,7 +140,10 @@ pub(crate) struct Shard {
 
 /// One shard slot of the service. `Busy` means an in-flight epoch has the
 /// shard checked out — the lock-per-shard state, held from reserve to
-/// settle.
+/// settle. Each slot is its own mutex cell: the fast path locks a cell
+/// only transiently (check out or return a shard), and never holds one
+/// across any other acquisition, so cells sit harmlessly at the bottom of
+/// the lock order.
 ///
 /// The variant size skew is deliberate: the slot table is small (one entry
 /// per island group) and keeping shards inline avoids a pointer chase on
@@ -132,10 +164,6 @@ impl Slot {
         matches!(self, Slot::Vacant)
     }
 
-    pub(crate) fn is_busy(&self) -> bool {
-        matches!(self, Slot::Busy)
-    }
-
     pub(crate) fn as_idle(&self) -> Option<&Shard> {
         match self {
             Slot::Idle(shard) => Some(shard),
@@ -144,28 +172,21 @@ impl Slot {
     }
 }
 
-/// Everything behind the service's lock: routing tables, shard slots,
-/// epoch sequencing, and journal bookkeeping. Field-level invariants are
-/// documented where subtle; the protocol lives in the module docs.
+/// The non-routing heart of the service: handle maps, epoch accounting,
+/// the master platform set, journal bookkeeping, and the cross-island
+/// parity state. Routing state (name/platform homes, claim sets) lives in
+/// the stripes; the slot table is its own `RwLock`. The core mutex is
+/// held briefly — handle resolution, settle bookkeeping, journal sync
+/// arbitration — never across analysis.
 #[derive(Debug)]
 pub(crate) struct Core {
-    /// Slot-stable shard table.
-    pub(crate) slots: Vec<Slot>,
-    /// Platform index → owning shard slot (`None` = no shard uses it).
-    pub(crate) platform_home: Vec<Option<usize>>,
-    /// Live transaction name → shard slot.
-    pub(crate) txn_home: HashMap<String, usize>,
-    /// Live component-instance name → shard slot.
-    pub(crate) instance_home: HashMap<String, usize>,
     /// Live transaction name → stable handle.
     pub(crate) ids: HashMap<String, TxnId>,
     /// Stable handle → live transaction name.
     pub(crate) names: HashMap<TxnId, String>,
     pub(crate) next_id: u64,
-    /// Last epoch ticket issued (reserve-time).
-    pub(crate) issued: u64,
-    /// Last ticket fully settled. `settled == issued` ⟺ no epoch in
-    /// flight ⟺ no `Busy` slot.
+    /// Last ticket fully settled (mirror of the gate's counter, updated at
+    /// settle while the world is held — the value group commit trusts).
     pub(crate) settled: u64,
     pub(crate) admitted_epochs: u64,
     pub(crate) rejected_epochs: u64,
@@ -187,25 +208,12 @@ pub(crate) struct Core {
     /// A thread is currently running `sync_data` outside the lock.
     syncing: bool,
     /// Sticky journal-sync failure: once a group-commit fsync fails, no
-    /// later epoch may report durability (see `sync_journal`).
+    /// later epoch may report durability (see [`SchedService::sync`]).
     sync_error: Option<String>,
-    /// Names (transactions + instances, including flattened members)
-    /// mentioned by in-flight epochs — the name-conflict set.
-    pending_names: HashSet<String>,
-    /// Free platforms claimed by in-flight epochs (their shard membership
-    /// is only indexed at settle).
-    pending_free: HashSet<usize>,
-    /// Write-path epochs waiting for the in-flight set to drain; while
-    /// nonzero, new reservations hold off (fairness gate).
-    writers_waiting: usize,
     /// Monotone version of the master platform set (bumped per admitted
-    /// retune); shards carry the version they last synced against.
-    platforms_version: u64,
-    /// Pipeline depth bound: at most this many epochs in flight. Keeps a
-    /// small machine from timeslicing a pile of analyses (reserve applies
-    /// backpressure instead) while still overlapping analysis with journal
-    /// syncs; sized to the host's parallelism by default.
-    max_inflight: u64,
+    /// retune); shards carry the version they last synced against, and the
+    /// service mirrors it in an atomic for lock-free staleness checks.
+    pub(crate) platforms_version: u64,
     /// Snapshot auto-compaction thresholds (off by default).
     auto_compact: AutoCompactPolicy,
     /// Epoch the journal was last compacted at (0 = never).
@@ -224,6 +232,24 @@ pub(crate) struct Core {
     pub(crate) util_poison: BTreeMap<usize, String>,
 }
 
+/// Admission-flow coordination, locked **last** in the total order so the
+/// hot path can consult it while holding anything else. All condition
+/// variables except group commit wait on this mutex alone.
+#[derive(Debug)]
+struct Gate {
+    /// Last ticket fully settled. Together with the `issued` atomic:
+    /// `settled == issued` ⟺ no epoch in flight ⟺ no `Busy` slot.
+    settled: u64,
+    /// Write-path epochs waiting for the in-flight set to drain; while
+    /// nonzero, new reservations hold off (fairness gate).
+    writers_waiting: usize,
+    /// Bumped whenever blocked reservations might make progress (an epoch
+    /// settled, a writer left). Contended reservations capture it before
+    /// routing and sleep until it moves — closing the missed-wakeup window
+    /// between their conflict observation and their wait.
+    generation: u64,
+}
+
 /// A granted reservation: the epoch's ticket plus everything checked out
 /// at reserve time.
 struct Reservation {
@@ -236,24 +262,23 @@ struct Reservation {
     removed_instance_txns: Vec<Vec<String>>,
     claimed_names: Vec<String>,
     claimed_free: Vec<usize>,
-    /// Platforms of every touched island (poison accounting).
+    /// Platforms of every touched island (poison accounting; empty on the
+    /// fast path, which only runs when the poison map is empty).
     touched_platforms: Vec<usize>,
     /// Rejection decided at reserve time (structural / numeric parity):
     /// the epoch skips analysis and settles straight to a rejection.
     early: Option<RejectReason>,
-    /// Worker threads for this epoch's group commits (from the policy).
-    island_threads: usize,
 }
 
-/// A reservation attempt's outcome.
-enum Reserve {
+/// Outcome of one fast-path reservation attempt.
+enum FastAttempt {
     /// Ticket issued; proceed to analyze.
     Ready(Reservation),
-    /// Pipeline at depth bound — wait on the capacity queue.
-    AtCapacity,
-    /// Conflict with an in-flight epoch (or writer fairness) — wait on the
-    /// conflict queue.
-    Conflicted,
+    /// The batch needs the exclusive path (topology change).
+    Fallback,
+    /// Conflict with an in-flight epoch (or writer fairness / capacity) —
+    /// wait until the captured gate generation moves, then retry.
+    Contended(u64),
 }
 
 /// Epoch outcome handed from the analyze phase to settle.
@@ -303,16 +328,49 @@ pub struct SnapshotInfo {
 /// API on top of this type.
 #[derive(Debug)]
 pub struct SchedService {
+    /// Name-addressed routing stripes (homes + claims), FNV-striped.
+    names: Vec<Mutex<NameStripe>>,
+    /// Platform-addressed routing stripes (homes + claims), residue-striped.
+    plats: Vec<Mutex<PlatStripe>>,
+    /// The shard slot table. Readers (fast reservations) share it and lock
+    /// individual cells; the exclusive path and settle take it whole.
+    slots: RwLock<Vec<Mutex<Slot>>>,
+    /// Last epoch ticket issued. Only incremented while the gate is held,
+    /// so `issued` reads under the gate are exact.
+    issued: AtomicU64,
+    /// Lock-free mirror of [`Core::platforms_version`] (staleness check at
+    /// fast checkout without touching the core).
+    platforms_version: AtomicU64,
+    /// Whether the utilization-poison map is non-empty. Poison is only
+    /// seeded at construction/rebuild and only ever *cleared* afterwards,
+    /// so a `false` read is final and the fast path may skip the parity
+    /// scan entirely.
+    poison_present: AtomicBool,
+    /// Size of the (immutable) platform table.
+    platform_count: usize,
+    /// Pipeline depth bound: at most this many epochs in flight. Keeps a
+    /// small machine from timeslicing a pile of analyses (reserve applies
+    /// backpressure instead) while still overlapping analysis with journal
+    /// syncs; sized to the host's parallelism by default. Set by the
+    /// builder before the service is shared, hence plain.
+    max_inflight: u64,
+    /// Worker threads per epoch's group commits (from the policy).
+    island_threads: usize,
     core: Mutex<Core>,
-    /// Settle-order and quiesce waiters (notified when `settled` advances).
+    gate: Mutex<Gate>,
+    /// Settle-order, drain and quiesce waiters (on the gate; notified when
+    /// `settled` advances).
     turn: Condvar,
-    /// Reserve waiters blocked purely on the pipeline-depth bound —
-    /// homogeneous, so each settle wakes exactly one (no thundering herd).
+    /// Reserve waiters blocked purely on the pipeline-depth bound (on the
+    /// gate) — homogeneous, so each settle wakes exactly one (no
+    /// thundering herd).
     capacity: Condvar,
     /// Reserve waiters blocked on a conflict (shared shard, claimed name
-    /// or platform, writer fairness) — rare; notified broadly on settle.
+    /// or platform, writer fairness) — rare; notified broadly on settle
+    /// and writer exit (on the gate).
     conflict: Condvar,
-    /// Group-commit waiters (notified when a journal sync completes).
+    /// Group-commit waiters (on the core; notified when a journal sync
+    /// completes).
     synced_cv: Condvar,
 }
 
@@ -322,6 +380,22 @@ const _: () = {
     const fn assert_sync<T: Send + Sync>() {}
     assert_sync::<SchedService>();
 };
+
+/// Exclusive view over every piece of service state: all stripes (in
+/// order), the whole slot table, and the core. Settle, the exclusive
+/// reserve path, observation and rebuild all run through one of these —
+/// with the world held no reservation can route and no sibling can
+/// settle, so the view is a consistent cut.
+///
+/// While the slot table's write guard is held no cell mutex can be
+/// contended, so the `&self` accessors below may lock cells freely and
+/// the `&mut self` ones use `get_mut`.
+pub(crate) struct World<'a> {
+    pub(crate) names: Vec<MutexGuard<'a, NameStripe>>,
+    pub(crate) plats: Vec<MutexGuard<'a, PlatStripe>>,
+    pub(crate) slots: RwLockWriteGuard<'a, Vec<Mutex<Slot>>>,
+    pub(crate) core: MutexGuard<'a, Core>,
+}
 
 impl SchedService {
     /// Builds a service over an already-flattened transaction set: one full
@@ -356,15 +430,13 @@ impl SchedService {
         let seed = AdmissionController::new(set, config.clone(), shard_policy.clone())
             .map_err(EngineError::Seed)?;
 
-        let mut core = Core {
-            slots: Vec::new(),
-            platform_home: vec![None; platforms.len()],
-            txn_home: HashMap::new(),
-            instance_home: HashMap::new(),
+        let platform_count = platforms.len();
+        let island_threads = policy.island_threads;
+        let poison_present = !util_poison.is_empty();
+        let core = Core {
             ids: HashMap::new(),
             names: HashMap::new(),
             next_id: 0,
-            issued: 0,
             settled: 0,
             admitted_epochs: 0,
             rejected_epochs: 0,
@@ -377,57 +449,77 @@ impl SchedService {
             synced: 0,
             syncing: false,
             sync_error: None,
-            pending_names: HashSet::new(),
-            pending_free: HashSet::new(),
-            writers_waiting: 0,
             platforms_version: 0,
-            max_inflight: default_max_inflight(),
             auto_compact: AutoCompactPolicy::default(),
             last_compact_epoch: 0,
             compacting: false,
             unsched: BTreeMap::new(),
             util_poison,
         };
-        for name in seed_names {
-            core.mint_id(&name);
-        }
-        for part in seed.split_islands() {
-            let slot = core.slots.len();
-            core.index_shard(slot, &part);
-            let shard = Shard {
-                schedulable: part.schedulable(),
-                core: part,
-                platforms_version: 0,
-            };
-            if !shard.schedulable {
-                core.unsched.insert(slot, shard.core.misses());
-            }
-            core.slots.push(Slot::Idle(shard));
-        }
-        Ok(SchedService {
+        let service = SchedService {
+            names: (0..STRIPE_COUNT)
+                .map(|_| Mutex::new(NameStripe::default()))
+                .collect(),
+            plats: (0..STRIPE_COUNT)
+                .map(|_| Mutex::new(PlatStripe::default()))
+                .collect(),
+            slots: RwLock::new(Vec::new()),
+            issued: AtomicU64::new(0),
+            platforms_version: AtomicU64::new(0),
+            poison_present: AtomicBool::new(poison_present),
+            platform_count,
+            max_inflight: default_max_inflight(),
+            island_threads,
             core: Mutex::new(core),
+            gate: Mutex::new(Gate {
+                settled: 0,
+                writers_waiting: 0,
+                generation: 0,
+            }),
             turn: Condvar::new(),
             capacity: Condvar::new(),
             conflict: Condvar::new(),
             synced_cv: Condvar::new(),
-        })
+        };
+        {
+            let mut world = service.world();
+            for name in seed_names {
+                world.core.mint_id(&name);
+            }
+            for part in seed.split_islands() {
+                let slot = world.slots.len();
+                world.index_shard(slot, &part);
+                let shard = Shard {
+                    schedulable: part.schedulable(),
+                    core: part,
+                    platforms_version: 0,
+                };
+                if !shard.schedulable {
+                    world.core.unsched.insert(slot, shard.core.misses());
+                }
+                world.slots.push(Mutex::new(Slot::Idle(shard)));
+            }
+        }
+        Ok(service)
     }
 
     /// Overrides the pipeline-depth bound: at most `depth` epochs in
     /// flight (reserve applies backpressure beyond it). Defaults to the
-    /// host's available parallelism plus one; raise it to exercise deeper
+    /// host's available parallelism; raise it to exercise deeper
     /// interleavings (tests) or when clients block on external work.
-    pub fn with_max_inflight(self, depth: u64) -> SchedService {
-        self.lock().max_inflight = depth.max(1);
+    pub fn with_max_inflight(mut self, depth: u64) -> SchedService {
+        self.max_inflight = depth.max(1);
         self
     }
 
     /// Attaches a fresh write-ahead journal at `path` (truncating any
     /// existing file). Every subsequent epoch — admitted or rejected — is
-    /// on disk before its response is returned.
+    /// on disk before its [`SchedService::submit`] response is returned
+    /// (pipelined [`SchedService::submit_async`] epochs become durable at
+    /// the next [`SchedService::sync`]).
     pub fn with_journal(self, path: &Path) -> Result<SchedService, EngineError> {
         {
-            let mut core = self.lock();
+            let mut core = self.lock_core();
             core.journal = Some(JournalWriter::create(path, core.platforms.len())?);
             core.synced = core.settled;
         }
@@ -445,7 +537,7 @@ impl SchedService {
     /// journal.
     pub fn with_auto_compact(self, policy: AutoCompactPolicy) -> SchedService {
         {
-            let mut core = self.lock();
+            let mut core = self.lock_core();
             core.auto_compact = policy;
             core.last_compact_epoch = core.settled;
         }
@@ -509,22 +601,43 @@ impl SchedService {
             replayed += 1;
         }
         {
-            let mut core = service.lock();
+            let mut core = service.lock_core();
             core.journal = Some(JournalWriter::recover(path, stream.valid_prefix())?);
             core.synced = core.settled;
         }
         Ok((service, replayed))
     }
 
-    /// Submits one versioned request batch as an atomic epoch. Safe to call
-    /// from any number of threads concurrently; epochs on disjoint islands
-    /// commit in parallel, conflicting ones serialize in ticket order.
+    /// Submits one versioned request batch as an atomic epoch and returns
+    /// once its journal record is durable. Safe to call from any number of
+    /// threads concurrently; epochs on disjoint islands commit in
+    /// parallel, conflicting ones serialize in ticket order. Equivalent to
+    /// [`SchedService::submit_async`] followed by a
+    /// [`SchedService::sync`] at the epoch's own ticket.
     ///
     /// Rejections are *responses* (the verdict rides in the outcome);
     /// [`EngineError`]s are caller or environment failures that consume no
     /// epoch (bad version, unknown handle) or leave the engine unusable
     /// (journal I/O).
     pub fn submit(&self, request: &EngineRequest) -> Result<EngineResponse, EngineError> {
+        let ticket = self.submit_async(request)?;
+        self.sync(ticket.epoch)?;
+        self.maybe_auto_compact();
+        Ok(ticket.response)
+    }
+
+    /// Pipelined submission: commits the batch as an atomic epoch and
+    /// returns as soon as it *settles* — the record is written to the
+    /// journal in ticket order but **not yet fsynced**. Batching clients
+    /// submit a run of epochs and then call [`SchedService::sync`] once at
+    /// their high-water ticket, amortizing one `sync_data` over the whole
+    /// run (group commit); `submit_async` itself never blocks on the disk.
+    ///
+    /// Crash semantics: an unsynced epoch may be lost on power failure —
+    /// the journal's torn-tail repair drops any incomplete final record
+    /// and replay stops at the last complete one. Epochs at or below a
+    /// ticket a successful `sync` covered are never lost.
+    pub fn submit_async(&self, request: &EngineRequest) -> Result<EpochTicket, EngineError> {
         if request.version < MIN_SCHEMA_VERSION || request.version > SCHEMA_VERSION {
             return Err(EngineError::UnsupportedVersion {
                 found: request.version,
@@ -533,7 +646,7 @@ impl SchedService {
         }
         let mut batch = Vec::with_capacity(request.ops.len());
         {
-            let core = self.lock();
+            let core = self.lock_core();
             for op in &request.ops {
                 match op {
                     EngineOp::Admission(r) => batch.push(r.clone()),
@@ -548,42 +661,97 @@ impl SchedService {
                 }
             }
         }
-        self.commit_named(batch)
+        let response = self.commit_named_async(batch)?;
+        Ok(EpochTicket {
+            epoch: response.epoch,
+            response,
+        })
     }
 
-    /// The name-addressed commit path (also the replay path).
+    /// Group-committed durability watermark: blocks until every epoch with
+    /// ticket ≤ `watermark` (clamped to the last settled ticket) has its
+    /// journal record on disk, and returns the ticket actually covered —
+    /// at least the clamped watermark, often higher, since one `sync_data`
+    /// covers every record written before it started. With no journal
+    /// attached this is a no-op reporting the clamped watermark.
+    ///
+    /// A failed sync poisons the journal permanently: the durable
+    /// watermark never advances past the failure, and *every* waiter — not
+    /// just the thread that ran the syscall — gets the error instead of a
+    /// result claiming durability.
+    pub fn sync(&self, watermark: u64) -> Result<u64, EngineError> {
+        let mut core = self.lock_core();
+        loop {
+            let target = watermark.min(core.settled);
+            if core.journal.is_none() {
+                return Ok(target);
+            }
+            if core.synced >= target {
+                return Ok(core.synced);
+            }
+            if let Some(message) = &core.sync_error {
+                return Err(EngineError::Journal(message.clone()));
+            }
+            if core.syncing {
+                core = self.synced_cv.wait(core).expect("service core poisoned");
+                continue;
+            }
+            core.syncing = true;
+            // Every record with ticket ≤ settled is already written, so
+            // this sync covers them all.
+            let upto = core.settled;
+            let file = core.journal.as_ref().expect("checked above").sync_handle();
+            drop(core);
+            let outcome = file.sync_data();
+            core = self.lock_core();
+            core.syncing = false;
+            match outcome {
+                Ok(()) => {
+                    core.synced = core.synced.max(upto);
+                    self.synced_cv.notify_all();
+                }
+                Err(e) => {
+                    let message = format!("journal sync failed: {e}");
+                    core.sync_error = Some(message.clone());
+                    self.synced_cv.notify_all();
+                    return Err(EngineError::Journal(message));
+                }
+            }
+        }
+    }
+
+    /// The last epoch ticket known durable on disk (0 before any sync; the
+    /// settled ticket itself when no journal is attached — nothing to
+    /// lose).
+    pub fn durable_epoch(&self) -> u64 {
+        let core = self.lock_core();
+        if core.journal.is_none() {
+            core.settled
+        } else {
+            core.synced
+        }
+    }
+
+    /// The name-addressed commit path (also the replay path): settle plus
+    /// per-epoch durability, like [`SchedService::submit`].
     pub(crate) fn commit_named(
         &self,
         batch: Vec<AdmissionRequest>,
     ) -> Result<EngineResponse, EngineError> {
-        // Phase 1: reserve (wait out conflicts; writers drain in-flight).
-        let mut registered_writer = false;
-        let mut core = self.lock();
-        let resv = loop {
-            match core.try_reserve(&batch, &mut registered_writer) {
-                Ok(Reserve::Ready(resv)) => break resv,
-                Ok(Reserve::AtCapacity) => {
-                    core = self.capacity.wait(core).expect("service lock poisoned");
-                }
-                Ok(Reserve::Conflicted) => {
-                    // Pass the capacity baton before sleeping on the rare
-                    // queue: this thread may have consumed a capacity
-                    // wakeup it could not use.
-                    self.capacity.notify_one();
-                    core = self.conflict.wait(core).expect("service lock poisoned");
-                }
-                Err(e) => {
-                    if registered_writer {
-                        core.writers_waiting -= 1;
-                        self.conflict.notify_all();
-                    }
-                    return Err(e);
-                }
-            }
-        };
-        drop(core);
+        let response = self.commit_named_async(batch)?;
+        self.sync(response.epoch)?;
+        self.maybe_auto_compact();
+        Ok(response)
+    }
 
-        // Phase 2: analyze — no lock held; overlaps across client threads.
+    /// Runs one epoch through reserve → analyze → settle. The record is
+    /// journaled (in ticket order) but not fsynced.
+    fn commit_named_async(
+        &self,
+        batch: Vec<AdmissionRequest>,
+    ) -> Result<EngineResponse, EngineError> {
+        // Phase 1: reserve (wait out conflicts; writers drain in-flight).
+        let resv = self.reserve(&batch)?;
         let Reservation {
             ticket,
             groups,
@@ -593,10 +761,11 @@ impl SchedService {
             claimed_free,
             touched_platforms,
             early,
-            island_threads,
         } = resv;
+
+        // Phase 2: analyze — no lock held; overlaps across client threads.
         let analyzed = if early.is_none() && !groups.is_empty() {
-            run_groups(&groups, shards, &batch, island_threads)
+            run_groups(&groups, shards, &batch, self.island_threads)
         } else {
             Analyzed {
                 outcomes: Vec::new(),
@@ -606,11 +775,7 @@ impl SchedService {
 
         // Phase 3: settle strictly in ticket order — the linearization
         // point, and the journal's serialization order.
-        let mut core = self.lock();
-        while core.settled + 1 != ticket {
-            core = self.turn.wait(core).expect("service lock poisoned");
-        }
-        let result = core.settle(
+        self.settle_epoch(
             ticket,
             &batch,
             groups,
@@ -618,21 +783,447 @@ impl SchedService {
             removed_instance_txns,
             touched_platforms,
             early,
+            claimed_names,
+            claimed_free,
+        )
+    }
+
+    /// Phase 1 dispatch: transaction-level batches try the striped fast
+    /// path (retrying while contended); instance operations, topology
+    /// changes and poisoned states take the exclusive path.
+    fn reserve(&self, batch: &[AdmissionRequest]) -> Result<Reservation, EngineError> {
+        loop {
+            if self.fast_eligible(batch) {
+                match self.try_reserve_fast(batch)? {
+                    FastAttempt::Ready(resv) => return Ok(resv),
+                    FastAttempt::Fallback => {}
+                    FastAttempt::Contended(generation) => {
+                        self.await_generation(generation);
+                        continue;
+                    }
+                }
+            }
+            return self.reserve_exclusive(batch);
+        }
+    }
+
+    /// Whether the batch can route on the striped fast path: only
+    /// transaction-level requests (instance arrivals/departures flatten
+    /// across names no stripe footprint can be precomputed for), and no
+    /// utilization poison outstanding (the parity scan must see every
+    /// platform). Poison is monotone-clearing, so a `false` read here is
+    /// final.
+    fn fast_eligible(&self, batch: &[AdmissionRequest]) -> bool {
+        !self.poison_present.load(Ordering::Acquire)
+            && batch.iter().all(|r| {
+                matches!(
+                    r,
+                    AdmissionRequest::AddTransaction(_)
+                        | AdmissionRequest::RemoveTransaction { .. }
+                        | AdmissionRequest::Retune { .. }
+                )
+            })
+    }
+
+    /// Waits at the admission gate until no writer is queued and the
+    /// pipeline has depth to spare, then returns the gate generation to
+    /// retry against on contention.
+    fn admission_gate(&self) -> u64 {
+        let mut gate = self.lock_gate();
+        loop {
+            if gate.writers_waiting > 0 {
+                gate = self.conflict.wait(gate).expect("gate poisoned");
+                continue;
+            }
+            if self.issued.load(Ordering::Acquire) - gate.settled >= self.max_inflight {
+                gate = self.capacity.wait(gate).expect("gate poisoned");
+                continue;
+            }
+            return gate.generation;
+        }
+    }
+
+    /// Sleeps until the gate generation moves past `generation` (an epoch
+    /// settled or a writer left — the only events that can clear a
+    /// conflict).
+    fn await_generation(&self, generation: u64) {
+        let mut gate = self.lock_gate();
+        while gate.generation == generation {
+            gate = self.conflict.wait(gate).expect("gate poisoned");
+        }
+    }
+
+    /// One striped reservation attempt. Locks only the stripes in the
+    /// batch's footprint plus a shared slot-table guard, routes, checks
+    /// the shards out cell by cell, and issues the ticket under the gate —
+    /// holding the stripes throughout, so no settle can interleave between
+    /// the routing decision and the ticket (the decisions are made against
+    /// exactly the settled prefix the ticket position implies).
+    fn try_reserve_fast(&self, batch: &[AdmissionRequest]) -> Result<FastAttempt, EngineError> {
+        let generation = self.admission_gate();
+
+        // Stripe footprint straight from the batch literals (out-of-range
+        // platforms included — locking their stripe is harmless and the
+        // route bounds-check needs nothing more).
+        let mut name_footprint = [false; STRIPE_COUNT];
+        let mut plat_footprint = [false; STRIPE_COUNT];
+        for request in batch {
+            match request {
+                AdmissionRequest::AddTransaction(tx) => {
+                    name_footprint[name_stripe(&tx.name)] = true;
+                    for task in tx.tasks() {
+                        plat_footprint[platform_stripe(task.platform.0)] = true;
+                    }
+                }
+                AdmissionRequest::RemoveTransaction { name } => {
+                    name_footprint[name_stripe(name)] = true;
+                }
+                AdmissionRequest::Retune { platform, .. } => {
+                    plat_footprint[platform_stripe(platform.0)] = true;
+                }
+                _ => unreachable!("fast path screens request kinds"),
+            }
+        }
+        let mut name_guards: Vec<(usize, MutexGuard<'_, NameStripe>)> = Vec::new();
+        for (i, wanted) in name_footprint.iter().enumerate() {
+            if *wanted {
+                name_guards.push((i, self.names[i].lock().expect("name stripe poisoned")));
+            }
+        }
+        let mut plat_guards: Vec<(usize, MutexGuard<'_, PlatStripe>)> = Vec::new();
+        for (i, wanted) in plat_footprint.iter().enumerate() {
+            if *wanted {
+                plat_guards.push((i, self.plats[i].lock().expect("platform stripe poisoned")));
+            }
+        }
+        let slots = self.slots.read().expect("slot table poisoned");
+
+        let view = FastView {
+            names: &name_guards,
+            plats: &plat_guards,
+            platform_count: self.platform_count,
+        };
+        let routed = match route(&view, batch) {
+            RouteOutcome::Blocked => return Ok(FastAttempt::Contended(generation)),
+            RouteOutcome::Structural(message) => {
+                // Still holding the stripes: the structural verdict was
+                // made against this ticket position's state and must be
+                // ticketed before any settle can change it.
+                let gate = self.lock_gate();
+                if gate.writers_waiting > 0
+                    || self.issued.load(Ordering::Acquire) - gate.settled >= self.max_inflight
+                {
+                    return Ok(FastAttempt::Contended(generation));
+                }
+                let ticket = self.issued.fetch_add(1, Ordering::AcqRel) + 1;
+                drop(gate);
+                return Ok(FastAttempt::Ready(Reservation {
+                    ticket,
+                    groups: Vec::new(),
+                    shards: Vec::new(),
+                    removed_instance_txns: Vec::new(),
+                    claimed_names: Vec::new(),
+                    claimed_free: Vec::new(),
+                    touched_platforms: Vec::new(),
+                    early: Some(RejectReason::Structural(message)),
+                }));
+            }
+            RouteOutcome::Routed(routed) => routed,
+        };
+
+        let drafts = plan_groups(&routed.keys, slots.len(), self.platform_count);
+        if drafts.iter().any(|d| d.changes_topology()) {
+            return Ok(FastAttempt::Fallback);
+        }
+
+        // Checkout, one cell at a time; a Busy marker is a conflict.
+        let mut groups: Vec<Group> = Vec::with_capacity(drafts.len());
+        let mut shards: Vec<Shard> = Vec::new();
+        let mut conflicted = false;
+        for draft in drafts {
+            let slot = draft.member_slots[0];
+            let mut cell = slots[slot].lock().expect("slot cell poisoned");
+            match std::mem::replace(&mut *cell, Slot::Busy) {
+                Slot::Idle(shard) => {
+                    drop(cell);
+                    shards.push(shard);
+                    groups.push(Group {
+                        slot,
+                        requests: draft.requests,
+                    });
+                }
+                other => {
+                    *cell = other;
+                    drop(cell);
+                    conflicted = true;
+                    break;
+                }
+            }
+        }
+        if !conflicted {
+            // Lazy platform re-sync for shards that missed a retune epoch.
+            let master_version = self.platforms_version.load(Ordering::Acquire);
+            if shards.iter().any(|s| s.platforms_version != master_version) {
+                let core = self.lock_core();
+                for shard in &mut shards {
+                    if let Err(e) = core.sync_shard_platforms(shard) {
+                        drop(core);
+                        self.return_shards(&slots, &groups, shards);
+                        return Err(e);
+                    }
+                }
+            }
+        }
+
+        // Ticket under the gate, re-verifying fairness and capacity (a
+        // sibling may have ticketed or a writer queued since the gate).
+        if !conflicted {
+            let gate = self.lock_gate();
+            if gate.writers_waiting == 0
+                && self.issued.load(Ordering::Acquire) - gate.settled < self.max_inflight
+            {
+                let ticket = self.issued.fetch_add(1, Ordering::AcqRel) + 1;
+                drop(gate);
+                for name in &routed.mentioned {
+                    let s = name_stripe(name);
+                    let (_, guard) = name_guards
+                        .iter_mut()
+                        .find(|(i, _)| *i == s)
+                        .expect("mentioned name inside footprint");
+                    guard.pending.insert(name.clone());
+                }
+                for p in &routed.free_platforms {
+                    let s = platform_stripe(*p);
+                    let (_, guard) = plat_guards
+                        .iter_mut()
+                        .find(|(i, _)| *i == s)
+                        .expect("claimed platform inside footprint");
+                    guard.pending_free.insert(*p);
+                }
+                return Ok(FastAttempt::Ready(Reservation {
+                    ticket,
+                    groups,
+                    shards,
+                    removed_instance_txns: routed.removed_instance_txns,
+                    claimed_names: routed.mentioned,
+                    claimed_free: routed.free_platforms,
+                    // Poison is empty on this path (fast_eligible), so the
+                    // settle-time poison clearing has nothing to do.
+                    touched_platforms: Vec::new(),
+                    early: None,
+                }));
+            }
+        }
+
+        self.return_shards(&slots, &groups, shards);
+        // Pass the capacity baton: this thread may have consumed a
+        // capacity wakeup it could not use.
+        self.capacity.notify_one();
+        Ok(FastAttempt::Contended(generation))
+    }
+
+    /// Rolls a failed fast checkout back: every taken shard returns to its
+    /// idle slot.
+    fn return_shards(&self, slots: &[Mutex<Slot>], groups: &[Group], shards: Vec<Shard>) {
+        for (group, shard) in groups.iter().zip(shards) {
+            *slots[group.slot].lock().expect("slot cell poisoned") = Slot::Idle(shard);
+        }
+    }
+
+    /// The exclusive reserve path (instance operations, topology changes,
+    /// poison parity): registers as a writer — gating new fast
+    /// reservations off — drains the pipeline, and routes against the
+    /// whole world. The writer mark is dropped (and sleepers woken) on
+    /// every exit, success or error.
+    fn reserve_exclusive(&self, batch: &[AdmissionRequest]) -> Result<Reservation, EngineError> {
+        {
+            let mut gate = self.lock_gate();
+            gate.writers_waiting += 1;
+        }
+        let result = self.reserve_exclusive_inner(batch);
+        {
+            let mut gate = self.lock_gate();
+            gate.writers_waiting -= 1;
+            gate.generation += 1;
+        }
+        self.conflict.notify_all();
+        result
+    }
+
+    /// Drain-then-lock loop: waits for the pipeline to drain, locks the
+    /// world, and re-verifies the drain actually held (another writer may
+    /// have ticketed between our wakeup and the world acquisition).
+    fn reserve_exclusive_inner(
+        &self,
+        batch: &[AdmissionRequest],
+    ) -> Result<Reservation, EngineError> {
+        loop {
+            {
+                let mut gate = self.lock_gate();
+                while self.issued.load(Ordering::Acquire) != gate.settled {
+                    gate = self.turn.wait(gate).expect("gate poisoned");
+                }
+            }
+            let mut world = self.world();
+            let drained = {
+                let gate = self.lock_gate();
+                self.issued.load(Ordering::Acquire) == gate.settled
+            };
+            if !drained {
+                drop(world);
+                continue;
+            }
+            return self.reserve_in_world(&mut world, batch);
+        }
+    }
+
+    /// Routes and reserves one epoch against an exclusively held, drained
+    /// world — the port of the original single-lock reserve. With the
+    /// pipeline drained there is nothing to conflict with, so `Blocked`
+    /// outcomes are internal errors, capacity is irrelevant (in-flight is
+    /// zero), and the healer-in-flight poison deferral cannot trigger.
+    fn reserve_in_world(
+        &self,
+        world: &mut World<'_>,
+        batch: &[AdmissionRequest],
+    ) -> Result<Reservation, EngineError> {
+        let routed = match route(&*world, batch) {
+            RouteOutcome::Blocked => {
+                return Err(EngineError::Internal(
+                    "conflict on a drained pipeline".to_string(),
+                ))
+            }
+            RouteOutcome::Structural(message) => {
+                return Ok(self.ticket_early(RejectReason::Structural(message)));
+            }
+            RouteOutcome::Routed(routed) => routed,
+        };
+
+        // Cross-island numeric parity: a poisoned platform the batch does
+        // not touch rejects exactly like the single controller's global
+        // utilization scan (touched islands re-run their own checked scan
+        // inside the shard commit and heal or re-reject there).
+        let touched = world.touched_platform_set(&routed.keys);
+        let poison = world
+            .core
+            .util_poison
+            .iter()
+            .find(|(p, _)| !touched.contains(*p))
+            .map(|(_, message)| message.clone());
+        if let Some(message) = poison {
+            return Ok(self.ticket_early(RejectReason::Numeric(message)));
+        }
+
+        let drafts = plan_groups(&routed.keys, world.slots.len(), self.platform_count);
+        let groups = world.apply_groups(drafts)?;
+        let mut shards = Vec::with_capacity(groups.len());
+        for group in &groups {
+            let Slot::Idle(mut shard) = std::mem::replace(world.slot_mut(group.slot), Slot::Busy)
+            else {
+                return Err(EngineError::Internal(
+                    "checkout of a non-idle slot".to_string(),
+                ));
+            };
+            world.core.sync_shard_platforms(&mut shard)?;
+            shards.push(shard);
+        }
+        let ticket = self.ticket();
+        for name in &routed.mentioned {
+            world.names[name_stripe(name)].pending.insert(name.clone());
+        }
+        for p in &routed.free_platforms {
+            world.plats[platform_stripe(*p)].pending_free.insert(*p);
+        }
+        Ok(Reservation {
+            ticket,
+            groups,
+            shards,
+            removed_instance_txns: routed.removed_instance_txns,
+            claimed_names: routed.mentioned,
+            claimed_free: routed.free_platforms,
+            touched_platforms: touched.into_iter().collect(),
+            early: None,
+        })
+    }
+
+    /// Issues the next epoch ticket (under the gate — `issued` only moves
+    /// while the gate is held, so gate-side reads stay exact).
+    fn ticket(&self) -> u64 {
+        let _gate = self.lock_gate();
+        self.issued.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Tickets an epoch whose rejection was decided at reserve time
+    /// (structural / numeric parity): no shards, no claims.
+    fn ticket_early(&self, reason: RejectReason) -> Reservation {
+        Reservation {
+            ticket: self.ticket(),
+            groups: Vec::new(),
+            shards: Vec::new(),
+            removed_instance_txns: Vec::new(),
+            claimed_names: Vec::new(),
+            claimed_free: Vec::new(),
+            touched_platforms: Vec::new(),
+            early: Some(reason),
+        }
+    }
+
+    /// Phase 3: waits for this ticket's turn, locks the world, settles the
+    /// epoch, releases the claims, and publishes the new settled ticket.
+    #[allow(clippy::too_many_arguments)]
+    fn settle_epoch(
+        &self,
+        ticket: u64,
+        batch: &[AdmissionRequest],
+        groups: Vec<Group>,
+        analyzed: Analyzed,
+        removed_instance_txns: Vec<Vec<String>>,
+        touched_platforms: Vec<usize>,
+        early: Option<RejectReason>,
+        claimed_names: Vec<String>,
+        claimed_free: Vec<usize>,
+    ) -> Result<EngineResponse, EngineError> {
+        {
+            let mut gate = self.lock_gate();
+            while gate.settled + 1 != ticket {
+                gate = self.turn.wait(gate).expect("gate poisoned");
+            }
+        }
+        // This thread is now the unique settler; in-flight siblings are
+        // analyzing (holding only their checked-out shards) or queued
+        // behind us on the turn, so the world acquisition only ever waits
+        // on reservations mid-flight — which never block holding stripes.
+        let mut world = self.world();
+        let result = world.settle(
+            ticket,
+            batch,
+            groups,
+            analyzed,
+            removed_instance_txns,
+            touched_platforms,
+            early,
         );
-        for name in claimed_names {
-            core.pending_names.remove(&name);
+        for name in &claimed_names {
+            world.names[name_stripe(name)].pending.remove(name);
         }
-        for p in claimed_free {
-            core.pending_free.remove(&p);
+        for p in &claimed_free {
+            world.plats[platform_stripe(*p)].pending_free.remove(p);
         }
-        core.settled = ticket;
+        world.core.settled = ticket;
+        self.poison_present
+            .store(!world.core.util_poison.is_empty(), Ordering::Release);
+        self.platforms_version
+            .store(world.core.platforms_version, Ordering::Release);
+        drop(world);
+        {
+            let mut gate = self.lock_gate();
+            gate.settled = ticket;
+            gate.generation += 1;
+        }
         self.turn.notify_all();
         self.capacity.notify_one();
         self.conflict.notify_all();
-        let response = result?;
-        self.sync_journal(core, ticket)?;
-        self.maybe_auto_compact();
-        Ok(response)
+        result
     }
 
     /// Fires a snapshot compaction when the configured auto-compaction
@@ -643,7 +1234,7 @@ impl SchedService {
     /// so an unwritable journal does not turn every epoch into a retry.
     fn maybe_auto_compact(&self) {
         {
-            let mut core = self.lock();
+            let mut core = self.lock_core();
             if core.compacting || core.auto_compact.is_off() {
                 return;
             }
@@ -663,75 +1254,79 @@ impl SchedService {
             core.compacting = true;
         }
         let _ = self.snapshot();
-        let mut core = self.lock();
+        let mut core = self.lock_core();
         core.compacting = false;
         core.last_compact_epoch = core.settled;
     }
 
-    /// Group-committed journal durability: waits (or performs a sync)
-    /// until `ticket`'s record is on disk. One `sync_data` outside the
-    /// lock covers every record appended before it started. A failed sync
-    /// poisons the journal permanently: `synced` never advances past the
-    /// failure, and *every* waiter — not just the thread that ran the
-    /// syscall — gets the error instead of a response claiming durability.
-    fn sync_journal<'a>(
-        &'a self,
-        mut core: MutexGuard<'a, Core>,
-        ticket: u64,
-    ) -> Result<(), EngineError> {
+    fn lock_core(&self) -> MutexGuard<'_, Core> {
+        self.core.lock().expect("service core poisoned")
+    }
+
+    fn lock_gate(&self) -> MutexGuard<'_, Gate> {
+        self.gate.lock().expect("gate poisoned")
+    }
+
+    /// Acquires the exclusive world view, in lock order: every name
+    /// stripe ascending, every platform stripe ascending, the slot table
+    /// write guard, the core.
+    fn world(&self) -> World<'_> {
+        let names = self
+            .names
+            .iter()
+            .map(|m| m.lock().expect("name stripe poisoned"))
+            .collect();
+        let plats = self
+            .plats
+            .iter()
+            .map(|m| m.lock().expect("platform stripe poisoned"))
+            .collect();
+        let slots = self.slots.write().expect("slot table poisoned");
+        let core = self.lock_core();
+        World {
+            names,
+            plats,
+            slots,
+            core,
+        }
+    }
+
+    /// Locks the service *quiescent*: waits until no epoch is in flight
+    /// (so every slot is `Vacant` or `Idle`), then takes the world,
+    /// re-verifying nothing ticketed in the window between the drain
+    /// observation and the world acquisition.
+    fn quiescent_world(&self) -> World<'_> {
         loop {
-            if core.journal.is_none() || core.synced >= ticket {
-                return Ok(());
-            }
-            if let Some(message) = &core.sync_error {
-                return Err(EngineError::Journal(message.clone()));
-            }
-            if core.syncing {
-                core = self.synced_cv.wait(core).expect("service lock poisoned");
-                continue;
-            }
-            core.syncing = true;
-            // Every record with ticket ≤ settled is already written, so
-            // this sync covers them all.
-            let upto = core.settled;
-            let file = core.journal.as_ref().expect("checked above").sync_handle();
-            drop(core);
-            let outcome = file.sync_data();
-            core = self.lock();
-            core.syncing = false;
-            match outcome {
-                Ok(()) => {
-                    core.synced = core.synced.max(upto);
-                    self.synced_cv.notify_all();
-                }
-                Err(e) => {
-                    let message = format!("journal sync failed: {e}");
-                    core.sync_error = Some(message.clone());
-                    self.synced_cv.notify_all();
-                    return Err(EngineError::Journal(message));
+            {
+                let mut gate = self.lock_gate();
+                while self.issued.load(Ordering::Acquire) != gate.settled {
+                    gate = self.turn.wait(gate).expect("gate poisoned");
                 }
             }
+            let world = self.world();
+            let drained = {
+                let gate = self.lock_gate();
+                self.issued.load(Ordering::Acquire) == gate.settled
+            };
+            if drained {
+                return world;
+            }
+            drop(world);
         }
     }
 
-    fn lock(&self) -> MutexGuard<'_, Core> {
-        self.core.lock().expect("service lock poisoned")
-    }
-
-    /// Core access for the snapshot rebuild path (single-threaded by
+    /// World access for the snapshot rebuild path (single-threaded by
     /// construction — the service was just seeded).
-    pub(crate) fn lock_for_rebuild(&self) -> MutexGuard<'_, Core> {
-        self.lock()
+    pub(crate) fn rebuild_world(&self) -> World<'_> {
+        self.world()
     }
 
-    /// Locks the service *quiescent*: waits until no epoch is in flight,
-    /// so every slot is `Vacant` or `Idle` and observation is consistent.
-    fn quiesce(&self) -> MutexGuard<'_, Core> {
-        let mut core = self.lock();
-        while core.settled != core.issued {
-            core = self.turn.wait(core).expect("service lock poisoned");
-        }
-        core
+    /// Fast-forwards the epoch counters after a snapshot rebuild (the
+    /// world's own `settled` mirror is set by the rebuild itself). Only
+    /// sound while no epoch is in flight.
+    pub(crate) fn force_epoch(&self, epoch: u64) {
+        self.issued.store(epoch, Ordering::Release);
+        self.lock_gate().settled = epoch;
     }
 
     // ------------------------------------------------------------------
@@ -741,73 +1336,78 @@ impl SchedService {
 
     /// Epoch tickets settled (admitted + rejected).
     pub fn epoch(&self) -> u64 {
-        self.quiesce().settled
+        self.quiescent_world().core.settled
     }
 
     /// Live island-group shards.
     pub fn shard_count(&self) -> usize {
-        self.quiesce().shard_count()
+        self.quiescent_world().shard_count()
     }
 
     /// Live transactions across all shards.
     pub fn live_transactions(&self) -> usize {
-        self.quiesce().live_transactions()
+        self.quiescent_world().live_transactions()
     }
 
     /// `true` when every shard's live set meets its deadlines.
     pub fn schedulable(&self) -> bool {
-        let core = self.quiesce();
-        core.slots
-            .iter()
-            .filter_map(Slot::as_idle)
-            .all(|s| s.schedulable)
+        let world = self.quiescent_world();
+        world.slots.iter().all(|cell| {
+            cell.lock()
+                .expect("slot cell poisoned")
+                .as_idle()
+                .is_none_or(|s| s.schedulable)
+        })
     }
 
     /// The stable handle of a live transaction.
     pub fn resolve(&self, name: &str) -> Option<TxnId> {
-        self.quiesce().ids.get(name).copied()
+        self.quiescent_world().core.ids.get(name).copied()
     }
 
     /// The live transaction behind a handle.
     pub fn name_of(&self, id: TxnId) -> Option<String> {
-        self.quiesce().names.get(&id).cloned()
+        self.quiescent_world().core.names.get(&id).cloned()
     }
 
     /// Assembles the live transaction set across shards (slot order —
     /// deterministic, and reproduced exactly by a journal replay).
     pub fn current_set(&self) -> TransactionSet {
-        self.quiesce().current_set()
+        self.quiescent_world().current_set()
     }
 
     /// Assembles the component-system mirror across shards.
     pub fn system(&self) -> System {
-        self.quiesce().system()
+        self.quiescent_world().system()
     }
 
     /// Assembles the cached per-transaction results into a global report
     /// (index-aligned with [`SchedService::current_set`]). Exact for the
     /// same reason sharding is: the cache is island-local.
     pub fn report(&self) -> SchedulabilityReport {
-        self.quiesce().report()
+        self.quiescent_world().report()
     }
 
     /// Service-level stats in the controller's shape: epoch counters are
     /// the service's, analysis counters sum over the shards.
     pub fn stats(&self) -> ControllerStats {
-        let core = self.quiesce();
+        let world = self.quiescent_world();
         let mut stats = ControllerStats {
-            epochs: core.settled,
-            admitted: core.admitted_epochs,
-            rejected: core.rejected_epochs,
-            transactions_analyzed: core.retired_stats.transactions_analyzed,
-            analyses_avoided: core.retired_stats.analyses_avoided,
-            warm_epochs: core.retired_stats.warm_epochs,
+            epochs: world.core.settled,
+            admitted: world.core.admitted_epochs,
+            rejected: world.core.rejected_epochs,
+            transactions_analyzed: world.core.retired_stats.transactions_analyzed,
+            analyses_avoided: world.core.retired_stats.analyses_avoided,
+            warm_epochs: world.core.retired_stats.warm_epochs,
         };
-        for shard in core.slots.iter().filter_map(Slot::as_idle) {
-            let s = shard.core.stats();
-            stats.transactions_analyzed += s.transactions_analyzed;
-            stats.analyses_avoided += s.analyses_avoided;
-            stats.warm_epochs += s.warm_epochs;
+        for cell in world.slots.iter() {
+            let slot = cell.lock().expect("slot cell poisoned");
+            if let Some(shard) = slot.as_idle() {
+                let s = shard.core.stats();
+                stats.transactions_analyzed += s.transactions_analyzed;
+                stats.analyses_avoided += s.analyses_avoided;
+                stats.warm_epochs += s.warm_epochs;
+            }
         }
         stats
     }
@@ -818,7 +1418,7 @@ impl SchedService {
     /// --journal`, `hsched replay` and `hsched compact` all print it so a
     /// recovery can be verified with a string compare.
     pub fn state_digest(&self) -> String {
-        self.quiesce().state_digest()
+        self.quiescent_world().state_digest()
     }
 
     /// Serializes the live state into the journal as a snapshot block and
@@ -826,22 +1426,25 @@ impl SchedService {
     /// becomes `header + snapshot`, written atomically beside the old file
     /// and renamed over it, and subsequent epochs append after the block.
     /// [`SchedService::replay`] then resumes from snapshot + tail instead
-    /// of re-running the whole history.
+    /// of re-running the whole history. The wire format of the block is
+    /// specified in `docs/JOURNAL_FORMAT.md`.
     ///
     /// Errors when no journal is attached.
     pub fn snapshot(&self) -> Result<SnapshotInfo, EngineError> {
-        let mut core = self.quiesce();
-        let Some(journal) = &core.journal else {
+        let mut world = self.quiescent_world();
+        let Some(journal) = &world.core.journal else {
             return Err(EngineError::Journal(
                 "snapshot requires an attached journal".to_string(),
             ));
         };
         let path = journal.path().to_path_buf();
-        let digest = core.state_digest();
-        let snap = core.capture_snapshot(&digest);
+        let digest = world.state_digest();
+        let snap = world.capture_snapshot(&digest);
         let block = snap.encode_block();
-        let writer = JournalWriter::rewrite_with_snapshot(&path, core.platforms.len(), &block)?;
+        let writer =
+            JournalWriter::rewrite_with_snapshot(&path, world.core.platforms.len(), &block)?;
         let compacted_bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        let core = &mut *world.core;
         core.journal = Some(writer);
         core.synced = core.settled;
         core.last_compact_epoch = core.settled;
@@ -864,167 +1467,220 @@ fn default_max_inflight() -> u64 {
         .unwrap_or(1)
 }
 
-impl Core {
-    // ------------------------------------------------------------------
-    // Reserve (phase 1) — runs under the lock
-    // ------------------------------------------------------------------
-
-    pub(crate) fn pending_names_contains(&self, name: &str) -> bool {
-        self.pending_names.contains(name)
+impl World<'_> {
+    /// The slot cell behind `slot`, borrowed through the table's write
+    /// guard (no lock traffic).
+    pub(crate) fn slot_mut(&mut self, slot: usize) -> &mut Slot {
+        self.slots[slot].get_mut().expect("slot cell poisoned")
     }
 
-    pub(crate) fn platforms_version(&self) -> u64 {
-        self.platforms_version
+    /// Places a shard in the first vacant slot (or a new one). Exclusive
+    /// path only — slot choice must be deterministic in ticket order,
+    /// which the writer gate (drain in-flight epochs first) guarantees.
+    pub(crate) fn allocate_slot(&mut self, shard: Shard) -> usize {
+        let vacant = self
+            .slots
+            .iter_mut()
+            .position(|cell| cell.get_mut().expect("slot cell poisoned").is_vacant());
+        match vacant {
+            Some(slot) => {
+                *self.slot_mut(slot) = Slot::Idle(shard);
+                slot
+            }
+            None => {
+                self.slots.push(Mutex::new(Slot::Idle(shard)));
+                self.slots.len() - 1
+            }
+        }
     }
 
-    pub(crate) fn pending_free_contains(&self, p: usize) -> bool {
-        self.pending_free.contains(&p)
+    /// Registers a shard's members in the striped home maps.
+    pub(crate) fn index_shard(&mut self, slot: usize, core: &AdmissionController) {
+        for tx in core.current_set().transactions() {
+            self.names[name_stripe(&tx.name)]
+                .txn_home
+                .insert(tx.name.clone(), slot);
+            for task in tx.tasks() {
+                self.plats[platform_stripe(task.platform.0)]
+                    .home
+                    .insert(task.platform.0, slot);
+            }
+        }
+        for (_, instance) in core.system().instances() {
+            self.names[name_stripe(&instance.name)]
+                .instance_home
+                .insert(instance.name.clone(), slot);
+        }
     }
 
-    /// One reservation attempt: routes the batch, applies the conflict and
-    /// write-path rules, and — when clear — checks the touched shards out
-    /// and issues the epoch ticket atomically. The two blocked outcomes
-    /// tell the caller which queue to wait on; `registered_writer` tracks
-    /// whether this submission is holding the writer-fairness gate across
-    /// retries.
-    fn try_reserve(
+    /// Points every home-map entry of `from` at `to` (after a merge).
+    pub(crate) fn reassign_home(&mut self, from: usize, to: usize) {
+        for stripe in self.plats.iter_mut() {
+            for home in stripe.home.values_mut() {
+                if *home == from {
+                    *home = to;
+                }
+            }
+        }
+        for stripe in self.names.iter_mut() {
+            for home in stripe.txn_home.values_mut() {
+                if *home == from {
+                    *home = to;
+                }
+            }
+            for home in stripe.instance_home.values_mut() {
+                if *home == from {
+                    *home = to;
+                }
+            }
+        }
+    }
+
+    /// Vacates touched slots whose shard ended the epoch with no live
+    /// transactions.
+    fn drop_empty_shards(&mut self, slots: impl Iterator<Item = usize>) {
+        for slot in slots {
+            let cell = self.slots[slot].get_mut().expect("slot cell poisoned");
+            let empty = cell
+                .as_idle()
+                .is_some_and(|s| s.core.current_set().transactions().is_empty());
+            if empty {
+                let Slot::Idle(retired) = std::mem::replace(cell, Slot::Vacant) else {
+                    unreachable!("checked idle above");
+                };
+                self.core.retire_stats(&retired.core);
+                self.core.unsched.remove(&slot);
+                for stripe in self.plats.iter_mut() {
+                    stripe.home.retain(|_, home| *home != slot);
+                }
+            }
+        }
+    }
+
+    /// Splits every touched shard back into island-group shards and
+    /// rebuilds the home maps for the affected slots. Settles run in
+    /// ticket order, so the vacant-slot choices here are deterministic.
+    fn repartition(&mut self, touched: &[usize]) {
+        let affected: HashSet<usize> = touched.iter().copied().collect();
+        for stripe in self.plats.iter_mut() {
+            stripe.home.retain(|_, home| !affected.contains(home));
+        }
+        let mut slots: Vec<usize> = touched.to_vec();
+        slots.sort_unstable();
+        slots.dedup();
+        for slot in slots {
+            let cell = self.slots[slot].get_mut().expect("slot cell poisoned");
+            let Slot::Idle(shard) = std::mem::replace(cell, Slot::Vacant) else {
+                continue;
+            };
+            if shard.core.current_set().transactions().is_empty() {
+                self.core.retire_stats(&shard.core);
+                continue; // slot stays vacant
+            }
+            let mut parts = shard.core.split_islands().into_iter();
+            let version = shard.platforms_version;
+            if let Some(first) = parts.next() {
+                self.index_shard(slot, &first);
+                *self.slot_mut(slot) = Slot::Idle(Shard {
+                    schedulable: first.schedulable(),
+                    core: first,
+                    platforms_version: version,
+                });
+            }
+            for part in parts {
+                let vacant = self
+                    .slots
+                    .iter_mut()
+                    .position(|cell| cell.get_mut().expect("slot cell poisoned").is_vacant());
+                let part_slot = match vacant {
+                    Some(vacant) => vacant,
+                    None => {
+                        self.slots.push(Mutex::new(Slot::Vacant));
+                        self.slots.len() - 1
+                    }
+                };
+                self.index_shard(part_slot, &part);
+                *self.slot_mut(part_slot) = Slot::Idle(Shard {
+                    schedulable: part.schedulable(),
+                    core: part,
+                    platforms_version: version,
+                });
+            }
+        }
+    }
+
+    /// Drops the home/handle entries of everything the admitted batch
+    /// removed (O(batch), by name — never a map scan).
+    fn unindex_departures(
         &mut self,
         batch: &[AdmissionRequest],
-        registered_writer: &mut bool,
-    ) -> Result<Reserve, EngineError> {
-        if self.issued - self.settled >= self.max_inflight {
-            return Ok(Reserve::AtCapacity);
-        }
-        let routed = match self.route(batch) {
-            RouteOutcome::Blocked => return Ok(Reserve::Conflicted),
-            RouteOutcome::Structural(message) => {
-                if self.writers_waiting > 0 && !*registered_writer {
-                    return Ok(Reserve::Conflicted);
+        removed_instance_txns: &[Vec<String>],
+    ) {
+        for (i, request) in batch.iter().enumerate() {
+            match request {
+                AdmissionRequest::RemoveTransaction { name } => {
+                    self.names[name_stripe(name)].txn_home.remove(name);
+                    if let Some(id) = self.core.ids.remove(name) {
+                        self.core.names.remove(&id);
+                    }
                 }
-                return Ok(Reserve::Ready(self.reserve_early(
-                    RejectReason::Structural(message),
-                    registered_writer,
-                )));
+                AdmissionRequest::RemoveInstance { name } => {
+                    self.names[name_stripe(name)].instance_home.remove(name);
+                    for txn in &removed_instance_txns[i] {
+                        self.names[name_stripe(txn)].txn_home.remove(txn);
+                        if let Some(id) = self.core.ids.remove(txn) {
+                            self.core.names.remove(&id);
+                        }
+                    }
+                }
+                _ => {}
             }
-            RouteOutcome::Routed(routed) => routed,
-        };
-
-        // Cross-island numeric parity: a poisoned platform the batch does
-        // not touch rejects exactly like the single controller's global
-        // utilization scan (touched islands re-run their own checked scan
-        // inside the shard commit and heal or re-reject there). If an
-        // *in-flight* epoch has a poisoned platform's shard checked out,
-        // its settle — earlier in ticket order — may clear the poison, so
-        // rejecting now would not replay serially: wait for it instead.
-        let touched = self.touched_platform_set(&routed.keys);
-        let mut poison: Option<String> = None;
-        for (p, message) in &self.util_poison {
-            if touched.contains(p) {
-                continue;
-            }
-            let healer_in_flight = self
-                .platform_home
-                .get(*p)
-                .copied()
-                .flatten()
-                .is_some_and(|slot| self.slots[slot].is_busy());
-            if healer_in_flight {
-                return Ok(Reserve::Conflicted);
-            }
-            if poison.is_none() {
-                poison = Some(message.clone());
-            }
-        }
-        if let Some(message) = poison {
-            if self.writers_waiting > 0 && !*registered_writer {
-                return Ok(Reserve::Conflicted);
-            }
-            return Ok(Reserve::Ready(
-                self.reserve_early(RejectReason::Numeric(message), registered_writer),
-            ));
-        }
-
-        let drafts = self.plan_groups(&routed.keys);
-        let needs_write = drafts.iter().any(GroupDraft::changes_topology);
-        if needs_write && self.issued != self.settled {
-            // The write path drains in-flight epochs so topology mutation
-            // (merge / fresh slot) is deterministic in ticket order; the
-            // fairness gate below keeps new readers from starving us.
-            if !*registered_writer {
-                self.writers_waiting += 1;
-                *registered_writer = true;
-            }
-            return Ok(Reserve::Conflicted);
-        }
-        if !needs_write && self.writers_waiting > 0 && !*registered_writer {
-            return Ok(Reserve::Conflicted);
-        }
-
-        let groups = self.apply_groups(drafts)?;
-        let mut shards = Vec::with_capacity(groups.len());
-        for group in &groups {
-            let Slot::Idle(mut shard) = std::mem::replace(&mut self.slots[group.slot], Slot::Busy)
-            else {
-                return Err(EngineError::Internal(
-                    "checkout of a non-idle slot".to_string(),
-                ));
-            };
-            self.sync_shard_platforms(&mut shard)?;
-            shards.push(shard);
-        }
-        self.issued += 1;
-        if *registered_writer {
-            self.writers_waiting -= 1;
-            *registered_writer = false;
-        }
-        for name in &routed.mentioned {
-            self.pending_names.insert(name.clone());
-        }
-        for p in &routed.free_platforms {
-            self.pending_free.insert(*p);
-        }
-        Ok(Reserve::Ready(Reservation {
-            ticket: self.issued,
-            groups,
-            shards,
-            removed_instance_txns: routed.removed_instance_txns,
-            claimed_names: routed.mentioned,
-            claimed_free: routed.free_platforms,
-            touched_platforms: touched.into_iter().collect(),
-            early: None,
-            island_threads: self.policy.island_threads,
-        }))
-    }
-
-    /// Issues a ticket for an epoch whose rejection was decided at reserve
-    /// time (structural / numeric parity): no shards, no claims.
-    fn reserve_early(&mut self, reason: RejectReason, registered_writer: &mut bool) -> Reservation {
-        self.issued += 1;
-        if *registered_writer {
-            self.writers_waiting -= 1;
-            *registered_writer = false;
-        }
-        Reservation {
-            ticket: self.issued,
-            groups: Vec::new(),
-            shards: Vec::new(),
-            removed_instance_txns: Vec::new(),
-            claimed_names: Vec::new(),
-            claimed_free: Vec::new(),
-            touched_platforms: Vec::new(),
-            early: Some(reason),
-            island_threads: self.policy.island_threads,
         }
     }
 
-    // ------------------------------------------------------------------
-    // Settle (phase 3) — runs under the lock, strictly in ticket order
-    // ------------------------------------------------------------------
+    /// Mints handles for the batch's surviving arrivals (after the home
+    /// maps settled) and returns them in batch order.
+    fn mint_arrival_ids(&mut self, batch: &[AdmissionRequest]) -> Vec<TxnId> {
+        let mut minted = Vec::new();
+        for request in batch {
+            match request {
+                AdmissionRequest::AddTransaction(tx) => {
+                    let live = self.names[name_stripe(&tx.name)]
+                        .txn_home
+                        .contains_key(&tx.name);
+                    if live && !self.core.ids.contains_key(&tx.name) {
+                        minted.push(self.core.mint_id(&tx.name));
+                    }
+                }
+                AdmissionRequest::AddInstance { name, .. } => {
+                    let home = self.names[name_stripe(name)]
+                        .instance_home
+                        .get(name)
+                        .copied();
+                    if let Some(slot) = home {
+                        let txns = self
+                            .slot_mut(slot)
+                            .as_idle()
+                            .expect("instance home live")
+                            .core
+                            .transactions_of_instance(name);
+                        for txn in txns {
+                            if !self.core.ids.contains_key(&txn) {
+                                minted.push(self.core.mint_id(&txn));
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        minted
+    }
 
     /// Finalizes one epoch: evaluates the cross-shard admission rule,
     /// returns/repartitions the checked-out shards, maintains every map,
-    /// appends the journal record (write only; durability is the caller's
-    /// group-committed sync), and builds the response.
+    /// appends the journal record (write only; durability is the group
+    /// commit in [`SchedService::sync`]), and builds the response.
     #[allow(clippy::too_many_arguments)]
     fn settle(
         &mut self,
@@ -1053,6 +1709,7 @@ impl Core {
         // state cannot change before this epoch in the ticket order.
         let global_misses: Vec<String> = if all_admitted {
             let mut by_slot: BTreeMap<usize, Vec<String>> = self
+                .core
                 .unsched
                 .iter()
                 .filter(|(slot, _)| !slots.contains(slot))
@@ -1063,7 +1720,8 @@ impl Core {
                     by_slot.insert(group.slot, shard.core.misses());
                 }
             }
-            self.order_misses(by_slot.into_values().flatten().collect(), batch)
+            self.core
+                .order_misses(by_slot.into_values().flatten().collect(), batch)
         } else {
             Vec::new()
         };
@@ -1079,7 +1737,7 @@ impl Core {
                 }
             }
             let reason = if !all_admitted {
-                self.aggregate_reason(batch, &groups, &outcomes)
+                self.core.aggregate_reason(batch, &groups, &outcomes)
             } else {
                 RejectReason::Unschedulable {
                     misses: global_misses,
@@ -1088,11 +1746,11 @@ impl Core {
             // Return the shards and refresh their at-rest bookkeeping.
             for (group, shard) in groups.iter().zip(shards) {
                 if shard.schedulable {
-                    self.unsched.remove(&group.slot);
+                    self.core.unsched.remove(&group.slot);
                 } else {
-                    self.unsched.insert(group.slot, shard.core.misses());
+                    self.core.unsched.insert(group.slot, shard.core.misses());
                 }
-                self.slots[group.slot] = Slot::Idle(shard);
+                *self.slot_mut(group.slot) = Slot::Idle(shard);
             }
             self.drop_empty_shards(slots.iter().copied());
             let mut response = self.finish_rejected(ticket, batch, reason, slots)?;
@@ -1107,23 +1765,23 @@ impl Core {
         // O(batch + touched-shard members), never O(live set).
         let retunes = capture_retunes(batch, &groups, &shards);
         for (group, shard) in groups.iter().zip(shards) {
-            self.slots[group.slot] = Slot::Idle(shard);
+            *self.slot_mut(group.slot) = Slot::Idle(shard);
         }
         // Admission required *every* shard schedulable, so the at-rest
         // unschedulable map and the touched platforms' poison entries are
         // both clear now.
-        self.unsched.clear();
+        self.core.unsched.clear();
         for p in &touched_platforms {
-            self.util_poison.remove(p);
+            self.core.util_poison.remove(p);
         }
         self.unindex_departures(batch, &removed_instance_txns);
         self.repartition(&slots);
         if !retunes.is_empty() {
-            self.platforms_version += 1;
+            self.core.platforms_version += 1;
             for (platform, value) in retunes {
-                self.platforms.replace(platform, value.clone());
-                for slot in &mut self.slots {
-                    if let Slot::Idle(shard) = slot {
+                self.core.platforms.replace(platform, value.clone());
+                for cell in self.slots.iter_mut() {
+                    if let Slot::Idle(shard) = cell.get_mut().expect("slot cell poisoned") {
                         shard
                             .core
                             .sync_platform(platform, value.clone())
@@ -1131,19 +1789,19 @@ impl Core {
                     }
                 }
             }
-            let version = self.platforms_version;
-            for slot in &mut self.slots {
-                if let Slot::Idle(shard) = slot {
+            let version = self.core.platforms_version;
+            for cell in self.slots.iter_mut() {
+                if let Slot::Idle(shard) = cell.get_mut().expect("slot cell poisoned") {
                     shard.platforms_version = version;
                 }
             }
         }
         let admitted_ids = self.mint_arrival_ids(batch);
 
-        if let Some(journal) = &mut self.journal {
+        if let Some(journal) = &mut self.core.journal {
             journal.append_nosync(ticket, batch, true)?;
         }
-        self.admitted_epochs += 1;
+        self.core.admitted_epochs += 1;
         Ok(EngineResponse {
             version: SCHEMA_VERSION,
             epoch: ticket,
@@ -1171,10 +1829,10 @@ impl Core {
         reason: RejectReason,
         slots: Vec<usize>,
     ) -> Result<EngineResponse, EngineError> {
-        if let Some(journal) = &mut self.journal {
+        if let Some(journal) = &mut self.core.journal {
             journal.append_nosync(ticket, batch, false)?;
         }
-        self.rejected_epochs += 1;
+        self.core.rejected_epochs += 1;
         Ok(EngineResponse {
             version: SCHEMA_VERSION,
             epoch: ticket,
@@ -1192,6 +1850,242 @@ impl Core {
             shards: slots,
             shards_live: self.shard_count(),
         })
+    }
+
+    // ------------------------------------------------------------------
+    // Observation helpers (the world is exclusive, so cell locks below
+    // are always free — see the type docs)
+    // ------------------------------------------------------------------
+
+    pub(crate) fn shard_count(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|cell| !cell.lock().expect("slot cell poisoned").is_vacant())
+            .count()
+    }
+
+    pub(crate) fn live_transactions(&self) -> usize {
+        self.slots
+            .iter()
+            .map(|cell| {
+                cell.lock()
+                    .expect("slot cell poisoned")
+                    .as_idle()
+                    .map_or(0, |s| s.core.current_set().transactions().len())
+            })
+            .sum()
+    }
+
+    pub(crate) fn current_set(&self) -> TransactionSet {
+        let mut transactions = Vec::new();
+        for cell in self.slots.iter() {
+            let slot = cell.lock().expect("slot cell poisoned");
+            if let Some(shard) = slot.as_idle() {
+                transactions.extend(shard.core.current_set().transactions().iter().cloned());
+            }
+        }
+        TransactionSet::new(self.core.platforms.clone(), transactions)
+            .expect("shard transactions reference the master platforms")
+    }
+
+    pub(crate) fn system(&self) -> System {
+        let mut system = System::default();
+        for cell in self.slots.iter() {
+            let slot = cell.lock().expect("slot cell poisoned");
+            if let Some(shard) = slot.as_idle() {
+                let part = shard.core.system();
+                for instance in &part.instances {
+                    let class = part.classes[instance.class].clone();
+                    system.adopt_instance(class, instance.clone());
+                }
+            }
+        }
+        system
+    }
+
+    pub(crate) fn report(&self) -> SchedulabilityReport {
+        let mut parts: Vec<SchedulabilityReport> = Vec::new();
+        for cell in self.slots.iter() {
+            let slot = cell.lock().expect("slot cell poisoned");
+            if let Some(shard) = slot.as_idle() {
+                parts.push(shard.core.report());
+            }
+        }
+        SchedulabilityReport::concat(parts.iter())
+    }
+
+    pub(crate) fn state_digest(&self) -> String {
+        format!("{:016x}", fnv1a_64(self.canonical_state().as_bytes()))
+    }
+
+    /// Deterministic rendering of every observable of the engine.
+    fn canonical_state(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "epoch={} admitted={} rejected={} next_id={}",
+            self.core.settled,
+            self.core.admitted_epochs,
+            self.core.rejected_epochs,
+            self.core.next_id
+        );
+        for (id, platform) in self.core.platforms.iter() {
+            let _ = writeln!(out, "platform {id} {platform}");
+        }
+        let set = self.current_set();
+        let report = self.report();
+        for (i, tx) in set.transactions().iter().enumerate() {
+            let id = self
+                .core
+                .ids
+                .get(&tx.name)
+                .map(|id| id.to_string())
+                .unwrap_or_else(|| "-".into());
+            let _ = writeln!(
+                out,
+                "txn {}|{}|{}|{}|{id}",
+                tx.name, tx.period, tx.deadline, tx.release_jitter
+            );
+            for (j, task) in tx.tasks().iter().enumerate() {
+                let r = &report.tasks[i][j];
+                let _ = writeln!(
+                    out,
+                    "  task {}|{}|{}|{}|{}|{:?} -> R={} Rb={} phi={} J={}",
+                    task.name,
+                    task.wcet,
+                    task.bcet,
+                    task.priority,
+                    task.platform,
+                    task.kind,
+                    r.response,
+                    r.best_response,
+                    r.phi,
+                    r.jitter
+                );
+            }
+            let v = &report.verdicts[i];
+            let _ = writeln!(
+                out,
+                "  verdict {}|{}|{}",
+                v.end_to_end, v.deadline, v.schedulable
+            );
+        }
+        let system = self.system();
+        for instance in &system.instances {
+            let _ = writeln!(
+                out,
+                "instance {}|{}|{}|{}",
+                instance.name,
+                system.classes[instance.class].name,
+                instance.platform,
+                instance.node.0
+            );
+        }
+        let _ = writeln!(
+            out,
+            "converged={} diverged={}",
+            report.converged, report.diverged
+        );
+        out
+    }
+
+    /// Captures the full live state as a [`Snapshot`] (journal
+    /// compaction; block format in `docs/JOURNAL_FORMAT.md`).
+    pub(crate) fn capture_snapshot(&self, digest: &str) -> Snapshot {
+        // Per-transaction origin instance, assembled from each shard's
+        // instance bookkeeping.
+        let mut origin: HashMap<String, String> = HashMap::new();
+        let mut instances = Vec::new();
+        let mut txns = Vec::new();
+        for cell in self.slots.iter() {
+            let slot = cell.lock().expect("slot cell poisoned");
+            if let Some(shard) = slot.as_idle() {
+                let part = shard.core.system();
+                for instance in &part.instances {
+                    for txn in shard.core.transactions_of_instance(&instance.name) {
+                        origin.insert(txn, instance.name.clone());
+                    }
+                    instances.push(snapshot::SnapshotInstance {
+                        name: instance.name.clone(),
+                        platform: instance.platform,
+                        node: instance.node.0,
+                        class: part.classes[instance.class].clone(),
+                    });
+                }
+            }
+        }
+        for cell in self.slots.iter() {
+            let slot = cell.lock().expect("slot cell poisoned");
+            if let Some(shard) = slot.as_idle() {
+                for tx in shard.core.current_set().transactions() {
+                    txns.push(snapshot::SnapshotTxn {
+                        origin: origin.get(&tx.name).cloned(),
+                        id: self.core.ids.get(&tx.name).map(|id| id.0),
+                        tx: tx.clone(),
+                    });
+                }
+            }
+        }
+        Snapshot {
+            epoch: self.core.settled,
+            admitted: self.core.admitted_epochs,
+            rejected: self.core.rejected_epochs,
+            next_id: self.core.next_id,
+            digest: digest.to_string(),
+            platforms: self
+                .core
+                .platforms
+                .iter()
+                .filter(|(_, p)| matches!(p.model(), hsched_platform::ServiceModel::Linear(_)))
+                .map(|(id, p)| snapshot::SnapshotPlatform {
+                    index: id.0,
+                    alpha: p.alpha(),
+                    delta: p.delta(),
+                    beta: p.beta(),
+                })
+                .collect(),
+            instances,
+            txns,
+        }
+    }
+}
+
+impl Core {
+    /// Mints the next stable handle for a live transaction name.
+    pub(crate) fn mint_id(&mut self, name: &str) -> TxnId {
+        self.next_id += 1;
+        let id = TxnId(self.next_id);
+        self.ids.insert(name.to_string(), id);
+        self.names.insert(id, name.to_string());
+        id
+    }
+
+    /// Banks a retiring shard's analysis counters into the service totals.
+    fn retire_stats(&mut self, core: &AdmissionController) {
+        let s = core.stats();
+        self.retired_stats.transactions_analyzed += s.transactions_analyzed;
+        self.retired_stats.analyses_avoided += s.analyses_avoided;
+        self.retired_stats.warm_epochs += s.warm_epochs;
+    }
+
+    /// Brings a shard's platform-set copy up to date with the master
+    /// (shards checked out during a sibling's retune epoch sync lazily at
+    /// their next checkout).
+    pub(crate) fn sync_shard_platforms(&self, shard: &mut Shard) -> Result<(), EngineError> {
+        if shard.platforms_version == self.platforms_version {
+            return Ok(());
+        }
+        for (id, platform) in self.platforms.iter() {
+            if shard.core.current_set().platforms().get(id) != Some(platform) {
+                shard
+                    .core
+                    .sync_platform(id, platform.clone())
+                    .map_err(EngineError::Internal)?;
+            }
+        }
+        shard.platforms_version = self.platforms_version;
+        Ok(())
     }
 
     /// The rank of a transaction name in the *global set order* — the
@@ -1306,400 +2200,6 @@ impl Core {
             .min_by_key(|(first_request, _)| *first_request)
             .map(|(_, reason)| reason.clone())
             .expect("at least one rejecting shard")
-    }
-
-    // ------------------------------------------------------------------
-    // Shard lifecycle (all called under the lock)
-    // ------------------------------------------------------------------
-
-    /// Places a shard in the first vacant slot (or a new one). Write-path
-    /// only — slot choice must be deterministic in ticket order, which the
-    /// writer gate (drain in-flight epochs first) guarantees.
-    pub(crate) fn allocate_slot(&mut self, shard: Shard) -> usize {
-        match self.slots.iter().position(Slot::is_vacant) {
-            Some(slot) => {
-                self.slots[slot] = Slot::Idle(shard);
-                slot
-            }
-            None => {
-                self.slots.push(Slot::Idle(shard));
-                self.slots.len() - 1
-            }
-        }
-    }
-
-    /// Registers a shard's members in the home maps.
-    pub(crate) fn index_shard(&mut self, slot: usize, core: &AdmissionController) {
-        for tx in core.current_set().transactions() {
-            self.txn_home.insert(tx.name.clone(), slot);
-            for task in tx.tasks() {
-                self.platform_home[task.platform.0] = Some(slot);
-            }
-        }
-        for (_, instance) in core.system().instances() {
-            self.instance_home.insert(instance.name.clone(), slot);
-        }
-    }
-
-    /// Points every home-map entry of `from` at `to` (after a merge).
-    pub(crate) fn reassign_home(&mut self, from: usize, to: usize) {
-        for home in self.platform_home.iter_mut().flatten() {
-            if *home == from {
-                *home = to;
-            }
-        }
-        for home in self.txn_home.values_mut() {
-            if *home == from {
-                *home = to;
-            }
-        }
-        for home in self.instance_home.values_mut() {
-            if *home == from {
-                *home = to;
-            }
-        }
-    }
-
-    /// Vacates touched slots whose shard ended the epoch with no live
-    /// transactions.
-    fn drop_empty_shards(&mut self, slots: impl Iterator<Item = usize>) {
-        for slot in slots {
-            let empty = self.slots[slot]
-                .as_idle()
-                .is_some_and(|s| s.core.current_set().transactions().is_empty());
-            if empty {
-                let Slot::Idle(retired) = std::mem::replace(&mut self.slots[slot], Slot::Vacant)
-                else {
-                    unreachable!("checked idle above");
-                };
-                self.retire_stats(&retired.core);
-                self.unsched.remove(&slot);
-                for home in self.platform_home.iter_mut() {
-                    if *home == Some(slot) {
-                        *home = None;
-                    }
-                }
-            }
-        }
-    }
-
-    /// Banks a retiring shard's analysis counters into the service totals.
-    fn retire_stats(&mut self, core: &AdmissionController) {
-        let s = core.stats();
-        self.retired_stats.transactions_analyzed += s.transactions_analyzed;
-        self.retired_stats.analyses_avoided += s.analyses_avoided;
-        self.retired_stats.warm_epochs += s.warm_epochs;
-    }
-
-    /// Splits every touched shard back into island-group shards and
-    /// rebuilds the home maps for the affected slots. Settles run in
-    /// ticket order, so the vacant-slot choices here are deterministic.
-    fn repartition(&mut self, touched: &[usize]) {
-        let affected: HashSet<usize> = touched.iter().copied().collect();
-        for home in self.platform_home.iter_mut() {
-            if home.is_some_and(|slot| affected.contains(&slot)) {
-                *home = None;
-            }
-        }
-        let mut slots: Vec<usize> = touched.to_vec();
-        slots.sort_unstable();
-        slots.dedup();
-        for slot in slots {
-            let Slot::Idle(shard) = std::mem::replace(&mut self.slots[slot], Slot::Vacant) else {
-                continue;
-            };
-            if shard.core.current_set().transactions().is_empty() {
-                self.retire_stats(&shard.core);
-                continue; // slot stays vacant
-            }
-            let mut parts = shard.core.split_islands().into_iter();
-            let version = shard.platforms_version;
-            if let Some(first) = parts.next() {
-                self.index_shard(slot, &first);
-                self.slots[slot] = Slot::Idle(Shard {
-                    schedulable: first.schedulable(),
-                    core: first,
-                    platforms_version: version,
-                });
-            }
-            for part in parts {
-                let part_slot = match self.slots.iter().position(Slot::is_vacant) {
-                    Some(vacant) => vacant,
-                    None => {
-                        self.slots.push(Slot::Vacant);
-                        self.slots.len() - 1
-                    }
-                };
-                self.index_shard(part_slot, &part);
-                self.slots[part_slot] = Slot::Idle(Shard {
-                    schedulable: part.schedulable(),
-                    core: part,
-                    platforms_version: version,
-                });
-            }
-        }
-    }
-
-    /// Drops the home/handle entries of everything the admitted batch
-    /// removed (O(batch), by name — never a map scan).
-    fn unindex_departures(
-        &mut self,
-        batch: &[AdmissionRequest],
-        removed_instance_txns: &[Vec<String>],
-    ) {
-        for (i, request) in batch.iter().enumerate() {
-            match request {
-                AdmissionRequest::RemoveTransaction { name } => {
-                    self.txn_home.remove(name);
-                    if let Some(id) = self.ids.remove(name) {
-                        self.names.remove(&id);
-                    }
-                }
-                AdmissionRequest::RemoveInstance { name } => {
-                    self.instance_home.remove(name);
-                    for txn in &removed_instance_txns[i] {
-                        self.txn_home.remove(txn);
-                        if let Some(id) = self.ids.remove(txn) {
-                            self.names.remove(&id);
-                        }
-                    }
-                }
-                _ => {}
-            }
-        }
-    }
-
-    /// Mints handles for the batch's surviving arrivals (after the home
-    /// maps settled) and returns them in batch order.
-    fn mint_arrival_ids(&mut self, batch: &[AdmissionRequest]) -> Vec<TxnId> {
-        let mut minted = Vec::new();
-        for request in batch {
-            match request {
-                AdmissionRequest::AddTransaction(tx)
-                    if self.txn_home.contains_key(&tx.name) && !self.ids.contains_key(&tx.name) =>
-                {
-                    minted.push(self.mint_id(&tx.name));
-                }
-                AdmissionRequest::AddInstance { name, .. } => {
-                    if let Some(&slot) = self.instance_home.get(name) {
-                        let txns = self.slots[slot]
-                            .as_idle()
-                            .expect("instance home live")
-                            .core
-                            .transactions_of_instance(name);
-                        for txn in txns {
-                            if !self.ids.contains_key(&txn) {
-                                minted.push(self.mint_id(&txn));
-                            }
-                        }
-                    }
-                }
-                _ => {}
-            }
-        }
-        minted
-    }
-
-    /// Mints the next stable handle for a live transaction name.
-    pub(crate) fn mint_id(&mut self, name: &str) -> TxnId {
-        self.next_id += 1;
-        let id = TxnId(self.next_id);
-        self.ids.insert(name.to_string(), id);
-        self.names.insert(id, name.to_string());
-        id
-    }
-
-    /// Brings a shard's platform-set copy up to date with the master
-    /// (shards checked out during a sibling's retune epoch sync lazily at
-    /// their next checkout).
-    pub(crate) fn sync_shard_platforms(&self, shard: &mut Shard) -> Result<(), EngineError> {
-        if shard.platforms_version == self.platforms_version {
-            return Ok(());
-        }
-        for (id, platform) in self.platforms.iter() {
-            if shard.core.current_set().platforms().get(id) != Some(platform) {
-                shard
-                    .core
-                    .sync_platform(id, platform.clone())
-                    .map_err(EngineError::Internal)?;
-            }
-        }
-        shard.platforms_version = self.platforms_version;
-        Ok(())
-    }
-
-    // ------------------------------------------------------------------
-    // Observation helpers (require no epoch in flight)
-    // ------------------------------------------------------------------
-
-    pub(crate) fn shard_count(&self) -> usize {
-        self.slots.iter().filter(|s| !s.is_vacant()).count()
-    }
-
-    pub(crate) fn live_transactions(&self) -> usize {
-        self.slots
-            .iter()
-            .filter_map(Slot::as_idle)
-            .map(|s| s.core.current_set().transactions().len())
-            .sum()
-    }
-
-    pub(crate) fn current_set(&self) -> TransactionSet {
-        let transactions = self
-            .slots
-            .iter()
-            .filter_map(Slot::as_idle)
-            .flat_map(|s| s.core.current_set().transactions().iter().cloned())
-            .collect();
-        TransactionSet::new(self.platforms.clone(), transactions)
-            .expect("shard transactions reference the master platforms")
-    }
-
-    pub(crate) fn system(&self) -> System {
-        let mut system = System::default();
-        for shard in self.slots.iter().filter_map(Slot::as_idle) {
-            let part = shard.core.system();
-            for instance in &part.instances {
-                let class = part.classes[instance.class].clone();
-                system.adopt_instance(class, instance.clone());
-            }
-        }
-        system
-    }
-
-    pub(crate) fn report(&self) -> SchedulabilityReport {
-        let parts: Vec<SchedulabilityReport> = self
-            .slots
-            .iter()
-            .filter_map(Slot::as_idle)
-            .map(|s| s.core.report())
-            .collect();
-        SchedulabilityReport::concat(parts.iter())
-    }
-
-    pub(crate) fn state_digest(&self) -> String {
-        format!("{:016x}", fnv1a_64(self.canonical_state().as_bytes()))
-    }
-
-    /// Deterministic rendering of every observable of the engine.
-    fn canonical_state(&self) -> String {
-        use std::fmt::Write as _;
-        let mut out = String::new();
-        let _ = writeln!(
-            out,
-            "epoch={} admitted={} rejected={} next_id={}",
-            self.settled, self.admitted_epochs, self.rejected_epochs, self.next_id
-        );
-        for (id, platform) in self.platforms.iter() {
-            let _ = writeln!(out, "platform {id} {platform}");
-        }
-        let set = self.current_set();
-        let report = self.report();
-        for (i, tx) in set.transactions().iter().enumerate() {
-            let id = self
-                .ids
-                .get(&tx.name)
-                .map(|id| id.to_string())
-                .unwrap_or_else(|| "-".into());
-            let _ = writeln!(
-                out,
-                "txn {}|{}|{}|{}|{id}",
-                tx.name, tx.period, tx.deadline, tx.release_jitter
-            );
-            for (j, task) in tx.tasks().iter().enumerate() {
-                let r = &report.tasks[i][j];
-                let _ = writeln!(
-                    out,
-                    "  task {}|{}|{}|{}|{}|{:?} -> R={} Rb={} phi={} J={}",
-                    task.name,
-                    task.wcet,
-                    task.bcet,
-                    task.priority,
-                    task.platform,
-                    task.kind,
-                    r.response,
-                    r.best_response,
-                    r.phi,
-                    r.jitter
-                );
-            }
-            let v = &report.verdicts[i];
-            let _ = writeln!(
-                out,
-                "  verdict {}|{}|{}",
-                v.end_to_end, v.deadline, v.schedulable
-            );
-        }
-        let system = self.system();
-        for instance in &system.instances {
-            let _ = writeln!(
-                out,
-                "instance {}|{}|{}|{}",
-                instance.name,
-                system.classes[instance.class].name,
-                instance.platform,
-                instance.node.0
-            );
-        }
-        let _ = writeln!(
-            out,
-            "converged={} diverged={}",
-            report.converged, report.diverged
-        );
-        out
-    }
-
-    /// Captures the full live state as a [`Snapshot`] (journal compaction).
-    fn capture_snapshot(&self, digest: &str) -> Snapshot {
-        // Per-transaction origin instance, assembled from each shard's
-        // instance bookkeeping.
-        let mut origin: HashMap<String, String> = HashMap::new();
-        let mut instances = Vec::new();
-        for shard in self.slots.iter().filter_map(Slot::as_idle) {
-            let part = shard.core.system();
-            for instance in &part.instances {
-                for txn in shard.core.transactions_of_instance(&instance.name) {
-                    origin.insert(txn, instance.name.clone());
-                }
-                instances.push(snapshot::SnapshotInstance {
-                    name: instance.name.clone(),
-                    platform: instance.platform,
-                    node: instance.node.0,
-                    class: part.classes[instance.class].clone(),
-                });
-            }
-        }
-        let txns = self
-            .slots
-            .iter()
-            .filter_map(Slot::as_idle)
-            .flat_map(|s| s.core.current_set().transactions().iter())
-            .map(|tx| snapshot::SnapshotTxn {
-                origin: origin.get(&tx.name).cloned(),
-                id: self.ids.get(&tx.name).map(|id| id.0),
-                tx: tx.clone(),
-            })
-            .collect();
-        Snapshot {
-            epoch: self.settled,
-            admitted: self.admitted_epochs,
-            rejected: self.rejected_epochs,
-            next_id: self.next_id,
-            digest: digest.to_string(),
-            platforms: self
-                .platforms
-                .iter()
-                .filter(|(_, p)| matches!(p.model(), hsched_platform::ServiceModel::Linear(_)))
-                .map(|(id, p)| snapshot::SnapshotPlatform {
-                    index: id.0,
-                    alpha: p.alpha(),
-                    delta: p.delta(),
-                    beta: p.beta(),
-                })
-                .collect(),
-            instances,
-            txns,
-        }
     }
 }
 

@@ -1,0 +1,151 @@
+//! Striped routing state of [`crate::SchedService`]: the name→shard and
+//! platform→shard tables split into independently locked stripes so that
+//! reserve only takes the stripes its batch actually touches — disjoint
+//! batches route without contending on any shared lock.
+//!
+//! Names hash into [`STRIPE_COUNT`] stripes with FNV-1a; platform indices
+//! stripe by residue. Each stripe carries both the at-rest home map *and*
+//! the in-flight claim set for its keys, so conflict detection and routing
+//! look at exactly one lock per key. The full locking order (stripes in
+//! ascending index, then the slot table, then the core, then the gate) and
+//! the deadlock-freedom argument live in `docs/ARCHITECTURE.md` and the
+//! [`crate::service`] module docs.
+
+use crate::digest::fnv1a_64;
+use crate::routing::RouteView;
+use hsched_model::ComponentClass;
+use hsched_platform::PlatformId;
+use std::collections::{HashMap, HashSet};
+use std::sync::MutexGuard;
+
+/// Number of independent stripes per table. A small power of two: enough
+/// that unrelated client batches almost never share a stripe, small enough
+/// that the exclusive path (which locks all of them) stays cheap.
+pub(crate) const STRIPE_COUNT: usize = 16;
+
+/// Stripe index of a transaction/instance name.
+pub(crate) fn name_stripe(name: &str) -> usize {
+    (fnv1a_64(name.as_bytes()) as usize) % STRIPE_COUNT
+}
+
+/// Stripe index of a platform index.
+pub(crate) fn platform_stripe(p: usize) -> usize {
+    p % STRIPE_COUNT
+}
+
+/// One stripe of the name-addressed routing state: live transaction and
+/// instance homes plus the in-flight name-claim set, for every name that
+/// hashes here.
+#[derive(Debug, Default)]
+pub(crate) struct NameStripe {
+    /// Live transaction name → shard slot.
+    pub(crate) txn_home: HashMap<String, usize>,
+    /// Live component-instance name → shard slot.
+    pub(crate) instance_home: HashMap<String, usize>,
+    /// Names (transactions + instances, including flattened members)
+    /// mentioned by in-flight epochs — the name-conflict set.
+    pub(crate) pending: HashSet<String>,
+}
+
+/// One stripe of the platform-addressed routing state: platform → owning
+/// shard slot (absent = no shard uses the platform) plus the in-flight
+/// free-platform claim set.
+#[derive(Debug, Default)]
+pub(crate) struct PlatStripe {
+    /// Platform index → owning shard slot.
+    pub(crate) home: HashMap<usize, usize>,
+    /// Free platforms claimed by in-flight epochs (their shard membership
+    /// is only indexed at settle).
+    pub(crate) pending_free: HashSet<usize>,
+}
+
+/// The fast reserve path's routing view: only the stripes in the batch's
+/// footprint are locked (held in ascending stripe order). Busy checks are
+/// deferred to shard checkout — the slot cell's `Busy` marker is the
+/// authoritative conflict signal — so this view never touches the slot
+/// table. Instance operations are exclusive-path only and must never reach
+/// this view.
+pub(crate) struct FastView<'g, 'a> {
+    /// Locked name stripes, `(stripe index, guard)`, ascending.
+    pub(crate) names: &'g [(usize, MutexGuard<'a, NameStripe>)],
+    /// Locked platform stripes, `(stripe index, guard)`, ascending.
+    pub(crate) plats: &'g [(usize, MutexGuard<'a, PlatStripe>)],
+    /// Immutable platform-table size (platforms never grow after seeding).
+    pub(crate) platform_count: usize,
+}
+
+impl FastView<'_, '_> {
+    fn name_stripe(&self, name: &str) -> &NameStripe {
+        let s = name_stripe(name);
+        &self
+            .names
+            .iter()
+            .find(|(i, _)| *i == s)
+            .expect("name outside the locked stripe footprint")
+            .1
+    }
+
+    fn plat_stripe(&self, p: usize) -> &PlatStripe {
+        let s = platform_stripe(p);
+        &self
+            .plats
+            .iter()
+            .find(|(i, _)| *i == s)
+            .expect("platform outside the locked stripe footprint")
+            .1
+    }
+}
+
+impl RouteView for FastView<'_, '_> {
+    fn platform_count(&self) -> usize {
+        self.platform_count
+    }
+
+    fn pending_name(&self, name: &str) -> bool {
+        self.name_stripe(name).pending.contains(name)
+    }
+
+    fn txn_live(&self, name: &str) -> bool {
+        self.name_stripe(name).txn_home.contains_key(name)
+    }
+
+    fn txn_slot(&self, name: &str) -> Option<usize> {
+        self.name_stripe(name).txn_home.get(name).copied()
+    }
+
+    fn slot_busy(&self, _slot: usize) -> bool {
+        // Deferred: the checkout that follows routing takes the slot cell
+        // and treats a `Busy` marker as the conflict signal.
+        false
+    }
+
+    fn platform_home(&self, p: usize) -> Option<usize> {
+        self.plat_stripe(p).home.get(&p).copied()
+    }
+
+    fn pending_free(&self, p: usize) -> bool {
+        self.plat_stripe(p).pending_free.contains(&p)
+    }
+
+    fn instance_live(&self, _name: &str) -> bool {
+        unreachable!("instance operations route on the exclusive path")
+    }
+
+    fn instance_slot(&self, _name: &str) -> Option<usize> {
+        unreachable!("instance operations route on the exclusive path")
+    }
+
+    fn instance_txns(&self, _slot: usize, _name: &str) -> Option<Vec<String>> {
+        unreachable!("instance operations route on the exclusive path")
+    }
+
+    fn preflatten(
+        &self,
+        _name: &str,
+        _class: &ComponentClass,
+        _platform: PlatformId,
+        _node: usize,
+    ) -> Vec<String> {
+        unreachable!("instance operations route on the exclusive path")
+    }
+}

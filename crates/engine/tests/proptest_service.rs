@@ -611,3 +611,197 @@ fn cross_island_overflow_parity_matches_single_controller() {
         response.outcome.verdict
     );
 }
+
+/// One *overlapping* concurrent session: every thread churns over the
+/// same shared name pool and the same clusters, so concurrent batches
+/// collide on name stripes, platform stripes, and shard slots constantly.
+/// Structural rejections (duplicate adds, removes of departed names) are
+/// expected — each is a valid journal record. The contract under fire is
+/// the striped fast path's conflict handling: the journal must still be a
+/// consecutive-ticket serialization whose serial replay is byte-identical.
+fn contention_session(seed: u64, threads: usize, batches: usize) {
+    let spec = spec_for(seed, 2);
+    let set = random_scenario(&spec);
+    let config = AnalysisConfig::default();
+    let policy = AdmissionPolicy::default();
+    let path = temp_journal("contend", seed);
+
+    let service = SchedService::new(set.clone(), config.clone(), policy.clone())
+        .unwrap_or_else(|e| panic!("seed {seed}: service seed failed: {e}"))
+        .with_journal(&path)
+        .unwrap();
+
+    // Shared pool: every thread adds/removes the same dozen names over the
+    // same two clusters (all four platforms).
+    let pool: Vec<String> = (0..12).map(|i| format!("shared{i}")).collect();
+    let shared_tx = |name: &str, salt: usize| {
+        let platform = PlatformId(salt % 4);
+        let period = rat(40 + 10 * (salt % 8) as i128, 1);
+        let wcet = Rational::new(1, 1 + (salt % 4) as i128);
+        Transaction::new(
+            name,
+            period,
+            period,
+            vec![Task::new(
+                format!("{name}.t"),
+                wcet,
+                wcet,
+                1 + (salt % 3) as u32,
+                platform,
+            )],
+        )
+        .unwrap()
+    };
+
+    std::thread::scope(|scope| {
+        for thread in 0..threads {
+            let service = &service;
+            let pool = &pool;
+            scope.spawn(move || {
+                let mut state = seed
+                    .wrapping_mul(0x517c_c1b7)
+                    .wrapping_add(thread as u64 ^ 0x9e37_79b9);
+                let mut next = || {
+                    state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                    let mut z = state;
+                    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                    (z ^ (z >> 31)) as usize
+                };
+                for step in 0..batches {
+                    let size = 1 + next() % 2;
+                    let batch: Vec<AdmissionRequest> = (0..size)
+                        .map(|_| {
+                            let name = &pool[next() % pool.len()];
+                            if next() % 2 == 0 {
+                                AdmissionRequest::AddTransaction(shared_tx(name, next()))
+                            } else {
+                                AdmissionRequest::RemoveTransaction { name: name.clone() }
+                            }
+                        })
+                        .collect();
+                    // Rejections are fine; engine errors are not.
+                    service
+                        .submit(&EngineRequest::batch(batch))
+                        .unwrap_or_else(|e| panic!("seed {seed} thread {thread} step {step}: {e}"));
+                }
+            });
+        }
+    });
+
+    let digest = service.state_digest();
+    assert_eq!(service.epoch(), (threads * batches) as u64);
+
+    // Consecutive tickets: the WAL is a serialization of the contended run.
+    let contents = read_journal(&path).unwrap();
+    assert_eq!(contents.epochs.len(), threads * batches);
+    for (i, record) in contents.epochs.iter().enumerate() {
+        assert_eq!(record.epoch, i as u64 + 1, "seed {seed}: ticket order");
+    }
+
+    // Serial single-controller application reproduces every verdict.
+    let mut single = AdmissionController::new(set.clone(), config.clone(), policy.clone())
+        .unwrap_or_else(|e| panic!("seed {seed}: controller seed failed: {e}"));
+    for record in &contents.epochs {
+        let outcome = single.commit(&record.batch);
+        assert_eq!(
+            outcome.verdict.admitted(),
+            record.admitted,
+            "seed {seed} epoch {}: concurrent verdict vs serial {}",
+            record.epoch,
+            outcome.verdict,
+        );
+    }
+
+    // Serial replay is byte-identical.
+    let (replayed, epochs) = SchedService::replay(set, config, policy, &path)
+        .unwrap_or_else(|e| panic!("seed {seed}: replay failed: {e}"));
+    assert_eq!(epochs, threads * batches);
+    assert_eq!(
+        replayed.state_digest(),
+        digest,
+        "seed {seed}: contended replay digest"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// 4 threads × 6 epochs over one shared name pool, random seeds.
+    #[test]
+    fn overlapping_epochs_linearize(seed in 0u64..10_000) {
+        contention_session(seed, 4, 6);
+    }
+}
+
+/// Deterministic contended smoke with more threads (stable triage name).
+#[test]
+fn overlapping_epochs_linearize_seed_zero() {
+    contention_session(7, 6, 5);
+}
+
+/// `submit_async` + `sync(w)`: epochs settle without touching the disk
+/// watermark, `sync` advances it (group commit may cover more than asked),
+/// and the journal replays every settled epoch byte-identically.
+#[test]
+fn submit_async_sync_watermark_durability() {
+    let spec = spec_for(42, 2);
+    let set = random_scenario(&spec);
+    let config = AnalysisConfig::default();
+    let policy = AdmissionPolicy::default();
+    let path = temp_journal("async", 42);
+
+    let service = SchedService::new(set.clone(), config.clone(), policy.clone())
+        .unwrap()
+        .with_journal(&path)
+        .unwrap();
+    assert_eq!(service.durable_epoch(), 0, "nothing synced yet");
+
+    let mut churn = ChurnGen::new(&spec, 99);
+    let mut tickets = Vec::new();
+    for _ in 0..4 {
+        let batch = churn.next_batch(&service.current_set(), 2);
+        let ticket = service.submit_async(&EngineRequest::batch(batch)).unwrap();
+        tickets.push(ticket);
+    }
+    assert_eq!(
+        tickets.iter().map(|t| t.epoch).collect::<Vec<_>>(),
+        vec![1, 2, 3, 4],
+        "tickets are consecutive"
+    );
+    for ticket in &tickets {
+        assert_eq!(ticket.response.epoch, ticket.epoch);
+    }
+    // Settled but not yet known durable.
+    assert_eq!(service.epoch(), 4);
+    assert_eq!(service.durable_epoch(), 0);
+
+    // sync(2) must cover at least epoch 2; group commit covers every
+    // record written before the fsync started — here, all four.
+    let covered = service.sync(2).unwrap();
+    assert!(covered >= 2, "sync(2) covered only {covered}");
+    assert!(service.durable_epoch() >= 2);
+
+    // A watermark beyond the settled ticket clamps to it.
+    let covered = service.sync(u64::MAX).unwrap();
+    assert_eq!(covered, 4);
+    assert_eq!(service.durable_epoch(), 4);
+
+    // The journal holds exactly the settled epochs, in ticket order, and
+    // replays to the same digest.
+    let contents = read_journal(&path).unwrap();
+    assert_eq!(contents.epochs.len(), 4);
+    let digest = service.state_digest();
+    let (replayed, epochs) = SchedService::replay(set, config, policy, &path).unwrap();
+    assert_eq!(epochs, 4);
+    assert_eq!(replayed.state_digest(), digest);
+
+    // `submit` is submit_async + sync: the watermark tracks it with no
+    // explicit sync call.
+    let batch = churn.next_batch(&service.current_set(), 2);
+    service.submit(&EngineRequest::batch(batch)).unwrap();
+    assert_eq!(service.epoch(), 5);
+    assert_eq!(service.durable_epoch(), 5);
+    let _ = std::fs::remove_file(&path);
+}
