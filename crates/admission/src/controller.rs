@@ -154,6 +154,11 @@ pub struct AdmissionController {
     /// Undo log of the last *admitted* epoch (rejections consume theirs
     /// immediately); see [`AdmissionController::rollback_last`].
     last_undo: Option<UndoLog>,
+    /// Always-on cone-geometry telemetry, recorded on every commit. Fresh
+    /// per controller by default; a sharded engine swaps in one shared sink
+    /// ([`AdmissionController::set_metrics_sink`]) so split/merge/new-shard
+    /// churn keeps aggregating into the same place.
+    metrics: std::sync::Arc<crate::AdmissionMetrics>,
 }
 
 impl Clone for AdmissionController {
@@ -169,6 +174,7 @@ impl Clone for AdmissionController {
             // The undo log references the state it was recorded against;
             // a clone starts with nothing to roll back.
             last_undo: None,
+            metrics: self.metrics.clone(),
         }
     }
 }
@@ -199,6 +205,7 @@ impl AdmissionController {
             epoch: 0,
             stats: ControllerStats::default(),
             last_undo: None,
+            metrics: std::sync::Arc::new(crate::AdmissionMetrics::new()),
         };
         // Seed per island, not as one big group: `absorb` stores the
         // report's converged/diverged flags into every member entry, so a
@@ -265,6 +272,21 @@ impl AdmissionController {
     /// Lifetime counters.
     pub fn stats(&self) -> ControllerStats {
         self.stats
+    }
+
+    /// The telemetry sink this controller records into.
+    pub fn metrics_sink(&self) -> &std::sync::Arc<crate::AdmissionMetrics> {
+        &self.metrics
+    }
+
+    /// Replaces the telemetry sink, so that several controllers (e.g. the
+    /// shards of one service) aggregate into one place. Also shares the
+    /// sink with the analysis layer: the controller's `AnalysisConfig`
+    /// keeps its own [`hsched_analysis::AnalysisMetrics`] sink untouched.
+    /// Clones and [`AdmissionController::split_islands`] parts inherit the
+    /// replacement; [`AdmissionController::merge_from`] keeps `self`'s.
+    pub fn set_metrics_sink(&mut self, sink: std::sync::Arc<crate::AdmissionMetrics>) {
+        self.metrics = sink;
     }
 
     /// `true` when every live transaction meets its deadline under the
@@ -388,6 +410,8 @@ impl AdmissionController {
         let islands = inputs.len();
 
         let warm_started = inputs.iter().any(|input| input.warm_seeded);
+        self.metrics
+            .record_commit(analyzed, total, islands, warm_started);
         let results: Vec<Result<SchedulabilityReport, RejectReason>> =
             parallel_map(&inputs, self.policy.island_threads, |input| {
                 self.guarded_analyze(input)
@@ -602,6 +626,7 @@ impl AdmissionController {
                         ControllerStats::default()
                     },
                     last_undo: None,
+                    metrics: self.metrics.clone(),
                 }
             })
             .collect()

@@ -128,10 +128,12 @@
 mod controller;
 mod dirty;
 pub mod gen;
+mod metrics;
 mod request;
 
 pub use controller::{AdmissionController, AdmissionPolicy, ControllerStats};
 pub use dirty::UnionFind;
+pub use metrics::AdmissionMetrics;
 pub use request::{AdmissionRequest, EpochOutcome, RejectReason, Verdict};
 
 #[cfg(test)]

@@ -1,0 +1,67 @@
+//! Admission-layer telemetry: per-commit cone geometry, recorded into an
+//! always-on shared sink.
+//!
+//! Every [`crate::AdmissionController`] owns an
+//! `Arc<`[`AdmissionMetrics`]`>`; a sharded engine replaces it with one
+//! service-wide sink ([`crate::AdmissionController::set_metrics_sink`])
+//! that survives shard splits and merges, so cone statistics aggregate
+//! across the whole shard population without ever reading a checked-out
+//! shard.
+
+use hsched_telemetry::{Counter, Histogram, MetricsSnapshot};
+
+/// Shared distributions describing how much of the live set each commit's
+/// analysis actually touched. All recording is relaxed-atomic.
+#[derive(Debug, Default)]
+pub struct AdmissionMetrics {
+    /// Commits that ran at least one cone analysis.
+    pub analyzed_commits: Counter,
+    /// Commits whose fixpoints resumed warm from the previous epoch.
+    pub warm_commits: Counter,
+    /// Transactions re-analyzed per commit (the dirty-cone size).
+    pub cone_transactions: Histogram,
+    /// Percent of the live set inside the cone, per commit (0–100; the
+    /// dirty fraction — small is the incremental win).
+    pub dirty_fraction_pct: Histogram,
+    /// Independent dirty components (islands/cones) analyzed per commit.
+    pub cone_islands: Histogram,
+}
+
+impl AdmissionMetrics {
+    /// A fresh sink with all metrics at zero.
+    pub fn new() -> AdmissionMetrics {
+        AdmissionMetrics::default()
+    }
+
+    /// Records one commit's cone geometry (`analyzed` of `total` live
+    /// transactions across `islands` components).
+    pub fn record_commit(&self, analyzed: usize, total: usize, islands: usize, warm: bool) {
+        self.analyzed_commits.incr();
+        if warm {
+            self.warm_commits.incr();
+        }
+        self.cone_transactions.record(analyzed as u64);
+        self.cone_islands.record(islands as u64);
+        if total > 0 {
+            self.dirty_fraction_pct
+                .record((analyzed as u64 * 100) / total as u64);
+        }
+    }
+
+    /// Point-in-time snapshot under `admission.*` names.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::new();
+        snap.put_counter("admission.commits_analyzed", self.analyzed_commits.get());
+        snap.put_counter("admission.commits_warm", self.warm_commits.get());
+        snap.put_histogram(
+            "admission.cone.transactions",
+            self.cone_transactions.snapshot(),
+        );
+        snap.put_histogram(
+            "admission.cone.dirty_fraction_pct",
+            self.dirty_fraction_pct.snapshot(),
+        );
+        snap.put_histogram("admission.cone.islands", self.cone_islands.snapshot());
+        snap
+    }
+}

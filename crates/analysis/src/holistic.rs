@@ -291,6 +291,15 @@ pub fn analyze_resumed(
         }
     }
 
+    if let Some(metrics) = &config.metrics {
+        let sweeps = trace.len() as u64;
+        if warm.is_some() {
+            metrics.fixpoint_iterations_warm.record(sweeps);
+        } else {
+            metrics.fixpoint_iterations_cold.record(sweeps);
+        }
+    }
+
     Ok(build_report(
         set,
         config,

@@ -52,6 +52,7 @@ pub mod classic;
 mod holistic;
 mod hpgraph;
 mod interference;
+mod metrics;
 mod par;
 mod report;
 mod rta;
@@ -59,6 +60,7 @@ mod state;
 
 pub use holistic::{analyze, analyze_resumed, analyze_with, AnalysisError, FrozenSeed, WarmStart};
 pub use hpgraph::{DirtyClosure, DirtySeed, HpGraph};
+pub use metrics::AnalysisMetrics;
 pub use par::parallel_map;
 pub use report::{IterationRecord, SchedulabilityReport, TaskResult, TransactionVerdict};
 pub use state::{best_case_offsets, TaskState};
@@ -115,7 +117,13 @@ pub enum UpdateOrder {
 }
 
 /// Analysis configuration.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality compares every *behavioral* knob and ignores
+/// [`AnalysisConfig::metrics`]: the sink observes an analysis without
+/// affecting any of its results, so two configs that differ only in where
+/// they report telemetry are interchangeable (controller merge checks rely
+/// on this).
+#[derive(Debug, Clone)]
 pub struct AnalysisConfig {
     /// Linear `(α, Δ, β)` bounds (the paper) or exact supply inversion.
     pub service_mode: ServiceTimeMode,
@@ -144,6 +152,28 @@ pub struct AnalysisConfig {
     /// invalidated through the hp-graph when a jitter changes. Identical
     /// results either way; off is only useful for measuring the cache.
     pub rta_cache: bool,
+    /// Optional telemetry sink: RTA cache hit/miss counters and fixpoint
+    /// iteration distributions are recorded here when present (see
+    /// [`AnalysisMetrics`]). The config clone handed to every island
+    /// analysis shares the sink, so one `Arc` observes a whole
+    /// controller's — or service's — analysis traffic. `None` (the
+    /// default) records nothing.
+    pub metrics: Option<std::sync::Arc<AnalysisMetrics>>,
+}
+
+impl PartialEq for AnalysisConfig {
+    fn eq(&self, other: &AnalysisConfig) -> bool {
+        // `metrics` deliberately excluded — see the type docs.
+        self.service_mode == other.service_mode
+            && self.scenario_mode == other.scenario_mode
+            && self.update_order == other.update_order
+            && self.max_outer_iterations == other.max_outer_iterations
+            && self.max_inner_iterations == other.max_inner_iterations
+            && self.divergence_factor == other.divergence_factor
+            && self.threads == other.threads
+            && self.blocking == other.blocking
+            && self.rta_cache == other.rta_cache
+    }
 }
 
 impl Default for AnalysisConfig {
@@ -158,6 +188,7 @@ impl Default for AnalysisConfig {
             threads: 1,
             blocking: Vec::new(),
             rta_cache: true,
+            metrics: None,
         }
     }
 }

@@ -1,0 +1,69 @@
+//! Analysis-layer telemetry: RTA cache effectiveness and fixpoint
+//! iteration counts, recorded into always-on relaxed atomics.
+//!
+//! A sink is attached through [`crate::AnalysisConfig::metrics`]; since
+//! the config is cloned into every island/cone analysis, one shared
+//! [`AnalysisMetrics`] (behind an `Arc`) observes every fixpoint a
+//! controller — or a whole sharded service — runs, without any
+//! coordination beyond the atomics themselves.
+
+use hsched_telemetry::{Counter, Histogram, MetricsSnapshot};
+
+/// Shared counters and distributions for the analysis hot path. All
+/// recording is relaxed-atomic; reading ([`AnalysisMetrics::snapshot`])
+/// never blocks an analysis in flight.
+#[derive(Debug, Default)]
+pub struct AnalysisMetrics {
+    /// RTA cache hits on the foreign-interference memo (`W*` totals per
+    /// busy-window length).
+    pub rta_foreign_hits: Counter,
+    /// RTA cache misses on the foreign-interference memo.
+    pub rta_foreign_misses: Counter,
+    /// RTA cache hits on the supply-inversion memo (completion time per
+    /// accumulated demand).
+    pub rta_completion_hits: Counter,
+    /// RTA cache misses on the supply-inversion memo.
+    pub rta_completion_misses: Counter,
+    /// Outer holistic sweeps per warm-started fixpoint (resumed from a
+    /// previous converged state).
+    pub fixpoint_iterations_warm: Histogram,
+    /// Outer holistic sweeps per cold fixpoint.
+    pub fixpoint_iterations_cold: Histogram,
+}
+
+impl AnalysisMetrics {
+    /// A fresh sink with all metrics at zero.
+    pub fn new() -> AnalysisMetrics {
+        AnalysisMetrics::default()
+    }
+
+    /// Point-in-time snapshot under `analysis.*` names.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::new();
+        snap.put_counter(
+            "analysis.rta_cache.foreign_hits",
+            self.rta_foreign_hits.get(),
+        );
+        snap.put_counter(
+            "analysis.rta_cache.foreign_misses",
+            self.rta_foreign_misses.get(),
+        );
+        snap.put_counter(
+            "analysis.rta_cache.completion_hits",
+            self.rta_completion_hits.get(),
+        );
+        snap.put_counter(
+            "analysis.rta_cache.completion_misses",
+            self.rta_completion_misses.get(),
+        );
+        snap.put_histogram(
+            "analysis.fixpoint.iterations_warm",
+            self.fixpoint_iterations_warm.snapshot(),
+        );
+        snap.put_histogram(
+            "analysis.fixpoint.iterations_cold",
+            self.fixpoint_iterations_cold.snapshot(),
+        );
+        snap
+    }
+}

@@ -98,6 +98,9 @@ struct TaskContext<'a> {
     bound: Time,
     /// This task's hot-path memo (foreign W* totals, supply inversions).
     memo: Option<&'a Mutex<TaskMemo>>,
+    /// Telemetry sink for cache hit/miss accounting, resolved once from
+    /// the config so the hot path pays a single pointer check.
+    metrics: Option<&'a crate::AnalysisMetrics>,
 }
 
 impl<'a> TaskContext<'a> {
@@ -128,6 +131,7 @@ impl<'a> TaskContext<'a> {
             blocking: config.blocking_of(under.tx, under.idx),
             bound,
             memo,
+            metrics: config.metrics.as_deref(),
         }
     }
 
@@ -147,11 +151,17 @@ impl<'a> TaskContext<'a> {
                 .completion
                 .get(&demand)
             {
+                if let Some(m) = self.metrics {
+                    m.rta_completion_hits.incr();
+                }
                 return t;
             }
         }
         let t = self.blocking + service_time(self.platform(), demand, self.config.service_mode);
         if let Some(memo) = self.memo {
+            if let Some(m) = self.metrics {
+                m.rta_completion_misses.incr();
+            }
             memo.lock()
                 .expect("rta cache lock poisoned")
                 .completion
@@ -171,6 +181,9 @@ impl<'a> TaskContext<'a> {
                 .foreign
                 .get(&t)
             {
+                if let Some(m) = self.metrics {
+                    m.rta_foreign_hits.incr();
+                }
                 return w;
             }
         }
@@ -182,6 +195,9 @@ impl<'a> TaskContext<'a> {
             total += w_star(self.set, self.states, i, &self.hp[i], t);
         }
         if let Some(memo) = self.memo {
+            if let Some(m) = self.metrics {
+                m.rta_foreign_misses.incr();
+            }
             memo.lock()
                 .expect("rta cache lock poisoned")
                 .foreign

@@ -15,8 +15,11 @@
 //! regression gate.
 
 use hsched_admission::gen::{random_scenario, ScenarioSpec};
-use hsched_analysis::{analyze_with, AnalysisConfig, DirtySeed, HpGraph, WarmStart};
+use hsched_analysis::{
+    analyze_with, AnalysisConfig, AnalysisMetrics, DirtySeed, HpGraph, WarmStart,
+};
 use hsched_transaction::TransactionSet;
+use std::sync::Arc;
 use std::time::Instant;
 
 const ITERATIONS: usize = 50;
@@ -48,7 +51,13 @@ fn main() {
         .nth(1)
         .unwrap_or_else(|| "BENCH_analysis.json".to_string());
     let set = random_scenario(&island_spec());
-    let cached = AnalysisConfig::default();
+    // The telemetry sink rides inside the config: every timed leg below
+    // feeds the same cache hit/miss counters the engine reports.
+    let metrics = Arc::new(AnalysisMetrics::new());
+    let cached = AnalysisConfig {
+        metrics: Some(metrics.clone()),
+        ..AnalysisConfig::default()
+    };
     let uncached = AnalysisConfig {
         rta_cache: false,
         ..AnalysisConfig::default()
@@ -129,8 +138,16 @@ fn main() {
 
     let cache_speedup = cold_no_cache_us / cold_us;
     let warm_speedup = removal_cold_us / removal_warm_us;
+    // The sink accumulated across every cached leg: report the hit rates
+    // the timed speedups rest on.
+    let snap = metrics.snapshot();
+    let foreign_hits = snap.counter("analysis.rta_cache.foreign_hits");
+    let foreign_misses = snap.counter("analysis.rta_cache.foreign_misses");
+    let completion_hits = snap.counter("analysis.rta_cache.completion_hits");
+    let completion_misses = snap.counter("analysis.rta_cache.completion_misses");
+    let meta = hsched_bench::run_meta_json();
     let json = format!(
-        "{{\n  \"bench\": \"analysis_island_fixpoints\",\n  \"system\": {{\"transactions\": 24, \"platforms\": 4, \"islands\": 1, \"seed\": 3}},\n  \"iterations\": {ITERATIONS},\n  \"unit\": \"us_per_analysis\",\n  \"cold_us\": {cold_us:.1},\n  \"cold_no_rta_cache_us\": {cold_no_cache_us:.1},\n  \"rta_cache_speedup\": {cache_speedup:.2},\n  \"removal_cold_us\": {removal_cold_us:.1},\n  \"removal_warm_us\": {removal_warm_us:.1},\n  \"downward_warm_speedup\": {warm_speedup:.2},\n  \"removal_cone_transactions\": {cone_txns},\n  \"removal_total_transactions\": {total_txns}\n}}\n"
+        "{{\n  \"bench\": \"analysis_island_fixpoints\",\n  {meta},\n  \"system\": {{\"transactions\": 24, \"platforms\": 4, \"islands\": 1, \"seed\": 3}},\n  \"iterations\": {ITERATIONS},\n  \"unit\": \"us_per_analysis\",\n  \"cold_us\": {cold_us:.1},\n  \"cold_no_rta_cache_us\": {cold_no_cache_us:.1},\n  \"rta_cache_speedup\": {cache_speedup:.2},\n  \"removal_cold_us\": {removal_cold_us:.1},\n  \"removal_warm_us\": {removal_warm_us:.1},\n  \"downward_warm_speedup\": {warm_speedup:.2},\n  \"removal_cone_transactions\": {cone_txns},\n  \"removal_total_transactions\": {total_txns},\n  \"rta_cache\": {{\"foreign_hits\": {foreign_hits}, \"foreign_misses\": {foreign_misses}, \"completion_hits\": {completion_hits}, \"completion_misses\": {completion_misses}}}\n}}\n"
     );
     std::fs::write(&out_path, &json).expect("write bench json");
     print!("{json}");
@@ -138,6 +155,10 @@ fn main() {
         "wrote {out_path}: RTA cache {cache_speedup:.2}x on cold fixpoints; \
          downward warm start {warm_speedup:.2}x on a removal \
          (cone {cone_txns}/{total_txns} transactions)"
+    );
+    assert!(
+        foreign_hits + completion_hits > 0,
+        "the cached legs must have recorded cache hits in the telemetry sink"
     );
     assert!(
         cache_speedup > 1.0,

@@ -8,6 +8,23 @@ pub use workload::{random_system, WorkloadSpec};
 
 use hsched_transaction::{TaskRef, TransactionSet};
 
+/// The shared `"meta"` fragment of every `BENCH_*.json`: host parallelism
+/// (from the OS), plus the commit hash and run date the bench script
+/// passes in via `HSCHED_BENCH_COMMIT` / `HSCHED_BENCH_DATE` (`"unknown"`
+/// when run directly — the binaries take no clock or VCS dependency).
+/// Returns a `"meta": {...}` key-value pair, ready to splice into an
+/// object.
+pub fn run_meta_json() -> String {
+    let parallelism = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let commit = std::env::var("HSCHED_BENCH_COMMIT").unwrap_or_else(|_| "unknown".to_string());
+    let date = std::env::var("HSCHED_BENCH_DATE").unwrap_or_else(|_| "unknown".to_string());
+    format!(
+        "\"meta\": {{\"host_parallelism\": {parallelism}, \"commit\": \"{commit}\", \"date\": \"{date}\"}}"
+    )
+}
+
 /// The reference admission-churn workload, shared by the
 /// `admission_bench` criterion bench and the `admission_perf` binary (which
 /// records `BENCH_admission.json`) so the two cannot silently measure

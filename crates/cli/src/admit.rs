@@ -225,6 +225,9 @@ pub(crate) fn stats_line(engine: &SchedService) -> String {
 /// [`SchedService::submit_async`] — committed but not yet durable — and a
 /// single [`SchedService::sync`] at the last epoch's watermark makes the
 /// whole run durable with one fsync instead of one per epoch.
+///
+/// With `stats` (the `--stats` flag), the engine's always-on telemetry
+/// snapshot is appended: a `telemetry` JSON block, or the human report.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_admission(
     path: &str,
@@ -235,6 +238,7 @@ pub(crate) fn run_admission(
     journal: Option<&str>,
     auto_compact: Option<u64>,
     pipeline: bool,
+    stats: bool,
 ) -> Result<String, String> {
     if auto_compact.is_some() && journal.is_none() {
         return Err("--auto-compact requires --journal".to_string());
@@ -312,6 +316,9 @@ pub(crate) fn run_admission(
         }
         w.end_array();
         write_stats(&mut w, &engine);
+        if stats {
+            crate::stats::write_metrics_json(&mut w, &engine.metrics());
+        }
         write_engine_section(&mut w, &engine, journal);
         write_report(&mut w, Some("final"), &engine.report());
         w.end_object();
@@ -354,6 +361,13 @@ pub(crate) fn run_admission(
                 let _ = writeln!(out, "journal: {journal_path}");
             }
         }
+    }
+    if stats {
+        let _ = write!(
+            out,
+            "{}",
+            crate::stats::render_metrics_human(&engine.metrics())
+        );
     }
     let _ = writeln!(out, "\nfinal system:");
     let _ = write!(out, "{}", engine.report());

@@ -38,7 +38,7 @@ pub(crate) fn run_compact(
         begin_envelope(&mut w, "compact");
         w.field_str("spec", path)
             .field_raw("epochs_folded", info.epoch)
-            .field_raw("tail_replayed", tail)
+            .field_raw("tail_replayed", tail.tail_records)
             .field_raw("bytes_before", bytes_before)
             .field_raw("bytes_after", info.compacted_bytes);
         write_stats(&mut w, &service);

@@ -17,6 +17,7 @@ mod admit;
 mod compact;
 mod json;
 mod replay;
+mod stats;
 
 use hsched_admission::AdmissionPolicy;
 use hsched_analysis::{analyze_with, AnalysisConfig, ScenarioMode, ServiceTimeMode, UpdateOrder};
@@ -39,6 +40,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         "admit" => cmd_admit(&args[1..]),
         "replay" => cmd_replay(&args[1..]),
         "compact" => cmd_compact(&args[1..]),
+        "stats" => cmd_stats(&args[1..]),
         "simulate" => cmd_simulate(&args[1..]),
         "optimize" => cmd_optimize(&args[1..]),
         "headroom" => cmd_headroom(&args[1..]),
@@ -62,6 +64,7 @@ COMMANDS:
     admit       online admission control driven by a request script
     replay      rebuild an admission engine from its write-ahead journal
     compact     fold a journal's history into a snapshot block (truncates it)
+    stats       run a request script, report engine telemetry only
     simulate    discrete-event simulation
     optimize    platform bandwidth minimization (§5 future work)
     headroom    per-task WCET sensitivity (largest schedulable scale factor)
@@ -88,6 +91,8 @@ ADMIT: hsched admit <SPEC.hsc> <SCRIPT> [OPTIONS]
     --auto-compact <N> fold the journal into a snapshot every N epochs
     --async           pipeline epochs: commit all batches without waiting
                       for per-epoch durability, then one final sync
+    --stats           append the engine telemetry report (per-phase epoch
+                      timers, contention counters, cache distributions)
     --threads <N>     parallel shard commits (0 = all cores)
     --no-external     as for analyze
     --cold            disable warm-started fixpoints
@@ -106,6 +111,13 @@ COMPACT: hsched compact <SPEC.hsc> <JOURNAL> [OPTIONS]
     snapshot block, and truncates all earlier records — atomically (a
     crash mid-compaction keeps the old journal). Later admit/replay runs
     resume from snapshot + tail. Options as for admit.
+
+STATS: hsched stats <SPEC.hsc> <SCRIPT> [OPTIONS]
+    Commits the script's batches (pipelined) and reports only the
+    always-on engine telemetry: per-phase epoch timers (reserve, route,
+    checkout, analyze, settle), front-door contention counters, admission
+    cone geometry, and analysis-cache distributions. Histogram quantiles
+    are log2-bucket ceilings. Options as for admit (minus the journal).
 
 SIMULATE OPTIONS:
     --horizon <T>     simulated time (default 1000)
@@ -284,7 +296,21 @@ fn cmd_admit(args: &[String]) -> Result<String, String> {
         opt_value(args, "--journal")?,
         auto_compact,
         opt_flag(args, "--async"),
+        opt_flag(args, "--stats"),
     )
+}
+
+fn cmd_stats(args: &[String]) -> Result<String, String> {
+    let (path, set) = load(args)?;
+    // Strictly positional, exactly as `admit`.
+    let Some(script_path) = args.get(1).filter(|a| !a.starts_with("--")) else {
+        return Err("expected a request script path after the spec".to_string());
+    };
+    let script = std::fs::read_to_string(script_path)
+        .map_err(|e| format!("cannot read `{script_path}`: {e}"))?;
+    let batches = admit::parse_script(&script, &set).map_err(|e| format!("{script_path}: {e}"))?;
+    let policy = engine_policy(args)?;
+    stats::run_stats(&path, set, &batches, policy, opt_flag(args, "--json"))
 }
 
 fn cmd_replay(args: &[String]) -> Result<String, String> {
@@ -761,6 +787,90 @@ instance I : W on S node 0;
     }
 
     #[test]
+    fn admit_stats_flag_appends_telemetry() {
+        let spec = spec_file();
+        let script = script_file(
+            "add probe period 60 deadline 120 task p wcet 1 bcet 0.5 prio 1 on Pi1\n\
+             commit\n\
+             remove probe\n",
+        );
+        let json = run(&args(&[
+            "admit",
+            spec.to_str().unwrap(),
+            script.to_str().unwrap(),
+            "--stats",
+            "--json",
+        ]))
+        .unwrap();
+        assert!(json.starts_with("{\"v\":2,\"command\":\"admit\""), "{json}");
+        assert!(json.contains("\"telemetry\":{"), "{json}");
+        assert!(json.contains("\"engine.epochs_settled\":2"), "{json}");
+        assert!(json.contains("\"engine.phase.analyze_ns\":{"), "{json}");
+        assert!(json.contains("\"p95\":"), "{json}");
+        // Balanced containers (the telemetry block nests three deep).
+        let opens = json.matches('{').count() + json.matches('[').count();
+        let closes = json.matches('}').count() + json.matches(']').count();
+        assert_eq!(opens, closes, "{json}");
+
+        let human = run(&args(&[
+            "admit",
+            spec.to_str().unwrap(),
+            script.to_str().unwrap(),
+            "--stats",
+        ]))
+        .unwrap();
+        assert!(human.contains("telemetry:"), "{human}");
+        assert!(human.contains("engine.epochs_settled"), "{human}");
+
+        // Without the flag, no telemetry section is rendered.
+        let plain = run(&args(&[
+            "admit",
+            spec.to_str().unwrap(),
+            script.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(!plain.contains("telemetry"), "{plain}");
+    }
+
+    #[test]
+    fn stats_command_reports_telemetry_only() {
+        let spec = spec_file();
+        let script = script_file(
+            "add probe period 60 deadline 120 task p wcet 1 bcet 0.5 prio 1 on Pi1\n\
+             commit\n\
+             add hog period 10 deadline 10 task h wcet 9 bcet 9 prio 9 on Pi3\n\
+             commit\n\
+             remove probe\n",
+        );
+        let out = run(&args(&[
+            "stats",
+            spec.to_str().unwrap(),
+            script.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(
+            out.contains("3 epoch(s) committed (2 admitted, 1 rejected)"),
+            "{out}"
+        );
+        assert!(out.contains("engine.phase.reserve_ns"), "{out}");
+        assert!(out.contains("analysis.rta_cache"), "{out}");
+        assert!(out.contains("admission.cone.transactions"), "{out}");
+
+        let json = run(&args(&[
+            "stats",
+            spec.to_str().unwrap(),
+            script.to_str().unwrap(),
+            "--json",
+        ]))
+        .unwrap();
+        assert!(json.starts_with("{\"v\":2,\"command\":\"stats\""), "{json}");
+        assert!(json.contains("\"epochs\":3"), "{json}");
+        assert!(json.contains("\"engine.epochs_settled\":3"), "{json}");
+        assert!(json.contains("\"engine.phase.settle_ns\":{"), "{json}");
+        assert!(json.ends_with("}\n"), "{json}");
+    }
+
+    #[test]
     fn admit_journal_then_replay_is_byte_identical() {
         let spec = spec_file();
         let script = script_file(
@@ -798,9 +908,11 @@ instance I : W on S node 0;
             "{replayed}"
         );
         assert!(replayed.contains("\"epochs_replayed\":3"));
+        assert!(replayed.contains("\"journal_bytes\":"), "{replayed}");
+        assert!(replayed.contains("\"repaired_bytes\":0"), "{replayed}");
         assert_eq!(extract_digest(&replayed), admit_digest);
 
-        // Human mode prints the digest and replay count too.
+        // Human mode prints the digest, replay count, and journal facts.
         let human = run(&args(&[
             "replay",
             spec.to_str().unwrap(),
@@ -808,6 +920,8 @@ instance I : W on S node 0;
         ]))
         .unwrap();
         assert!(human.contains("replayed 3 epoch(s)"));
+        assert!(human.contains("journal: 3 record(s)"), "{human}");
+        assert!(!human.contains("torn-tail"), "{human}");
         assert!(human.contains(&admit_digest));
         assert!(human.contains("final system:"));
         let _ = std::fs::remove_file(&journal);

@@ -20,24 +20,25 @@ pub(crate) fn run_replay(
     policy: AdmissionPolicy,
     json: bool,
 ) -> Result<String, String> {
-    let (engine, epochs) = SchedService::replay(
+    let (engine, stats) = SchedService::replay(
         set,
         hsched_analysis::AnalysisConfig::default(),
         policy,
         std::path::Path::new(journal_path),
     )
     .map_err(|e| e.to_string())?;
-
-    // A compacted journal resumes from its snapshot: the tickets before
-    // `snapshot_epoch` were folded into the block and not re-run.
-    let snapshot_epoch = engine.epoch() - epochs as u64;
+    let epochs = stats.tail_records;
 
     if json {
         let mut w = JsonWriter::new();
         begin_envelope(&mut w, "replay");
         w.field_str("spec", path)
-            .field_raw("epochs_replayed", epochs);
-        if snapshot_epoch > 0 {
+            .field_raw("epochs_replayed", epochs)
+            .field_raw("journal_bytes", stats.journal_bytes)
+            .field_raw("repaired_bytes", stats.repaired_bytes);
+        // A compacted journal resumes from its snapshot: the tickets
+        // before `snapshot_epoch` were folded into the block, not re-run.
+        if let Some(snapshot_epoch) = stats.snapshot_epoch {
             w.field_raw("snapshot_epoch", snapshot_epoch);
         }
         write_stats(&mut w, &engine);
@@ -52,7 +53,18 @@ pub(crate) fn run_replay(
         out,
         "{journal_path}: replayed {epochs} epoch(s) against {path}"
     );
-    if snapshot_epoch > 0 {
+    let _ = writeln!(
+        out,
+        "journal: {} record(s), {} byte(s) valid{}",
+        stats.tail_records,
+        stats.journal_bytes,
+        if stats.repaired_bytes > 0 {
+            format!(", {} torn-tail byte(s) repaired", stats.repaired_bytes)
+        } else {
+            String::new()
+        }
+    );
+    if let Some(snapshot_epoch) = stats.snapshot_epoch {
         let _ = writeln!(
             out,
             "resumed from snapshot at epoch {snapshot_epoch} (compacted journal)"

@@ -1,0 +1,130 @@
+//! The `hsched stats` subcommand and the shared telemetry rendering:
+//! drives a request script through the sharded admission engine exactly
+//! like `hsched admit`, then reports the service's merged
+//! [`MetricsSnapshot`] — per-phase epoch timers, front-door contention
+//! counters, journal/group-commit stats, admission cone geometry, and
+//! analysis cache/fixpoint distributions — instead of per-epoch verdicts.
+//! `hsched admit --stats` appends the same report after its normal output.
+
+use crate::json::{begin_envelope, JsonWriter};
+use hsched_admission::{AdmissionPolicy, AdmissionRequest};
+use hsched_engine::{EngineRequest, SchedService};
+use hsched_telemetry::{HistogramSnapshot, MetricsSnapshot};
+use hsched_transaction::TransactionSet;
+use std::fmt::Write as _;
+
+/// Renders a snapshot for humans: all counters, then one summary line per
+/// histogram (count, mean, tail quantiles, max). Quantiles are log₂-bucket
+/// ceilings — order-of-magnitude figures, not exact ranks.
+pub(crate) fn render_metrics_human(snap: &MetricsSnapshot) -> String {
+    let counters: Vec<(&str, u64)> = snap.counters().collect();
+    let histograms: Vec<(&str, &HistogramSnapshot)> = snap.histograms().collect();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "telemetry: {} counter(s), {} histogram(s)",
+        counters.len(),
+        histograms.len()
+    );
+    let width = counters
+        .iter()
+        .map(|(name, _)| name.len())
+        .chain(histograms.iter().map(|(name, _)| name.len()))
+        .max()
+        .unwrap_or(0);
+    for (name, value) in &counters {
+        let _ = writeln!(out, "  {name:<width$}  {value}");
+    }
+    for (name, hist) in &histograms {
+        let _ = writeln!(out, "  {name:<width$}  {}", histogram_line(hist));
+    }
+    out
+}
+
+fn histogram_line(hist: &HistogramSnapshot) -> String {
+    if hist.is_empty() {
+        return "count 0".to_string();
+    }
+    format!(
+        "count {}  mean {}  p50 {}  p95 {}  p99 {}  max {}",
+        hist.count(),
+        hist.mean(),
+        hist.p50(),
+        hist.p95(),
+        hist.p99(),
+        hist.max()
+    )
+}
+
+/// Writes the snapshot as the `telemetry` JSON block: counters verbatim,
+/// histograms as summary objects (count/sum/mean/p50/p95/p99/max).
+pub(crate) fn write_metrics_json(w: &mut JsonWriter, snap: &MetricsSnapshot) {
+    w.object_field("telemetry");
+    w.object_field("counters");
+    for (name, value) in snap.counters() {
+        w.field_raw(name, value);
+    }
+    w.end_object();
+    w.object_field("histograms");
+    for (name, hist) in snap.histograms() {
+        w.object_field(name)
+            .field_raw("count", hist.count())
+            .field_raw("sum", hist.sum())
+            .field_raw("mean", hist.mean())
+            .field_raw("p50", hist.p50())
+            .field_raw("p95", hist.p95())
+            .field_raw("p99", hist.p99())
+            .field_raw("max", hist.max())
+            .end_object();
+    }
+    w.end_object();
+    w.end_object();
+}
+
+/// Runs the script's batches through an engine seeded with `set` and
+/// renders only the telemetry snapshot (pipelined submission — the point
+/// is the metrics, not per-epoch durability).
+pub(crate) fn run_stats(
+    path: &str,
+    set: TransactionSet,
+    batches: &[Vec<AdmissionRequest>],
+    policy: AdmissionPolicy,
+    json: bool,
+) -> Result<String, String> {
+    let engine = SchedService::new(set, hsched_analysis::AnalysisConfig::default(), policy)
+        .map_err(|e| e.to_string())?;
+    let mut admitted = 0u64;
+    let mut rejected = 0u64;
+    for batch in batches {
+        let ticket = engine
+            .submit_async(&EngineRequest::batch(batch.clone()))
+            .map_err(|e| e.to_string())?;
+        if ticket.response.outcome.verdict.admitted() {
+            admitted += 1;
+        } else {
+            rejected += 1;
+        }
+    }
+    let snap = engine.metrics();
+
+    if json {
+        let mut w = JsonWriter::new();
+        begin_envelope(&mut w, "stats");
+        w.field_str("spec", path)
+            .field_raw("epochs", batches.len())
+            .field_raw("admitted", admitted)
+            .field_raw("rejected", rejected);
+        write_metrics_json(&mut w, &snap);
+        w.end_object();
+        return Ok(w.finish());
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{path}: {} epoch(s) committed ({admitted} admitted, {rejected} rejected)",
+        batches.len()
+    );
+    let _ = write!(out, "{}", render_metrics_human(&snap));
+    Ok(out)
+}

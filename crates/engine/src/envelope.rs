@@ -96,6 +96,43 @@ impl EngineRequest {
     }
 }
 
+/// Per-phase wall time of one epoch's trip through the service, measured
+/// on the submitting thread with monotonic clocks (nanoseconds).
+///
+/// The phases are disjoint by construction — `reserve_ns` is the reserve
+/// phase *minus* its routing and checkout slices, so the five fields sum
+/// to at most the epoch's end-to-end wall time (contended retries and
+/// ticket-order waits are attributed to the phase that waited). The same
+/// numbers feed the service-wide histograms behind
+/// [`crate::SchedService::metrics`]; the response copy lets a caller
+/// correlate one specific epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EpochTimings {
+    /// Reserve phase excluding routing and checkout: admission gate,
+    /// stripe locking, and any contention retries.
+    pub reserve_ns: u64,
+    /// Routing the batch to its shard slots.
+    pub route_ns: u64,
+    /// Checking the routed shards out of their slots (platform re-sync
+    /// included).
+    pub checkout_ns: u64,
+    /// The lock-free analysis phase (shard sub-batch commits).
+    pub analyze_ns: u64,
+    /// The settle phase, including the ticket-order turn wait.
+    pub settle_ns: u64,
+}
+
+impl EpochTimings {
+    /// Sum of all phase slices — at most the epoch's wall time.
+    pub fn total_ns(&self) -> u64 {
+        self.reserve_ns
+            .saturating_add(self.route_ns)
+            .saturating_add(self.checkout_ns)
+            .saturating_add(self.analyze_ns)
+            .saturating_add(self.settle_ns)
+    }
+}
+
 /// The engine's answer for one committed epoch.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EngineResponse {
@@ -123,6 +160,9 @@ pub struct EngineResponse {
     pub shards_touched: usize,
     /// Live shards after the epoch.
     pub shards_live: usize,
+    /// Where this epoch's wall time went, phase by phase (always
+    /// populated; zeros only for phases the epoch skipped).
+    pub timings: EpochTimings,
 }
 
 /// The receipt of an asynchronously submitted epoch: the batch is

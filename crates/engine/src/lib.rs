@@ -95,6 +95,7 @@
 mod digest;
 mod envelope;
 mod journal;
+mod metrics;
 mod router;
 mod routing;
 mod service;
@@ -102,12 +103,13 @@ mod snapshot;
 mod stripes;
 
 pub use envelope::{
-    EngineError, EngineOp, EngineRequest, EngineResponse, EpochTicket, TxnId, MIN_SCHEMA_VERSION,
-    SCHEMA_VERSION,
+    EngineError, EngineOp, EngineRequest, EngineResponse, EpochTicket, EpochTimings, TxnId,
+    MIN_SCHEMA_VERSION, SCHEMA_VERSION,
 };
 pub use journal::{read_journal, JournalContents, JournalEpoch, JournalStream, JournalWriter};
+pub use metrics::EngineMetrics;
 pub use router::AdmissionRouter;
-pub use service::{AutoCompactPolicy, SchedService, SnapshotInfo};
+pub use service::{AutoCompactPolicy, ReplayStats, SchedService, SnapshotInfo};
 pub use snapshot::{Snapshot, SnapshotInstance, SnapshotPlatform, SnapshotTxn};
 
 #[cfg(test)]
@@ -494,14 +496,14 @@ mod tests {
         let epoch = engine.epoch();
         drop(engine); // "crash"
 
-        let (replayed, epochs) = AdmissionRouter::replay(
+        let (replayed, stats) = AdmissionRouter::replay(
             set,
             AnalysisConfig::default(),
             AdmissionPolicy::default(),
             &path,
         )
         .unwrap();
-        assert_eq!(epochs, 3);
+        assert_eq!(stats.tail_records, 3);
         assert_eq!(replayed.epoch(), epoch);
         assert_eq!(replayed.state_digest(), digest);
         let _ = std::fs::remove_file(&path);

@@ -1,0 +1,88 @@
+//! Engine-layer telemetry: per-phase epoch timers, front-door contention
+//! counters, and journal/group-commit statistics.
+//!
+//! One [`EngineMetrics`] lives on the [`crate::SchedService`] and is
+//! always on: every recording is a relaxed atomic add on pre-allocated
+//! cells, and every clock read happens *outside* lock-hold paths (phase
+//! boundaries are captured in the submitting thread's own frame). A
+//! [`crate::SchedService::metrics`] snapshot is therefore a pure read —
+//! it never drains the pipeline, unlike the quiescent observers.
+
+use hsched_telemetry::{Counter, Histogram, MetricsSnapshot};
+
+/// The service-wide engine metric set. Field docs say what is measured;
+/// the snapshot names (below) are the stable external vocabulary.
+#[derive(Debug, Default)]
+pub struct EngineMetrics {
+    /// Epochs fully settled (admitted + rejected).
+    pub epochs_settled: Counter,
+    /// Fast-path reservations that issued a ticket.
+    pub fast_reservations: Counter,
+    /// Fast-path attempts turned away by contention (busy shard, claimed
+    /// name/platform, writer fairness, capacity) — each one is a retry
+    /// after a gate-generation wait.
+    pub fast_conflicts: Counter,
+    /// Fast-path attempts that routed to a topology change and fell back
+    /// to the exclusive path.
+    pub fast_fallbacks: Counter,
+    /// Exclusive reservations (instance ops, topology changes, poison
+    /// parity) — each drains the whole pipeline first.
+    pub exclusive_drains: Counter,
+    /// Journal bytes appended (records only; snapshot rewrites excluded).
+    pub journal_bytes: Counter,
+    /// Journal records appended.
+    pub journal_records: Counter,
+    /// Snapshot compactions that completed (manual and automatic).
+    pub compactions: Counter,
+
+    /// Reserve-phase time per epoch, *excluding* the route and checkout
+    /// slices below (gate waits, stripe locking, contention retries).
+    pub reserve_ns: Histogram,
+    /// Routing time per epoch (footprint → shard decision).
+    pub route_ns: Histogram,
+    /// Shard checkout time per epoch (slot cells + platform re-sync).
+    pub checkout_ns: Histogram,
+    /// Analysis time per epoch (the lock-free phase 2).
+    pub analyze_ns: Histogram,
+    /// Settle time per epoch, including the ticket-order turn wait.
+    pub settle_ns: Histogram,
+    /// Wall time of each `sync_data` call (group-commit fsync latency).
+    pub fsync_ns: Histogram,
+    /// Epoch records covered per completed fsync (group-commit batch
+    /// size; >1 means the pipelining amortized the disk wait).
+    pub sync_batch_epochs: Histogram,
+}
+
+impl EngineMetrics {
+    /// A fresh metric set with everything at zero.
+    pub fn new() -> EngineMetrics {
+        EngineMetrics::default()
+    }
+
+    /// Point-in-time snapshot under `engine.*` names.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::new();
+        snap.put_counter("engine.epochs_settled", self.epochs_settled.get());
+        snap.put_counter("engine.reserve.fast", self.fast_reservations.get());
+        snap.put_counter("engine.reserve.fast_conflicts", self.fast_conflicts.get());
+        snap.put_counter("engine.reserve.fast_fallbacks", self.fast_fallbacks.get());
+        snap.put_counter(
+            "engine.reserve.exclusive_drains",
+            self.exclusive_drains.get(),
+        );
+        snap.put_counter("engine.journal.bytes", self.journal_bytes.get());
+        snap.put_counter("engine.journal.records", self.journal_records.get());
+        snap.put_counter("engine.journal.compactions", self.compactions.get());
+        snap.put_histogram("engine.phase.reserve_ns", self.reserve_ns.snapshot());
+        snap.put_histogram("engine.phase.route_ns", self.route_ns.snapshot());
+        snap.put_histogram("engine.phase.checkout_ns", self.checkout_ns.snapshot());
+        snap.put_histogram("engine.phase.analyze_ns", self.analyze_ns.snapshot());
+        snap.put_histogram("engine.phase.settle_ns", self.settle_ns.snapshot());
+        snap.put_histogram("engine.phase.fsync_ns", self.fsync_ns.snapshot());
+        snap.put_histogram(
+            "engine.sync.batch_epochs",
+            self.sync_batch_epochs.snapshot(),
+        );
+        snap
+    }
+}

@@ -43,9 +43,9 @@ impl AdmissionRouter {
         config: AnalysisConfig,
         policy: AdmissionPolicy,
         path: &Path,
-    ) -> Result<(AdmissionRouter, usize), EngineError> {
+    ) -> Result<(AdmissionRouter, crate::ReplayStats), EngineError> {
         SchedService::replay(set, config, policy, path)
-            .map(|(service, epochs)| (AdmissionRouter { service }, epochs))
+            .map(|(service, stats)| (AdmissionRouter { service }, stats))
     }
 
     /// Commits one versioned request batch as an atomic epoch — the
@@ -113,6 +113,11 @@ impl AdmissionRouter {
     /// See [`SchedService::report`].
     pub fn report(&self) -> SchedulabilityReport {
         self.service.report()
+    }
+
+    /// See [`SchedService::metrics`].
+    pub fn metrics(&self) -> hsched_telemetry::MetricsSnapshot {
+        self.service.metrics()
     }
 
     /// See [`SchedService::stats`].

@@ -571,12 +571,13 @@ impl World<'_> {
                 None => {
                     let empty = TransactionSet::new(self.core.platforms.clone(), Vec::new())
                         .map_err(EngineError::Internal)?;
-                    let core = AdmissionController::new(
+                    let mut core = AdmissionController::new(
                         empty,
                         self.core.config.clone(),
                         self.core.shard_policy.clone(),
                     )
                     .map_err(EngineError::Internal)?;
+                    core.set_metrics_sink(self.core.admission_metrics.clone());
                     let version = self.core.platforms_version;
                     self.allocate_slot(Shard {
                         core,

@@ -102,28 +102,31 @@
 
 use crate::digest::fnv1a_64;
 use crate::envelope::{
-    EngineError, EngineOp, EngineRequest, EngineResponse, EpochTicket, TxnId, MIN_SCHEMA_VERSION,
-    SCHEMA_VERSION,
+    EngineError, EngineOp, EngineRequest, EngineResponse, EpochTicket, EpochTimings, TxnId,
+    MIN_SCHEMA_VERSION, SCHEMA_VERSION,
 };
 use crate::journal::{JournalStream, JournalWriter};
+use crate::metrics::EngineMetrics;
 use crate::routing::{plan_groups, route, Group, RouteOutcome};
 use crate::snapshot::{self, Snapshot};
 use crate::stripes::{
     name_stripe, platform_stripe, FastView, NameStripe, PlatStripe, STRIPE_COUNT,
 };
 use hsched_admission::{
-    AdmissionController, AdmissionPolicy, AdmissionRequest, ControllerStats, EpochOutcome,
-    RejectReason, Verdict,
+    AdmissionController, AdmissionMetrics, AdmissionPolicy, AdmissionRequest, ControllerStats,
+    EpochOutcome, RejectReason, Verdict,
 };
-use hsched_analysis::{parallel_map, AnalysisConfig, SchedulabilityReport};
+use hsched_analysis::{parallel_map, AnalysisConfig, AnalysisMetrics, SchedulabilityReport};
 use hsched_model::System;
 use hsched_numeric::Rational;
 use hsched_platform::PlatformSet;
+use hsched_telemetry::{elapsed_ns, MetricsSnapshot};
 use hsched_transaction::TransactionSet;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex, MutexGuard, RwLock, RwLockWriteGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock, RwLockWriteGuard};
+use std::time::Instant;
 
 /// One island-group shard: a full admission controller over the shard's
 /// transactions (with the complete platform set, so `PlatformId`s stay
@@ -230,6 +233,10 @@ pub(crate) struct Core {
     /// [`RejectReason::Numeric`], exactly as the single controller's
     /// global scan would.
     pub(crate) util_poison: BTreeMap<usize, String>,
+    /// The service-wide admission telemetry sink; every shard controller —
+    /// seeded, split, merged, or minted fresh by routing — records its
+    /// cone geometry here (see [`AdmissionMetrics`]).
+    pub(crate) admission_metrics: Arc<AdmissionMetrics>,
 }
 
 /// Admission-flow coordination, locked **last** in the total order so the
@@ -268,6 +275,10 @@ struct Reservation {
     /// Rejection decided at reserve time (structural / numeric parity):
     /// the epoch skips analysis and settles straight to a rejection.
     early: Option<RejectReason>,
+    /// Wall time the winning attempt spent routing (telemetry).
+    route_ns: u64,
+    /// Wall time the winning attempt spent checking shards out (telemetry).
+    checkout_ns: u64,
 }
 
 /// Outcome of one fast-path reservation attempt.
@@ -305,6 +316,26 @@ impl AutoCompactPolicy {
     pub fn is_off(&self) -> bool {
         self.every_epochs.is_none() && self.max_journal_bytes.is_none()
     }
+}
+
+/// What [`SchedService::replay`] found in the journal: how much history
+/// was on disk, where the rebuild resumed, and how many torn-tail bytes
+/// the recovery dropped. `hsched replay` prints these facts verbatim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayStats {
+    /// Complete tail records re-committed (excluding epochs folded into
+    /// the snapshot block).
+    pub tail_records: usize,
+    /// Epoch of the embedded snapshot the rebuild resumed from, or `None`
+    /// when the journal was never compacted (replay started from the
+    /// specification seed).
+    pub snapshot_epoch: Option<u64>,
+    /// Valid journal bytes (header + snapshot block + complete records) —
+    /// the file size after tail repair.
+    pub journal_bytes: u64,
+    /// Bytes of torn final record dropped by the tail repair (0 for a
+    /// cleanly closed journal).
+    pub repaired_bytes: u64,
 }
 
 /// What [`SchedService::snapshot`] did: the epoch the snapshot captured,
@@ -372,6 +403,17 @@ pub struct SchedService {
     /// Group-commit waiters (on the core; notified when a journal sync
     /// completes).
     synced_cv: Condvar,
+    /// Always-on engine telemetry (phase timers, contention counters,
+    /// journal stats). Recording is relaxed-atomic; snapshotting never
+    /// touches a lock.
+    metrics: Arc<EngineMetrics>,
+    /// The shared admission-layer sink (same `Arc` as
+    /// [`Core::admission_metrics`], duplicated here so
+    /// [`SchedService::metrics`] reads it without locking the core).
+    admission_metrics: Arc<AdmissionMetrics>,
+    /// The shared analysis-layer sink (every shard's `AnalysisConfig`
+    /// carries it).
+    analysis_metrics: Arc<AnalysisMetrics>,
 }
 
 /// Compile-time audit: the whole service must be shareable across client
@@ -427,8 +469,17 @@ impl SchedService {
         let platforms = set.platforms().clone();
         let util_poison = util_poison_scan(&set);
         let seed_names: Vec<String> = set.transactions().iter().map(|t| t.name.clone()).collect();
-        let seed = AdmissionController::new(set, config.clone(), shard_policy.clone())
+        // One sink per layer for the whole service: the analysis sink rides
+        // inside the config (cloned into every island analysis), the
+        // admission sink is pushed into every shard controller. Equality
+        // checks ignore both, so shard merge/split semantics are unchanged.
+        let analysis_metrics = Arc::new(AnalysisMetrics::default());
+        let admission_metrics = Arc::new(AdmissionMetrics::new());
+        let mut config = config;
+        config.metrics = Some(analysis_metrics.clone());
+        let mut seed = AdmissionController::new(set, config.clone(), shard_policy.clone())
             .map_err(EngineError::Seed)?;
+        seed.set_metrics_sink(admission_metrics.clone());
 
         let platform_count = platforms.len();
         let island_threads = policy.island_threads;
@@ -455,6 +506,7 @@ impl SchedService {
             compacting: false,
             unsched: BTreeMap::new(),
             util_poison,
+            admission_metrics: admission_metrics.clone(),
         };
         let service = SchedService {
             names: (0..STRIPE_COUNT)
@@ -480,6 +532,9 @@ impl SchedService {
             capacity: Condvar::new(),
             conflict: Condvar::new(),
             synced_cv: Condvar::new(),
+            metrics: Arc::new(EngineMetrics::new()),
+            admission_metrics,
+            analysis_metrics,
         };
         {
             let mut world = service.world();
@@ -550,8 +605,9 @@ impl SchedService {
     /// from); then re-commits every complete tail record — streamed, O(1)
     /// memory — cross-checking each replayed verdict against the recorded
     /// one, repairs any torn journal tail, and re-attaches the journal in
-    /// append mode. Returns the service plus the number of tail epochs
-    /// replayed (excluding those folded into the snapshot).
+    /// append mode. Returns the service plus the journal facts the
+    /// recovery established ([`ReplayStats`]: tail records replayed,
+    /// snapshot resume point, valid and repaired byte counts).
     ///
     /// The rebuilt engine is byte-identical to the crashed one as of its
     /// last complete record: same epoch ticket, same live set and system
@@ -563,7 +619,8 @@ impl SchedService {
         config: AnalysisConfig,
         policy: AdmissionPolicy,
         path: &Path,
-    ) -> Result<(SchedService, usize), EngineError> {
+    ) -> Result<(SchedService, ReplayStats), EngineError> {
+        let file_bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
         let mut stream = JournalStream::open(path)?;
         if stream.platforms() != set.platforms().len() {
             return Err(EngineError::Replay(format!(
@@ -572,7 +629,9 @@ impl SchedService {
                 set.platforms().len()
             )));
         }
-        let service = match stream.take_snapshot() {
+        let snapshot = stream.take_snapshot();
+        let snapshot_epoch = snapshot.as_ref().map(|s| s.epoch);
+        let service = match snapshot {
             Some(snap) => snapshot::rebuild(&set, snap, config, policy)?,
             None => SchedService::new(set, config, policy)?,
         };
@@ -600,12 +659,21 @@ impl SchedService {
             }
             replayed += 1;
         }
+        let valid = stream.valid_prefix();
         {
             let mut core = service.lock_core();
-            core.journal = Some(JournalWriter::recover(path, stream.valid_prefix())?);
+            core.journal = Some(JournalWriter::recover(path, valid)?);
             core.synced = core.settled;
         }
-        Ok((service, replayed))
+        Ok((
+            service,
+            ReplayStats {
+                tail_records: replayed,
+                snapshot_epoch,
+                journal_bytes: valid,
+                repaired_bytes: file_bytes.saturating_sub(valid),
+            },
+        ))
     }
 
     /// Submits one versioned request batch as an atomic epoch and returns
@@ -700,14 +768,18 @@ impl SchedService {
             // Every record with ticket ≤ settled is already written, so
             // this sync covers them all.
             let upto = core.settled;
+            let covered = upto.saturating_sub(core.synced);
             let file = core.journal.as_ref().expect("checked above").sync_handle();
             drop(core);
+            let fsync_started = Instant::now();
             let outcome = file.sync_data();
+            self.metrics.fsync_ns.record(elapsed_ns(fsync_started));
             core = self.lock_core();
             core.syncing = false;
             match outcome {
                 Ok(()) => {
                     core.synced = core.synced.max(upto);
+                    self.metrics.sync_batch_epochs.record(covered);
                     self.synced_cv.notify_all();
                 }
                 Err(e) => {
@@ -751,7 +823,9 @@ impl SchedService {
         batch: Vec<AdmissionRequest>,
     ) -> Result<EngineResponse, EngineError> {
         // Phase 1: reserve (wait out conflicts; writers drain in-flight).
+        let reserve_started = Instant::now();
         let resv = self.reserve(&batch)?;
+        let reserve_total_ns = elapsed_ns(reserve_started);
         let Reservation {
             ticket,
             groups,
@@ -761,9 +835,12 @@ impl SchedService {
             claimed_free,
             touched_platforms,
             early,
+            route_ns,
+            checkout_ns,
         } = resv;
 
         // Phase 2: analyze — no lock held; overlaps across client threads.
+        let analyze_started = Instant::now();
         let analyzed = if early.is_none() && !groups.is_empty() {
             run_groups(&groups, shards, &batch, self.island_threads)
         } else {
@@ -772,10 +849,12 @@ impl SchedService {
                 shards,
             }
         };
+        let analyze_ns = elapsed_ns(analyze_started);
 
         // Phase 3: settle strictly in ticket order — the linearization
         // point, and the journal's serialization order.
-        self.settle_epoch(
+        let settle_started = Instant::now();
+        let mut response = self.settle_epoch(
             ticket,
             &batch,
             groups,
@@ -785,7 +864,28 @@ impl SchedService {
             early,
             claimed_names,
             claimed_free,
-        )
+        )?;
+
+        // Attribute the epoch's wall time: route/checkout slices were
+        // measured inside the winning reservation attempt, so the
+        // remainder (gate waits, stripe locking, contention retries) is
+        // the reserve slice and the five phases are disjoint.
+        let timings = EpochTimings {
+            reserve_ns: reserve_total_ns.saturating_sub(route_ns.saturating_add(checkout_ns)),
+            route_ns,
+            checkout_ns,
+            analyze_ns,
+            settle_ns: elapsed_ns(settle_started),
+        };
+        response.timings = timings;
+        let m = &self.metrics;
+        m.epochs_settled.incr();
+        m.reserve_ns.record(timings.reserve_ns);
+        m.route_ns.record(timings.route_ns);
+        m.checkout_ns.record(timings.checkout_ns);
+        m.analyze_ns.record(timings.analyze_ns);
+        m.settle_ns.record(timings.settle_ns);
+        Ok(response)
     }
 
     /// Phase 1 dispatch: transaction-level batches try the striped fast
@@ -903,8 +1003,14 @@ impl SchedService {
             plats: &plat_guards,
             platform_count: self.platform_count,
         };
-        let routed = match route(&view, batch) {
-            RouteOutcome::Blocked => return Ok(FastAttempt::Contended(generation)),
+        let route_started = Instant::now();
+        let route_outcome = route(&view, batch);
+        let route_ns = elapsed_ns(route_started);
+        let routed = match route_outcome {
+            RouteOutcome::Blocked => {
+                self.metrics.fast_conflicts.incr();
+                return Ok(FastAttempt::Contended(generation));
+            }
             RouteOutcome::Structural(message) => {
                 // Still holding the stripes: the structural verdict was
                 // made against this ticket position's state and must be
@@ -913,10 +1019,12 @@ impl SchedService {
                 if gate.writers_waiting > 0
                     || self.issued.load(Ordering::Acquire) - gate.settled >= self.max_inflight
                 {
+                    self.metrics.fast_conflicts.incr();
                     return Ok(FastAttempt::Contended(generation));
                 }
                 let ticket = self.issued.fetch_add(1, Ordering::AcqRel) + 1;
                 drop(gate);
+                self.metrics.fast_reservations.incr();
                 return Ok(FastAttempt::Ready(Reservation {
                     ticket,
                     groups: Vec::new(),
@@ -926,6 +1034,8 @@ impl SchedService {
                     claimed_free: Vec::new(),
                     touched_platforms: Vec::new(),
                     early: Some(RejectReason::Structural(message)),
+                    route_ns,
+                    checkout_ns: 0,
                 }));
             }
             RouteOutcome::Routed(routed) => routed,
@@ -933,10 +1043,12 @@ impl SchedService {
 
         let drafts = plan_groups(&routed.keys, slots.len(), self.platform_count);
         if drafts.iter().any(|d| d.changes_topology()) {
+            self.metrics.fast_fallbacks.incr();
             return Ok(FastAttempt::Fallback);
         }
 
         // Checkout, one cell at a time; a Busy marker is a conflict.
+        let checkout_started = Instant::now();
         let mut groups: Vec<Group> = Vec::with_capacity(drafts.len());
         let mut shards: Vec<Shard> = Vec::new();
         let mut conflicted = false;
@@ -974,6 +1086,7 @@ impl SchedService {
                 }
             }
         }
+        let checkout_ns = elapsed_ns(checkout_started);
 
         // Ticket under the gate, re-verifying fairness and capacity (a
         // sibling may have ticketed or a writer queued since the gate).
@@ -1000,6 +1113,7 @@ impl SchedService {
                         .expect("claimed platform inside footprint");
                     guard.pending_free.insert(*p);
                 }
+                self.metrics.fast_reservations.incr();
                 return Ok(FastAttempt::Ready(Reservation {
                     ticket,
                     groups,
@@ -1011,6 +1125,8 @@ impl SchedService {
                     // settle-time poison clearing has nothing to do.
                     touched_platforms: Vec::new(),
                     early: None,
+                    route_ns,
+                    checkout_ns,
                 }));
             }
         }
@@ -1019,6 +1135,7 @@ impl SchedService {
         // Pass the capacity baton: this thread may have consumed a
         // capacity wakeup it could not use.
         self.capacity.notify_one();
+        self.metrics.fast_conflicts.incr();
         Ok(FastAttempt::Contended(generation))
     }
 
@@ -1036,6 +1153,7 @@ impl SchedService {
     /// whole world. The writer mark is dropped (and sleepers woken) on
     /// every exit, success or error.
     fn reserve_exclusive(&self, batch: &[AdmissionRequest]) -> Result<Reservation, EngineError> {
+        self.metrics.exclusive_drains.incr();
         {
             let mut gate = self.lock_gate();
             gate.writers_waiting += 1;
@@ -1087,7 +1205,10 @@ impl SchedService {
         world: &mut World<'_>,
         batch: &[AdmissionRequest],
     ) -> Result<Reservation, EngineError> {
-        let routed = match route(&*world, batch) {
+        let route_started = Instant::now();
+        let route_outcome = route(&*world, batch);
+        let route_ns = elapsed_ns(route_started);
+        let routed = match route_outcome {
             RouteOutcome::Blocked => {
                 return Err(EngineError::Internal(
                     "conflict on a drained pipeline".to_string(),
@@ -1114,6 +1235,7 @@ impl SchedService {
             return Ok(self.ticket_early(RejectReason::Numeric(message)));
         }
 
+        let checkout_started = Instant::now();
         let drafts = plan_groups(&routed.keys, world.slots.len(), self.platform_count);
         let groups = world.apply_groups(drafts)?;
         let mut shards = Vec::with_capacity(groups.len());
@@ -1127,6 +1249,7 @@ impl SchedService {
             world.core.sync_shard_platforms(&mut shard)?;
             shards.push(shard);
         }
+        let checkout_ns = elapsed_ns(checkout_started);
         let ticket = self.ticket();
         for name in &routed.mentioned {
             world.names[name_stripe(name)].pending.insert(name.clone());
@@ -1143,6 +1266,8 @@ impl SchedService {
             claimed_free: routed.free_platforms,
             touched_platforms: touched.into_iter().collect(),
             early: None,
+            route_ns,
+            checkout_ns,
         })
     }
 
@@ -1165,6 +1290,8 @@ impl SchedService {
             claimed_free: Vec::new(),
             touched_platforms: Vec::new(),
             early: Some(reason),
+            route_ns: 0,
+            checkout_ns: 0,
         }
     }
 
@@ -1194,6 +1321,11 @@ impl SchedService {
         // behind us on the turn, so the world acquisition only ever waits
         // on reservations mid-flight — which never block holding stripes.
         let mut world = self.world();
+        let journal_before = world
+            .core
+            .journal
+            .as_ref()
+            .map(JournalWriter::bytes_written);
         let result = world.settle(
             ticket,
             batch,
@@ -1203,6 +1335,16 @@ impl SchedService {
             touched_platforms,
             early,
         );
+        if let (Some(before), Some(journal)) = (journal_before, world.core.journal.as_ref()) {
+            // Bytes the settle appended for this epoch's record (the
+            // journal only ever grows between here and the pre-settle
+            // read — compaction rewrites drain the pipeline first).
+            let appended = journal.bytes_written().saturating_sub(before);
+            if appended > 0 {
+                self.metrics.journal_bytes.add(appended);
+                self.metrics.journal_records.incr();
+            }
+        }
         for name in &claimed_names {
             world.names[name_stripe(name)].pending.remove(name);
         }
@@ -1412,6 +1554,23 @@ impl SchedService {
         stats
     }
 
+    /// Point-in-time telemetry snapshot across all three layers — engine
+    /// phase timers and contention counters (`engine.*`), admission cone
+    /// geometry (`admission.*`), and analysis cache/fixpoint statistics
+    /// (`analysis.*`) — merged into one [`MetricsSnapshot`].
+    ///
+    /// Unlike the observers above this **never stalls the pipeline**: the
+    /// three sinks are always-on relaxed atomics shared by every shard,
+    /// so the read takes no lock and waits for nothing. The trade-off is
+    /// per-cell (not cross-cell) consistency — an in-flight epoch may
+    /// have some of its recordings in the snapshot and others not.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut snap = self.metrics.snapshot();
+        snap.merge(&self.admission_metrics.snapshot());
+        snap.merge(&self.analysis_metrics.snapshot());
+        snap
+    }
+
     /// FNV-1a digest of the canonical engine state (epoch ticket, live
     /// set, system mirror, cached report, handle table). Two engines with
     /// equal digests are byte-identical in every observable; `hsched admit
@@ -1448,6 +1607,7 @@ impl SchedService {
         core.journal = Some(writer);
         core.synced = core.settled;
         core.last_compact_epoch = core.settled;
+        self.metrics.compactions.incr();
         Ok(SnapshotInfo {
             epoch: core.settled,
             digest,
@@ -1818,6 +1978,7 @@ impl World<'_> {
             shards_touched: slots.len(),
             shards: slots,
             shards_live: self.shard_count(),
+            timings: EpochTimings::default(),
         })
     }
 
@@ -1849,6 +2010,7 @@ impl World<'_> {
             shards_touched: slots.len(),
             shards: slots,
             shards_live: self.shard_count(),
+            timings: EpochTimings::default(),
         })
     }
 

@@ -209,8 +209,9 @@ fn crash_replay_session(seed: u64, cut_fraction: (u64, u64)) {
     let cut = cut.clamp(40, bytes.len()); // keep the header intact
     std::fs::write(&path, &bytes[..cut]).unwrap();
 
-    let (replayed, epochs) = AdmissionRouter::replay(set, config, policy, &path)
+    let (replayed, stats) = AdmissionRouter::replay(set, config, policy, &path)
         .unwrap_or_else(|e| panic!("seed {seed} cut {cut}: replay failed: {e}"));
+    let epochs = stats.tail_records;
     assert!(epochs <= 5, "seed {seed}");
     assert_eq!(
         replayed.state_digest(),

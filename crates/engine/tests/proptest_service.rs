@@ -284,9 +284,9 @@ fn linearizability_session(seed: u64, threads: usize, batches: usize) {
 
     // (a2) a serial replay of the journal rebuilds the service
     // byte-identically (digest includes handles, counters, slot order).
-    let (replayed, epochs) = SchedService::replay(set, config, policy, &path)
+    let (replayed, stats) = SchedService::replay(set, config, policy, &path)
         .unwrap_or_else(|e| panic!("seed {seed}: replay failed: {e}"));
-    assert_eq!(epochs, threads * batches);
+    assert_eq!(stats.tail_records, threads * batches);
     assert_eq!(
         replayed.state_digest(),
         digest,
@@ -353,9 +353,10 @@ fn compaction_crash_session(seed: u64, cut_fraction: (u64, u64)) {
     let cut = compacted_bytes + tail * cut_fraction.0 / cut_fraction.1;
     std::fs::write(&path, &bytes[..cut as usize]).unwrap();
 
-    let (replayed, epochs) =
+    let (replayed, stats) =
         SchedService::replay(set.clone(), config.clone(), policy.clone(), &path)
             .unwrap_or_else(|e| panic!("seed {seed} cut {cut}: replay failed: {e}"));
+    let epochs = stats.tail_records;
     assert!(epochs <= 4, "seed {seed}");
     assert_eq!(
         replayed.epoch(),
@@ -488,9 +489,9 @@ fn concurrent_poison_heal_replays_serially() {
         let digest = service.state_digest();
         drop(service);
 
-        let (replayed, epochs) = SchedService::replay(set, config.clone(), policy.clone(), &path)
+        let (replayed, stats) = SchedService::replay(set, config.clone(), policy.clone(), &path)
             .unwrap_or_else(|e| panic!("round {round}: journal does not replay: {e}"));
-        assert_eq!(epochs, 4, "round {round}");
+        assert_eq!(stats.tail_records, 4, "round {round}");
         assert_eq!(replayed.state_digest(), digest, "round {round}");
         let _ = std::fs::remove_file(&path);
     }
@@ -714,9 +715,9 @@ fn contention_session(seed: u64, threads: usize, batches: usize) {
     }
 
     // Serial replay is byte-identical.
-    let (replayed, epochs) = SchedService::replay(set, config, policy, &path)
+    let (replayed, stats) = SchedService::replay(set, config, policy, &path)
         .unwrap_or_else(|e| panic!("seed {seed}: replay failed: {e}"));
-    assert_eq!(epochs, threads * batches);
+    assert_eq!(stats.tail_records, threads * batches);
     assert_eq!(
         replayed.state_digest(),
         digest,
@@ -793,8 +794,8 @@ fn submit_async_sync_watermark_durability() {
     let contents = read_journal(&path).unwrap();
     assert_eq!(contents.epochs.len(), 4);
     let digest = service.state_digest();
-    let (replayed, epochs) = SchedService::replay(set, config, policy, &path).unwrap();
-    assert_eq!(epochs, 4);
+    let (replayed, stats) = SchedService::replay(set, config, policy, &path).unwrap();
+    assert_eq!(stats.tail_records, 4);
     assert_eq!(replayed.state_digest(), digest);
 
     // `submit` is submit_async + sync: the watermark tracks it with no

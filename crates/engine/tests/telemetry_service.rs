@@ -1,0 +1,105 @@
+//! Telemetry contracts of the service, property-tested:
+//!
+//! (a) **phase accounting** — every settled epoch's response carries
+//!     per-phase timings that are present (the epoch spent time
+//!     *somewhere*) and sum to at most the externally measured wall time
+//!     of the submit call (the phases are disjoint slices of it);
+//!
+//! (b) **snapshot coherence** — after N epochs, the non-stalling
+//!     [`SchedService::metrics`] snapshot counts exactly N settled
+//!     epochs, each phase histogram holds one sample per epoch, and the
+//!     admission/analysis layers' distributions cover the same commits.
+
+use hsched_admission::gen::{random_scenario, ChurnGen, ScenarioSpec};
+use hsched_admission::AdmissionPolicy;
+use hsched_analysis::AnalysisConfig;
+use hsched_engine::{EngineRequest, SchedService};
+use hsched_numeric::rat;
+use proptest::prelude::*;
+use std::time::Instant;
+
+fn spec_for(seed: u64) -> ScenarioSpec {
+    ScenarioSpec {
+        clusters: 2,
+        platforms_per_cluster: 2,
+        transactions: 6,
+        max_tasks_per_tx: 3,
+        load: rat(3, 5),
+        priority_levels: 3,
+        seed,
+        ..ScenarioSpec::default()
+    }
+}
+
+fn timing_invariants(seed: u64) {
+    let spec = spec_for(seed);
+    let set = random_scenario(&spec);
+    let service = SchedService::new(
+        set.clone(),
+        AnalysisConfig::default(),
+        AdmissionPolicy::default(),
+    )
+    .unwrap_or_else(|e| panic!("seed {seed}: seed analysis failed: {e}"));
+    let mut churn = ChurnGen::new(&spec, seed.wrapping_mul(0x6c62_272e).wrapping_add(11));
+
+    let epochs = 6u64;
+    for i in 0..epochs {
+        let batch = churn.next_batch(&service.current_set(), 3);
+        let started = Instant::now();
+        let response = service
+            .submit(&EngineRequest::batch(batch))
+            .unwrap_or_else(|e| panic!("seed {seed}: engine error: {e}"));
+        let wall_ns = started.elapsed().as_nanos() as u64;
+
+        // (a) timings are present and their disjoint slices fit inside
+        // the externally observed wall time of the whole submit.
+        let total = response.timings.total_ns();
+        assert!(total > 0, "seed {seed} epoch {i}: no phase time recorded");
+        assert!(
+            total <= wall_ns,
+            "seed {seed} epoch {i}: phases sum to {total}ns > wall {wall_ns}ns"
+        );
+    }
+
+    // (b) the snapshot saw every epoch, exactly once per phase histogram.
+    let snap = service.metrics();
+    assert_eq!(snap.counter("engine.epochs_settled"), epochs);
+    for phase in [
+        "engine.phase.reserve_ns",
+        "engine.phase.route_ns",
+        "engine.phase.checkout_ns",
+        "engine.phase.analyze_ns",
+        "engine.phase.settle_ns",
+    ] {
+        let hist = snap
+            .histogram(phase)
+            .unwrap_or_else(|| panic!("seed {seed}: missing {phase}"));
+        assert_eq!(hist.count(), epochs, "seed {seed}: {phase} sample count");
+    }
+    // Reservations (fast or exclusive) account for every settled epoch —
+    // contended retries only ever add on top.
+    let reservations =
+        snap.counter("engine.reserve.fast") + snap.counter("engine.reserve.exclusive_drains");
+    assert!(reservations >= epochs, "seed {seed}: reservations");
+    // The admission layer saw the seed's construction-free commits: one
+    // cone-geometry record per shard sub-commit, at least one per
+    // analyzed epoch.
+    let cones = snap.histogram("admission.cone.transactions");
+    assert!(cones.is_some(), "seed {seed}: missing cone histogram");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random churn, random seeds: phase accounting and snapshot
+    /// coherence hold for every settled epoch.
+    #[test]
+    fn phase_timings_account_for_epochs(seed in 0u64..10_000) {
+        timing_invariants(seed);
+    }
+}
+
+#[test]
+fn phase_timings_seed_zero() {
+    timing_invariants(0);
+}

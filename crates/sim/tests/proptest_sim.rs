@@ -234,13 +234,11 @@ fn timing_anomaly_exists() {
             }
         }
     }
-    let (a0, a1, w, i, j, f, s) =
-        found.expect("no timing anomaly found in the search family — the scheduler changed?");
-    // Sanity-print the witness so the anomaly is reproducible from the log.
-    eprintln!(
-        "anomaly witness: α = (0.{a0}, 0.{a1}), chain head wcet {w}/10 → \
-         τ{},{} slower on dedicated CPUs: {f} > {s}",
-        i + 1,
-        j + 1
+    // The witness rides in the failure message so a passing run stays
+    // silent and a failing one is reproducible from the log.
+    assert!(
+        found.is_some(),
+        "no timing anomaly found in the search family — the scheduler changed? \
+         (expected some α pair and chain-head wcet whose dedicated-CPU run is slower)"
     );
 }

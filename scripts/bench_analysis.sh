@@ -9,4 +9,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Run metadata for the JSON's "meta" block (the binary takes no VCS or
+# clock dependency of its own).
+export HSCHED_BENCH_COMMIT="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+export HSCHED_BENCH_DATE="$(date -u +%Y-%m-%d)"
+
 cargo run --release --quiet --locked -p hsched-bench --bin analysis_perf BENCH_analysis.json

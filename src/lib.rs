@@ -75,6 +75,7 @@ pub use hsched_platform as platform;
 pub use hsched_sim as sim;
 pub use hsched_spec as spec;
 pub use hsched_supply as supply;
+pub use hsched_telemetry as telemetry;
 pub use hsched_transaction as transaction;
 
 /// The most commonly used items in one import.
