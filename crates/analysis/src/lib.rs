@@ -47,6 +47,8 @@
 //! assert_eq!(report.response(0, 3), rat(31, 1));
 //! ```
 
+#![warn(missing_docs)]
+
 mod cache;
 pub mod classic;
 mod holistic;

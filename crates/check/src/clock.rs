@@ -1,0 +1,36 @@
+//! Vector clocks for happens-before tracking.
+
+/// A vector clock: one logical-time component per model thread,
+/// grow-on-demand (absent components are zero).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct VClock(Vec<u64>);
+
+impl VClock {
+    /// Advances this thread's own component.
+    pub(crate) fn tick(&mut self, thread: usize) {
+        if self.0.len() <= thread {
+            self.0.resize(thread + 1, 0);
+        }
+        self.0[thread] += 1;
+    }
+
+    /// Component-wise maximum: afterwards `self` dominates both inputs.
+    pub(crate) fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (slot, &v) in self.0.iter_mut().zip(other.0.iter()) {
+            *slot = (*slot).max(v);
+        }
+    }
+
+    /// `self ≤ other` component-wise: everything this clock has seen,
+    /// `other` has seen too — i.e. `self` happens-before (or equals)
+    /// `other`.
+    pub(crate) fn le(&self, other: &VClock) -> bool {
+        self.0
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| v <= other.0.get(i).copied().unwrap_or(0))
+    }
+}

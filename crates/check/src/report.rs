@@ -1,0 +1,148 @@
+//! Validator findings: everything the checker can hold against an
+//! execution, each carrying the replayable schedule that produced it.
+
+use std::fmt;
+
+/// One validator finding from an explored execution.
+///
+/// Every variant carries the schedule string of the execution that
+/// produced it; feeding that string to [`crate::replay`] reproduces the
+/// exact interleaving (and therefore the exact report) deterministically.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Report {
+    /// A lock acquisition that inverts the documented partial order: the
+    /// thread already held a lock ranked *after* the one it is acquiring,
+    /// closing a cycle in the wait-for graph that the order exists to
+    /// forbid. Both lock classes are named.
+    LockOrder {
+        /// Model thread id of the offender.
+        thread: usize,
+        /// Display form of the class being acquired (name + rank).
+        acquired: String,
+        /// Display form of the already-held class that outranks it.
+        held: String,
+        /// Replayable schedule of the offending execution.
+        schedule: String,
+    },
+    /// A condition-variable wait entered while holding a lock other than
+    /// the mutex being waited on — a sleeping thread would block every
+    /// other thread's acquisition path.
+    CondvarHold {
+        /// Model thread id of the offender.
+        thread: usize,
+        /// Class of the mutex released by the wait.
+        waited: String,
+        /// Classes of the *other* locks still held across the sleep.
+        also_held: Vec<String>,
+        /// Replayable schedule of the offending execution.
+        schedule: String,
+    },
+    /// A data race on an atomic cell: the load observed a store that is
+    /// neither happens-before ordered with it (via lock or spawn/join
+    /// edges) nor synchronized by a Release-store/Acquire-load pair.
+    /// Execution itself is sequentially consistent, so this flags any
+    /// ordering *weakened below the documented contract* rather than
+    /// simulating reordering.
+    Race {
+        /// Name of the atomic cell (as given to the shim constructor).
+        cell: String,
+        /// Thread that performed the unsynchronized store.
+        writer: usize,
+        /// Memory ordering the store used.
+        writer_ord: String,
+        /// Thread whose load observed it without synchronization.
+        reader: usize,
+        /// Memory ordering the load used.
+        reader_ord: String,
+        /// Replayable schedule of the offending execution.
+        schedule: String,
+    },
+    /// No thread is runnable but some are blocked — a deadlock or a lost
+    /// wakeup (a `notify_one` that fired before the waiter slept is gone
+    /// forever, exactly like the real primitive).
+    Deadlock {
+        /// One human-readable line per blocked thread ("thread 1 blocked
+        /// on lock `core`").
+        blocked: Vec<String>,
+        /// Replayable schedule of the offending execution.
+        schedule: String,
+    },
+    /// A model thread panicked (an assertion inside the code under test,
+    /// not a checker abort).
+    Panic {
+        /// Model thread id that panicked.
+        thread: usize,
+        /// The panic payload, stringified.
+        message: String,
+        /// Replayable schedule of the offending execution.
+        schedule: String,
+    },
+}
+
+impl Report {
+    /// The replayable schedule string of the execution that produced this
+    /// finding.
+    pub fn schedule(&self) -> &str {
+        match self {
+            Report::LockOrder { schedule, .. }
+            | Report::CondvarHold { schedule, .. }
+            | Report::Race { schedule, .. }
+            | Report::Deadlock { schedule, .. }
+            | Report::Panic { schedule, .. } => schedule,
+        }
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Report::LockOrder {
+                thread,
+                acquired,
+                held,
+                schedule,
+            } => write!(
+                f,
+                "lock-order cycle: thread {thread} acquires {acquired} while holding {held}; \
+                 the documented order requires {acquired} before {held} [schedule {schedule}]"
+            ),
+            Report::CondvarHold {
+                thread,
+                waited,
+                also_held,
+                schedule,
+            } => write!(
+                f,
+                "condvar wait on {waited} by thread {thread} while still holding [{}] \
+                 [schedule {schedule}]",
+                also_held.join(", ")
+            ),
+            Report::Race {
+                cell,
+                writer,
+                writer_ord,
+                reader,
+                reader_ord,
+                schedule,
+            } => write!(
+                f,
+                "data race on `{cell}`: thread {reader} load ({reader_ord}) observes thread \
+                 {writer} store ({writer_ord}) with no happens-before edge and no \
+                 release/acquire pair [schedule {schedule}]"
+            ),
+            Report::Deadlock { blocked, schedule } => write!(
+                f,
+                "deadlock / lost wakeup: no runnable thread; {} [schedule {schedule}]",
+                blocked.join("; ")
+            ),
+            Report::Panic {
+                thread,
+                message,
+                schedule,
+            } => write!(
+                f,
+                "thread {thread} panicked: {message} [schedule {schedule}]"
+            ),
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Scoped threads under the model: [`scope`] mirrors
+//! `std::thread::scope`, but threads spawned inside an exploration
+//! become model threads — registered with the scheduler, started on
+//! their first turn, and joined through the model so the explorer can
+//! interleave the join itself.
+
+use crate::sched::{current, payload_message, set_current, Abort, Execution};
+use std::cell::RefCell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// A scope handle mirroring `std::thread::Scope`. Outside an exploration
+/// it is a passthrough; inside, every spawn registers a model thread.
+pub struct Scope<'scope, 'env: 'scope> {
+    std: &'scope std::thread::Scope<'scope, 'env>,
+    model: Option<ScopeModel>,
+}
+
+struct ScopeModel {
+    exec: Arc<Execution>,
+    parent: usize,
+    children: RefCell<Vec<usize>>,
+}
+
+/// Handle to a spawned thread; joining waits through the model when the
+/// thread is a model thread.
+pub struct JoinHandle<'scope, T> {
+    std: std::thread::ScopedJoinHandle<'scope, Option<T>>,
+    model: Option<(Arc<Execution>, usize)>,
+}
+
+impl<T> JoinHandle<'_, T> {
+    /// Waits for the thread to finish and returns its result. A model
+    /// thread that panicked yields `Err` with the panic already recorded
+    /// as a [`crate::Report::Panic`].
+    pub fn join(self) -> std::thread::Result<T> {
+        if let (Some((exec, child)), Some((_, me))) = (&self.model, current()) {
+            exec.join_thread(me, *child);
+        }
+        match self.std.join() {
+            Ok(Some(value)) => Ok(value),
+            Ok(None) => Err(Box::new("model thread panicked".to_string())),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a thread inside the scope (a scheduler yield point under
+    /// the model: the explorer decides whether child or parent runs
+    /// first).
+    pub fn spawn<F, T>(&self, f: F) -> JoinHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        match &self.model {
+            None => JoinHandle {
+                std: self.std.spawn(move || Some(f())),
+                model: None,
+            },
+            Some(m) => {
+                let id = m.exec.register_thread(m.parent);
+                m.children.borrow_mut().push(id);
+                let exec = m.exec.clone();
+                let handle = self.std.spawn(move || {
+                    set_current(Some((exec.clone(), id)));
+                    exec.thread_started(id);
+                    let result = panic::catch_unwind(AssertUnwindSafe(f));
+                    let value = match result {
+                        Ok(v) => Some(v),
+                        Err(payload) => {
+                            if payload.downcast_ref::<Abort>().is_none() {
+                                exec.record_thread_panic(id, payload_message(payload.as_ref()));
+                            }
+                            None
+                        }
+                    };
+                    exec.thread_finished(id);
+                    set_current(None);
+                    value
+                });
+                // Only now that the OS thread exists can the explorer
+                // hand it the token.
+                m.exec.yield_now(m.parent);
+                JoinHandle {
+                    std: handle,
+                    model: Some((m.exec.clone(), id)),
+                }
+            }
+        }
+    }
+}
+
+/// Mirror of `std::thread::scope`: all threads spawned through the
+/// passed [`Scope`] are joined (through the model, inside an
+/// exploration) before the call returns.
+pub fn scope<'env, F, T>(f: F) -> T
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> T,
+{
+    let model = current();
+    std::thread::scope(|s| {
+        let scope = Scope {
+            std: s,
+            model: model.map(|(exec, parent)| ScopeModel {
+                exec,
+                parent,
+                children: RefCell::new(Vec::new()),
+            }),
+        };
+        match panic::catch_unwind(AssertUnwindSafe(|| f(&scope))) {
+            Ok(result) => {
+                // Implicit joins: the scope only returns once every model
+                // child has finished (explored as schedule points).
+                if let Some(m) = &scope.model {
+                    let children = m.children.borrow().clone();
+                    for child in children {
+                        m.exec.join_thread(m.parent, child);
+                    }
+                }
+                result
+            }
+            Err(payload) => {
+                // The scope body panicked with model children possibly
+                // still parked; abort the execution so they unwind
+                // instead of hanging the underlying std scope join.
+                if let Some(m) = &scope.model {
+                    m.exec.abort_execution();
+                }
+                panic::resume_unwind(payload);
+            }
+        }
+    })
+}

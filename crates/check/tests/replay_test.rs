@@ -1,0 +1,83 @@
+//! Schedule replay determinism: a recorded failing schedule seed must
+//! reproduce the same interleaving — and therefore the byte-identical
+//! validator report — every time it is replayed.
+
+use hsched_check::sync::Mutex;
+use hsched_check::{explore, replay, thread, Config, LockClass, Report};
+
+/// A scenario with a deliberate lock-order inversion whose report only
+/// fires on schedules that interleave the two threads a particular way.
+fn inverted_order_scenario() {
+    let outer = Mutex::with_class(LockClass::ranked("outer", 1, 0), 0u32);
+    let inner = Mutex::with_class(LockClass::ranked("inner", 2, 0), 0u32);
+    thread::scope(|s| {
+        s.spawn(|| {
+            let _a = outer.lock().unwrap();
+            let _b = inner.lock().unwrap();
+        });
+        let _b = inner.lock().unwrap();
+        let _a = outer.lock().unwrap();
+    });
+}
+
+#[test]
+fn recorded_failing_schedule_replays_identically_twice() {
+    let stats = explore(&Config::default(), inverted_order_scenario);
+    let seed = stats
+        .failing_schedule
+        .clone()
+        .expect("the inverted scenario must fail somewhere");
+    let first_report = stats.reports.first().cloned().expect("at least one report");
+
+    let replay_a = replay(&seed, inverted_order_scenario);
+    let replay_b = replay(&seed, inverted_order_scenario);
+
+    // Same interleaving: the replays agree with each other...
+    assert_eq!(
+        replay_a.reports, replay_b.reports,
+        "two replays of one seed diverged"
+    );
+    assert_eq!(replay_a.failing_schedule, replay_b.failing_schedule);
+    // ...and with the original discovery, including the embedded
+    // schedule string.
+    assert_eq!(
+        replay_a.reports.first(),
+        Some(&first_report),
+        "replay must reproduce the originally recorded report"
+    );
+    assert_eq!(replay_a.failing_schedule.as_deref(), Some(seed.as_str()));
+}
+
+#[test]
+fn clean_schedule_replays_clean() {
+    let ok_scenario = || {
+        let cell = Mutex::new(0u32);
+        thread::scope(|s| {
+            s.spawn(|| *cell.lock().unwrap() += 1);
+            *cell.lock().unwrap() += 1;
+        });
+    };
+    let stats = explore(&Config::default(), ok_scenario);
+    assert!(stats.exhausted && stats.reports.is_empty());
+    // Replaying the serial schedule of a clean scenario stays clean.
+    let replayed = replay("b2:-", ok_scenario);
+    assert!(replayed.reports.is_empty(), "{replayed:?}");
+}
+
+#[test]
+fn schedule_strings_report_the_failing_seed() {
+    let stats = explore(&Config::default(), inverted_order_scenario);
+    for report in &stats.reports {
+        match report {
+            Report::LockOrder { schedule, .. } => {
+                // Every report carries a parseable seed.
+                let replayed = replay(schedule, inverted_order_scenario);
+                assert!(
+                    replayed.reports.iter().any(|r| r == report),
+                    "seed {schedule} did not reproduce its report"
+                );
+            }
+            other => panic!("unexpected report kind: {other}"),
+        }
+    }
+}

@@ -592,7 +592,7 @@ bind Integrator.readSensor2 -> Sensor2.read;
                 self
             }
             pub fn tempfile(self) -> std::io::Result<NamedFile> {
-                let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+                let n = COUNTER.fetch_add(1, Ordering::SeqCst);
                 let path = std::env::temp_dir().join(format!(
                     "hsched-cli-test-{}-{n}{}",
                     std::process::id(),

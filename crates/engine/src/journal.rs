@@ -51,6 +51,7 @@
 
 use crate::envelope::EngineError;
 use crate::snapshot::Snapshot;
+use crate::sync::Arc;
 use hsched_admission::AdmissionRequest;
 use hsched_model::SystemBuilder;
 use hsched_numeric::Rational;
@@ -58,7 +59,6 @@ use hsched_platform::{PlatformId, PlatformSet};
 use hsched_transaction::{Task, TaskKind, Transaction};
 use std::io::{BufRead as _, Write as _};
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
 
 /// Header magic of journal schema v1 (still readable).
 const MAGIC_V1: &str = "hsched-journal v1";

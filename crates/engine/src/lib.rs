@@ -101,6 +101,7 @@ mod routing;
 mod service;
 mod snapshot;
 mod stripes;
+mod sync;
 
 pub use envelope::{
     EngineError, EngineOp, EngineRequest, EngineResponse, EpochTicket, EpochTimings, TxnId,

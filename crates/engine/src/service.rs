@@ -112,6 +112,11 @@ use crate::snapshot::{self, Snapshot};
 use crate::stripes::{
     name_stripe, platform_stripe, FastView, NameStripe, PlatStripe, STRIPE_COUNT,
 };
+use crate::sync::{
+    condvar, core_lock, counter_cell, flag_cell, gate_lock, name_stripe_lock, plat_stripe_lock,
+    scratch_lock, slot_cell_lock, slot_table_lock, Arc, AtomicBool, AtomicU64, Condvar, Mutex,
+    MutexGuard, Ordering, RwLock, RwLockWriteGuard,
+};
 use hsched_admission::{
     AdmissionController, AdmissionMetrics, AdmissionPolicy, AdmissionRequest, ControllerStats,
     EpochOutcome, RejectReason, Verdict,
@@ -124,8 +129,6 @@ use hsched_telemetry::{elapsed_ns, MetricsSnapshot};
 use hsched_transaction::TransactionSet;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock, RwLockWriteGuard};
 use std::time::Instant;
 
 /// One island-group shard: a full admission controller over the shard's
@@ -414,6 +417,11 @@ pub struct SchedService {
     /// The shared analysis-layer sink (every shard's `AnalysisConfig`
     /// carries it).
     analysis_metrics: Arc<AnalysisMetrics>,
+    /// Model-checking fault hook: when set, the next journal `sync_data`
+    /// reports an injected I/O error instead of running, so the model
+    /// suite can explore poison propagation to every group-commit waiter.
+    #[cfg(hsched_model)]
+    fail_next_sync: AtomicBool,
 }
 
 /// Compile-time audit: the whole service must be shareable across client
@@ -510,31 +518,33 @@ impl SchedService {
         };
         let service = SchedService {
             names: (0..STRIPE_COUNT)
-                .map(|_| Mutex::new(NameStripe::default()))
+                .map(|i| name_stripe_lock(i, NameStripe::default()))
                 .collect(),
             plats: (0..STRIPE_COUNT)
-                .map(|_| Mutex::new(PlatStripe::default()))
+                .map(|i| plat_stripe_lock(i, PlatStripe::default()))
                 .collect(),
-            slots: RwLock::new(Vec::new()),
-            issued: AtomicU64::new(0),
-            platforms_version: AtomicU64::new(0),
-            poison_present: AtomicBool::new(poison_present),
+            slots: slot_table_lock(Vec::new()),
+            issued: counter_cell("issued", 0),
+            platforms_version: counter_cell("platforms_version", 0),
+            poison_present: flag_cell("poison_present", poison_present),
             platform_count,
             max_inflight: default_max_inflight(),
             island_threads,
-            core: Mutex::new(core),
-            gate: Mutex::new(Gate {
+            core: core_lock(core),
+            gate: gate_lock(Gate {
                 settled: 0,
                 writers_waiting: 0,
                 generation: 0,
             }),
-            turn: Condvar::new(),
-            capacity: Condvar::new(),
-            conflict: Condvar::new(),
-            synced_cv: Condvar::new(),
+            turn: condvar("turn"),
+            capacity: condvar("capacity"),
+            conflict: condvar("conflict"),
+            synced_cv: condvar("synced_cv"),
             metrics: Arc::new(EngineMetrics::new()),
             admission_metrics,
             analysis_metrics,
+            #[cfg(hsched_model)]
+            fail_next_sync: flag_cell("fail_next_sync", false),
         };
         {
             let mut world = service.world();
@@ -552,7 +562,8 @@ impl SchedService {
                 if !shard.schedulable {
                     world.core.unsched.insert(slot, shard.core.misses());
                 }
-                world.slots.push(Mutex::new(Slot::Idle(shard)));
+                let index = world.slots.len();
+                world.slots.push(slot_cell_lock(index, Slot::Idle(shard)));
             }
         }
         Ok(service)
@@ -772,6 +783,13 @@ impl SchedService {
             let file = core.journal.as_ref().expect("checked above").sync_handle();
             drop(core);
             let fsync_started = Instant::now();
+            #[cfg(hsched_model)]
+            let outcome = if self.fail_next_sync.swap(false, Ordering::AcqRel) {
+                Err(std::io::Error::other("injected sync failure"))
+            } else {
+                file.sync_data()
+            };
+            #[cfg(not(hsched_model))]
             let outcome = file.sync_data();
             self.metrics.fsync_ns.record(elapsed_ns(fsync_started));
             core = self.lock_core();
@@ -790,6 +808,14 @@ impl SchedService {
                 }
             }
         }
+    }
+
+    /// Arms the model-checking fault hook: the next journal sync reports
+    /// an injected I/O error instead of touching the file, poisoning the
+    /// journal exactly like a real `fsync` failure.
+    #[cfg(hsched_model)]
+    pub fn fail_next_sync(&self) {
+        self.fail_next_sync.store(true, Ordering::Release);
     }
 
     /// The last epoch ticket known durable on disk (0 before any sync; the
@@ -1648,8 +1674,9 @@ impl World<'_> {
                 slot
             }
             None => {
-                self.slots.push(Mutex::new(Slot::Idle(shard)));
-                self.slots.len() - 1
+                let index = self.slots.len();
+                self.slots.push(slot_cell_lock(index, Slot::Idle(shard)));
+                index
             }
         }
     }
@@ -1755,8 +1782,9 @@ impl World<'_> {
                 let part_slot = match vacant {
                     Some(vacant) => vacant,
                     None => {
-                        self.slots.push(Mutex::new(Slot::Vacant));
-                        self.slots.len() - 1
+                        let index = self.slots.len();
+                        self.slots.push(slot_cell_lock(index, Slot::Vacant));
+                        index
                     }
                 };
                 self.index_shard(part_slot, &part);
@@ -2425,7 +2453,7 @@ fn run_groups(
         .map(|(group, shard)| {
             let sub: Vec<AdmissionRequest> =
                 group.requests.iter().map(|&i| batch[i].clone()).collect();
-            (Mutex::new(Some(shard)), sub)
+            (scratch_lock(Some(shard)), sub)
         })
         .collect();
     let outcomes: Vec<EpochOutcome> = parallel_map(&jobs, threads, |(cell, sub)| {

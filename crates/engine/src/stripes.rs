@@ -13,10 +13,10 @@
 
 use crate::digest::fnv1a_64;
 use crate::routing::RouteView;
+use crate::sync::MutexGuard;
 use hsched_model::ComponentClass;
 use hsched_platform::PlatformId;
 use std::collections::{HashMap, HashSet};
-use std::sync::MutexGuard;
 
 /// Number of independent stripes per table. A small power of two: enough
 /// that unrelated client batches almost never share a stripe, small enough

@@ -726,8 +726,18 @@ fn contention_session(seed: u64, threads: usize, batches: usize) {
     let _ = std::fs::remove_file(&path);
 }
 
+/// Contention-case count, env-tunable so CI can dial the stress level
+/// (e.g. a nightly with `HSCHED_PROPTEST_CASES=200`) without editing
+/// the test. Defaults to the tier-1 budget of 10.
+fn contention_cases() -> u32 {
+    std::env::var("HSCHED_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10)
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(10))]
+    #![proptest_config(ProptestConfig::with_cases(contention_cases()))]
 
     /// 4 threads × 6 epochs over one shared name pool, random seeds.
     #[test]

@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# Concurrency-hygiene lint, run in CI next to fmt/clippy:
+#
+#   1. Engine sources must name their sync primitives through the
+#      facade (`crates/engine/src/sync.rs`) — any other engine source
+#      mentioning `std::sync` bypasses the model checker's shims and
+#      silently removes that primitive from `--cfg hsched_model`
+#      coverage.
+#
+#   2. `Ordering::Relaxed` is reserved for the telemetry crate (pure
+#      monotonic counters, snapshot skew is documented there). Anywhere
+#      else a relaxed op is either a publication bug in waiting or an
+#      undocumented contract — use an explicit stronger ordering, and
+#      let the model suite's happens-before checker earn the weakening.
+#
+# `--self-test` copies the tree, seeds one violation of each rule, and
+# asserts the lint catches both — so a silently broken grep cannot pass
+# CI while letting real violations through.
+
+set -euo pipefail
+
+root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+check_tree() {
+    local tree="$1"
+    local status=0
+    local hits
+
+    hits=$(grep -rn 'std::sync' "$tree/crates/engine/src" --include='*.rs' \
+        | grep -v 'src/sync\.rs:' || true)
+    if [[ -n "$hits" ]]; then
+        echo "error: engine sources must use the crate::sync facade, not std::sync directly:" >&2
+        echo "$hits" >&2
+        status=1
+    fi
+
+    hits=$(grep -rn 'Ordering::Relaxed' "$tree/crates" --include='*.rs' \
+        | grep '/src/' | grep -v '/crates/telemetry/' || true)
+    if [[ -n "$hits" ]]; then
+        echo "error: Ordering::Relaxed outside crates/telemetry (document the contract or use Acquire/Release/SeqCst):" >&2
+        echo "$hits" >&2
+        status=1
+    fi
+
+    return "$status"
+}
+
+self_test() {
+    local scratch
+    scratch="$(mktemp -d)"
+    # shellcheck disable=SC2064 — expand now: $scratch is function-local.
+    trap "rm -rf '$scratch'" EXIT
+
+    mkdir -p "$scratch/crates"
+    cp -r "$root/crates/engine" "$scratch/crates/engine"
+    cp -r "$root/crates/telemetry" "$scratch/crates/telemetry"
+    mkdir -p "$scratch/crates/numeric/src"
+
+    # The clean copy must pass before seeding anything.
+    if ! check_tree "$scratch" >/dev/null 2>&1; then
+        echo "self-test: lint reports violations on a clean tree" >&2
+        return 1
+    fi
+
+    # Seed rule-1 and rule-2 violations.
+    echo 'use std::sync::Mutex; // seeded violation' >>"$scratch/crates/engine/src/service.rs"
+    echo 'fn seeded() -> u32 { X.load(core::sync::atomic::Ordering::Relaxed); 0 } // Ordering::Relaxed' \
+        >>"$scratch/crates/numeric/src/lib.rs"
+
+    local out
+    if out=$(check_tree "$scratch" 2>&1); then
+        echo "self-test: lint passed a tree with seeded violations" >&2
+        return 1
+    fi
+    if ! grep -q 'crate::sync facade' <<<"$out"; then
+        echo "self-test: seeded std::sync violation not reported" >&2
+        echo "$out" >&2
+        return 1
+    fi
+    if ! grep -q 'Ordering::Relaxed outside' <<<"$out"; then
+        echo "self-test: seeded Relaxed violation not reported" >&2
+        echo "$out" >&2
+        return 1
+    fi
+    echo "lint_concurrency self-test: ok (both seeded violations caught)"
+}
+
+if [[ "${1:-}" == "--self-test" ]]; then
+    self_test
+else
+    check_tree "$root"
+    echo "lint_concurrency: ok"
+fi
