@@ -1,0 +1,308 @@
+//! Scripted perf run for the socket front end: measures journaled epoch
+//! throughput over real loopback TCP with 8 client connections
+//! submitting disjoint-island toggle batches through
+//! `hsched_net::Client`. Writes `BENCH_net.json`. Run via
+//! `scripts/bench_net.sh` or directly:
+//!
+//! ```sh
+//! cargo run --release -p hsched-bench --bin net_perf [OUT.json]
+//! ```
+//!
+//! Two wire disciplines, one engine configuration each (journal attached
+//! — durability is part of the service contract):
+//!
+//! * **per-epoch-synced** — `submit sync` frames in lockstep: every epoch
+//!   pays a full wire round trip *and* waits inside the server for the
+//!   group commit to cover it before the response frame leaves.
+//! * **pipelined** — the whole run goes out as `submit async` frames
+//!   before the first response is read, then one `sync` frame group-
+//!   commits everything. This is the discipline `hsched admit --remote
+//!   --async` uses; the gap against lockstep is the wire formulation of
+//!   the group-commit win `BENCH_service.json` measures in-process.
+//!
+//! The system is deliberately tiny — 16 transactions over 8 two-platform
+//! clusters, one disjoint island per client — not the 3072-transaction
+//! router system: a *wire* benchmark wants the per-epoch backend work
+//! small the way `BENCH_service.json` argues for the smallest islands,
+//! only more so. On a heavyweight system both disciplines converge on
+//! the analyzer's throughput and the wire disappears from the
+//! measurement; here each epoch's fixpoint is tens of microseconds, so
+//! what separates the legs is exactly the round trips and group-commit
+//! waits the disciplines differ in.
+//!
+//! A third phase runs an in-process [`hsched_net::Follower`] over the
+//! pipelined server's replication port *after* the throughput passes (a
+//! live standby would tax the primary's cores and bias the leg it
+//! happened to run beside): the standby bootstraps the full journal from
+//! an empty mirror, then live-tails one extra unmeasured pipelined pass.
+//! The committed JSON carries the catch-up time and the replication-lag
+//! histogram (records behind the durable mark at each follower ack), and
+//! the follower's final digest is cross-checked against the primary's —
+//! the bench doubles as an end-to-end replication correctness gate.
+
+use hsched_admission::gen::random_scenario;
+use hsched_admission::gen::ScenarioSpec;
+use hsched_admission::{AdmissionPolicy, AdmissionRequest};
+use hsched_analysis::AnalysisConfig;
+use hsched_bench::router_churn::smallest_island_victims;
+use hsched_engine::{SchedService, SCHEMA_VERSION};
+use hsched_net::{
+    Client, Follower, FollowerConfig, FollowerExit, Server, ServerConfig, SubmitMode,
+};
+use hsched_transaction::Transaction;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const CLIENTS: usize = 8;
+/// Toggle epochs per client per pass (even, so the live set returns to
+/// the seed state after every pass).
+const EPOCHS_PER_CLIENT: usize = 40;
+/// Measurement passes per leg (best pass reported; both legs get the
+/// same treatment).
+const PASSES: usize = 3;
+/// Warm-up rounds per client before the measured passes.
+const WARMUP_ROUNDS: usize = 2;
+
+fn toggle(victim: &Transaction, round: usize) -> Vec<AdmissionRequest> {
+    if round % 2 == 0 {
+        vec![AdmissionRequest::RemoveTransaction {
+            name: victim.name.clone(),
+        }]
+    } else {
+        vec![AdmissionRequest::AddTransaction(victim.clone())]
+    }
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "hsched-net-perf-{}-{tag}.journal",
+        std::process::id()
+    ))
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_net.json".to_string());
+    let spec = ScenarioSpec {
+        clusters: CLIENTS,
+        platforms_per_cluster: 2,
+        transactions: 2 * CLIENTS,
+        max_tasks_per_tx: 2,
+        seed: 1,
+        ..ScenarioSpec::default()
+    };
+    let set = random_scenario(&spec);
+    let chosen = smallest_island_victims(&set, CLIENTS);
+    assert_eq!(chosen.len(), CLIENTS, "one disjoint island per client");
+    let total_epochs = CLIENTS * EPOCHS_PER_CLIENT;
+    let expected = ((WARMUP_ROUNDS + PASSES * EPOCHS_PER_CLIENT) * CLIENTS) as u64;
+
+    let start_server = |journal: &PathBuf, repl: bool| {
+        let engine = Arc::new(
+            SchedService::new(
+                set.clone(),
+                AnalysisConfig::default(),
+                AdmissionPolicy::default(),
+            )
+            .expect("seed analysis succeeds")
+            .with_journal(journal)
+            .expect("journal attaches"),
+        );
+        let handle = Server::start(
+            engine.clone(),
+            ServerConfig {
+                service_addr: "127.0.0.1:0".to_string(),
+                repl_addr: repl.then(|| "127.0.0.1:0".to_string()),
+                journal_path: Some(journal.clone()),
+                heartbeat_interval: Duration::from_millis(25),
+                handler: None,
+            },
+        )
+        .expect("server starts");
+        (engine, handle)
+    };
+
+    // Per-epoch-synced leg: lockstep `submit sync` round trips.
+    let synced_journal = temp_path("synced");
+    let (synced_engine, synced_handle) = start_server(&synced_journal, false);
+    let synced_addr = synced_handle.service_addr().to_string();
+    let run_synced = |rounds: usize| -> f64 {
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for victim in &chosen {
+                let addr = synced_addr.clone();
+                scope.spawn(move || {
+                    let mut client = Client::connect(&addr).expect("client connects");
+                    for round in 0..rounds {
+                        let epoch = client
+                            .submit(SubmitMode::Sync, SCHEMA_VERSION, &toggle(victim, round))
+                            .expect("wire ok");
+                        assert!(epoch.admitted, "synced epoch rejected");
+                    }
+                    client.quit().expect("clean goodbye");
+                });
+            }
+        });
+        start.elapsed().as_secs_f64()
+    };
+
+    // Pipelined leg: all `submit async` frames sent before the first
+    // response is read, one `sync` group commit per client per pass —
+    // with a live follower tailing the journal stream throughout.
+    let pipelined_journal = temp_path("pipelined");
+    let mirror_journal = temp_path("mirror");
+    let (pipelined_engine, pipelined_handle) = start_server(&pipelined_journal, true);
+    let pipelined_addr = pipelined_handle.service_addr().to_string();
+    let repl_addr = pipelined_handle.repl_addr().expect("repl listener bound");
+    let run_pipelined = |rounds: usize| -> f64 {
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for victim in &chosen {
+                let addr = pipelined_addr.clone();
+                scope.spawn(move || {
+                    let mut client = Client::connect(&addr).expect("client connects");
+                    for round in 0..rounds {
+                        client
+                            .send_submit(SubmitMode::Async, SCHEMA_VERSION, &toggle(victim, round))
+                            .expect("wire ok");
+                    }
+                    for _ in 0..rounds {
+                        let epoch = client.recv_epoch().expect("wire ok");
+                        assert!(epoch.admitted, "pipelined epoch rejected");
+                    }
+                    client.sync(None).expect("group sync ok");
+                    client.quit().expect("clean goodbye");
+                });
+            }
+        });
+        start.elapsed().as_secs_f64()
+    };
+
+    run_synced(WARMUP_ROUNDS);
+    run_pipelined(WARMUP_ROUNDS);
+    let mut synced_eps = 0f64;
+    let mut pipelined_eps = 0f64;
+    for _ in 0..PASSES {
+        synced_eps = synced_eps.max(total_epochs as f64 / run_synced(EPOCHS_PER_CLIENT));
+        pipelined_eps = pipelined_eps.max(total_epochs as f64 / run_pipelined(EPOCHS_PER_CLIENT));
+    }
+    assert_eq!(
+        synced_engine.epoch(),
+        expected,
+        "every synced epoch settled"
+    );
+    assert_eq!(
+        pipelined_engine.epoch(),
+        expected,
+        "every pipelined epoch settled"
+    );
+    assert_eq!(
+        pipelined_engine.durable_epoch(),
+        expected,
+        "the per-client group syncs covered the whole run"
+    );
+
+    // Replication phase: bootstrap a warm standby from an empty mirror
+    // (streams the whole journal so far), then live-tail one extra
+    // unmeasured pipelined pass. Runs after the throughput passes so it
+    // cannot tax them.
+    let repl_target = expected + (EPOCHS_PER_CLIENT * CLIENTS) as u64;
+    let catch_up_started = Instant::now();
+    let follower = std::thread::spawn({
+        let set = set.clone();
+        let mirror = mirror_journal.clone();
+        let primary = repl_addr.to_string();
+        move || {
+            let mut follower = Follower::new(
+                set,
+                AnalysisConfig::default(),
+                AdmissionPolicy::default(),
+                FollowerConfig {
+                    primary,
+                    journal: mirror,
+                    catch_up_to: Some(repl_target),
+                    ..FollowerConfig::default()
+                },
+            );
+            let exit = follower.run().expect("standby never diverges");
+            assert_eq!(exit, FollowerExit::CaughtUp, "standby reaches the target");
+            (
+                follower.epoch(),
+                follower.state_digest(),
+                follower.committed_bytes(),
+            )
+        }
+    });
+    run_pipelined(EPOCHS_PER_CLIENT);
+    let (standby_epoch, standby_digest, mirrored_bytes) =
+        follower.join().expect("follower thread ok");
+    let catch_up_s = catch_up_started.elapsed().as_secs_f64();
+    assert_eq!(
+        pipelined_engine.durable_epoch(),
+        repl_target,
+        "the replication pass is durable"
+    );
+    assert_eq!(standby_epoch, repl_target, "standby applied every epoch");
+    assert_eq!(
+        standby_digest.as_deref(),
+        Some(pipelined_engine.state_digest()).as_deref(),
+        "standby state is byte-identical to the primary"
+    );
+
+    // Wire + replication accounting from the server's own telemetry.
+    let mut probe = Client::connect(&pipelined_addr).expect("stats client connects");
+    let snap = probe.stats().expect("stats over the wire");
+    let _ = probe.quit();
+    let lag = snap
+        .histogram("net.repl.lag_records")
+        .expect("replication lag histogram present")
+        .clone();
+    let streamed_bytes = snap.counter("net.repl.bytes_streamed");
+    let frames_in = snap.counter("net.frames_in");
+    let bytes_in = snap.counter("net.bytes_in");
+    let bytes_out = snap.counter("net.bytes_out");
+    assert!(lag.count() > 0, "the follower acked at least once");
+    assert_eq!(
+        streamed_bytes, mirrored_bytes,
+        "the stream carried exactly the mirrored bytes"
+    );
+
+    synced_handle.stop();
+    synced_handle.join().expect("synced server drains");
+    pipelined_handle.stop();
+    pipelined_handle.join().expect("pipelined server drains");
+    drop(synced_engine);
+    let _ = std::fs::remove_file(&synced_journal);
+    let _ = std::fs::remove_file(&pipelined_journal);
+    let _ = std::fs::remove_file(&mirror_journal);
+
+    let speedup = pipelined_eps / synced_eps;
+    let meta = hsched_bench::run_meta_json();
+    let json = format!(
+        "{{\n  \"bench\": \"net_loopback_epoch_throughput\",\n  {meta},\n  \"system\": {{\"transactions\": 16, \"platforms\": 16, \"clusters\": 8, \"seed\": 1}},\n  \"workload\": \"journaled single-request toggle epochs on the {CLIENTS} smallest disjoint islands, over loopback TCP\",\n  \"clients\": {CLIENTS},\n  \"epochs_per_client\": {EPOCHS_PER_CLIENT},\n  \"unit\": \"epochs_per_second\",\n  \"per_epoch_synced_eps\": {synced_eps:.1},\n  \"pipelined_eps\": {pipelined_eps:.1},\n  \"speedup_pipelined_vs_synced\": {speedup:.2},\n  \"wire\": {{\"frames_in\": {frames_in}, \"bytes_in\": {bytes_in}, \"bytes_out\": {bytes_out}}},\n  \"replication\": {{\"mirrored_bytes\": {mirrored_bytes}, \"streamed_bytes\": {streamed_bytes}, \"catch_up_s\": {catch_up_s:.3}, \"standby_digest_match\": true, \"lag_records\": {{\"acks\": {}, \"mean\": {}, \"p95\": {}, \"max\": {}}}}}\n}}\n",
+        lag.count(),
+        lag.mean(),
+        lag.p95(),
+        lag.max()
+    );
+    std::fs::write(&out_path, &json).expect("write bench json");
+    print!("{json}");
+    println!(
+        "wrote {out_path}: per-epoch-synced {synced_eps:.0} eps vs pipelined {pipelined_eps:.0} \
+         eps ({speedup:.2}x, {total_epochs} epochs/pass, {CLIENTS} clients); replication lag \
+         mean {} record(s) over {} ack(s)",
+        lag.mean(),
+        lag.count()
+    );
+    // Regression floor: group-commit pipelining must clearly beat lockstep
+    // per-epoch sync over the wire — each lockstep epoch pays a loopback
+    // round trip plus a full group-commit wait that pipelining amortizes
+    // to one per pass. The floor sits below the fsync-cost noise band so
+    // CI flags architectural regressions, not scheduler jitter.
+    assert!(
+        speedup >= 1.3,
+        "pipelined wire discipline must clearly beat per-epoch sync (got {speedup:.2}x)"
+    );
+}

@@ -260,12 +260,24 @@ pub(crate) fn run_admission(
         });
     }
     let initial_transactions = engine.live_transactions();
+    let mut drained_early = false;
     let responses: Vec<EngineResponse> = if pipeline {
-        let tickets: Vec<_> = batches
-            .iter()
-            .map(|batch| engine.submit_async(&EngineRequest::batch(batch.clone())))
-            .collect::<Result<_, _>>()
-            .map_err(|e| e.to_string())?;
+        // A pipelined run drains on SIGINT/SIGTERM instead of dying
+        // mid-flight: stop submitting, then the final sync below still
+        // group-commits everything already settled.
+        let stop = hsched_net::signal::install();
+        let mut tickets = Vec::with_capacity(batches.len());
+        for batch in batches {
+            if stop.load(std::sync::atomic::Ordering::SeqCst) {
+                drained_early = true;
+                break;
+            }
+            tickets.push(
+                engine
+                    .submit_async(&EngineRequest::batch(batch.clone()))
+                    .map_err(|e| e.to_string())?,
+            );
+        }
         if let Some(last) = tickets.last() {
             engine.sync(last.epoch).map_err(|e| e.to_string())?;
         }
@@ -284,6 +296,9 @@ pub(crate) fn run_admission(
         w.field_str("spec", path);
         w.field_str("mode", if pipeline { "async" } else { "sync" });
         w.field_raw("durable_epoch", engine.durable_epoch());
+        if drained_early {
+            w.field_raw("drained_on_signal", true);
+        }
         w.begin_array_field("epochs");
         for response in &responses {
             let outcome = &response.outcome;
@@ -309,8 +324,10 @@ pub(crate) fn run_admission(
             }
             w.end_array();
             if let Verdict::Rejected(reason) = &outcome.verdict {
-                w.field_str("reason", reason_kind(reason))
-                    .field_str("detail", &reason.to_string());
+                let kind = reason_kind(reason);
+                w.field_str("reason", kind)
+                    .field_str("detail", &reason.to_string())
+                    .field_raw("err_code", hsched_net::reason_code(kind));
             }
             w.end_object();
         }
@@ -340,6 +357,14 @@ pub(crate) fn run_admission(
             "pipelined: {} epoch(s) committed async, one sync; durable through epoch {}",
             responses.len(),
             engine.durable_epoch()
+        );
+    }
+    if drained_early {
+        let _ = writeln!(
+            out,
+            "drained on signal: {} of {} batch(es) submitted",
+            responses.len(),
+            batches.len()
         );
     }
     let _ = writeln!(out, "{}", stats_line(&engine));

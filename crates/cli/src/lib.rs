@@ -16,6 +16,7 @@
 mod admit;
 mod compact;
 mod json;
+mod net;
 mod replay;
 mod stats;
 
@@ -41,6 +42,8 @@ pub fn run(args: &[String]) -> Result<String, String> {
         "replay" => cmd_replay(&args[1..]),
         "compact" => cmd_compact(&args[1..]),
         "stats" => cmd_stats(&args[1..]),
+        "serve" => net::run_serve(&args[1..]),
+        "follow" => net::run_follow(&args[1..]),
         "simulate" => cmd_simulate(&args[1..]),
         "optimize" => cmd_optimize(&args[1..]),
         "headroom" => cmd_headroom(&args[1..]),
@@ -65,6 +68,8 @@ COMMANDS:
     replay      rebuild an admission engine from its write-ahead journal
     compact     fold a journal's history into a snapshot block (truncates it)
     stats       run a request script, report engine telemetry only
+    serve       TCP front end: serve the engine over the wire (+ replication)
+    follow      warm standby: tail a serving primary's journal stream
     simulate    discrete-event simulation
     optimize    platform bandwidth minimization (§5 future work)
     headroom    per-task WCET sensitivity (largest schedulable scale factor)
@@ -118,6 +123,41 @@ STATS: hsched stats <SPEC.hsc> <SCRIPT> [OPTIONS]
     checkout, analyze, settle), front-door contention counters, admission
     cone geometry, and analysis-cache distributions. Histogram quantiles
     are log2-bucket ceilings. Options as for admit (minus the journal).
+
+SERVE: hsched serve <SPEC.hsc> [OPTIONS]
+    Seed (or, with an existing --journal, resume) an engine and serve it
+    over TCP — the framed protocol of docs/WIRE_PROTOCOL.md; every
+    connection pipelines epochs and shares the group commit. SIGINT or
+    SIGTERM drains gracefully: in-flight epochs settle and one final
+    sync makes everything durable. Engine flags as for admit.
+    --addr <A>          service bind address (default 127.0.0.1:7433;
+                        port 0 lets the OS pick)
+    --repl <A>          also bind a replication port streaming the
+                        journal to warm standbys (requires --journal)
+    --journal <FILE>    write-ahead journal (resumed if non-empty)
+    --heartbeat-ms <N>  replication digest-heartbeat cadence (default 500)
+    --addr-file <F>     write the bound addresses to F (for scripts)
+    --json-lines        newline-delimited JSON debug console instead of
+                        the framed protocol (script grammar in, one JSON
+                        object per line out, with typed err_code fields)
+
+FOLLOW: hsched follow <SPEC.hsc> --from <HOST:PORT> --journal <FILE>
+    Warm standby: mirror the primary's journal byte-for-byte into FILE,
+    applying records through streaming replay as they arrive and
+    cross-checking the primary's digest heartbeats. Reconnects resume
+    from the mirror's valid prefix (no re-streaming); divergence is
+    refused loudly (exit 1). Same spec as the primary!
+    --exit-on-disconnect  exit when the primary goes away instead of
+                          retrying (the default is to keep reconnecting)
+
+REMOTE: admit/stats against a serving primary
+    hsched admit <SPEC.hsc> <SCRIPT> --remote <HOST:PORT> [--async] [--json]
+    hsched stats --remote <HOST:PORT> [--json]
+    The admit script is parsed locally (same spec as the server!) and
+    submitted over the wire; --async pipelines the whole run on one
+    connection with a single group commit. Rejected epochs carry stable
+    reason codes (err_code in JSON); engine errors come back as typed
+    wire errors. --journal/--auto-compact stay server-side.
 
 SIMULATE OPTIONS:
     --horizon <T>     simulated time (default 1000)
@@ -279,6 +319,21 @@ fn cmd_admit(args: &[String]) -> Result<String, String> {
     let script = std::fs::read_to_string(script_path)
         .map_err(|e| format!("cannot read `{script_path}`: {e}"))?;
     let batches = admit::parse_script(&script, &set).map_err(|e| format!("{script_path}: {e}"))?;
+    if let Some(remote) = opt_value(args, "--remote")? {
+        // Client mode: the engine (and its journal) live in the serving
+        // primary; journal flags here would silently do nothing.
+        if opt_value(args, "--journal")?.is_some() || opt_value(args, "--auto-compact")?.is_some() {
+            return Err("--journal/--auto-compact are server-side; not valid with --remote".into());
+        }
+        return net::run_admit_remote(
+            &path,
+            remote,
+            &batches,
+            opt_flag(args, "--json"),
+            opt_flag(args, "--async"),
+            opt_flag(args, "--stats"),
+        );
+    }
     let policy = engine_policy(args)?;
     let auto_compact = match opt_value(args, "--auto-compact")? {
         Some(n) => Some(
@@ -301,6 +356,11 @@ fn cmd_admit(args: &[String]) -> Result<String, String> {
 }
 
 fn cmd_stats(args: &[String]) -> Result<String, String> {
+    // Remote mode needs neither the spec nor a script: the engine (and
+    // its workload) live in the serving primary.
+    if let Some(remote) = opt_value(args, "--remote")? {
+        return net::run_stats_remote(remote, opt_flag(args, "--json"));
+    }
     let (path, set) = load(args)?;
     // Strictly positional, exactly as `admit`.
     let Some(script_path) = args.get(1).filter(|a| !a.starts_with("--")) else {
@@ -927,8 +987,20 @@ instance I : W on S node 0;
         let _ = std::fs::remove_file(&journal);
     }
 
+    /// Serializes every test that reads or writes the process-wide
+    /// signal stop flag (`admit --async` reads it; the serve/follow
+    /// tests set and reset it), and hands it over cleared.
+    static SIGNAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn signal_lock() -> std::sync::MutexGuard<'static, ()> {
+        let guard = SIGNAL.lock().unwrap_or_else(|p| p.into_inner());
+        hsched_net::signal::reset();
+        guard
+    }
+
     #[test]
     fn admit_async_pipelines_and_replays_byte_identically() {
+        let _signal = signal_lock();
         let spec = spec_file();
         let script = script_file(
             "add probe period 60 deadline 120 task p wcet 1 bcet 0.5 prio 1 on Pi1\n\
@@ -1263,6 +1335,360 @@ instance I : W on S node 0;
     fn missing_file_is_reported() {
         let err = run(&args(&["analyze", "/nonexistent/x.hsc"])).unwrap_err();
         assert!(err.contains("cannot read"));
+    }
+
+    /// Starts `hsched serve` on a background thread and returns the
+    /// bound addresses (service, optional repl) plus the join handle for
+    /// the drain summary. The caller holds the signal lock.
+    fn spawn_serve(
+        extra: &[&str],
+        tag: &str,
+    ) -> (
+        String,
+        Option<String>,
+        std::thread::JoinHandle<Result<String, String>>,
+    ) {
+        let addr_file = std::env::temp_dir().join(format!(
+            "hsched-cli-test-addrs-{}-{tag}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&addr_file);
+        let mut serve_args = vec!["serve".to_string()];
+        serve_args.extend(extra.iter().map(|s| s.to_string()));
+        serve_args.extend([
+            "--addr".to_string(),
+            "127.0.0.1:0".to_string(),
+            "--addr-file".to_string(),
+            addr_file.to_str().unwrap().to_string(),
+        ]);
+        let handle = std::thread::spawn(move || run(&serve_args));
+        // The addr file appears once the listeners are bound.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let text = loop {
+            if let Ok(text) = std::fs::read_to_string(&addr_file) {
+                if text.contains("service ") {
+                    break text;
+                }
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "serve did not bind in time"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+        let _ = std::fs::remove_file(&addr_file);
+        let mut service = None;
+        let mut repl = None;
+        for line in text.lines() {
+            if let Some(addr) = line.strip_prefix("service ") {
+                service = Some(addr.to_string());
+            } else if let Some(addr) = line.strip_prefix("repl ") {
+                repl = Some(addr.to_string());
+            }
+        }
+        (service.expect("service address"), repl, handle)
+    }
+
+    fn grab_digest(text: &str, anchor: &str) -> String {
+        let start = text.find(anchor).unwrap_or_else(|| {
+            panic!("`{anchor}` not found in: {text}");
+        }) + anchor.len();
+        text[start..start + 16].to_string()
+    }
+
+    #[test]
+    fn serve_remote_admit_and_stats_then_drain() {
+        let _signal = signal_lock();
+        let spec = spec_file();
+        let script = script_file(
+            "add probe period 60 deadline 120 task p wcet 1 bcet 0.5 prio 1 on Pi1\n\
+             commit\n\
+             add hog period 10 deadline 10 task h wcet 9 bcet 9 prio 9 on Pi3\n\
+             commit\n\
+             remove probe\n",
+        );
+        let (addr, repl, serve) = spawn_serve(&[spec.to_str().unwrap()], "plain");
+        assert!(repl.is_none());
+
+        // Remote admit renders the same per-epoch lines as a local run.
+        let out = run(&args(&[
+            "admit",
+            spec.to_str().unwrap(),
+            script.to_str().unwrap(),
+            "--remote",
+            &addr,
+        ]))
+        .unwrap();
+        assert!(out.contains("epoch 1: admitted"), "{out}");
+        assert!(out.contains("epoch 2: rejected (overload on Pi3"), "{out}");
+        assert!(out.contains("epoch 3: admitted"), "{out}");
+        assert!(
+            out.contains("remote engine: epoch 3; state digest"),
+            "{out}"
+        );
+
+        // JSON mode: versioned envelope, rejected epochs carry the
+        // stable err_code (overload = 2), remote digest in the engine
+        // section. Pipelined over one connection with one group commit.
+        let json = run(&args(&[
+            "admit",
+            spec.to_str().unwrap(),
+            script.to_str().unwrap(),
+            "--remote",
+            &addr,
+            "--async",
+            "--json",
+        ]))
+        .unwrap();
+        assert!(json.starts_with("{\"v\":2,\"command\":\"admit\""), "{json}");
+        assert!(json.contains("\"mode\":\"async\""), "{json}");
+        assert!(json.contains("\"remote\":"), "{json}");
+        assert!(json.contains("\"reason\":\"overload\""), "{json}");
+        assert!(json.contains("\"err_code\":2"), "{json}");
+        assert!(json.contains("\"durable_epoch\":6"), "{json}");
+
+        // Remote stats: merged engine + wire telemetry, no spec needed.
+        let stats = run(&args(&["stats", "--remote", &addr])).unwrap();
+        assert!(stats.contains("engine.epochs_settled"), "{stats}");
+        assert!(stats.contains("net.frames_in"), "{stats}");
+        let stats_json = run(&args(&["stats", "--remote", &addr, "--json"])).unwrap();
+        assert!(
+            stats_json.starts_with("{\"v\":2,\"command\":\"stats\""),
+            "{stats_json}"
+        );
+        assert!(stats_json.contains("\"net.connections\":"), "{stats_json}");
+
+        // Server-side flags are rejected in client mode.
+        let err = run(&args(&[
+            "admit",
+            spec.to_str().unwrap(),
+            script.to_str().unwrap(),
+            "--remote",
+            &addr,
+            "--journal",
+            "/tmp/nope.journal",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("server-side"), "{err}");
+
+        // Signal → drain: the serve loop exits, joins every connection,
+        // and group-commits everything settled.
+        hsched_net::signal::request_stop();
+        let summary = serve.join().expect("serve thread").expect("serve ok");
+        assert!(
+            summary.contains("serve: drained; durable through epoch 6"),
+            "{summary}"
+        );
+        hsched_net::signal::reset();
+    }
+
+    #[test]
+    fn serve_repl_follow_end_to_end() {
+        let _signal = signal_lock();
+        let spec = spec_file();
+        let script = script_file(
+            "add probe period 60 deadline 120 task p wcet 1 bcet 0.5 prio 1 on Pi1\n\
+             commit\n\
+             add hog period 10 deadline 10 task h wcet 9 bcet 9 prio 9 on Pi3\n\
+             commit\n\
+             remove probe\n",
+        );
+        let journal = std::env::temp_dir().join(format!(
+            "hsched-cli-test-serve-primary-{}.journal",
+            std::process::id()
+        ));
+        let mirror = std::env::temp_dir().join(format!(
+            "hsched-cli-test-serve-mirror-{}.journal",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&journal);
+        let _ = std::fs::remove_file(&mirror);
+
+        let (addr, repl, serve) = spawn_serve(
+            &[
+                spec.to_str().unwrap(),
+                "--journal",
+                journal.to_str().unwrap(),
+                "--repl",
+                "127.0.0.1:0",
+                "--heartbeat-ms",
+                "50",
+            ],
+            "repl",
+        );
+        let repl = repl.expect("replication address");
+
+        // A warm standby tails the stream into its mirror.
+        let follow_args = args(&[
+            "follow",
+            spec.to_str().unwrap(),
+            "--from",
+            &repl,
+            "--journal",
+            mirror.to_str().unwrap(),
+        ]);
+        let follow = std::thread::spawn(move || run(&follow_args));
+
+        // Commit three epochs over the wire, pipelined.
+        let out = run(&args(&[
+            "admit",
+            spec.to_str().unwrap(),
+            script.to_str().unwrap(),
+            "--remote",
+            &addr,
+            "--async",
+        ]))
+        .unwrap();
+        assert!(out.contains("durable through epoch 3"), "{out}");
+
+        // Wait until the mirror holds the primary's whole durable
+        // prefix (the 50ms heartbeat keeps pumping group commits).
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            let primary = std::fs::metadata(&journal).map(|m| m.len()).unwrap_or(0);
+            let mirrored = std::fs::metadata(&mirror).map(|m| m.len()).unwrap_or(0);
+            if primary > 0 && mirrored == primary {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "mirror did not catch up: {mirrored}/{primary} bytes"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+
+        // One signal drains both: the primary group-commits and exits,
+        // the standby sees the stop flag and reports its final state.
+        hsched_net::signal::request_stop();
+        let summary = serve.join().expect("serve thread").expect("serve ok");
+        let standby = follow.join().expect("follow thread").expect("follow ok");
+        hsched_net::signal::reset();
+        assert!(summary.contains("durable through epoch 3"), "{summary}");
+        assert!(standby.contains("standby: epoch 3 digest "), "{standby}");
+        let primary_digest = grab_digest(&summary, "state digest ");
+        let standby_digest = grab_digest(&standby, "digest ");
+        assert_eq!(standby_digest, primary_digest, "standby diverged");
+
+        // Both journals replay to the same engine.
+        let replayed = run(&args(&[
+            "replay",
+            spec.to_str().unwrap(),
+            journal.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(replayed.contains(&primary_digest), "{replayed}");
+        let mirrored = run(&args(&[
+            "replay",
+            spec.to_str().unwrap(),
+            mirror.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(mirrored.contains(&primary_digest), "{mirrored}");
+        let _ = std::fs::remove_file(&journal);
+        let _ = std::fs::remove_file(&mirror);
+    }
+
+    #[test]
+    fn serve_json_lines_console() {
+        use std::io::{BufRead as _, Write as _};
+        let _signal = signal_lock();
+        let spec = spec_file();
+        let (addr, _, serve) = spawn_serve(&[spec.to_str().unwrap(), "--json-lines"], "jsonl");
+
+        let stream = std::net::TcpStream::connect(&addr).expect("connect");
+        let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone"));
+        let mut writer = stream;
+        fn ask(
+            writer: &mut std::net::TcpStream,
+            reader: &mut std::io::BufReader<std::net::TcpStream>,
+            text: &str,
+        ) -> String {
+            writeln!(writer, "{text}").expect("send line");
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("read reply");
+            line.trim().to_string()
+        }
+
+        // Greeting first.
+        let mut greeting = String::new();
+        reader.read_line(&mut greeting).expect("greeting");
+        assert!(greeting.contains("\"mode\":\"json-lines\""), "{greeting}");
+
+        // Queue → commit → admitted epoch.
+        let queued = ask(
+            &mut writer,
+            &mut reader,
+            "add probe period 60 deadline 120 task p wcet 1 bcet 0.5 prio 1 on Pi1",
+        );
+        assert_eq!(queued, "{\"queued\":1}");
+        let epoch = ask(&mut writer, &mut reader, "commit");
+        assert!(epoch.contains("\"epoch\":1"), "{epoch}");
+        assert!(epoch.contains("\"verdict\":\"admitted\""), "{epoch}");
+
+        // An overload commit is a *successful* epoch with a typed
+        // rejection code, not an error.
+        ask(
+            &mut writer,
+            &mut reader,
+            "add hog period 10 deadline 10 task h wcet 9 bcet 9 prio 9 on Pi3",
+        );
+        let rejected = ask(&mut writer, &mut reader, "commit");
+        assert!(rejected.contains("\"verdict\":\"rejected\""), "{rejected}");
+        assert!(rejected.contains("\"reason\":\"overload\""), "{rejected}");
+        assert!(rejected.contains("\"err_code\":2"), "{rejected}");
+
+        // A malformed line errors with the stable code and the
+        // connection survives (debug console, not the production wire).
+        let bad = ask(&mut writer, &mut reader, "warble 3 5");
+        assert!(bad.contains("\"err_code\":100"), "{bad}");
+        let digest = ask(&mut writer, &mut reader, "digest");
+        assert!(digest.contains("\"epoch\":2"), "{digest}");
+        assert!(digest.contains("\"digest\":\""), "{digest}");
+
+        writeln!(writer, "quit").expect("quit");
+        hsched_net::signal::request_stop();
+        let summary = serve.join().expect("serve thread").expect("serve ok");
+        assert!(summary.contains("serve: drained"), "{summary}");
+        hsched_net::signal::reset();
+    }
+
+    #[test]
+    fn remote_mode_errors() {
+        let spec = spec_file();
+        let script = script_file("remove nothing\n");
+        // Nothing listens on a fresh ephemeral-range port 1 (reserved);
+        // connection errors surface as CLI errors, not panics.
+        let err = run(&args(&["stats", "--remote", "127.0.0.1:1"])).unwrap_err();
+        assert!(err.contains("cannot connect"), "{err}");
+        let err = run(&args(&[
+            "admit",
+            spec.to_str().unwrap(),
+            script.to_str().unwrap(),
+            "--remote",
+            "127.0.0.1:1",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("cannot connect"), "{err}");
+        // follow without its required flags.
+        let err = run(&args(&["follow", spec.to_str().unwrap()])).unwrap_err();
+        assert!(err.contains("--from"), "{err}");
+        let err = run(&args(&[
+            "follow",
+            spec.to_str().unwrap(),
+            "--from",
+            "127.0.0.1:1",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--journal"), "{err}");
+        // serve --repl without a journal is a usage error.
+        let err = run(&args(&[
+            "serve",
+            spec.to_str().unwrap(),
+            "--repl",
+            "127.0.0.1:0",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--repl requires --journal"), "{err}");
     }
 
     #[test]

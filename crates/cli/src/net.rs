@@ -1,0 +1,531 @@
+//! The networked subcommands: `hsched serve` (TCP front end + optional
+//! journal-streaming replication), `hsched follow` (warm standby), and
+//! the `--remote` client modes of `admit` and `stats`.
+//!
+//! All wire mechanics live in the `hsched-net` crate; this module is the
+//! argument parsing, the output rendering, and the `--json-lines` debug
+//! protocol (which reuses the CLI's own script grammar and JSON writer:
+//! each inbound line is a request-script line, each reply is one JSON
+//! object on one line).
+
+use crate::json::{begin_envelope, JsonWriter};
+use crate::{engine_policy, load, opt_flag, opt_value};
+use hsched_admission::AdmissionRequest;
+use hsched_analysis::AnalysisConfig;
+use hsched_engine::{EngineRequest, EngineResponse, SchedService, SCHEMA_VERSION};
+use hsched_net::{
+    engine_code, reason_code, signal, Client, ConnCtx, Follower, FollowerConfig, FollowerExit,
+    RemoteEpoch, Server, ServerConfig, SubmitMode,
+};
+use hsched_transaction::TransactionSet;
+use std::fmt::Write as _;
+use std::io::{BufRead as _, Write as _};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Default service bind address of `hsched serve` (port 0 lets the OS
+/// pick; scripts then read it back through `--addr-file`).
+const DEFAULT_SERVICE_ADDR: &str = "127.0.0.1:7433";
+
+/// Drain-poll cadence of the serve/follow wait loops.
+const WAIT_POLL: Duration = Duration::from_millis(25);
+
+// ---------------------------------------------------------------- serve
+
+/// `hsched serve <SPEC.hsc> [OPTIONS]`: seed (or resume) a journaled
+/// engine and serve it over TCP until SIGINT/SIGTERM, then drain —
+/// in-flight epochs settle, every connection closes after its current
+/// frame, and one final group commit makes everything durable.
+pub(crate) fn run_serve(args: &[String]) -> Result<String, String> {
+    let (path, set) = load(args)?;
+    let policy = engine_policy(args)?;
+    let addr = opt_value(args, "--addr")?.unwrap_or(DEFAULT_SERVICE_ADDR);
+    let repl = opt_value(args, "--repl")?;
+    let journal = opt_value(args, "--journal")?;
+    let heartbeat_ms: u64 = match opt_value(args, "--heartbeat-ms")? {
+        Some(n) => n
+            .parse()
+            .map_err(|_| format!("bad heartbeat interval `{n}`"))?,
+        None => 500,
+    };
+    let addr_file = opt_value(args, "--addr-file")?;
+    let json_lines = opt_flag(args, "--json-lines");
+    if repl.is_some() && journal.is_none() {
+        return Err("--repl requires --journal (the streamer reads raw journal bytes)".to_string());
+    }
+
+    // A non-empty journal is a previous life of this server: resume it
+    // (replay re-attaches the journal in append mode) instead of
+    // clobbering it with a fresh seed.
+    let mut resumed = None;
+    let engine = match journal {
+        Some(journal_path) if std::fs::metadata(journal_path).is_ok_and(|m| m.len() > 0) => {
+            let (engine, stats) = SchedService::replay(
+                set,
+                AnalysisConfig::default(),
+                policy,
+                std::path::Path::new(journal_path),
+            )
+            .map_err(|e| e.to_string())?;
+            resumed = Some(stats);
+            engine
+        }
+        Some(journal_path) => SchedService::new(set, AnalysisConfig::default(), policy)
+            .map_err(|e| e.to_string())?
+            .with_journal(std::path::Path::new(journal_path))
+            .map_err(|e| e.to_string())?,
+        None => {
+            SchedService::new(set, AnalysisConfig::default(), policy).map_err(|e| e.to_string())?
+        }
+    };
+    let engine = Arc::new(engine);
+
+    let config = ServerConfig {
+        service_addr: addr.to_string(),
+        repl_addr: repl.map(str::to_string),
+        journal_path: journal.map(PathBuf::from),
+        heartbeat_interval: Duration::from_millis(heartbeat_ms),
+        handler: json_lines.then(json_lines_handler),
+    };
+    let handle = Server::start(engine.clone(), config).map_err(|e| e.to_string())?;
+
+    // The bound addresses go out *before* the blocking wait (stdout is
+    // line-buffered), so scripts and operators can connect; the returned
+    // summary renders after the drain.
+    if let Some(stats) = &resumed {
+        println!(
+            "{path}: resumed epoch {} from journal ({} tail record(s), {} byte(s))",
+            engine.epoch(),
+            stats.tail_records,
+            stats.journal_bytes
+        );
+    }
+    println!(
+        "{path}: serving{} on {}",
+        if json_lines { " json-lines" } else { "" },
+        handle.service_addr()
+    );
+    if let Some(repl_addr) = handle.repl_addr() {
+        println!("replicating on {repl_addr}");
+    }
+    if let Some(file) = addr_file {
+        let mut text = format!("service {}\n", handle.service_addr());
+        if let Some(repl_addr) = handle.repl_addr() {
+            let _ = writeln!(text, "repl {repl_addr}");
+        }
+        std::fs::write(file, text).map_err(|e| format!("cannot write `{file}`: {e}"))?;
+    }
+
+    let stop = signal::install();
+    while !stop.load(Ordering::SeqCst) {
+        std::thread::sleep(WAIT_POLL);
+    }
+    handle.stop();
+    let synced = handle.join().map_err(|e| e.to_string())?;
+    Ok(format!(
+        "serve: drained; durable through epoch {synced}; state digest {}\n",
+        engine.state_digest()
+    ))
+}
+
+// --------------------------------------------------------------- follow
+
+/// `hsched follow <SPEC.hsc> --from <HOST:PORT> --journal <FILE>`: run a
+/// warm standby that tails the primary's journal stream into a local
+/// mirror, replaying continuously. Divergence from the primary's
+/// heartbeat digest is refused loudly (exit 1).
+pub(crate) fn run_follow(args: &[String]) -> Result<String, String> {
+    let (path, set) = load(args)?;
+    let policy = engine_policy(args)?;
+    let from = opt_value(args, "--from")?.ok_or_else(|| {
+        "follow needs --from HOST:PORT (the primary's replication port)".to_string()
+    })?;
+    let journal = opt_value(args, "--journal")?
+        .ok_or_else(|| "follow needs --journal FILE (the local mirror)".to_string())?;
+    let exit_on_disconnect = opt_flag(args, "--exit-on-disconnect");
+
+    // Bridge the process-wide signal flag into the follower's own stop
+    // flag; the bridge thread dies with the follower.
+    let signal_flag = signal::install();
+    let stop = Arc::new(AtomicBool::new(false));
+    let done = Arc::new(AtomicBool::new(false));
+    {
+        let stop = stop.clone();
+        let done = done.clone();
+        std::thread::spawn(move || {
+            while !done.load(Ordering::SeqCst) {
+                if signal_flag.load(Ordering::SeqCst) {
+                    stop.store(true, Ordering::SeqCst);
+                    return;
+                }
+                std::thread::sleep(WAIT_POLL);
+            }
+        });
+    }
+
+    let config = FollowerConfig {
+        primary: from.to_string(),
+        journal: PathBuf::from(journal),
+        stop: Some(stop),
+        exit_on_disconnect,
+        ..FollowerConfig::default()
+    };
+    let mut follower = Follower::new(set, AnalysisConfig::default(), policy, config);
+    println!("{path}: following {from}; mirror {journal}");
+    let exit = follower.run();
+    done.store(true, Ordering::SeqCst);
+    match exit {
+        Ok(why) => {
+            let why = match why {
+                FollowerExit::Stopped => "stopped",
+                FollowerExit::Disconnected => "primary disconnected",
+                FollowerExit::CaughtUp => "caught up",
+            };
+            Ok(format!(
+                "standby: epoch {} digest {} ({why}; {} mirrored byte(s))\n",
+                follower.epoch(),
+                follower.state_digest().unwrap_or_else(|| "-".to_string()),
+                follower.committed_bytes()
+            ))
+        }
+        // Divergence (and any other fatal wire failure) must be loud:
+        // a standby that silently drifts is worse than none.
+        Err(e) => Err(format!("standby refused: {e}")),
+    }
+}
+
+// -------------------------------------------------------- remote client
+
+/// `hsched admit … --remote HOST:PORT`: submit the parsed script batches
+/// to a serving primary instead of a local engine. `--async` pipelines
+/// the whole run over the connection (all submits sent before the first
+/// response is awaited) and group-commits with one `sync`; a signal
+/// during the send loop drains what was already sent.
+pub(crate) fn run_admit_remote(
+    path: &str,
+    remote: &str,
+    batches: &[Vec<AdmissionRequest>],
+    json: bool,
+    pipeline: bool,
+    stats: bool,
+) -> Result<String, String> {
+    let mut client =
+        Client::connect(remote).map_err(|e| format!("cannot connect to `{remote}`: {e}"))?;
+    let mut epochs: Vec<RemoteEpoch> = Vec::new();
+    let mut durable_epoch = 0;
+    let mut drained_early = false;
+    if pipeline {
+        let stop = signal::install();
+        let mut sent = 0usize;
+        for batch in batches {
+            if stop.load(Ordering::SeqCst) {
+                drained_early = true;
+                break;
+            }
+            client
+                .send_submit(SubmitMode::Async, SCHEMA_VERSION, batch)
+                .map_err(|e| format!("remote: {e}"))?;
+            sent += 1;
+        }
+        for _ in 0..sent {
+            epochs.push(client.recv_epoch().map_err(|e| format!("remote: {e}"))?);
+        }
+        durable_epoch = client.sync(None).map_err(|e| format!("remote: {e}"))?;
+    } else {
+        for batch in batches {
+            let epoch = client
+                .submit(SubmitMode::Sync, SCHEMA_VERSION, batch)
+                .map_err(|e| format!("remote: {e}"))?;
+            durable_epoch = epoch.epoch;
+            epochs.push(epoch);
+        }
+    }
+    let (engine_epoch, digest) = client.digest().map_err(|e| format!("remote: {e}"))?;
+    let snapshot = if stats {
+        Some(client.stats().map_err(|e| format!("remote: {e}"))?)
+    } else {
+        None
+    };
+    let _ = client.quit();
+
+    if json {
+        let mut w = JsonWriter::new();
+        begin_envelope(&mut w, "admit");
+        w.field_str("spec", path)
+            .field_str("mode", if pipeline { "async" } else { "sync" })
+            .field_str("remote", remote)
+            .field_raw("durable_epoch", durable_epoch);
+        if drained_early {
+            w.field_raw("drained_on_signal", true);
+        }
+        w.begin_array_field("epochs");
+        for epoch in &epochs {
+            write_remote_epoch(&mut w, epoch);
+        }
+        w.end_array();
+        if let Some(snap) = &snapshot {
+            crate::stats::write_metrics_json(&mut w, snap);
+        }
+        w.object_field("engine")
+            .field_raw("epoch", engine_epoch)
+            .field_str("digest", &digest)
+            .end_object();
+        w.end_object();
+        return Ok(w.finish());
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{path}: {} batch(es) -> {remote}", batches.len());
+    for epoch in &epochs {
+        let _ = writeln!(out, "{epoch}");
+    }
+    if drained_early {
+        let _ = writeln!(
+            out,
+            "drained on signal: {} of {} batch(es) submitted",
+            epochs.len(),
+            batches.len()
+        );
+    }
+    if pipeline {
+        let _ = writeln!(
+            out,
+            "pipelined: {} epoch(s) committed async, one sync; durable through epoch {durable_epoch}",
+            epochs.len()
+        );
+    }
+    if let Some(snap) = &snapshot {
+        let _ = write!(out, "{}", crate::stats::render_metrics_human(snap));
+    }
+    let _ = writeln!(
+        out,
+        "remote engine: epoch {engine_epoch}; state digest {digest}"
+    );
+    Ok(out)
+}
+
+/// One epoch object of the `--remote` JSON epochs array — the same field
+/// names the local `admit --json` writes, plus the stable `err_code` on
+/// rejections.
+fn write_remote_epoch(w: &mut JsonWriter, epoch: &RemoteEpoch) {
+    w.begin_object()
+        .field_raw("epoch", epoch.epoch)
+        .field_str(
+            "verdict",
+            if epoch.admitted {
+                "admitted"
+            } else {
+                "rejected"
+            },
+        )
+        .field_raw("requests", epoch.requests)
+        .field_raw("analyzed", epoch.analyzed)
+        .field_raw("total", epoch.total)
+        .field_raw("islands", epoch.islands)
+        .field_raw("warm", epoch.warm)
+        .field_raw("shards", epoch.shards_touched);
+    w.begin_array_field("shard_set");
+    for slot in &epoch.shards {
+        w.element_raw(slot);
+    }
+    w.end_array();
+    if let Some(reason) = &epoch.reason {
+        w.field_str("reason", &reason.kind)
+            .field_str("detail", &reason.detail)
+            .field_raw("err_code", reason.code);
+    }
+    w.end_object();
+}
+
+/// `hsched stats --remote HOST:PORT [--json]`: fetch a serving primary's
+/// merged telemetry snapshot (engine + admission + analysis + wire
+/// counters) without needing the spec or a script.
+pub(crate) fn run_stats_remote(remote: &str, json: bool) -> Result<String, String> {
+    let mut client =
+        Client::connect(remote).map_err(|e| format!("cannot connect to `{remote}`: {e}"))?;
+    let snap = client.stats().map_err(|e| format!("remote: {e}"))?;
+    let _ = client.quit();
+    if json {
+        let mut w = JsonWriter::new();
+        begin_envelope(&mut w, "stats");
+        w.field_str("remote", remote);
+        crate::stats::write_metrics_json(&mut w, &snap);
+        w.end_object();
+        return Ok(w.finish());
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "remote {remote}");
+    let _ = write!(out, "{}", crate::stats::render_metrics_human(&snap));
+    Ok(out)
+}
+
+// ----------------------------------------------------------- json-lines
+
+/// The `--json-lines` debug protocol: no length prefixes, no envelope
+/// grammar — each inbound line is a request-*script* line (`add` /
+/// `remove` / `retune` accumulate, `commit` settles an epoch, `digest`
+/// and `quit` as conveniences; `#` comments and blanks are skipped), and
+/// every effective line gets exactly one JSON object back on one line.
+/// Malformed lines and engine errors answer with an `error` object
+/// carrying the stable `err_code` and the connection *survives* — this
+/// is a console for humans and netcat, not the production wire.
+fn json_lines_handler() -> hsched_net::ConnHandler {
+    Arc::new(handle_json_lines)
+}
+
+fn handle_json_lines(mut stream: TcpStream, ctx: &ConnCtx) {
+    if stream.set_read_timeout(Some(WAIT_POLL * 4)).is_err() {
+        return;
+    }
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = std::io::BufReader::new(read_half);
+    let greeting = {
+        let mut w = JsonWriter::new();
+        w.begin_object()
+            .field_raw("v", SCHEMA_VERSION)
+            .field_str("command", "serve")
+            .field_str("mode", "json-lines")
+            .end_object();
+        w.finish()
+    };
+    if stream.write_all(greeting.as_bytes()).is_err() {
+        return;
+    }
+
+    // Raw script lines queued since the last commit. Each line was
+    // already validated on receipt, so the commit-time parse only fails
+    // on cross-line conditions.
+    let mut pending: Vec<String> = Vec::new();
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => return,
+            Ok(_) => {
+                ctx.metrics.frames_in.incr();
+                ctx.metrics.bytes_in.add(line.len() as u64);
+                let text = line.split('#').next().unwrap_or("").trim().to_string();
+                line.clear();
+                if text.is_empty() {
+                    continue;
+                }
+                if text == "quit" {
+                    return;
+                }
+                let reply = json_lines_dispatch(ctx, &mut pending, &text);
+                ctx.metrics.frames_out.incr();
+                ctx.metrics.bytes_out.add(reply.len() as u64);
+                if stream.write_all(reply.as_bytes()).is_err() {
+                    return;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if ctx.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// One JSON line for one effective input line.
+fn json_lines_dispatch(ctx: &ConnCtx, pending: &mut Vec<String>, text: &str) -> String {
+    let mut w = JsonWriter::new();
+    match text {
+        "digest" => {
+            let (epoch, digest) = ctx.engine.epoch_digest();
+            w.begin_object()
+                .field_raw("epoch", epoch)
+                .field_str("digest", &digest)
+                .end_object();
+        }
+        "commit" => {
+            let source = format!("{}\ncommit\n", pending.join("\n"));
+            pending.clear();
+            match parse_batch(&source, &ctx.engine.current_set()) {
+                Ok(batch) => {
+                    match ctx.engine.submit(&EngineRequest::batch(batch)) {
+                        Ok(response) => write_json_lines_epoch(&mut w, &response),
+                        Err(e) => {
+                            ctx.metrics.malformed_rejects.incr();
+                            w.begin_object()
+                                .field_str("error", &e.to_string())
+                                .field_raw("err_code", engine_code(&e))
+                                .end_object();
+                        }
+                    };
+                }
+                Err(message) => {
+                    ctx.metrics.malformed_rejects.incr();
+                    w.begin_object()
+                        .field_str("error", &message)
+                        .field_raw("err_code", hsched_net::code::MALFORMED)
+                        .end_object();
+                }
+            }
+        }
+        request_line => {
+            // Validate eagerly (each request is one script line) so a
+            // typo errors where it was typed, not at commit.
+            match parse_batch(request_line, &ctx.engine.current_set()) {
+                Ok(_) => {
+                    pending.push(request_line.to_string());
+                    w.begin_object()
+                        .field_raw("queued", pending.len())
+                        .end_object();
+                }
+                Err(message) => {
+                    ctx.metrics.malformed_rejects.incr();
+                    w.begin_object()
+                        .field_str("error", &message)
+                        .field_raw("err_code", hsched_net::code::MALFORMED)
+                        .end_object();
+                }
+            }
+        }
+    }
+    w.finish()
+}
+
+/// Parses script source holding at most one batch.
+fn parse_batch(source: &str, set: &TransactionSet) -> Result<Vec<AdmissionRequest>, String> {
+    let mut batches = crate::admit::parse_script(source, set)?;
+    Ok(batches.pop().unwrap_or_default())
+}
+
+/// The epoch object a `commit` line answers with — same shape as the
+/// `admit --json` epochs array elements.
+fn write_json_lines_epoch(w: &mut JsonWriter, response: &EngineResponse) {
+    let outcome = &response.outcome;
+    w.begin_object()
+        .field_raw("epoch", outcome.epoch)
+        .field_str(
+            "verdict",
+            if outcome.verdict.admitted() {
+                "admitted"
+            } else {
+                "rejected"
+            },
+        )
+        .field_raw("requests", outcome.requests)
+        .field_raw("analyzed", outcome.analyzed_transactions)
+        .field_raw("total", outcome.total_transactions)
+        .field_raw("islands", outcome.islands)
+        .field_raw("warm", outcome.warm_started)
+        .field_raw("shards", response.shards_touched);
+    if let hsched_admission::Verdict::Rejected(reason) = &outcome.verdict {
+        let kind = hsched_net::reason_kind(reason);
+        w.field_str("reason", kind)
+            .field_str("detail", &reason.to_string())
+            .field_raw("err_code", reason_code(kind));
+    }
+    w.end_object();
+}

@@ -70,7 +70,10 @@ const MAGIC_V2: &str = "hsched-journal v2";
 /// written as `%XX`. Escaping all non-ASCII keeps the record free of *any*
 /// Unicode whitespace (U+00A0, U+2028, …) that `split_whitespace` would
 /// otherwise split on.
-pub(crate) fn esc(name: &str) -> String {
+///
+/// Public because the wire layer (`hsched-net`) reuses the journal's
+/// request-line grammar verbatim for its submit frames.
+pub fn esc(name: &str) -> String {
     if name.is_empty() {
         // A bare `%` marks the empty name — an empty token would shift
         // every later field of the record.
@@ -88,7 +91,7 @@ pub(crate) fn esc(name: &str) -> String {
 }
 
 /// Inverse of [`esc`] (byte-level, so multi-byte UTF-8 round-trips).
-pub(crate) fn unesc(token: &str) -> Result<String, String> {
+pub fn unesc(token: &str) -> Result<String, String> {
     if token == "%" {
         return Ok(String::new());
     }
@@ -109,8 +112,10 @@ pub(crate) fn unesc(token: &str) -> Result<String, String> {
 }
 
 /// Renders one request as journal lines (one line, plus an embedded class
-/// block for instance arrivals).
-pub(crate) fn encode_request(request: &AdmissionRequest) -> Vec<String> {
+/// block for instance arrivals). The same grammar is the payload of the
+/// wire protocol's submit frames (`docs/WIRE_PROTOCOL.md`), so remote
+/// batches and journal records share one codec.
+pub fn encode_request(request: &AdmissionRequest) -> Vec<String> {
     match request {
         AdmissionRequest::AddTransaction(tx) => {
             let mut line = format!(
@@ -194,8 +199,9 @@ pub(crate) fn next_usize<'a>(
 }
 
 /// Decodes one request starting at `line`; instance arrivals consume
-/// further class-source lines from `lines`.
-pub(crate) fn decode_request<'a>(
+/// further class-source lines from `lines`. Inverse of
+/// [`encode_request`]; shared with the wire layer's submit frames.
+pub fn decode_request<'a>(
     line: &str,
     lines: &mut impl Iterator<Item = &'a str>,
 ) -> Result<AdmissionRequest, String> {
@@ -300,6 +306,23 @@ impl LineReader {
         Ok(LineReader {
             reader: std::io::BufReader::new(file),
             offset: 0,
+            peeked: None,
+        })
+    }
+
+    /// Opens positioned at `offset` (which must sit on a record boundary —
+    /// the caller's bookkeeping, verified downstream by the epoch-sequence
+    /// check). The consumed-offset counter starts at `offset` so
+    /// `valid_prefix` stays a real file position.
+    fn open_at(path: &Path, offset: u64) -> Result<LineReader, EngineError> {
+        let mut file = std::fs::File::open(path)
+            .map_err(|e| EngineError::Journal(format!("cannot read `{}`: {e}", path.display())))?;
+        use std::io::Seek as _;
+        file.seek(std::io::SeekFrom::Start(offset))
+            .map_err(|e| EngineError::Journal(format!("journal seek failed: {e}")))?;
+        Ok(LineReader {
+            reader: std::io::BufReader::new(file),
+            offset,
             peeked: None,
         })
     }
@@ -417,6 +440,34 @@ impl JournalStream {
         })
     }
 
+    /// Re-opens a journal mid-file for tail-following: reading starts at
+    /// byte `offset` (which must be a record boundary — typically a prior
+    /// stream's [`JournalStream::valid_prefix`]) and the first record is
+    /// expected to carry epoch `next_epoch`. Skips the header entirely, so
+    /// the caller owns the platform-count sanity check; `platforms()`
+    /// reports 0 on a resumed stream.
+    ///
+    /// This is how a replication follower tails a growing journal: a
+    /// `JournalStream` must not be held open across appends (a torn final
+    /// line is consumed and discarded by the line reader), so the follower
+    /// re-opens from its last durable offset after every received chunk —
+    /// O(1) syscalls per chunk, no re-scan of the consumed prefix.
+    pub fn resume_from(
+        path: &Path,
+        offset: u64,
+        next_epoch: u64,
+    ) -> Result<JournalStream, EngineError> {
+        let lines = LineReader::open_at(path, offset)?;
+        Ok(JournalStream {
+            lines,
+            platforms: 0,
+            snapshot: None,
+            next_epoch,
+            valid_prefix: offset,
+            done: false,
+        })
+    }
+
     /// Platform count recorded at creation (sanity-checked on replay).
     pub fn platforms(&self) -> usize {
         self.platforms
@@ -437,6 +488,13 @@ impl JournalStream {
     /// WAL tail repair.
     pub fn valid_prefix(&self) -> u64 {
         self.valid_prefix
+    }
+
+    /// The epoch the next complete record must carry (records are
+    /// consecutive); a resumed stream continues from the value passed to
+    /// [`JournalStream::resume_from`].
+    pub fn next_epoch(&self) -> u64 {
+        self.next_epoch
     }
 }
 
@@ -560,6 +618,33 @@ pub fn read_journal(path: &Path) -> Result<JournalContents, EngineError> {
     })
 }
 
+/// A durability notification: the journal's first `bytes` bytes — every
+/// record of every epoch ≤ `epoch` — are known to be on disk. Published to
+/// [`JournalWriter`] subscribers after each successful group-commit fsync
+/// (and after a compaction, where `bytes` *shrinks* to the fresh
+/// header-plus-snapshot length — a replication streamer that has shipped
+/// past the new mark must reset its followers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurableMark {
+    /// Durable journal prefix in bytes.
+    pub bytes: u64,
+    /// Last epoch ticket covered by the durable prefix.
+    pub epoch: u64,
+}
+
+/// A durable-append subscriber callback (see [`JournalWriter::subscribe`]).
+pub type JournalSubscriber = Arc<dyn Fn(DurableMark) + Send + Sync>;
+
+/// Subscriber list newtype (callbacks are opaque to `Debug`).
+#[derive(Default)]
+struct Subscribers(Vec<JournalSubscriber>);
+
+impl std::fmt::Debug for Subscribers {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Subscribers({})", self.0.len())
+    }
+}
+
 /// Appending writer over a journal file.
 ///
 /// [`JournalWriter::append`] syncs before returning (the single-writer
@@ -576,6 +661,9 @@ pub struct JournalWriter {
     /// every appended record) — drives the service's size-triggered
     /// auto-compaction without a metadata syscall per epoch.
     bytes: u64,
+    /// Durable-append subscribers, notified by the owning service after
+    /// each successful group-commit fsync (never from inside a lock).
+    subscribers: Subscribers,
 }
 
 impl JournalWriter {
@@ -593,6 +681,7 @@ impl JournalWriter {
             file: Arc::new(file),
             path: path.to_path_buf(),
             bytes: header.len() as u64,
+            subscribers: Subscribers::default(),
         })
     }
 
@@ -613,6 +702,7 @@ impl JournalWriter {
             file: Arc::new(file),
             path: path.to_path_buf(),
             bytes: valid_prefix,
+            subscribers: Subscribers::default(),
         })
     }
 
@@ -648,6 +738,7 @@ impl JournalWriter {
             file: Arc::new(file),
             path: path.to_path_buf(),
             bytes: (header.len() + snapshot_block.len()) as u64,
+            subscribers: Subscribers::default(),
         })
     }
 
@@ -698,6 +789,29 @@ impl JournalWriter {
     /// A shared handle for syncing outside any engine lock (group commit).
     pub(crate) fn sync_handle(&self) -> Arc<std::fs::File> {
         Arc::clone(&self.file)
+    }
+
+    /// Registers a durable-append subscriber. The callback fires with a
+    /// [`DurableMark`] after every successful group-commit fsync (and
+    /// after a compaction rewrite, with the shrunken prefix length); it is
+    /// invoked outside every engine lock, in watermark order, from
+    /// whichever thread ran the fsync — it must not block for long, and
+    /// must tolerate marks it has already seen. This is how a replication
+    /// streamer learns of fresh durable bytes without polling the file.
+    pub fn subscribe(&mut self, subscriber: JournalSubscriber) {
+        self.subscribers.0.push(subscriber);
+    }
+
+    /// Clones the subscriber list (cheap `Arc` bumps) so the service can
+    /// invoke callbacks after dropping its core lock.
+    pub(crate) fn subscribers(&self) -> Vec<JournalSubscriber> {
+        self.subscribers.0.clone()
+    }
+
+    /// Carries subscribers over from a predecessor writer (compaction
+    /// replaces the `JournalWriter` wholesale; registrations survive).
+    pub(crate) fn adopt_subscribers(&mut self, subscribers: Vec<JournalSubscriber>) {
+        self.subscribers.0 = subscribers;
     }
 
     /// The journal file path.

@@ -107,7 +107,10 @@ pub use envelope::{
     EngineError, EngineOp, EngineRequest, EngineResponse, EpochTicket, EpochTimings, TxnId,
     MIN_SCHEMA_VERSION, SCHEMA_VERSION,
 };
-pub use journal::{read_journal, JournalContents, JournalEpoch, JournalStream, JournalWriter};
+pub use journal::{
+    decode_request, encode_request, esc, read_journal, unesc, DurableMark, JournalContents,
+    JournalEpoch, JournalStream, JournalSubscriber, JournalWriter,
+};
 pub use metrics::EngineMetrics;
 pub use router::AdmissionRouter;
 pub use service::{AutoCompactPolicy, ReplayStats, SchedService, SnapshotInfo};

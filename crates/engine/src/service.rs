@@ -105,7 +105,7 @@ use crate::envelope::{
     EngineError, EngineOp, EngineRequest, EngineResponse, EpochTicket, EpochTimings, TxnId,
     MIN_SCHEMA_VERSION, SCHEMA_VERSION,
 };
-use crate::journal::{JournalStream, JournalWriter};
+use crate::journal::{DurableMark, JournalEpoch, JournalStream, JournalSubscriber, JournalWriter};
 use crate::metrics::EngineMetrics;
 use crate::routing::{plan_groups, route, Group, RouteOutcome};
 use crate::snapshot::{self, Snapshot};
@@ -211,6 +211,13 @@ pub(crate) struct Core {
     pub(crate) journal: Option<JournalWriter>,
     /// Last ticket whose record is known durable (group commit).
     synced: u64,
+    /// Byte length of the durable journal prefix — advanced by group
+    /// commit, reset by attach/compaction. Paired with `synced`, this is
+    /// the replication streamer's high-water mark: the first
+    /// `durable_bytes` bytes of the journal file hold exactly the records
+    /// of epochs ≤ `synced` (appends happen under the world lock, so the
+    /// pair captured under the core lock is consistent).
+    durable_bytes: u64,
     /// A thread is currently running `sync_data` outside the lock.
     syncing: bool,
     /// Sticky journal-sync failure: once a group-commit fsync fails, no
@@ -506,6 +513,7 @@ impl SchedService {
             shard_policy,
             journal: None,
             synced: 0,
+            durable_bytes: 0,
             syncing: false,
             sync_error: None,
             platforms_version: 0,
@@ -586,7 +594,9 @@ impl SchedService {
     pub fn with_journal(self, path: &Path) -> Result<SchedService, EngineError> {
         {
             let mut core = self.lock_core();
-            core.journal = Some(JournalWriter::create(path, core.platforms.len())?);
+            let journal = JournalWriter::create(path, core.platforms.len())?;
+            core.durable_bytes = journal.bytes_written();
+            core.journal = Some(journal);
             core.synced = core.settled;
         }
         Ok(self)
@@ -631,6 +641,33 @@ impl SchedService {
         policy: AdmissionPolicy,
         path: &Path,
     ) -> Result<(SchedService, ReplayStats), EngineError> {
+        Self::replay_inner(set, config, policy, path, true)
+    }
+
+    /// [`SchedService::replay`] for a **warm standby**: rebuilds the same
+    /// byte-identical state but does *not* repair or re-attach the journal
+    /// — the file stays read-only and untouched. A replication follower
+    /// uses this to seed its standby from the locally mirrored journal
+    /// while a separate thread keeps appending raw streamed bytes to the
+    /// same file; attaching a writer here would double-write every record
+    /// the standby later applies through
+    /// [`SchedService::apply_journal_record`].
+    pub fn replay_standby(
+        set: TransactionSet,
+        config: AnalysisConfig,
+        policy: AdmissionPolicy,
+        path: &Path,
+    ) -> Result<(SchedService, ReplayStats), EngineError> {
+        Self::replay_inner(set, config, policy, path, false)
+    }
+
+    fn replay_inner(
+        set: TransactionSet,
+        config: AnalysisConfig,
+        policy: AdmissionPolicy,
+        path: &Path,
+        attach: bool,
+    ) -> Result<(SchedService, ReplayStats), EngineError> {
         let file_bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
         let mut stream = JournalStream::open(path)?;
         if stream.platforms() != set.platforms().len() {
@@ -648,32 +685,15 @@ impl SchedService {
         };
         let mut replayed = 0usize;
         for record in &mut stream {
-            let record = record?;
-            let response = service.commit_named(record.batch.clone())?;
-            if response.epoch != record.epoch {
-                return Err(EngineError::Replay(format!(
-                    "epoch numbering diverged: journal {}, engine {}",
-                    record.epoch, response.epoch
-                )));
-            }
-            if response.outcome.verdict.admitted() != record.admitted {
-                return Err(EngineError::Replay(format!(
-                    "epoch {}: journal records {}, replay produced {}",
-                    record.epoch,
-                    if record.admitted {
-                        "admitted"
-                    } else {
-                        "rejected"
-                    },
-                    response.outcome.verdict,
-                )));
-            }
+            service.apply_journal_record(&record?)?;
             replayed += 1;
         }
         let valid = stream.valid_prefix();
-        {
+        if attach {
             let mut core = service.lock_core();
-            core.journal = Some(JournalWriter::recover(path, valid)?);
+            let journal = JournalWriter::recover(path, valid)?;
+            core.durable_bytes = journal.bytes_written();
+            core.journal = Some(journal);
             core.synced = core.settled;
         }
         Ok((
@@ -685,6 +705,35 @@ impl SchedService {
                 repaired_bytes: file_bytes.saturating_sub(valid),
             },
         ))
+    }
+
+    /// Applies one journal record to this engine exactly as replay would:
+    /// the batch commits as the next epoch, and both the epoch number and
+    /// the verdict are cross-checked against what the record claims —
+    /// divergence is an [`EngineError::Replay`], the loud refusal a
+    /// replication follower owes its operator. With no journal attached
+    /// (the standby configuration) the record is applied in memory only.
+    pub fn apply_journal_record(&self, record: &JournalEpoch) -> Result<(), EngineError> {
+        let response = self.commit_named(record.batch.clone())?;
+        if response.epoch != record.epoch {
+            return Err(EngineError::Replay(format!(
+                "epoch numbering diverged: journal {}, engine {}",
+                record.epoch, response.epoch
+            )));
+        }
+        if response.outcome.verdict.admitted() != record.admitted {
+            return Err(EngineError::Replay(format!(
+                "epoch {}: journal records {}, replay produced {}",
+                record.epoch,
+                if record.admitted {
+                    "admitted"
+                } else {
+                    "rejected"
+                },
+                response.outcome.verdict,
+            )));
+        }
+        Ok(())
     }
 
     /// Submits one versioned request batch as an atomic epoch and returns
@@ -777,10 +826,17 @@ impl SchedService {
             }
             core.syncing = true;
             // Every record with ticket ≤ settled is already written, so
-            // this sync covers them all.
+            // this sync covers them all. The byte count is captured under
+            // the same lock: appends happen while the world (hence the
+            // core) is held, so `bytes_written` here covers exactly the
+            // records of epochs ≤ `upto` — the consistent pair a
+            // replication subscriber is promised.
             let upto = core.settled;
             let covered = upto.saturating_sub(core.synced);
-            let file = core.journal.as_ref().expect("checked above").sync_handle();
+            let journal = core.journal.as_ref().expect("checked above");
+            let file = journal.sync_handle();
+            let durable_bytes = journal.bytes_written();
+            let subscribers = journal.subscribers();
             drop(core);
             let fsync_started = Instant::now();
             #[cfg(hsched_model)]
@@ -797,8 +853,26 @@ impl SchedService {
             match outcome {
                 Ok(()) => {
                     core.synced = core.synced.max(upto);
+                    core.durable_bytes = core.durable_bytes.max(durable_bytes);
                     self.metrics.sync_batch_epochs.record(covered);
                     self.synced_cv.notify_all();
+                    if !subscribers.is_empty() {
+                        // Callbacks run outside every engine lock; the
+                        // `syncing` flag serialized the fsyncs, so marks
+                        // are delivered in watermark order per sync (a
+                        // subscriber may still observe an already-seen
+                        // mark when a racing `sync` lost the flag — the
+                        // contract says tolerate that).
+                        drop(core);
+                        let mark = DurableMark {
+                            bytes: durable_bytes,
+                            epoch: upto,
+                        };
+                        for subscriber in &subscribers {
+                            subscriber(mark);
+                        }
+                        core = self.lock_core();
+                    }
                 }
                 Err(e) => {
                     let message = format!("journal sync failed: {e}");
@@ -1606,6 +1680,45 @@ impl SchedService {
         self.quiescent_world().state_digest()
     }
 
+    /// The settled epoch and its state digest as one consistent pair
+    /// (both read under a single quiescent world, so the digest is
+    /// guaranteed to describe exactly that epoch — two separate
+    /// [`SchedService::epoch`] / [`SchedService::state_digest`] calls can
+    /// straddle a commit). Like every observer this drains the pipeline;
+    /// a replication primary emits these as low-rate heartbeats, not per
+    /// epoch.
+    pub fn epoch_digest(&self) -> (u64, String) {
+        let world = self.quiescent_world();
+        (world.core.settled, world.state_digest())
+    }
+
+    /// The durable journal high-water mark as a consistent
+    /// `(bytes, epoch)` pair: the journal's first `bytes` bytes hold
+    /// exactly the records of epochs ≤ `epoch` and are known to be on
+    /// disk. `None` without an attached journal. Lock-only (no drain) —
+    /// safe at any rate.
+    pub fn durable_journal(&self) -> Option<(u64, u64)> {
+        let core = self.lock_core();
+        core.journal.as_ref()?;
+        Some((core.durable_bytes, core.synced))
+    }
+
+    /// Registers a durable-append subscriber on the attached journal (see
+    /// [`crate::JournalWriter::subscribe`] for the callback contract).
+    /// Registrations survive compaction. Errors without a journal.
+    pub fn subscribe_durable(&self, subscriber: JournalSubscriber) -> Result<(), EngineError> {
+        let mut core = self.lock_core();
+        match core.journal.as_mut() {
+            Some(journal) => {
+                journal.subscribe(subscriber);
+                Ok(())
+            }
+            None => Err(EngineError::Journal(
+                "durable subscription requires an attached journal".to_string(),
+            )),
+        }
+    }
+
     /// Serializes the live state into the journal as a snapshot block and
     /// truncates every record before it (journal compaction): the journal
     /// becomes `header + snapshot`, written atomically beside the old file
@@ -1626,19 +1739,41 @@ impl SchedService {
         let digest = world.state_digest();
         let snap = world.capture_snapshot(&digest);
         let block = snap.encode_block();
-        let writer =
+        let mut writer =
             JournalWriter::rewrite_with_snapshot(&path, world.core.platforms.len(), &block)?;
         let compacted_bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
         let core = &mut *world.core;
+        // Compaction replaces the writer wholesale; durable-append
+        // registrations survive, and subscribers are told the prefix
+        // *shrank* (a streamer that shipped past the new mark must reset
+        // its followers — the file's content changed under its offsets).
+        let subscribers = core
+            .journal
+            .as_ref()
+            .map(|j| j.subscribers())
+            .unwrap_or_default();
+        writer.adopt_subscribers(subscribers.clone());
+        core.durable_bytes = writer.bytes_written();
         core.journal = Some(writer);
         core.synced = core.settled;
         core.last_compact_epoch = core.settled;
         self.metrics.compactions.incr();
-        Ok(SnapshotInfo {
+        let info = SnapshotInfo {
             epoch: core.settled,
             digest,
             compacted_bytes,
-        })
+        };
+        drop(world);
+        if !subscribers.is_empty() {
+            let mark = DurableMark {
+                bytes: info.compacted_bytes,
+                epoch: info.epoch,
+            };
+            for subscriber in &subscribers {
+                subscriber(mark);
+            }
+        }
+        Ok(info)
     }
 }
 

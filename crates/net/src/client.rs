@@ -1,0 +1,127 @@
+//! The remote client: `hsched admit --remote` and `hsched stats
+//! --remote` route through one of these, and the network bench drives
+//! the split [`Client::send_submit`] / [`Client::recv_epoch`] halves to
+//! keep several epochs in flight per connection.
+
+use crate::error::WireError;
+use crate::frame::{queue_frame, read_frame, FrameRead};
+use crate::proto::{self, RemoteEpoch, SubmitMode};
+use hsched_admission::AdmissionRequest;
+use hsched_telemetry::MetricsSnapshot;
+use std::io::{BufReader, BufWriter, Write as _};
+use std::net::TcpStream;
+
+/// A connected service-port client. Both halves are buffered: queued
+/// submit frames ride down in one flush, and a burst of pipelined
+/// responses comes up in a handful of reads — the syscall count scales
+/// with bursts, not frames.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects and consumes the greeting frame.
+    pub fn connect(addr: &str) -> Result<Client, WireError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let read_half = stream.try_clone()?;
+        let mut client = Client {
+            reader: BufReader::new(read_half),
+            writer: BufWriter::new(stream),
+        };
+        let greeting = client.read_reply()?;
+        if !greeting.starts_with("hsched-net") {
+            return Err(WireError::Protocol(format!(
+                "not an hsched service port (greeting `{}`)",
+                proto::keyword(&greeting)
+            )));
+        }
+        Ok(client)
+    }
+
+    /// One blocking frame read; `Idle` cannot happen (no read timeout is
+    /// set on client sockets), EOF and `error` frames become errors.
+    /// Every queued frame is flushed first — a blocked read must never
+    /// hold back the requests its replies answer.
+    fn read_reply(&mut self) -> Result<String, WireError> {
+        self.writer.flush()?;
+        match read_frame(&mut self.reader, None)? {
+            FrameRead::Frame(payload) => {
+                if proto::keyword(&payload) == "error" {
+                    Err(proto::parse_error(&payload)?)
+                } else {
+                    Ok(payload)
+                }
+            }
+            FrameRead::Idle => unreachable!("client sockets have no read timeout"),
+            FrameRead::Eof => Err(WireError::Protocol(
+                "server closed the connection".to_string(),
+            )),
+        }
+    }
+
+    /// Queues a submit frame without waiting for the response — the
+    /// pipelining half. Pair each call with one [`Client::recv_epoch`];
+    /// the queue flushes before any read (and whenever it fills).
+    pub fn send_submit(
+        &mut self,
+        mode: SubmitMode,
+        version: u32,
+        batch: &[AdmissionRequest],
+    ) -> Result<(), WireError> {
+        queue_frame(
+            &mut self.writer,
+            &proto::encode_submit(mode, version, batch),
+        )?;
+        Ok(())
+    }
+
+    /// Receives one epoch response (for a previously sent submit).
+    pub fn recv_epoch(&mut self) -> Result<RemoteEpoch, WireError> {
+        let reply = self.read_reply()?;
+        proto::parse_epoch(&reply)
+    }
+
+    /// Lockstep submit: send one batch, wait for its epoch.
+    pub fn submit(
+        &mut self,
+        mode: SubmitMode,
+        version: u32,
+        batch: &[AdmissionRequest],
+    ) -> Result<RemoteEpoch, WireError> {
+        self.send_submit(mode, version, batch)?;
+        self.recv_epoch()
+    }
+
+    /// Group commit up to `watermark` (`None` = everything settled);
+    /// returns the epoch the sync actually covered.
+    pub fn sync(&mut self, watermark: Option<u64>) -> Result<u64, WireError> {
+        queue_frame(&mut self.writer, &proto::encode_sync(watermark))?;
+        let reply = self.read_reply()?;
+        proto::parse_synced(&reply)
+    }
+
+    /// The server's merged telemetry snapshot (engine + admission +
+    /// analysis + wire counters), histograms bucket-exact.
+    pub fn stats(&mut self) -> Result<MetricsSnapshot, WireError> {
+        queue_frame(&mut self.writer, "stats")?;
+        let reply = self.read_reply()?;
+        proto::parse_stats(&reply)
+    }
+
+    /// The server's consistent `(epoch, state digest)` pair. Quiesces
+    /// the server's pipeline — an observer, not a hot-path call.
+    pub fn digest(&mut self) -> Result<(u64, String), WireError> {
+        queue_frame(&mut self.writer, "digest")?;
+        let reply = self.read_reply()?;
+        proto::parse_digest(&reply)
+    }
+
+    /// Polite goodbye (the server also handles a plain close).
+    pub fn quit(mut self) -> Result<(), WireError> {
+        queue_frame(&mut self.writer, "quit")?;
+        self.writer.flush()?;
+        Ok(())
+    }
+}

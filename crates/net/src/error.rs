@@ -1,0 +1,187 @@
+//! Typed wire errors and their stable numeric codes.
+//!
+//! Every error a peer can receive over the wire carries a code from
+//! [`code`]; the codes are part of the protocol (`docs/WIRE_PROTOCOL.md`)
+//! and never change meaning, so clients branch on numbers instead of
+//! parsing message strings. Rejection *reasons* are not errors — they ride
+//! in the response envelope with their own stable code space
+//! ([`reason_code`]) so a client can tell a load-dependent rejection worth
+//! retrying later (overload, unschedulable) from a hard one (structural,
+//! analysis, numeric).
+
+use hsched_engine::EngineError;
+
+/// Stable numeric error codes of the wire protocol.
+pub mod code {
+    /// Malformed or oversized frame, bad grammar, protocol violation.
+    pub const MALFORMED: u16 = 100;
+    /// Request schema version outside the supported range.
+    pub const UNSUPPORTED_VERSION: u16 = 101;
+    /// Unknown transaction handle.
+    pub const UNKNOWN_TXN: u16 = 102;
+    /// Engine seeding failed.
+    pub const SEED: u16 = 103;
+    /// Journal I/O failed (the primary's durability is poisoned).
+    pub const JOURNAL: u16 = 104;
+    /// Replay/standby divergence (replicated state refused).
+    pub const REPLAY: u16 = 105;
+    /// Internal engine invariant violation.
+    pub const INTERNAL: u16 = 106;
+    /// Replication resume offset rejected (past the durable prefix, or
+    /// the prefix digest no longer matches — e.g. after a compaction).
+    pub const BAD_OFFSET: u16 = 110;
+}
+
+/// Stable rejection-reason codes carried in response envelopes (and as
+/// `err_code` in JSON mode). These classify a *rejected* epoch, which is a
+/// successful response, not an error.
+pub mod reason {
+    /// Request was structurally invalid (duplicate name, unknown target).
+    pub const STRUCTURAL: u16 = 1;
+    /// A platform's utilization bound was exceeded.
+    pub const OVERLOAD: u16 = 2;
+    /// Response-time analysis found deadline misses.
+    pub const UNSCHEDULABLE: u16 = 3;
+    /// The analysis itself failed.
+    pub const ANALYSIS: u16 = 4;
+    /// Exact arithmetic overflowed during the admission scan.
+    pub const NUMERIC: u16 = 5;
+}
+
+/// Maps an [`EngineError`] to its stable wire code.
+pub fn engine_code(error: &EngineError) -> u16 {
+    match error {
+        EngineError::UnsupportedVersion { .. } => code::UNSUPPORTED_VERSION,
+        EngineError::UnknownTxn(_) => code::UNKNOWN_TXN,
+        EngineError::Seed(_) => code::SEED,
+        EngineError::Journal(_) => code::JOURNAL,
+        EngineError::Replay(_) => code::REPLAY,
+        EngineError::Internal(_) => code::INTERNAL,
+    }
+}
+
+/// Maps a rejection-reason kind string (the `reason_kind` vocabulary the
+/// CLI already prints: `structural`, `overload`, `unschedulable`,
+/// `analysis`, `numeric`) to its stable code; 0 for unknown kinds.
+pub fn reason_code(kind: &str) -> u16 {
+    match kind {
+        "structural" => reason::STRUCTURAL,
+        "overload" => reason::OVERLOAD,
+        "unschedulable" => reason::UNSCHEDULABLE,
+        "analysis" => reason::ANALYSIS,
+        "numeric" => reason::NUMERIC,
+        _ => 0,
+    }
+}
+
+/// `true` when the condition behind a code is load- or time-dependent and
+/// the same request may succeed later: the overload/unschedulable
+/// rejection reasons (capacity may free up) and [`code::INTERNAL`].
+/// Version mismatches, malformed frames, structural rejections, and a
+/// poisoned journal are hard failures.
+pub fn retryable(code_or_reason: u16) -> bool {
+    matches!(
+        code_or_reason,
+        reason::OVERLOAD | reason::UNSCHEDULABLE | code::INTERNAL
+    )
+}
+
+/// The wire layer's error type: transport failures, protocol violations,
+/// and typed errors that crossed (or are about to cross) the wire.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying socket failed.
+    Io(std::io::Error),
+    /// The peer violated the framing or frame grammar (local diagnosis;
+    /// maps to [`code::MALFORMED`] when reported to the peer).
+    Protocol(String),
+    /// A typed error with a stable code — either received in an `error`
+    /// frame or produced locally for one.
+    Remote {
+        /// Stable code from [`code`].
+        code: u16,
+        /// Human-readable detail (never needed to branch).
+        message: String,
+    },
+}
+
+impl WireError {
+    /// Convenience constructor for typed errors.
+    pub fn remote(code: u16, message: impl Into<String>) -> WireError {
+        WireError::Remote {
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// The stable code this error would carry in an `error` frame.
+    pub fn wire_code(&self) -> u16 {
+        match self {
+            WireError::Io(_) => code::INTERNAL,
+            WireError::Protocol(_) => code::MALFORMED,
+            WireError::Remote { code, .. } => *code,
+        }
+    }
+
+    /// Lifts an engine failure into a typed wire error.
+    pub fn from_engine(error: EngineError) -> WireError {
+        WireError::Remote {
+            code: engine_code(&error),
+            message: error.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "socket error: {e}"),
+            WireError::Protocol(message) => write!(f, "protocol violation: {message}"),
+            WireError::Remote { code, message } => write!(f, "wire error {code}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> WireError {
+        WireError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_errors_map_to_stable_codes() {
+        assert_eq!(
+            engine_code(&EngineError::UnsupportedVersion {
+                found: 9,
+                supported: 2
+            }),
+            code::UNSUPPORTED_VERSION
+        );
+        assert_eq!(
+            engine_code(&EngineError::Journal("disk on fire".into())),
+            code::JOURNAL
+        );
+        assert_eq!(
+            engine_code(&EngineError::Replay("digest mismatch".into())),
+            code::REPLAY
+        );
+    }
+
+    #[test]
+    fn reason_kinds_map_and_classify() {
+        assert_eq!(reason_code("overload"), reason::OVERLOAD);
+        assert_eq!(reason_code("structural"), reason::STRUCTURAL);
+        assert_eq!(reason_code("mystery"), 0);
+        assert!(retryable(reason::OVERLOAD));
+        assert!(retryable(reason::UNSCHEDULABLE));
+        assert!(!retryable(reason::STRUCTURAL));
+        assert!(!retryable(code::JOURNAL));
+        assert!(!retryable(code::MALFORMED));
+    }
+}

@@ -1,0 +1,453 @@
+//! The warm standby: connects to a primary's replication port, mirrors
+//! the journal byte-for-byte into a local file, and feeds every complete
+//! record through streaming replay *as it arrives* — so at any instant
+//! the standby is a live engine at the primary's last-streamed epoch,
+//! not a cold journal waiting to be replayed.
+//!
+//! Correctness discipline:
+//!
+//! * **The mirror is append-only and the commit point is a byte
+//!   offset.** `committed` always equals the valid prefix — the bytes of
+//!   every record the standby has applied. A disconnect mid-record
+//!   leaves a torn tail *past* `committed`; on reconnect the tail is
+//!   truncated and the resume handshake offers exactly `committed`, so
+//!   the primary re-streams from the record boundary. The whole journal
+//!   is never re-streamed (that is the point of resume), and nothing
+//!   before `committed` is ever re-applied.
+//! * **Divergence is loud.** Every heartbeat carries the primary's
+//!   consistent `(epoch, digest)` pair; once the standby has applied
+//!   that epoch it compares its own state digest and *refuses to
+//!   continue* on mismatch — a diverged standby that keeps tailing would
+//!   be worse than none.
+
+use crate::error::{code, WireError};
+use crate::frame::{read_frame, write_frame, FrameRead};
+use crate::proto;
+use crate::repl::fnv1a_64;
+use crate::server::POLL_INTERVAL;
+use hsched_admission::AdmissionPolicy;
+use hsched_analysis::AnalysisConfig;
+use hsched_engine::{JournalStream, SchedService};
+use hsched_transaction::TransactionSet;
+use std::io::{Seek, SeekFrom, Write as IoWrite};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Follower configuration.
+pub struct FollowerConfig {
+    /// `host:port` of the primary's replication listener.
+    pub primary: String,
+    /// Local journal mirror path (created if absent; an existing mirror
+    /// seeds the standby and resumes from its durable prefix).
+    pub journal: PathBuf,
+    /// Pause between reconnect attempts.
+    pub reconnect_delay: Duration,
+    /// Stop flag (signal handler or test harness); checked between
+    /// frames.
+    pub stop: Option<Arc<AtomicBool>>,
+    /// Test knob: deliberately drop the connection after receiving this
+    /// many journal bytes **in one session** — the cut can land
+    /// mid-record, which is exactly what the resume proptests exercise.
+    pub disconnect_after: Option<u64>,
+    /// Exit [`Follower::run`] at the first disconnect instead of
+    /// reconnecting (smoke tests assert on the final state).
+    pub exit_on_disconnect: bool,
+    /// Exit [`Follower::run`] once the standby has applied this epoch —
+    /// the "bootstrap a warm standby to a known point, then hand it
+    /// over" mode, and the convergence point the resume proptests drive
+    /// to.
+    pub catch_up_to: Option<u64>,
+}
+
+impl Default for FollowerConfig {
+    fn default() -> FollowerConfig {
+        FollowerConfig {
+            primary: String::new(),
+            journal: PathBuf::new(),
+            reconnect_delay: Duration::from_millis(200),
+            stop: None,
+            disconnect_after: None,
+            exit_on_disconnect: false,
+            catch_up_to: None,
+        }
+    }
+}
+
+/// Why [`Follower::run`] returned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FollowerExit {
+    /// The stop flag was raised.
+    Stopped,
+    /// The primary went away and `exit_on_disconnect` is set.
+    Disconnected,
+    /// The standby reached `catch_up_to`.
+    CaughtUp,
+}
+
+enum Session {
+    Disconnected,
+    Reset,
+    Stopped,
+    CaughtUp,
+}
+
+/// A warm standby. Build with [`Follower::new`], drive with
+/// [`Follower::run`]; observe with [`Follower::epoch`] /
+/// [`Follower::state_digest`] / [`Follower::committed_bytes`].
+pub struct Follower {
+    set: TransactionSet,
+    analysis: AnalysisConfig,
+    policy: AdmissionPolicy,
+    config: FollowerConfig,
+    standby: Option<SchedService>,
+    /// Bytes of the mirror covered by applied complete records.
+    committed: u64,
+    /// The epoch the next journal record must carry.
+    next_epoch: u64,
+    /// A heartbeat for an epoch the standby has not reached yet.
+    pending_heartbeat: Option<(u64, String)>,
+}
+
+impl Follower {
+    /// Builds a follower over the same system specification the primary
+    /// was started from (the journal's platform count is cross-checked,
+    /// and replay itself cross-checks every verdict).
+    pub fn new(
+        set: TransactionSet,
+        analysis: AnalysisConfig,
+        policy: AdmissionPolicy,
+        config: FollowerConfig,
+    ) -> Follower {
+        Follower {
+            set,
+            analysis,
+            policy,
+            config,
+            standby: None,
+            committed: 0,
+            next_epoch: 1,
+            pending_heartbeat: None,
+        }
+    }
+
+    /// The standby's settled epoch (0 before any record applied).
+    pub fn epoch(&self) -> u64 {
+        self.standby.as_ref().map_or(0, |s| s.epoch())
+    }
+
+    /// The standby's state digest, if it exists yet.
+    pub fn state_digest(&self) -> Option<String> {
+        self.standby.as_ref().map(|s| s.state_digest())
+    }
+
+    /// Bytes of the local mirror covered by applied records — the resume
+    /// offset the next handshake will offer.
+    pub fn committed_bytes(&self) -> u64 {
+        self.committed
+    }
+
+    /// Mutable access to the run configuration (between [`Follower::run`]
+    /// calls: the resume tests re-run one follower with different
+    /// disconnect points).
+    pub fn config_mut(&mut self) -> &mut FollowerConfig {
+        &mut self.config
+    }
+
+    fn caught_up(&self) -> bool {
+        self.config
+            .catch_up_to
+            .is_some_and(|target| self.epoch() >= target)
+    }
+
+    fn stopped(&self) -> bool {
+        self.config
+            .stop
+            .as_ref()
+            .is_some_and(|flag| flag.load(Ordering::SeqCst))
+    }
+
+    /// Tails the primary until stopped (or until the first disconnect,
+    /// with `exit_on_disconnect`). Reconnects with resume after
+    /// disconnects, rebuilds from scratch after a `reset` order, and
+    /// returns an error only for conditions that must not be retried —
+    /// divergence above all.
+    pub fn run(&mut self) -> Result<FollowerExit, WireError> {
+        // An existing mirror seeds the standby before first contact, so
+        // the handshake offers its durable prefix instead of 0.
+        self.seed_from_mirror()?;
+        loop {
+            if self.stopped() {
+                return Ok(FollowerExit::Stopped);
+            }
+            // No catch-up short-circuit here: a mirror can *look* caught
+            // up (right epoch count, wrong bytes); only a session that
+            // passed the resume handshake and streamed/heartbeat against
+            // the live primary may declare it.
+            match self.run_session() {
+                Ok(Session::Stopped) => return Ok(FollowerExit::Stopped),
+                Ok(Session::CaughtUp) => return Ok(FollowerExit::CaughtUp),
+                Ok(Session::Disconnected) => {
+                    if self.config.exit_on_disconnect {
+                        return Ok(FollowerExit::Disconnected);
+                    }
+                    std::thread::sleep(self.config.reconnect_delay);
+                }
+                Ok(Session::Reset) => {
+                    // The primary's journal is not a superset of our
+                    // mirror any more (compaction, divergence): discard
+                    // everything and resync from byte 0.
+                    std::fs::File::create(&self.config.journal)?;
+                    self.standby = None;
+                    self.committed = 0;
+                    self.next_epoch = 1;
+                    self.pending_heartbeat = None;
+                }
+                Err(WireError::Io(_)) => {
+                    if self.config.exit_on_disconnect {
+                        return Ok(FollowerExit::Disconnected);
+                    }
+                    std::thread::sleep(self.config.reconnect_delay);
+                }
+                Err(fatal) => return Err(fatal),
+            }
+        }
+    }
+
+    fn seed_from_mirror(&mut self) -> Result<(), WireError> {
+        if self.standby.is_some() {
+            return Ok(());
+        }
+        let len = std::fs::metadata(&self.config.journal)
+            .map(|m| m.len())
+            .unwrap_or(0);
+        if len == 0 {
+            return Ok(());
+        }
+        match SchedService::replay_standby(
+            self.set.clone(),
+            self.analysis.clone(),
+            self.policy.clone(),
+            &self.config.journal,
+        ) {
+            Ok((standby, stats)) => {
+                self.next_epoch = standby.epoch() + 1;
+                self.committed = stats.journal_bytes;
+                self.standby = Some(standby);
+                Ok(())
+            }
+            // An incomplete header (mirror cut off mid-bootstrap) is not
+            // an error — resume will fetch the rest. Anything else is.
+            Err(e) => {
+                let message = e.to_string();
+                if message.contains("header") || message.contains("empty") {
+                    self.committed = 0;
+                    Ok(())
+                } else {
+                    Err(WireError::from_engine(e))
+                }
+            }
+        }
+    }
+
+    fn run_session(&mut self) -> Result<Session, WireError> {
+        let mut stream = TcpStream::connect(&self.config.primary)?;
+        stream.set_read_timeout(Some(POLL_INTERVAL * 4))?;
+        stream.set_nodelay(true).ok();
+
+        // Greeting.
+        match self.next_frame(&mut stream)? {
+            Some(greeting) if greeting.starts_with("hsched-repl") => {}
+            Some(other) => {
+                return Err(WireError::Protocol(format!(
+                    "not a replication port (greeting `{}`)",
+                    proto::keyword(&other)
+                )))
+            }
+            None => return Ok(Session::Disconnected),
+        }
+
+        // Truncate any torn tail past the commit point, then offer the
+        // committed prefix for resume.
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&self.config.journal)?;
+        file.set_len(self.committed)?;
+        let prefix = self.mirror_prefix_digest(self.committed)?;
+        write_frame(&mut stream, &proto::encode_follow(self.committed, prefix))?;
+
+        // The primary's verdict on the offer.
+        let verdict = match self.next_frame(&mut stream)? {
+            Some(frame) => frame,
+            None => return Ok(Session::Disconnected),
+        };
+        match proto::keyword(&verdict) {
+            "streaming" => {
+                proto::parse_streaming(&verdict)?;
+            }
+            "reset" => return Ok(Session::Reset),
+            "error" => return Err(proto::parse_error(&verdict)?),
+            other => {
+                return Err(WireError::Protocol(format!(
+                    "unexpected handshake frame `{other}`"
+                )))
+            }
+        }
+
+        let mut mirror = file;
+        mirror.seek(SeekFrom::Start(self.committed))?;
+        let mut received = self.committed;
+        let mut session_bytes = 0u64;
+        loop {
+            let frame = match self.next_frame(&mut stream)? {
+                Some(frame) => frame,
+                None => {
+                    return if self.stopped() {
+                        Ok(Session::Stopped)
+                    } else {
+                        Ok(Session::Disconnected)
+                    }
+                }
+            };
+            match proto::keyword(&frame) {
+                "jbytes" => {
+                    let (offset, bytes) = proto::parse_jbytes(&frame)?;
+                    if offset != received {
+                        return Err(WireError::Protocol(format!(
+                            "stream gap: chunk at offset {offset}, mirror holds {received}"
+                        )));
+                    }
+                    let mut bytes: &str = bytes;
+                    let mut cut = false;
+                    if let Some(limit) = self.config.disconnect_after {
+                        let room = limit.saturating_sub(session_bytes);
+                        if (bytes.len() as u64) > room {
+                            // Deliberate kill, possibly mid-record: keep
+                            // only the torn prefix, then drop the link.
+                            bytes = &bytes[..room as usize];
+                            cut = true;
+                        }
+                    }
+                    mirror.write_all(bytes.as_bytes())?;
+                    mirror.flush()?;
+                    received += bytes.len() as u64;
+                    session_bytes += bytes.len() as u64;
+                    self.apply_new_records()?;
+                    if cut {
+                        return Ok(Session::Disconnected);
+                    }
+                    let _ = write_frame(&mut stream, &proto::encode_ack(self.epoch()));
+                    if self.caught_up() {
+                        return Ok(Session::CaughtUp);
+                    }
+                }
+                "digest" => {
+                    let (epoch, digest) = proto::parse_digest(&frame)?;
+                    self.pending_heartbeat = Some((epoch, digest));
+                    self.check_heartbeat()?;
+                    let _ = write_frame(&mut stream, &proto::encode_ack(self.epoch()));
+                    if self.caught_up() {
+                        return Ok(Session::CaughtUp);
+                    }
+                }
+                "reset" => return Ok(Session::Reset),
+                "error" => return Err(proto::parse_error(&frame)?),
+                other => {
+                    return Err(WireError::Protocol(format!(
+                        "unexpected stream frame `{other}`"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Waits for one frame, reporting `None` on clean EOF and treating a
+    /// torn frame as an I/O-level disconnect (retryable), not a fatal
+    /// protocol error — the primary may die mid-frame and that is the
+    /// follower's bread and butter.
+    fn next_frame(&self, stream: &mut TcpStream) -> Result<Option<String>, WireError> {
+        loop {
+            match read_frame(stream, self.config.stop.as_deref()) {
+                Ok(FrameRead::Frame(payload)) => return Ok(Some(payload)),
+                Ok(FrameRead::Eof) => return Ok(None),
+                Ok(FrameRead::Idle) => {
+                    if self.stopped() {
+                        return Ok(None);
+                    }
+                }
+                Err(WireError::Protocol(_)) => return Ok(None),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn mirror_prefix_digest(&self, prefix: u64) -> Result<u64, WireError> {
+        if prefix == 0 {
+            return Ok(fnv1a_64(b""));
+        }
+        crate::repl::file_prefix_digest(&self.config.journal, prefix)
+    }
+
+    /// Applies every complete record past `committed`. A torn tail ends
+    /// the pass cleanly (the stream's torn-tail discipline); replay
+    /// divergence is fatal by design.
+    fn apply_new_records(&mut self) -> Result<(), WireError> {
+        if self.standby.is_none() {
+            // Header (and possibly a snapshot block) may just have
+            // become complete — try to seed.
+            self.seed_from_mirror()?;
+            if self.standby.is_none() {
+                return Ok(());
+            }
+            return self.check_heartbeat();
+        }
+        let mut stream =
+            JournalStream::resume_from(&self.config.journal, self.committed, self.next_epoch)
+                .map_err(WireError::from_engine)?;
+        let standby = self.standby.as_ref().expect("standby seeded above");
+        for record in &mut stream {
+            let record = record.map_err(WireError::from_engine)?;
+            standby
+                .apply_journal_record(&record)
+                .map_err(WireError::from_engine)?;
+        }
+        self.committed = stream.valid_prefix();
+        self.next_epoch = stream.next_epoch();
+        self.check_heartbeat()
+    }
+
+    /// Cross-checks a pending heartbeat once the standby reaches its
+    /// epoch. Divergence is a fatal [`code::REPLAY`] error — the loud
+    /// refusal this subsystem owes its operator.
+    fn check_heartbeat(&mut self) -> Result<(), WireError> {
+        let Some((epoch, expected)) = self.pending_heartbeat.clone() else {
+            return Ok(());
+        };
+        let Some(ours) = self.state_digest() else {
+            return Ok(()); // no standby yet — keep the beat pending
+        };
+        let applied = self.epoch();
+        if applied < epoch {
+            return Ok(()); // still pending
+        }
+        self.pending_heartbeat = None;
+        if applied > epoch {
+            return Ok(()); // stale beat from before our last chunk
+        }
+        if ours != expected {
+            return Err(WireError::remote(
+                code::REPLAY,
+                format!(
+                    "standby diverged from primary at epoch {epoch}: \
+                     primary digest {expected}, standby digest {ours}"
+                ),
+            ));
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,207 @@
+//! Length-prefixed framing: every message on every wire is one frame — a
+//! 4-byte big-endian payload length followed by that many bytes of UTF-8
+//! text. The first line of the payload is the frame keyword and its
+//! arguments; some frames carry further lines (request batches, raw
+//! journal bytes — the journal grammar percent-escapes everything outside
+//! printable ASCII, so raw records embed in UTF-8 losslessly).
+//!
+//! Reads are interruption-aware: a reader with a socket read timeout
+//! reports [`FrameRead::Idle`] when *no* byte of a frame has arrived
+//! (letting connection loops poll a shutdown flag between frames), keeps
+//! waiting through mid-frame timeouts, and distinguishes a clean EOF at a
+//! frame boundary from a connection torn mid-frame — the latter is a
+//! typed error, mirroring the journal's torn-tail discipline at the
+//! socket boundary.
+
+use crate::error::{code, WireError};
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Hard cap on a single frame's payload. Large enough for any request
+/// batch or replication chunk the protocol produces (chunks are capped
+/// far below this), small enough that a malformed length prefix cannot
+/// balloon an allocation.
+pub const MAX_FRAME_BYTES: usize = 16 << 20;
+
+/// Outcome of one [`read_frame`] call.
+#[derive(Debug)]
+pub enum FrameRead {
+    /// One complete frame payload.
+    Frame(String),
+    /// The socket timed out before the first byte of a frame — no data
+    /// lost, poll your shutdown flag and call again.
+    Idle,
+    /// The peer closed the connection cleanly at a frame boundary.
+    Eof,
+}
+
+enum Progress {
+    Done,
+    Idle,
+    Eof,
+}
+
+fn read_full(
+    stream: &mut impl Read,
+    buf: &mut [u8],
+    at_boundary: bool,
+    stop: Option<&AtomicBool>,
+) -> Result<Progress, WireError> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 && at_boundary {
+                    Ok(Progress::Eof)
+                } else {
+                    Err(WireError::Protocol(
+                        "connection closed mid-frame".to_string(),
+                    ))
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if filled == 0 && at_boundary {
+                    return Ok(Progress::Idle);
+                }
+                // Mid-frame timeout: the peer is slow, not gone — keep
+                // waiting unless a shutdown was requested.
+                if stop.is_some_and(|flag| flag.load(Ordering::SeqCst)) {
+                    return Err(WireError::Protocol(
+                        "shutdown requested mid-frame".to_string(),
+                    ));
+                }
+            }
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    Ok(Progress::Done)
+}
+
+/// Reads one frame. `stop` (optional) is consulted on mid-frame timeouts
+/// so a draining server does not hang on a half-sent frame forever.
+pub fn read_frame(
+    stream: &mut impl Read,
+    stop: Option<&AtomicBool>,
+) -> Result<FrameRead, WireError> {
+    let mut len_buf = [0u8; 4];
+    match read_full(stream, &mut len_buf, true, stop)? {
+        Progress::Eof => return Ok(FrameRead::Eof),
+        Progress::Idle => return Ok(FrameRead::Idle),
+        Progress::Done => {}
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(WireError::remote(
+            code::MALFORMED,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    match read_full(stream, &mut payload, false, stop)? {
+        Progress::Done => {}
+        _ => unreachable!("read_full mid-frame never reports Idle/Eof"),
+    }
+    let text = String::from_utf8(payload)
+        .map_err(|_| WireError::remote(code::MALFORMED, "frame payload is not UTF-8"))?;
+    Ok(FrameRead::Frame(text))
+}
+
+/// Writes one frame and flushes; returns the bytes put on the wire
+/// (4-byte prefix + payload) for traffic accounting.
+pub fn write_frame(stream: &mut impl Write, payload: &str) -> Result<u64, WireError> {
+    let n = queue_frame(stream, payload)?;
+    stream.flush()?;
+    Ok(n)
+}
+
+/// Writes one frame *without* flushing — the pipelining half for buffered
+/// writers (`BufWriter`): queue several frames, flush once before the
+/// next read. Prefix and payload go down as a single `write_all`, so an
+/// unbuffered caller still pays one syscall per frame, not two. Returns
+/// the bytes queued (4-byte prefix + payload) for traffic accounting.
+pub fn queue_frame(stream: &mut impl Write, payload: &str) -> Result<u64, WireError> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(WireError::remote(
+            code::MALFORMED,
+            format!(
+                "refusing to send a {}-byte frame (cap {MAX_FRAME_BYTES})",
+                payload.len()
+            ),
+        ));
+    }
+    let mut buf = Vec::with_capacity(4 + payload.len());
+    buf.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    buf.extend_from_slice(payload.as_bytes());
+    stream.write_all(&buf)?;
+    Ok(4 + payload.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut wire = Vec::new();
+        let n = write_frame(&mut wire, "hello line\nsecond line").unwrap();
+        assert_eq!(n as usize, wire.len());
+        write_frame(&mut wire, "").unwrap();
+        let mut reader = std::io::Cursor::new(wire);
+        match read_frame(&mut reader, None).unwrap() {
+            FrameRead::Frame(text) => assert_eq!(text, "hello line\nsecond line"),
+            other => panic!("expected frame, got {other:?}"),
+        }
+        match read_frame(&mut reader, None).unwrap() {
+            FrameRead::Frame(text) => assert_eq!(text, ""),
+            other => panic!("expected frame, got {other:?}"),
+        }
+        assert!(matches!(
+            read_frame(&mut reader, None).unwrap(),
+            FrameRead::Eof
+        ));
+    }
+
+    #[test]
+    fn truncated_frame_is_a_typed_error_not_a_hang() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, "a complete frame").unwrap();
+        write_frame(&mut wire, "this one gets torn").unwrap();
+        wire.truncate(wire.len() - 5);
+        let mut reader = std::io::Cursor::new(wire);
+        assert!(matches!(
+            read_frame(&mut reader, None).unwrap(),
+            FrameRead::Frame(_)
+        ));
+        assert!(matches!(
+            read_frame(&mut reader, None),
+            Err(WireError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        let mut wire = (u32::MAX).to_be_bytes().to_vec();
+        wire.extend_from_slice(b"junk");
+        let mut reader = std::io::Cursor::new(wire);
+        match read_frame(&mut reader, None) {
+            Err(WireError::Remote { code: c, .. }) => assert_eq!(c, code::MALFORMED),
+            other => panic!("expected malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_utf8_payload_is_malformed() {
+        let mut wire = 2u32.to_be_bytes().to_vec();
+        wire.extend_from_slice(&[0xff, 0xfe]);
+        let mut reader = std::io::Cursor::new(wire);
+        match read_frame(&mut reader, None) {
+            Err(WireError::Remote { code: c, .. }) => assert_eq!(c, code::MALFORMED),
+            other => panic!("expected malformed, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Per-connection and replication telemetry (`net.*`), built on the same
+//! always-on counters/histograms every other layer uses. A serving
+//! primary merges this sink into the engine's snapshot for `stats`
+//! frames, so a remote `hsched stats --remote` sees engine, admission,
+//! analysis, *and* wire counters in one envelope.
+
+use hsched_telemetry::{Counter, Histogram, MetricsSnapshot};
+
+/// The wire layer's telemetry sink (one per server, shared by every
+/// connection thread).
+#[derive(Debug, Default)]
+pub struct NetMetrics {
+    /// Connections accepted (service + replication ports).
+    pub connections: Counter,
+    /// Frames received.
+    pub frames_in: Counter,
+    /// Frames sent.
+    pub frames_out: Counter,
+    /// Bytes received (prefix + payload).
+    pub bytes_in: Counter,
+    /// Bytes sent (prefix + payload).
+    pub bytes_out: Counter,
+    /// Malformed or protocol-violating frames that dropped a connection.
+    pub malformed_rejects: Counter,
+    /// Raw journal bytes streamed to followers.
+    pub repl_bytes_streamed: Counter,
+    /// Replication lag per follower ack, in *records* (primary's durable
+    /// epoch minus the follower's applied epoch at ack time).
+    pub repl_lag_records: Histogram,
+}
+
+impl NetMetrics {
+    /// Fresh zeroed sink.
+    pub fn new() -> NetMetrics {
+        NetMetrics::default()
+    }
+
+    /// Point-in-time snapshot under the `net.` prefix.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        snap.put_counter("net.connections", self.connections.get());
+        snap.put_counter("net.frames_in", self.frames_in.get());
+        snap.put_counter("net.frames_out", self.frames_out.get());
+        snap.put_counter("net.bytes_in", self.bytes_in.get());
+        snap.put_counter("net.bytes_out", self.bytes_out.get());
+        snap.put_counter("net.malformed_rejects", self.malformed_rejects.get());
+        snap.put_counter("net.repl.bytes_streamed", self.repl_bytes_streamed.get());
+        snap.put_histogram("net.repl.lag_records", self.repl_lag_records.snapshot());
+        snap
+    }
+}

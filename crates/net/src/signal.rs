@@ -1,0 +1,69 @@
+//! SIGINT/SIGTERM → a process-wide stop flag, with no external crates:
+//! the libc `signal(2)` entry point is declared directly (it is in every
+//! libc this workspace can run on) and the handler does the only
+//! async-signal-safe thing — store into a static atomic. `hsched serve`
+//! and `hsched admit --async` poll the flag to drain in-flight epochs and
+//! issue a final group-commit sync instead of dying mid-pipeline.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// `SIGINT` (Ctrl-C).
+const SIGINT: i32 = 2;
+/// `SIGTERM` (polite kill).
+const SIGTERM: i32 = 15;
+
+static STOP: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    // SeqCst is the workspace-wide ordering discipline outside the
+    // telemetry crate; an atomic store is async-signal-safe.
+    STOP.store(true, Ordering::SeqCst);
+}
+
+#[allow(unsafe_code)]
+mod ffi {
+    extern "C" {
+        /// `signal(2)`. `i32` matches `c_int` on every supported target;
+        /// the handler travels as a plain address.
+        pub(super) fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    /// Installs `handler` for `signum` (ignoring the previous
+    /// disposition — this process installs exactly once, at startup).
+    pub(super) fn install(signum: i32, handler: extern "C" fn(i32)) {
+        // SAFETY: `signal` is the C standard library entry point; the
+        // handler is a valid `extern "C"` function that only touches an
+        // atomic, which is async-signal-safe.
+        unsafe {
+            signal(signum, handler as usize);
+        }
+    }
+}
+
+/// Installs the SIGINT/SIGTERM handlers (idempotent) and returns the
+/// process-wide stop flag. Signals only ever *set* the flag — a second
+/// signal during a slow drain does not un-stop anything; only an explicit
+/// [`reset`] (tests, embedders running several serve lifecycles in one
+/// process) clears it.
+pub fn install() -> &'static AtomicBool {
+    ffi::install(SIGINT, on_signal);
+    ffi::install(SIGTERM, on_signal);
+    &STOP
+}
+
+/// `true` once a shutdown signal arrived (or [`request_stop`] ran).
+pub fn stop_requested() -> bool {
+    STOP.load(Ordering::SeqCst)
+}
+
+/// Programmatic equivalent of receiving a signal (tests, orderly exits).
+pub fn request_stop() {
+    STOP.store(true, Ordering::SeqCst);
+}
+
+/// Clears the stop flag. The `hsched` binary never calls this — a signal
+/// ends the process — but tests and embedders that run several serve
+/// lifecycles inside one process need a way back to "not stopping".
+pub fn reset() {
+    STOP.store(false, Ordering::SeqCst);
+}

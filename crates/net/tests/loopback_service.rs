@@ -1,0 +1,233 @@
+//! The service port end to end over loopback: remote submits match
+//! local ones, typed error codes cross the wire, a malformed frame
+//! drops exactly one connection, and a drain leaves everything durable.
+
+use hsched_admission::gen::{random_scenario, ChurnGen, ScenarioSpec};
+use hsched_admission::AdmissionPolicy;
+use hsched_analysis::AnalysisConfig;
+use hsched_engine::{SchedService, SCHEMA_VERSION};
+use hsched_net::{
+    code, read_frame, write_frame, Client, FrameRead, Server, ServerConfig, SubmitMode, WireError,
+};
+use hsched_numeric::rat;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn spec_for(seed: u64) -> ScenarioSpec {
+    ScenarioSpec {
+        clusters: 2,
+        platforms_per_cluster: 2,
+        transactions: 6,
+        max_tasks_per_tx: 3,
+        load: rat(3, 5),
+        priority_levels: 3,
+        seed,
+        ..ScenarioSpec::default()
+    }
+}
+
+fn temp_journal(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "hsched-net-loopback-{}-{tag}.journal",
+        std::process::id()
+    ))
+}
+
+struct Harness {
+    engine: Arc<SchedService>,
+    handle: hsched_net::ServerHandle,
+    journal: PathBuf,
+}
+
+fn start(seed: u64, tag: &str) -> Harness {
+    let spec = spec_for(seed);
+    let set = random_scenario(&spec);
+    let journal = temp_journal(tag);
+    let _ = std::fs::remove_file(&journal);
+    let engine = Arc::new(
+        SchedService::new(set, AnalysisConfig::default(), AdmissionPolicy::default())
+            .expect("seed")
+            .with_journal(&journal)
+            .expect("journal"),
+    );
+    let handle = Server::start(
+        engine.clone(),
+        ServerConfig {
+            heartbeat_interval: Duration::from_millis(100),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server start");
+    Harness {
+        engine,
+        handle,
+        journal,
+    }
+}
+
+/// Remote submits settle the same epochs, with the same verdicts and
+/// digests, as the engine reports locally.
+#[test]
+fn remote_submits_match_local_state() {
+    let h = start(21, "match");
+    let addr = h.handle.service_addr().to_string();
+    let spec = spec_for(21);
+    let mut churn = ChurnGen::new(&spec, 21);
+    let mut client = Client::connect(&addr).expect("connect");
+    let mut epochs = Vec::new();
+    for i in 0..8 {
+        let batch = churn.next_batch(&h.engine.current_set(), 3);
+        let mode = if i % 2 == 0 {
+            SubmitMode::Async
+        } else {
+            SubmitMode::Sync
+        };
+        let epoch = client
+            .submit(mode, SCHEMA_VERSION, &batch)
+            .expect("remote submit");
+        assert_eq!(epoch.requests, batch.len());
+        if !epoch.admitted {
+            let reason = epoch.reason.as_ref().expect("rejected epoch has reason");
+            assert!(reason.code > 0, "reason carries a stable code");
+        }
+        epochs.push(epoch);
+    }
+    // Tickets are the service's: strictly increasing, 1..=8.
+    let tickets: Vec<u64> = epochs.iter().map(|e| e.epoch).collect();
+    assert_eq!(tickets, (1..=8).collect::<Vec<u64>>());
+    let covered = client.sync(None).expect("sync all");
+    assert_eq!(covered, 8);
+    let (epoch, digest) = client.digest().expect("remote digest");
+    assert_eq!(epoch, h.engine.epoch());
+    assert_eq!(digest, h.engine.state_digest());
+
+    // The remote stats snapshot carries all layers plus the wire's own
+    // counters, histograms bucket-exact.
+    let snap = client.stats().expect("stats");
+    assert_eq!(snap.counter("engine.epochs_settled"), 8);
+    assert!(snap.counter("net.frames_in") >= 10);
+    assert!(snap.counter("net.connections") >= 1);
+    client.quit().expect("quit");
+    h.handle.stop();
+    h.handle.join().expect("drain");
+    let _ = std::fs::remove_file(&h.journal);
+}
+
+/// Typed error codes: an unsupported schema version comes back as a
+/// typed `error` frame with the stable code — and the connection
+/// survives to serve the corrected retry.
+#[test]
+fn engine_errors_are_typed_and_nonfatal() {
+    let h = start(22, "typed");
+    let addr = h.handle.service_addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+    match client.submit(SubmitMode::Sync, 99, &[]) {
+        Err(WireError::Remote { code: c, .. }) => assert_eq!(c, code::UNSUPPORTED_VERSION),
+        other => panic!("expected UNSUPPORTED_VERSION, got {other:?}"),
+    }
+    // Same connection, valid version: still serving.
+    let epoch = client
+        .submit(SubmitMode::Sync, SCHEMA_VERSION, &[])
+        .expect("empty batch after error");
+    assert_eq!(epoch.epoch, 1);
+    h.handle.stop();
+    h.handle.join().expect("drain");
+    let _ = std::fs::remove_file(&h.journal);
+}
+
+/// A protocol-violating frame gets a typed `error` reply and costs that
+/// connection — and only that connection; the listener and every other
+/// connection keep serving.
+#[test]
+fn malformed_frame_drops_only_its_connection() {
+    let h = start(23, "malformed");
+    let addr = h.handle.service_addr().to_string();
+    let mut healthy = Client::connect(&addr).expect("healthy connect");
+
+    // A raw socket speaking nonsense.
+    let mut rogue = std::net::TcpStream::connect(&addr).expect("rogue connect");
+    match read_frame(&mut rogue, None).expect("greeting") {
+        FrameRead::Frame(g) => assert!(g.starts_with("hsched-net")),
+        other => panic!("expected greeting, got {other:?}"),
+    }
+    write_frame(&mut rogue, "warble 3 5").expect("send nonsense");
+    match read_frame(&mut rogue, None).expect("error frame") {
+        FrameRead::Frame(payload) => {
+            assert!(payload.starts_with(&format!("error {} ", code::MALFORMED)));
+        }
+        other => panic!("expected error frame, got {other:?}"),
+    }
+    // The server hangs up on us…
+    match read_frame(&mut rogue, None) {
+        Ok(FrameRead::Eof) | Err(_) => {}
+        other => panic!("expected EOF after violation, got {other:?}"),
+    }
+
+    // …while the healthy connection (and new ones) keep working.
+    let epoch = healthy
+        .submit(SubmitMode::Sync, SCHEMA_VERSION, &[])
+        .expect("healthy submit");
+    assert_eq!(epoch.epoch, 1);
+    let mut fresh = Client::connect(&addr).expect("fresh connect");
+    fresh.digest().expect("fresh digest");
+
+    let rejects = fresh
+        .stats()
+        .expect("stats")
+        .counter("net.malformed_rejects");
+    assert_eq!(rejects, 1);
+    h.handle.stop();
+    h.handle.join().expect("drain");
+    let _ = std::fs::remove_file(&h.journal);
+}
+
+/// A drain with pipelined (unsynced) epochs in flight must leave every
+/// settled epoch durable: join issues the final `sync(u64::MAX)`, and a
+/// cold replay of the journal reproduces the pre-shutdown digest.
+#[test]
+fn drain_syncs_pipelined_epochs() {
+    let seed = 24u64;
+    let spec = spec_for(seed);
+    let set = random_scenario(&spec);
+    let journal = temp_journal("drain");
+    let _ = std::fs::remove_file(&journal);
+    let engine = Arc::new(
+        SchedService::new(
+            set.clone(),
+            AnalysisConfig::default(),
+            AdmissionPolicy::default(),
+        )
+        .expect("seed")
+        .with_journal(&journal)
+        .expect("journal"),
+    );
+    let handle = Server::start(engine.clone(), ServerConfig::default()).expect("server start");
+    let addr = handle.service_addr().to_string();
+
+    let mut churn = ChurnGen::new(&spec, seed);
+    let mut client = Client::connect(&addr).expect("connect");
+    for _ in 0..5 {
+        let batch = churn.next_batch(&engine.current_set(), 2);
+        client
+            .submit(SubmitMode::Async, SCHEMA_VERSION, &batch)
+            .expect("pipelined submit");
+    }
+    let digest_before = engine.state_digest();
+    // No explicit sync — the drain owes us durability.
+    handle.stop();
+    let synced = handle.join().expect("drain");
+    assert_eq!(synced, 5, "drain group-committed every settled epoch");
+    drop(client);
+
+    let (replayed, stats) = SchedService::replay(
+        set,
+        AnalysisConfig::default(),
+        AdmissionPolicy::default(),
+        &journal,
+    )
+    .expect("cold replay");
+    assert_eq!(stats.tail_records, 5);
+    assert_eq!(replayed.state_digest(), digest_before);
+    let _ = std::fs::remove_file(&journal);
+}

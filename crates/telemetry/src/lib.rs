@@ -180,6 +180,23 @@ impl HistogramSnapshot {
         }
     }
 
+    /// Reassembles a snapshot from its parts — the inverse of reading
+    /// `sum()`/`max()`/`bucket(i)`, used to reconstruct histograms shipped
+    /// over a wire (`hsched stats --remote`). `counts` holds the per-bucket
+    /// counts starting at bucket 0; missing trailing buckets read as zero,
+    /// extras beyond [`BUCKETS`] are ignored. The total count is the bucket
+    /// sum, exactly as recording would have left it.
+    pub fn from_parts(sum: u64, max: u64, counts: &[u64]) -> HistogramSnapshot {
+        let mut snap = HistogramSnapshot::empty();
+        for (bucket, &n) in snap.buckets.iter_mut().zip(counts.iter()) {
+            *bucket = n;
+            snap.count += n;
+        }
+        snap.sum = sum;
+        snap.max = max;
+        snap
+    }
+
     /// Values recorded.
     pub fn count(&self) -> u64 {
         self.count

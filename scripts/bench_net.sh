@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Scripted perf run for the socket front end: regenerates BENCH_net.json
+# (8 loopback TCP clients driving journaled toggle epochs through
+# `hsched_net::Client`, per-epoch-synced lockstep vs pipelined group
+# commit, with a live follower tailing the replication stream for the
+# lag histogram and a digest cross-check). The binary asserts pipelining
+# clearly beats lockstep, so this doubles as a perf regression gate. CI
+# runs it on every push; commit the refreshed JSON when the numbers move
+# materially.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Run metadata for the JSON's "meta" block (the binary takes no VCS or
+# clock dependency of its own).
+export HSCHED_BENCH_COMMIT="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+export HSCHED_BENCH_DATE="$(date -u +%Y-%m-%d)"
+
+cargo run --release --quiet --locked -p hsched-bench --bin net_perf BENCH_net.json

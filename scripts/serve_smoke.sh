@@ -1,0 +1,151 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the socket front end and journal-streaming
+# replication: a journaled primary (`hsched serve`) with a warm standby
+# (`hsched follow`) tailing its replication port, driven by a remote
+# pipelined client (`hsched admit --remote --async`). The primary is then
+# killed with SIGKILL — the standby must exit holding the byte-identical
+# state (same digest as replaying either journal). A second life resumes
+# the primary from its journal and the standby from its mirror offset
+# (nothing is re-streamed), commits more epochs, and drains gracefully on
+# SIGTERM. CI runs this on every push.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SPEC=scripts/admit_demo.hsc
+SCRIPT=scripts/admit_demo.req
+WORK=$(mktemp -d -t hsched-serve-smoke.XXXXXX)
+SERVE_PID=""
+FOLLOW_PID=""
+cleanup() {
+    [ -n "$SERVE_PID" ] && kill -9 "$SERVE_PID" 2>/dev/null || true
+    [ -n "$FOLLOW_PID" ] && kill -9 "$FOLLOW_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# Background roles must be the binary itself, not `cargo run` — killing a
+# cargo wrapper with SIGKILL would orphan the server it spawned.
+cargo build --release --quiet --locked -p hsched-cli
+BIN=target/release/hsched
+
+wait_for() { # wait_for DESCRIPTION COMMAND...
+    local what=$1
+    shift
+    for _ in $(seq 1 200); do
+        if "$@"; then return 0; fi
+        sleep 0.05
+    done
+    echo "serve smoke: timed out waiting for $what" >&2
+    return 1
+}
+
+file_size() { wc -c <"$1" 2>/dev/null || echo 0; }
+
+mirror_caught_up() {
+    local p m
+    p=$(file_size "$WORK/primary.journal")
+    m=$(file_size "$WORK/mirror.journal")
+    [ "$p" -gt 0 ] && [ "$p" -eq "$m" ]
+}
+
+addrs_ready() { [ -s "$1" ] && grep -q '^repl ' "$1"; }
+
+# ---------------------------------------------------------------- life 1
+
+"$BIN" serve "$SPEC" --addr 127.0.0.1:0 --repl 127.0.0.1:0 \
+    --journal "$WORK/primary.journal" --heartbeat-ms 50 \
+    --addr-file "$WORK/addrs" >"$WORK/serve1.out" 2>&1 &
+SERVE_PID=$!
+wait_for "serve to bind" addrs_ready "$WORK/addrs"
+SERVICE_ADDR=$(awk '$1 == "service" { print $2 }' "$WORK/addrs")
+REPL_ADDR=$(awk '$1 == "repl" { print $2 }' "$WORK/addrs")
+
+"$BIN" follow "$SPEC" --from "$REPL_ADDR" --journal "$WORK/mirror.journal" \
+    --exit-on-disconnect >"$WORK/follow1.out" 2>&1 &
+FOLLOW_PID=$!
+
+# Pipelined remote admission: the demo script's 4 epochs over the wire.
+out=$("$BIN" admit "$SPEC" "$SCRIPT" --remote "$SERVICE_ADDR" --async)
+echo "$out"
+echo "$out" | grep -q "epoch 1: admitted"
+echo "$out" | grep -q "epoch 2: rejected (overload on Pi3)"
+echo "$out" | grep -q "durable through epoch 4"
+digest=$(echo "$out" | grep -o 'state digest [0-9a-f]\{16\}' | awk '{print $3}')
+test -n "$digest"
+
+# The standby mirrors the journal byte-for-byte.
+wait_for "mirror to catch up" mirror_caught_up
+SIZE1=$(file_size "$WORK/primary.journal")
+
+# The wire counters confirm the stream carried exactly the journal.
+stats=$("$BIN" stats --remote "$SERVICE_ADDR")
+echo "$stats" | grep -q 'net.repl.lag_records'
+streamed=$(echo "$stats" | awk '$1 == "net.repl.bytes_streamed" { print $2 }')
+[ "$streamed" -eq "$SIZE1" ]
+
+# SIGKILL the primary: no drain, no goodbye. The standby must notice the
+# disconnect and exit already holding the byte-identical state.
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+wait "$FOLLOW_PID"
+FOLLOW_PID=""
+cat "$WORK/follow1.out"
+grep -q "standby: epoch 4 digest $digest (primary disconnected" "$WORK/follow1.out"
+
+# Both journals replay to the same engine the client saw.
+run() { cargo run --release --quiet --locked -p hsched-cli --bin hsched -- "$@"; }
+run replay "$SPEC" "$WORK/primary.journal" | grep -q "state digest $digest"
+run replay "$SPEC" "$WORK/mirror.journal" | grep -q "state digest $digest"
+
+# ---------------------------------------------------------------- life 2
+# Resume: the primary replays its own journal, the standby resumes from
+# its mirror offset — only the new epochs travel on the wire.
+
+cat >"$WORK/more.req" <<'EOF'
+add hotfix period 80 deadline 160 task patch wcet 0.5 bcet 0.25 prio 1 on Pi1
+commit
+remove hotfix
+EOF
+
+"$BIN" serve "$SPEC" --addr 127.0.0.1:0 --repl 127.0.0.1:0 \
+    --journal "$WORK/primary.journal" --heartbeat-ms 50 \
+    --addr-file "$WORK/addrs2" >"$WORK/serve2.out" 2>&1 &
+SERVE_PID=$!
+wait_for "resumed serve to bind" addrs_ready "$WORK/addrs2"
+grep -q "resumed epoch 4 from journal" "$WORK/serve2.out"
+SERVICE_ADDR=$(awk '$1 == "service" { print $2 }' "$WORK/addrs2")
+REPL_ADDR=$(awk '$1 == "repl" { print $2 }' "$WORK/addrs2")
+
+"$BIN" follow "$SPEC" --from "$REPL_ADDR" --journal "$WORK/mirror.journal" \
+    --exit-on-disconnect >"$WORK/follow2.out" 2>&1 &
+FOLLOW_PID=$!
+
+out2=$("$BIN" admit "$SPEC" "$WORK/more.req" --remote "$SERVICE_ADDR" --async)
+echo "$out2"
+echo "$out2" | grep -q "epoch 5: admitted"
+echo "$out2" | grep -q "epoch 6: admitted"
+digest2=$(echo "$out2" | grep -o 'state digest [0-9a-f]\{16\}' | awk '{print $3}')
+
+wait_for "mirror to catch up after resume" mirror_caught_up
+SIZE2=$(file_size "$WORK/primary.journal")
+
+# Resume-from-offset proof: this serve's stream counter covers only the
+# delta past the mirror's resume offset, not a re-stream of history.
+stats2=$("$BIN" stats --remote "$SERVICE_ADDR")
+streamed2=$(echo "$stats2" | awk '$1 == "net.repl.bytes_streamed" { print $2 }')
+[ "$streamed2" -eq $((SIZE2 - SIZE1)) ]
+
+# Graceful drain on SIGTERM: in-flight epochs settle, one final group
+# commit, and the standby sees an orderly disconnect.
+kill "$SERVE_PID"
+wait "$SERVE_PID"
+SERVE_PID=""
+wait "$FOLLOW_PID"
+FOLLOW_PID=""
+cat "$WORK/serve2.out"
+grep -q "serve: drained; durable through epoch 6; state digest $digest2" "$WORK/serve2.out"
+grep -q "standby: epoch 6 digest $digest2 (primary disconnected" "$WORK/follow2.out"
+run replay "$SPEC" "$WORK/mirror.journal" | grep -q "state digest $digest2"
+
+echo "serve smoke: OK"

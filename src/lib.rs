@@ -20,6 +20,7 @@
 //! | [`analysis`] | `hsched-analysis` | the §3 response-time analyses |
 //! | [`admission`] | `hsched-admission` | online admission control (incremental analysis, scenario generator) |
 //! | [`engine`] | `hsched-engine` | concurrent admission service: `SchedService` (`&self` submits, ticketed epochs, journal compaction) over island-routed shards, typed `TxnId` API, journaled replay |
+//! | [`net`] | `hsched-net` | socket layer: framed wire protocol, `hsched serve` server, journal-streaming replication, warm-standby follower, remote client |
 //! | [`sim`] | `hsched-sim` | discrete-event simulator (validation oracle) |
 //! | [`spec`] | `hsched-spec` | the `.hsc` specification language |
 //! | [`design`] | `hsched-design` | platform-parameter optimization (§5 future work) |
@@ -70,6 +71,7 @@ pub use hsched_analysis as analysis;
 pub use hsched_design as design;
 pub use hsched_engine as engine;
 pub use hsched_model as model;
+pub use hsched_net as net;
 pub use hsched_numeric as numeric;
 pub use hsched_platform as platform;
 pub use hsched_sim as sim;
