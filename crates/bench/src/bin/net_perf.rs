@@ -118,6 +118,7 @@ fn main() {
                 journal_path: Some(journal.clone()),
                 heartbeat_interval: Duration::from_millis(25),
                 handler: None,
+                ..ServerConfig::default()
             },
         )
         .expect("server starts");

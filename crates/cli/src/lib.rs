@@ -29,8 +29,32 @@ use hsched_spec::{parse_and_validate, parse_str, to_source};
 use hsched_transaction::{flatten, FlattenOptions, TransactionSet};
 use std::fmt::Write as _;
 
+/// Exit code of `hsched follow` when the standby's state digest diverged
+/// from the primary's heartbeat digest — the mirror is not a faithful
+/// copy and must not be promoted.
+pub const EXIT_DIVERGED: i32 = 3;
+
+/// Exit code of `hsched follow --exit-on-disconnect` when the primary
+/// rejected the mirror's resume offset (compaction or a diverged
+/// prefix): reconnecting would require a full resync.
+pub const EXIT_RESUME_REJECTED: i32 = 4;
+
+/// Maps an error message returned by [`run`] to the process exit code.
+/// Generic failures exit 1; `hsched follow` failure classes get distinct
+/// codes (documented in the FOLLOW help section) so supervisors can tell
+/// "restart me" from "page a human".
+pub fn exit_code_for(message: &str) -> i32 {
+    if message.starts_with("standby diverged") {
+        EXIT_DIVERGED
+    } else if message.starts_with("standby resume rejected") {
+        EXIT_RESUME_REJECTED
+    } else {
+        1
+    }
+}
+
 /// Entry point: interprets `args` (without the program name) and returns the
-/// text to print, or an error message (exit code 1).
+/// text to print, or an error message (exit code via [`exit_code_for`]).
 pub fn run(args: &[String]) -> Result<String, String> {
     let Some(command) = args.first() else {
         return Err(usage());
@@ -146,9 +170,23 @@ FOLLOW: hsched follow <SPEC.hsc> --from <HOST:PORT> --journal <FILE>
     applying records through streaming replay as they arrive and
     cross-checking the primary's digest heartbeats. Reconnects resume
     from the mirror's valid prefix (no re-streaming); divergence is
-    refused loudly (exit 1). Same spec as the primary!
+    refused loudly. Same spec as the primary!
     --exit-on-disconnect  exit when the primary goes away instead of
-                          retrying (the default is to keep reconnecting)
+                          retrying; a rejected resume offer is then
+                          fatal too (exit 4), never a silent resync
+    --promote-on-loss     take over when the primary stays gone: after
+                          --max-reconnects sessions without progress,
+                          replay the mirror into a serving primary
+                          (epoch + digest cross-checked against the
+                          live standby) and serve it — the process
+                          becomes `hsched serve` on the inherited
+                          journal (accepts --addr, --repl,
+                          --heartbeat-ms, --addr-file as for serve)
+    --max-reconnects <N>  consecutive failed sessions before the
+                          primary counts as lost (default 5)
+    Exit codes: 0 clean exit (stopped, caught up, or disconnected);
+    1 wire/usage failure; 3 standby digest diverged from the primary;
+    4 the primary rejected the mirror's resume offset.
 
 REMOTE: admit/stats against a serving primary
     hsched admit <SPEC.hsc> <SCRIPT> --remote <HOST:PORT> [--async] [--json]
@@ -158,6 +196,12 @@ REMOTE: admit/stats against a serving primary
     connection with a single group commit. Rejected epochs carry stable
     reason codes (err_code in JSON); engine errors come back as typed
     wire errors. --journal/--auto-compact stay server-side.
+    --retry <N>       retry transient wire failures (dead connections,
+                      `overloaded` shed replies with their
+                      retry-after-ms hint) up to N times with
+                      exponential backoff + jitter; per-batch
+                      idempotency tickets make resends safe, so no
+                      batch ever commits twice
 
 SIMULATE OPTIONS:
     --horizon <T>     simulated time (default 1000)
@@ -319,6 +363,10 @@ fn cmd_admit(args: &[String]) -> Result<String, String> {
     let script = std::fs::read_to_string(script_path)
         .map_err(|e| format!("cannot read `{script_path}`: {e}"))?;
     let batches = admit::parse_script(&script, &set).map_err(|e| format!("{script_path}: {e}"))?;
+    let retry: u32 = match opt_value(args, "--retry")? {
+        Some(n) => n.parse().map_err(|_| format!("bad retry count `{n}`"))?,
+        None => 0,
+    };
     if let Some(remote) = opt_value(args, "--remote")? {
         // Client mode: the engine (and its journal) live in the serving
         // primary; journal flags here would silently do nothing.
@@ -332,7 +380,11 @@ fn cmd_admit(args: &[String]) -> Result<String, String> {
             opt_flag(args, "--json"),
             opt_flag(args, "--async"),
             opt_flag(args, "--stats"),
+            retry,
         );
+    }
+    if retry > 0 {
+        return Err("--retry is a wire-client knob; it needs --remote".into());
     }
     let policy = engine_policy(args)?;
     let auto_compact = match opt_value(args, "--auto-compact")? {
@@ -698,10 +750,31 @@ bind Integrator.readSensor2 -> Sensor2.read;
 
     #[test]
     fn help_and_unknown() {
-        assert!(run(&args(&["help"])).unwrap().contains("USAGE"));
+        let help = run(&args(&["help"])).unwrap();
+        assert!(help.contains("USAGE"));
+        // The failure-semantics surface is documented: follow's typed
+        // exit codes and the remote retry knob.
+        assert!(help.contains("--promote-on-loss"), "{help}");
+        assert!(help.contains("--max-reconnects"), "{help}");
+        assert!(help.contains("3 standby digest diverged"), "{help}");
+        assert!(help.contains("--retry"), "{help}");
         let err = run(&args(&["frobnicate"])).unwrap_err();
         assert!(err.contains("unknown command"));
         assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn exit_codes_for_follow_failures() {
+        assert_eq!(
+            exit_code_for("standby diverged: primary digest x, standby digest y"),
+            EXIT_DIVERGED
+        );
+        assert_eq!(
+            exit_code_for("standby resume rejected: primary rejected the resume offer"),
+            EXIT_RESUME_REJECTED
+        );
+        assert_eq!(exit_code_for("standby refused: protocol violation"), 1);
+        assert_eq!(exit_code_for("cannot read `x.hsc`"), 1);
     }
 
     #[test]
@@ -1411,17 +1484,22 @@ instance I : W on S node 0;
         assert!(repl.is_none());
 
         // Remote admit renders the same per-epoch lines as a local run.
+        // `--retry` routes through the ticketed RetryClient; on a clean
+        // loopback it behaves identically (zero retries performed).
         let out = run(&args(&[
             "admit",
             spec.to_str().unwrap(),
             script.to_str().unwrap(),
             "--remote",
             &addr,
+            "--retry",
+            "2",
         ]))
         .unwrap();
         assert!(out.contains("epoch 1: admitted"), "{out}");
         assert!(out.contains("epoch 2: rejected (overload on Pi3"), "{out}");
         assert!(out.contains("epoch 3: admitted"), "{out}");
+        assert!(out.contains("retried 0 time(s)"), "{out}");
         assert!(
             out.contains("remote engine: epoch 3; state digest"),
             "{out}"
@@ -1589,6 +1667,161 @@ instance I : W on S node 0;
     }
 
     #[test]
+    fn follow_promote_on_loss_takes_over() {
+        let _signal = signal_lock();
+        let spec = spec_file();
+        let script = script_file(
+            "add probe period 60 deadline 120 task p wcet 1 bcet 0.5 prio 1 on Pi1\n\
+             commit\n\
+             remove probe\n",
+        );
+        let journal = std::env::temp_dir().join(format!(
+            "hsched-cli-test-promote-primary-{}.journal",
+            std::process::id()
+        ));
+        let mirror = std::env::temp_dir().join(format!(
+            "hsched-cli-test-promote-mirror-{}.journal",
+            std::process::id()
+        ));
+        let addr_file = std::env::temp_dir().join(format!(
+            "hsched-cli-test-promote-addrs-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&journal);
+        let _ = std::fs::remove_file(&mirror);
+        let _ = std::fs::remove_file(&addr_file);
+
+        // The primary runs on the net API directly (not `hsched serve`),
+        // so the test can crash it without the process-wide signal flag
+        // the follower is also watching.
+        let (system, platforms) = parse_and_validate(SPEC).unwrap();
+        let set = flatten(
+            &system,
+            &platforms,
+            FlattenOptions {
+                external_stimuli: true,
+            },
+        )
+        .unwrap();
+        let engine = std::sync::Arc::new(
+            hsched_engine::SchedService::new(
+                set,
+                AnalysisConfig::default(),
+                AdmissionPolicy::default(),
+            )
+            .unwrap()
+            .with_journal(&journal)
+            .unwrap(),
+        );
+        let handle = hsched_net::Server::start(
+            engine.clone(),
+            hsched_net::ServerConfig {
+                repl_addr: Some("127.0.0.1:0".to_string()),
+                journal_path: Some(journal.clone()),
+                heartbeat_interval: std::time::Duration::from_millis(50),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let service = handle.service_addr().to_string();
+        let repl = handle.repl_addr().unwrap().to_string();
+
+        // Seed two epochs, then put a standby on the stream with the
+        // takeover armed: two no-progress sessions and the primary is
+        // presumed dead.
+        let out = run(&args(&[
+            "admit",
+            spec.to_str().unwrap(),
+            script.to_str().unwrap(),
+            "--remote",
+            &service,
+        ]))
+        .unwrap();
+        assert!(out.contains("epoch 2: admitted"), "{out}");
+        let follow_args = args(&[
+            "follow",
+            spec.to_str().unwrap(),
+            "--from",
+            &repl,
+            "--journal",
+            mirror.to_str().unwrap(),
+            "--promote-on-loss",
+            "--max-reconnects",
+            "2",
+            "--addr",
+            "127.0.0.1:0",
+            "--addr-file",
+            addr_file.to_str().unwrap(),
+        ]);
+        let follow = std::thread::spawn(move || run(&follow_args));
+
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            let primary = std::fs::metadata(&journal).map(|m| m.len()).unwrap_or(0);
+            let mirrored = std::fs::metadata(&mirror).map(|m| m.len()).unwrap_or(0);
+            if primary > 0 && mirrored == primary {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "mirror did not catch up: {mirrored}/{primary} bytes"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+
+        // Crash the primary. The standby's reconnect attempts fail, it
+        // declares the primary lost, promotes the mirror, and serves.
+        let expected_digest = engine.state_digest();
+        handle.stop();
+        handle.join().unwrap();
+        drop(engine);
+        let promoted_addr = loop {
+            if let Ok(text) = std::fs::read_to_string(&addr_file) {
+                if let Some(line) = text.lines().find_map(|l| l.strip_prefix("service ")) {
+                    break line.to_string();
+                }
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "standby did not promote in time"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+
+        // The promoted standby is a live primary over the inherited
+        // mirror: same digest as the dead primary, and it accepts fresh
+        // epochs.
+        let stats = run(&args(&["stats", "--remote", &promoted_addr])).unwrap();
+        assert!(stats.contains("engine.epochs_settled"), "{stats}");
+        let out = run(&args(&[
+            "admit",
+            spec.to_str().unwrap(),
+            script.to_str().unwrap(),
+            "--remote",
+            &promoted_addr,
+            "--retry",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("epoch 3: admitted"), "{out}");
+
+        hsched_net::signal::request_stop();
+        let summary = follow.join().expect("follow thread").expect("follow ok");
+        hsched_net::signal::reset();
+        assert!(summary.contains("promoted: drained"), "{summary}");
+        assert!(summary.contains("durable through epoch 4"), "{summary}");
+        // The pre-crash digest is NOT expected to survive verbatim (two
+        // more epochs landed) — but the promotion itself cross-checked
+        // it; assert the replayed takeover started from the primary's
+        // exact state by replaying the mirror's prefix is covered in the
+        // net-layer chaos tests. Here: the digest string is well-formed.
+        assert_eq!(expected_digest.len(), 16, "digest shape");
+        let _ = std::fs::remove_file(&journal);
+        let _ = std::fs::remove_file(&mirror);
+        let _ = std::fs::remove_file(&addr_file);
+    }
+
+    #[test]
     fn serve_json_lines_console() {
         use std::io::{BufRead as _, Write as _};
         let _signal = signal_lock();
@@ -1680,6 +1913,53 @@ instance I : W on S node 0;
         ]))
         .unwrap_err();
         assert!(err.contains("--journal"), "{err}");
+        // --retry without --remote is a usage error (and a bad count too).
+        let err = run(&args(&[
+            "admit",
+            spec.to_str().unwrap(),
+            script.to_str().unwrap(),
+            "--retry",
+            "3",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("needs --remote"), "{err}");
+        let err = run(&args(&[
+            "admit",
+            spec.to_str().unwrap(),
+            script.to_str().unwrap(),
+            "--remote",
+            "127.0.0.1:1",
+            "--retry",
+            "banana",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("bad retry count"), "{err}");
+        // Contradictory follow modes are refused up front.
+        let err = run(&args(&[
+            "follow",
+            spec.to_str().unwrap(),
+            "--from",
+            "127.0.0.1:1",
+            "--journal",
+            "/tmp/nope.journal",
+            "--promote-on-loss",
+            "--exit-on-disconnect",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("cannot be combined"), "{err}");
+        let err = run(&args(&[
+            "follow",
+            spec.to_str().unwrap(),
+            "--from",
+            "127.0.0.1:1",
+            "--journal",
+            "/tmp/nope.journal",
+            "--promote-on-loss",
+            "--max-reconnects",
+            "0",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("bad reconnect limit"), "{err}");
         // serve --repl without a journal is a usage error.
         let err = run(&args(&[
             "serve",

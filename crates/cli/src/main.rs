@@ -16,7 +16,9 @@ fn main() {
             if !message.ends_with('\n') {
                 eprintln!();
             }
-            std::process::exit(1);
+            // Typed failures (standby divergence, rejected resume) get
+            // distinct codes; everything else is the generic 1.
+            std::process::exit(hsched_cli::exit_code_for(&message));
         }
     }
 }

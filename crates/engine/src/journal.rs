@@ -664,6 +664,12 @@ pub struct JournalWriter {
     /// Durable-append subscribers, notified by the owning service after
     /// each successful group-commit fsync (never from inside a lock).
     subscribers: Subscribers,
+    /// Set when an append failed partway: the file may hold a torn record,
+    /// so in-memory epoch numbering has run ahead of the journal and any
+    /// further append would violate replay's contiguity check. Every later
+    /// append fails with this message until the journal is reopened
+    /// through recovery (which truncates the tear).
+    wedged: Option<String>,
 }
 
 impl JournalWriter {
@@ -682,6 +688,7 @@ impl JournalWriter {
             path: path.to_path_buf(),
             bytes: header.len() as u64,
             subscribers: Subscribers::default(),
+            wedged: None,
         })
     }
 
@@ -703,6 +710,7 @@ impl JournalWriter {
             path: path.to_path_buf(),
             bytes: valid_prefix,
             subscribers: Subscribers::default(),
+            wedged: None,
         })
     }
 
@@ -739,6 +747,7 @@ impl JournalWriter {
             path: path.to_path_buf(),
             bytes: (header.len() + snapshot_block.len()) as u64,
             subscribers: Subscribers::default(),
+            wedged: None,
         })
     }
 
@@ -766,6 +775,9 @@ impl JournalWriter {
         batch: &[AdmissionRequest],
         admitted: bool,
     ) -> Result<(), EngineError> {
+        if let Some(why) = &self.wedged {
+            return Err(EngineError::Journal(format!("journal is wedged: {why}")));
+        }
         let mut record = format!("epoch {epoch} {}\n", batch.len());
         for request in batch {
             for line in encode_request(request) {
@@ -779,11 +791,55 @@ impl JournalWriter {
             "verdict rejected\n"
         });
         record.push_str("end\n");
+        if let Some(err) = self.injected_append_fault(&record) {
+            self.wedged = Some(err.clone());
+            return Err(EngineError::Journal(err));
+        }
         (&*self.file)
             .write_all(record.as_bytes())
             .map_err(|e| EngineError::Journal(e.to_string()))?;
         self.bytes += record.len() as u64;
         Ok(())
+    }
+
+    /// Fires at most one armed journal append fault for this record and
+    /// returns the error message to wedge on. `journal.torn` leaves half
+    /// the record's bytes in the file (a tear replay must repair);
+    /// `journal.short` reports a short write after rolling the file back
+    /// to the record boundary; `journal.enospc` fails cleanly before any
+    /// byte lands. `journal.delay` only stalls — it never fails the append.
+    fn injected_append_fault(&mut self, record: &str) -> Option<String> {
+        use hsched_faults::Site;
+        if crate::sync::fault(Site::JournalDelay) {
+            hsched_faults::stall();
+        }
+        if crate::sync::fault(Site::JournalEnospc) {
+            return Some("injected fault: journal append (no space left)".to_string());
+        }
+        if crate::sync::fault(Site::JournalTorn) {
+            let half = record.len() / 2;
+            let torn = &record.as_bytes()[..half];
+            if (&*self.file).write_all(torn).is_ok() {
+                self.bytes += torn.len() as u64;
+            }
+            return Some(format!(
+                "injected fault: torn journal append ({half} of {} bytes)",
+                record.len()
+            ));
+        }
+        if crate::sync::fault(Site::JournalShort) {
+            let half = record.len() / 2;
+            let _ = (&*self.file).write_all(&record.as_bytes()[..half]);
+            // Roll the file back to the record boundary so the short write
+            // is invisible on disk — the failure is still fatal to this
+            // writer (memory has run ahead), but recovery sees no tear.
+            let _ = self.file.set_len(self.bytes);
+            return Some(format!(
+                "injected fault: short journal write ({half} of {} bytes)",
+                record.len()
+            ));
+        }
+        None
     }
 
     /// A shared handle for syncing outside any engine lock (group commit).

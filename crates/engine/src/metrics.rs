@@ -34,6 +34,12 @@ pub struct EngineMetrics {
     pub journal_records: Counter,
     /// Snapshot compactions that completed (manual and automatic).
     pub compactions: Counter,
+    /// Submissions turned away by a front end's admission backpressure
+    /// (the engine never sheds on its own — see
+    /// [`crate::SchedService::note_shed`]).
+    pub shed_rejected: Counter,
+    /// Torn-tail bytes truncated by replay/recovery (WAL tail repair).
+    pub replay_repaired_bytes: Counter,
 
     /// Reserve-phase time per epoch, *excluding* the route and checkout
     /// slices below (gate waits, stripe locking, contention retries).
@@ -73,6 +79,11 @@ impl EngineMetrics {
         snap.put_counter("engine.journal.bytes", self.journal_bytes.get());
         snap.put_counter("engine.journal.records", self.journal_records.get());
         snap.put_counter("engine.journal.compactions", self.compactions.get());
+        snap.put_counter("engine.shed.rejected", self.shed_rejected.get());
+        snap.put_counter(
+            "engine.replay.repaired_bytes",
+            self.replay_repaired_bytes.get(),
+        );
         snap.put_histogram("engine.phase.reserve_ns", self.reserve_ns.snapshot());
         snap.put_histogram("engine.phase.route_ns", self.route_ns.snapshot());
         snap.put_histogram("engine.phase.checkout_ns", self.checkout_ns.snapshot());

@@ -689,6 +689,10 @@ impl SchedService {
             replayed += 1;
         }
         let valid = stream.valid_prefix();
+        service
+            .metrics
+            .replay_repaired_bytes
+            .add(file_bytes.saturating_sub(valid));
         if attach {
             let mut core = service.lock_core();
             let journal = JournalWriter::recover(path, valid)?;
@@ -846,7 +850,11 @@ impl SchedService {
                 file.sync_data()
             };
             #[cfg(not(hsched_model))]
-            let outcome = file.sync_data();
+            let outcome = if crate::sync::fault(hsched_faults::Site::JournalFsync) {
+                Err(hsched_faults::injected_io_error("journal fsync"))
+            } else {
+                file.sync_data()
+            };
             self.metrics.fsync_ns.record(elapsed_ns(fsync_started));
             core = self.lock_core();
             core.syncing = false;
@@ -902,6 +910,28 @@ impl SchedService {
         } else {
             core.synced
         }
+    }
+
+    /// Epoch tickets issued but not yet durable (not yet settled when no
+    /// journal is attached): the server's admission-backpressure signal. A
+    /// front end sheds new submissions once this backlog crosses its
+    /// configured cap instead of letting every connection block on the
+    /// same fsync queue.
+    pub fn pending_epochs(&self) -> u64 {
+        let core = self.lock_core();
+        let floor = if core.journal.is_none() {
+            core.settled
+        } else {
+            core.synced
+        };
+        self.issued.load(Ordering::Acquire).saturating_sub(floor)
+    }
+
+    /// Records one shed (load-rejected) submission in the engine metrics
+    /// (`engine.shed.rejected`). Called by front ends that turn work away
+    /// at admission time; the engine itself never sheds.
+    pub fn note_shed(&self) {
+        self.metrics.shed_rejected.incr();
     }
 
     /// The name-addressed commit path (also the replay path): settle plus
@@ -2122,7 +2152,14 @@ impl World<'_> {
         let admitted_ids = self.mint_arrival_ids(batch);
 
         if let Some(journal) = &mut self.core.journal {
-            journal.append_nosync(ticket, batch, true)?;
+            if let Err(e) = journal.append_nosync(ticket, batch, true) {
+                // Memory has already applied this epoch; the journal has
+                // not. Poison durability so no later sync can claim a
+                // watermark covering an epoch the journal never recorded.
+                let message = format!("journal append failed: {e}");
+                self.core.sync_error = Some(message.clone());
+                return Err(EngineError::Journal(message));
+            }
         }
         self.core.admitted_epochs += 1;
         Ok(EngineResponse {
@@ -2154,7 +2191,13 @@ impl World<'_> {
         slots: Vec<usize>,
     ) -> Result<EngineResponse, EngineError> {
         if let Some(journal) = &mut self.core.journal {
-            journal.append_nosync(ticket, batch, false)?;
+            if let Err(e) = journal.append_nosync(ticket, batch, false) {
+                // Same sticky poison as the admitted path: the epoch
+                // counter has advanced past a record the journal lacks.
+                let message = format!("journal append failed: {e}");
+                self.core.sync_error = Some(message.clone());
+                return Err(EngineError::Journal(message));
+            }
         }
         self.core.rejected_epochs += 1;
         Ok(EngineResponse {

@@ -17,6 +17,24 @@
 pub(crate) use std::sync::atomic::Ordering;
 pub(crate) use std::sync::Arc;
 
+/// The engine's single fault-injection tap (the `hsched-faults` shim
+/// rides through this facade like every other concurrency-adjacent
+/// primitive). In a normal build it defers to the process-wide fault
+/// plan; under `--cfg hsched_model` it is a hard no-op, because the model
+/// checker's schedules must stay deterministic — model builds keep their
+/// own explicit hook ([`crate::SchedService::fail_next_sync`]) instead.
+pub(crate) fn fault(site: hsched_faults::Site) -> bool {
+    #[cfg(hsched_model)]
+    {
+        let _ = site;
+        false
+    }
+    #[cfg(not(hsched_model))]
+    {
+        hsched_faults::hit(site)
+    }
+}
+
 #[cfg(not(hsched_model))]
 mod imp {
     pub(crate) use std::sync::atomic::{AtomicBool, AtomicU64};

@@ -1,0 +1,472 @@
+//! hsched-faults: deterministic, seeded fault injection for the journal
+//! and wire stack.
+//!
+//! The production I/O of the system funnels through three seams — journal
+//! append/fsync, frame read/write, and connection accept/dial — and each
+//! seam carries one cheap tap: a call to [`hit`] naming its [`Site`].
+//! With no plan installed the tap is a single `SeqCst` load of a static
+//! flag that predicts perfectly false — default builds pay nothing
+//! measurable. With a plan installed (programmatically via [`install`],
+//! or through the `HSCHED_FAULTS` environment variable) each tap draws
+//! from a seeded splitmix64 stream and fires with the site's configured
+//! per-mille probability, bounded by an optional per-site budget.
+//!
+//! Like `hsched-check`'s replayable schedules, a plan is fully described
+//! by its spec string ([`FaultPlan::spec`]): the same spec produces the
+//! same decision stream for the same sequence of taps, so a chaos failure
+//! is reported as one line that reproduces it bit-for-bit.
+//!
+//! Spec grammar (also the `HSCHED_FAULTS` value):
+//!
+//! ```text
+//! <seed>:<site>=<per-mille>[*<budget>][,<site>=<per-mille>[*<budget>]…]
+//! ```
+//!
+//! e.g. `7:journal.fsync=1000*1,frame.drop=25` — seed 7, the first fsync
+//! fails (rate 1000‰, budget 1), and 2.5% of frame writes drop the
+//! connection, forever.
+//!
+//! What each site *means* — wedging semantics, repair behaviour, retry
+//! classification — is owned by the seam that hosts the tap; this crate
+//! only decides *whether* the next operation at a site is faulted, and
+//! counts what it decided ([`FaultPlan::injected`] feeds the
+//! `net.faults.*` counters).
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, Once};
+use std::time::Duration;
+
+/// Environment variable holding the process-wide fault plan spec.
+pub const ENV_VAR: &str = "HSCHED_FAULTS";
+
+/// How long an injected `journal.delay` / `frame.stall` pauses the
+/// faulted operation. Long enough to shuffle interleavings, short enough
+/// that chaos suites stay fast.
+pub const INJECTED_DELAY: Duration = Duration::from_millis(2);
+
+/// An injection site: one named place in the stack where a tap interposes
+/// on real I/O. The effect column is implemented by the seam, not here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Site {
+    /// Journal append writes a partial record and leaves the torn bytes
+    /// on disk (power-cut mid-write); the writer wedges and recovery
+    /// repairs the tail.
+    JournalTorn,
+    /// Journal append detects a short write and truncates back to the
+    /// record boundary (clean tail); the writer wedges.
+    JournalShort,
+    /// Journal append fails before writing any byte (no space left on
+    /// device); the writer wedges.
+    JournalEnospc,
+    /// The group-commit `fsync` reports an I/O error, poisoning the
+    /// journal exactly like a real failure.
+    JournalFsync,
+    /// Journal append sleeps [`INJECTED_DELAY`] before writing.
+    JournalDelay,
+    /// Frame write puts a partial frame on the wire then fails — the
+    /// peer sees a torn frame, the writer loses the connection.
+    FramePartial,
+    /// Frame read/write fails without touching the wire — a dropped
+    /// connection.
+    FrameDrop,
+    /// Frame read/write stalls [`INJECTED_DELAY`] then proceeds.
+    FrameStall,
+    /// An accepted connection is dropped before its handler spawns.
+    ConnAccept,
+    /// An outbound dial fails before the TCP connect.
+    ConnDial,
+}
+
+impl Site {
+    /// Every site, in spec order.
+    pub const ALL: [Site; 10] = [
+        Site::JournalTorn,
+        Site::JournalShort,
+        Site::JournalEnospc,
+        Site::JournalFsync,
+        Site::JournalDelay,
+        Site::FramePartial,
+        Site::FrameDrop,
+        Site::FrameStall,
+        Site::ConnAccept,
+        Site::ConnDial,
+    ];
+
+    /// The site's stable spec name (`journal.torn`, `frame.drop`, …).
+    pub fn name(self) -> &'static str {
+        match self {
+            Site::JournalTorn => "journal.torn",
+            Site::JournalShort => "journal.short",
+            Site::JournalEnospc => "journal.enospc",
+            Site::JournalFsync => "journal.fsync",
+            Site::JournalDelay => "journal.delay",
+            Site::FramePartial => "frame.partial",
+            Site::FrameDrop => "frame.drop",
+            Site::FrameStall => "frame.stall",
+            Site::ConnAccept => "conn.accept",
+            Site::ConnDial => "conn.dial",
+        }
+    }
+
+    /// Parses a spec name back into its site.
+    pub fn parse(name: &str) -> Option<Site> {
+        Site::ALL.into_iter().find(|s| s.name() == name)
+    }
+
+    fn index(self) -> usize {
+        Site::ALL.iter().position(|s| *s == self).expect("in ALL")
+    }
+}
+
+/// One site's injection rule.
+#[derive(Debug, Clone, Copy)]
+struct Rule {
+    /// Firing probability per tap, in per-mille (1000 = always).
+    per_mille: u16,
+    /// Cap on total firings at this site (`None` = unbounded).
+    budget: Option<u64>,
+}
+
+/// Mutable plan state: the PRNG cursor and per-site firing counts, under
+/// one lock so a decision and its accounting are atomic (and so the
+/// decision stream is a function of the tap sequence alone).
+#[derive(Debug)]
+struct PlanState {
+    rng: u64,
+    injected: [u64; Site::ALL.len()],
+}
+
+/// A seeded fault-injection plan: per-site rates and budgets plus the
+/// deterministic decision stream. Install process-wide with [`install`],
+/// or query a free-standing plan directly with [`FaultPlan::should`].
+#[derive(Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    rules: [Option<Rule>; Site::ALL.len()],
+    state: Mutex<PlanState>,
+}
+
+/// splitmix64: tiny, dependency-free, and exactly reproducible — the same
+/// generator discipline the model checker uses for replayable schedules.
+fn splitmix64(cursor: &mut u64) -> u64 {
+    *cursor = cursor.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *cursor;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// An empty plan (no site fires) over `seed`.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            rules: [None; Site::ALL.len()],
+            state: Mutex::new(PlanState {
+                rng: seed,
+                injected: [0; Site::ALL.len()],
+            }),
+        }
+    }
+
+    /// Arms `site` at `per_mille` ‰ per tap (clamped to 1000), unbounded.
+    pub fn with(self, site: Site, per_mille: u16) -> FaultPlan {
+        self.with_rule(site, per_mille, None)
+    }
+
+    /// Arms `site` at `per_mille` ‰ per tap, firing at most `budget`
+    /// times over the plan's lifetime.
+    pub fn with_budget(self, site: Site, per_mille: u16, budget: u64) -> FaultPlan {
+        self.with_rule(site, per_mille, Some(budget))
+    }
+
+    fn with_rule(mut self, site: Site, per_mille: u16, budget: Option<u64>) -> FaultPlan {
+        self.rules[site.index()] = Some(Rule {
+            per_mille: per_mille.min(1000),
+            budget,
+        });
+        self
+    }
+
+    /// Parses a spec string (see the module docs for the grammar).
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let (seed_text, rules_text) = spec
+            .split_once(':')
+            .ok_or_else(|| format!("fault spec `{spec}` missing `seed:` prefix"))?;
+        let seed = parse_u64(seed_text.trim())
+            .ok_or_else(|| format!("bad fault seed `{}`", seed_text.trim()))?;
+        let mut plan = FaultPlan::new(seed);
+        for entry in rules_text.split(',') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let (name, rate_text) = entry
+                .split_once('=')
+                .ok_or_else(|| format!("fault entry `{entry}` missing `=rate`"))?;
+            let site = Site::parse(name.trim())
+                .ok_or_else(|| format!("unknown fault site `{}`", name.trim()))?;
+            let (rate_text, budget) = match rate_text.split_once('*') {
+                Some((rate, budget)) => (
+                    rate,
+                    Some(
+                        parse_u64(budget.trim())
+                            .ok_or_else(|| format!("bad fault budget `{}`", budget.trim()))?,
+                    ),
+                ),
+                None => (rate_text, None),
+            };
+            let per_mille: u16 = rate_text
+                .trim()
+                .parse()
+                .ok()
+                .filter(|r| *r <= 1000)
+                .ok_or_else(|| format!("bad fault rate `{}` (0-1000 ‰)", rate_text.trim()))?;
+            plan = plan.with_rule(site, per_mille, budget);
+        }
+        Ok(plan)
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Renders the plan back to its spec string — the one-line reproducer
+    /// chaos suites print on failure.
+    pub fn spec(&self) -> String {
+        let mut out = format!("{}:", self.seed);
+        let mut first = true;
+        for site in Site::ALL {
+            if let Some(rule) = &self.rules[site.index()] {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str(site.name());
+                out.push('=');
+                out.push_str(&rule.per_mille.to_string());
+                if let Some(budget) = rule.budget {
+                    out.push('*');
+                    out.push_str(&budget.to_string());
+                }
+            }
+        }
+        out
+    }
+
+    /// One tap: decides (deterministically, consuming one PRNG draw if
+    /// the site is armed) whether the next operation at `site` is
+    /// faulted, and counts a firing.
+    pub fn should(&self, site: Site) -> bool {
+        let Some(rule) = &self.rules[site.index()] else {
+            return false;
+        };
+        let mut state = self.state.lock().expect("fault plan state poisoned");
+        let draw = splitmix64(&mut state.rng) % 1000;
+        if draw >= u64::from(rule.per_mille) {
+            return false;
+        }
+        if let Some(budget) = rule.budget {
+            if state.injected[site.index()] >= budget {
+                return false;
+            }
+        }
+        state.injected[site.index()] += 1;
+        true
+    }
+
+    /// Firings so far at `site`.
+    pub fn injected(&self, site: Site) -> u64 {
+        self.state
+            .lock()
+            .expect("fault plan state poisoned")
+            .injected[site.index()]
+    }
+
+    /// Firings so far across every site.
+    pub fn total_injected(&self) -> u64 {
+        let state = self.state.lock().expect("fault plan state poisoned");
+        state.injected.iter().sum()
+    }
+}
+
+fn parse_u64(text: &str) -> Option<u64> {
+    match text.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => text.parse().ok(),
+    }
+}
+
+// ------------------------------------------------------------- process plan
+
+/// Fast off-switch: `false` means no plan is installed and every tap
+/// returns immediately after this one load.
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static PLAN: Mutex<Option<Arc<FaultPlan>>> = Mutex::new(None);
+static ENV_ONCE: Once = Once::new();
+
+/// Installs `plan` as the process-wide plan (replacing any previous one)
+/// and returns a handle for count assertions.
+pub fn install(plan: FaultPlan) -> Arc<FaultPlan> {
+    let plan = Arc::new(plan);
+    *PLAN.lock().expect("fault plan registry poisoned") = Some(plan.clone());
+    ACTIVE.store(true, Ordering::SeqCst);
+    plan
+}
+
+/// Removes the process-wide plan; every tap goes back to the one-load
+/// fast path.
+pub fn clear() {
+    ACTIVE.store(false, Ordering::SeqCst);
+    *PLAN.lock().expect("fault plan registry poisoned") = None;
+}
+
+/// The installed plan, if any (after a one-time `HSCHED_FAULTS` check).
+pub fn active() -> Option<Arc<FaultPlan>> {
+    init_from_env();
+    if !ACTIVE.load(Ordering::SeqCst) {
+        return None;
+    }
+    PLAN.lock().expect("fault plan registry poisoned").clone()
+}
+
+/// The tap: `true` when the next operation at `site` must be faulted.
+/// With no plan installed this is one atomic load.
+pub fn hit(site: Site) -> bool {
+    init_from_env();
+    if !ACTIVE.load(Ordering::SeqCst) {
+        return false;
+    }
+    let plan = PLAN.lock().expect("fault plan registry poisoned").clone();
+    plan.is_some_and(|p| p.should(site))
+}
+
+/// One-time `HSCHED_FAULTS` pickup (first tap wins; a malformed spec is
+/// reported and ignored rather than silently arming nothing *and*
+/// silently arming something wrong).
+pub fn init_from_env() {
+    ENV_ONCE.call_once(|| {
+        let Ok(spec) = std::env::var(ENV_VAR) else {
+            return;
+        };
+        if spec.trim().is_empty() {
+            return;
+        }
+        match FaultPlan::parse(&spec) {
+            Ok(plan) => {
+                install(plan);
+            }
+            Err(e) => eprintln!("{ENV_VAR} ignored: {e}"),
+        }
+    });
+}
+
+/// The `io::Error` an injected fault surfaces as — always prefixed
+/// `injected fault:` so logs and smoke scripts can tell injections from
+/// real failures.
+pub fn injected_io_error(what: &str) -> std::io::Error {
+    std::io::Error::other(format!("injected fault: {what}"))
+}
+
+/// Sleeps the injected-delay interval (the `journal.delay` /
+/// `frame.stall` effect).
+pub fn stall() {
+    std::thread::sleep(INJECTED_DELAY);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_round_trips() {
+        let plan =
+            FaultPlan::new(7)
+                .with(Site::FrameDrop, 25)
+                .with_budget(Site::JournalFsync, 1000, 1);
+        let spec = plan.spec();
+        assert_eq!(spec, "7:journal.fsync=1000*1,frame.drop=25");
+        let parsed = FaultPlan::parse(&spec).expect("parse");
+        assert_eq!(parsed.spec(), spec);
+        assert_eq!(parsed.seed(), 7);
+        assert_eq!(
+            FaultPlan::parse("0x10:conn.dial=1000").expect("hex").seed(),
+            16
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(FaultPlan::parse("no-colon").is_err());
+        assert!(FaultPlan::parse("x:frame.drop=1").is_err());
+        assert!(FaultPlan::parse("1:frame.warp=1").is_err());
+        assert!(FaultPlan::parse("1:frame.drop=1001").is_err());
+        assert!(FaultPlan::parse("1:frame.drop=10*x").is_err());
+        assert!(FaultPlan::parse("1:frame.drop").is_err());
+    }
+
+    #[test]
+    fn decision_stream_is_deterministic() {
+        let make = || FaultPlan::parse("42:frame.drop=300,journal.delay=500").expect("parse");
+        let (a, b) = (make(), make());
+        let taps = [
+            Site::FrameDrop,
+            Site::JournalDelay,
+            Site::FrameDrop,
+            Site::FrameDrop,
+            Site::JournalDelay,
+            Site::ConnDial, // unarmed: never fires, consumes no draw
+        ];
+        for _ in 0..200 {
+            for site in taps {
+                assert_eq!(a.should(site), b.should(site));
+            }
+        }
+        assert_eq!(a.total_injected(), b.total_injected());
+        assert!(
+            a.total_injected() > 0,
+            "rates this high must fire in 1200 taps"
+        );
+        assert_eq!(a.injected(Site::ConnDial), 0);
+    }
+
+    #[test]
+    fn budget_caps_firings() {
+        let plan = FaultPlan::new(3).with_budget(Site::JournalFsync, 1000, 2);
+        let fired = (0..50).filter(|_| plan.should(Site::JournalFsync)).count();
+        assert_eq!(fired, 2);
+        assert_eq!(plan.injected(Site::JournalFsync), 2);
+    }
+
+    #[test]
+    fn every_site_name_round_trips() {
+        for site in Site::ALL {
+            assert_eq!(Site::parse(site.name()), Some(site));
+        }
+        assert_eq!(Site::parse("journal"), None);
+    }
+
+    /// Global install/clear semantics in one test (the registry is
+    /// process-wide; sibling tests must not race it).
+    #[test]
+    fn process_plan_install_hit_clear() {
+        clear();
+        assert!(!hit(Site::FrameDrop), "no plan: taps are inert");
+        assert!(active().is_none());
+        let handle = install(FaultPlan::new(9).with(Site::FrameDrop, 1000));
+        assert!(hit(Site::FrameDrop), "rate 1000 always fires");
+        assert_eq!(handle.injected(Site::FrameDrop), 1);
+        assert!(!hit(Site::ConnDial), "unarmed site stays inert");
+        assert!(active().is_some());
+        clear();
+        assert!(!hit(Site::FrameDrop));
+        assert_eq!(
+            handle.injected(Site::FrameDrop),
+            1,
+            "clearing detaches the plan without zeroing its counts"
+        );
+    }
+}

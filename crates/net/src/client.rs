@@ -2,14 +2,26 @@
 //! --remote` route through one of these, and the network bench drives
 //! the split [`Client::send_submit`] / [`Client::recv_epoch`] halves to
 //! keep several epochs in flight per connection.
+//!
+//! [`Client`] is the bare single-connection protocol driver: any
+//! transport failure is surfaced and the connection is dead. For clients
+//! that must survive flaky networks and load-shedding servers there is
+//! [`RetryClient`], which wraps reconnection, exponential backoff with
+//! deterministic jitter, and per-batch idempotency tickets (so a retry of
+//! a batch the server already committed gets the original epoch reply
+//! back instead of committing twice).
 
-use crate::error::WireError;
+use crate::error::{retry_after_hint, WireError};
 use crate::frame::{queue_frame, read_frame, FrameRead};
+use crate::metrics::NetMetrics;
 use crate::proto::{self, RemoteEpoch, SubmitMode};
 use hsched_admission::AdmissionRequest;
 use hsched_telemetry::MetricsSnapshot;
 use std::io::{BufReader, BufWriter, Write as _};
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// A connected service-port client. Both halves are buffered: queued
 /// submit frames ride down in one flush, and a burst of pipelined
@@ -18,17 +30,32 @@ use std::net::TcpStream;
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    read_timeout: Option<Duration>,
 }
 
 impl Client {
     /// Connects and consumes the greeting frame.
     pub fn connect(addr: &str) -> Result<Client, WireError> {
+        Client::connect_with(addr, None)
+    }
+
+    /// Connects with an optional read timeout: a reply that takes longer
+    /// than `timeout` surfaces as a `TimedOut` [`WireError::Io`] instead
+    /// of blocking forever — the hang-detection half of a retry loop.
+    pub fn connect_with(addr: &str, timeout: Option<Duration>) -> Result<Client, WireError> {
+        if hsched_faults::hit(hsched_faults::Site::ConnDial) {
+            return Err(WireError::Io(hsched_faults::injected_io_error(
+                "dial refused",
+            )));
+        }
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
+        stream.set_read_timeout(timeout)?;
         let read_half = stream.try_clone()?;
         let mut client = Client {
             reader: BufReader::new(read_half),
             writer: BufWriter::new(stream),
+            read_timeout: timeout,
         };
         let greeting = client.read_reply()?;
         if !greeting.starts_with("hsched-net") {
@@ -40,10 +67,13 @@ impl Client {
         Ok(client)
     }
 
-    /// One blocking frame read; `Idle` cannot happen (no read timeout is
-    /// set on client sockets), EOF and `error` frames become errors.
+    /// One blocking frame read; EOF and `error` frames become errors.
     /// Every queued frame is flushed first — a blocked read must never
-    /// hold back the requests its replies answer.
+    /// hold back the requests its replies answer. `Idle` only happens on
+    /// sockets configured with a read timeout
+    /// ([`Client::connect_with`]) and is reported as a `TimedOut` I/O
+    /// error: this client has no shutdown flag to poll, so an expired
+    /// timeout means the reply is overdue.
     fn read_reply(&mut self) -> Result<String, WireError> {
         self.writer.flush()?;
         match read_frame(&mut self.reader, None)? {
@@ -54,7 +84,13 @@ impl Client {
                     Ok(payload)
                 }
             }
-            FrameRead::Idle => unreachable!("client sockets have no read timeout"),
+            FrameRead::Idle => match self.read_timeout {
+                Some(timeout) => Err(WireError::Io(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    format!("no reply within {timeout:?}"),
+                ))),
+                None => unreachable!("client sockets without a timeout never report Idle"),
+            },
             FrameRead::Eof => Err(WireError::Protocol(
                 "server closed the connection".to_string(),
             )),
@@ -77,6 +113,22 @@ impl Client {
         Ok(())
     }
 
+    /// [`Client::send_submit`] with an idempotency ticket (see
+    /// [`proto::encode_submit_ticketed`]).
+    pub fn send_submit_ticketed(
+        &mut self,
+        mode: SubmitMode,
+        version: u32,
+        batch: &[AdmissionRequest],
+        ticket: &str,
+    ) -> Result<(), WireError> {
+        queue_frame(
+            &mut self.writer,
+            &proto::encode_submit_ticketed(mode, version, batch, Some(ticket)),
+        )?;
+        Ok(())
+    }
+
     /// Receives one epoch response (for a previously sent submit).
     pub fn recv_epoch(&mut self) -> Result<RemoteEpoch, WireError> {
         let reply = self.read_reply()?;
@@ -91,6 +143,19 @@ impl Client {
         batch: &[AdmissionRequest],
     ) -> Result<RemoteEpoch, WireError> {
         self.send_submit(mode, version, batch)?;
+        self.recv_epoch()
+    }
+
+    /// Lockstep ticketed submit: send one batch under an idempotency
+    /// ticket, wait for its epoch.
+    pub fn submit_ticketed(
+        &mut self,
+        mode: SubmitMode,
+        version: u32,
+        batch: &[AdmissionRequest],
+        ticket: &str,
+    ) -> Result<RemoteEpoch, WireError> {
+        self.send_submit_ticketed(mode, version, batch, ticket)?;
         self.recv_epoch()
     }
 
@@ -123,5 +188,285 @@ impl Client {
         queue_frame(&mut self.writer, "quit")?;
         self.writer.flush()?;
         Ok(())
+    }
+}
+
+// ---------------------------------------------------------------- retry
+
+/// Retry/backoff knobs for [`RetryClient`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts per logical operation (first try included).
+    pub attempts: u32,
+    /// Backoff before attempt 2 (doubles per further attempt).
+    pub base_delay: Duration,
+    /// Backoff ceiling.
+    pub max_delay: Duration,
+    /// Socket read timeout per attempt (`None` = block forever).
+    pub timeout: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 5,
+            base_delay: Duration::from_millis(25),
+            max_delay: Duration::from_secs(1),
+            timeout: Some(Duration::from_secs(5)),
+        }
+    }
+}
+
+/// Process-unique session discriminator for ticket strings (tickets must
+/// not collide across client instances talking to one server).
+static SESSION_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A service-port client that retries transient failures.
+///
+/// Semantics:
+/// - Every logical submit carries a fresh idempotency **ticket**; all
+///   retry attempts of that submit reuse the same ticket, so a batch
+///   whose reply was lost in transit (committed server-side, connection
+///   died before the epoch frame arrived) is *recognized* on retry — the
+///   server replays the stored reply — never committed twice.
+/// - Transport errors ([`WireError::Io`], [`WireError::Protocol`])
+///   reconnect and retry; remote errors retry only when
+///   [`crate::retryable`] says the code is load-dependent (e.g.
+///   [`crate::code::OVERLOADED`], whose `retry-after-ms=` hint raises
+///   the backoff floor).
+/// - Backoff is exponential (`base_delay * 2^(attempt-1)`, capped at
+///   `max_delay`) plus deterministic xorshift jitter seeded from the
+///   session id, so two clients started together do not thundering-herd
+///   the recovering server in lockstep.
+pub struct RetryClient {
+    addr: String,
+    policy: RetryPolicy,
+    conn: Option<Client>,
+    session: u64,
+    seq: u64,
+    jitter: u64,
+    retries: u64,
+    metrics: Option<Arc<NetMetrics>>,
+}
+
+impl RetryClient {
+    /// Creates a retrying client for `addr` (connects lazily).
+    pub fn new(addr: impl Into<String>, policy: RetryPolicy) -> RetryClient {
+        let session =
+            SESSION_COUNTER.fetch_add(1, Ordering::SeqCst) ^ (std::process::id() as u64) << 32;
+        RetryClient {
+            addr: addr.into(),
+            policy,
+            conn: None,
+            session,
+            seq: 0,
+            jitter: session | 1,
+            retries: 0,
+            metrics: None,
+        }
+    }
+
+    /// Attaches a metric sink: every retry increments
+    /// `net.client.retries`.
+    pub fn with_metrics(mut self, metrics: Arc<NetMetrics>) -> RetryClient {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Retries performed so far (reconnects and re-sends, not first
+    /// attempts).
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    fn next_ticket(&mut self) -> String {
+        self.seq += 1;
+        format!("s{:x}.{}", self.session, self.seq)
+    }
+
+    fn note_retry(&mut self) {
+        self.retries += 1;
+        if let Some(metrics) = &self.metrics {
+            metrics.client_retries.incr();
+        }
+    }
+
+    /// Deterministic jitter in `0..=cap` (xorshift64*).
+    fn jitter_ms(&mut self, cap: u64) -> u64 {
+        let mut x = self.jitter;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.jitter = x;
+        if cap == 0 {
+            0
+        } else {
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d) % (cap + 1)
+        }
+    }
+
+    /// Backoff before the next attempt: exponential in `attempt` (1-based
+    /// count of *failed* attempts so far), floored at the server's
+    /// `retry-after-ms` hint when the failure carried one.
+    fn backoff(&mut self, attempt: u32, error: &WireError) -> Duration {
+        let exp = self
+            .policy
+            .base_delay
+            .saturating_mul(1u32 << (attempt - 1).min(16))
+            .min(self.policy.max_delay);
+        let hinted = match error {
+            WireError::Remote { message, .. } => retry_after_hint(message)
+                .map(Duration::from_millis)
+                .unwrap_or(Duration::ZERO),
+            _ => Duration::ZERO,
+        };
+        let base = exp.max(hinted);
+        base + Duration::from_millis(self.jitter_ms(base.as_millis() as u64 / 2))
+    }
+
+    fn conn(&mut self) -> Result<&mut Client, WireError> {
+        if self.conn.is_none() {
+            self.conn = Some(Client::connect_with(&self.addr, self.policy.timeout)?);
+        }
+        Ok(self.conn.as_mut().expect("just connected"))
+    }
+
+    /// Runs one closure against the connection with the full retry loop:
+    /// transient failures drop the connection (transport errors) or keep
+    /// it (remote errors), back off, and try again.
+    fn with_retries<T>(
+        &mut self,
+        mut op: impl FnMut(&mut Client) -> Result<T, WireError>,
+    ) -> Result<T, WireError> {
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let result = match self.conn() {
+                Ok(conn) => op(conn),
+                Err(e) => Err(e),
+            };
+            let error = match result {
+                Ok(value) => return Ok(value),
+                Err(e) => e,
+            };
+            let transport = matches!(error, WireError::Io(_) | WireError::Protocol(_));
+            if transport {
+                // The connection is in an unknown framing state; a fresh
+                // dial is the only safe continuation.
+                self.conn = None;
+            }
+            if !error.transient() || attempt >= self.policy.attempts {
+                return Err(error);
+            }
+            let delay = self.backoff(attempt, &error);
+            self.note_retry();
+            std::thread::sleep(delay);
+        }
+    }
+
+    /// Lockstep submit with retries: the batch commits (and its reply
+    /// arrives) exactly once even if connections die or the server sheds
+    /// mid-way; returns the epoch response.
+    pub fn submit(
+        &mut self,
+        mode: SubmitMode,
+        version: u32,
+        batch: &[AdmissionRequest],
+    ) -> Result<RemoteEpoch, WireError> {
+        let ticket = self.next_ticket();
+        self.with_retries(move |conn| conn.submit_ticketed(mode, version, batch, &ticket))
+    }
+
+    /// Pipelined submit-all/receive-all with retries: every batch gets a
+    /// pre-assigned ticket, unresolved batches are (re)sent in order and
+    /// their replies collected; a transport error reconnects and resends
+    /// only the still-unresolved suffix (the tickets make the resend
+    /// safe), a shed (`overloaded`) reply leaves its batch unresolved for
+    /// the next round. Returns the epoch replies in batch order.
+    pub fn run_pipelined(
+        &mut self,
+        version: u32,
+        batches: &[Vec<AdmissionRequest>],
+    ) -> Result<Vec<RemoteEpoch>, WireError> {
+        let tickets: Vec<String> = batches.iter().map(|_| self.next_ticket()).collect();
+        let mut replies: Vec<Option<RemoteEpoch>> = vec![None; batches.len()];
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let unresolved: Vec<usize> = (0..batches.len())
+                .filter(|&i| replies[i].is_none())
+                .collect();
+            if unresolved.is_empty() {
+                return Ok(replies
+                    .into_iter()
+                    .map(|r| r.expect("all resolved"))
+                    .collect());
+            }
+            let round = (|| -> Result<Option<WireError>, WireError> {
+                if self.conn.is_none() {
+                    self.conn = Some(Client::connect_with(&self.addr, self.policy.timeout)?);
+                }
+                let conn = self.conn.as_mut().expect("just connected");
+                for &i in &unresolved {
+                    conn.send_submit_ticketed(
+                        SubmitMode::Async,
+                        version,
+                        &batches[i],
+                        &tickets[i],
+                    )?;
+                }
+                let mut shed: Option<WireError> = None;
+                for &i in &unresolved {
+                    match conn.recv_epoch() {
+                        Ok(epoch) => replies[i] = Some(epoch),
+                        // A retryable remote reply (shed) leaves slot `i`
+                        // unresolved; the connection is still framed
+                        // correctly, so keep draining the round's replies.
+                        Err(e @ WireError::Remote { .. }) if e.transient() => {
+                            shed = Some(e);
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                Ok(shed)
+            })();
+            let error = match round {
+                Ok(None) => continue,
+                Ok(Some(shed)) => shed,
+                Err(e) => {
+                    self.conn = None;
+                    e
+                }
+            };
+            if !error.transient() || attempt >= self.policy.attempts {
+                return Err(error);
+            }
+            let delay = self.backoff(attempt, &error);
+            self.note_retry();
+            std::thread::sleep(delay);
+        }
+    }
+
+    /// [`Client::sync`] with retries. Safe: sync is idempotent.
+    pub fn sync(&mut self, watermark: Option<u64>) -> Result<u64, WireError> {
+        self.with_retries(|conn| conn.sync(watermark))
+    }
+
+    /// [`Client::stats`] with retries.
+    pub fn stats(&mut self) -> Result<MetricsSnapshot, WireError> {
+        self.with_retries(|conn| conn.stats())
+    }
+
+    /// [`Client::digest`] with retries.
+    pub fn digest(&mut self) -> Result<(u64, String), WireError> {
+        self.with_retries(|conn| conn.digest())
+    }
+
+    /// Polite goodbye on the live connection, if any.
+    pub fn quit(mut self) -> Result<(), WireError> {
+        match self.conn.take() {
+            Some(conn) => conn.quit(),
+            None => Ok(()),
+        }
     }
 }

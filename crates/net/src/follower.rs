@@ -60,6 +60,17 @@ pub struct FollowerConfig {
     /// over" mode, and the convergence point the resume proptests drive
     /// to.
     pub catch_up_to: Option<u64>,
+    /// Treat a `reset` order as fatal instead of resyncing from byte 0:
+    /// [`Follower::run`] returns a [`code::BAD_OFFSET`] error carrying
+    /// the primary's reason. An operator running `--exit-on-disconnect`
+    /// wants distinct exit codes for "primary gone" and "primary refused
+    /// our resume offer", not a silent full resync.
+    pub exit_on_reset: bool,
+    /// Declare the primary **lost** ([`FollowerExit::Lost`]) after this
+    /// many consecutive sessions that ended in a disconnect (or failed to
+    /// connect) without advancing the mirror. `None` retries forever.
+    /// This is the trigger for `hsched follow --promote-on-loss`.
+    pub max_session_failures: Option<u32>,
 }
 
 impl Default for FollowerConfig {
@@ -72,6 +83,8 @@ impl Default for FollowerConfig {
             disconnect_after: None,
             exit_on_disconnect: false,
             catch_up_to: None,
+            exit_on_reset: false,
+            max_session_failures: None,
         }
     }
 }
@@ -85,11 +98,15 @@ pub enum FollowerExit {
     Disconnected,
     /// The standby reached `catch_up_to`.
     CaughtUp,
+    /// `max_session_failures` consecutive sessions made no progress — the
+    /// primary is presumed dead. The caller decides what happens next
+    /// (typically [`Follower::promote`]).
+    Lost,
 }
 
 enum Session {
     Disconnected,
-    Reset,
+    Reset(String),
     Stopped,
     CaughtUp,
 }
@@ -178,6 +195,8 @@ impl Follower {
         // An existing mirror seeds the standby before first contact, so
         // the handshake offers its durable prefix instead of 0.
         self.seed_from_mirror()?;
+        // Consecutive no-progress session failures (loss detection).
+        let mut failures = 0u32;
         loop {
             if self.stopped() {
                 return Ok(FollowerExit::Stopped);
@@ -186,16 +205,35 @@ impl Follower {
             // up (right epoch count, wrong bytes); only a session that
             // passed the resume handshake and streamed/heartbeat against
             // the live primary may declare it.
+            let before = self.committed;
             match self.run_session() {
                 Ok(Session::Stopped) => return Ok(FollowerExit::Stopped),
                 Ok(Session::CaughtUp) => return Ok(FollowerExit::CaughtUp),
-                Ok(Session::Disconnected) => {
+                Ok(Session::Disconnected) | Err(WireError::Io(_)) => {
                     if self.config.exit_on_disconnect {
                         return Ok(FollowerExit::Disconnected);
                     }
+                    failures = if self.committed > before {
+                        0
+                    } else {
+                        failures + 1
+                    };
+                    if self
+                        .config
+                        .max_session_failures
+                        .is_some_and(|limit| failures >= limit)
+                    {
+                        return Ok(FollowerExit::Lost);
+                    }
                     std::thread::sleep(self.config.reconnect_delay);
                 }
-                Ok(Session::Reset) => {
+                Ok(Session::Reset(why)) => {
+                    if self.config.exit_on_reset {
+                        return Err(WireError::remote(
+                            code::BAD_OFFSET,
+                            format!("primary rejected the resume offer: {why}"),
+                        ));
+                    }
                     // The primary's journal is not a superset of our
                     // mirror any more (compaction, divergence): discard
                     // everything and resync from byte 0.
@@ -204,16 +242,60 @@ impl Follower {
                     self.committed = 0;
                     self.next_epoch = 1;
                     self.pending_heartbeat = None;
-                }
-                Err(WireError::Io(_)) => {
-                    if self.config.exit_on_disconnect {
-                        return Ok(FollowerExit::Disconnected);
-                    }
-                    std::thread::sleep(self.config.reconnect_delay);
+                    failures = 0;
                 }
                 Err(fatal) => return Err(fatal),
             }
         }
+    }
+
+    /// Promotes a lost follower's mirror into a **serving primary**:
+    /// replays the committed prefix with the journal *attached* (torn
+    /// tail repaired, writer reopened in append mode) and cross-checks
+    /// the result against the state the live standby had applied — a
+    /// promotion that does not reproduce the standby's own epoch and
+    /// digest is refused with [`code::REPLAY`]. Returns the promoted
+    /// service (ready for `Server::start`) and the replay stats.
+    ///
+    /// Consumes the follower: after promotion the mirror is a living
+    /// journal owned by the returned service, and tailing it would
+    /// corrupt it.
+    pub fn promote(mut self) -> Result<(Arc<SchedService>, hsched_engine::ReplayStats), WireError> {
+        let expect_epoch = self.epoch();
+        let expect_digest = self.state_digest();
+        // Drop the live standby first: promotion replays the mirror from
+        // scratch and must be the file's only reader/writer.
+        self.standby = None;
+        let (promoted, stats) = SchedService::replay(
+            self.set.clone(),
+            self.analysis.clone(),
+            self.policy.clone(),
+            &self.config.journal,
+        )
+        .map_err(WireError::from_engine)?;
+        if promoted.epoch() != expect_epoch {
+            return Err(WireError::remote(
+                code::REPLAY,
+                format!(
+                    "promotion aborted: mirror replays to epoch {}, standby had applied {}",
+                    promoted.epoch(),
+                    expect_epoch
+                ),
+            ));
+        }
+        if let Some(expected) = expect_digest {
+            let ours = promoted.state_digest();
+            if ours != expected {
+                return Err(WireError::remote(
+                    code::REPLAY,
+                    format!(
+                        "promotion aborted: replayed digest {ours} does not match \
+                         the standby's {expected} at epoch {expect_epoch}"
+                    ),
+                ));
+            }
+        }
+        Ok((Arc::new(promoted), stats))
     }
 
     fn seed_from_mirror(&mut self) -> Result<(), WireError> {
@@ -290,7 +372,7 @@ impl Follower {
             "streaming" => {
                 proto::parse_streaming(&verdict)?;
             }
-            "reset" => return Ok(Session::Reset),
+            "reset" => return Ok(Session::Reset(proto::parse_reset(&verdict)?)),
             "error" => return Err(proto::parse_error(&verdict)?),
             other => {
                 return Err(WireError::Protocol(format!(
@@ -355,7 +437,7 @@ impl Follower {
                         return Ok(Session::CaughtUp);
                     }
                 }
-                "reset" => return Ok(Session::Reset),
+                "reset" => return Ok(Session::Reset(proto::parse_reset(&frame)?)),
                 "error" => return Err(proto::parse_error(&frame)?),
                 other => {
                     return Err(WireError::Protocol(format!(

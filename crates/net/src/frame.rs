@@ -88,6 +88,14 @@ pub fn read_frame(
     stream: &mut impl Read,
     stop: Option<&AtomicBool>,
 ) -> Result<FrameRead, WireError> {
+    if hsched_faults::hit(hsched_faults::Site::FrameStall) {
+        hsched_faults::stall();
+    }
+    if hsched_faults::hit(hsched_faults::Site::FrameDrop) {
+        return Err(WireError::Io(hsched_faults::injected_io_error(
+            "connection dropped before frame read",
+        )));
+    }
     let mut len_buf = [0u8; 4];
     match read_full(stream, &mut len_buf, true, stop)? {
         Progress::Eof => return Ok(FrameRead::Eof),
@@ -137,6 +145,23 @@ pub fn queue_frame(stream: &mut impl Write, payload: &str) -> Result<u64, WireEr
     let mut buf = Vec::with_capacity(4 + payload.len());
     buf.extend_from_slice(&(payload.len() as u32).to_be_bytes());
     buf.extend_from_slice(payload.as_bytes());
+    if hsched_faults::hit(hsched_faults::Site::FrameStall) {
+        hsched_faults::stall();
+    }
+    if hsched_faults::hit(hsched_faults::Site::FrameDrop) {
+        return Err(WireError::Io(hsched_faults::injected_io_error(
+            "connection dropped before frame write",
+        )));
+    }
+    if hsched_faults::hit(hsched_faults::Site::FramePartial) {
+        // Half the frame reaches the wire, then the connection dies — the
+        // peer sees a mid-frame tear (`Protocol`), this side an I/O error.
+        let _ = stream.write_all(&buf[..buf.len() / 2]);
+        let _ = stream.flush();
+        return Err(WireError::Io(hsched_faults::injected_io_error(
+            "partial frame write",
+        )));
+    }
     stream.write_all(&buf)?;
     Ok(4 + payload.len() as u64)
 }

@@ -33,11 +33,13 @@ pub mod repl;
 pub mod server;
 pub mod signal;
 
-pub use client::Client;
-pub use error::{code, engine_code, reason, reason_code, retryable, WireError};
+pub use client::{Client, RetryClient, RetryPolicy};
+pub use error::{code, engine_code, reason, reason_code, retry_after_hint, retryable, WireError};
 pub use follower::{Follower, FollowerConfig, FollowerExit};
 pub use frame::{queue_frame, read_frame, write_frame, FrameRead, MAX_FRAME_BYTES};
 pub use metrics::NetMetrics;
 pub use proto::{reason_kind, RemoteEpoch, RemoteReason, SubmitMode};
 pub use repl::fnv1a_64;
-pub use server::{ConnCtx, ConnHandler, Server, ServerConfig, ServerHandle};
+pub use server::{
+    ConnCtx, ConnHandler, DedupTable, Server, ServerConfig, ServerHandle, ShedPolicy,
+};

@@ -27,6 +27,15 @@ pub struct NetMetrics {
     /// Replication lag per follower ack, in *records* (primary's durable
     /// epoch minus the follower's applied epoch at ack time).
     pub repl_lag_records: Histogram,
+    /// Retries performed by [`crate::RetryClient`]s wired to this sink
+    /// (reconnects and re-sends after transient failures).
+    pub client_retries: Counter,
+    /// Submissions answered with [`crate::code::OVERLOADED`] (shed under
+    /// admission backpressure).
+    pub shed_replies: Counter,
+    /// Submit frames whose idempotency ticket matched a stored reply —
+    /// a retried batch recognized instead of recommitted.
+    pub dedup_hits: Counter,
 }
 
 impl NetMetrics {
@@ -46,6 +55,17 @@ impl NetMetrics {
         snap.put_counter("net.malformed_rejects", self.malformed_rejects.get());
         snap.put_counter("net.repl.bytes_streamed", self.repl_bytes_streamed.get());
         snap.put_histogram("net.repl.lag_records", self.repl_lag_records.snapshot());
+        snap.put_counter("net.client.retries", self.client_retries.get());
+        snap.put_counter("net.shed.replies", self.shed_replies.get());
+        snap.put_counter("net.dedup.hits", self.dedup_hits.get());
+        // When a fault plan is active, surface its per-site injection
+        // counts so an operator (or the chaos gate) can see what actually
+        // fired — `net.faults.journal.torn`, `net.faults.frame.drop`, ….
+        if let Some(plan) = hsched_faults::active() {
+            for site in hsched_faults::Site::ALL {
+                snap.put_counter(&format!("net.faults.{}", site.name()), plan.injected(site));
+            }
+        }
         snap
     }
 }

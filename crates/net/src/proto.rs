@@ -151,7 +151,24 @@ fn take_name<'a>(
 /// Encodes a submit frame: header line plus one journal-grammar line per
 /// request (instance arrivals span extra embedded-class lines).
 pub fn encode_submit(mode: SubmitMode, version: u32, batch: &[AdmissionRequest]) -> String {
+    encode_submit_ticketed(mode, version, batch, None)
+}
+
+/// Encodes a submit frame carrying an optional client-chosen idempotency
+/// ticket (`ticket <esc(id)>` suffix on the header line). A retrying
+/// client sends the *same* ticket with every attempt of one logical
+/// batch; the server remembers the epoch reply it issued under that
+/// ticket and replays it instead of committing the batch twice.
+pub fn encode_submit_ticketed(
+    mode: SubmitMode,
+    version: u32,
+    batch: &[AdmissionRequest],
+    ticket: Option<&str>,
+) -> String {
     let mut payload = format!("submit {} {version} {}", mode.keyword(), batch.len());
+    if let Some(id) = ticket {
+        payload.push_str(&format!(" ticket {}", esc(id)));
+    }
     for request in batch {
         for line in encode_request(request) {
             payload.push('\n');
@@ -161,9 +178,13 @@ pub fn encode_submit(mode: SubmitMode, version: u32, batch: &[AdmissionRequest])
     payload
 }
 
+/// A parsed submit frame (see [`parse_submit`]).
+pub type ParsedSubmit = (SubmitMode, u32, Vec<AdmissionRequest>, Option<String>);
+
 /// Parses a submit frame (the payload *after* the keyword has been
-/// identified; pass the full payload).
-pub fn parse_submit(payload: &str) -> Result<(SubmitMode, u32, Vec<AdmissionRequest>), WireError> {
+/// identified; pass the full payload). The fourth element is the
+/// idempotency ticket, when the client sent one.
+pub fn parse_submit(payload: &str) -> Result<ParsedSubmit, WireError> {
     let mut lines = payload.lines();
     let header = lines.next().ok_or_else(|| malformed("empty frame"))?;
     let mut tokens = header.split_whitespace();
@@ -178,6 +199,15 @@ pub fn parse_submit(payload: &str) -> Result<(SubmitMode, u32, Vec<AdmissionRequ
     };
     let version = take_u64(&mut tokens, "schema version")? as u32;
     let count = take_usize(&mut tokens, "request count")?;
+    let ticket = match tokens.next() {
+        None => None,
+        Some("ticket") => Some(take_name(&mut tokens, "submit ticket")?),
+        Some(other) => {
+            return Err(malformed(format!(
+                "trailing tokens on submit header (`{other}`)"
+            )))
+        }
+    };
     if tokens.next().is_some() {
         return Err(malformed("trailing tokens on submit header"));
     }
@@ -191,7 +221,7 @@ pub fn parse_submit(payload: &str) -> Result<(SubmitMode, u32, Vec<AdmissionRequ
     if lines.next().is_some() {
         return Err(malformed("trailing request lines"));
     }
-    Ok((mode, version, batch))
+    Ok((mode, version, batch, ticket))
 }
 
 // ---------------------------------------------------------------- epoch
@@ -599,10 +629,33 @@ mod tests {
     fn submit_round_trips() {
         let batch = sample_batch();
         let payload = encode_submit(SubmitMode::Async, 2, &batch);
-        let (mode, version, parsed) = parse_submit(&payload).unwrap();
+        let (mode, version, parsed, ticket) = parse_submit(&payload).unwrap();
         assert_eq!(mode, SubmitMode::Async);
         assert_eq!(version, 2);
         assert_eq!(parsed, batch);
+        assert_eq!(ticket, None);
+    }
+
+    #[test]
+    fn ticketed_submit_round_trips() {
+        let batch = sample_batch();
+        let payload = encode_submit_ticketed(SubmitMode::Sync, 2, &batch, Some("c1f3 7/2"));
+        let (mode, version, parsed, ticket) = parse_submit(&payload).unwrap();
+        assert_eq!(mode, SubmitMode::Sync);
+        assert_eq!(version, 2);
+        assert_eq!(parsed, batch);
+        assert_eq!(ticket.as_deref(), Some("c1f3 7/2"));
+        // Anything other than the `ticket` extension still trips the
+        // trailing-token check.
+        let bad = encode_submit(SubmitMode::Sync, 2, &batch).replacen(
+            "submit sync 2 3",
+            "submit sync 2 3 surprise",
+            1,
+        );
+        assert!(matches!(
+            parse_submit(&bad),
+            Err(WireError::Remote { code: c, .. }) if c == code::MALFORMED
+        ));
     }
 
     #[test]

@@ -22,6 +22,7 @@ use crate::metrics::NetMetrics;
 use crate::proto;
 use crate::repl;
 use hsched_engine::{EngineOp, EngineRequest, SchedService};
+use std::collections::{HashMap, VecDeque};
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -35,6 +36,83 @@ use std::time::Duration;
 /// invisible in profiles.
 pub const POLL_INTERVAL: Duration = Duration::from_millis(25);
 
+/// Admission backpressure: how many issued-but-not-yet-durable epochs the
+/// server tolerates before it *sheds* new submits with a retryable
+/// [`code::OVERLOADED`] error instead of letting every connection pile up
+/// behind the same fsync queue. Shedding keeps the server responsive
+/// (sync/stats/digest still answer) and pushes the waiting to clients,
+/// who hold the `retry-after-ms` hint.
+#[derive(Debug, Clone)]
+pub struct ShedPolicy {
+    /// Pending-epoch cap ([`SchedService::pending_epochs`] at or above
+    /// this sheds).
+    pub max_pending: u64,
+    /// The advisory `retry-after-ms=` hint shed replies carry.
+    pub retry_after_ms: u64,
+}
+
+impl Default for ShedPolicy {
+    fn default() -> ShedPolicy {
+        ShedPolicy {
+            max_pending: 512,
+            retry_after_ms: 50,
+        }
+    }
+}
+
+/// Remembered epoch replies keyed by client idempotency ticket, so a
+/// retried-but-already-committed submit is recognized and answered with
+/// its original reply instead of committing twice. Bounded FIFO: the
+/// oldest entry falls out past `cap` — a retry arriving *that* late gets
+/// recommitted, which the protocol accepts (tickets protect the retry
+/// window, not forever).
+pub struct DedupTable {
+    cap: usize,
+    inner: Mutex<(HashMap<String, String>, VecDeque<String>)>,
+}
+
+impl DedupTable {
+    /// A table remembering up to `cap` replies.
+    pub fn new(cap: usize) -> DedupTable {
+        DedupTable {
+            cap,
+            inner: Mutex::new((HashMap::new(), VecDeque::new())),
+        }
+    }
+
+    /// The stored reply for `ticket`, if still remembered.
+    pub fn lookup(&self, ticket: &str) -> Option<String> {
+        self.inner
+            .lock()
+            .expect("dedup table poisoned")
+            .0
+            .get(ticket)
+            .cloned()
+    }
+
+    /// Remembers `reply` under `ticket`, evicting the oldest entry past
+    /// the cap.
+    pub fn record(&self, ticket: &str, reply: &str) {
+        let mut inner = self.inner.lock().expect("dedup table poisoned");
+        let (map, order) = &mut *inner;
+        if map.insert(ticket.to_string(), reply.to_string()).is_none() {
+            order.push_back(ticket.to_string());
+            while order.len() > self.cap {
+                if let Some(evicted) = order.pop_front() {
+                    map.remove(&evicted);
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for DedupTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().expect("dedup table poisoned");
+        write!(f, "DedupTable({}/{})", inner.0.len(), self.cap)
+    }
+}
+
 /// Everything a connection handler can reach: the engine, the wire
 /// telemetry sink, and the server's stop flag.
 pub struct ConnCtx {
@@ -45,6 +123,10 @@ pub struct ConnCtx {
     /// Set when the server is draining; handlers finish the in-flight
     /// frame and close.
     pub stop: Arc<AtomicBool>,
+    /// Admission backpressure policy for submit frames.
+    pub shed: ShedPolicy,
+    /// Ticket → stored-reply dedup for retried submits.
+    pub dedup: Arc<DedupTable>,
 }
 
 /// A pluggable per-connection protocol: the default is the framed
@@ -70,6 +152,8 @@ pub struct ServerConfig {
     /// Connection protocol override (`None` = the framed envelope
     /// handler).
     pub handler: Option<ConnHandler>,
+    /// Admission backpressure (see [`ShedPolicy`]).
+    pub shed: ShedPolicy,
 }
 
 impl Default for ServerConfig {
@@ -80,6 +164,7 @@ impl Default for ServerConfig {
             journal_path: None,
             heartbeat_interval: Duration::from_millis(500),
             handler: None,
+            shed: ShedPolicy::default(),
         }
     }
 }
@@ -92,6 +177,7 @@ impl std::fmt::Debug for ServerConfig {
             .field("journal_path", &self.journal_path)
             .field("heartbeat_interval", &self.heartbeat_interval)
             .field("handler", &self.handler.as_ref().map(|_| "<custom>"))
+            .field("shed", &self.shed)
             .finish()
     }
 }
@@ -174,6 +260,8 @@ impl Server {
                 engine: engine.clone(),
                 metrics: metrics.clone(),
                 stop: stop.clone(),
+                shed: config.shed.clone(),
+                dedup: Arc::new(DedupTable::new(1024)),
             },
             conns: Mutex::new(Vec::new()),
         });
@@ -233,6 +321,13 @@ fn accept_loop(
     while !shared.ctx.stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
+                if hsched_faults::hit(hsched_faults::Site::ConnAccept) {
+                    // Injected accept failure: the connection is dropped
+                    // before the greeting, as if the listener backlog
+                    // overflowed — the client sees an immediate EOF.
+                    drop(stream);
+                    continue;
+                }
                 // The accepted socket inherits nonblocking on some
                 // platforms; connection loops want timeout-based reads.
                 if stream.set_nonblocking(false).is_err() {
@@ -342,7 +437,30 @@ pub fn handle_service_conn(stream: TcpStream, ctx: &ConnCtx) {
 fn dispatch(ctx: &ConnCtx, payload: &str) -> Result<Flow, WireError> {
     match proto::keyword(payload) {
         "submit" => {
-            let (mode, version, batch) = proto::parse_submit(payload)?;
+            let (mode, version, batch, ticket) = proto::parse_submit(payload)?;
+            // A retried ticket whose reply we remember: replay the stored
+            // reply; the batch must NOT commit a second time.
+            if let Some(id) = &ticket {
+                if let Some(stored) = ctx.dedup.lookup(id) {
+                    ctx.metrics.dedup_hits.incr();
+                    return Ok(Flow::Reply(stored));
+                }
+            }
+            // Admission backpressure: shed rather than queue behind the
+            // fsync backlog. Checked *after* dedup — replaying a stored
+            // reply adds no load.
+            let pending = ctx.engine.pending_epochs();
+            if pending >= ctx.shed.max_pending {
+                ctx.engine.note_shed();
+                ctx.metrics.shed_replies.incr();
+                return Ok(Flow::Reply(proto::encode_error(&WireError::remote(
+                    code::OVERLOADED,
+                    format!(
+                        "server overloaded: {pending} epochs pending (cap {}); retry-after-ms={}",
+                        ctx.shed.max_pending, ctx.shed.retry_after_ms
+                    ),
+                ))));
+            }
             let request = EngineRequest {
                 version,
                 ops: batch.into_iter().map(EngineOp::Admission).collect(),
@@ -355,7 +473,16 @@ fn dispatch(ctx: &ConnCtx, payload: &str) -> Result<Flow, WireError> {
                     .map(|ticket| ticket.response),
             };
             Ok(Flow::Reply(match outcome {
-                Ok(response) => proto::encode_epoch(&response),
+                Ok(response) => {
+                    let reply = proto::encode_epoch(&response);
+                    // Only committed epochs are remembered: an engine
+                    // error consumes no epoch, so retrying it is safe
+                    // without dedup.
+                    if let Some(id) = &ticket {
+                        ctx.dedup.record(id, &reply);
+                    }
+                    reply
+                }
                 // Engine errors are request-scoped: typed frame, keep the
                 // connection.
                 Err(e) => proto::encode_error(&WireError::from_engine(e)),

@@ -1,0 +1,311 @@
+//! Chaos gate: seeded fault plans (torn frames, dropped connections,
+//! journal stalls, fsync failure) driven through a live primary+standby
+//! pair over real loopback sockets. The invariant under every plan:
+//! **every epoch a client observed as durable survives** — into the
+//! primary's replayed journal, and into the standby promoted after the
+//! primary is taken down — and the promoted digest is bit-for-bit the
+//! digest of replaying the primary's own journal.
+//!
+//! Every case prints its seed and the exact fault-plan spec on failure;
+//! re-running with the same seed reproduces the same injection decisions
+//! (`hsched-faults` draws from one seeded PRNG stream).
+//!
+//! The fault plan is process-global, so the whole suite runs inside one
+//! `#[test]` — parallel test threads would trample each other's plans.
+//! Case count scales with `HSCHED_PROPTEST_CASES` (default 3).
+
+use hsched_admission::gen::{random_scenario, ChurnGen, ScenarioSpec};
+use hsched_admission::AdmissionPolicy;
+use hsched_analysis::AnalysisConfig;
+use hsched_engine::{EngineOp, EngineRequest, SchedService, SCHEMA_VERSION};
+use hsched_faults::{FaultPlan, Site};
+use hsched_net::{
+    Follower, FollowerConfig, FollowerExit, RetryClient, RetryPolicy, Server, ServerConfig,
+    SubmitMode, WireError,
+};
+use hsched_numeric::rat;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn spec_for(seed: u64) -> ScenarioSpec {
+    ScenarioSpec {
+        clusters: 2,
+        platforms_per_cluster: 2,
+        transactions: 6,
+        max_tasks_per_tx: 3,
+        load: rat(3, 5),
+        priority_levels: 3,
+        seed,
+        ..ScenarioSpec::default()
+    }
+}
+
+fn temp_path(tag: &str, seed: u64) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "hsched-net-chaos-{}-{tag}-{seed}.journal",
+        std::process::id()
+    ))
+}
+
+fn cases() -> u64 {
+    std::env::var("HSCHED_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+}
+
+fn retry_policy() -> RetryPolicy {
+    RetryPolicy {
+        attempts: 10,
+        base_delay: Duration::from_millis(10),
+        max_delay: Duration::from_millis(250),
+        timeout: Some(Duration::from_secs(10)),
+    }
+}
+
+/// Wire/connection chaos with a standby in tow: budgeted frame tears,
+/// dropped frames, refused accepts/dials, and journal write stalls. The
+/// retrying client must land every epoch; the follower must converge
+/// through the noise; the standby promoted after the primary stops must
+/// replay to exactly the digest the primary's journal replays to.
+fn wire_chaos_case(seed: u64) {
+    let plan = hsched_faults::install(
+        FaultPlan::new(seed)
+            .with_budget(Site::FramePartial, 40, 6)
+            .with_budget(Site::FrameDrop, 40, 6)
+            .with_budget(Site::FrameStall, 20, 4)
+            .with_budget(Site::ConnAccept, 120, 2)
+            .with_budget(Site::ConnDial, 120, 2)
+            .with_budget(Site::JournalDelay, 30, 4),
+    );
+    let ctx = format!("seed {seed} plan `{}`", plan.spec());
+
+    let spec = spec_for(seed);
+    let set = random_scenario(&spec);
+    let config = AnalysisConfig::default();
+    let policy = AdmissionPolicy::default();
+    let journal = temp_path("wire-primary", seed);
+    let mirror = temp_path("wire-mirror", seed);
+    let _ = std::fs::remove_file(&journal);
+    let _ = std::fs::remove_file(&mirror);
+
+    let engine = Arc::new(
+        SchedService::new(set.clone(), config.clone(), policy.clone())
+            .unwrap_or_else(|e| panic!("{ctx}: seed failed: {e}"))
+            .with_journal(&journal)
+            .expect("journal attach"),
+    );
+    let handle = Server::start(
+        engine.clone(),
+        ServerConfig {
+            repl_addr: Some("127.0.0.1:0".to_string()),
+            journal_path: Some(journal.clone()),
+            heartbeat_interval: Duration::from_millis(60),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server start");
+    let service_addr = handle.service_addr().to_string();
+    let repl_addr = handle.repl_addr().expect("repl port").to_string();
+
+    // Sync-mode submits through the retry client: an Ok reply means the
+    // epoch is durable on the primary. Faults tear connections mid-frame;
+    // the idempotency tickets make the retries safe.
+    let mut churn = ChurnGen::new(&spec, seed ^ 0xfeed);
+    let mut client = RetryClient::new(service_addr, retry_policy());
+    let mut acked = Vec::new();
+    for i in 0..10usize {
+        let batch = churn.next_batch(&engine.current_set(), 3);
+        let reply = client
+            .submit(SubmitMode::Sync, SCHEMA_VERSION, &batch)
+            .unwrap_or_else(|e| panic!("{ctx}: submit {i} failed after retries: {e}"));
+        acked.push(reply.epoch);
+    }
+    let durable = client
+        .sync(None)
+        .unwrap_or_else(|e| panic!("{ctx}: sync: {e}"));
+    let max_acked = acked.iter().copied().max().unwrap_or(0);
+    assert!(
+        durable >= max_acked,
+        "{ctx}: sync(all) below an acked epoch"
+    );
+
+    // Surface check: the fault counters ride the stats frame. The plan
+    // keeps firing while the reply crosses the (faulty) wire, so the
+    // snapshot is a lower bound on the live count, never above it.
+    let stats = client
+        .stats()
+        .unwrap_or_else(|e| panic!("{ctx}: stats: {e}"));
+    for site in Site::ALL {
+        let name = format!("net.faults.{}", site.name());
+        assert!(
+            stats.counters().any(|(n, _)| n == name),
+            "{ctx}: {name} missing from the stats frame"
+        );
+        assert!(
+            stats.counter(&name) <= plan.injected(site),
+            "{ctx}: {name} above the plan's own count"
+        );
+    }
+
+    // A standby converges through the same noisy wire.
+    let mut follower = Follower::new(
+        set.clone(),
+        config.clone(),
+        policy.clone(),
+        FollowerConfig {
+            primary: repl_addr,
+            journal: mirror.clone(),
+            reconnect_delay: Duration::from_millis(20),
+            catch_up_to: Some(durable),
+            ..FollowerConfig::default()
+        },
+    );
+    match follower.run() {
+        Ok(FollowerExit::CaughtUp) => {}
+        other => panic!("{ctx}: follower exit {other:?}"),
+    }
+
+    // Take the primary down, then promote the standby and hold it to the
+    // journal's own truth: replaying the primary's journal file is the
+    // reference state (the in-memory engine is gone with the "crash").
+    handle.stop();
+    handle
+        .join()
+        .unwrap_or_else(|e| panic!("{ctx}: drain: {e}"));
+    let (reference, _) = SchedService::replay_standby(set, config, policy, &journal)
+        .unwrap_or_else(|e| panic!("{ctx}: reference replay: {e}"));
+
+    let (promoted, stats) = follower
+        .promote()
+        .unwrap_or_else(|e| panic!("{ctx}: promotion refused: {e}"));
+    assert!(
+        promoted.epoch() >= max_acked,
+        "{ctx}: promoted standby at epoch {} lost acked epoch {max_acked}",
+        promoted.epoch()
+    );
+    assert_eq!(
+        promoted.state_digest(),
+        reference.state_digest(),
+        "{ctx}: promoted digest diverged from the primary's journal replay \
+         ({} tail records, {} repaired bytes)",
+        stats.tail_records,
+        stats.repaired_bytes
+    );
+
+    // The promoted journal is attached and alive: it must accept and
+    // journal fresh epochs (admitted or rejected — either proves it).
+    let batch = churn.next_batch(&promoted.current_set(), 2);
+    promoted
+        .submit(&EngineRequest {
+            version: SCHEMA_VERSION,
+            ops: batch.into_iter().map(EngineOp::Admission).collect(),
+        })
+        .unwrap_or_else(|e| panic!("{ctx}: promoted primary refuses commits: {e}"));
+
+    hsched_faults::clear();
+    let _ = std::fs::remove_file(&journal);
+    let _ = std::fs::remove_file(&mirror);
+}
+
+/// Journal chaos: a budget-1 fsync failure wedges durability mid-run.
+/// Acked epochs (durable before the wedge) must survive into the
+/// journal's replay; everything after the wedge must fail loudly
+/// (non-retryable `journal` errors), never report durability, and never
+/// corrupt the acked prefix. Returns how many epochs were acked before
+/// the wedge (the suite asserts the coverage was not all-vacuous —
+/// whether a given seed's fault fires on the first or a later fsync is
+/// the plan's deterministic choice).
+fn fsync_wedge_case(seed: u64) -> usize {
+    let plan = hsched_faults::install(
+        FaultPlan::new(seed)
+            // Fires on one mid-run fsync: per-mille 300 ≈ the 3rd-ish
+            // group commit, budget 1 caps it to a single failure.
+            .with_budget(Site::JournalFsync, 300, 1),
+    );
+    let ctx = format!("seed {seed} plan `{}`", plan.spec());
+
+    let spec = spec_for(seed);
+    let set = random_scenario(&spec);
+    let config = AnalysisConfig::default();
+    let policy = AdmissionPolicy::default();
+    let journal = temp_path("wedge-primary", seed);
+    let _ = std::fs::remove_file(&journal);
+
+    let engine = Arc::new(
+        SchedService::new(set.clone(), config.clone(), policy.clone())
+            .unwrap_or_else(|e| panic!("{ctx}: seed failed: {e}"))
+            .with_journal(&journal)
+            .expect("journal attach"),
+    );
+    let handle = Server::start(engine.clone(), ServerConfig::default()).expect("server start");
+    let service_addr = handle.service_addr().to_string();
+
+    let mut churn = ChurnGen::new(&spec, seed ^ 0xbeef);
+    let mut client = RetryClient::new(service_addr, retry_policy());
+    let mut acked = Vec::new();
+    let mut wedged = false;
+    for i in 0..12usize {
+        let batch = churn.next_batch(&engine.current_set(), 2);
+        match client.submit(SubmitMode::Sync, SCHEMA_VERSION, &batch) {
+            Ok(reply) => {
+                assert!(!wedged, "{ctx}: durability reported after the fsync wedge");
+                acked.push(reply.epoch);
+            }
+            Err(WireError::Remote { code, message }) if code == hsched_net::code::JOURNAL => {
+                // The injected fsync failure poisoned the journal — every
+                // later durability claim must keep failing.
+                assert!(
+                    message.contains("injected fault") || wedged,
+                    "{ctx}: submit {i}: unexpected journal error `{message}`"
+                );
+                wedged = true;
+            }
+            Err(e) => panic!("{ctx}: submit {i}: unexpected error {e}"),
+        }
+    }
+    assert!(
+        wedged,
+        "{ctx}: the budgeted fsync fault never fired in 12 epochs"
+    );
+
+    handle.stop();
+    // The final drain sync hits the poisoned journal — that is the drain
+    // reporting the truth, not a test failure.
+    let _ = handle.join();
+
+    // Replay must recover at least every acked epoch; a torn tail past
+    // the acked prefix (the unsynced epochs) is repaired, not fatal.
+    let max_acked = acked.iter().copied().max().unwrap_or(0);
+    let (recovered, stats) = SchedService::replay(set, config, policy, &journal)
+        .unwrap_or_else(|e| panic!("{ctx}: replay after wedge: {e}"));
+    assert!(
+        recovered.epoch() >= max_acked,
+        "{ctx}: replay reaches epoch {}, below acked {max_acked} \
+         ({} repaired bytes)",
+        recovered.epoch(),
+        stats.repaired_bytes
+    );
+
+    hsched_faults::clear();
+    let _ = std::fs::remove_file(&journal);
+    acked.len()
+}
+
+/// The whole chaos suite in one test: the fault plan is process-global
+/// state, so cases must run sequentially.
+#[test]
+fn chaos_plans_preserve_acked_epochs() {
+    let mut acked_before_wedge = 0usize;
+    for case in 0..cases() {
+        wire_chaos_case(0x5eed_0000 + case);
+        acked_before_wedge += fsync_wedge_case(0xfa11_5eed + case);
+    }
+    assert!(
+        acked_before_wedge > 0,
+        "every wedge case lost its fsync on the very first commit — \
+         the acked-prefix invariant was never exercised; change the seeds"
+    );
+    hsched_faults::clear();
+}

@@ -67,6 +67,7 @@ fn resume_session(seed: u64, epochs: usize, cuts: &[u64]) {
             journal_path: Some(journal.clone()),
             heartbeat_interval: Duration::from_millis(80),
             handler: None,
+            ..ServerConfig::default()
         },
     )
     .expect("server start");

@@ -1,0 +1,190 @@
+#!/usr/bin/env bash
+# End-to-end chaos smoke test for the fault-injection stack
+# (`HSCHED_FAULTS`), client retry/backoff, and standby promotion.
+#
+# Phase A drives seeded journal faults through the real binaries:
+#   A1  a torn journal append kills a local admit run mid-script; replay
+#       repairs the torn tail and recovers every completed epoch.
+#   A2  an injected fsync failure wedges a serving primary: the first
+#       durability claim fails loudly, every later one stays failed
+#       (sticky poison — no epoch may claim durability after a lost
+#       sync), and the journal still replays after the crash.
+#
+# Phase B runs the takeover story: a retrying client lands a whole
+# script through client-side frame tears and drops, the primary is then
+# SIGKILLed, and the standby (`follow --promote-on-loss`) declares the
+# primary lost, replays its mirror into a serving primary (digest
+# cross-checked), and serves fresh epochs until drained.
+#
+# Every fault plan is seeded: re-running this script reproduces the
+# exact same injection decisions. CI runs this on every push.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SPEC=scripts/admit_demo.hsc
+SCRIPT=scripts/admit_demo.req
+WORK=$(mktemp -d -t hsched-chaos-smoke.XXXXXX)
+SERVE_PID=""
+FOLLOW_PID=""
+cleanup() {
+    [ -n "$SERVE_PID" ] && kill -9 "$SERVE_PID" 2>/dev/null || true
+    [ -n "$FOLLOW_PID" ] && kill -9 "$FOLLOW_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# Background roles must be the binary itself, not `cargo run` — killing a
+# cargo wrapper with SIGKILL would orphan the server it spawned.
+cargo build --release --quiet --locked -p hsched-cli
+BIN=target/release/hsched
+
+wait_for() { # wait_for DESCRIPTION COMMAND...
+    local what=$1
+    shift
+    for _ in $(seq 1 200); do
+        if "$@"; then return 0; fi
+        sleep 0.05
+    done
+    echo "chaos smoke: timed out waiting for $what" >&2
+    return 1
+}
+
+file_size() { wc -c <"$1" 2>/dev/null || echo 0; }
+
+mirror_caught_up() {
+    local p m
+    p=$(file_size "$WORK/primary.journal")
+    m=$(file_size "$WORK/mirror.journal")
+    [ "$p" -gt 0 ] && [ "$p" -eq "$m" ]
+}
+
+addrs_ready() { [ -s "$1" ] && grep -q '^service ' "$1"; }
+
+# ------------------------------------------------- A1: torn journal append
+# Seed 7 with `journal.torn=300*1` deterministically tears the 4th
+# append: epochs 1-3 land, epoch 4 leaves half a record on disk and the
+# admit run fails loudly, naming the injection.
+
+if out=$(env HSCHED_FAULTS="7:journal.torn=300*1" \
+    "$BIN" admit "$SPEC" "$SCRIPT" --journal "$WORK/torn.journal" 2>&1); then
+    echo "chaos smoke: torn-append admit unexpectedly succeeded" >&2
+    echo "$out"
+    exit 1
+fi
+echo "$out" | grep -q "injected fault: torn journal append"
+
+# Replay (no faults) repairs the tear and recovers the acked prefix.
+# Replaying *repairs the file in place*, so the JSON leg runs on a copy
+# of the still-torn journal.
+cp "$WORK/torn.journal" "$WORK/torn.copy"
+out=$("$BIN" replay "$SPEC" "$WORK/torn.journal")
+echo "$out" | grep -q "replayed 3 epoch(s)"
+echo "$out" | grep -q "torn-tail byte(s) repaired"
+json=$("$BIN" replay "$SPEC" "$WORK/torn.copy" --json)
+echo "$json" | grep -q '"repaired_bytes":[1-9]'
+echo "chaos smoke: A1 torn-append leg OK"
+
+# --------------------------------------------------- A2: fsync wedge, sticky
+# `journal.fsync=1000*1` fails the first group commit of this serve life.
+# The client's first durable submit must fail with the injected error,
+# and the *second* must keep failing: after a lost sync the journal is
+# poisoned — no later epoch may claim durability.
+
+env HSCHED_FAULTS="5:journal.fsync=1000*1" \
+    "$BIN" serve "$SPEC" --addr 127.0.0.1:0 --journal "$WORK/wedge.journal" \
+    --addr-file "$WORK/addrs-wedge" >"$WORK/serve-wedge.out" 2>&1 &
+SERVE_PID=$!
+wait_for "wedged serve to bind" addrs_ready "$WORK/addrs-wedge"
+ADDR=$(awk '$1 == "service" { print $2 }' "$WORK/addrs-wedge")
+
+if out=$("$BIN" admit "$SPEC" "$SCRIPT" --remote "$ADDR" 2>&1); then
+    echo "chaos smoke: submit over a wedged journal claimed durability" >&2
+    echo "$out"
+    exit 1
+fi
+echo "$out" | grep -q "injected fault"
+if out=$("$BIN" admit "$SPEC" "$SCRIPT" --remote "$ADDR" 2>&1); then
+    echo "chaos smoke: the fsync poison did not stick" >&2
+    echo "$out"
+    exit 1
+fi
+echo "$out" | grep -qi "journal"
+
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+# The crashed journal still replays: unacked tail records are recovered
+# or repaired, never fatal.
+"$BIN" replay "$SPEC" "$WORK/wedge.journal" | grep -q "state digest"
+echo "chaos smoke: A2 fsync-wedge leg OK"
+
+# ------------------------------ B: retrying client + loss-triggered promotion
+
+"$BIN" serve "$SPEC" --addr 127.0.0.1:0 --repl 127.0.0.1:0 \
+    --journal "$WORK/primary.journal" --heartbeat-ms 50 \
+    --addr-file "$WORK/addrs" >"$WORK/serve.out" 2>&1 &
+SERVE_PID=$!
+wait_for "serve to bind" addrs_ready "$WORK/addrs"
+SERVICE_ADDR=$(awk '$1 == "service" { print $2 }' "$WORK/addrs")
+REPL_ADDR=$(awk '$1 == "repl" { print $2 }' "$WORK/addrs")
+
+"$BIN" follow "$SPEC" --from "$REPL_ADDR" --journal "$WORK/mirror.journal" \
+    --promote-on-loss --max-reconnects 2 \
+    --addr 127.0.0.1:0 --addr-file "$WORK/addrs-promoted" \
+    >"$WORK/follow.out" 2>&1 &
+FOLLOW_PID=$!
+
+# The client's own frames tear and drop (seeded, budgeted); the retry
+# loop with idempotency tickets must land every epoch exactly once.
+out=$(env HSCHED_FAULTS="11:frame.partial=150*3,frame.drop=150*3" \
+    "$BIN" admit "$SPEC" "$SCRIPT" --remote "$SERVICE_ADDR" --retry 8)
+echo "$out"
+echo "$out" | grep -q "epoch 1: admitted"
+echo "$out" | grep -q "epoch 2: rejected (overload on Pi3)"
+echo "$out" | grep -q "retried "
+echo "$out" | grep -q "remote engine: epoch 4"
+digest=$(echo "$out" | grep -o 'state digest [0-9a-f]\{16\}' | awk '{print $3}')
+test -n "$digest"
+
+wait_for "mirror to catch up" mirror_caught_up
+cp "$WORK/mirror.journal" "$WORK/mirror.copy"
+
+# SIGKILL the primary. The standby burns through --max-reconnects failed
+# sessions, declares the primary lost, and promotes its mirror into a
+# serving primary (replayed state cross-checked against the live
+# standby's epoch + digest).
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+wait_for "standby to promote" addrs_ready "$WORK/addrs-promoted"
+grep -q "primary lost (2 session(s) without progress); promoting" "$WORK/follow.out"
+grep -q "promoted at epoch 4" "$WORK/follow.out"
+PROMOTED_ADDR=$(awk '$1 == "service" { print $2 }' "$WORK/addrs-promoted")
+
+# The mirrored bytes replay to exactly the state the client last saw.
+"$BIN" replay "$SPEC" "$WORK/mirror.copy" | grep -q "state digest $digest"
+
+# The promoted standby is a live primary: serves telemetry and commits
+# fresh epochs into the inherited journal.
+"$BIN" stats --remote "$PROMOTED_ADDR" | grep -q "engine.epochs_settled"
+cat >"$WORK/more.req" <<'EOF'
+add hotfix period 80 deadline 160 task patch wcet 0.5 bcet 0.25 prio 1 on Pi1
+commit
+remove hotfix
+EOF
+out2=$("$BIN" admit "$SPEC" "$WORK/more.req" --remote "$PROMOTED_ADDR" --retry 4)
+echo "$out2"
+echo "$out2" | grep -q "epoch 5: admitted"
+echo "$out2" | grep -q "epoch 6: admitted"
+
+# Graceful drain on SIGTERM, exactly like a born-primary `hsched serve`.
+kill "$FOLLOW_PID"
+wait "$FOLLOW_PID"
+FOLLOW_PID=""
+cat "$WORK/follow.out"
+grep -q "promoted: drained; durable through epoch 6; state digest" "$WORK/follow.out"
+digest2=$(grep -o 'state digest [0-9a-f]\{16\}' "$WORK/follow.out" | tail -1 | awk '{print $3}')
+"$BIN" replay "$SPEC" "$WORK/mirror.journal" | grep -q "state digest $digest2"
+echo "chaos smoke: B promotion leg OK"
+
+echo "chaos smoke: OK"
